@@ -1,0 +1,37 @@
+//! Criterion bench: classical-baseline training (GBT / linear regression)
+//! and the t-SNE projection used by Figure 8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paragraph_ml::{tsne, Gbt, GbtConfig, LinearRegression, TsneConfig};
+
+fn synthetic_xy(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|i| vec![(i % 17) as f64, (i % 5) as f64, ((i * 7) % 13) as f64])
+        .collect();
+    let y: Vec<f64> = x.iter().map(|r| r[0] * 0.3 - r[1] + (r[2] * 0.1).sin()).collect();
+    (x, y)
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let (x, y) = synthetic_xy(2000);
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    group.bench_function("gbt_fit_2k_rows", |b| {
+        let cfg = GbtConfig { n_trees: 40, ..GbtConfig::default() };
+        b.iter(|| Gbt::fit(std::hint::black_box(&x), &y, cfg))
+    });
+    group.bench_function("linear_fit_2k_rows", |b| {
+        b.iter(|| LinearRegression::fit(std::hint::black_box(&x), &y, 1e-6).expect("spd"))
+    });
+    let emb: Vec<Vec<f32>> = (0..150)
+        .map(|i| (0..16).map(|j| ((i * j) % 11) as f32 * 0.1).collect())
+        .collect();
+    group.bench_function("tsne_150_points", |b| {
+        let cfg = TsneConfig { iterations: 50, ..TsneConfig::default() };
+        b.iter(|| tsne(std::hint::black_box(&emb), &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: forward + backward pass of each GNN layer kind
+//! (Table III + Algorithm 1) on a mid-size circuit graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paragraph::{circuit_schema, fit_norm, normalize_circuits, PreparedCircuit, Target};
+use paragraph_circuitgen::{compose_chip, FAMILY_ANALOG};
+use paragraph_gnn::{GnnKind, GnnModel, ModelConfig};
+use paragraph_layout::LayoutConfig;
+use paragraph_tensor::{Tape, Tensor};
+
+fn prepared() -> PreparedCircuit {
+    let circuit = compose_chip("bench", 5, FAMILY_ANALOG, 40);
+    let mut pcs = vec![PreparedCircuit::new("bench", circuit, &LayoutConfig::default())];
+    let norm = fit_norm(&pcs);
+    normalize_circuits(&mut pcs, &norm);
+    pcs.pop().expect("one circuit")
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let pc = prepared();
+    let labels = pc.labels(Target::Cap, None);
+    let nodes = std::rc::Rc::new(labels.nodes.clone());
+    let targets = Tensor::from_col(&labels.scaled);
+
+    let mut group = c.benchmark_group("layer_forward_backward");
+    group.sample_size(20);
+    for kind in GnnKind::all() {
+        let mut cfg = ModelConfig::new(kind);
+        cfg.layers = 2;
+        let model = GnnModel::new(cfg, &circuit_schema());
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &model, |b, model| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let pred = model.predict_nodes(&mut tape, &pc.graph.graph, &nodes);
+                let t = tape.constant(targets.clone());
+                let loss = tape.mse_loss(pred, t);
+                let grads = tape.backward(loss);
+                std::hint::black_box(grads.param_grads(&tape).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward_backward);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: schematic-to-heterogeneous-graph conversion (paper
+//! §II-B) and layout ground-truth extraction throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paragraph::build_graph;
+use paragraph_circuitgen::{compose_chip, FAMILY_ANALOG, FAMILY_DIGITAL};
+use paragraph_layout::{extract, LayoutConfig};
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_construction");
+    for blocks in [20_usize, 80, 200] {
+        let circuit = compose_chip("bench", 1, FAMILY_DIGITAL, blocks);
+        group.bench_with_input(
+            BenchmarkId::new("digital", circuit.num_devices()),
+            &circuit,
+            |b, circuit| b.iter(|| build_graph(std::hint::black_box(circuit))),
+        );
+    }
+    let analog = compose_chip("bench", 2, FAMILY_ANALOG, 60);
+    group.bench_with_input(
+        BenchmarkId::new("analog", analog.num_devices()),
+        &analog,
+        |b, circuit| b.iter(|| build_graph(std::hint::black_box(circuit))),
+    );
+    group.finish();
+}
+
+fn bench_layout_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout_extraction");
+    let config = LayoutConfig::default();
+    for blocks in [20_usize, 80] {
+        let circuit = compose_chip("bench", 3, FAMILY_ANALOG, blocks);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(circuit.num_devices()),
+            &circuit,
+            |b, circuit| b.iter(|| extract(std::hint::black_box(circuit), &config)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_construction, bench_layout_extraction);
+criterion_main!(benches);

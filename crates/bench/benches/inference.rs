@@ -1,0 +1,53 @@
+//! Criterion bench: end-to-end prediction latency of a trained ParaGraph
+//! model and of the 4-member ensemble (Algorithm 2) on a fresh schematic —
+//! the operation a designer's inner loop would call.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paragraph::prelude::*;
+use paragraph::PAPER_MAX_V;
+use paragraph_circuitgen::{compose_chip, FAMILY_ANALOG, FAMILY_DIGITAL};
+use paragraph_layout::LayoutConfig;
+
+fn setup() -> (Vec<PreparedCircuit>, paragraph::FeatureNorm) {
+    let mut train: Vec<PreparedCircuit> = (0..4)
+        .map(|i| {
+            let c = compose_chip(&format!("t{i}"), i, FAMILY_ANALOG, 25);
+            PreparedCircuit::new(format!("t{i}"), c, &LayoutConfig::default())
+        })
+        .collect();
+    let norm = fit_norm(&train);
+    normalize_circuits(&mut train, &norm);
+    (train, norm)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (train, norm) = setup();
+    let mut fit = FitConfig::quick(GnnKind::ParaGraph);
+    fit.epochs = 4;
+    let (model, _) = TargetModel::train(&train, Target::Cap, None, fit.clone(), &norm);
+    let fresh = compose_chip("fresh", 99, FAMILY_DIGITAL, 40);
+
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(20);
+    group.bench_function("single_model_predict_circuit", |b| {
+        b.iter(|| model.predict_circuit(std::hint::black_box(&fresh)))
+    });
+
+    let members: Vec<TargetModel> = PAPER_MAX_V
+        .iter()
+        .map(|&mv| {
+            let mut f = fit.clone();
+            f.epochs = 2;
+            TargetModel::train(&train, Target::Cap, Some(mv), f, &norm).0
+        })
+        .collect();
+    let ensemble = CapEnsemble::new(members);
+    let pc = PreparedCircuit::new("fresh", fresh.clone(), &LayoutConfig::default());
+    group.bench_function("ensemble_predict", |b| {
+        b.iter(|| ensemble.predict_graph(std::hint::black_box(&fresh), &pc.graph))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

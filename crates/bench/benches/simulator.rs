@@ -1,0 +1,29 @@
+//! Criterion bench: MNA simulator throughput — DC operating point and
+//! transient of a Table V-style testbench.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paragraph_bench::testbench::table5_suite;
+use paragraph_sim::{dc_operating_point, to_sim, transient, ConvertOptions};
+
+fn bench_simulator(c: &mut Criterion) {
+    let suite = table5_suite();
+    let tb = &suite[0]; // a buffer chain
+    let mapping = to_sim(&tb.circuit, &ConvertOptions::default());
+
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    group.bench_function("dc_operating_point", |b| {
+        b.iter(|| dc_operating_point(std::hint::black_box(&mapping.sim)).expect("dc"))
+    });
+    group.bench_function("transient_1ns", |b| {
+        b.iter(|| transient(std::hint::black_box(&mapping.sim), 1e-9, 10e-12).expect("tran"))
+    });
+    group.bench_function("testbench_full_run", |b| {
+        let caps = vec![None; tb.circuit.num_nets()];
+        b.iter(|| tb.run(std::hint::black_box(&caps)).expect("run"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: core tensor/autograd primitives — matmul (serial vs
+//! threaded sizes), gather/scatter, and segment softmax, the hot ops of
+//! GNN training.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paragraph_tensor::{init_rng, ParamSet, Tape, Tensor};
+use std::rc::Rc;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [32_usize, 128, 512] {
+        let mut rng = init_rng(1);
+        let mut p = ParamSet::new();
+        let a = p.add_xavier("a", n, n, &mut rng);
+        let b = p.add_xavier("b", n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| p.value(a).matmul(std::hint::black_box(p.value(b))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_message_passing_ops(c: &mut Criterion) {
+    let n = 2000_usize;
+    let e = 8000_usize;
+    let mut rng = init_rng(2);
+    let mut p = ParamSet::new();
+    let h = p.add_xavier("h", n, 32, &mut rng);
+    let mut state = 7_u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 33) as usize % n) as u32
+    };
+    let src = Rc::new((0..e).map(|_| next()).collect::<Vec<_>>());
+    let dst = Rc::new((0..e).map(|_| next()).collect::<Vec<_>>());
+
+    let mut group = c.benchmark_group("message_passing");
+    group.bench_function("gather_scatter_8k_edges", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            let hv = tape.constant(p.value(h).clone());
+            let msg = tape.gather_rows(hv, src.clone());
+            let agg = tape.scatter_add_rows(msg, dst.clone(), n);
+            std::hint::black_box(tape.value(agg).rows())
+        })
+    });
+    group.bench_function("segment_softmax_8k_edges", |bench| {
+        let scores = Tensor::from_fn(e, 1, |i, _| ((i * 31) % 17) as f32 * 0.1 - 0.8);
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            let s = tape.constant(scores.clone());
+            let att = tape.segment_softmax(s, dst.clone(), n);
+            std::hint::black_box(tape.value(att).rows())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_message_passing_ops);
+criterion_main!(benches);

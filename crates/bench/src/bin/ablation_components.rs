@@ -1,0 +1,71 @@
+//! **Component ablation** (ours) — justifies the three ingredients
+//! Algorithm 1 borrows: GAT-style attention, RGCN-style per-edge-type
+//! weights, and GraphSage-style concat skip.
+//!
+//! Trains the full ParaGraph model and three ablated variants on the CAP
+//! and SA targets. DESIGN.md calls these design choices out; the expected
+//! shape is that each ablation costs accuracy relative to full ParaGraph.
+
+use paragraph::{evaluate_model, FitConfig, GnnKind, Target, TargetModel};
+use paragraph_bench::{write_json, Harness, HarnessConfig};
+use serde_json::json;
+
+fn variants(base: FitConfig) -> Vec<(&'static str, FitConfig)> {
+    let mut no_att = base.clone();
+    no_att.ablate_attention = true;
+    let mut no_types = base.clone();
+    no_types.ablate_edge_types = true;
+    let mut no_concat = base.clone();
+    no_concat.ablate_concat = true;
+    vec![
+        ("full ParaGraph", base),
+        ("- attention (mean agg)", no_att),
+        ("- edge types (one weight)", no_types),
+        ("- concat skip (sum)", no_concat),
+    ]
+}
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    let harness = Harness::build(config);
+
+    let mut out = Vec::new();
+    for target in [Target::Cap, Target::Sa] {
+        let max_v = None;
+        println!("\ncomponent ablation on {target}:");
+        println!("{:>28} {:>10} {:>10}", "variant", "R2(log)", "MAPE");
+        for (name, fit_base) in variants(harness.config.fit(GnnKind::ParaGraph, 0)) {
+            let mut r2_sum = 0.0;
+            let mut mape_sum = 0.0;
+            for run in 0..harness.config.runs {
+                let mut fit = fit_base.clone();
+                fit.seed ^= (run as u64) << 17;
+                let (model, _) =
+                    TargetModel::train(&harness.train, target, max_v, fit, &harness.norm);
+                let s = evaluate_model(&model, &harness.test, max_v).summary();
+                r2_sum += s.r2;
+                mape_sum += s.mape;
+            }
+            let n = harness.config.runs as f64;
+            println!("{:>28} {:>10.3} {:>9.1}%", name, r2_sum / n, mape_sum / n);
+            out.push(json!({
+                "target": target.name(),
+                "variant": name,
+                "r2_log": r2_sum / n,
+                "mape_pct": mape_sum / n,
+            }));
+        }
+    }
+    println!("\nexpected shape: every ablation reduces R^2 vs full ParaGraph.");
+
+    write_json(
+        &harness.config.out_dir,
+        "ablation_components",
+        &json!({
+            "rows": out,
+            "epochs": harness.config.epochs,
+            "runs": harness.config.runs,
+            "scale": harness.config.scale,
+        }),
+    );
+}

@@ -1,0 +1,55 @@
+//! **§V layer-depth sweep** — "We swept the number of layers and found a
+//! higher number of layers gives better results and plateaus at 5."
+//!
+//! Trains ParaGraph CAP models with L = 1..=6 and reports test R². The
+//! shape to reproduce: R² improves with depth and flattens around L ≈ 5.
+
+use paragraph::{evaluate_model, GnnKind, Target, TargetModel};
+use paragraph_bench::{write_json, Harness, HarnessConfig};
+use serde_json::json;
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    let harness = Harness::build(config);
+    // Log-scale full-range CAP model (the library default): the layer
+    // sweep needs a well-conditioned target to show the depth trend.
+    let max_v = None;
+
+    println!("Layer sweep: ParaGraph CAP model, L = 1..6 (paper: plateaus at 5)");
+    println!("{:>4} {:>10} {:>10} {:>10}", "L", "R2(log)", "MAPE", "train s");
+    let mut rows = Vec::new();
+    for layers in 1..=6 {
+        let mut r2_sum = 0.0;
+        let mut mape_sum = 0.0;
+        let t0 = std::time::Instant::now();
+        for run in 0..harness.config.runs {
+            let mut fit = harness.config.fit(GnnKind::ParaGraph, run);
+            fit.layers = layers;
+            let (model, _) =
+                TargetModel::train(&harness.train, Target::Cap, max_v, fit, &harness.norm);
+            let s = evaluate_model(&model, &harness.test, max_v).summary();
+            r2_sum += s.r2;
+            mape_sum += s.mape;
+        }
+        let n = harness.config.runs as f64;
+        let (r2, mape) = (r2_sum / n, mape_sum / n);
+        println!(
+            "{layers:>4} {:>10.3} {:>9.1}% {:>10.1}",
+            r2,
+            mape,
+            t0.elapsed().as_secs_f64()
+        );
+        rows.push(json!({"layers": layers, "r2_log": r2, "mape_pct": mape}));
+    }
+
+    write_json(
+        &harness.config.out_dir,
+        "ablation_layers",
+        &json!({
+            "rows": rows,
+            "epochs": harness.config.epochs,
+            "runs": harness.config.runs,
+            "scale": harness.config.scale,
+        }),
+    );
+}

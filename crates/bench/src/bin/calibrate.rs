@@ -1,0 +1,64 @@
+//! Internal calibration tool: prints dataset statistics (graph sizes, cap
+//! label distribution) and times one training epoch. Not a paper artifact;
+//! used to pick harness defaults.
+
+use paragraph::{GnnKind, Target, TargetModel};
+use paragraph_bench::{Harness, HarnessConfig};
+
+fn main() {
+    let mut config = HarnessConfig::from_args();
+    config.runs = 1;
+    let t0 = std::time::Instant::now();
+    let harness = Harness::build(config.clone());
+    println!("dataset build: {:.2}s", t0.elapsed().as_secs_f64());
+
+    let mut caps: Vec<f64> = Vec::new();
+    for pc in harness.train.iter().chain(&harness.test) {
+        let labels = pc.labels(Target::Cap, None);
+        caps.extend(&labels.physical);
+        println!(
+            "{:>4}: {:>6} devices {:>6} nets {:>7} nodes {:>8} edges {:>6} cap labels",
+            pc.name,
+            pc.circuit.num_devices(),
+            pc.circuit.kind_counts().net,
+            pc.graph.graph.num_nodes(),
+            pc.graph.graph.num_edges(),
+            labels.len(),
+        );
+    }
+    caps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = |p: f64| caps[((caps.len() - 1) as f64 * p) as usize] * 1e15;
+    println!(
+        "cap labels: n={} min={:.4}fF p10={:.4}fF p50={:.3}fF p90={:.2}fF p99={:.2}fF max={:.2}fF",
+        caps.len(),
+        q(0.0),
+        q(0.10),
+        q(0.50),
+        q(0.90),
+        q(0.99),
+        q(1.0),
+    );
+    let decades = (q(1.0) / q(0.0)).log10();
+    println!("span: {decades:.2} decades");
+
+    // Quick quality probe: ParaGraph vs XGB on CAP and SA.
+    use paragraph::{evaluate_model, BaselineKind, BaselineModel};
+    for target in [Target::Cap, Target::Sa] {
+        let t1 = std::time::Instant::now();
+        let fit = harness.config.fit(GnnKind::ParaGraph, 0);
+        let epochs = fit.epochs;
+        let (model, loss) =
+            TargetModel::train(&harness.train, target, None, fit, &harness.norm);
+        let s = evaluate_model(&model, &harness.test, None).summary();
+        println!(
+            "{target}: ParaGraph r2={:.3} mape={:.1}% (loss {loss:.4}, {} epochs, {:.1}s)",
+            s.r2,
+            s.mape,
+            epochs,
+            t1.elapsed().as_secs_f64()
+        );
+        let xgb = BaselineModel::train(&harness.train, target, None, BaselineKind::Xgb);
+        let sx = xgb.evaluate(&harness.test, None).summary();
+        println!("{target}: XGB       r2={:.3} mape={:.1}%", sx.r2, sx.mape);
+    }
+}

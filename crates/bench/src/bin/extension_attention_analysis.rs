@@ -1,0 +1,83 @@
+//! **Extension: attention interpretability** — §III remarks that
+//! "analyzing the learned attentional weights may also help model
+//! interpretability".
+//!
+//! Trains a ParaGraph capacitance model, extracts the first layer's
+//! per-edge attention weights on the test circuits, and reports, per edge
+//! type, how far the attention distribution deviates from uniform
+//! (focus = 1 - normalised entropy; 0 = uniform, 1 = single-neighbour).
+//! A trained model should focus: e.g. a net's capacitance is dominated by
+//! its widest drivers, so `transistor_drain -> net` edges should show
+//! non-uniform attention.
+
+use paragraph::{edge_type_name, GnnKind, Target, TargetModel, NUM_EDGE_TYPES};
+use paragraph_bench::{write_json, Harness, HarnessConfig};
+use serde_json::json;
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    let harness = Harness::build(config);
+    let (model, _) = TargetModel::train(
+        &harness.train,
+        Target::Cap,
+        None,
+        harness.config.fit(GnnKind::ParaGraph, 0),
+        &harness.norm,
+    );
+
+    // focus per edge type, averaged over destinations with >= 2 in-edges.
+    let mut focus_sum = vec![0.0_f64; NUM_EDGE_TYPES];
+    let mut focus_cnt = vec![0_usize; NUM_EDGE_TYPES];
+    for pc in &harness.test {
+        let att = model.gnn().attention_weights(&pc.graph.graph);
+        for (t, weights) in att.iter().enumerate() {
+            if weights.is_empty() {
+                continue;
+            }
+            // Group by destination.
+            let dst = &pc.graph.graph.edges(t).dst;
+            let mut groups: std::collections::HashMap<u32, Vec<f64>> = Default::default();
+            for (e, &d) in dst.iter().enumerate() {
+                groups.entry(d).or_default().push(weights[e] as f64);
+            }
+            for ws in groups.values() {
+                let k = ws.len();
+                if k < 2 {
+                    continue;
+                }
+                let entropy: f64 = -ws
+                    .iter()
+                    .map(|&w| if w > 1e-12 { w * w.ln() } else { 0.0 })
+                    .sum::<f64>();
+                let uniform = (k as f64).ln();
+                focus_sum[t] += 1.0 - entropy / uniform;
+                focus_cnt[t] += 1;
+            }
+        }
+    }
+
+    println!("attention focus per edge type (0 = uniform, 1 = single neighbour):");
+    println!("{:>36} {:>8} {:>8}", "edge type", "focus", "groups");
+    let mut rows = Vec::new();
+    for t in 0..NUM_EDGE_TYPES {
+        if focus_cnt[t] == 0 {
+            continue;
+        }
+        let focus = focus_sum[t] / focus_cnt[t] as f64;
+        println!("{:>36} {:>8.3} {:>8}", edge_type_name(t), focus, focus_cnt[t]);
+        rows.push(json!({
+            "edge_type": edge_type_name(t),
+            "focus": focus,
+            "groups": focus_cnt[t],
+        }));
+    }
+    let overall: f64 =
+        focus_sum.iter().sum::<f64>() / focus_cnt.iter().sum::<usize>().max(1) as f64;
+    println!("\noverall focus {overall:.3} (a trained model deviates from uniform attention)");
+
+    write_json(
+        &harness.config.out_dir,
+        "extension_attention_analysis",
+        &json!({"rows": rows, "overall_focus": overall, "epochs": harness.config.epochs}),
+    );
+}

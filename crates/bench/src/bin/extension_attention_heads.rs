@@ -1,0 +1,48 @@
+//! **Extension: multi-head attention** — §V notes the paper was limited to
+//! one attention head by GPU memory and expects more attention heads
+//! would lead to even better results".
+//!
+//! Sweeps 1 / 2 / 4 heads for the ParaGraph capacitance and SA models.
+
+use paragraph::{evaluate_model, GnnKind, Target, TargetModel};
+use paragraph_bench::{write_json, Harness, HarnessConfig};
+use serde_json::json;
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    let harness = Harness::build(config);
+
+    let mut rows = Vec::new();
+    for target in [Target::Cap, Target::Sa] {
+        let max_v = if target.on_nets() { Some(10e-12) } else { None };
+        println!("\nattention-head sweep on {target}:");
+        println!("{:>7} {:>10} {:>10}", "heads", "R2(log)", "MAPE");
+        for heads in [1_usize, 2, 4] {
+            let mut r2 = 0.0;
+            let mut mape = 0.0;
+            for run in 0..harness.config.runs {
+                let mut fit = harness.config.fit(GnnKind::ParaGraph, run);
+                fit.attention_heads = heads;
+                let (model, _) =
+                    TargetModel::train(&harness.train, target, max_v, fit, &harness.norm);
+                let s = evaluate_model(&model, &harness.test, max_v).summary();
+                r2 += s.r2;
+                mape += s.mape;
+            }
+            let n = harness.config.runs as f64;
+            println!("{heads:>7} {:>10.3} {:>9.1}%", r2 / n, mape / n);
+            rows.push(json!({
+                "target": target.name(),
+                "heads": heads,
+                "r2_log": r2 / n,
+                "mape_pct": mape / n,
+            }));
+        }
+    }
+
+    write_json(
+        &harness.config.out_dir,
+        "extension_attention_heads",
+        &json!({"rows": rows, "epochs": harness.config.epochs, "runs": harness.config.runs}),
+    );
+}

@@ -1,0 +1,94 @@
+//! **Extension: RC (trace-resistance) annotation** — §II notes "the model
+//! can be extended to represent via and trace resistances", deferred in
+//! the paper because multi-path resistances blow up netlist size.
+//!
+//! Uses the predicted net *resistance* (the `RES` extension target)
+//! together with predicted capacitance to annotate an RC π-model per net,
+//! and measures how much closer the RC-annotated simulation sits to the
+//! RC-annotated reference than lumped-C-only annotation does.
+
+use paragraph::{GnnKind, PreparedCircuit, Target, TargetModel};
+use paragraph_bench::testbench::table5_suite;
+use paragraph_bench::{write_json, Harness, HarnessConfig};
+use paragraph_layout::{extract, LayoutConfig};
+use paragraph_ml::geometric_mean;
+use serde_json::json;
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    let harness = Harness::build(config);
+    let layout = LayoutConfig::default();
+
+    eprintln!("training CAP + RES models...");
+    let (cap_model, _) = TargetModel::train(
+        &harness.train,
+        Target::Cap,
+        None,
+        harness.config.fit(GnnKind::ParaGraph, 0),
+        &harness.norm,
+    );
+    let (res_model, _) = TargetModel::train(
+        &harness.train,
+        Target::Res,
+        None,
+        harness.config.fit(GnnKind::ParaGraph, 1),
+        &harness.norm,
+    );
+
+    // For each testbench: the reference is the truth-RC simulation; we
+    // compare predicted-lumped-C vs predicted-RC annotations against it.
+    let suite = table5_suite();
+    let mut errs_lumped = Vec::new();
+    let mut errs_rc = Vec::new();
+    for tb in suite.iter() {
+        let truth = extract(&tb.circuit, &layout);
+        let mut pc = PreparedCircuit::new(tb.name.clone(), tb.circuit.clone(), &layout);
+        pc.graph.normalize(&harness.norm);
+        let cap_pred = cap_model.predict_graph(&tb.circuit, &pc.graph);
+        let res_pred = res_model.predict_graph(&tb.circuit, &pc.graph);
+
+        let Ok(reference) = tb.run_rc(&truth.net_cap, &truth.net_res) else { continue };
+        let Ok(lumped) = tb.run(&cap_pred) else { continue };
+        let Ok(rc) = tb.run_rc(&cap_pred, &res_pred) else { continue };
+        for mi in 0..tb.metrics.len() {
+            let Some(r) = reference[mi] else { continue };
+            if r.abs() < 1e-15 {
+                continue;
+            }
+            if let (Some(l), Some(x)) = (lumped[mi], rc[mi]) {
+                errs_lumped.push(((l - r) / r).abs().max(0.002));
+                errs_rc.push(((x - r) / r).abs().max(0.002));
+            }
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64 * 100.0;
+    println!(
+        "RC-annotated reference, {} metrics:",
+        errs_lumped.len()
+    );
+    println!(
+        "  predicted lumped-C annotation: mean {:.2}%  geomean {:.2}%",
+        mean(&errs_lumped),
+        geometric_mean(&errs_lumped) * 100.0
+    );
+    println!(
+        "  predicted RC (C + R) annotation: mean {:.2}%  geomean {:.2}%",
+        mean(&errs_rc),
+        geometric_mean(&errs_rc) * 100.0
+    );
+    println!("\nexpected shape: adding the predicted trace resistance moves the");
+    println!("pre-layout simulation closer to the RC reference.");
+
+    write_json(
+        &harness.config.out_dir,
+        "extension_rc_annotation",
+        &json!({
+            "metrics": errs_lumped.len(),
+            "lumped_mean_pct": mean(&errs_lumped),
+            "rc_mean_pct": mean(&errs_rc),
+            "lumped_geomean_pct": geometric_mean(&errs_lumped) * 100.0,
+            "rc_geomean_pct": geometric_mean(&errs_rc) * 100.0,
+            "epochs": harness.config.epochs,
+        }),
+    );
+}

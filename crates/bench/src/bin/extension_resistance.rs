@@ -1,0 +1,45 @@
+//! **Extension: net parasitic resistance** — the paper's conclusion names
+//! resistance prediction as future work ("Future work will focus on
+//! extending this model to predict net parasitic resistances as well").
+//!
+//! Trains the full model lineup on the `RES` target (lumped driver-to-load
+//! wire resistance extracted by the layout synthesiser) and reports the
+//! same R²/MAE/MAPE columns as Figure 6. Expected shape: like CAP, the
+//! graph models dominate the node-feature-only baselines, because wire
+//! resistance is a function of routed length, which only the connectivity
+//! reveals.
+
+use paragraph::{evaluate_model, BaselineKind, BaselineModel, GnnKind, Target, TargetModel};
+use paragraph_bench::{write_json, Harness, HarnessConfig};
+use serde_json::json;
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    let harness = Harness::build(config);
+    let target = Target::Res;
+
+    println!("Extension: net parasitic resistance prediction (RES, ohms)");
+    println!("{:>12} {:>10} {:>12} {:>10}", "model", "R2(log)", "MAE (ohm)", "MAPE");
+    let mut rows = Vec::new();
+    for kind in [BaselineKind::Linear, BaselineKind::Xgb] {
+        let model = BaselineModel::train(&harness.train, target, None, kind);
+        let s = model.evaluate(&harness.test, None).summary();
+        println!("{:>12} {:>10.3} {:>12.1} {:>9.1}%", kind.name(), s.r2, s.mae, s.mape);
+        rows.push(json!({"model": kind.name(), "r2_log": s.r2, "mae_ohm": s.mae, "mape_pct": s.mape}));
+    }
+    for kind in GnnKind::all() {
+        let fit = harness.config.fit(kind, 0);
+        let (model, _) = TargetModel::train(&harness.train, target, None, fit, &harness.norm);
+        let s = evaluate_model(&model, &harness.test, None).summary();
+        println!("{:>12} {:>10.3} {:>12.1} {:>9.1}%", kind.name(), s.r2, s.mae, s.mape);
+        rows.push(json!({"model": kind.name(), "r2_log": s.r2, "mae_ohm": s.mae, "mape_pct": s.mape}));
+    }
+    println!("\nexpected shape: the GNNs (ParaGraph in particular) beat the");
+    println!("node-feature baselines, as with CAP in Figure 6.");
+
+    write_json(
+        &harness.config.out_dir,
+        "extension_resistance",
+        &json!({"rows": rows, "epochs": harness.config.epochs, "scale": harness.config.scale}),
+    );
+}

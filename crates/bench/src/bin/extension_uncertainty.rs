@@ -1,0 +1,67 @@
+//! **Extension: prediction confidence** — a heteroscedastic
+//! (mean + variance) head trained with Gaussian NLL, giving each net a
+//! per-prediction sigma. Useful exactly where the paper's §V discussion
+//! lands: large-capacitance predictions are less trustworthy, and a
+//! designer should know which ones.
+//!
+//! Reports calibration: test nets bucketed by predicted sigma quartile
+//! must show monotonically increasing actual |log error|, and the ±2σ
+//! interval should cover most nets.
+
+use paragraph::{GnnKind, Target, TargetModel};
+use paragraph_bench::{write_json, Harness, HarnessConfig};
+use serde_json::json;
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    let harness = Harness::build(config);
+
+    let mut fit = harness.config.fit(GnnKind::ParaGraph, 0);
+    fit.uncertainty = true;
+    eprintln!("training NLL capacitance model...");
+    let (model, _) = TargetModel::train(&harness.train, Target::Cap, None, fit, &harness.norm);
+
+    // Collect (sigma, |log10 error|, covered) triples over the test set.
+    let mut rows: Vec<(f64, f64, bool)> = Vec::new();
+    for pc in &harness.test {
+        let labels = pc.labels(Target::Cap, None);
+        let preds = model.predict_nodes_uncertain(pc, labels.nodes.clone());
+        for ((_, mean, sigma), truth) in preds.iter().zip(&labels.physical) {
+            let log_err = ((mean / truth).log10()).abs();
+            // Sigma is in log10 space for log-trained targets.
+            let covered = log_err <= 2.0 * sigma;
+            rows.push((*sigma, log_err, covered));
+        }
+    }
+    rows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    println!("calibration by predicted-sigma quartile ({} test nets):", rows.len());
+    println!("{:>10} {:>14} {:>16} {:>12}", "quartile", "mean sigma", "mean |log err|", "2σ coverage");
+    let mut quartiles = Vec::new();
+    for q in 0..4 {
+        let lo = rows.len() * q / 4;
+        let hi = rows.len() * (q + 1) / 4;
+        let chunk = &rows[lo..hi];
+        let ms = chunk.iter().map(|r| r.0).sum::<f64>() / chunk.len().max(1) as f64;
+        let me = chunk.iter().map(|r| r.1).sum::<f64>() / chunk.len().max(1) as f64;
+        let cov =
+            chunk.iter().filter(|r| r.2).count() as f64 / chunk.len().max(1) as f64 * 100.0;
+        println!("{:>10} {:>14.3} {:>16.3} {:>11.1}%", q + 1, ms, me, cov);
+        quartiles.push(json!({"quartile": q + 1, "mean_sigma": ms, "mean_abs_log_err": me, "coverage_2s_pct": cov}));
+    }
+    let overall_cov =
+        rows.iter().filter(|r| r.2).count() as f64 / rows.len().max(1) as f64 * 100.0;
+    println!("\noverall 2σ coverage: {overall_cov:.1}% (well-calibrated ≈ 95%)");
+    println!("expected shape: |log error| grows with predicted sigma — the model");
+    println!("knows which nets it cannot predict.");
+
+    write_json(
+        &harness.config.out_dir,
+        "extension_uncertainty",
+        &json!({
+            "quartiles": quartiles,
+            "coverage_2sigma_pct": overall_cov,
+            "epochs": harness.config.epochs,
+        }),
+    );
+}

@@ -1,0 +1,101 @@
+//! **Figure 8** — t-SNE projection of net-node embeddings of the
+//! `max_v = 10 fF` capacitance model on each testing circuit, coloured by
+//! log10 of the ground-truth capacitance.
+//!
+//! The paper's qualitative claim is that points with different colours
+//! separate well ("the model learned to differentiate nets with different
+//! capacitances"). We quantify it: the mean |Δ log10(cap)| between each
+//! point and its 5 nearest t-SNE neighbours must be far below the same
+//! statistic under random pairing.
+
+use paragraph::{GnnKind, Target, TargetModel};
+use paragraph_bench::{write_json, Harness, HarnessConfig};
+use paragraph_ml::{knn_label_spread, tsne, TsneConfig};
+use serde_json::json;
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    let harness = Harness::build(config);
+
+    // The paper uses the max_v = 10 fF model for this figure.
+    let max_v = Some(10e-15);
+    let (model, _) = TargetModel::train(
+        &harness.train,
+        Target::Cap,
+        max_v,
+        harness.config.fit(GnnKind::ParaGraph, 0),
+        &harness.norm,
+    );
+
+    println!("Figure 8: t-SNE of net embeddings (capacitance model, max_v = 10 fF)");
+    println!(
+        "{:>8} {:>8} {:>14} {:>14} {:>10}",
+        "circuit", "nets", "knn spread", "random", "separated?"
+    );
+    let mut out = Vec::new();
+    for pc in &harness.test {
+        let labels = pc.labels(Target::Cap, None);
+        let emb = model.embeddings(pc);
+        // Net-node embedding rows + log10 cap labels, subsampled to keep
+        // exact t-SNE tractable.
+        let mut rows: Vec<Vec<f32>> = Vec::new();
+        let mut logs: Vec<f64> = Vec::new();
+        let stride = (labels.nodes.len() / 400).max(1);
+        for (i, (&node, phys)) in labels.nodes.iter().zip(&labels.physical).enumerate() {
+            if i % stride != 0 {
+                continue;
+            }
+            rows.push(emb.row(node as usize).to_vec());
+            logs.push((phys / 1e-15).log10());
+        }
+        // Perplexity must stay well below the point count (tiny circuits
+        // would otherwise degenerate into one blob).
+        let perplexity = (rows.len() as f64 / 5.0).clamp(5.0, 30.0);
+        let points = tsne(
+            &rows,
+            &TsneConfig { iterations: 300, perplexity, ..TsneConfig::default() },
+        );
+        let spread = knn_label_spread(&points, &logs, 5.min(points.len().saturating_sub(1)));
+        // Random baseline: expected |Δlabel| over random pairs.
+        let mut random = 0.0;
+        let mut count = 0.0;
+        for i in 0..logs.len() {
+            for j in i + 1..logs.len() {
+                random += (logs[i] - logs[j]).abs();
+                count += 1.0;
+            }
+        }
+        let random = if count > 0.0 { random / count } else { 0.0 };
+        let separated = spread < random * 0.75;
+        println!(
+            "{:>8} {:>8} {:>14.3} {:>14.3} {:>10}",
+            pc.name,
+            points.len(),
+            spread,
+            random,
+            if separated { "yes" } else { "NO" }
+        );
+        out.push(json!({
+            "circuit": pc.name,
+            "knn_spread": spread,
+            "random_spread": random,
+            "points": points
+                .iter()
+                .zip(&logs)
+                .map(|((x, y), l)| json!([x, y, l]))
+                .collect::<Vec<_>>(),
+        }));
+    }
+    println!("\nexpected shape (paper): colours (log10 cap) are well separated in the");
+    println!("embedding, i.e. knn spread << random spread on every test circuit.");
+
+    write_json(
+        &harness.config.out_dir,
+        "fig8_tsne",
+        &json!({
+            "circuits": out,
+            "epochs": harness.config.epochs,
+            "scale": harness.config.scale,
+        }),
+    );
+}

@@ -1,0 +1,263 @@
+//! `paragraph` command-line tool: train, save, and apply parasitic
+//! predictors on SPICE netlists.
+//!
+//! ```text
+//! paragraph_cli generate --scale 0.3 --seed 7 --out circuits/
+//!     writes the synthetic dataset as SPICE decks + ground-truth JSON
+//!
+//! paragraph_cli train --target CAP --epochs 40 --model cap_model.json
+//!     trains a ParaGraph model on the synthetic dataset and saves it
+//!
+//! paragraph_cli predict --model cap_model.json --netlist my_design.sp
+//!     prints per-net (or per-device) predictions for a SPICE netlist
+//!
+//! paragraph_cli stats --netlist my_design.sp
+//!     prints circuit and graph statistics
+//!
+//! paragraph_cli erc --netlist my_design.sp
+//!     runs electrical rule checks (floating gates, dangling nets, ...)
+//! ```
+
+use std::path::PathBuf;
+
+use paragraph::{
+    build_graph, fit_norm, normalize_circuits, FitConfig, GnnKind, PreparedCircuit, SavedModel,
+    Target, TargetModel,
+};
+use paragraph_circuitgen::{paper_dataset, DatasetConfig, Split};
+use paragraph_layout::{extract, LayoutConfig};
+use paragraph_netlist::{parse_spice, write_flat_spice};
+use serde_json::json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+    let flags = Flags::parse(&args[1..]);
+    match command.as_str() {
+        "generate" => generate(&flags),
+        "train" => train(&flags),
+        "predict" => predict(&flags),
+        "stats" => stats(&flags),
+        "erc" => erc(&flags),
+        _ => usage(),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: paragraph_cli <generate|train|predict|stats> [flags]\n\
+         \n\
+         generate --scale <f> --seed <n> --out <dir>\n\
+         train    --target <CAP|SA|DA|SP|DP|LDE1..8|RES> --kind <name>\n\
+         \x20        --epochs <n> --scale <f> --model <file.json>\n\
+         predict  --model <file.json> --netlist <file.sp>\n\
+         stats    --netlist <file.sp>\n\
+         erc      --netlist <file.sp>"
+    );
+    std::process::exit(2)
+}
+
+struct Flags {
+    entries: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Self {
+        let mut entries = Vec::new();
+        let mut i = 0;
+        while i + 1 < args.len() + 1 {
+            let Some(key) = args.get(i) else { break };
+            let Some(key) = key.strip_prefix("--") else { usage() };
+            let Some(value) = args.get(i + 1) else { usage() };
+            entries.push((key.to_owned(), value.clone()));
+            i += 2;
+        }
+        Self { entries }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn f64_or(&self, key: &str, default: f64) -> f64 {
+        self.get(key).map(|v| v.parse().unwrap_or_else(|_| usage())).unwrap_or(default)
+    }
+
+    fn u64_or(&self, key: &str, default: u64) -> u64 {
+        self.get(key).map(|v| v.parse().unwrap_or_else(|_| usage())).unwrap_or(default)
+    }
+
+    fn required(&self, key: &str) -> &str {
+        self.get(key).unwrap_or_else(|| {
+            eprintln!("missing required flag --{key}");
+            usage()
+        })
+    }
+}
+
+fn parse_target(name: &str) -> Target {
+    Target::all_extended()
+        .into_iter()
+        .find(|t| t.name().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown target '{name}'");
+            usage()
+        })
+}
+
+fn parse_kind(name: &str) -> GnnKind {
+    GnnKind::all()
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown model kind '{name}'");
+            usage()
+        })
+}
+
+fn build_training_set(scale: f64, seed: u64) -> (Vec<PreparedCircuit>, paragraph::FeatureNorm) {
+    eprintln!("generating synthetic training dataset (scale {scale}, seed {seed})...");
+    let dataset = paper_dataset(DatasetConfig { scale, seed });
+    let layout = LayoutConfig::default();
+    let mut train: Vec<PreparedCircuit> = dataset
+        .into_iter()
+        .filter(|c| c.split == Split::Train)
+        .map(|c| PreparedCircuit::new(c.name, c.circuit, &layout))
+        .collect();
+    let norm = fit_norm(&train);
+    normalize_circuits(&mut train, &norm);
+    (train, norm)
+}
+
+fn generate(flags: &Flags) {
+    let scale = flags.f64_or("scale", 0.3);
+    let seed = flags.u64_or("seed", 2020);
+    let out = PathBuf::from(flags.get("out").unwrap_or("circuits"));
+    std::fs::create_dir_all(&out).expect("create output dir");
+    let layout = LayoutConfig::default();
+    for dc in paper_dataset(DatasetConfig { scale, seed }) {
+        let sp = out.join(format!("{}.sp", dc.name));
+        std::fs::write(&sp, write_flat_spice(&dc.circuit)).expect("write spice");
+        let truth = extract(&dc.circuit, &layout);
+        let labels = json!({
+            "circuit": dc.name,
+            "split": format!("{:?}", dc.split),
+            "net_cap_f": dc.circuit.nets().iter().enumerate().map(|(i, n)| {
+                json!({"net": n.name, "cap": truth.net_cap[i], "res": truth.net_res[i]})
+            }).collect::<Vec<_>>(),
+        });
+        let lj = out.join(format!("{}_truth.json", dc.name));
+        std::fs::write(&lj, serde_json::to_string_pretty(&labels).expect("json"))
+            .expect("write labels");
+        println!("wrote {} and {}", sp.display(), lj.display());
+    }
+}
+
+fn train(flags: &Flags) {
+    let target = parse_target(flags.get("target").unwrap_or("CAP"));
+    let kind = parse_kind(flags.get("kind").unwrap_or("ParaGraph"));
+    let model_path = PathBuf::from(flags.get("model").unwrap_or("model.json"));
+    let (train_set, norm) = build_training_set(
+        flags.f64_or("scale", 0.25),
+        flags.u64_or("seed", 2020),
+    );
+    let mut fit = FitConfig::new(kind);
+    fit.epochs = flags.u64_or("epochs", 40) as usize;
+    eprintln!("training {} model for {target} ({} epochs)...", kind.name(), fit.epochs);
+    let (model, loss) = TargetModel::train(&train_set, target, None, fit, &norm);
+    eprintln!("final loss {loss:.5}");
+    std::fs::write(&model_path, SavedModel::from_model(&model).to_json())
+        .expect("write model");
+    println!("model saved to {}", model_path.display());
+}
+
+fn load_netlist(path: &str) -> paragraph_netlist::Circuit {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1)
+    });
+    parse_spice(&text)
+        .unwrap_or_else(|e| {
+            eprintln!("parse error in {path}: {e}");
+            std::process::exit(1)
+        })
+        .flatten()
+        .unwrap_or_else(|e| {
+            eprintln!("flatten error in {path}: {e}");
+            std::process::exit(1)
+        })
+}
+
+fn predict(flags: &Flags) {
+    let model_json = std::fs::read_to_string(flags.required("model")).unwrap_or_else(|e| {
+        eprintln!("cannot read model: {e}");
+        std::process::exit(1)
+    });
+    let model = SavedModel::from_json(&model_json)
+        .and_then(SavedModel::into_model)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot load model: {e}");
+            std::process::exit(1)
+        });
+    let circuit = load_netlist(flags.required("netlist"));
+    let preds = model.predict_circuit(&circuit);
+    if model.target.on_nets() {
+        println!("{:<24} {:>14}", "net", format!("{} pred", model.target));
+        for (i, net) in circuit.nets().iter().enumerate() {
+            if let Some(p) = preds[i] {
+                let text = match model.target {
+                    Target::Cap => format!("{:.4} fF", p * 1e15),
+                    _ => format!("{:.2} ohm", p),
+                };
+                println!("{:<24} {:>14}", net.name, text);
+            }
+        }
+    } else {
+        println!("{:<24} {:>16}", "device", format!("{} pred", model.target));
+        for (i, dev) in circuit.devices().iter().enumerate() {
+            if let Some(p) = preds[i] {
+                println!("{:<24} {:>16.6e}", dev.name, p);
+            }
+        }
+    }
+}
+
+fn erc(flags: &Flags) {
+    let circuit = load_netlist(flags.required("netlist"));
+    let findings = paragraph_netlist::erc_check(&circuit);
+    if findings.is_empty() {
+        println!("erc clean: no findings");
+        return;
+    }
+    println!("{} erc finding(s):", findings.len());
+    for f in &findings {
+        println!("  {}", f.describe(&circuit));
+    }
+    std::process::exit(1);
+}
+
+fn stats(flags: &Flags) {
+    let circuit = load_netlist(flags.required("netlist"));
+    let k = circuit.kind_counts();
+    let cg = build_graph(&circuit);
+    println!("circuit: {}", circuit.name);
+    println!(
+        "  nets {} (signal {})   devices {}",
+        circuit.num_nets(),
+        k.net,
+        circuit.num_devices()
+    );
+    println!(
+        "  tran {}  tran_th {}  res {}  cap {}  bjt {}  dio {}",
+        k.tran, k.tran_th, k.res, k.cap, k.bjt, k.dio
+    );
+    println!(
+        "graph: {} nodes, {} directed edges over {} edge types",
+        cg.graph.num_nodes(),
+        cg.graph.num_edges(),
+        cg.graph.num_edge_types()
+    );
+}

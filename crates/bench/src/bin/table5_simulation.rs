@@ -1,0 +1,182 @@
+//! **Table V** — Simulation errors between pre-layout predictions and
+//! post-layout on 67 circuit metrics.
+//!
+//! For every testbench, the same netlist is simulated five times with
+//! different parasitic-capacitance annotations:
+//!
+//! 1. extracted ground truth (the post-layout reference),
+//! 2. no parasitics ("Layout w/o parasitics"),
+//! 3. the designer's fanout rule of thumb ("Designer's Estimation"),
+//! 4. XGBoost predictions,
+//! 5. ParaGraph predictions (the 4-model ensemble of Algorithm 2).
+//!
+//! Per-metric relative errors vs the reference are bucketed exactly like
+//! Table V, with mean and geometric-mean rows.
+
+use paragraph::{
+    BaselineKind, BaselineModel, CapEnsemble, GnnKind, PreparedCircuit, Target, TargetModel,
+    PAPER_MAX_V,
+};
+use paragraph_bench::testbench::{metric_count, table5_suite};
+use paragraph_bench::{write_json, Harness, HarnessConfig};
+use paragraph_layout::{designer_estimate, extract, LayoutConfig};
+use paragraph_ml::{geometric_mean, ErrorHistogram};
+use serde_json::json;
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    let harness = Harness::build(config);
+    let layout = LayoutConfig::default();
+
+    // --- train the predictors on t1-t18 -------------------------------
+    eprintln!("training XGB capacitance baseline...");
+    // The baseline gets its best configuration: log-space training
+    // (max_value = None) avoids the linear-scale small-cap collapse.
+    let xgb = BaselineModel::train(&harness.train, Target::Cap, None, BaselineKind::Xgb);
+    eprintln!("training ParaGraph capacitance ensemble (4 models)...");
+    let mut members = Vec::new();
+    for (i, &max_v) in PAPER_MAX_V.iter().enumerate() {
+        let mut fit = harness.config.fit(GnnKind::ParaGraph, 0);
+        fit.seed ^= (i as u64 + 1) << 40;
+        let (m, _) =
+            TargetModel::train(&harness.train, Target::Cap, Some(max_v), fit, &harness.norm);
+        members.push(m);
+    }
+    let ensemble = CapEnsemble::new(members);
+
+    // --- run the suite --------------------------------------------------
+    let suite = table5_suite();
+    eprintln!(
+        "simulating {} testbenches / {} metrics x 5 annotations...",
+        suite.len(),
+        metric_count(&suite)
+    );
+    let method_names = ["Layout w/o parasitics", "Designer's Estimation", "Prediction w/ XGB",
+        "Prediction w/ ParaGraph"];
+    let mut errors: [Vec<f64>; 4] = Default::default();
+    let mut skipped = 0_usize;
+    let mut metric_rows = Vec::new();
+
+    for tb in &suite {
+        // Ground truth + per-method cap annotations for this testbench.
+        let truth = extract(&tb.circuit, &layout);
+        let pc = {
+            let mut pc = PreparedCircuit::new(tb.name.clone(), tb.circuit.clone(), &layout);
+            pc.graph.normalize(&harness.norm);
+            pc
+        };
+        let designer = designer_estimate(&tb.circuit, harness.config.seed ^ 0xD51);
+        let xgb_caps = {
+            let mut caps = vec![None; tb.circuit.num_nets()];
+            for (node, value) in xgb.predict_labelled(&pc) {
+                if let Some(net) = pc.graph.net_of_node[node as usize] {
+                    caps[net.0 as usize] = Some(value);
+                }
+            }
+            caps
+        };
+        let pg_caps = ensemble.predict_graph(&tb.circuit, &pc.graph);
+        let none_caps = vec![None; tb.circuit.num_nets()];
+
+        let reference = match tb.run(&truth.net_cap) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("  {}: reference simulation failed ({e}); skipping", tb.name);
+                skipped += tb.metrics.len();
+                continue;
+            }
+        };
+        let annotations = [&none_caps, &designer, &xgb_caps, &pg_caps];
+        let mut per_method: Vec<Vec<Option<f64>>> = Vec::new();
+        for caps in annotations {
+            per_method.push(tb.run(caps).unwrap_or_else(|_| vec![None; tb.metrics.len()]));
+        }
+        for (mi, metric) in tb.metrics.iter().enumerate() {
+            let Some(reference_v) = reference[mi] else {
+                skipped += 1;
+                continue;
+            };
+            if reference_v.abs() < 1e-15 {
+                skipped += 1;
+                continue;
+            }
+            let mut row = json!({
+                "testbench": tb.name,
+                "metric": metric.label(),
+                "reference": reference_v,
+            });
+            for (k, vals) in per_method.iter().enumerate() {
+                // A metric the annotated sim cannot even produce counts as
+                // a 100 % miss.
+                // Floor at 0.2 % (measurement resolution) so cap-
+                // insensitive metrics don't collapse the geometric mean.
+                let err = match vals[mi] {
+                    Some(v) => ((v - reference_v) / reference_v).abs().max(0.002),
+                    None => 1.0,
+                };
+                errors[k].push(err);
+                row[method_names[k]] = json!(err);
+            }
+            metric_rows.push(row);
+        }
+    }
+
+    // --- Table V ---------------------------------------------------------
+    let total = errors[0].len();
+    println!("\nTable V: simulation errors on {total} circuit metrics (paper: 67)");
+    if skipped > 0 {
+        println!("({skipped} metrics skipped: reference not measurable)");
+    }
+    print!("{:>14}", "Error Range");
+    for name in method_names {
+        print!(" {name:>22}");
+    }
+    println!();
+    let hists: Vec<ErrorHistogram> = errors
+        .iter()
+        .map(|e| ErrorHistogram::from_relative_errors(e.iter()))
+        .collect();
+    for (bi, label) in ErrorHistogram::labels().iter().enumerate() {
+        print!("{label:>14}");
+        for h in &hists {
+            print!(" {:>22}", h.buckets[bi]);
+        }
+        println!();
+    }
+    print!("{:>14}", "Mean");
+    let means: Vec<f64> = errors
+        .iter()
+        .map(|e| e.iter().sum::<f64>() / e.len().max(1) as f64 * 100.0)
+        .collect();
+    for m in &means {
+        print!(" {:>21.2}%", m);
+    }
+    println!();
+    print!("{:>14}", "Geometric Mean");
+    let geos: Vec<f64> = errors.iter().map(|e| geometric_mean(e) * 100.0).collect();
+    for g in &geos {
+        print!(" {:>21.2}%", g);
+    }
+    println!();
+
+    println!("\nexpected shape (paper: mean 37.75% / >100% / 32.14% / 9.60%;");
+    println!("geomean 29.01% / 43.57% / 15.46% / 4.00%): ParaGraph has the most");
+    println!("metrics under 10% and the smallest mean + geometric mean.");
+
+    write_json(
+        &harness.config.out_dir,
+        "table5_simulation",
+        &json!({
+            "methods": method_names,
+            "buckets": ErrorHistogram::labels(),
+            "histograms": hists.iter().map(|h| h.buckets.to_vec()).collect::<Vec<_>>(),
+            "mean_pct": means,
+            "geomean_pct": geos,
+            "total_metrics": total,
+            "skipped": skipped,
+            "metrics": metric_rows,
+            "epochs": harness.config.epochs,
+            "scale": harness.config.scale,
+        }),
+    );
+}

@@ -1,0 +1,206 @@
+//! Experiment harness shared by the per-table/per-figure binaries.
+//!
+//! Every binary in `src/bin/` reproduces one artifact of the paper
+//! (Table IV, Figure 5, Figure 6, Figure 7, Figure 8, Table V, plus the
+//! layer-depth sweep the paper mentions and a component ablation). They
+//! share the dataset build, normalisation, and result-output plumbing
+//! defined here.
+//!
+//! All binaries accept the same flags:
+//!
+//! ```text
+//! --scale <f64>    dataset size multiplier        (default 0.35)
+//! --epochs <n>     GNN training epochs            (default 60)
+//! --runs <n>       repetitions for averaged stats (default 1)
+//! --seed <n>       master seed                    (default 2020)
+//! --embed <n>      embedding width F              (default 32)
+//! --layers <n>     message-passing depth L        (default 5)
+//! --out <dir>      results directory              (default results)
+//! --full           paper-scale preset (scale 1.0, epochs 120, runs 3)
+//! --quick          smoke-test preset
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod plot;
+pub mod testbench;
+
+use std::path::{Path, PathBuf};
+
+use paragraph::{
+    fit_norm, normalize_circuits, FeatureNorm, FitConfig, GnnKind, PreparedCircuit,
+};
+use paragraph_circuitgen::{paper_dataset, DatasetConfig, Split};
+use paragraph_layout::LayoutConfig;
+
+/// Command-line configuration shared by every experiment binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessConfig {
+    /// Dataset size multiplier (1.0 = the scaled-down "paper-like" size).
+    pub scale: f64,
+    /// Training epochs per model.
+    pub epochs: usize,
+    /// Number of repeated runs (different seeds) for averaged metrics.
+    pub runs: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Embedding width `F`.
+    pub embed_dim: usize,
+    /// Message-passing depth `L`.
+    pub layers: usize,
+    /// Output directory for JSON result files.
+    pub out_dir: PathBuf,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self {
+            scale: 0.35,
+            epochs: 60,
+            runs: 1,
+            seed: 2020,
+            embed_dim: 32,
+            layers: 5,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Parses `std::env::args()`; unknown flags abort with a usage
+    /// message.
+    pub fn from_args() -> Self {
+        let mut cfg = Self::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let take = |i: &mut usize| -> String {
+                *i += 1;
+                args.get(*i).cloned().unwrap_or_else(|| usage_and_exit())
+            };
+            match args[i].as_str() {
+                "--scale" => cfg.scale = take(&mut i).parse().unwrap_or_else(|_| usage_and_exit()),
+                "--epochs" => cfg.epochs = take(&mut i).parse().unwrap_or_else(|_| usage_and_exit()),
+                "--runs" => cfg.runs = take(&mut i).parse().unwrap_or_else(|_| usage_and_exit()),
+                "--seed" => cfg.seed = take(&mut i).parse().unwrap_or_else(|_| usage_and_exit()),
+                "--embed" => {
+                    cfg.embed_dim = take(&mut i).parse().unwrap_or_else(|_| usage_and_exit())
+                }
+                "--layers" => cfg.layers = take(&mut i).parse().unwrap_or_else(|_| usage_and_exit()),
+                "--out" => cfg.out_dir = PathBuf::from(take(&mut i)),
+                "--full" => {
+                    cfg.scale = 1.0;
+                    cfg.epochs = 120;
+                    cfg.runs = 3;
+                }
+                "--quick" => {
+                    cfg.scale = 0.15;
+                    cfg.epochs = 15;
+                    cfg.runs = 1;
+                }
+                _ => usage_and_exit(),
+            }
+            i += 1;
+        }
+        cfg
+    }
+
+    /// Fit settings for one model of `kind` on run `run`.
+    pub fn fit(&self, kind: GnnKind, run: usize) -> FitConfig {
+        FitConfig {
+            embed_dim: self.embed_dim,
+            layers: self.layers,
+            epochs: self.epochs,
+            seed: self.seed ^ (run as u64 + 1).wrapping_mul(0x5DEE_CE66D),
+            ..FitConfig::new(kind)
+        }
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: <experiment> [--scale f] [--epochs n] [--runs n] [--seed n] \
+         [--embed n] [--layers n] [--out dir] [--full] [--quick]"
+    );
+    std::process::exit(2)
+}
+
+/// The prepared dataset: normalised train/test circuits plus the fitted
+/// feature statistics.
+#[derive(Debug)]
+pub struct Harness {
+    /// The configuration the harness was built with.
+    pub config: HarnessConfig,
+    /// Training circuits (`t1`–`t18`).
+    pub train: Vec<PreparedCircuit>,
+    /// Testing circuits (`e1`–`e4`).
+    pub test: Vec<PreparedCircuit>,
+    /// Fitted feature normalisation.
+    pub norm: FeatureNorm,
+}
+
+impl Harness {
+    /// Generates the dataset, synthesises layouts, builds graphs, and
+    /// normalises features.
+    pub fn build(config: HarnessConfig) -> Self {
+        let dataset = paper_dataset(DatasetConfig { scale: config.scale, seed: config.seed });
+        let layout = LayoutConfig::default();
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for dc in dataset {
+            let pc = PreparedCircuit::new(dc.name.clone(), dc.circuit, &layout);
+            match dc.split {
+                Split::Train => train.push(pc),
+                Split::Test => test.push(pc),
+            }
+        }
+        let norm = fit_norm(&train);
+        normalize_circuits(&mut train, &norm);
+        normalize_circuits(&mut test, &norm);
+        Self { config, train, test, norm }
+    }
+
+    /// Total devices across both splits.
+    pub fn total_devices(&self) -> usize {
+        self.train
+            .iter()
+            .chain(&self.test)
+            .map(|pc| pc.circuit.num_devices())
+            .sum()
+    }
+}
+
+/// Writes a JSON value into `<out_dir>/<name>.json`, creating the
+/// directory if needed.
+pub fn write_json(out_dir: &Path, name: &str, value: &serde_json::Value) {
+    std::fs::create_dir_all(out_dir).expect("create results dir");
+    let path = out_dir.join(format!("{name}.json"));
+    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialisable"))
+        .expect("write results file");
+    println!("[results written to {}]", path.display());
+}
+
+/// Formats a farad value as engineering text (fF-centric).
+pub fn fmt_ff(farads: f64) -> String {
+    format!("{:.3} fF", farads * 1e15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_builds_tiny_dataset() {
+        let cfg = HarnessConfig { scale: 0.08, epochs: 1, ..HarnessConfig::default() };
+        let h = Harness::build(cfg);
+        assert_eq!(h.train.len(), 18);
+        assert_eq!(h.test.len(), 4);
+        assert!(h.total_devices() > 300);
+    }
+
+    #[test]
+    fn fit_seed_varies_per_run() {
+        let cfg = HarnessConfig::default();
+        assert_ne!(cfg.fit(GnnKind::Gcn, 0).seed, cfg.fit(GnnKind::Gcn, 1).seed);
+    }
+}

@@ -1,0 +1,125 @@
+//! Terminal scatter plots for the figure binaries.
+//!
+//! Renders predicted-vs-truth clouds on log-log axes the way the paper's
+//! Figures 5 and 7 do, so the shape (diagonal tightness, low-end fan-out)
+//! is visible directly in the experiment output.
+
+/// Renders a log-log scatter of `(truth, prediction)` pairs.
+///
+/// Both axes span the data range; the diagonal (perfect prediction) is
+/// drawn with `\\` marks, data with `o` (and `@` where many points
+/// overlap). Non-positive values are clamped to the axis minimum.
+pub fn log_scatter(title: &str, pairs: &[(f64, f64)], width: usize, height: usize) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if pairs.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let floor = 1e-30;
+    let logs: Vec<(f64, f64)> = pairs
+        .iter()
+        .map(|&(t, p)| (t.max(floor).log10(), p.max(floor).log10()))
+        .collect();
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(t, p) in &logs {
+        lo = lo.min(t).min(p);
+        hi = hi.max(t).max(p);
+    }
+    if !(hi - lo).is_finite() || hi - lo < 1e-9 {
+        hi = lo + 1.0;
+    }
+    let span = hi - lo;
+    let cell = |v: f64, n: usize| -> usize {
+        (((v - lo) / span) * (n - 1) as f64).round().clamp(0.0, (n - 1) as f64) as usize
+    };
+
+    let mut grid = vec![vec![0_u32; width]; height];
+    for &(t, p) in &logs {
+        let col = cell(t, width);
+        let row = height - 1 - cell(p, height);
+        grid[row][col] += 1;
+    }
+    for (r, row) in grid.iter().enumerate() {
+        let y_val = hi - span * r as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y_val:>7.1} |"));
+        for (c, &count) in row.iter().enumerate() {
+            // Diagonal marker where truth == prediction.
+            let diag_row = height - 1 - cell(lo + span * c as f64 / (width - 1) as f64, height);
+            let ch = match count {
+                0 if diag_row == r => '\\',
+                0 => ' ',
+                1..=2 => 'o',
+                _ => '@',
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>8}", " "));
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>8}{:<width$}\n",
+        " ",
+        format!("log10 truth: {lo:.1} .. {hi:.1} (y = log10 prediction)"),
+    ));
+    out
+}
+
+/// Renders a horizontal bar chart (used for Figure 6-style comparisons).
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let max = rows.iter().map(|(_, v)| v.abs()).fold(1e-12, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(4);
+    for (label, value) in rows {
+        let n = ((value.abs() / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "  {label:<label_w$} {}{} {value:.3}\n",
+            if *value < 0.0 { "-" } else { " " },
+            "#".repeat(n),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_renders_requested_size() {
+        let pairs: Vec<(f64, f64)> = (1..50)
+            .map(|i| (i as f64 * 1e-15, i as f64 * 1.1e-15))
+            .collect();
+        let s = log_scatter("test", &pairs, 40, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 13); // title + 10 rows + axis + label
+        assert!(s.contains('o') || s.contains('@'));
+    }
+
+    #[test]
+    fn perfect_predictions_sit_near_diagonal() {
+        let pairs: Vec<(f64, f64)> = (1..100).map(|i| (i as f64, i as f64)).collect();
+        let s = log_scatter("diag", &pairs, 30, 12);
+        // The diagonal itself is covered by data, so few '\\' marks remain.
+        let diag_marks = s.matches('\\').count();
+        assert!(diag_marks < 12, "{s}");
+    }
+
+    #[test]
+    fn empty_input_is_handled() {
+        assert!(log_scatter("t", &[], 10, 5).contains("no data"));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let rows = vec![("a".to_owned(), 1.0), ("bb".to_owned(), 0.5)];
+        let s = bar_chart("t", &rows, 20);
+        assert!(s.contains(&"#".repeat(20)));
+        assert!(s.contains(&"#".repeat(10)));
+    }
+}

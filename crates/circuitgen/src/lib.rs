@@ -1,0 +1,40 @@
+//! Synthetic analog/mixed-signal circuit generation.
+//!
+//! Substitutes the proprietary industrial dataset the ParaGraph paper
+//! trained on (Table IV): deterministic, seeded generators emit recurring
+//! circuit structures — op-amps, mirrors, comparators, level shifters,
+//! inverter fabrics — composed into chip-scale circuits with realistic
+//! device-kind mixes, split into 18 training and 4 testing chips.
+//!
+//! * [`ChipBuilder`] — emits individual blocks into a flat circuit;
+//! * [`compose_chip`] — composes a weighted block family into a chip;
+//! * [`paper_dataset`] — the full Table IV-style dataset.
+//!
+//! # Examples
+//!
+//! ```
+//! use paragraph_circuitgen::{paper_dataset, DatasetConfig};
+//!
+//! let data = paper_dataset(DatasetConfig::tiny());
+//! let total: usize = data.iter().map(|c| c.circuit.num_devices()).sum();
+//! assert!(total > 500);
+//! ```
+
+#![warn(missing_docs)]
+
+mod blocks;
+mod dataset;
+mod sizing;
+
+pub use blocks::ChipBuilder;
+pub use dataset::{
+    compose_chip, grow_chip, paper_dataset, BlockKind, DatasetCircuit, DatasetConfig, Family, Split,
+    FAMILY_ANALOG, FAMILY_DAC, FAMILY_DIGITAL, FAMILY_IO, FAMILY_MEM, FAMILY_PLL, FAMILY_PMU,
+    FAMILY_REF,
+};
+pub use sizing::{Sizer, TechSizing};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::{paper_dataset, ChipBuilder, DatasetCircuit, DatasetConfig, Split};
+}

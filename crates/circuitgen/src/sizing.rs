@@ -1,0 +1,175 @@
+//! Randomised device sizing, mimicking the sizing distributions of
+//! industrial sub-10 nm analog/mixed-signal schematics.
+
+use paragraph_netlist::DeviceParams;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Samples a standard normal variate via the Box–Muller transform.
+pub fn sample_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `exp(mu + sigma * Z)` with `Z ~ N(0, 1)`.
+pub fn sample_lognormal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * sample_normal(rng)).exp()
+}
+
+/// Process-like sizing constants for the synthetic technology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechSizing {
+    /// Thin-oxide gate lengths to draw from (metres).
+    pub thin_lengths: [f64; 3],
+    /// Thick-gate lengths (metres).
+    pub thick_lengths: [f64; 2],
+    /// Fin pitch (metres) — converts fin count to effective width.
+    pub fin_pitch: f64,
+}
+
+impl Default for TechSizing {
+    fn default() -> Self {
+        Self {
+            thin_lengths: [16e-9, 20e-9, 28e-9],
+            thick_lengths: [150e-9, 270e-9],
+            fin_pitch: 48e-9,
+        }
+    }
+}
+
+/// Draws randomised but realistic device parameters.
+#[derive(Debug)]
+pub struct Sizer {
+    tech: TechSizing,
+    /// Log-normal `(mu, sigma)` over resistor values, centred at 10 kΩ.
+    res_dist: (f64, f64),
+    /// Log-normal `(mu, sigma)` over capacitor values, centred at 50 fF.
+    cap_dist: (f64, f64),
+}
+
+impl Sizer {
+    /// Creates a sizer for the default synthetic technology.
+    pub fn new() -> Self {
+        Self {
+            tech: TechSizing::default(),
+            res_dist: (10_000.0_f64.ln(), 1.2),
+            cap_dist: (50e-15_f64.ln(), 1.5),
+        }
+    }
+
+    /// The sizing constants in use.
+    pub fn tech(&self) -> TechSizing {
+        self.tech
+    }
+
+    /// Random thin-oxide transistor parameters.
+    ///
+    /// `strength` in `[0, 1]` biases towards bigger devices (drivers get
+    /// higher strength than bias devices).
+    pub fn mosfet(&self, rng: &mut StdRng, strength: f64) -> DeviceParams {
+        let l = self.tech.thin_lengths[rng.random_range(0..self.tech.thin_lengths.len())];
+        let max_fin = 4 + (strength * 12.0) as u32;
+        let nfin = rng.random_range(1..=max_fin.max(2));
+        let nf = *[1_u32, 1, 2, 2, 4, 8]
+            [..if strength > 0.5 { 6 } else { 4 }]
+            .get(rng.random_range(0..if strength > 0.5 { 6 } else { 4 }))
+            .unwrap_or(&1);
+        let multi = if strength > 0.8 && rng.random_bool(0.3) { 2 } else { 1 };
+        DeviceParams {
+            l,
+            w: nfin as f64 * self.tech.fin_pitch,
+            nf,
+            nfin,
+            multi,
+            value: 0.0,
+        }
+    }
+
+    /// Random thick-gate (I/O) transistor parameters.
+    pub fn thick_mosfet(&self, rng: &mut StdRng, strength: f64) -> DeviceParams {
+        let l = self.tech.thick_lengths[rng.random_range(0..self.tech.thick_lengths.len())];
+        let nfin = rng.random_range(2..=(6 + (strength * 20.0) as u32));
+        let nf = [1_u32, 2, 4][rng.random_range(0..3)];
+        DeviceParams {
+            l,
+            w: nfin as f64 * self.tech.fin_pitch,
+            nf,
+            nfin,
+            multi: 1,
+            value: 0.0,
+        }
+    }
+
+    /// Random resistor value (ohms) and length.
+    pub fn resistor(&self, rng: &mut StdRng) -> (f64, f64) {
+        let ohms = sample_lognormal(rng, self.res_dist.0, self.res_dist.1).clamp(100.0, 1e6);
+        // Length roughly proportional to resistance in this fabric.
+        let length = 0.5e-6 * (ohms / 1_000.0).sqrt();
+        (ohms, length)
+    }
+
+    /// Random capacitor value (farads) and multiplier.
+    pub fn capacitor(&self, rng: &mut StdRng) -> (f64, u32) {
+        let farads = sample_lognormal(rng, self.cap_dist.0, self.cap_dist.1).clamp(0.5e-15, 5e-12);
+        let multi = if farads > 500e-15 { rng.random_range(1..=4) } else { 1 };
+        (farads, multi)
+    }
+}
+
+impl Default for Sizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mosfet_sizes_in_range() {
+        let sizer = Sizer::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let p = sizer.mosfet(&mut rng, 1.0);
+            assert!(p.nfin >= 1 && p.nfin <= 16);
+            assert!([1, 2, 4, 8].contains(&p.nf));
+            assert!(p.l >= 16e-9 && p.l <= 28e-9);
+            assert!(p.w > 0.0);
+        }
+    }
+
+    #[test]
+    fn thick_mosfet_uses_thick_lengths() {
+        let sizer = Sizer::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let p = sizer.thick_mosfet(&mut rng, 0.5);
+            assert!(p.l >= 150e-9);
+        }
+    }
+
+    #[test]
+    fn passives_within_clamps() {
+        let sizer = Sizer::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let (r, l) = sizer.resistor(&mut rng);
+            assert!((100.0..=1e6).contains(&r));
+            assert!(l > 0.0);
+            let (c, m) = sizer.capacitor(&mut rng);
+            assert!((0.5e-15..=5e-12).contains(&c));
+            assert!(m >= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let sizer = Sizer::new();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(sizer.mosfet(&mut a, 0.5), sizer.mosfet(&mut b, 0.5));
+    }
+}

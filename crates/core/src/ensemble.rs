@@ -1,0 +1,182 @@
+//! Ensemble modelling for net parasitic capacitance (paper §IV,
+//! Algorithm 2).
+//!
+//! A single model trained over the full 0.01 fF – 10 pF range treats small
+//! capacitances as noise; the paper instead trains several models with
+//! increasing maximum prediction values (`max_v` = 1 fF, 10 fF, 100 fF,
+//! 10 pF) and, per net, keeps the highest-range model whose prediction
+//! exceeds the next-lower range boundary.
+
+use paragraph_netlist::Circuit;
+
+use crate::graphbuild::CircuitGraph;
+use crate::pipeline::{PreparedCircuit, TargetModel};
+use crate::targets::Target;
+
+/// The paper's `max_v` ladder: 1 fF, 10 fF, 100 fF, 10 pF.
+pub const PAPER_MAX_V: [f64; 4] = [1e-15, 10e-15, 100e-15, 10e-12];
+
+/// An ensemble of capacitance models with increasing `max_v`
+/// (Algorithm 2).
+#[derive(Debug, Clone)]
+pub struct CapEnsemble {
+    /// Member models, sorted by ascending `max_v`.
+    models: Vec<TargetModel>,
+}
+
+impl CapEnsemble {
+    /// Builds an ensemble from capacitance models; sorts members by
+    /// `max_v` ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two models are given, any model is not a CAP
+    /// model, or any lacks a `max_value`.
+    pub fn new(mut models: Vec<TargetModel>) -> Self {
+        assert!(models.len() >= 2, "an ensemble needs at least two models");
+        assert!(
+            models.iter().all(|m| m.target == Target::Cap && m.max_value.is_some()),
+            "ensemble members must be CAP models with max_v set"
+        );
+        models.sort_by(|a, b| {
+            a.max_value
+                .partial_cmp(&b.max_value)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Self { models }
+    }
+
+    /// Member models, ascending `max_v`.
+    pub fn members(&self) -> &[TargetModel] {
+        &self.models
+    }
+
+    /// Algorithm 2 on a single net's per-model predictions (ascending
+    /// `max_v` order): start from the smallest-range model and move up
+    /// whenever a higher-range model predicts beyond the previous range.
+    pub fn select(&self, per_model: &[f64]) -> f64 {
+        assert_eq!(per_model.len(), self.models.len(), "one prediction per member");
+        let mut p = per_model[0];
+        #[allow(clippy::needless_range_loop)] // i-1 lookback drives the loop
+        for i in 1..per_model.len() {
+            let prev_max = self.models[i - 1].max_value.expect("max_v set");
+            if per_model[i] > prev_max {
+                p = per_model[i];
+            }
+        }
+        p
+    }
+
+    /// Predicts every net's capacitance of a prepared circuit (indexed by
+    /// net id, `None` on rails), applying Algorithm 2 per net.
+    pub fn predict_graph(&self, circuit: &Circuit, cg: &CircuitGraph) -> Vec<Option<f64>> {
+        let per_model: Vec<Vec<Option<f64>>> = self
+            .models
+            .iter()
+            .map(|m| m.predict_graph(circuit, cg))
+            .collect();
+        (0..circuit.num_nets())
+            .map(|net| {
+                let preds: Option<Vec<f64>> =
+                    per_model.iter().map(|pm| pm[net]).collect();
+                preds.map(|p| self.select(&p))
+            })
+            .collect()
+    }
+
+    /// Convenience for a [`PreparedCircuit`].
+    pub fn predict(&self, pc: &PreparedCircuit) -> Vec<Option<f64>> {
+        self.predict_graph(&pc.circuit, &pc.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureNorm;
+    use crate::pipeline::{FitConfig, GnnKind};
+    use paragraph_layout::LayoutConfig;
+    use paragraph_netlist::parse_spice;
+
+    fn tiny_models(max_vs: &[f64]) -> Vec<TargetModel> {
+        let c = parse_spice("mp o i vdd vdd pch\nmn o i vss vss nch\n.end\n")
+            .unwrap()
+            .flatten()
+            .unwrap();
+        let prepared = vec![PreparedCircuit::new("t", c, &LayoutConfig::default())];
+        max_vs
+            .iter()
+            .map(|&mv| {
+                let mut fit = FitConfig::quick(GnnKind::Gcn);
+                fit.epochs = 2;
+                fit.embed_dim = 4;
+                fit.layers = 1;
+                TargetModel::train(&prepared, Target::Cap, Some(mv), fit, &FeatureNorm::identity()).0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn members_sorted_ascending() {
+        let models = tiny_models(&[10e-15, 1e-15, 100e-15]);
+        let ens = CapEnsemble::new(models);
+        let maxes: Vec<f64> = ens.members().iter().map(|m| m.max_value.unwrap()).collect();
+        assert_eq!(maxes, vec![1e-15, 10e-15, 100e-15]);
+    }
+
+    /// The paper's worked example: if the 10 fF model predicts 2.5 fF
+    /// (above the 1 fF model's max), it is preferred over the 1 fF model.
+    #[test]
+    fn algorithm2_paper_example() {
+        let ens = CapEnsemble::new(tiny_models(&[1e-15, 10e-15]));
+        let picked = ens.select(&[0.4e-15, 2.5e-15]);
+        assert_eq!(picked, 2.5e-15);
+        // But if the 10 fF model predicts below 1 fF, keep the 1 fF model.
+        let picked = ens.select(&[0.4e-15, 0.7e-15]);
+        assert_eq!(picked, 0.4e-15);
+    }
+
+    #[test]
+    fn selection_is_a_member_prediction() {
+        let ens = CapEnsemble::new(tiny_models(&[1e-15, 10e-15, 100e-15]));
+        for preds in [
+            [0.5e-15, 5e-15, 50e-15],
+            [0.5e-15, 0.5e-15, 0.5e-15],
+            [2e-15, 0.2e-15, 500e-15],
+        ] {
+            let p = ens.select(&preds);
+            assert!(preds.contains(&p));
+        }
+    }
+
+    #[test]
+    fn higher_models_win_only_beyond_boundary() {
+        let ens = CapEnsemble::new(tiny_models(&[1e-15, 10e-15, 100e-15]));
+        // Third model predicts 50 fF > 10 fF boundary: wins.
+        assert_eq!(ens.select(&[0.1e-15, 0.2e-15, 50e-15]), 50e-15);
+        // Third model predicts 5 fF < 10 fF boundary, second predicts
+        // 3 fF > 1 fF: second wins.
+        assert_eq!(ens.select(&[0.1e-15, 3e-15, 5e-15]), 3e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two models")]
+    fn rejects_single_model() {
+        let _ = CapEnsemble::new(tiny_models(&[1e-15]));
+    }
+
+    #[test]
+    fn predict_covers_signal_nets() {
+        let ens = CapEnsemble::new(tiny_models(&[1e-15, 10e-15]));
+        let c = parse_spice("mp o i vdd vdd pch\nmn o i vss vss nch\n.end\n")
+            .unwrap()
+            .flatten()
+            .unwrap();
+        let pc = PreparedCircuit::new("t", c, &LayoutConfig::default());
+        let preds = ens.predict(&pc);
+        let vdd = pc.circuit.find_net("vdd").unwrap();
+        assert!(preds[vdd.0 as usize].is_none());
+        let o = pc.circuit.find_net("o").unwrap();
+        assert!(preds[o.0 as usize].unwrap() > 0.0);
+    }
+}

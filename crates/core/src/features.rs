@@ -1,0 +1,246 @@
+//! Node types and input features (paper Table II).
+//!
+//! Each device class is a node type with its own feature vector; nets are a
+//! node type whose single feature is fanout. Raw features are log-scaled
+//! (sizes span decades) and z-normalised with statistics computed on the
+//! training set.
+
+use paragraph_netlist::{Device, DeviceKind};
+use serde::{Deserialize, Serialize};
+
+/// Node types of the heterogeneous circuit graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NodeType {
+    /// Signal net.
+    Net,
+    /// Thin-oxide transistor.
+    Transistor,
+    /// Thick-gate transistor (`transistor_thickgate` in Table II).
+    TransistorThick,
+    /// Resistor.
+    Resistor,
+    /// Capacitor.
+    Capacitor,
+    /// Diode.
+    Diode,
+    /// Bipolar transistor.
+    Bjt,
+}
+
+impl NodeType {
+    /// All node types, index order = graph type id.
+    pub const ALL: [NodeType; 7] = [
+        NodeType::Net,
+        NodeType::Transistor,
+        NodeType::TransistorThick,
+        NodeType::Resistor,
+        NodeType::Capacitor,
+        NodeType::Diode,
+        NodeType::Bjt,
+    ];
+
+    /// Graph type id.
+    pub fn id(self) -> u16 {
+        Self::ALL.iter().position(|t| *t == self).expect("in ALL") as u16
+    }
+
+    /// Node type of a device.
+    pub fn of_device(kind: DeviceKind) -> Self {
+        match kind {
+            DeviceKind::Mosfet { thick_gate: false, .. } => NodeType::Transistor,
+            DeviceKind::Mosfet { thick_gate: true, .. } => NodeType::TransistorThick,
+            DeviceKind::Resistor => NodeType::Resistor,
+            DeviceKind::Capacitor => NodeType::Capacitor,
+            DeviceKind::Diode => NodeType::Diode,
+            DeviceKind::Bjt { .. } => NodeType::Bjt,
+        }
+    }
+
+    /// Input feature width of this node type (Table II).
+    pub fn feat_dim(self) -> usize {
+        match self {
+            NodeType::Net => 1,                   // fanout
+            NodeType::Transistor => 4,            // L, NF, NFIN, MULTI
+            NodeType::TransistorThick => 4,       // L, NF, NFIN, MULTI
+            NodeType::Resistor => 1,              // L
+            NodeType::Capacitor => 1,             // MULTI
+            NodeType::Diode => 1,                 // NF
+            NodeType::Bjt => 1,                   // constant
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeType::Net => "net",
+            NodeType::Transistor => "transistor",
+            NodeType::TransistorThick => "transistor_thick",
+            NodeType::Resistor => "resistor",
+            NodeType::Capacitor => "capacitor",
+            NodeType::Diode => "diode",
+            NodeType::Bjt => "bjt",
+        }
+    }
+}
+
+/// Raw (pre-normalisation) feature vector of a device, log-scaled.
+pub fn device_features(device: &Device) -> Vec<f32> {
+    let p = &device.params;
+    let log = |v: f64| (1.0 + v).ln() as f32;
+    match NodeType::of_device(device.kind) {
+        NodeType::Transistor | NodeType::TransistorThick => vec![
+            (p.l / 1e-9).max(1.0).log10() as f32, // length in log-nm
+            log(p.nf as f64),
+            log(p.nfin as f64),
+            log(p.multi as f64),
+        ],
+        NodeType::Resistor => vec![(p.l / 1e-9).max(1.0).log10() as f32],
+        NodeType::Capacitor => vec![log(p.multi as f64)],
+        NodeType::Diode => vec![log(p.nf as f64)],
+        NodeType::Bjt => vec![1.0],
+        NodeType::Net => unreachable!("nets are not devices"),
+    }
+}
+
+/// Raw feature of a net: `ln(1 + fanout)`.
+pub fn net_features(fanout: usize) -> Vec<f32> {
+    vec![(1.0 + fanout as f32).ln()]
+}
+
+/// Per-node-type z-normalisation statistics, fitted on the training set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureNorm {
+    /// Per type: per-feature mean.
+    pub mean: Vec<Vec<f32>>,
+    /// Per type: per-feature standard deviation (floored at 1e-6).
+    pub std: Vec<Vec<f32>>,
+}
+
+impl FeatureNorm {
+    /// Identity normalisation for the standard schema.
+    pub fn identity() -> Self {
+        let mean = NodeType::ALL.iter().map(|t| vec![0.0; t.feat_dim()]).collect();
+        let std = NodeType::ALL.iter().map(|t| vec![1.0; t.feat_dim()]).collect();
+        Self { mean, std }
+    }
+
+    /// Fits means/stds over per-type raw feature rows.
+    /// `rows[t]` holds all rows of node type `t` across the training set.
+    pub fn fit(rows: &[Vec<Vec<f32>>]) -> Self {
+        let mut norm = Self::identity();
+        for (t, type_rows) in rows.iter().enumerate() {
+            if type_rows.is_empty() {
+                continue;
+            }
+            let d = type_rows[0].len();
+            let n = type_rows.len() as f32;
+            let mut mean = vec![0.0_f32; d];
+            for row in type_rows {
+                for (m, v) in mean.iter_mut().zip(row) {
+                    *m += v;
+                }
+            }
+            for m in mean.iter_mut() {
+                *m /= n;
+            }
+            let mut var = vec![0.0_f32; d];
+            for row in type_rows {
+                for ((s, v), m) in var.iter_mut().zip(row).zip(&mean) {
+                    *s += (v - m) * (v - m);
+                }
+            }
+            let std: Vec<f32> = var.iter().map(|s| (s / n).sqrt().max(1e-6)).collect();
+            norm.mean[t] = mean;
+            norm.std[t] = std;
+        }
+        norm
+    }
+
+    /// Applies the normalisation to one raw row of type `t`.
+    pub fn apply(&self, t: u16, row: &mut [f32]) {
+        let (mean, std) = (&self.mean[t as usize], &self.std[t as usize]);
+        for ((v, m), s) in row.iter_mut().zip(mean).zip(std) {
+            *v = (*v - m) / s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragraph_netlist::{Circuit, DeviceParams, MosPolarity};
+
+    #[test]
+    fn type_ids_are_stable() {
+        assert_eq!(NodeType::Net.id(), 0);
+        assert_eq!(NodeType::Bjt.id(), 6);
+        for (i, t) in NodeType::ALL.iter().enumerate() {
+            assert_eq!(t.id() as usize, i);
+        }
+    }
+
+    #[test]
+    fn device_feature_widths_match_schema() {
+        let mut c = Circuit::new("t");
+        let a = c.net("a");
+        let b = c.net("b");
+        c.add_mosfet("m1", MosPolarity::Nmos, false, a, b, a, b, DeviceParams::default());
+        c.add_resistor("r1", a, b, 1e3, 1e-6);
+        c.add_capacitor("c1", a, b, 1e-15, 2);
+        c.add_diode("d1", a, b, 3);
+        c.add_bjt("q1", false, a, b, b);
+        for d in c.devices() {
+            let t = NodeType::of_device(d.kind);
+            assert_eq!(device_features(d).len(), t.feat_dim(), "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn features_are_monotone_in_size() {
+        let mut c = Circuit::new("t");
+        let a = c.net("a");
+        c.add_mosfet(
+            "m1",
+            MosPolarity::Nmos,
+            false,
+            a,
+            a,
+            a,
+            a,
+            DeviceParams { nfin: 2, ..DeviceParams::default() },
+        );
+        c.add_mosfet(
+            "m2",
+            MosPolarity::Nmos,
+            false,
+            a,
+            a,
+            a,
+            a,
+            DeviceParams { nfin: 12, ..DeviceParams::default() },
+        );
+        let f1 = device_features(&c.devices()[0]);
+        let f2 = device_features(&c.devices()[1]);
+        assert!(f2[2] > f1[2]);
+    }
+
+    #[test]
+    fn norm_fit_and_apply() {
+        let mut rows = vec![Vec::new(); NodeType::ALL.len()];
+        rows[0] = vec![vec![1.0], vec![3.0]]; // mean 2, std 1
+        let norm = FeatureNorm::fit(&rows);
+        let mut r = vec![3.0_f32];
+        norm.apply(0, &mut r);
+        assert!((r[0] - 1.0).abs() < 1e-5);
+        // Types with no data keep identity.
+        let mut r2 = vec![5.0_f32];
+        norm.apply(3, &mut r2);
+        assert_eq!(r2[0], 5.0);
+    }
+
+    #[test]
+    fn net_feature_is_log_fanout() {
+        assert!((net_features(0)[0] - 0.0_f32.ln_1p()).abs() < 1e-6);
+        assert!(net_features(10)[0] > net_features(2)[0]);
+    }
+}

@@ -1,0 +1,173 @@
+//! JSON persistence for trained models.
+
+use serde::{Deserialize, Serialize};
+
+use paragraph_gnn::{GnnKind, GnnModel, ModelConfig};
+
+use crate::features::FeatureNorm;
+use crate::graphbuild::circuit_schema;
+use crate::pipeline::{FitConfig, TargetModel};
+use crate::targets::Target;
+
+/// Error from loading a saved model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadModelError {
+    message: String,
+}
+
+impl std::fmt::Display for LoadModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for LoadModelError {}
+
+/// Serialisable snapshot of a [`TargetModel`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedModel {
+    /// Target being predicted.
+    pub target: Target,
+    /// Training range cap.
+    pub max_value: Option<f64>,
+    /// GNN kind name (`ParaGraph`, `GCN`, ...).
+    pub kind: String,
+    /// Embedding width.
+    pub embed_dim: usize,
+    /// Layer depth.
+    pub layers: usize,
+    /// Init seed.
+    pub seed: u64,
+    /// Feature normalisation.
+    pub norm: FeatureNorm,
+    /// Flattened parameters: `(name, rows, cols, data)`.
+    pub params: Vec<(String, usize, usize, Vec<f32>)>,
+}
+
+fn kind_from_name(name: &str) -> Option<GnnKind> {
+    GnnKind::all().into_iter().find(|k| k.name() == name)
+}
+
+impl SavedModel {
+    /// Snapshots a trained model.
+    pub fn from_model(model: &TargetModel) -> Self {
+        Self {
+            target: model.target,
+            max_value: model.max_value,
+            kind: model.fit.kind.name().to_owned(),
+            embed_dim: model.fit.embed_dim,
+            layers: model.fit.layers,
+            seed: model.fit.seed,
+            norm: model.norm.clone(),
+            params: model.gnn().params().export(),
+        }
+    }
+
+    /// Serialises to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("serialisable")
+    }
+
+    /// Restores a usable [`TargetModel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadModelError`] on an unknown kind or mismatched
+    /// parameter names/shapes.
+    pub fn into_model(self) -> Result<TargetModel, LoadModelError> {
+        let err = |m: String| LoadModelError { message: m };
+        let kind =
+            kind_from_name(&self.kind).ok_or_else(|| err(format!("unknown kind '{}'", self.kind)))?;
+        let mut config = ModelConfig::new(kind);
+        config.embed_dim = self.embed_dim;
+        config.layers = self.layers;
+        config.fc_layers = self.target.fc_layers();
+        config.seed = self.seed;
+        let mut gnn = GnnModel::new(config, &circuit_schema());
+        gnn.params_mut().import(&self.params).map_err(err)?;
+        let fit = FitConfig {
+            epochs: 0,
+            lr: 0.0,
+            seed: self.seed,
+            embed_dim: self.embed_dim,
+            layers: self.layers,
+            ..FitConfig::new(kind)
+        };
+        Ok(TargetModel {
+            target: self.target,
+            max_value: self.max_value,
+            fit,
+            norm: self.norm,
+            model: gnn,
+        })
+    }
+
+    /// Parses from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadModelError`] on malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, LoadModelError> {
+        serde_json::from_str(json).map_err(|e| LoadModelError { message: e.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureNorm;
+    use crate::pipeline::{FitConfig, PreparedCircuit};
+    use paragraph_gnn::GnnKind;
+    use paragraph_layout::LayoutConfig;
+    use paragraph_netlist::parse_spice;
+
+    fn trained() -> (TargetModel, PreparedCircuit) {
+        let c = parse_spice("mp o i vdd vdd pch nf=2\nmn o i vss vss nch\n.end\n")
+            .unwrap()
+            .flatten()
+            .unwrap();
+        let pc = PreparedCircuit::new("t", c, &LayoutConfig::default());
+        let mut fit = FitConfig::quick(GnnKind::ParaGraph);
+        fit.epochs = 3;
+        fit.embed_dim = 8;
+        fit.layers = 2;
+        let (model, _) = TargetModel::train(
+            std::slice::from_ref(&pc),
+            Target::Cap,
+            None,
+            fit,
+            &FeatureNorm::identity(),
+        );
+        (model, pc)
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let (model, pc) = trained();
+        let before = model.predict_graph(&pc.circuit, &pc.graph);
+        let json = SavedModel::from_model(&model).to_json();
+        let restored = SavedModel::from_json(&json).unwrap().into_model().unwrap();
+        let after = restored.predict_graph(&pc.circuit, &pc.graph);
+        assert_eq!(before.len(), after.len());
+        for (b, a) in before.iter().zip(&after) {
+            match (b, a) {
+                (Some(b), Some(a)) => assert!((b - a).abs() <= b.abs() * 1e-5),
+                (None, None) => {}
+                other => panic!("mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let (model, _) = trained();
+        let mut saved = SavedModel::from_model(&model);
+        saved.kind = "NotAModel".into();
+        assert!(saved.into_model().is_err());
+    }
+
+    #[test]
+    fn corrupted_json_rejected() {
+        assert!(SavedModel::from_json("{not json").is_err());
+    }
+}

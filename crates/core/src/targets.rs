@@ -1,0 +1,339 @@
+//! Prediction targets (paper Table I) and their label scaling.
+//!
+//! Capacitances span six orders of magnitude (0.01 fF – 10 pF), so every
+//! target is regressed in log10 space; metrics are reported both in the
+//! scaled space (R²) and in physical units (MAE, MAPE), mirroring the
+//! paper's Figures 6–7.
+
+use paragraph_layout::{DeviceGeom, LayoutTruth, NUM_LDE};
+use paragraph_netlist::{Circuit, DeviceKind};
+use serde::{Deserialize, Serialize};
+
+use crate::features::NodeType;
+use crate::graphbuild::CircuitGraph;
+
+/// One of the thirteen quantities the paper predicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Target {
+    /// Net parasitic capacitance (farads).
+    Cap,
+    /// Source diffusion area (m²).
+    Sa,
+    /// Drain diffusion area (m²).
+    Da,
+    /// Source diffusion perimeter (m).
+    Sp,
+    /// Drain diffusion perimeter (m).
+    Dp,
+    /// LDE parameter `1..=8` (metres).
+    Lde(u8),
+    /// Net parasitic resistance (ohms) — the paper's stated future work,
+    /// implemented as an extension target.
+    Res,
+}
+
+impl Target {
+    /// All thirteen targets in the paper's Table I order.
+    pub fn all() -> Vec<Target> {
+        let mut v = vec![Target::Cap, Target::Sa, Target::Da, Target::Sp, Target::Dp];
+        v.extend((1..=NUM_LDE as u8).map(Target::Lde));
+        v
+    }
+
+    /// The paper's targets plus the resistance extension.
+    pub fn all_extended() -> Vec<Target> {
+        let mut v = Self::all();
+        v.push(Target::Res);
+        v
+    }
+
+    /// Display name (`CAP`, `SA`, ..., `LDE1`..`LDE8`).
+    pub fn name(self) -> String {
+        match self {
+            Target::Cap => "CAP".into(),
+            Target::Sa => "SA".into(),
+            Target::Da => "DA".into(),
+            Target::Sp => "SP".into(),
+            Target::Dp => "DP".into(),
+            Target::Lde(i) => format!("LDE{i}"),
+            Target::Res => "RES".into(),
+        }
+    }
+
+    /// Whether the target lives on net nodes (vs transistor nodes).
+    pub fn on_nets(self) -> bool {
+        matches!(self, Target::Cap | Target::Res)
+    }
+
+    /// Reference unit used for log scaling (1 fF for caps, 1e-15 m² for
+    /// areas, 1 nm for lengths).
+    fn reference(self) -> f64 {
+        match self {
+            Target::Cap => 1e-15,
+            Target::Sa | Target::Da => 1e-15,
+            Target::Sp | Target::Dp | Target::Lde(_) => 1e-9,
+            Target::Res => 1.0,
+        }
+    }
+
+    /// Physical value -> training-space value (log10 of the ratio to the
+    /// reference unit).
+    pub fn scale(self, physical: f64) -> f32 {
+        (physical.max(1e-24) / self.reference()).log10() as f32
+    }
+
+    /// Training-space value -> physical value.
+    pub fn unscale(self, scaled: f32) -> f64 {
+        10f64.powf(scaled as f64) * self.reference()
+    }
+
+    /// Default linear-scale unit for range-limited capacitance models (the
+    /// paper's widest range, 10 pF).
+    pub const CAP_FULL_RANGE: f64 = 10e-12;
+
+    /// Physical value -> training space, honouring a model's `max_v`.
+    ///
+    /// Range-limited capacitance models (`max_value = Some(..)`) regress
+    /// *linearly*, normalised by `max_v` — the paper's §IV setting, where
+    /// "any capacitance value less than 1 % of the maximum predicted value
+    /// will be considered noise by the model", motivating the ensemble.
+    /// With `max_value = None` (and for all device parameters) regression
+    /// happens in log space, which is the better-behaved general-purpose
+    /// default this library offers beyond the paper.
+    pub fn scale_with(self, max_value: Option<f64>, physical: f64) -> f32 {
+        match (self, max_value) {
+            (Target::Cap, Some(unit)) => (physical / unit) as f32,
+            _ => self.scale(physical),
+        }
+    }
+
+    /// Training space -> physical value, honouring a model's `max_v`.
+    /// Linear-range capacitance predictions are floored at an atto-scale
+    /// epsilon (the linear head can go slightly negative).
+    pub fn unscale_with(self, max_value: Option<f64>, scaled: f32) -> f64 {
+        match (self, max_value) {
+            (Target::Cap, Some(unit)) => (scaled as f64 * unit).max(1e-18),
+            _ => self.unscale(scaled),
+        }
+    }
+
+    /// Physical value of this target on a device, if applicable.
+    pub fn of_geom(self, geom: &DeviceGeom) -> Option<f64> {
+        match self {
+            Target::Cap | Target::Res => None,
+            Target::Sa => Some(geom.sa),
+            Target::Da => Some(geom.da),
+            Target::Sp => Some(geom.sp),
+            Target::Dp => Some(geom.dp),
+            Target::Lde(i) => geom.lde.get(i as usize - 1).copied(),
+        }
+    }
+
+    /// FC-head depth the paper uses for this target (4 for CAP, 2 for
+    /// device parameters).
+    pub fn fc_layers(self) -> usize {
+        if self.on_nets() { 4 } else { 2 }
+    }
+}
+
+impl std::fmt::Display for Target {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Labels for one `(circuit, target)` pair.
+#[derive(Debug, Clone, Default)]
+pub struct TargetLabels {
+    /// Global graph-node ids carrying labels.
+    pub nodes: Vec<u32>,
+    /// Scaled (log-space) labels, aligned with `nodes`.
+    pub scaled: Vec<f32>,
+    /// Physical-unit labels, aligned with `nodes`.
+    pub physical: Vec<f64>,
+}
+
+impl TargetLabels {
+    /// Number of labelled nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no node carries a label.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Extracts the labels of `target` from layout ground truth.
+///
+/// `max_value` (physical units) drops larger labels — the paper's range
+/// models ("data points with a ground truth larger than the maximum
+/// predicted value are ignored during training").
+pub fn target_labels(
+    circuit: &Circuit,
+    cg: &CircuitGraph,
+    truth: &LayoutTruth,
+    target: Target,
+    max_value: Option<f64>,
+) -> TargetLabels {
+    let mut out = TargetLabels::default();
+    let keep = |v: f64| max_value.map(|m| v <= m).unwrap_or(true);
+    if target.on_nets() {
+        let values = if target == Target::Res { &truth.net_res } else { &truth.net_cap };
+        for (net_idx, node) in cg.net_node.iter().enumerate() {
+            let (Some(node), Some(value)) = (node, values[net_idx]) else { continue };
+            if keep(value) {
+                out.nodes.push(*node);
+                out.scaled.push(target.scale_with(max_value, value));
+                out.physical.push(value);
+            }
+        }
+    } else {
+        for (dev_idx, geom) in truth.geom.iter().enumerate() {
+            let Some(geom) = geom else { continue };
+            debug_assert!(matches!(
+                circuit.devices()[dev_idx].kind,
+                DeviceKind::Mosfet { .. }
+            ));
+            let Some(value) = target.of_geom(geom) else { continue };
+            if keep(value) {
+                out.nodes.push(cg.device_node[dev_idx]);
+                out.scaled.push(target.scale_with(max_value, value));
+                out.physical.push(value);
+            }
+        }
+    }
+    out
+}
+
+/// The node type(s) a target's labelled nodes belong to — used by the
+/// baselines to pick their input features.
+pub fn label_node_types(target: Target) -> Vec<NodeType> {
+    if target.on_nets() {
+        vec![NodeType::Net]
+    } else {
+        vec![NodeType::Transistor, NodeType::TransistorThick]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphbuild::build_graph;
+    use paragraph_layout::{extract, LayoutConfig};
+    use paragraph_netlist::parse_spice;
+
+    fn setup() -> (Circuit, CircuitGraph, LayoutTruth) {
+        let c = parse_spice(
+            "mp out in vdd vdd pch nf=2\nmn out in vss vss nch\nr1 out fb 10k\n.end\n",
+        )
+        .unwrap()
+        .flatten()
+        .unwrap();
+        let cg = build_graph(&c);
+        let truth = extract(&c, &LayoutConfig::default());
+        (c, cg, truth)
+    }
+
+    #[test]
+    fn thirteen_targets() {
+        let all = Target::all();
+        assert_eq!(all.len(), 13);
+        assert_eq!(all[0].name(), "CAP");
+        assert_eq!(all[12].name(), "LDE8");
+    }
+
+    #[test]
+    fn scale_roundtrip() {
+        for target in Target::all() {
+            for v in [1e-18, 2.5e-15, 7.7e-12] {
+                let back = target.unscale(target.scale(v));
+                assert!((back - v).abs() / v < 1e-5, "{target}: {v} -> {back}");
+            }
+        }
+    }
+
+    #[test]
+    fn cap_labels_cover_signal_nets() {
+        let (c, cg, truth) = setup();
+        let labels = target_labels(&c, &cg, &truth, Target::Cap, None);
+        // in, out, fb are signal nets.
+        assert_eq!(labels.len(), 3);
+        assert!(labels.physical.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn device_labels_cover_mosfets_only() {
+        let (c, cg, truth) = setup();
+        for target in [Target::Sa, Target::Dp, Target::Lde(3)] {
+            let labels = target_labels(&c, &cg, &truth, target, None);
+            assert_eq!(labels.len(), 2, "{target}"); // resistor excluded
+        }
+    }
+
+    #[test]
+    fn max_value_filters_large_labels() {
+        let (c, cg, truth) = setup();
+        let all = target_labels(&c, &cg, &truth, Target::Cap, None);
+        let median = {
+            let mut v = all.physical.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let filtered = target_labels(&c, &cg, &truth, Target::Cap, Some(median));
+        assert!(filtered.len() < all.len());
+        assert!(filtered.physical.iter().all(|&v| v <= median));
+    }
+
+    #[test]
+    fn fc_depth_follows_paper() {
+        assert_eq!(Target::Cap.fc_layers(), 4);
+        assert_eq!(Target::Sa.fc_layers(), 2);
+        assert_eq!(Target::Lde(5).fc_layers(), 2);
+    }
+
+    #[test]
+    fn scaled_labels_are_log10() {
+        let v = 10e-15; // 10 fF
+        assert!((Target::Cap.scale(v) - 1.0).abs() < 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod resistance_target_tests {
+    use super::*;
+    use crate::graphbuild::build_graph;
+    use paragraph_layout::{extract, LayoutConfig};
+    use paragraph_netlist::parse_spice;
+
+    #[test]
+    fn res_is_an_extension_not_a_paper_target() {
+        assert_eq!(Target::all().len(), 13);
+        assert!(!Target::all().contains(&Target::Res));
+        assert_eq!(Target::all_extended().len(), 14);
+        assert_eq!(*Target::all_extended().last().unwrap(), Target::Res);
+    }
+
+    #[test]
+    fn res_labels_live_on_nets() {
+        let c = parse_spice("mp o i vdd vdd pch\nmn o i vss vss nch\n.end\n")
+            .unwrap()
+            .flatten()
+            .unwrap();
+        let cg = build_graph(&c);
+        let truth = extract(&c, &LayoutConfig::default());
+        let labels = target_labels(&c, &cg, &truth, Target::Res, None);
+        assert_eq!(labels.len(), 2); // nets i, o
+        assert!(labels.physical.iter().all(|&r| r > 0.0));
+        // Log scaling in ohms.
+        assert!((Target::Res.scale(100.0) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn res_uses_log_scaling_even_with_max_value() {
+        // Only CAP has the paper's linear range models.
+        let v = 1234.0;
+        assert_eq!(Target::Res.scale_with(Some(1e4), v), Target::Res.scale(v));
+    }
+}

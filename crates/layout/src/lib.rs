@@ -1,0 +1,52 @@
+//! Procedural layout synthesis and parasitic ground-truth extraction.
+//!
+//! Substitutes the commercial layout + RC-extraction flow that produced the
+//! ParaGraph paper's training labels. The pipeline is the same causal chain
+//! a real flow follows:
+//!
+//! 1. [`place`] — transistors are chained into diffusion islands (the MTS
+//!    groups of the paper's prior work) and packed into rows;
+//! 2. [`extract`] — diffusion geometry (`SA`/`DA`/`SP`/`DP`), eight LDE
+//!    parameters, and per-net lumped capacitance are computed from the
+//!    placement, with seeded log-normal "layout uncertainty" noise;
+//! 3. [`designer_estimate`] — the fanout rule-of-thumb baseline the paper's
+//!    Table V compares against.
+//!
+//! # Examples
+//!
+//! ```
+//! use paragraph_layout::{extract, LayoutConfig};
+//! use paragraph_netlist::parse_spice;
+//!
+//! let c = parse_spice("mp out in vdd vdd pch nf=2\nmn out in vss vss nch\n.end\n")?
+//!     .flatten()?;
+//! let truth = extract(&c, &LayoutConfig::default());
+//! let out = c.find_net("out").unwrap();
+//! println!("C(out) = {} fF", truth.cap(out).unwrap() * 1e15);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod extract;
+mod placement;
+
+pub use extract::{
+    designer_estimate, extract, DeviceGeom, LayoutConfig, LayoutTruth, NUM_LDE,
+};
+pub use placement::{mosfet_width, place, Island, LayoutRules, Placement};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::{designer_estimate, extract, LayoutConfig, LayoutTruth};
+}
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Standard normal sample (Box–Muller), shared by the noise models.
+pub(crate) fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}

@@ -1,0 +1,406 @@
+//! Procedural placement: diffusion-island (MTS) detection and row packing.
+//!
+//! The previous-generation approach the paper compares against ([Yoshida et
+//! al., DAC 2004]) required designers to manually identify *maximal
+//! transistor series* (MTS) groups — transistors that will share
+//! source/drain diffusion in layout. Here we compute those groups the way a
+//! layout engineer would draw them: transistors of the same flavour that
+//! share a source/drain net are chained into diffusion islands, islands are
+//! packed into rows, and every device receives a coordinate.
+
+use std::collections::HashMap;
+
+use paragraph_netlist::{Circuit, DeviceId, DeviceKind, MosPolarity, NetId, Terminal};
+
+/// Physical constants of the synthetic process, in metres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayoutRules {
+    /// Contacted poly pitch (spacing between fingers).
+    pub poly_pitch: f64,
+    /// Diffusion extension past the last gate on an unshared side.
+    pub diff_ext: f64,
+    /// Fin pitch (fin count to device width).
+    pub fin_pitch: f64,
+    /// Height of a placement row.
+    pub row_pitch: f64,
+    /// Maximum row width before wrapping to the next row.
+    pub row_width: f64,
+    /// Spacing between adjacent diffusion islands.
+    pub island_gap: f64,
+}
+
+impl Default for LayoutRules {
+    fn default() -> Self {
+        Self {
+            poly_pitch: 54e-9,
+            diff_ext: 80e-9,
+            fin_pitch: 48e-9,
+            row_pitch: 1.2e-6,
+            row_width: 25e-6,
+            island_gap: 150e-9,
+        }
+    }
+}
+
+/// A chain of same-flavour transistors sharing diffusion edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Island {
+    /// Devices in left-to-right placement order.
+    pub devices: Vec<DeviceId>,
+    /// `shared_left[i]` is true when device `i` abuts device `i-1`
+    /// (diffusion shared); `shared_left[0]` is always false.
+    pub shared_left: Vec<bool>,
+}
+
+impl Island {
+    /// Whether device at island position `i` shares its right edge.
+    pub fn shared_right(&self, i: usize) -> bool {
+        self.shared_left.get(i + 1).copied().unwrap_or(false)
+    }
+}
+
+/// Placement result: coordinates for every device plus island structure.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Per-device `(x, y)` centre coordinates, metres. All devices are
+    /// placed (transistor rows first, then passive rows).
+    pub positions: Vec<(f64, f64)>,
+    /// Diffusion islands (MOSFETs only).
+    pub islands: Vec<Island>,
+    /// For each device: `(island index, position in island)` when it is a
+    /// MOSFET.
+    pub island_of: Vec<Option<(usize, usize)>>,
+    /// Per-device x-extent (width of its footprint), metres.
+    pub widths: Vec<f64>,
+    /// Number of rows used.
+    pub num_rows: usize,
+    /// The rules used.
+    pub rules: LayoutRules,
+}
+
+impl Placement {
+    /// Bounding-box half-perimeter of a set of device positions plus
+    /// per-pin breakout, a standard pre-route wirelength estimate.
+    pub fn hpwl(&self, devices: &[DeviceId]) -> f64 {
+        if devices.is_empty() {
+            return 0.0;
+        }
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for d in devices {
+            let (x, y) = self.positions[d.0 as usize];
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+        (max_x - min_x) + (max_y - min_y)
+    }
+}
+
+/// Transistor flavour used for island grouping: same-flavour devices may
+/// share diffusion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Flavour {
+    polarity: MosPolarity,
+    thick: bool,
+}
+
+/// Footprint width of one MOSFET (all fingers + both end extensions),
+/// ignoring sharing.
+pub fn mosfet_width(rules: &LayoutRules, nf: u32, multi: u32) -> f64 {
+    let fingers = (nf.max(1) * multi.max(1)) as f64;
+    fingers * rules.poly_pitch + 2.0 * rules.diff_ext
+}
+
+/// Runs island detection and row packing over all devices of `circuit`.
+pub fn place(circuit: &Circuit, rules: LayoutRules) -> Placement {
+    let n = circuit.num_devices();
+    let mut islands = Vec::new();
+    let mut island_of = vec![None; n];
+
+    // --- 1. Group MOSFETs by flavour --------------------------------
+    let mut groups: HashMap<Flavour, Vec<DeviceId>> = HashMap::new();
+    for (i, dev) in circuit.devices().iter().enumerate() {
+        if let DeviceKind::Mosfet { polarity, thick_gate } = dev.kind {
+            groups
+                .entry(Flavour { polarity, thick: thick_gate })
+                .or_default()
+                .push(DeviceId(i as u32));
+        }
+    }
+    let mut flavours: Vec<_> = groups.keys().copied().collect();
+    flavours.sort_by_key(|f| (f.polarity == MosPolarity::Pmos, f.thick));
+
+    // --- 2. Chain same-flavour transistors into islands -------------
+    for flavour in &flavours {
+        let members = &groups[flavour];
+        // Signal net -> devices with a source/drain terminal on it. Only
+        // *signal* nets form series (MTS) chains: rail-side abutment is a
+        // placement accident, not a schematic-determined structure, and the
+        // paper's prior work identifies exactly these series groups.
+        let mut by_net: HashMap<NetId, Vec<DeviceId>> = HashMap::new();
+        for &d in members {
+            let dev = circuit.device_ref(d);
+            for term in [Terminal::Source, Terminal::Drain] {
+                if let Some(net) = dev.net_on(term) {
+                    if circuit.net_ref(net).class == paragraph_netlist::NetClass::Signal {
+                        by_net.entry(net).or_default().push(d);
+                    }
+                }
+            }
+        }
+        let mut used = vec![false; n];
+        for &seed in members {
+            if used[seed.0 as usize] {
+                continue;
+            }
+            used[seed.0 as usize] = true;
+            let mut chain = vec![seed];
+            let mut shared = vec![false];
+
+            // Walk right from the seed's drain, left from its source.
+            let seed_dev = circuit.device_ref(seed);
+            let mut right_net = seed_dev.net_on(Terminal::Drain);
+            while let Some(net) = right_net {
+                let next = by_net.get(&net).and_then(|cands| {
+                    cands.iter().copied().find(|d| !used[d.0 as usize])
+                });
+                let Some(d) = next else { break };
+                used[d.0 as usize] = true;
+                chain.push(d);
+                shared.push(true);
+                let dev = circuit.device_ref(d);
+                // Continue from the terminal that is NOT the shared one.
+                right_net = match (dev.net_on(Terminal::Source), dev.net_on(Terminal::Drain)) {
+                    (Some(s), Some(dr)) if s == net => Some(dr),
+                    (Some(s), Some(_)) => Some(s),
+                    _ => None,
+                };
+            }
+            let mut left_net = seed_dev.net_on(Terminal::Source);
+            while let Some(net) = left_net {
+                let next = by_net.get(&net).and_then(|cands| {
+                    cands.iter().copied().find(|d| !used[d.0 as usize])
+                });
+                let Some(d) = next else { break };
+                used[d.0 as usize] = true;
+                chain.insert(0, d);
+                shared.insert(1, true);
+                shared[0] = false;
+                let dev = circuit.device_ref(d);
+                left_net = match (dev.net_on(Terminal::Source), dev.net_on(Terminal::Drain)) {
+                    (Some(s), Some(dr)) if dr == net => Some(s),
+                    (Some(s), Some(dr)) if s == net => Some(dr),
+                    _ => None,
+                };
+            }
+
+            let idx = islands.len();
+            for (pos, &d) in chain.iter().enumerate() {
+                island_of[d.0 as usize] = Some((idx, pos));
+            }
+            islands.push(Island { devices: chain, shared_left: shared });
+        }
+    }
+
+    // --- 3. Pack islands into rows -----------------------------------
+    let mut positions = vec![(0.0, 0.0); n];
+    let mut widths = vec![0.0; n];
+    let mut cursor_x = 0.0_f64;
+    let mut row = 0_usize;
+    for island in &islands {
+        // Island width = sum of member widths minus shared overlaps.
+        let mut member_w: Vec<f64> = Vec::with_capacity(island.devices.len());
+        for &d in &island.devices {
+            let p = circuit.device_ref(d).params;
+            member_w.push(mosfet_width(&rules, p.nf, p.multi));
+        }
+        let shared_saving: f64 =
+            island.shared_left.iter().filter(|&&s| s).count() as f64 * rules.diff_ext;
+        let island_w: f64 = member_w.iter().sum::<f64>() - 2.0 * shared_saving;
+
+        if cursor_x + island_w > rules.row_width && cursor_x > 0.0 {
+            cursor_x = 0.0;
+            row += 1;
+        }
+        let mut x = cursor_x;
+        for (i, &d) in island.devices.iter().enumerate() {
+            let w = member_w[i];
+            let overlap = if island.shared_left[i] { rules.diff_ext } else { 0.0 };
+            x -= 2.0 * overlap;
+            positions[d.0 as usize] = (x + w / 2.0, row as f64 * rules.row_pitch);
+            widths[d.0 as usize] = w;
+            x += w;
+        }
+        cursor_x = x + rules.island_gap;
+    }
+    // Transistor rows end here; passives start on the next row band.
+    let mut passive_row = row + 1;
+    let mut px = 0.0_f64;
+    for (i, dev) in circuit.devices().iter().enumerate() {
+        let w = match dev.kind {
+            DeviceKind::Mosfet { .. } => continue,
+            DeviceKind::Resistor => (dev.params.l * 2.0).max(0.5e-6),
+            DeviceKind::Capacitor => {
+                // MOM/MIM caps: area grows with value.
+                (dev.params.value / 1e-15).sqrt().max(1.0) * 0.3e-6
+            }
+            DeviceKind::Diode => 1.0e-6 * dev.params.nf.max(1) as f64,
+            DeviceKind::Bjt { .. } => 3.0e-6,
+        };
+        if px + w > rules.row_width && px > 0.0 {
+            px = 0.0;
+            passive_row += 1;
+        }
+        positions[i] = (px + w / 2.0, passive_row as f64 * rules.row_pitch);
+        widths[i] = w;
+        px += w + rules.island_gap;
+    }
+
+    Placement {
+        positions,
+        islands,
+        island_of,
+        widths,
+        num_rows: passive_row + 1,
+        rules,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragraph_netlist::{DeviceParams, MosPolarity};
+
+    /// Two NMOS in series (A.drain == B.source) must share diffusion.
+    #[test]
+    fn series_transistors_form_one_island() {
+        let mut c = Circuit::new("t");
+        let (a, mid, b, g1, g2, vss) = (
+            c.net("a"),
+            c.net("mid"),
+            c.net("b"),
+            c.net("g1"),
+            c.net("g2"),
+            c.net("vss"),
+        );
+        c.add_mosfet("m1", MosPolarity::Nmos, false, mid, g1, a, vss, DeviceParams::default());
+        c.add_mosfet("m2", MosPolarity::Nmos, false, b, g2, mid, vss, DeviceParams::default());
+        let p = place(&c, LayoutRules::default());
+        assert_eq!(p.islands.len(), 1);
+        assert_eq!(p.islands[0].devices.len(), 2);
+        assert_eq!(p.islands[0].shared_left, vec![false, true]);
+    }
+
+    /// NMOS and PMOS never share an island.
+    #[test]
+    fn polarities_are_separate_islands() {
+        let mut c = Circuit::new("t");
+        let (i, o, vdd, vss) = (c.net("in"), c.net("out"), c.net("vdd"), c.net("vss"));
+        c.add_mosfet("mp", MosPolarity::Pmos, false, o, i, vdd, vdd, DeviceParams::default());
+        c.add_mosfet("mn", MosPolarity::Nmos, false, o, i, vss, vss, DeviceParams::default());
+        let p = place(&c, LayoutRules::default());
+        assert_eq!(p.islands.len(), 2);
+    }
+
+    /// Thick and thin gate devices are not chained even with shared nets.
+    #[test]
+    fn thick_gate_is_separate_flavour() {
+        let mut c = Circuit::new("t");
+        let (a, b, g, vss) = (c.net("a"), c.net("b"), c.net("g"), c.net("vss"));
+        c.add_mosfet("m1", MosPolarity::Nmos, false, a, g, b, vss, DeviceParams::default());
+        c.add_mosfet("m2", MosPolarity::Nmos, true, a, g, b, vss, DeviceParams::default());
+        let p = place(&c, LayoutRules::default());
+        assert_eq!(p.islands.len(), 2);
+    }
+
+    #[test]
+    fn shared_island_is_narrower() {
+        let rules = LayoutRules::default();
+        let build = |share: bool| {
+            let mut c = Circuit::new("t");
+            let (a, m1d, b, g, vss) = (
+                c.net("a"),
+                c.net(if share { "mid" } else { "m1d" }),
+                c.net("b"),
+                c.net("g"),
+                c.net("vss"),
+            );
+            let m2s = if share { m1d } else { c.net("m2s") };
+            c.add_mosfet("m1", MosPolarity::Nmos, false, m1d, g, a, vss, DeviceParams::default());
+            c.add_mosfet("m2", MosPolarity::Nmos, false, b, g, m2s, vss, DeviceParams::default());
+            let p = place(&c, rules);
+            // Total extent = max right edge.
+            (0..2)
+                .map(|i| p.positions[i].0 + p.widths[i] / 2.0)
+                .fold(0.0_f64, f64::max)
+        };
+        assert!(build(true) < build(false));
+    }
+
+    #[test]
+    fn all_devices_get_positions() {
+        let mut c = Circuit::new("t");
+        let (a, b) = (c.net("a"), c.net("b"));
+        c.add_resistor("r1", a, b, 1e4, 2e-6);
+        c.add_capacitor("c1", a, b, 10e-15, 1);
+        c.add_diode("d1", a, b, 2);
+        c.add_bjt("q1", false, a, b, b);
+        let p = place(&c, LayoutRules::default());
+        assert_eq!(p.positions.len(), 4);
+        // Passives are on rows below the (empty) transistor band.
+        assert!(p.positions.iter().all(|&(x, y)| x > 0.0 && y > 0.0));
+    }
+
+    #[test]
+    fn row_wrapping_bounds_x() {
+        // Enough inverters to overflow one row.
+        let mut c = Circuit::new("t");
+        let vdd = c.net("vdd");
+        let vss = c.net("vss");
+        for i in 0..400 {
+            let inp = c.net(format!("i{i}"));
+            let out = c.net(format!("o{i}"));
+            c.add_mosfet(
+                format!("mp{i}"),
+                MosPolarity::Pmos,
+                false,
+                out,
+                inp,
+                vdd,
+                vdd,
+                DeviceParams { nf: 4, ..DeviceParams::default() },
+            );
+            c.add_mosfet(
+                format!("mn{i}"),
+                MosPolarity::Nmos,
+                false,
+                out,
+                inp,
+                vss,
+                vss,
+                DeviceParams { nf: 4, ..DeviceParams::default() },
+            );
+        }
+        let rules = LayoutRules::default();
+        let p = place(&c, rules);
+        assert!(p.num_rows > 2);
+        for (i, &(x, _)) in p.positions.iter().enumerate() {
+            assert!(
+                x + p.widths[i] / 2.0 <= rules.row_width * 1.5,
+                "device {i} at x={x} escapes the row"
+            );
+        }
+    }
+
+    #[test]
+    fn hpwl_of_single_device_is_zero() {
+        let mut c = Circuit::new("t");
+        let (a, b) = (c.net("a"), c.net("b"));
+        c.add_resistor("r1", a, b, 1e3, 1e-6);
+        let p = place(&c, LayoutRules::default());
+        assert_eq!(p.hpwl(&[DeviceId(0)]), 0.0);
+        assert_eq!(p.hpwl(&[]), 0.0);
+    }
+}

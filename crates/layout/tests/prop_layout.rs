@@ -1,0 +1,122 @@
+//! Property tests on placement and extraction invariants.
+
+use paragraph_layout::{extract, place, LayoutConfig, LayoutRules};
+use paragraph_netlist::{Circuit, DeviceKind, DeviceParams, MosPolarity, NetClass};
+use proptest::prelude::*;
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (1_usize..30, any::<u64>()).prop_map(|(n, seed)| {
+        let mut c = Circuit::new("prop");
+        let nets: Vec<_> = (0..10).map(|i| c.net(format!("n{i}"))).collect();
+        let vss = c.net("vss");
+        let vdd = c.net("vdd");
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(17);
+            (state >> 33) as usize
+        };
+        for i in 0..n {
+            let pick = |r: usize| match r % 12 {
+                10 => vdd,
+                11 => vss,
+                k => nets[k % 10],
+            };
+            match next() % 4 {
+                0 | 1 => {
+                    c.add_mosfet(
+                        format!("m{i}"),
+                        if next() % 2 == 0 { MosPolarity::Nmos } else { MosPolarity::Pmos },
+                        next() % 6 == 0,
+                        pick(next()),
+                        pick(next()),
+                        pick(next()),
+                        vss,
+                        DeviceParams {
+                            nf: 1 + (next() % 6) as u32,
+                            nfin: 1 + (next() % 12) as u32,
+                            multi: 1 + (next() % 2) as u32,
+                            ..DeviceParams::default()
+                        },
+                    );
+                }
+                2 => {
+                    c.add_resistor(format!("r{i}"), pick(next()), pick(next()), 5e3, 2e-6);
+                }
+                _ => {
+                    c.add_capacitor(format!("c{i}"), pick(next()), pick(next()), 8e-15, 1);
+                }
+            }
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Islands partition the MOSFETs: every transistor appears in exactly
+    /// one island at exactly one position, and `shared_left[0]` is false.
+    #[test]
+    fn islands_partition_mosfets(c in arb_circuit()) {
+        let p = place(&c, LayoutRules::default());
+        let mut seen = vec![0_usize; c.num_devices()];
+        for island in &p.islands {
+            prop_assert_eq!(island.devices.len(), island.shared_left.len());
+            prop_assert!(!island.shared_left[0]);
+            for &d in &island.devices {
+                seen[d.0 as usize] += 1;
+            }
+        }
+        for (i, dev) in c.devices().iter().enumerate() {
+            let expected = usize::from(matches!(dev.kind, DeviceKind::Mosfet { .. }));
+            prop_assert_eq!(seen[i], expected, "device {}", i);
+        }
+    }
+
+    /// Every device gets a positive footprint and a finite position.
+    #[test]
+    fn placement_is_total(c in arb_circuit()) {
+        let p = place(&c, LayoutRules::default());
+        prop_assert_eq!(p.positions.len(), c.num_devices());
+        for i in 0..c.num_devices() {
+            let (x, y) = p.positions[i];
+            prop_assert!(x.is_finite() && y.is_finite());
+            prop_assert!(p.widths[i] > 0.0);
+        }
+    }
+
+    /// Extraction is deterministic and labels only the right elements.
+    #[test]
+    fn extraction_is_deterministic_and_typed(c in arb_circuit()) {
+        let cfg = LayoutConfig::default();
+        let t1 = extract(&c, &cfg);
+        let t2 = extract(&c, &cfg);
+        prop_assert_eq!(&t1.net_cap, &t2.net_cap);
+        prop_assert_eq!(&t1.net_res, &t2.net_res);
+        for (i, net) in c.nets().iter().enumerate() {
+            let labelled = t1.net_cap[i].is_some();
+            prop_assert_eq!(labelled, net.class == NetClass::Signal);
+            prop_assert_eq!(t1.net_res[i].is_some(), labelled);
+        }
+        for (i, dev) in c.devices().iter().enumerate() {
+            prop_assert_eq!(
+                t1.geom[i].is_some(),
+                matches!(dev.kind, DeviceKind::Mosfet { .. })
+            );
+        }
+    }
+
+    /// Geometry sanity: areas, perimeters, and LDE distances are positive
+    /// and respect SA/DA <= full-extension bound scaled by noise.
+    #[test]
+    fn geometry_values_sane(c in arb_circuit()) {
+        let truth = extract(&c, &LayoutConfig::default());
+        for geom in truth.geom.iter().flatten() {
+            prop_assert!(geom.sa > 0.0 && geom.da > 0.0);
+            prop_assert!(geom.sp > 0.0 && geom.dp > 0.0);
+            for l in geom.lde {
+                prop_assert!(l > 0.0 && l < 1e-3, "lde {l}");
+            }
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Gradient-boosted regression trees — the XGBoost [14] stand-in.
+//!
+//! Squared-error boosting: each round fits a depth-limited CART tree to
+//! the current residuals and adds it with shrinkage. Supports row
+//! subsampling, minimum-samples-per-leaf, and deterministic seeding; with
+//! squared loss, the residual-fitting formulation is equivalent to
+//! first-order gradient boosting.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Gradient-boosting hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GbtConfig {
+    /// Number of boosting rounds.
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Shrinkage (learning rate).
+    pub eta: f64,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Fraction of rows sampled per tree (1.0 = all).
+    pub subsample: f64,
+    /// RNG seed for subsampling.
+    pub seed: u64,
+}
+
+impl Default for GbtConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 120,
+            max_depth: 5,
+            eta: 0.1,
+            min_samples_split: 8,
+            subsample: 0.9,
+            seed: 7,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn predict(&self, row: &[f64]) -> f64 {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// A fitted gradient-boosted tree ensemble.
+///
+/// # Examples
+///
+/// ```
+/// use paragraph_ml::{Gbt, GbtConfig};
+///
+/// // y = x^2 is non-linear: trees fit it, a line cannot.
+/// let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
+/// let y: Vec<f64> = x.iter().map(|r| r[0] * r[0]).collect();
+/// let model = Gbt::fit(&x, &y, GbtConfig::default());
+/// let err = (model.predict_one(&[5.0]) - 25.0).abs();
+/// assert!(err < 2.0, "err = {err}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gbt {
+    base: f64,
+    eta: f64,
+    num_features: usize,
+    trees: Vec<Tree>,
+}
+
+impl Gbt {
+    /// Fits the ensemble.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` lengths differ or `x` is empty.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], config: GbtConfig) -> Self {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        assert!(!x.is_empty(), "empty training set");
+        let num_features = x[0].len();
+        let n = x.len();
+        let base = y.iter().sum::<f64>() / n as f64;
+        let mut residual: Vec<f64> = y.iter().map(|v| v - base).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut trees = Vec::with_capacity(config.n_trees);
+
+        for _ in 0..config.n_trees {
+            let rows: Vec<usize> = if config.subsample >= 1.0 {
+                (0..n).collect()
+            } else {
+                (0..n).filter(|_| rng.random_bool(config.subsample.clamp(0.01, 1.0))).collect()
+            };
+            if rows.is_empty() {
+                continue;
+            }
+            let mut tree = Tree { nodes: Vec::new() };
+            build_node(&mut tree, x, &residual, rows, 0, &config);
+            for (i, row) in x.iter().enumerate() {
+                residual[i] -= config.eta * tree.predict(row);
+            }
+            trees.push(tree);
+        }
+        Self { base, eta: config.eta, num_features, trees }
+    }
+
+    /// Predicts one sample.
+    pub fn predict_one(&self, row: &[f64]) -> f64 {
+        self.base + self.eta * self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
+    }
+
+    /// Predicts a batch.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Vec<f64> {
+        x.iter().map(|r| self.predict_one(r)).collect()
+    }
+
+    /// Number of trees actually grown.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Split-frequency feature importance, normalised to sum to 1 (all
+    /// zeros when the ensemble never split).
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let mut counts = vec![0.0_f64; self.num_features];
+        for tree in &self.trees {
+            for node in &tree.nodes {
+                if let Node::Split { feature, .. } = node {
+                    counts[*feature] += 1.0;
+                }
+            }
+        }
+        let total: f64 = counts.iter().sum();
+        if total > 0.0 {
+            for c in counts.iter_mut() {
+                *c /= total;
+            }
+        }
+        counts
+    }
+}
+
+fn build_node(
+    tree: &mut Tree,
+    x: &[Vec<f64>],
+    residual: &[f64],
+    rows: Vec<usize>,
+    depth: usize,
+    config: &GbtConfig,
+) -> usize {
+    let mean = rows.iter().map(|&i| residual[i]).sum::<f64>() / rows.len() as f64;
+    if depth >= config.max_depth || rows.len() < config.min_samples_split {
+        tree.nodes.push(Node::Leaf { value: mean });
+        return tree.nodes.len() - 1;
+    }
+    let Some((feature, threshold)) = best_split(x, residual, &rows) else {
+        tree.nodes.push(Node::Leaf { value: mean });
+        return tree.nodes.len() - 1;
+    };
+    let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+        rows.into_iter().partition(|&i| x[i][feature] <= threshold);
+    if left_rows.is_empty() || right_rows.is_empty() {
+        tree.nodes.push(Node::Leaf { value: mean });
+        return tree.nodes.len() - 1;
+    }
+    let idx = tree.nodes.len();
+    tree.nodes.push(Node::Leaf { value: mean }); // placeholder
+    let left = build_node(tree, x, residual, left_rows, depth + 1, config);
+    let right = build_node(tree, x, residual, right_rows, depth + 1, config);
+    tree.nodes[idx] = Node::Split { feature, threshold, left, right };
+    idx
+}
+
+/// Exact greedy split search: minimises summed squared error over all
+/// `(feature, midpoint)` candidates.
+fn best_split(x: &[Vec<f64>], residual: &[f64], rows: &[usize]) -> Option<(usize, f64)> {
+    let d = x[rows[0]].len();
+    let total_sum: f64 = rows.iter().map(|&i| residual[i]).sum();
+    let total_cnt = rows.len() as f64;
+    let parent_score = total_sum * total_sum / total_cnt;
+
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    let mut order: Vec<usize> = rows.to_vec();
+    #[allow(clippy::needless_range_loop)] // indexed features read clearer here
+    for f in 0..d {
+        order.sort_by(|&a, &b| {
+            x[a][f].partial_cmp(&x[b][f]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut left_sum = 0.0;
+        let mut left_cnt = 0.0;
+        for w in 0..order.len() - 1 {
+            let i = order[w];
+            left_sum += residual[i];
+            left_cnt += 1.0;
+            let xi = x[i][f];
+            let xj = x[order[w + 1]][f];
+            if xi == xj {
+                continue; // can't split between equal values
+            }
+            let right_sum = total_sum - left_sum;
+            let right_cnt = total_cnt - left_cnt;
+            let gain =
+                left_sum * left_sum / left_cnt + right_sum * right_sum / right_cnt - parent_score;
+            if best.map(|(_, _, g)| gain > g).unwrap_or(gain > 1e-12) {
+                best = Some((f, (xi + xj) / 2.0, gain));
+            }
+        }
+    }
+    best.map(|(f, t, _)| (f, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_step_function_exactly() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..40).map(|i| if i < 20 { 1.0 } else { 5.0 }).collect();
+        let cfg = GbtConfig { n_trees: 40, eta: 0.3, subsample: 1.0, ..GbtConfig::default() };
+        let m = Gbt::fit(&x, &y, cfg);
+        assert!((m.predict_one(&[3.0]) - 1.0).abs() < 0.05);
+        assert!((m.predict_one(&[33.0]) - 5.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn interaction_of_two_features() {
+        // y = b when a < 5, -b otherwise: a sign interaction no linear
+        // model can express but depth-2 trees capture.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..10 {
+            for b in 0..10 {
+                x.push(vec![a as f64, b as f64]);
+                y.push(if a < 5 { b as f64 } else { -(b as f64) });
+            }
+        }
+        let cfg = GbtConfig { n_trees: 80, eta: 0.3, subsample: 1.0, ..GbtConfig::default() };
+        let m = Gbt::fit(&x, &y, cfg);
+        assert!((m.predict_one(&[1.0, 8.0]) - 8.0).abs() < 1.0);
+        assert!((m.predict_one(&[8.0, 8.0]) + 8.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn constant_target_gives_constant_model() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![4.2; 10];
+        let m = Gbt::fit(&x, &y, GbtConfig::default());
+        assert!((m.predict_one(&[100.0]) - 4.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 13) as f64, (i % 7) as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * 0.5 - r[1]).collect();
+        let m1 = Gbt::fit(&x, &y, GbtConfig::default());
+        let m2 = Gbt::fit(&x, &y, GbtConfig::default());
+        assert_eq!(m1.predict(&x), m2.predict(&x));
+    }
+
+    #[test]
+    fn predictions_within_target_range() {
+        // Boosted means never extrapolate beyond the label range for
+        // squared loss with eta <= 1.
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..50).map(|i| (i as f64).sin()).collect();
+        let m = Gbt::fit(&x, &y, GbtConfig { subsample: 1.0, ..GbtConfig::default() });
+        for p in m.predict(&x) {
+            assert!((-1.5..=1.5).contains(&p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_input_panics() {
+        let _ = Gbt::fit(&[], &[], GbtConfig::default());
+    }
+}
+
+#[cfg(test)]
+mod importance_tests {
+    use super::*;
+
+    #[test]
+    fn importance_concentrates_on_the_informative_feature() {
+        // y depends on feature 1 only; feature 0 is pure noise-like.
+        let x: Vec<Vec<f64>> = (0..80)
+            .map(|i| vec![((i * 13) % 7) as f64, (i % 9) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| r[1] * 2.0).collect();
+        let m = Gbt::fit(&x, &y, GbtConfig { subsample: 1.0, ..GbtConfig::default() });
+        let imp = m.feature_importance();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[1] > 0.9, "{imp:?}");
+    }
+
+    #[test]
+    fn importance_of_constant_model_is_zero() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![1.0; 10];
+        let m = Gbt::fit(&x, &y, GbtConfig::default());
+        assert_eq!(m.feature_importance(), vec![0.0]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Classical ML baselines, regression metrics, and t-SNE.
+//!
+//! Everything the paper's evaluation needs besides the GNNs themselves:
+//!
+//! * [`LinearRegression`] and [`Gbt`] — the node-feature-only baselines of
+//!   Figure 6 (linear regression and an XGBoost-style gradient-boosted
+//!   tree ensemble);
+//! * [`r_squared`] / [`mae`] / [`mape`] / [`ErrorHistogram`] — the metrics
+//!   of Figures 6-7 and Table V;
+//! * [`tsne`] — the embedding projection of Figure 8.
+//!
+//! # Examples
+//!
+//! ```
+//! use paragraph_ml::{Gbt, GbtConfig, r_squared};
+//!
+//! let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+//! let y: Vec<f64> = x.iter().map(|r| r[0].sqrt()).collect();
+//! let model = Gbt::fit(&x, &y, GbtConfig::default());
+//! assert!(r_squared(&model.predict(&x), &y) > 0.95);
+//! ```
+
+#![warn(missing_docs)]
+
+mod gbt;
+mod linear;
+mod metrics;
+mod tsne;
+
+pub use gbt::{Gbt, GbtConfig};
+pub use linear::{cholesky_solve, FitLinearError, LinearRegression};
+pub use metrics::{geometric_mean, mae, mape, r_squared, ErrorHistogram, RegressionReport};
+pub use tsne::{knn_label_spread, tsne, TsneConfig};

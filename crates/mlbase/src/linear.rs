@@ -1,0 +1,202 @@
+//! Ordinary least squares linear regression (the paper's weakest
+//! baseline), solved by Cholesky factorisation of the normal equations
+//! with a small ridge term for stability.
+
+use std::fmt;
+
+/// Error returned when a linear system cannot be solved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FitLinearError {
+    message: String,
+}
+
+impl fmt::Display for FitLinearError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for FitLinearError {}
+
+/// A fitted linear model `y = w . x + b`.
+///
+/// # Examples
+///
+/// ```
+/// use paragraph_ml::LinearRegression;
+///
+/// let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+/// let y = [3.0, 5.0, 7.0]; // y = 2x + 1
+/// let model = LinearRegression::fit(&x, &y, 1e-9)?;
+/// assert!((model.predict_one(&[4.0]) - 9.0).abs() < 1e-6);
+/// # Ok::<(), paragraph_ml::FitLinearError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearRegression {
+    /// Fits by minimising `||Xw + b - y||² + ridge ||w||²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitLinearError`] on empty input, ragged rows, or a
+    /// non-positive-definite normal matrix (increase `ridge`).
+    pub fn fit(x: &[Vec<f64>], y: &[f64], ridge: f64) -> Result<Self, FitLinearError> {
+        let err = |m: &str| FitLinearError { message: m.to_owned() };
+        if x.is_empty() || x.len() != y.len() {
+            return Err(err("empty or mismatched training data"));
+        }
+        let d = x[0].len();
+        if x.iter().any(|row| row.len() != d) {
+            return Err(err("ragged feature rows"));
+        }
+        // Augment with a constant-1 column for the bias.
+        let da = d + 1;
+        let mut xtx = vec![0.0_f64; da * da];
+        let mut xty = vec![0.0_f64; da];
+        let mut aug = vec![0.0_f64; da];
+        for (row, &yi) in x.iter().zip(y.iter()) {
+            aug[..d].copy_from_slice(row);
+            aug[d] = 1.0;
+            for i in 0..da {
+                xty[i] += aug[i] * yi;
+                for j in 0..da {
+                    xtx[i * da + j] += aug[i] * aug[j];
+                }
+            }
+        }
+        for i in 0..d {
+            xtx[i * da + i] += ridge.max(0.0) + 1e-12;
+        }
+        xtx[d * da + d] += 1e-12;
+        let sol = cholesky_solve(&xtx, &xty, da)
+            .ok_or_else(|| err("normal matrix is not positive definite"))?;
+        Ok(Self { weights: sol[..d].to_vec(), bias: sol[d] })
+    }
+
+    /// Fitted feature weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fitted intercept.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Predicts a single sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the training dimension.
+    pub fn predict_one(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.weights.len(), "feature width mismatch");
+        self.weights
+            .iter()
+            .zip(features.iter())
+            .map(|(w, f)| w * f)
+            .sum::<f64>()
+            + self.bias
+    }
+
+    /// Predicts a batch.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Vec<f64> {
+        x.iter().map(|row| self.predict_one(row)).collect()
+    }
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` (`n x n`,
+/// row-major) via Cholesky. Returns `None` if `A` is not SPD.
+pub fn cholesky_solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    // L such that A = L L^T.
+    let mut l = vec![0.0_f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward: L z = b.
+    let mut z = vec![0.0_f64; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * z[k];
+        }
+        z[i] = sum / l[i * n + i];
+    }
+    // Backward: L^T x = z.
+    let mut x = vec![0.0_f64; n];
+    for i in (0..n).rev() {
+        let mut sum = z[i];
+        for k in i + 1..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_plane() {
+        // y = 3a - 2b + 0.5
+        let x: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 7) as f64, (i % 5) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 0.5).collect();
+        let m = LinearRegression::fit(&x, &y, 1e-9).unwrap();
+        assert!((m.weights()[0] - 3.0).abs() < 1e-6);
+        assert!((m.weights()[1] + 2.0).abs() < 1e-6);
+        assert!((m.bias() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(LinearRegression::fit(&[], &[], 0.0).is_err());
+    }
+
+    #[test]
+    fn rejects_ragged() {
+        let x = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(LinearRegression::fit(&x, &[1.0, 2.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0]).collect();
+        let free = LinearRegression::fit(&x, &y, 0.0).unwrap();
+        let ridged = LinearRegression::fit(&x, &y, 1e4).unwrap();
+        assert!(ridged.weights()[0].abs() < free.weights()[0].abs());
+    }
+
+    #[test]
+    fn cholesky_identity() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let x = cholesky_solve(&a, &[3.0, 4.0], 2).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = [0.0, 0.0, 0.0, -1.0];
+        assert!(cholesky_solve(&a, &[1.0, 1.0], 2).is_none());
+    }
+}

@@ -1,0 +1,205 @@
+//! Regression metrics used throughout the paper: R², MAE, MAPE, plus the
+//! error-range histogram of Table V.
+
+/// Coefficient of determination R² = 1 − SS_res / SS_tot.
+///
+/// Returns 0.0 when the target has zero variance (degenerate case). A
+/// perfect prediction scores 1.0; predicting the mean scores 0.0; worse
+/// predictions go negative.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+///
+/// # Examples
+///
+/// ```
+/// let r2 = paragraph_ml::r_squared(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]);
+/// assert!((r2 - 1.0).abs() < 1e-12);
+/// ```
+pub fn r_squared(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean).powi(2)).sum();
+    let ss_res: f64 = pred
+        .iter()
+        .zip(truth.iter())
+        .map(|(p, t)| (p - t).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter()
+        .zip(truth.iter())
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Mean absolute percentage error, in percent. Entries whose truth is
+/// exactly zero are skipped.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mape(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    let mut total = 0.0;
+    let mut count = 0_usize;
+    for (p, t) in pred.iter().zip(truth.iter()) {
+        if *t != 0.0 {
+            total += ((p - t) / t).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        100.0 * total / count as f64
+    }
+}
+
+/// Geometric mean of strictly positive values; zero/negative entries are
+/// floored at `1e-12`.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// The error-range buckets of Table V: `<10%`, `10-20%`, `20-30%`,
+/// `30-40%`, `40-50%`, `>50%`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ErrorHistogram {
+    /// Counts per bucket, in Table V row order.
+    pub buckets: [usize; 6],
+}
+
+impl ErrorHistogram {
+    /// Builds the histogram from relative errors (fractions, not percent).
+    pub fn from_relative_errors<'a>(errors: impl IntoIterator<Item = &'a f64>) -> Self {
+        let mut h = Self::default();
+        for &e in errors {
+            let pct = e.abs() * 100.0;
+            let idx = match pct {
+                p if p < 10.0 => 0,
+                p if p < 20.0 => 1,
+                p if p < 30.0 => 2,
+                p if p < 40.0 => 3,
+                p if p < 50.0 => 4,
+                _ => 5,
+            };
+            h.buckets[idx] += 1;
+        }
+        h
+    }
+
+    /// Row labels in Table V order.
+    pub fn labels() -> [&'static str; 6] {
+        ["< 10%", "10%-20%", "20%-30%", "30%-40%", "40%-50%", "> 50%"]
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.buckets.iter().sum()
+    }
+}
+
+/// Bundle of the three headline metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegressionReport {
+    /// R².
+    pub r2: f64,
+    /// Mean absolute error (same units as the target).
+    pub mae: f64,
+    /// Mean absolute percentage error, percent.
+    pub mape: f64,
+}
+
+impl RegressionReport {
+    /// Computes all three metrics.
+    pub fn compute(pred: &[f64], truth: &[f64]) -> Self {
+        Self { r2: r_squared(pred, truth), mae: mae(pred, truth), mape: mape(pred, truth) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r2_of_mean_prediction_is_zero() {
+        let truth = [1.0, 2.0, 3.0, 4.0];
+        let pred = [2.5; 4];
+        assert!(r_squared(&pred, &truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_is_at_most_one() {
+        let truth = [1.0, 5.0, 3.0];
+        for pred in [[1.0, 5.0, 3.0], [0.0, 0.0, 0.0], [9.0, -4.0, 2.0]] {
+            assert!(r_squared(&pred, &truth) <= 1.0);
+        }
+    }
+
+    #[test]
+    fn mae_and_mape_basics() {
+        let truth = [10.0, 20.0];
+        let pred = [11.0, 18.0];
+        assert!((mae(&pred, &truth) - 1.5).abs() < 1e-12);
+        assert!((mape(&pred, &truth) - 10.0).abs() < 1e-9); // (10% + 10%)/2
+    }
+
+    #[test]
+    fn mape_skips_zero_truth() {
+        let truth = [0.0, 10.0];
+        let pred = [5.0, 11.0];
+        assert!((mape(&pred, &truth) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_mean_matches_hand_calc() {
+        assert!((geometric_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_table_v_style() {
+        let errors = [0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.95, 0.02];
+        let h = ErrorHistogram::from_relative_errors(&errors);
+        assert_eq!(h.buckets, [2, 1, 1, 1, 1, 2]);
+        assert_eq!(h.total(), 8);
+    }
+
+    #[test]
+    fn report_bundles_all_three() {
+        let r = RegressionReport::compute(&[1.0, 2.0], &[1.0, 2.0]);
+        assert_eq!(r.r2, 1.0);
+        assert_eq!(r.mae, 0.0);
+        assert_eq!(r.mape, 0.0);
+    }
+
+    #[test]
+    fn degenerate_truth_variance() {
+        assert_eq!(r_squared(&[5.0, 5.0], &[5.0, 5.0]), 1.0);
+        assert_eq!(r_squared(&[4.0, 5.0], &[5.0, 5.0]), 0.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Exact t-SNE (van der Maaten & Hinton) for embedding visualisation —
+//! reproduces the paper's Figure 8, which colours 2-D projections of net
+//! embeddings by log10 ground-truth capacitance.
+//!
+//! O(n²) exact implementation; callers subsample large node sets.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// t-SNE hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsneConfig {
+    /// Target perplexity (effective neighbour count).
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub exaggeration: f64,
+    /// RNG seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self {
+            perplexity: 30.0,
+            iterations: 400,
+            learning_rate: 100.0,
+            exaggeration: 12.0,
+            seed: 4,
+        }
+    }
+}
+
+/// Embeds `data` (n rows of equal-length feature slices) into 2-D.
+///
+/// Returns one `(x, y)` per input row.
+///
+/// # Panics
+///
+/// Panics on ragged rows.
+pub fn tsne(data: &[Vec<f32>], config: &TsneConfig) -> Vec<(f32, f32)> {
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![(0.0, 0.0)];
+    }
+    let d = data[0].len();
+    assert!(data.iter().all(|r| r.len() == d), "ragged rows");
+
+    // Pairwise squared distances in high-dim space.
+    let mut dist2 = vec![0.0_f64; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let mut s = 0.0_f64;
+            #[allow(clippy::needless_range_loop)]
+            for k in 0..d {
+                let diff = (data[i][k] - data[j][k]) as f64;
+                s += diff * diff;
+            }
+            dist2[i * n + j] = s;
+            dist2[j * n + i] = s;
+        }
+    }
+
+    // Conditional probabilities with per-point sigma from binary search on
+    // perplexity.
+    let target_entropy = config.perplexity.max(2.0).ln();
+    let mut p = vec![0.0_f64; n * n];
+    for i in 0..n {
+        let row = &dist2[i * n..(i + 1) * n];
+        let (mut beta, mut beta_min, mut beta_max) = (1.0_f64, 0.0_f64, f64::INFINITY);
+        for _ in 0..50 {
+            // Compute entropy at this beta.
+            let mut sum = 0.0;
+            let mut sum_dp = 0.0;
+            for (j, &d2) in row.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let pj = (-beta * d2).exp();
+                sum += pj;
+                sum_dp += pj * d2;
+            }
+            if sum <= 0.0 {
+                break;
+            }
+            let entropy = beta * sum_dp / sum + sum.ln();
+            let diff = entropy - target_entropy;
+            if diff.abs() < 1e-5 {
+                break;
+            }
+            if diff > 0.0 {
+                beta_min = beta;
+                beta = if beta_max.is_finite() { (beta + beta_max) / 2.0 } else { beta * 2.0 };
+            } else {
+                beta_max = beta;
+                beta = (beta + beta_min) / 2.0;
+            }
+        }
+        let mut sum = 0.0;
+        for j in 0..n {
+            if j != i {
+                let v = (-beta * row[j]).exp();
+                p[i * n + j] = v;
+                sum += v;
+            }
+        }
+        if sum > 0.0 {
+            for j in 0..n {
+                p[i * n + j] /= sum;
+            }
+        }
+    }
+    // Symmetrise.
+    let mut pij = vec![0.0_f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            pij[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+
+    // Gradient descent with momentum.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut y: Vec<[f64; 2]> = (0..n)
+        .map(|_| [rng.random_range(-1e-4..1e-4), rng.random_range(-1e-4..1e-4)])
+        .collect();
+    let mut vel = vec![[0.0_f64; 2]; n];
+    let mut grad = vec![[0.0_f64; 2]; n];
+    let mut q = vec![0.0_f64; n * n];
+
+    for it in 0..config.iterations {
+        let exag = if it < config.iterations / 4 { config.exaggeration } else { 1.0 };
+        // Student-t affinities in 2-D.
+        let mut qsum = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let v = 1.0 / (1.0 + dx * dx + dy * dy);
+                q[i * n + j] = v;
+                q[j * n + i] = v;
+                qsum += 2.0 * v;
+            }
+        }
+        let qsum = qsum.max(1e-12);
+        for g in grad.iter_mut() {
+            *g = [0.0, 0.0];
+        }
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let qv = q[i * n + j];
+                let mult = (exag * pij[i * n + j] - qv / qsum) * qv;
+                grad[i][0] += 4.0 * mult * (y[i][0] - y[j][0]);
+                grad[i][1] += 4.0 * mult * (y[i][1] - y[j][1]);
+            }
+        }
+        let momentum = if it < 100 { 0.5 } else { 0.8 };
+        for i in 0..n {
+            for k in 0..2 {
+                vel[i][k] = momentum * vel[i][k] - config.learning_rate * grad[i][k];
+                y[i][k] += vel[i][k];
+            }
+        }
+        // Re-centre.
+        let cx = y.iter().map(|p| p[0]).sum::<f64>() / n as f64;
+        let cy = y.iter().map(|p| p[1]).sum::<f64>() / n as f64;
+        for p in y.iter_mut() {
+            p[0] -= cx;
+            p[1] -= cy;
+        }
+    }
+    y.iter().map(|p| (p[0] as f32, p[1] as f32)).collect()
+}
+
+/// Quantitative stand-in for "colours are well separated" in Figure 8:
+/// mean absolute label difference between each point and its `k` nearest
+/// embedding neighbours. Lower = better separation. Compare against the
+/// same statistic under random neighbour assignment.
+pub fn knn_label_spread(points: &[(f32, f32)], labels: &[f64], k: usize) -> f64 {
+    assert_eq!(points.len(), labels.len(), "points/labels mismatch");
+    let n = points.len();
+    if n <= k {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        let mut dists: Vec<(f64, usize)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| {
+                let dx = (points[i].0 - points[j].0) as f64;
+                let dy = (points[i].1 - points[j].1) as f64;
+                (dx * dx + dy * dy, j)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let spread: f64 = dists[..k]
+            .iter()
+            .map(|&(_, j)| (labels[i] - labels[j]).abs())
+            .sum::<f64>()
+            / k as f64;
+        total += spread;
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian blobs must stay separated in 2-D.
+    #[test]
+    fn separates_two_blobs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let centre = if i < 30 { 0.0 } else { 10.0 };
+            data.push(vec![
+                centre + rng.random_range(-0.5..0.5),
+                centre + rng.random_range(-0.5..0.5),
+                rng.random_range(-0.5..0.5),
+            ]);
+            labels.push(if i < 30 { 0.0 } else { 1.0 });
+        }
+        let cfg = TsneConfig { iterations: 250, perplexity: 10.0, ..TsneConfig::default() };
+        let pts = tsne(&data, &cfg);
+        // k-NN label spread must be much lower than the random baseline 0.5.
+        let spread = knn_label_spread(&pts, &labels, 5);
+        assert!(spread < 0.15, "spread = {spread}");
+    }
+
+    #[test]
+    fn output_lengths_and_degenerate_cases() {
+        assert!(tsne(&[], &TsneConfig::default()).is_empty());
+        assert_eq!(tsne(&[vec![1.0, 2.0]], &TsneConfig::default()), vec![(0.0, 0.0)]);
+        let pts = tsne(
+            &[vec![0.0], vec![1.0], vec![2.0]],
+            &TsneConfig { iterations: 50, ..TsneConfig::default() },
+        );
+        assert_eq!(pts.len(), 3);
+        assert!(pts.iter().all(|p| p.0.is_finite() && p.1.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data: Vec<Vec<f32>> =
+            (0..20).map(|i| vec![(i % 5) as f32, (i % 3) as f32]).collect();
+        let cfg = TsneConfig { iterations: 80, ..TsneConfig::default() };
+        assert_eq!(tsne(&data, &cfg), tsne(&data, &cfg));
+    }
+
+    #[test]
+    fn knn_spread_zero_for_constant_labels() {
+        let pts = vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)];
+        let labels = vec![5.0; 4];
+        assert_eq!(knn_label_spread(&pts, &labels, 2), 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests on the classical ML components.
+
+use paragraph_ml::{
+    cholesky_solve, mape, r_squared, Gbt, GbtConfig, LinearRegression, RegressionReport,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// R² is bounded above by 1 for any prediction.
+    #[test]
+    fn r2_never_exceeds_one(
+        truth in prop::collection::vec(-100.0_f64..100.0, 2..40),
+        offset in -10.0_f64..10.0,
+    ) {
+        let pred: Vec<f64> = truth.iter().map(|t| t * 0.7 + offset).collect();
+        prop_assert!(r_squared(&pred, &truth) <= 1.0 + 1e-12);
+    }
+
+    /// Perfect prediction: R² = 1, MAPE = 0.
+    #[test]
+    fn perfect_prediction_is_perfect(truth in prop::collection::vec(0.5_f64..100.0, 2..40)) {
+        let r = RegressionReport::compute(&truth, &truth);
+        prop_assert!((r.r2 - 1.0).abs() < 1e-9);
+        prop_assert!(r.mae.abs() < 1e-12);
+        prop_assert!(r.mape.abs() < 1e-9);
+    }
+
+    /// Scaling all predictions by (1+e) gives MAPE = 100 e.
+    #[test]
+    fn mape_of_uniform_relative_error(
+        truth in prop::collection::vec(1.0_f64..50.0, 2..30),
+        e in 0.01_f64..0.9,
+    ) {
+        let pred: Vec<f64> = truth.iter().map(|t| t * (1.0 + e)).collect();
+        prop_assert!((mape(&pred, &truth) - 100.0 * e).abs() < 1e-6);
+    }
+
+    /// GBT predictions never leave the convex hull of the training labels.
+    #[test]
+    fn gbt_stays_in_label_range(seed in any::<u64>(), n in 10_usize..80) {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(11);
+            ((state >> 33) % 1000) as f64 / 100.0
+        };
+        let x: Vec<Vec<f64>> = (0..n).map(|_| vec![next(), next()]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] - r[1] + next() * 0.1).collect();
+        let (lo, hi) = y.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+            (a.min(v), b.max(v))
+        });
+        let model = Gbt::fit(&x, &y, GbtConfig { n_trees: 20, subsample: 1.0, ..GbtConfig::default() });
+        for row in &x {
+            let p = model.predict_one(row);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Linear regression exactly recovers noiseless linear data.
+    #[test]
+    fn linear_recovers_exact_plane(w0 in -5.0_f64..5.0, w1 in -5.0_f64..5.0, b in -5.0_f64..5.0) {
+        let x: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 6) as f64, (i % 5) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| w0 * r[0] + w1 * r[1] + b).collect();
+        let m = LinearRegression::fit(&x, &y, 0.0).unwrap();
+        prop_assert!((m.weights()[0] - w0).abs() < 1e-6);
+        prop_assert!((m.weights()[1] - w1).abs() < 1e-6);
+        prop_assert!((m.bias() - b).abs() < 1e-6);
+    }
+
+    /// Cholesky solves A x = b for random SPD matrices (A = M M^T + I).
+    #[test]
+    fn cholesky_solves_random_spd(seed in any::<u64>(), n in 1_usize..6) {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(3);
+            ((state >> 33) % 200) as f64 / 100.0 - 1.0
+        };
+        let m: Vec<f64> = (0..n * n).map(|_| next()).collect();
+        let mut a = vec![0.0_f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    a[i * n + j] += m[i * n + k] * m[j * n + k];
+                }
+            }
+            a[i * n + i] += 1.0;
+        }
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = cholesky_solve(&a, &b, n).expect("SPD");
+        // Residual check.
+        for i in 0..n {
+            let mut r = -b[i];
+            for j in 0..n {
+                r += a[i * n + j] * x[j];
+            }
+            prop_assert!(r.abs() < 1e-8, "residual {r}");
+        }
+    }
+}

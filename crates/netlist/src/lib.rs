@@ -1,0 +1,39 @@
+//! Circuit netlist substrate for the ParaGraph reproduction.
+//!
+//! Provides the schematic data model the paper's graphs are built from:
+//!
+//! * [`Circuit`] — a flat bag of [`Net`]s and [`Device`]s with the device
+//!   classes of the paper's Table II (thin/thick-gate FinFETs, resistors,
+//!   capacitors, diodes, BJTs);
+//! * [`Netlist`] / [`Subckt`] — hierarchical netlists with
+//!   [`Netlist::flatten`];
+//! * [`parse_spice`] / [`write_spice`] — a SPICE-subset reader/writer;
+//! * [`parse_value`] / [`format_value`] — engineering-notation numbers.
+//!
+//! # Examples
+//!
+//! ```
+//! use paragraph_netlist::parse_spice;
+//!
+//! let flat = parse_spice("mn out in vss vss nch l=16n nfin=3\n.end\n")?
+//!     .flatten()?;
+//! assert_eq!(flat.num_devices(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod circuit;
+mod erc;
+mod hierarchy;
+mod spice;
+mod units;
+
+pub use circuit::{
+    classify_net_name, Circuit, Device, DeviceId, DeviceKind, DeviceParams, KindCounts,
+    MosPolarity, Net, NetClass, NetId, Terminal, ValidateCircuitError,
+};
+pub use erc::{erc_check, ErcDiagnostic};
+pub use hierarchy::{FlattenError, Instance, Netlist, Subckt};
+pub use spice::{parse_spice, write_flat_spice, write_spice, ParseSpiceError};
+pub use units::{format_value, parse_value, ParseValueError};

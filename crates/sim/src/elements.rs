@@ -1,0 +1,275 @@
+//! Simulator-level circuit: nodes, device models, and sources.
+
+/// A node in the simulation circuit. `SimNode::GROUND` is the reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimNode(pub usize);
+
+impl SimNode {
+    /// The reference (0 V) node.
+    pub const GROUND: SimNode = SimNode(usize::MAX);
+
+    /// MNA matrix index (`usize::MAX` for ground, which is skipped).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Whether this is the reference node.
+    pub fn is_ground(self) -> bool {
+        self.0 == usize::MAX
+    }
+}
+
+/// Independent source waveform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// Periodic trapezoidal pulse.
+    Pulse {
+        /// Initial value.
+        v0: f64,
+        /// Pulsed value.
+        v1: f64,
+        /// Delay before the first edge.
+        delay: f64,
+        /// Rise time.
+        rise: f64,
+        /// Fall time.
+        fall: f64,
+        /// Time at `v1` per period.
+        width: f64,
+        /// Repetition period (0 disables repetition).
+        period: f64,
+    },
+}
+
+impl Waveform {
+    /// Value at time `t`.
+    pub fn at(&self, t: f64) -> f64 {
+        match *self {
+            Waveform::Dc(v) => v,
+            Waveform::Pulse { v0, v1, delay, rise, fall, width, period } => {
+                if t < delay {
+                    return v0;
+                }
+                let mut tau = t - delay;
+                if period > 0.0 {
+                    tau %= period;
+                }
+                if tau < rise {
+                    v0 + (v1 - v0) * tau / rise.max(1e-18)
+                } else if tau < rise + width {
+                    v1
+                } else if tau < rise + width + fall {
+                    v1 + (v0 - v1) * (tau - rise - width) / fall.max(1e-18)
+                } else {
+                    v0
+                }
+            }
+        }
+    }
+}
+
+/// Square-law (SPICE level-1 style) MOSFET model card.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosModel {
+    /// Threshold voltage (positive for both polarities).
+    pub vth: f64,
+    /// Transconductance factor `k = kp * W / L` already folded in (A/V²).
+    pub k: f64,
+    /// Channel-length modulation.
+    pub lambda: f64,
+}
+
+impl MosModel {
+    /// Builds from process transconductance and geometry.
+    pub fn from_geometry(kp: f64, vth: f64, lambda: f64, w: f64, l: f64) -> Self {
+        Self { vth, k: kp * (w / l.max(1e-9)), lambda }
+    }
+}
+
+/// A simulation element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// Linear resistor.
+    Resistor {
+        /// First terminal.
+        a: SimNode,
+        /// Second terminal.
+        b: SimNode,
+        /// Resistance, ohms.
+        ohms: f64,
+    },
+    /// Linear capacitor.
+    Capacitor {
+        /// First terminal.
+        a: SimNode,
+        /// Second terminal.
+        b: SimNode,
+        /// Capacitance, farads.
+        farads: f64,
+    },
+    /// Independent voltage source (adds one branch-current unknown).
+    Vsource {
+        /// Positive terminal.
+        pos: SimNode,
+        /// Negative terminal.
+        neg: SimNode,
+        /// Source waveform.
+        wave: Waveform,
+    },
+    /// Independent current source (flows `pos -> neg` through the source).
+    Isource {
+        /// Current enters the circuit here.
+        pos: SimNode,
+        /// Current returns here.
+        neg: SimNode,
+        /// Amps.
+        amps: f64,
+    },
+    /// Square-law MOSFET (bulk ignored).
+    Mosfet {
+        /// Drain.
+        d: SimNode,
+        /// Gate.
+        g: SimNode,
+        /// Source.
+        s: SimNode,
+        /// Model card.
+        model: MosModel,
+        /// P-channel when true.
+        pmos: bool,
+    },
+    /// Junction diode (anode `a`, cathode `b`).
+    Diode {
+        /// Anode.
+        a: SimNode,
+        /// Cathode.
+        b: SimNode,
+        /// Saturation current, amps.
+        i_sat: f64,
+    },
+    /// Voltage-controlled voltage source:
+    /// `v(pos) - v(neg) = gain * (v(cpos) - v(cneg))` (adds one branch
+    /// unknown, like an independent source).
+    Vcvs {
+        /// Positive output terminal.
+        pos: SimNode,
+        /// Negative output terminal.
+        neg: SimNode,
+        /// Positive sense terminal.
+        cpos: SimNode,
+        /// Negative sense terminal.
+        cneg: SimNode,
+        /// Voltage gain.
+        gain: f64,
+    },
+    /// Voltage-controlled current source:
+    /// `i(pos -> neg) = gm * (v(cpos) - v(cneg))`.
+    Vccs {
+        /// Current leaves here.
+        pos: SimNode,
+        /// Current returns here.
+        neg: SimNode,
+        /// Positive sense terminal.
+        cpos: SimNode,
+        /// Negative sense terminal.
+        cneg: SimNode,
+        /// Transconductance, siemens.
+        gm: f64,
+    },
+}
+
+/// The circuit under simulation.
+#[derive(Debug, Clone, Default)]
+pub struct SimCircuit {
+    /// Number of non-ground nodes.
+    pub num_nodes: usize,
+    /// All elements.
+    pub elements: Vec<Element>,
+}
+
+impl SimCircuit {
+    /// Creates an empty circuit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh node.
+    pub fn node(&mut self) -> SimNode {
+        let n = SimNode(self.num_nodes);
+        self.num_nodes += 1;
+        n
+    }
+
+    /// Adds an element; returns its index.
+    pub fn add(&mut self, element: Element) -> usize {
+        self.elements.push(element);
+        self.elements.len() - 1
+    }
+
+    /// Number of branch unknowns (independent voltage sources + VCVS).
+    pub fn num_vsources(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::Vsource { .. } | Element::Vcvs { .. }))
+            .count()
+    }
+
+    /// Total MNA unknowns: node voltages + source branch currents.
+    pub fn mna_dim(&self) -> usize {
+        self.num_nodes + self.num_vsources()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pulse_waveform_shape() {
+        let w = Waveform::Pulse {
+            v0: 0.0,
+            v1: 1.0,
+            delay: 1e-9,
+            rise: 1e-10,
+            fall: 1e-10,
+            width: 1e-9,
+            period: 4e-9,
+        };
+        assert_eq!(w.at(0.0), 0.0);
+        assert_eq!(w.at(1.05e-10 + 1e-9), 1.0); // plateau (after rise)
+        assert!(w.at(1e-9 + 5e-11) > 0.4); // mid-rise
+        assert_eq!(w.at(1e-9 + 4e-9), 0.0); // next period start
+    }
+
+    #[test]
+    fn dc_waveform_constant() {
+        assert_eq!(Waveform::Dc(1.8).at(123.0), 1.8);
+    }
+
+    #[test]
+    fn node_allocation() {
+        let mut c = SimCircuit::new();
+        let a = c.node();
+        let b = c.node();
+        assert_eq!((a.index(), b.index()), (0, 1));
+        assert!(!a.is_ground());
+        assert!(SimNode::GROUND.is_ground());
+    }
+
+    #[test]
+    fn mna_dim_counts_sources() {
+        let mut c = SimCircuit::new();
+        let a = c.node();
+        c.add(Element::Vsource { pos: a, neg: SimNode::GROUND, wave: Waveform::Dc(1.0) });
+        c.add(Element::Resistor { a, b: SimNode::GROUND, ohms: 1e3 });
+        assert_eq!(c.mna_dim(), 2);
+    }
+
+    #[test]
+    fn mos_model_geometry() {
+        let m = MosModel::from_geometry(200e-6, 0.4, 0.05, 1e-6, 100e-9);
+        assert!((m.k - 2e-3).abs() < 1e-12);
+    }
+}

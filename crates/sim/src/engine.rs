@@ -1,0 +1,576 @@
+//! MNA assembly, Newton-Raphson DC solution, and backward-Euler transient.
+
+use crate::elements::{Element, SimCircuit, SimNode};
+use crate::solver::DenseSystem;
+
+/// Thermal voltage at room temperature.
+const VT: f64 = 0.02585;
+/// Diode ideality factor.
+const DIODE_N: f64 = 1.0;
+/// Minimum conductance from every node to ground (convergence aid).
+const GMIN: f64 = 1e-9;
+/// Maximum Newton update per iteration (volts), for damping.
+const MAX_STEP: f64 = 0.4;
+
+/// Error from a failed simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimulateError {
+    /// Newton iteration did not converge.
+    NoConvergence,
+    /// The MNA matrix was singular at some point.
+    Singular,
+}
+
+impl std::fmt::Display for SimulateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimulateError::NoConvergence => write!(f, "newton iteration did not converge"),
+            SimulateError::Singular => write!(f, "singular mna matrix"),
+        }
+    }
+}
+
+impl std::error::Error for SimulateError {}
+
+/// Result of a transient run.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    /// Sample instants.
+    pub times: Vec<f64>,
+    /// `voltages[step][node]`.
+    pub voltages: Vec<Vec<f64>>,
+    /// `currents[step][vsource_index]` — branch current out of each
+    /// voltage source's positive terminal.
+    pub currents: Vec<Vec<f64>>,
+}
+
+impl TranResult {
+    /// Voltage waveform of one node.
+    pub fn node_wave(&self, node: SimNode) -> Vec<f64> {
+        if node.is_ground() {
+            return vec![0.0; self.times.len()];
+        }
+        self.voltages.iter().map(|v| v[node.index()]).collect()
+    }
+
+    /// Branch-current waveform of voltage source `k` (in declaration
+    /// order).
+    pub fn source_current(&self, k: usize) -> Vec<f64> {
+        self.currents.iter().map(|c| c[k]).collect()
+    }
+}
+
+/// Voltage of `node` in a solution vector.
+fn v_of(x: &[f64], node: SimNode) -> f64 {
+    if node.is_ground() {
+        0.0
+    } else {
+        x[node.index()]
+    }
+}
+
+/// Stamps every element into `sys`, linearised at `x`.
+///
+/// `tran`: `(dt, previous solution)` when in a transient step.
+fn stamp(
+    circuit: &SimCircuit,
+    sys: &mut DenseSystem,
+    x: &[f64],
+    t: f64,
+    tran: Option<(f64, &[f64])>,
+    gmin: f64,
+    src_scale: f64,
+) {
+    let n = circuit.num_nodes;
+    // Gmin to ground on every node.
+    for i in 0..n {
+        sys.stamp_a(i, i, gmin);
+    }
+    let mut vsrc = 0_usize;
+    for element in &circuit.elements {
+        match element {
+            Element::Resistor { a, b, ohms } => {
+                let g = 1.0 / ohms.max(1e-3);
+                stamp_conductance(sys, *a, *b, g);
+            }
+            Element::Capacitor { a, b, farads } => {
+                if let Some((dt, prev)) = tran {
+                    let geq = farads / dt;
+                    let vprev = v_of(prev, *a) - v_of(prev, *b);
+                    stamp_conductance(sys, *a, *b, geq);
+                    sys.stamp_b(a.index(), geq * vprev);
+                    sys.stamp_b(b.index(), -geq * vprev);
+                }
+                // DC: open circuit (gmin keeps the matrix regular).
+            }
+            Element::Vsource { pos, neg, wave } => {
+                let row = n + vsrc;
+                vsrc += 1;
+                sys.stamp_a(row, pos.index(), 1.0);
+                sys.stamp_a(row, neg.index(), -1.0);
+                sys.stamp_a(pos.index(), row, 1.0);
+                sys.stamp_a(neg.index(), row, -1.0);
+                sys.stamp_b(row, wave.at(t) * src_scale);
+            }
+            Element::Isource { pos, neg, amps } => {
+                sys.stamp_b(pos.index(), *amps * src_scale);
+                sys.stamp_b(neg.index(), -*amps * src_scale);
+            }
+            Element::Vcvs { pos, neg, cpos, cneg, gain } => {
+                let row = n + vsrc;
+                vsrc += 1;
+                // Branch current into the output pins.
+                sys.stamp_a(pos.index(), row, 1.0);
+                sys.stamp_a(neg.index(), row, -1.0);
+                // Constraint: v(pos) - v(neg) - gain (v(cpos) - v(cneg)) = 0.
+                sys.stamp_a(row, pos.index(), 1.0);
+                sys.stamp_a(row, neg.index(), -1.0);
+                sys.stamp_a(row, cpos.index(), -gain);
+                sys.stamp_a(row, cneg.index(), *gain);
+            }
+            Element::Vccs { pos, neg, cpos, cneg, gm } => {
+                // i(pos -> external) = gm (v(cpos) - v(cneg)): a current of
+                // that magnitude leaves `pos` and enters `neg`.
+                sys.stamp_a(pos.index(), cpos.index(), *gm);
+                sys.stamp_a(pos.index(), cneg.index(), -gm);
+                sys.stamp_a(neg.index(), cpos.index(), -gm);
+                sys.stamp_a(neg.index(), cneg.index(), *gm);
+            }
+            Element::Diode { a, b, i_sat } => {
+                let vd = (v_of(x, *a) - v_of(x, *b)).min(0.8);
+                let nvt = DIODE_N * VT;
+                let e = (vd / nvt).exp();
+                let id = i_sat * (e - 1.0);
+                let gd = (i_sat / nvt * e).max(GMIN);
+                let ieq = id - gd * vd;
+                stamp_conductance(sys, *a, *b, gd);
+                sys.stamp_b(a.index(), -ieq);
+                sys.stamp_b(b.index(), ieq);
+            }
+            Element::Mosfet { d, g, s, model, pmos } => {
+                let sign = if *pmos { -1.0 } else { 1.0 };
+                let vd = sign * v_of(x, *d);
+                let vg = sign * v_of(x, *g);
+                let vs = sign * v_of(x, *s);
+                // Effective orientation: source is the lower terminal.
+                let (de, se, vde, vse) =
+                    if vd >= vs { (*d, *s, vd, vs) } else { (*s, *d, vs, vd) };
+                let vgs = vg - vse;
+                let vds = vde - vse;
+                let vov = vgs - model.vth;
+                // Smooth (softplus) effective overdrive: C¹-continuous
+                // across the sub-threshold boundary, which Newton needs on
+                // latching circuits.
+                let (vov_eff, dvov) = softplus_overdrive(vov);
+                let (id, gm, gds) = if vds < vov_eff {
+                    // Triode.
+                    let lam = 1.0 + model.lambda * vds;
+                    let id = model.k * (vov_eff * vds - vds * vds / 2.0) * lam;
+                    let gm = model.k * vds * lam * dvov;
+                    let gds = model.k * (vov_eff - vds) * lam
+                        + model.lambda * model.k * (vov_eff * vds - vds * vds / 2.0);
+                    (id, gm, gds.max(GMIN))
+                } else {
+                    // Saturation.
+                    let lam = 1.0 + model.lambda * vds;
+                    let id = 0.5 * model.k * vov_eff * vov_eff * lam;
+                    let gm = model.k * vov_eff * lam * dvov;
+                    let gds = (0.5 * model.k * vov_eff * vov_eff * model.lambda).max(GMIN);
+                    (id, gm, gds)
+                };
+                // Conductance stamps are identical in the flipped domain.
+                // I(de->se) = id; unknowns: v(de), v(g), v(se).
+                sys.stamp_a(de.index(), de.index(), gds);
+                sys.stamp_a(de.index(), se.index(), -(gds + gm));
+                sys.stamp_a(de.index(), g.index(), gm);
+                sys.stamp_a(se.index(), de.index(), -gds);
+                sys.stamp_a(se.index(), se.index(), gds + gm);
+                sys.stamp_a(se.index(), g.index(), -gm);
+                // Companion current (sign restores the real polarity).
+                let ieq = sign * (id - gm * vgs - gds * vds);
+                sys.stamp_b(de.index(), -ieq);
+                sys.stamp_b(se.index(), ieq);
+            }
+        }
+    }
+}
+
+/// `(softplus(vov), d softplus / d vov)` with the thermal voltage as the
+/// smoothing width (x2 for gentler knee).
+fn softplus_overdrive(vov: f64) -> (f64, f64) {
+    let w = 2.0 * VT;
+    let z = vov / w;
+    if z > 30.0 {
+        (vov, 1.0)
+    } else if z < -30.0 {
+        (w * (z).exp(), (z).exp())
+    } else {
+        let e = z.exp();
+        (w * (1.0 + e).ln(), e / (1.0 + e))
+    }
+}
+
+fn stamp_conductance(sys: &mut DenseSystem, a: SimNode, b: SimNode, g: f64) {
+    sys.stamp_a(a.index(), a.index(), g);
+    sys.stamp_a(b.index(), b.index(), g);
+    sys.stamp_a(a.index(), b.index(), -g);
+    sys.stamp_a(b.index(), a.index(), -g);
+}
+
+/// Newton solve at a fixed time `t`, starting from `x0`.
+fn newton(
+    circuit: &SimCircuit,
+    x0: &[f64],
+    t: f64,
+    tran: Option<(f64, &[f64])>,
+    gmin: f64,
+    max_iter: usize,
+) -> Result<Vec<f64>, SimulateError> {
+    newton_scaled(circuit, x0, t, tran, gmin, max_iter, 1.0)
+}
+
+/// Newton with independent sources scaled by `src_scale` (for source
+/// stepping).
+#[allow(clippy::too_many_arguments)]
+fn newton_scaled(
+    circuit: &SimCircuit,
+    x0: &[f64],
+    t: f64,
+    tran: Option<(f64, &[f64])>,
+    gmin: f64,
+    max_iter: usize,
+    src_scale: f64,
+) -> Result<Vec<f64>, SimulateError> {
+    let dim = circuit.mna_dim();
+    let mut x = x0.to_vec();
+    let mut sys = DenseSystem::new(dim);
+    for _ in 0..max_iter {
+        sys.clear();
+        stamp(circuit, &mut sys, &x, t, tran, gmin, src_scale);
+        let new_x = sys.solve().ok_or(SimulateError::Singular)?;
+        let mut delta: f64 = 0.0;
+        for i in 0..dim {
+            let step = (new_x[i] - x[i]).clamp(-MAX_STEP, MAX_STEP);
+            delta = delta.max(step.abs());
+            x[i] += step;
+        }
+        if delta < 1e-7 {
+            return Ok(x);
+        }
+    }
+    Err(SimulateError::NoConvergence)
+}
+
+/// Finds the DC operating point (`t = 0` source values), using gmin
+/// stepping as a fallback.
+///
+/// # Errors
+///
+/// Returns [`SimulateError`] when even the heavily-damped continuation
+/// fails.
+pub fn dc_operating_point(circuit: &SimCircuit) -> Result<Vec<f64>, SimulateError> {
+    let dim = circuit.mna_dim();
+    let x0 = vec![0.0; dim];
+    if let Ok(x) = newton(circuit, &x0, 0.0, None, GMIN, 150) {
+        return Ok(x);
+    }
+    // Gmin stepping: start very lossy, tighten gradually.
+    let gmin_attempt: Result<Vec<f64>, SimulateError> = (|| {
+        let mut x = vec![0.0; dim];
+        let mut gmin = 1e-2;
+        while gmin >= GMIN {
+            x = newton(circuit, &x, 0.0, None, gmin, 300)?;
+            gmin /= 10.0;
+        }
+        Ok(x)
+    })();
+    if let Ok(x) = gmin_attempt {
+        return Ok(x);
+    }
+    // Source stepping: ramp all independent sources from zero.
+    let mut x = vec![0.0; dim];
+    for step in 1..=10 {
+        let alpha = step as f64 / 10.0;
+        x = newton_scaled(circuit, &x, 0.0, None, GMIN * 100.0, 400, alpha)?;
+    }
+    newton(circuit, &x, 0.0, None, GMIN, 400)
+}
+
+/// Backward-Euler transient from the DC operating point.
+///
+/// # Errors
+///
+/// Returns [`SimulateError`] if the operating point or any step fails.
+pub fn transient(
+    circuit: &SimCircuit,
+    t_stop: f64,
+    dt: f64,
+) -> Result<TranResult, SimulateError> {
+    let n = circuit.num_nodes;
+    // Bistable circuits (latches, level shifters) can defeat the DC
+    // solver; fall back to a pseudo-transient start from zero state, which
+    // the capacitive companions damp into a valid trajectory.
+    let mut x = match dc_operating_point(circuit) {
+        Ok(x) => x,
+        Err(_) => vec![0.0; circuit.mna_dim()],
+    };
+    let steps = (t_stop / dt).ceil() as usize;
+    let mut result = TranResult {
+        times: Vec::with_capacity(steps + 1),
+        voltages: Vec::with_capacity(steps + 1),
+        currents: Vec::with_capacity(steps + 1),
+    };
+    let nv = circuit.num_vsources();
+    let push = |r: &mut TranResult, t: f64, x: &[f64]| {
+        r.times.push(t);
+        r.voltages.push(x[..n].to_vec());
+        r.currents.push(x[n..n + nv].to_vec());
+    };
+    push(&mut result, 0.0, &x);
+    for step in 1..=steps {
+        let t = step as f64 * dt;
+        let prev = x.clone();
+        x = match newton(circuit, &x, t, Some((dt, &prev)), GMIN, 100) {
+            Ok(x) => x,
+            Err(_) => {
+                // Retry with heavier gmin, then with subdivided steps
+                // (stiff transitions in latching circuits).
+                match newton(circuit, &x, t, Some((dt, &prev)), 1e-6, 300) {
+                    Ok(x) => x,
+                    Err(_) => substep(circuit, prev, t - dt, dt, 3)?,
+                }
+            }
+        };
+        push(&mut result, t, &x);
+    }
+    Ok(result)
+}
+
+/// Integrates one step of width `dt` starting at `t0` with recursive step
+/// halving (up to `depth` levels).
+fn substep(
+    circuit: &SimCircuit,
+    x0: Vec<f64>,
+    t0: f64,
+    dt: f64,
+    depth: usize,
+) -> Result<Vec<f64>, SimulateError> {
+    let half = dt / 2.0;
+    let mut x = x0;
+    for k in 0..2 {
+        let t = t0 + half * (k + 1) as f64;
+        let prev = x.clone();
+        x = match newton(circuit, &x, t, Some((half, &prev)), 1e-6, 300) {
+            Ok(x) => x,
+            Err(e) => {
+                if depth == 0 {
+                    return Err(e);
+                }
+                substep(circuit, prev, t - half, half, depth - 1)?
+            }
+        };
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::{MosModel, Waveform};
+
+    /// Voltage divider: 2/3 of 3 V across the bottom resistor.
+    #[test]
+    fn resistive_divider() {
+        let mut c = SimCircuit::new();
+        let top = c.node();
+        let mid = c.node();
+        c.add(Element::Vsource { pos: top, neg: SimNode::GROUND, wave: Waveform::Dc(3.0) });
+        c.add(Element::Resistor { a: top, b: mid, ohms: 1e3 });
+        c.add(Element::Resistor { a: mid, b: SimNode::GROUND, ohms: 2e3 });
+        let x = dc_operating_point(&c).unwrap();
+        assert!((x[mid.index()] - 2.0).abs() < 1e-4);
+    }
+
+    /// RC step response: v(t) = V (1 - exp(-t/RC)).
+    #[test]
+    fn rc_charging_matches_analytic() {
+        let mut c = SimCircuit::new();
+        let inp = c.node();
+        let out = c.node();
+        let (r, cap) = (1e3, 1e-12); // tau = 1 ns
+        c.add(Element::Vsource {
+            pos: inp,
+            neg: SimNode::GROUND,
+            wave: Waveform::Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                delay: 0.0,
+                rise: 1e-15,
+                fall: 1e-15,
+                width: 1.0,
+                period: 0.0,
+            },
+        });
+        c.add(Element::Resistor { a: inp, b: out, ohms: r });
+        c.add(Element::Capacitor { a: out, b: SimNode::GROUND, farads: cap });
+        let tr = transient(&c, 5e-9, 5e-12).unwrap();
+        let wave = tr.node_wave(out);
+        // At t = 1 ns (one tau), v = 0.632.
+        let idx = tr.times.iter().position(|&t| t >= 1e-9).unwrap();
+        assert!((wave[idx] - 0.632).abs() < 0.02, "v(tau) = {}", wave[idx]);
+        // Fully charged at the end.
+        assert!((wave.last().unwrap() - 1.0).abs() < 1e-2);
+    }
+
+    /// Diode drop around 0.55-0.8 V under 1 mA drive.
+    #[test]
+    fn diode_forward_drop() {
+        let mut c = SimCircuit::new();
+        let a = c.node();
+        c.add(Element::Isource { pos: a, neg: SimNode::GROUND, amps: 1e-3 });
+        c.add(Element::Diode { a, b: SimNode::GROUND, i_sat: 1e-14 });
+        let x = dc_operating_point(&c).unwrap();
+        assert!(
+            x[a.index()] > 0.5 && x[a.index()] < 1.0,
+            "vd = {}",
+            x[a.index()]
+        );
+    }
+
+    fn inverter_circuit(vdd_v: f64) -> (SimCircuit, SimNode, SimNode, SimNode) {
+        let mut c = SimCircuit::new();
+        let vdd = c.node();
+        let inp = c.node();
+        let out = c.node();
+        c.add(Element::Vsource { pos: vdd, neg: SimNode::GROUND, wave: Waveform::Dc(vdd_v) });
+        let nmodel = MosModel::from_geometry(400e-6, 0.35, 0.02, 0.5e-6, 0.05e-6);
+        let pmodel = MosModel::from_geometry(200e-6, 0.35, 0.02, 1.0e-6, 0.05e-6);
+        c.add(Element::Mosfet { d: out, g: inp, s: SimNode::GROUND, model: nmodel, pmos: false });
+        c.add(Element::Mosfet { d: out, g: inp, s: vdd, model: pmodel, pmos: true });
+        (c, vdd, inp, out)
+    }
+
+    /// CMOS inverter static transfer: out high at in=0, low at in=vdd.
+    #[test]
+    fn cmos_inverter_inverts() {
+        let (mut c, _vdd, inp, out) = inverter_circuit(1.0);
+        let vin = c.add(Element::Vsource {
+            pos: inp,
+            neg: SimNode::GROUND,
+            wave: Waveform::Dc(0.0),
+        });
+        let x = dc_operating_point(&c).unwrap();
+        assert!(x[out.index()] > 0.9, "out-high = {}", x[out.index()]);
+
+        if let Element::Vsource { wave, .. } = &mut c.elements[vin] {
+            *wave = Waveform::Dc(1.0);
+        }
+        let x = dc_operating_point(&c).unwrap();
+        assert!(x[out.index()] < 0.1, "out-low = {}", x[out.index()]);
+    }
+
+    /// More load capacitance means slower inverter output.
+    #[test]
+    fn load_cap_slows_inverter() {
+        let delay_with = |cl: f64| {
+            let (mut c, _vdd, inp, out) = inverter_circuit(1.0);
+            c.add(Element::Vsource {
+                pos: inp,
+                neg: SimNode::GROUND,
+                wave: Waveform::Pulse {
+                    v0: 0.0,
+                    v1: 1.0,
+                    delay: 0.2e-9,
+                    rise: 20e-12,
+                    fall: 20e-12,
+                    width: 5e-9,
+                    period: 0.0,
+                },
+            });
+            c.add(Element::Capacitor { a: out, b: SimNode::GROUND, farads: cl });
+            let tr = transient(&c, 3e-9, 2e-12).unwrap();
+            let wave = tr.node_wave(out);
+            // Time when output falls below 0.5.
+            tr.times
+                .iter()
+                .zip(&wave)
+                .find(|(_, &v)| v < 0.5)
+                .map(|(&t, _)| t)
+                .expect("output never fell")
+        };
+        let fast = delay_with(1e-15);
+        let slow = delay_with(50e-15);
+        assert!(slow > fast, "slow {slow} !> fast {fast}");
+    }
+
+    #[test]
+    fn mosfet_current_scales_with_k() {
+        // Common-source with resistor load: bigger device pulls harder.
+        let out_voltage = |k_scale: f64| {
+            let mut c = SimCircuit::new();
+            let vdd = c.node();
+            let out = c.node();
+            c.add(Element::Vsource { pos: vdd, neg: SimNode::GROUND, wave: Waveform::Dc(1.0) });
+            c.add(Element::Resistor { a: vdd, b: out, ohms: 10e3 });
+            let model = MosModel { vth: 0.3, k: 1e-4 * k_scale, lambda: 0.02 };
+            let gate = c.node();
+            c.add(Element::Vsource { pos: gate, neg: SimNode::GROUND, wave: Waveform::Dc(0.7) });
+            c.add(Element::Mosfet { d: out, g: gate, s: SimNode::GROUND, model, pmos: false });
+            let x = dc_operating_point(&c).unwrap();
+            x[out.index()]
+        };
+        assert!(out_voltage(4.0) < out_voltage(1.0));
+    }
+}
+
+#[cfg(test)]
+mod controlled_source_tests {
+    use super::*;
+    use crate::elements::Waveform;
+
+    /// An ideal VCVS with gain 10 amplifies a 0.1 V input to 1 V.
+    #[test]
+    fn vcvs_amplifies() {
+        let mut c = SimCircuit::new();
+        let inp = c.node();
+        let out = c.node();
+        c.add(Element::Vsource { pos: inp, neg: SimNode::GROUND, wave: Waveform::Dc(0.1) });
+        c.add(Element::Vcvs { pos: out, neg: SimNode::GROUND, cpos: inp, cneg: SimNode::GROUND, gain: 10.0 });
+        c.add(Element::Resistor { a: out, b: SimNode::GROUND, ohms: 1e3 });
+        let x = dc_operating_point(&c).unwrap();
+        assert!((x[out.index()] - 1.0).abs() < 1e-6, "vout = {}", x[out.index()]);
+    }
+
+    /// A VCCS into a load resistor: vout = gm * vin * R.
+    #[test]
+    fn vccs_transconducts() {
+        let mut c = SimCircuit::new();
+        let inp = c.node();
+        let out = c.node();
+        c.add(Element::Vsource { pos: inp, neg: SimNode::GROUND, wave: Waveform::Dc(0.5) });
+        // Current flows out of `out` into ground through the source, so the
+        // load sees -gm*vin*R at `out` with this orientation.
+        c.add(Element::Vccs { pos: out, neg: SimNode::GROUND, cpos: inp, cneg: SimNode::GROUND, gm: 1e-3 });
+        c.add(Element::Resistor { a: out, b: SimNode::GROUND, ohms: 2e3 });
+        let x = dc_operating_point(&c).unwrap();
+        assert!((x[out.index()] + 1.0).abs() < 1e-4, "vout = {}", x[out.index()]);
+    }
+
+    /// Negative-feedback op-amp macromodel: VCVS with large gain in a
+    /// divider loop gives the classic non-inverting gain 1 + R1/R2.
+    #[test]
+    fn opamp_macromodel_closed_loop() {
+        let mut c = SimCircuit::new();
+        let vin = c.node();
+        let vout = c.node();
+        let fb = c.node();
+        c.add(Element::Vsource { pos: vin, neg: SimNode::GROUND, wave: Waveform::Dc(0.2) });
+        // out = A (v+ - v-) with v+ = vin, v- = fb.
+        c.add(Element::Vcvs { pos: vout, neg: SimNode::GROUND, cpos: vin, cneg: fb, gain: 1e5 });
+        c.add(Element::Resistor { a: vout, b: fb, ohms: 3e3 }); // R1
+        c.add(Element::Resistor { a: fb, b: SimNode::GROUND, ohms: 1e3 }); // R2
+        let x = dc_operating_point(&c).unwrap();
+        // Gain 1 + 3k/1k = 4 -> vout = 0.8.
+        assert!((x[vout.index()] - 0.8).abs() < 1e-3, "vout = {}", x[vout.index()]);
+    }
+}

@@ -1,0 +1,43 @@
+//! A compact MNA circuit simulator (DC + transient) for pre/post-layout
+//! metric comparison.
+//!
+//! Stands in for the commercial SPICE the paper used in its Table V study:
+//! the same schematic is simulated with different parasitic-capacitance
+//! annotations (none / designer estimate / XGBoost / ParaGraph / extracted
+//! truth), and metric errors are compared. Supports resistors, capacitors,
+//! independent sources, square-law MOSFETs, diodes, and diode-connected
+//! BJTs; Newton-Raphson DC with gmin stepping and backward-Euler transient.
+//!
+//! # Examples
+//!
+//! Simulate an RC divider:
+//!
+//! ```
+//! use paragraph_sim::{dc_operating_point, Element, SimCircuit, SimNode, Waveform};
+//!
+//! let mut c = SimCircuit::new();
+//! let top = c.node();
+//! let mid = c.node();
+//! c.add(Element::Vsource { pos: top, neg: SimNode::GROUND, wave: Waveform::Dc(2.0) });
+//! c.add(Element::Resistor { a: top, b: mid, ohms: 1000.0 });
+//! c.add(Element::Resistor { a: mid, b: SimNode::GROUND, ohms: 1000.0 });
+//! let x = dc_operating_point(&c)?;
+//! assert!((x[mid.index()] - 1.0).abs() < 1e-6);
+//! # Ok::<(), paragraph_sim::SimulateError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod convert;
+mod elements;
+mod engine;
+mod measure;
+mod solver;
+
+pub use convert::{to_sim, ConvertOptions, SimMapping};
+pub use elements::{Element, MosModel, SimCircuit, SimNode, Waveform};
+pub use engine::{dc_operating_point, transient, SimulateError, TranResult};
+pub use measure::{
+    average_power, cross_time, delay_50, mean_abs, peak_to_peak, slew_10_90,
+};
+pub use solver::DenseSystem;

@@ -1,0 +1,130 @@
+//! Waveform measurements: the "circuit metrics" of the paper's Table V
+//! (insertion delay, slew rate, power, DC levels).
+
+/// First time `wave` crosses `level` in the given direction, at or after
+/// `after`. Linear interpolation between samples.
+pub fn cross_time(
+    times: &[f64],
+    wave: &[f64],
+    level: f64,
+    rising: bool,
+    after: f64,
+) -> Option<f64> {
+    for i in 1..times.len().min(wave.len()) {
+        let (v0, v1) = (wave[i - 1], wave[i]);
+        let crossed = if rising { v0 < level && v1 >= level } else { v0 > level && v1 <= level };
+        if crossed {
+            let frac = if (v1 - v0).abs() < 1e-30 { 0.0 } else { (level - v0) / (v1 - v0) };
+            let tc = times[i - 1] + frac * (times[i] - times[i - 1]);
+            if tc >= after {
+                return Some(tc);
+            }
+        }
+    }
+    None
+}
+
+/// 50%-to-50% insertion delay from `input` to `output`.
+///
+/// `out_rising` selects the output edge direction (an inverter's output
+/// falls when its input rises).
+pub fn delay_50(
+    times: &[f64],
+    input: &[f64],
+    output: &[f64],
+    swing: f64,
+    out_rising: bool,
+) -> Option<f64> {
+    let t_in = cross_time(times, input, swing / 2.0, true, 0.0)
+        .or_else(|| cross_time(times, input, swing / 2.0, false, 0.0))?;
+    // Search slightly before the input crossing: with near-zero delays the
+    // discretised output edge can land a fraction of a step earlier.
+    let step = if times.len() > 1 { times[1] - times[0] } else { 0.0 };
+    let t_out = cross_time(times, output, swing / 2.0, out_rising, t_in - 2.0 * step)?;
+    Some(t_out - t_in)
+}
+
+/// 10%–90% transition time of the first edge in the given direction.
+pub fn slew_10_90(times: &[f64], wave: &[f64], swing: f64, rising: bool) -> Option<f64> {
+    let (lo, hi) = (0.1 * swing, 0.9 * swing);
+    if rising {
+        let t0 = cross_time(times, wave, lo, true, 0.0)?;
+        let t1 = cross_time(times, wave, hi, true, t0)?;
+        Some(t1 - t0)
+    } else {
+        let t0 = cross_time(times, wave, hi, false, 0.0)?;
+        let t1 = cross_time(times, wave, lo, false, t0)?;
+        Some(t1 - t0)
+    }
+}
+
+/// Mean of `|w|` over the waveform (e.g. average supply current).
+pub fn mean_abs(wave: &[f64]) -> f64 {
+    if wave.is_empty() {
+        return 0.0;
+    }
+    wave.iter().map(|v| v.abs()).sum::<f64>() / wave.len() as f64
+}
+
+/// Average supply power from a source-current waveform.
+pub fn average_power(supply_volts: f64, source_current: &[f64]) -> f64 {
+    supply_volts * mean_abs(source_current)
+}
+
+/// Peak-to-peak amplitude.
+pub fn peak_to_peak(wave: &[f64]) -> f64 {
+    let max = wave.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = wave.iter().cloned().fold(f64::INFINITY, f64::min);
+    if max >= min { max - min } else { 0.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> (Vec<f64>, Vec<f64>) {
+        // 0 -> 1 V linear ramp over 0..1 s.
+        let times: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+        let wave = times.clone();
+        (times, wave)
+    }
+
+    #[test]
+    fn cross_time_interpolates() {
+        let (t, w) = ramp();
+        let tc = cross_time(&t, &w, 0.505, true, 0.0).unwrap();
+        assert!((tc - 0.505).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_time_respects_direction_and_after() {
+        let t = vec![0.0, 1.0, 2.0, 3.0];
+        let w = vec![0.0, 1.0, 0.0, 1.0];
+        assert!((cross_time(&t, &w, 0.5, false, 0.0).unwrap() - 1.5).abs() < 1e-9);
+        assert!((cross_time(&t, &w, 0.5, true, 1.0).unwrap() - 2.5).abs() < 1e-9);
+        assert_eq!(cross_time(&t, &w, 2.0, true, 0.0), None);
+    }
+
+    #[test]
+    fn slew_of_linear_ramp() {
+        let (t, w) = ramp();
+        let s = slew_10_90(&t, &w, 1.0, true).unwrap();
+        assert!((s - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delay_between_shifted_edges() {
+        let times: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+        let input: Vec<f64> = times.iter().map(|&t| if t > 0.2 { 1.0 } else { 0.0 }).collect();
+        let output: Vec<f64> = times.iter().map(|&t| if t > 0.5 { 1.0 } else { 0.0 }).collect();
+        let d = delay_50(&times, &input, &output, 1.0, true).unwrap();
+        assert!((d - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn power_and_peaks() {
+        assert_eq!(average_power(2.0, &[1.0, -1.0, 1.0]), 2.0);
+        assert_eq!(peak_to_peak(&[0.2, -0.3, 0.5]), 0.8);
+        assert_eq!(mean_abs(&[]), 0.0);
+    }
+}

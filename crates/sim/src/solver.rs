@@ -1,0 +1,168 @@
+//! Dense LU solver with partial pivoting for the MNA system.
+
+/// A dense square linear system `A x = b` assembled by MNA stamping.
+#[derive(Debug, Clone)]
+pub struct DenseSystem {
+    n: usize,
+    a: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl DenseSystem {
+    /// Creates an all-zero `n x n` system.
+    pub fn new(n: usize) -> Self {
+        Self { n, a: vec![0.0; n * n], b: vec![0.0; n] }
+    }
+
+    /// System dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Resets all entries to zero (reuse between Newton iterations).
+    pub fn clear(&mut self) {
+        self.a.fill(0.0);
+        self.b.fill(0.0);
+    }
+
+    /// Adds `g` to `A[i][j]`. Indices use MNA convention: `usize::MAX`
+    /// denotes the ground row/column and is skipped.
+    #[inline]
+    pub fn stamp_a(&mut self, i: usize, j: usize, g: f64) {
+        if i == usize::MAX || j == usize::MAX {
+            return;
+        }
+        self.a[i * self.n + j] += g;
+    }
+
+    /// Adds `v` to `b[i]` (ground rows skipped).
+    #[inline]
+    pub fn stamp_b(&mut self, i: usize, v: f64) {
+        if i == usize::MAX {
+            return;
+        }
+        self.b[i] += v;
+    }
+
+    /// Solves the system by LU with partial pivoting.
+    ///
+    /// Returns `None` when the matrix is numerically singular.
+    pub fn solve(&self) -> Option<Vec<f64>> {
+        let n = self.n;
+        if n == 0 {
+            return Some(Vec::new());
+        }
+        let mut lu = self.a.clone();
+        let mut x = self.b.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for col in 0..n {
+            // Pivot.
+            let mut pivot_row = col;
+            let mut pivot_val = lu[perm[col] * n + col].abs();
+            #[allow(clippy::needless_range_loop)] // permutation indexing
+            for row in col + 1..n {
+                let v = lu[perm[row] * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = row;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return None;
+            }
+            perm.swap(col, pivot_row);
+            let p = perm[col];
+            let diag = lu[p * n + col];
+            #[allow(clippy::needless_range_loop)] // permutation indexing
+            for row in col + 1..n {
+                let r = perm[row];
+                let factor = lu[r * n + col] / diag;
+                if factor == 0.0 {
+                    continue;
+                }
+                lu[r * n + col] = factor;
+                for k in col + 1..n {
+                    lu[r * n + k] -= factor * lu[p * n + k];
+                }
+            }
+        }
+        // Forward substitution on permuted b.
+        let mut y = vec![0.0_f64; n];
+        for i in 0..n {
+            let mut sum = x[perm[i]];
+            for k in 0..i {
+                sum -= lu[perm[i] * n + k] * y[k];
+            }
+            y[i] = sum;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= lu[perm[i] * n + k] * x[k];
+            }
+            x[i] = sum / lu[perm[i] * n + i];
+        }
+        Some(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_2x2() {
+        let mut s = DenseSystem::new(2);
+        // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+        s.stamp_a(0, 0, 2.0);
+        s.stamp_a(0, 1, 1.0);
+        s.stamp_a(1, 0, 1.0);
+        s.stamp_a(1, 1, 3.0);
+        s.stamp_b(0, 5.0);
+        s.stamp_b(1, 10.0);
+        let x = s.solve().unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let mut s = DenseSystem::new(2);
+        // [0 1; 1 0] x = [2; 3]
+        s.stamp_a(0, 1, 1.0);
+        s.stamp_a(1, 0, 1.0);
+        s.stamp_b(0, 2.0);
+        s.stamp_b(1, 3.0);
+        let x = s.solve().unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let mut s = DenseSystem::new(2);
+        s.stamp_a(0, 0, 1.0);
+        s.stamp_a(0, 1, 1.0);
+        s.stamp_a(1, 0, 1.0);
+        s.stamp_a(1, 1, 1.0);
+        assert!(s.solve().is_none());
+    }
+
+    #[test]
+    fn ground_stamps_are_ignored() {
+        let mut s = DenseSystem::new(1);
+        s.stamp_a(usize::MAX, 0, 100.0);
+        s.stamp_a(0, usize::MAX, 100.0);
+        s.stamp_b(usize::MAX, 42.0);
+        s.stamp_a(0, 0, 2.0);
+        s.stamp_b(0, 4.0);
+        assert_eq!(s.solve().unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn empty_system() {
+        assert_eq!(DenseSystem::new(0).solve().unwrap(), Vec::<f64>::new());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests on the MNA simulator: linear-circuit physics must hold
+//! for arbitrary element values.
+
+use paragraph_sim::{dc_operating_point, Element, SimCircuit, SimNode, Waveform};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Resistor ladder: node voltages divide ohmically and monotonically.
+    #[test]
+    fn ladder_divides_monotonically(
+        rs in prop::collection::vec(10.0_f64..100_000.0, 2..8),
+        v in 0.5_f64..5.0,
+    ) {
+        let mut c = SimCircuit::new();
+        let top = c.node();
+        c.add(Element::Vsource { pos: top, neg: SimNode::GROUND, wave: Waveform::Dc(v) });
+        let mut prev = top;
+        let mut nodes = vec![top];
+        for (i, r) in rs.iter().enumerate() {
+            let nxt = if i + 1 == rs.len() { SimNode::GROUND } else { c.node() };
+            c.add(Element::Resistor { a: prev, b: nxt, ohms: *r });
+            if !nxt.is_ground() {
+                nodes.push(nxt);
+                prev = nxt;
+            }
+        }
+        let x = dc_operating_point(&c).unwrap();
+        let volts: Vec<f64> = nodes.iter().map(|n| x[n.index()]).collect();
+        for w in volts.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9, "non-monotone: {volts:?}");
+        }
+        // Exact divider at the first internal node.
+        if rs.len() >= 2 {
+            let total: f64 = rs.iter().sum();
+            let below: f64 = rs[1..].iter().sum();
+            prop_assert!((volts[1] - v * below / total).abs() < v * 1e-3);
+        }
+    }
+
+    /// Superposition: for a linear resistive circuit, response to two
+    /// sources equals the sum of individual responses.
+    #[test]
+    fn superposition_holds(
+        r1 in 100.0_f64..10_000.0,
+        r2 in 100.0_f64..10_000.0,
+        r3 in 100.0_f64..10_000.0,
+        v1 in -3.0_f64..3.0,
+        v2 in -3.0_f64..3.0,
+    ) {
+        let build = |va: f64, vb: f64| {
+            let mut c = SimCircuit::new();
+            let a = c.node();
+            let b = c.node();
+            let mid = c.node();
+            c.add(Element::Vsource { pos: a, neg: SimNode::GROUND, wave: Waveform::Dc(va) });
+            c.add(Element::Vsource { pos: b, neg: SimNode::GROUND, wave: Waveform::Dc(vb) });
+            c.add(Element::Resistor { a, b: mid, ohms: r1 });
+            c.add(Element::Resistor { a: b, b: mid, ohms: r2 });
+            c.add(Element::Resistor { a: mid, b: SimNode::GROUND, ohms: r3 });
+            let x = dc_operating_point(&c).unwrap();
+            x[mid.index()]
+        };
+        let both = build(v1, v2);
+        let only1 = build(v1, 0.0);
+        let only2 = build(0.0, v2);
+        prop_assert!((both - only1 - only2).abs() < 1e-6, "{both} vs {}", only1 + only2);
+    }
+
+    /// KCL at the source: branch current equals the sum through parallel
+    /// resistors.
+    #[test]
+    fn source_current_matches_parallel_conductance(
+        rs in prop::collection::vec(100.0_f64..50_000.0, 1..6),
+        v in 0.1_f64..3.0,
+    ) {
+        let mut c = SimCircuit::new();
+        let top = c.node();
+        c.add(Element::Vsource { pos: top, neg: SimNode::GROUND, wave: Waveform::Dc(v) });
+        for r in &rs {
+            c.add(Element::Resistor { a: top, b: SimNode::GROUND, ohms: *r });
+        }
+        let x = dc_operating_point(&c).unwrap();
+        // Branch current is the last unknown; it flows out of pos.
+        let i_branch = x[c.num_nodes];
+        let expected: f64 = rs.iter().map(|r| v / r).sum();
+        prop_assert!(
+            (i_branch.abs() - expected).abs() <= expected * 1e-3 + 1e-9,
+            "{} vs {expected}",
+            i_branch.abs()
+        );
+    }
+
+    /// An isource into a resistor obeys Ohm's law.
+    #[test]
+    fn ohms_law_current_source(r in 10.0_f64..100_000.0, i in 1e-6_f64..1e-3) {
+        let mut c = SimCircuit::new();
+        let a = c.node();
+        c.add(Element::Isource { pos: a, neg: SimNode::GROUND, amps: i });
+        c.add(Element::Resistor { a, b: SimNode::GROUND, ohms: r });
+        let x = dc_operating_point(&c).unwrap();
+        prop_assert!((x[a.index()] - i * r).abs() < (i * r) * 1e-3 + 1e-9);
+    }
+}

@@ -1,0 +1,174 @@
+//! Finite-difference gradient verification.
+//!
+//! Used by the test suite to prove every [`crate::Tape`] op's backward pass
+//! against a numerical derivative.
+
+use crate::params::ParamSet;
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+/// Result of a gradient check: the largest absolute and relative deviation
+/// between analytic and numeric gradients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheck {
+    /// Largest absolute difference.
+    pub max_abs_err: f32,
+    /// Largest relative difference (denominator floored at 1.0).
+    pub max_rel_err: f32,
+}
+
+impl GradCheck {
+    /// Whether both deviations are below `tol`.
+    pub fn within(&self, tol: f32) -> bool {
+        self.max_abs_err <= tol && self.max_rel_err <= tol
+    }
+}
+
+/// Compares analytic gradients against central finite differences.
+///
+/// `build` must construct the full forward pass from scratch: it receives a
+/// fresh tape plus the current `ParamSet` and returns the scalar loss var.
+/// All parameters in `params` are perturbed entry by entry.
+///
+/// # Panics
+///
+/// Panics if `build` does not return a `1 x 1` loss.
+pub fn check(
+    params: &mut ParamSet,
+    eps: f32,
+    mut build: impl FnMut(&mut Tape, &ParamSet) -> Var,
+) -> GradCheck {
+    // Analytic gradients.
+    let mut tape = Tape::new();
+    let loss = build(&mut tape, params);
+    let grads = tape.backward(loss);
+    let analytic: Vec<(usize, Tensor)> = grads
+        .param_grads(&tape)
+        .into_iter()
+        .map(|(id, g)| (id.index(), g))
+        .collect();
+
+    let mut max_abs_err = 0.0_f32;
+    let mut max_rel_err = 0.0_f32;
+    let ids: Vec<_> = params.iter().map(|(id, _, _)| id).collect();
+    for id in ids {
+        let (rows, cols) = params.value(id).shape();
+        for r in 0..rows {
+            for c in 0..cols {
+                let orig = params.value(id).at(r, c);
+
+                params.value_mut(id).set(r, c, orig + eps);
+                let mut tp = Tape::new();
+                let lp = build(&mut tp, params);
+                let f_plus = tp.value(lp).item();
+
+                params.value_mut(id).set(r, c, orig - eps);
+                let mut tm = Tape::new();
+                let lm = build(&mut tm, params);
+                let f_minus = tm.value(lm).item();
+
+                params.value_mut(id).set(r, c, orig);
+
+                let numeric = (f_plus - f_minus) / (2.0 * eps);
+                let analytic_v = analytic
+                    .iter()
+                    .find(|(i, _)| *i == id.index())
+                    .map(|(_, g)| g.at(r, c))
+                    .unwrap_or(0.0);
+                let abs = (numeric - analytic_v).abs();
+                let rel = abs / numeric.abs().max(analytic_v.abs()).max(1.0);
+                max_abs_err = max_abs_err.max(abs);
+                max_rel_err = max_rel_err.max(rel);
+            }
+        }
+    }
+    GradCheck { max_abs_err, max_rel_err }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::init_rng;
+    use std::rc::Rc;
+
+    fn small_params(seed: u64, shapes: &[(&str, usize, usize)]) -> ParamSet {
+        let mut rng = init_rng(seed);
+        let mut params = ParamSet::new();
+        for (name, r, c) in shapes {
+            params.add_xavier(*name, *r, *c, &mut rng);
+        }
+        params
+    }
+
+    #[test]
+    fn matmul_bias_relu_chain() {
+        let mut params = small_params(3, &[("w", 4, 3), ("b", 1, 3)]);
+        let result = check(&mut params, 1e-2, |tape, params| {
+            let x = tape.constant(Tensor::from_fn(5, 4, |i, j| ((i + 2 * j) % 5) as f32 * 0.3 - 0.6));
+            let w = tape.param(params, params.find("w").unwrap());
+            let b = tape.param(params, params.find("b").unwrap());
+            let h = tape.matmul(x, w);
+            let h = tape.add_bias(h, b);
+            let h = tape.leaky_relu(h, 0.2);
+            let t = tape.constant(Tensor::filled(5, 3, 0.1));
+            tape.mse_loss(h, t)
+        });
+        assert!(result.within(1e-2), "{result:?}");
+    }
+
+    #[test]
+    fn gather_scatter_softmax_chain() {
+        // Exercises the message-passing ops end to end (a mini attention
+        // layer) under gradient checking.
+        let mut params = small_params(9, &[("w", 3, 3), ("a", 6, 1)]);
+        let src = Rc::new(vec![0_u32, 1, 2, 2, 0]);
+        let dst = Rc::new(vec![1_u32, 0, 0, 1, 2]);
+        let result = check(&mut params, 1e-2, |tape, params| {
+            let x = tape.constant(Tensor::from_fn(3, 3, |i, j| (i as f32 - j as f32) * 0.4));
+            let w = tape.param(params, params.find("w").unwrap());
+            let a = tape.param(params, params.find("a").unwrap());
+            let h = tape.matmul(x, w);
+            let hs = tape.gather_rows(h, src.clone());
+            let hd = tape.gather_rows(h, dst.clone());
+            let cat = tape.concat_cols(hd, hs);
+            let scores = tape.matmul(cat, a);
+            let scores = tape.leaky_relu(scores, 0.2);
+            let att = tape.segment_softmax(scores, dst.clone(), 3);
+            let msg = tape.mul_col_broadcast(hs, att);
+            let agg = tape.scatter_add_rows(msg, dst.clone(), 3);
+            let t = tape.constant(Tensor::filled(3, 3, 0.25));
+            tape.mse_loss(agg, t)
+        });
+        assert!(result.within(2e-2), "{result:?}");
+    }
+
+    #[test]
+    fn l2_normalize_and_tanh() {
+        let mut params = small_params(11, &[("w", 3, 4)]);
+        let result = check(&mut params, 1e-2, |tape, params| {
+            let x = tape.constant(Tensor::from_fn(6, 3, |i, j| ((i * 3 + j) % 7) as f32 * 0.2 + 0.1));
+            let w = tape.param(params, params.find("w").unwrap());
+            let h = tape.matmul(x, w);
+            let h = tape.tanh(h);
+            let h = tape.row_l2_normalize(h);
+            let t = tape.constant(Tensor::filled(6, 4, 0.3));
+            tape.mse_loss(h, t)
+        });
+        assert!(result.within(2e-2), "{result:?}");
+    }
+
+    #[test]
+    fn sigmoid_square_slice() {
+        let mut params = small_params(17, &[("w", 2, 2)]);
+        let result = check(&mut params, 1e-2, |tape, params| {
+            let x = tape.constant(Tensor::from_fn(4, 2, |i, j| (i as f32 + j as f32) * 0.3 - 0.5));
+            let w = tape.param(params, params.find("w").unwrap());
+            let h = tape.matmul(x, w);
+            let h = tape.sigmoid(h);
+            let h = tape.square(h);
+            let h = tape.slice_rows(h, 1, 3);
+            tape.mean_all(h)
+        });
+        assert!(result.within(1e-2), "{result:?}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Gradient-descent optimizers over a [`ParamSet`].
+
+use crate::params::{ParamId, ParamSet};
+use crate::tensor::Tensor;
+
+/// Plain stochastic gradient descent with optional gradient clipping.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Clip each gradient tensor to this max-abs value (disabled when
+    /// `None`).
+    pub clip: Option<f32>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given learning rate and no
+    /// clipping.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, clip: None }
+    }
+
+    /// Applies one descent step for each `(param, grad)` pair.
+    pub fn step(&mut self, params: &mut ParamSet, grads: &[(ParamId, Tensor)]) {
+        for (id, g) in grads {
+            let g = clipped(g, self.clip);
+            params.value_mut(*id).add_scaled(&g, -self.lr);
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2015), the optimizer the paper trains with
+/// (`lr = 0.01`).
+///
+/// # Examples
+///
+/// ```
+/// use paragraph_tensor::{Adam, ParamSet, Tensor};
+///
+/// let mut params = ParamSet::new();
+/// let w = params.add("w", Tensor::scalar(1.0));
+/// let mut opt = Adam::new(0.1);
+/// // Gradient of f(w) = w is 1 everywhere; w decreases monotonically.
+/// for _ in 0..10 {
+///     opt.step(&mut params, &[(w, Tensor::scalar(1.0))]);
+/// }
+/// assert!(params.value(w).item() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor for the denominator.
+    pub eps: f32,
+    /// Clip each gradient tensor to this max-abs value (disabled when
+    /// `None`).
+    pub clip: Option<f32>,
+    step: u64,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the paper's defaults
+    /// (`beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`) and gradient clipping
+    /// at 5.0.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip: Some(5.0),
+            step: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Applies one Adam update for each `(param, grad)` pair.
+    pub fn step(&mut self, params: &mut ParamSet, grads: &[(ParamId, Tensor)]) {
+        self.step += 1;
+        let t = self.step as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for (id, g) in grads {
+            let g = clipped(g, self.clip);
+            let idx = id.index();
+            if self.m.len() <= idx {
+                self.m.resize(idx + 1, None);
+                self.v.resize(idx + 1, None);
+            }
+            let (rows, cols) = g.shape();
+            let m = self.m[idx].get_or_insert_with(|| Tensor::zeros(rows, cols));
+            let v = self.v[idx].get_or_insert_with(|| Tensor::zeros(rows, cols));
+            assert_eq!(m.shape(), g.shape(), "gradient shape changed between steps");
+
+            let value = params.value_mut(*id);
+            let (beta1, beta2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
+            for i in 0..g.len() {
+                let gi = g.as_slice()[i];
+                let mi = beta1 * m.as_slice()[i] + (1.0 - beta1) * gi;
+                let vi = beta2 * v.as_slice()[i] + (1.0 - beta2) * gi * gi;
+                m.as_mut_slice()[i] = mi;
+                v.as_mut_slice()[i] = vi;
+                let m_hat = mi / bias1;
+                let v_hat = vi / bias2;
+                value.as_mut_slice()[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        }
+    }
+}
+
+fn clipped(g: &Tensor, clip: Option<f32>) -> Tensor {
+    match clip {
+        Some(c) => g.map(|v| v.clamp(-c, c)),
+        None => g.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Tape, Tensor};
+
+    /// Minimise f(w) = (w - 3)^2 and check both optimizers converge.
+    fn converges(mut stepper: impl FnMut(&mut ParamSet, &[(ParamId, Tensor)])) -> f32 {
+        let mut params = ParamSet::new();
+        let w = params.add("w", Tensor::scalar(-2.0));
+        for _ in 0..400 {
+            let mut tape = Tape::new();
+            let wv = tape.param(&params, w);
+            let target = tape.constant(Tensor::scalar(3.0));
+            let loss = tape.mse_loss(wv, target);
+            let grads = tape.backward(loss);
+            stepper(&mut params, &grads.param_grads(&tape));
+        }
+        params.value(w).item()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let w = converges(|p, g| opt.step(p, g));
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.05);
+        let w = converges(|p, g| opt.step(p, g));
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn clipping_limits_update_magnitude() {
+        let mut params = ParamSet::new();
+        let w = params.add("w", Tensor::scalar(0.0));
+        let mut opt = Sgd::new(1.0);
+        opt.clip = Some(0.5);
+        opt.step(&mut params, &[(w, Tensor::scalar(100.0))]);
+        assert_eq!(params.value(w).item(), -0.5);
+    }
+}

@@ -1,0 +1,213 @@
+//! Named parameter storage shared across forward passes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tensor::Tensor;
+
+/// Identifier of a parameter inside a [`ParamSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Index of this parameter within its [`ParamSet`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A collection of trainable tensors.
+///
+/// A model owns one `ParamSet`; every forward pass copies parameter values
+/// onto a fresh [`crate::Tape`] via [`crate::Tape::param`], and an optimizer
+/// applies gradients back into the set.
+///
+/// # Examples
+///
+/// ```
+/// use paragraph_tensor::{ParamSet, Tensor};
+///
+/// let mut params = ParamSet::new();
+/// let w = params.add("weight", Tensor::zeros(4, 4));
+/// assert_eq!(params.value(w).shape(), (4, 4));
+/// assert_eq!(params.name(w), "weight");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ParamSet {
+    values: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl ParamSet {
+    /// Creates an empty parameter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a tensor under `name`, returning its id.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        self.values.push(value);
+        self.names.push(name.into());
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Registers a Xavier/Glorot-uniform initialised `rows x cols` matrix.
+    pub fn add_xavier(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        rng: &mut StdRng,
+    ) -> ParamId {
+        let limit = (6.0 / (rows + cols).max(1) as f64).sqrt() as f32;
+        let t = Tensor::from_fn(rows, cols, |_, _| rng.random_range(-limit..=limit));
+        self.add(name, t)
+    }
+
+    /// Registers a zero-initialised `1 x cols` bias row.
+    pub fn add_bias(&mut self, name: impl Into<String>, cols: usize) -> ParamId {
+        self.add(name, Tensor::zeros(1, cols))
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar entries across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// Current value of the parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this set.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Mutable access to the parameter's value.
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.0]
+    }
+
+    /// Name the parameter was registered under.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterates over `(id, name, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ParamId(i), self.names[i].as_str(), v))
+    }
+
+    /// Looks a parameter up by name.
+    pub fn find(&self, name: &str) -> Option<ParamId> {
+        self.names.iter().position(|n| n == name).map(ParamId)
+    }
+
+    /// Serialises all parameters to `(name, rows, cols, data)` tuples, e.g.
+    /// for JSON model checkpoints.
+    pub fn export(&self) -> Vec<(String, usize, usize, Vec<f32>)> {
+        self.iter()
+            .map(|(_, name, t)| (name.to_owned(), t.rows(), t.cols(), t.as_slice().to_vec()))
+            .collect()
+    }
+
+    /// Restores parameter values from [`ParamSet::export`] output, matching
+    /// by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending name if a parameter is missing or has the wrong
+    /// shape.
+    pub fn import(&mut self, entries: &[(String, usize, usize, Vec<f32>)]) -> Result<(), String> {
+        for (name, rows, cols, data) in entries {
+            let id = self
+                .find(name)
+                .ok_or_else(|| format!("unknown parameter '{name}'"))?;
+            if self.values[id.0].shape() != (*rows, *cols) {
+                return Err(format!(
+                    "shape mismatch for '{name}': stored {}x{}, expected {:?}",
+                    rows,
+                    cols,
+                    self.values[id.0].shape()
+                ));
+            }
+            self.values[id.0] = Tensor::from_vec(*rows, *cols, data.clone());
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic RNG for parameter initialisation.
+///
+/// # Examples
+///
+/// ```
+/// let mut a = paragraph_tensor::init_rng(7);
+/// let mut b = paragraph_tensor::init_rng(7);
+/// use rand::Rng;
+/// assert_eq!(a.random::<u64>(), b.random::<u64>());
+/// ```
+pub fn init_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = init_rng(1);
+        let mut params = ParamSet::new();
+        let id = params.add_xavier("w", 16, 16, &mut rng);
+        let limit = (6.0_f32 / 32.0).sqrt();
+        assert!(params.value(id).as_slice().iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut rng = init_rng(2);
+        let mut params = ParamSet::new();
+        let a = params.add_xavier("a", 3, 5, &mut rng);
+        let b = params.add_bias("b", 5);
+        let snapshot = params.export();
+
+        let mut other = ParamSet::new();
+        other.add("a", Tensor::zeros(3, 5));
+        other.add("b", Tensor::zeros(1, 5));
+        other.import(&snapshot).unwrap();
+        assert_eq!(other.value(ParamId(0)), params.value(a));
+        assert_eq!(other.value(ParamId(1)), params.value(b));
+    }
+
+    #[test]
+    fn import_rejects_wrong_shape() {
+        let mut params = ParamSet::new();
+        params.add("w", Tensor::zeros(2, 2));
+        let err = params
+            .import(&[("w".into(), 3, 3, vec![0.0; 9])])
+            .unwrap_err();
+        assert!(err.contains("shape mismatch"));
+    }
+
+    #[test]
+    fn find_by_name() {
+        let mut params = ParamSet::new();
+        let id = params.add("layer0.w", Tensor::zeros(1, 1));
+        assert_eq!(params.find("layer0.w"), Some(id));
+        assert_eq!(params.find("nope"), None);
+    }
+}

@@ -1,0 +1,756 @@
+//! Reverse-mode automatic differentiation over [`Tensor`] values.
+//!
+//! A [`Tape`] records every operation of a forward pass; [`Tape::backward`]
+//! then walks the recorded nodes in reverse, accumulating gradients.
+//! The op set is exactly what heterogeneous message-passing networks need:
+//! dense linear algebra plus `gather` / `scatter-add` / per-segment softmax
+//! for edge-indexed message passing.
+//!
+//! # Examples
+//!
+//! ```
+//! use paragraph_tensor::{ParamSet, Tape, Tensor};
+//!
+//! let mut params = ParamSet::new();
+//! let w = params.add("w", Tensor::from_rows(&[&[2.0]]));
+//! let mut tape = Tape::new();
+//! let x = tape.constant(Tensor::from_rows(&[&[3.0]]));
+//! let wv = tape.param(&params, w);
+//! let y = tape.matmul(x, wv);
+//! let grads = tape.backward(y);
+//! // dy/dw = x = 3.
+//! assert_eq!(grads.for_param(&tape, w).unwrap().item(), 3.0);
+//! ```
+
+use std::rc::Rc;
+
+use crate::params::{ParamId, ParamSet};
+use crate::tensor::Tensor;
+
+/// Handle to a value recorded on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf { param: Option<ParamId> },
+    MatMul(Var, Var),
+    Add(Var, Var),
+    AddBias(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    ConcatCols(Var, Var),
+    Relu(Var),
+    LeakyRelu(Var, f32),
+    Sigmoid(Var),
+    Tanh(Var),
+    Square(Var),
+    Exp(Var),
+    GatherRows(Var, Rc<Vec<u32>>),
+    ScatterAddRows(Var, Rc<Vec<u32>>, usize),
+    SegmentSoftmax(Var, Rc<Vec<u32>>, usize),
+    MulColBroadcast(Var, Var),
+    RowL2Normalize(Var),
+    MeanAll(Var),
+    SumAll(Var),
+    SliceRows(Var, usize, usize),
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// Records a forward pass and computes gradients via [`Tape::backward`].
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+/// Gradients produced by [`Tape::backward`], indexed by [`Var`].
+#[derive(Debug)]
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// Gradient of the loss w.r.t. `var`, if `var` influenced the loss.
+    pub fn for_var(&self, var: Var) -> Option<&Tensor> {
+        self.grads.get(var.0).and_then(|g| g.as_ref())
+    }
+
+    /// Gradient for the leaf that was created from parameter `id`.
+    ///
+    /// Returns `None` if the parameter was never used on this tape or did not
+    /// influence the loss. When the same parameter was recorded as several
+    /// leaves, the gradients are summed.
+    pub fn for_param(&self, tape: &Tape, id: ParamId) -> Option<Tensor> {
+        let mut acc: Option<Tensor> = None;
+        for (node, grad) in tape.nodes.iter().zip(self.grads.iter()) {
+            if let Op::Leaf { param: Some(p) } = node.op {
+                if p == id {
+                    if let Some(g) = grad {
+                        match &mut acc {
+                            Some(a) => a.add_scaled(g, 1.0),
+                            None => acc = Some(g.clone()),
+                        }
+                    }
+                }
+            }
+        }
+        acc
+    }
+
+    /// Iterates over `(ParamId, gradient)` for every parameter leaf that
+    /// received a gradient, summing duplicates.
+    pub fn param_grads(&self, tape: &Tape) -> Vec<(ParamId, Tensor)> {
+        let mut out: Vec<(ParamId, Tensor)> = Vec::new();
+        for (node, grad) in tape.nodes.iter().zip(self.grads.iter()) {
+            if let (Op::Leaf { param: Some(p) }, Some(g)) = (&node.op, grad) {
+                if let Some(entry) = out.iter_mut().find(|(id, _)| id == p) {
+                    entry.1.add_scaled(g, 1.0);
+                } else {
+                    out.push((*p, g.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape has no recorded nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The current value of `var`.
+    pub fn value(&self, var: Var) -> &Tensor {
+        &self.nodes[var.0].value
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Records a constant input (gradient is computed but not associated
+    /// with any parameter).
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf { param: None })
+    }
+
+    /// Records a leaf for parameter `id`, copying its current value from
+    /// `params`.
+    pub fn param(&mut self, params: &ParamSet, id: ParamId) -> Var {
+        self.push(params.value(id).clone(), Op::Leaf { param: Some(id) })
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Elementwise sum of two same-shape values.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Adds a `1 x F` bias row to every row of an `N x F` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x F` with matching `F`.
+    pub fn add_bias(&mut self, a: Var, bias: Var) -> Var {
+        let (n, f) = self.value(a).shape();
+        assert_eq!(self.value(bias).shape(), (1, f), "bias must be 1x{f}");
+        let mut v = self.value(a).clone();
+        for i in 0..n {
+            let b = self.nodes[bias.0].value.row(0).to_vec();
+            for (x, bv) in v.row_mut(i).iter_mut().zip(b.iter()) {
+                *x += bv;
+            }
+        }
+        self.push(v, Op::AddBias(a, bias))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Hadamard product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Multiplies by a scalar constant.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).scale(s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// Adds a scalar constant elementwise.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).map(|x| x + s);
+        self.push(v, Op::AddScalar(a))
+    }
+
+    /// Concatenates columns: `(N x F1, N x F2) -> N x (F1+F2)`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).hstack(self.value(b));
+        self.push(v, Op::ConcatCols(a, b))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
+        let v = self.value(a).map(|x| if x >= 0.0 { x } else { alpha * x });
+        self.push(v, Op::LeakyRelu(a, alpha))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x * x);
+        self.push(v, Op::Square(a))
+    }
+
+    /// Elementwise exponential (inputs clamped to 30 to stay finite).
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.min(30.0).exp());
+        self.push(v, Op::Exp(a))
+    }
+
+    /// Gathers rows: `out[e, :] = a[index[e], :]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn gather_rows(&mut self, a: Var, index: Rc<Vec<u32>>) -> Var {
+        let src = self.value(a);
+        let (n, f) = src.shape();
+        let mut out = Tensor::zeros(index.len(), f);
+        for (e, &i) in index.iter().enumerate() {
+            let i = i as usize;
+            assert!(i < n, "gather index {i} out of range (n = {n})");
+            out.row_mut(e).copy_from_slice(src.row(i));
+        }
+        self.push(out, Op::GatherRows(a, index))
+    }
+
+    /// Scatter-add rows: `out[index[e], :] += a[e, :]`, output has
+    /// `num_rows` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= num_rows` or `a.rows() != index.len()`.
+    pub fn scatter_add_rows(&mut self, a: Var, index: Rc<Vec<u32>>, num_rows: usize) -> Var {
+        let src = self.value(a);
+        assert_eq!(src.rows(), index.len(), "scatter rows/index mismatch");
+        let f = src.cols();
+        let mut out = Tensor::zeros(num_rows, f);
+        for (e, &i) in index.iter().enumerate() {
+            let i = i as usize;
+            assert!(i < num_rows, "scatter index {i} out of range");
+            let row = src.row(e).to_vec();
+            for (o, v) in out.row_mut(i).iter_mut().zip(row.iter()) {
+                *o += v;
+            }
+        }
+        self.push(out, Op::ScatterAddRows(a, index, num_rows))
+    }
+
+    /// Softmax over groups of rows sharing a segment id.
+    ///
+    /// `a` must be an `E x 1` column of scores; rows with equal
+    /// `segments[e]` form one softmax group. Used for per-destination
+    /// attention normalisation in GAT / ParaGraph layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not a column vector or ids exceed `num_segments`.
+    pub fn segment_softmax(&mut self, a: Var, segments: Rc<Vec<u32>>, num_segments: usize) -> Var {
+        let src = self.value(a);
+        assert_eq!(src.cols(), 1, "segment_softmax expects an E x 1 column");
+        assert_eq!(src.rows(), segments.len(), "segment ids/rows mismatch");
+        let out = segment_softmax_forward(src, &segments, num_segments);
+        self.push(out, Op::SegmentSoftmax(a, segments, num_segments))
+    }
+
+    /// Broadcast-multiplies each row of `a` (`E x F`) by the matching entry
+    /// of column `w` (`E x 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes do not line up.
+    pub fn mul_col_broadcast(&mut self, a: Var, w: Var) -> Var {
+        let x = self.value(a);
+        let c = self.value(w);
+        assert_eq!(c.cols(), 1, "broadcast weight must be a column");
+        assert_eq!(x.rows(), c.rows(), "broadcast row mismatch");
+        let mut out = x.clone();
+        for e in 0..out.rows() {
+            let wv = c.at(e, 0);
+            for v in out.row_mut(e) {
+                *v *= wv;
+            }
+        }
+        self.push(out, Op::MulColBroadcast(a, w))
+    }
+
+    /// L2-normalises each row (rows with norm below `1e-12` pass through).
+    pub fn row_l2_normalize(&mut self, a: Var) -> Var {
+        let x = self.value(a);
+        let mut out = x.clone();
+        for i in 0..out.rows() {
+            let norm = l2(out.row(i));
+            if norm > L2_EPS {
+                for v in out.row_mut(i) {
+                    *v /= norm;
+                }
+            }
+        }
+        self.push(out, Op::RowL2Normalize(a))
+    }
+
+    /// Mean of all elements as a `1 x 1` scalar.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).mean());
+        self.push(v, Op::MeanAll(a))
+    }
+
+    /// Sum of all elements as a `1 x 1` scalar.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).sum());
+        self.push(v, Op::SumAll(a))
+    }
+
+    /// Takes rows `start..end` of `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice_rows(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let x = self.value(a);
+        assert!(start <= end && end <= x.rows(), "slice_rows out of bounds");
+        let mut out = Tensor::zeros(end - start, x.cols());
+        for i in start..end {
+            out.row_mut(i - start).copy_from_slice(x.row(i));
+        }
+        self.push(out, Op::SliceRows(a, start, end))
+    }
+
+    /// Mean-squared-error loss between two same-shape values, as a scalar.
+    pub fn mse_loss(&mut self, pred: Var, target: Var) -> Var {
+        let d = self.sub(pred, target);
+        let sq = self.square(d);
+        self.mean_all(sq)
+    }
+
+    /// Runs reverse-mode differentiation from `loss` (which must be `1 x 1`)
+    /// and returns the gradient of every recorded node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a scalar.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        assert_eq!(self.value(loss).shape(), (1, 1), "backward() needs a scalar loss");
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Tensor::scalar(1.0));
+
+        for idx in (0..=loss.0).rev() {
+            let Some(g) = grads[idx].take() else { continue };
+            self.accumulate(idx, &g, &mut grads);
+            grads[idx] = Some(g);
+        }
+        Gradients { grads }
+    }
+
+    fn accumulate(&self, idx: usize, g: &Tensor, grads: &mut [Option<Tensor>]) {
+        let add_to = |grads: &mut [Option<Tensor>], var: Var, delta: Tensor| {
+            match &mut grads[var.0] {
+                Some(existing) => existing.add_scaled(&delta, 1.0),
+                slot @ None => *slot = Some(delta),
+            }
+        };
+        match &self.nodes[idx].op {
+            Op::Leaf { .. } => {}
+            Op::MatMul(a, b) => {
+                let av = self.value(*a);
+                let bv = self.value(*b);
+                add_to(grads, *a, g.matmul(&bv.transpose()));
+                add_to(grads, *b, av.transpose().matmul(g));
+            }
+            Op::Add(a, b) => {
+                add_to(grads, *a, g.clone());
+                add_to(grads, *b, g.clone());
+            }
+            Op::AddBias(a, bias) => {
+                add_to(grads, *a, g.clone());
+                add_to(grads, *bias, g.col_sum());
+            }
+            Op::Sub(a, b) => {
+                add_to(grads, *a, g.clone());
+                add_to(grads, *b, g.scale(-1.0));
+            }
+            Op::Mul(a, b) => {
+                let av = self.value(*a).clone();
+                let bv = self.value(*b).clone();
+                add_to(grads, *a, g.mul(&bv));
+                add_to(grads, *b, g.mul(&av));
+            }
+            Op::Scale(a, s) => add_to(grads, *a, g.scale(*s)),
+            Op::AddScalar(a) => add_to(grads, *a, g.clone()),
+            Op::ConcatCols(a, b) => {
+                let fa = self.value(*a).cols();
+                let (n, ftot) = g.shape();
+                let mut ga = Tensor::zeros(n, fa);
+                let mut gb = Tensor::zeros(n, ftot - fa);
+                for i in 0..n {
+                    ga.row_mut(i).copy_from_slice(&g.row(i)[..fa]);
+                    gb.row_mut(i).copy_from_slice(&g.row(i)[fa..]);
+                }
+                add_to(grads, *a, ga);
+                add_to(grads, *b, gb);
+            }
+            Op::Relu(a) => {
+                let x = self.value(*a);
+                add_to(grads, *a, g.zip_map(x, |gv, xv| if xv > 0.0 { gv } else { 0.0 }));
+            }
+            Op::LeakyRelu(a, alpha) => {
+                let x = self.value(*a);
+                let alpha = *alpha;
+                add_to(
+                    grads,
+                    *a,
+                    g.zip_map(x, |gv, xv| if xv >= 0.0 { gv } else { alpha * gv }),
+                );
+            }
+            Op::Sigmoid(a) => {
+                let y = &self.nodes[idx].value;
+                add_to(grads, *a, g.zip_map(y, |gv, yv| gv * yv * (1.0 - yv)));
+            }
+            Op::Tanh(a) => {
+                let y = &self.nodes[idx].value;
+                add_to(grads, *a, g.zip_map(y, |gv, yv| gv * (1.0 - yv * yv)));
+            }
+            Op::Square(a) => {
+                let x = self.value(*a);
+                add_to(grads, *a, g.zip_map(x, |gv, xv| 2.0 * gv * xv));
+            }
+            Op::Exp(a) => {
+                let y = &self.nodes[idx].value;
+                let x = self.value(*a);
+                // d exp(min(x, 30)) / dx = y for x < 30, 0 beyond the clamp.
+                let mut ga = g.zip_map(y, |gv, yv| gv * yv);
+                for (o, &xv) in ga.as_mut_slice().iter_mut().zip(x.as_slice()) {
+                    if xv >= 30.0 {
+                        *o = 0.0;
+                    }
+                }
+                add_to(grads, *a, ga);
+            }
+            Op::GatherRows(a, index) => {
+                let (n, f) = self.value(*a).shape();
+                let mut ga = Tensor::zeros(n, f);
+                for (e, &i) in index.iter().enumerate() {
+                    let row = g.row(e);
+                    for (o, v) in ga.row_mut(i as usize).iter_mut().zip(row.iter()) {
+                        *o += v;
+                    }
+                }
+                add_to(grads, *a, ga);
+            }
+            Op::ScatterAddRows(a, index, _n) => {
+                let f = g.cols();
+                let mut ga = Tensor::zeros(index.len(), f);
+                for (e, &i) in index.iter().enumerate() {
+                    ga.row_mut(e).copy_from_slice(g.row(i as usize));
+                }
+                add_to(grads, *a, ga);
+            }
+            Op::SegmentSoftmax(a, segments, num_segments) => {
+                let y = &self.nodes[idx].value;
+                // For each segment s: grad_e = y_e * (g_e - sum_{e' in s} g_e' y_e').
+                let mut dot = vec![0.0_f32; *num_segments];
+                for (e, &s) in segments.iter().enumerate() {
+                    dot[s as usize] += g.at(e, 0) * y.at(e, 0);
+                }
+                let mut ga = Tensor::zeros(y.rows(), 1);
+                for (e, &s) in segments.iter().enumerate() {
+                    ga.set(e, 0, y.at(e, 0) * (g.at(e, 0) - dot[s as usize]));
+                }
+                add_to(grads, *a, ga);
+            }
+            Op::MulColBroadcast(a, w) => {
+                let x = self.value(*a);
+                let c = self.value(*w);
+                let mut ga = g.clone();
+                let mut gw = Tensor::zeros(c.rows(), 1);
+                for e in 0..g.rows() {
+                    let wv = c.at(e, 0);
+                    let mut acc = 0.0;
+                    for (j, gv) in ga.row_mut(e).iter_mut().enumerate() {
+                        acc += *gv * x.at(e, j);
+                        *gv *= wv;
+                    }
+                    gw.set(e, 0, acc);
+                }
+                add_to(grads, *a, ga);
+                add_to(grads, *w, gw);
+            }
+            Op::RowL2Normalize(a) => {
+                let x = self.value(*a);
+                let y = &self.nodes[idx].value;
+                let mut ga = Tensor::zeros(x.rows(), x.cols());
+                for i in 0..x.rows() {
+                    let norm = l2(x.row(i));
+                    if norm > L2_EPS {
+                        let gy = g.row(i);
+                        let yr = y.row(i);
+                        let dot: f32 = gy.iter().zip(yr.iter()).map(|(a, b)| a * b).sum();
+                        for (j, o) in ga.row_mut(i).iter_mut().enumerate() {
+                            *o = (gy[j] - yr[j] * dot) / norm;
+                        }
+                    } else {
+                        ga.row_mut(i).copy_from_slice(g.row(i));
+                    }
+                }
+                add_to(grads, *a, ga);
+            }
+            Op::MeanAll(a) => {
+                let (n, f) = self.value(*a).shape();
+                let scale = g.item() / (n * f).max(1) as f32;
+                add_to(grads, *a, Tensor::filled(n, f, scale));
+            }
+            Op::SumAll(a) => {
+                let (n, f) = self.value(*a).shape();
+                add_to(grads, *a, Tensor::filled(n, f, g.item()));
+            }
+            Op::SliceRows(a, start, end) => {
+                let (n, f) = self.value(*a).shape();
+                let mut ga = Tensor::zeros(n, f);
+                for i in *start..*end {
+                    ga.row_mut(i).copy_from_slice(g.row(i - start));
+                }
+                add_to(grads, *a, ga);
+            }
+        }
+    }
+}
+
+const L2_EPS: f32 = 1e-12;
+
+fn l2(row: &[f32]) -> f32 {
+    row.iter().map(|v| v * v).sum::<f32>().sqrt()
+}
+
+fn segment_softmax_forward(src: &Tensor, segments: &[u32], num_segments: usize) -> Tensor {
+    let mut max = vec![f32::NEG_INFINITY; num_segments];
+    for (e, &s) in segments.iter().enumerate() {
+        let s = s as usize;
+        assert!(s < num_segments, "segment id {s} out of range");
+        max[s] = max[s].max(src.at(e, 0));
+    }
+    let mut out = Tensor::zeros(src.rows(), 1);
+    let mut denom = vec![0.0_f32; num_segments];
+    for (e, &s) in segments.iter().enumerate() {
+        let v = (src.at(e, 0) - max[s as usize]).exp();
+        out.set(e, 0, v);
+        denom[s as usize] += v;
+    }
+    for (e, &s) in segments.iter().enumerate() {
+        let d = denom[s as usize];
+        if d > 0.0 {
+            out.set(e, 0, out.at(e, 0) / d);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_gradient() {
+        // y = sum(W x); dy/dW = x^T replicated.
+        let mut params = ParamSet::new();
+        let w = params.add("w", Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let mut tape = Tape::new();
+        let wv = tape.param(&params, w);
+        let x = tape.constant(Tensor::from_col(&[5.0, 7.0]));
+        let y = tape.matmul(wv, x);
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        let gw = grads.for_param(&tape, w).unwrap();
+        assert_eq!(gw, Tensor::from_rows(&[&[5.0, 7.0], &[5.0, 7.0]]));
+    }
+
+    #[test]
+    fn mse_gradient_is_scaled_residual() {
+        let mut tape = Tape::new();
+        let p = tape.constant(Tensor::from_col(&[1.0, 2.0]));
+        let t = tape.constant(Tensor::from_col(&[0.0, 0.0]));
+        let loss = tape.mse_loss(p, t);
+        assert!((tape.value(loss).item() - 2.5).abs() < 1e-6);
+        let grads = tape.backward(loss);
+        let gp = grads.for_var(p).unwrap();
+        // d/dp mean((p-t)^2) = 2(p-t)/n.
+        assert_eq!(gp, &Tensor::from_col(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn segment_softmax_sums_to_one_per_segment() {
+        let mut tape = Tape::new();
+        let scores = tape.constant(Tensor::from_col(&[0.3, -1.0, 2.0, 0.5, 0.5]));
+        let segs = Rc::new(vec![0_u32, 0, 1, 1, 1]);
+        let sm = tape.segment_softmax(scores, segs.clone(), 2);
+        let y = tape.value(sm);
+        let s0 = y.at(0, 0) + y.at(1, 0);
+        let s1 = y.at(2, 0) + y.at(3, 0) + y.at(4, 0);
+        assert!((s0 - 1.0).abs() < 1e-6);
+        assert!((s1 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gather_scatter_are_adjoint() {
+        // <scatter(x), y> == <x, gather(y)> for matching indices.
+        let idx = Rc::new(vec![2_u32, 0, 2]);
+        let x = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let y = Tensor::from_rows(&[&[1.0, -1.0], &[0.5, 0.5], &[2.0, 1.0]]);
+
+        let mut tape = Tape::new();
+        let xv = tape.constant(x.clone());
+        let sc = tape.scatter_add_rows(xv, idx.clone(), 3);
+        let lhs: f32 = tape
+            .value(sc)
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+
+        let mut tape2 = Tape::new();
+        let yv = tape2.constant(y);
+        let ga = tape2.gather_rows(yv, idx);
+        let rhs: f32 = tape2
+            .value(ga)
+            .as_slice()
+            .iter()
+            .zip(x.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-5);
+    }
+
+    #[test]
+    fn concat_cols_backward_splits() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Tensor::ones(2, 2));
+        let b = tape.constant(Tensor::ones(2, 3));
+        let c = tape.concat_cols(a, b);
+        assert_eq!(tape.value(c).shape(), (2, 5));
+        let loss = tape.sum_all(c);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.for_var(a).unwrap().shape(), (2, 2));
+        assert_eq!(grads.for_var(b).unwrap().shape(), (2, 3));
+    }
+
+    #[test]
+    fn param_used_twice_sums_gradients() {
+        let mut params = ParamSet::new();
+        let w = params.add("w", Tensor::scalar(3.0));
+        let mut tape = Tape::new();
+        let w1 = tape.param(&params, w);
+        let w2 = tape.param(&params, w);
+        let y = tape.mul(w1, w2); // y = w^2 -> dy/dw = 2w = 6
+        let grads = tape.backward(y);
+        assert_eq!(grads.for_param(&tape, w).unwrap().item(), 6.0);
+    }
+
+    #[test]
+    fn row_l2_normalize_unit_rows() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]));
+        let y = tape.row_l2_normalize(x);
+        let v = tape.value(y);
+        assert!((v.at(0, 0) - 0.6).abs() < 1e-6);
+        assert!((v.at(0, 1) - 0.8).abs() < 1e-6);
+        // Zero rows pass through untouched.
+        assert_eq!(v.at(1, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a scalar loss")]
+    fn backward_requires_scalar() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::ones(2, 2));
+        let _ = tape.backward(x);
+    }
+}
+
+#[cfg(test)]
+mod exp_tests {
+    use super::*;
+
+    #[test]
+    fn exp_forward_and_gradient() {
+        let mut params = ParamSet::new();
+        let w = params.add("w", Tensor::from_col(&[0.0, 1.0, -1.0]));
+        let mut tape = Tape::new();
+        let wv = tape.param(&params, w);
+        let y = tape.exp(wv);
+        assert!((tape.value(y).at(1, 0) - std::f32::consts::E).abs() < 1e-5);
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        let g = grads.for_param(&tape, w).unwrap();
+        // d/dx sum exp(x) = exp(x).
+        for i in 0..3 {
+            assert!((g.at(i, 0) - tape.value(y).at(i, 0)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn exp_clamps_large_inputs() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::scalar(1000.0));
+        let y = tape.exp(x);
+        assert!(tape.value(y).item().is_finite());
+    }
+}

@@ -1,0 +1,529 @@
+//! Dense, row-major, 2-D `f32` tensor.
+//!
+//! Everything in the ParaGraph reproduction is expressed over 2-D matrices:
+//! node-embedding matrices are `(num_nodes, feature_dim)`, edge message
+//! buffers are `(num_edges, feature_dim)`, attention scores are
+//! `(num_edges, 1)`, and scalars are `(1, 1)`.
+
+use std::fmt;
+
+/// A dense, row-major matrix of `f32` values.
+///
+/// # Examples
+///
+/// ```
+/// use paragraph_tensor::Tensor;
+///
+/// let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Tensor::eye(2);
+/// let c = a.matmul(&b);
+/// assert_eq!(c, a);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}x{})[", self.rows, self.cols)?;
+        let show = self.data.len().min(8);
+        for (i, v) in self.data[..show].iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.data.len() > show {
+            write!(f, ", ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor of the given shape filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let len = rows.checked_mul(cols).expect("tensor shape overflow");
+        Self { rows, cols, data: vec![0.0; len] }
+    }
+
+    /// Creates a tensor filled with the given value.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        let mut t = Self::zeros(rows, cols);
+        t.data.fill(value);
+        t
+    }
+
+    /// Creates a tensor of ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 1.0)
+    }
+
+    /// Creates the `n`-by-`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(n, n);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a tensor from a slice of row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows in Tensor::from_rows");
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Creates a column vector (`n x 1`) from a slice.
+    pub fn from_col(values: &[f32]) -> Self {
+        Self::from_vec(values.len(), 1, values.to_vec())
+    }
+
+    /// Creates a `1 x 1` scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Self::from_vec(1, 1, vec![value])
+    }
+
+    /// Creates a tensor whose entry `(i, j)` is `f(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut t = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                t.data[i * cols + j] = f(i, j);
+            }
+        }
+        t
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view of the data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Element setter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrow of row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The value of a `1 x 1` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not `1 x 1`.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "item() requires a 1x1 tensor");
+        self.data[0]
+    }
+
+    /// Applies `f` elementwise, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Combines two same-shape tensors elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
+        assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// `self + other`, elementwise.
+    pub fn add(&self, other: &Self) -> Self {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// `self - other`, elementwise.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Hadamard (elementwise) product.
+    pub fn mul(&self, other: &Self) -> Self {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Self {
+        self.map(|v| v * s)
+    }
+
+    /// In-place `self += scale * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Self, scale: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += scale * b;
+        }
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self @ other`.
+    ///
+    /// Uses a cache-friendly i-k-j loop and splits the row range over threads
+    /// for large products.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Self::zeros(self.rows, other.cols);
+        matmul_into(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
+        out
+    }
+
+    /// Sum of all elements as a scalar.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    ///
+    /// Returns `0.0` for an empty tensor.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Column-wise sum, producing a `1 x cols` tensor.
+    pub fn col_sum(&self) -> Self {
+        let mut out = Self::zeros(1, self.cols);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for (o, &v) in out.data.iter_mut().zip(row.iter()) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Row-wise sum, producing a `rows x 1` tensor.
+    pub fn row_sum(&self) -> Self {
+        let mut out = Self::zeros(self.rows, 1);
+        for i in 0..self.rows {
+            out.data[i] = self.row(i).iter().sum();
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Largest absolute element, or `0.0` when empty.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0_f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// True when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Stacks `self` atop `other` (same column count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts differ.
+    pub fn vstack(&self, other: &Self) -> Self {
+        assert_eq!(self.cols, other.cols, "vstack column mismatch");
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Self { rows: self.rows + other.rows, cols: self.cols, data }
+    }
+
+    /// Concatenates columns of `self` and `other` (same row count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn hstack(&self, other: &Self) -> Self {
+        assert_eq!(self.rows, other.rows, "hstack row mismatch");
+        let mut out = Self::zeros(self.rows, self.cols + other.cols);
+        for i in 0..self.rows {
+            let dst = out.row_mut(i);
+            dst[..self.cols].copy_from_slice(self.row(i));
+            dst[self.cols..].copy_from_slice(other.row(i));
+        }
+        out
+    }
+}
+
+/// Threshold (in multiply-accumulate operations) above which `matmul`
+/// parallelises across rows.
+const PAR_FLOP_THRESHOLD: usize = 1 << 21;
+
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let work = m.saturating_mul(k).saturating_mul(n);
+    let threads = if work >= PAR_FLOP_THRESHOLD {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8)
+    } else {
+        1
+    };
+    if threads <= 1 || m < 2 * threads {
+        matmul_rows(a, b, c, k, n, 0, m);
+        return;
+    }
+    let chunk = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = &mut c[..];
+        let mut start = 0;
+        while start < m {
+            let rows_here = chunk.min(m - start);
+            let (head, tail) = rest.split_at_mut(rows_here * n);
+            rest = tail;
+            let a_ref = a;
+            let b_ref = b;
+            let s = start;
+            scope.spawn(move || {
+                matmul_rows(a_ref, b_ref, head, k, n, s, s + rows_here);
+            });
+            start += rows_here;
+        }
+    });
+}
+
+fn matmul_rows(a: &[f32], b: &[f32], c: &mut [f32], k: usize, n: usize, row_start: usize, row_end: usize) {
+    for i in row_start..row_end {
+        let c_row = &mut c[(i - row_start) * n..(i - row_start + 1) * n];
+        let a_row = &a[i * k..(i + 1) * k];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_manual() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Tensor::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Tensor::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_fn(5, 5, |i, j| (i * 5 + j) as f32);
+        assert_eq!(a.matmul(&Tensor::eye(5)), a);
+        assert_eq!(Tensor::eye(5).matmul(&a), a);
+    }
+
+    #[test]
+    fn large_matmul_parallel_matches_serial() {
+        let a = Tensor::from_fn(300, 130, |i, j| ((i * 31 + j * 7) % 13) as f32 - 6.0);
+        let b = Tensor::from_fn(130, 220, |i, j| ((i * 17 + j * 3) % 11) as f32 - 5.0);
+        let c = a.matmul(&b);
+        // Serial reference.
+        let mut reference = Tensor::zeros(300, 220);
+        for i in 0..300 {
+            for p in 0..130 {
+                for j in 0..220 {
+                    let v = reference.at(i, j) + a.at(i, p) * b.at(p, j);
+                    reference.set(i, j, v);
+                }
+            }
+        }
+        assert_eq!(c, reference);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_fn(3, 7, |i, j| (i + j * j) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn hstack_and_vstack_shapes() {
+        let a = Tensor::ones(2, 3);
+        let b = Tensor::zeros(2, 2);
+        let h = a.hstack(&b);
+        assert_eq!(h.shape(), (2, 5));
+        assert_eq!(h.at(0, 2), 1.0);
+        assert_eq!(h.at(0, 3), 0.0);
+        let c = Tensor::zeros(4, 3);
+        assert_eq!(a.vstack(&c).shape(), (6, 3));
+    }
+
+    #[test]
+    fn col_and_row_sums() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.col_sum(), Tensor::from_rows(&[&[4.0, 6.0]]));
+        assert_eq!(a.row_sum(), Tensor::from_col(&[3.0, 7.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(2.5).item(), 2.5);
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let a = Tensor::from_col(&[1.0, -2.0]);
+        assert_eq!(a.map(f32::abs), Tensor::from_col(&[1.0, 2.0]));
+        let b = Tensor::from_col(&[3.0, 4.0]);
+        assert_eq!(a.zip_map(&b, |x, y| x * y), Tensor::from_col(&[3.0, -8.0]));
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests: every differentiable op's analytic gradient matches
+//! finite differences on random inputs, and tensor algebra laws hold.
+
+use paragraph_tensor::{gradcheck, init_rng, ParamSet, Tensor};
+use proptest::prelude::*;
+use std::rc::Rc;
+
+fn small_dim() -> impl Strategy<Value = usize> {
+    1_usize..5
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn matmul_transpose_law(m in small_dim(), k in small_dim(), n in small_dim(), seed in any::<u64>()) {
+        // (A B)^T = B^T A^T
+        let mut rng = init_rng(seed);
+        let mut p = ParamSet::new();
+        let a = p.add_xavier("a", m, k, &mut rng);
+        let b = p.add_xavier("b", k, n, &mut rng);
+        let ab_t = p.value(a).matmul(p.value(b)).transpose();
+        let bt_at = p.value(b).transpose().matmul(&p.value(a).transpose());
+        let diff = ab_t.sub(&bt_at).max_abs();
+        prop_assert!(diff < 1e-5, "diff = {diff}");
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(m in small_dim(), k in small_dim(), seed in any::<u64>()) {
+        let mut rng = init_rng(seed);
+        let mut p = ParamSet::new();
+        let a = p.add_xavier("a", m, k, &mut rng);
+        let b = p.add_xavier("b", k, 3, &mut rng);
+        let c = p.add_xavier("c", k, 3, &mut rng);
+        let lhs = p.value(a).matmul(&p.value(b).add(p.value(c)));
+        let rhs = p.value(a).matmul(p.value(b)).add(&p.value(a).matmul(p.value(c)));
+        prop_assert!(lhs.sub(&rhs).max_abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradcheck_linear_activation_chain(
+        rows in 2_usize..6,
+        cols in 2_usize..6,
+        act in 0_u8..4,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = init_rng(seed);
+        let mut params = ParamSet::new();
+        params.add_xavier("w", cols, 3, &mut rng);
+        params.add_bias("b", 3);
+        let x = Tensor::from_fn(rows, cols, |i, j| ((i * 3 + j * 5) % 7) as f32 * 0.2 - 0.5);
+        let result = gradcheck::check(&mut params, 1e-2, |tape, params| {
+            let xv = tape.constant(x.clone());
+            let w = tape.param(params, params.find("w").unwrap());
+            let b = tape.param(params, params.find("b").unwrap());
+            let h = tape.matmul(xv, w);
+            let h = tape.add_bias(h, b);
+            let h = match act {
+                0 => tape.relu(h),
+                1 => tape.leaky_relu(h, 0.2),
+                2 => tape.sigmoid(h),
+                _ => tape.tanh(h),
+            };
+            let t = tape.constant(Tensor::filled(rows, 3, 0.1));
+            tape.mse_loss(h, t)
+        });
+        prop_assert!(result.within(3e-2), "{result:?}");
+    }
+
+    #[test]
+    fn gradcheck_message_passing(
+        n in 2_usize..5,
+        e in 1_usize..8,
+        seed in any::<u64>(),
+    ) {
+        // Random gather/softmax/scatter chain over random edges.
+        let mut rng = init_rng(seed);
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+            (state >> 33) as usize
+        };
+        let src = Rc::new((0..e).map(|_| (next() % n) as u32).collect::<Vec<_>>());
+        let dst = Rc::new((0..e).map(|_| (next() % n) as u32).collect::<Vec<_>>());
+        let mut params = ParamSet::new();
+        params.add_xavier("w", 3, 3, &mut rng);
+        params.add_xavier("a", 6, 1, &mut rng);
+        let x = Tensor::from_fn(n, 3, |i, j| (i as f32 - j as f32) * 0.3);
+        let result = gradcheck::check(&mut params, 1e-2, |tape, params| {
+            let xv = tape.constant(x.clone());
+            let w = tape.param(params, params.find("w").unwrap());
+            let a = tape.param(params, params.find("a").unwrap());
+            let z = tape.matmul(xv, w);
+            let zs = tape.gather_rows(z, src.clone());
+            let zd = tape.gather_rows(z, dst.clone());
+            let cat = tape.concat_cols(zd, zs);
+            let scores = tape.matmul(cat, a);
+            let scores = tape.leaky_relu(scores, 0.2);
+            let att = tape.segment_softmax(scores, dst.clone(), n);
+            let msg = tape.mul_col_broadcast(zs, att);
+            let agg = tape.scatter_add_rows(msg, dst.clone(), n);
+            let t = tape.constant(Tensor::filled(n, 3, 0.2));
+            tape.mse_loss(agg, t)
+        });
+        prop_assert!(result.within(5e-2), "{result:?}");
+    }
+
+    #[test]
+    fn segment_softmax_partitions_unity(e in 1_usize..20, groups in 1_usize..5, seed in any::<u64>()) {
+        use paragraph_tensor::Tape;
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+            (state >> 33) as usize
+        };
+        let segs: Vec<u32> = (0..e).map(|_| (next() % groups) as u32).collect();
+        let scores: Vec<f32> = (0..e).map(|_| (next() % 100) as f32 * 0.05 - 2.5).collect();
+        let mut tape = Tape::new();
+        let s = tape.constant(Tensor::from_col(&scores));
+        let sm = tape.segment_softmax(s, Rc::new(segs.clone()), groups);
+        let out = tape.value(sm);
+        for g in 0..groups {
+            let total: f32 = segs
+                .iter()
+                .enumerate()
+                .filter(|(_, &sg)| sg == g as u32)
+                .map(|(i, _)| out.at(i, 0))
+                .sum();
+            let count = segs.iter().filter(|&&sg| sg == g as u32).count();
+            if count > 0 {
+                prop_assert!((total - 1.0).abs() < 1e-5, "group {g}: {total}");
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: parse a schematic, train a capacitance model on a small
+//! synthetic dataset, and predict parasitics for an unseen circuit.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use paragraph::prelude::*;
+use paragraph_circuitgen::{paper_dataset, DatasetConfig, Split};
+use paragraph_layout::LayoutConfig;
+use paragraph_netlist::parse_spice;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Generate a small training dataset --------------------------
+    // (In a real deployment these would be your existing laid-out designs
+    // with extracted parasitics; here the layout synthesiser provides the
+    // ground truth.)
+    println!("generating dataset & synthesising layouts...");
+    let dataset = paper_dataset(DatasetConfig { scale: 0.15, seed: 7 });
+    let layout = LayoutConfig::default();
+    let mut train: Vec<PreparedCircuit> = dataset
+        .into_iter()
+        .filter(|c| c.split == Split::Train)
+        .map(|c| PreparedCircuit::new(c.name, c.circuit, &layout))
+        .collect();
+    let norm = fit_norm(&train);
+    normalize_circuits(&mut train, &norm);
+
+    // --- 2. Train a ParaGraph capacitance model ------------------------
+    println!("training ParaGraph capacitance model...");
+    let mut fit = FitConfig::new(GnnKind::ParaGraph);
+    fit.epochs = 20;
+    let (model, loss) = TargetModel::train(&train, Target::Cap, None, fit, &norm);
+    println!("final training loss: {loss:.5}");
+
+    // --- 3. Predict parasitics for a new schematic ---------------------
+    let fresh = parse_spice(
+        "* two-stage buffer\n\
+         mp1 mid in vdd vdd pch l=16n nfin=6 nf=2\n\
+         mn1 mid in vss vss nch l=16n nfin=3 nf=2\n\
+         mp2 out mid vdd vdd pch l=16n nfin=12 nf=4\n\
+         mn2 out mid vss vss nch l=16n nfin=6 nf=4\n\
+         .end\n",
+    )?
+    .flatten()?;
+    let caps = model.predict_circuit(&fresh);
+    println!("\npredicted net parasitics:");
+    for (i, net) in fresh.nets().iter().enumerate() {
+        if let Some(c) = caps[i] {
+            println!("  {:<6} {:8.3} fF", net.name, c * 1e15);
+        }
+    }
+    Ok(())
+}

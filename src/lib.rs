@@ -1,0 +1,36 @@
+//! Umbrella crate for the ParaGraph reproduction workspace.
+//!
+//! This crate exists to host the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). It simply re-exports the
+//! member crates so examples can write `use paragraph_repro::prelude::*;`.
+//!
+//! The actual library lives in the member crates:
+//!
+//! * [`paragraph`] — the paper's contribution (graph construction, ParaGraph
+//!   model, ensemble prediction),
+//! * [`paragraph_gnn`] — GNN layers and training,
+//! * [`paragraph_tensor`] — tensor + autograd engine,
+//! * [`paragraph_netlist`] — circuit data model and SPICE-subset parser,
+//! * [`paragraph_circuitgen`] — synthetic circuit dataset generator,
+//! * [`paragraph_layout`] — procedural layout synthesis / ground-truth
+//!   extraction,
+//! * [`paragraph_ml`] — classical baselines (linear regression, gradient
+//!   boosted trees), metrics, and t-SNE,
+//! * [`paragraph_sim`] — MNA circuit simulator used for the Table V study.
+
+pub use paragraph;
+pub use paragraph_circuitgen;
+pub use paragraph_gnn;
+pub use paragraph_layout;
+pub use paragraph_ml;
+pub use paragraph_netlist;
+pub use paragraph_sim;
+pub use paragraph_tensor;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use paragraph::prelude::*;
+    pub use paragraph_circuitgen::prelude::*;
+    pub use paragraph_layout::prelude::*;
+    pub use paragraph_netlist::{parse_spice, write_spice, Circuit, Netlist};
+}

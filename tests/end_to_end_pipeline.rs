@@ -1,0 +1,140 @@
+//! Integration: the full paper pipeline — dataset generation, layout
+//! synthesis, graph construction, GNN training, evaluation — spanning all
+//! member crates.
+
+use paragraph::prelude::*;
+use paragraph_circuitgen::{paper_dataset, DatasetConfig, Split};
+use paragraph_layout::LayoutConfig;
+
+fn prepared_dataset(scale: f64) -> (Vec<PreparedCircuit>, Vec<PreparedCircuit>) {
+    let dataset = paper_dataset(DatasetConfig { scale, seed: 99 });
+    let layout = LayoutConfig::default();
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for c in dataset {
+        let pc = PreparedCircuit::new(c.name, c.circuit, &layout);
+        match c.split {
+            Split::Train => train.push(pc),
+            Split::Test => test.push(pc),
+        }
+    }
+    let norm = fit_norm(&train);
+    normalize_circuits(&mut train, &norm);
+    normalize_circuits(&mut test, &norm);
+    (train, test)
+}
+
+#[test]
+fn train_and_evaluate_cap_model() {
+    let (train, test) = prepared_dataset(0.08);
+    let norm = fit_norm(&train);
+    let mut fit = FitConfig::quick(GnnKind::ParaGraph);
+    fit.epochs = 15;
+    let (model, loss) = TargetModel::train(&train, Target::Cap, None, fit, &norm);
+    assert!(loss.is_finite() && loss >= 0.0);
+    let pairs = evaluate_model(&model, &test, None);
+    let s = pairs.summary();
+    assert!(s.count > 50, "enough evaluation points");
+    // Even a quick model must clearly beat the mean predictor on the
+    // log-space target.
+    assert!(s.r2 > 0.2, "r2 = {}", s.r2);
+    // All physical predictions positive.
+    assert!(pairs.physical.iter().all(|(p, _)| *p > 0.0));
+}
+
+#[test]
+fn device_parameter_model_trains() {
+    let (train, test) = prepared_dataset(0.08);
+    let norm = fit_norm(&train);
+    let mut fit = FitConfig::quick(GnnKind::GraphSage);
+    fit.epochs = 15;
+    let (model, _) = TargetModel::train(&train, Target::Sa, None, fit, &norm);
+    let s = evaluate_model(&model, &test, None).summary();
+    assert!(s.r2 > 0.2, "SA r2 = {}", s.r2);
+    assert!(s.mape < 200.0);
+}
+
+#[test]
+fn every_test_graph_is_well_formed() {
+    let (train, test) = prepared_dataset(0.08);
+    for pc in train.iter().chain(&test) {
+        pc.graph.graph.validate().unwrap();
+        pc.circuit.validate().unwrap();
+        // Graph nodes = signal nets + devices.
+        let expected = pc.circuit.kind_counts().net + pc.circuit.num_devices();
+        assert_eq!(pc.graph.graph.num_nodes(), expected, "{}", pc.name);
+        // Every edge pairs a net node with a device node.
+        for t in 0..pc.graph.graph.num_edge_types() {
+            let edges = pc.graph.graph.edges(t);
+            for (&s, &d) in edges.src.iter().zip(edges.dst.iter()) {
+                let st = pc.graph.graph.node_type(s as usize);
+                let dt = pc.graph.graph.node_type(d as usize);
+                assert!(
+                    (st == 0) != (dt == 0),
+                    "edge must join a net (type 0) and a device, got {st}->{dt}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn labels_cover_expected_nodes() {
+    let (train, _) = prepared_dataset(0.08);
+    for pc in &train {
+        let cap_labels = pc.labels(Target::Cap, None);
+        assert_eq!(cap_labels.len(), pc.circuit.kind_counts().net, "{}", pc.name);
+        let sa_labels = pc.labels(Target::Sa, None);
+        let mosfets = pc
+            .circuit
+            .devices()
+            .iter()
+            .filter(|d| d.kind.is_mosfet())
+            .count();
+        assert_eq!(sa_labels.len(), mosfets, "{}", pc.name);
+    }
+}
+
+#[test]
+fn resistance_extension_pipeline() {
+    // The §VI future-work target trains and predicts end to end.
+    let (train, test) = prepared_dataset(0.08);
+    let norm = fit_norm(&train);
+    let mut fit = FitConfig::quick(GnnKind::ParaGraph);
+    fit.epochs = 12;
+    let (model, _) = TargetModel::train(&train, Target::Res, None, fit, &norm);
+    let pairs = evaluate_model(&model, &test, None);
+    let s = pairs.summary();
+    assert!(s.count > 50);
+    assert!(s.r2 > 0.1, "RES r2 = {}", s.r2);
+    // Predictions are positive resistances in a plausible range.
+    assert!(pairs.physical.iter().all(|(p, _)| *p > 0.0 && *p < 1e7));
+}
+
+#[test]
+fn multihead_fit_config_trains() {
+    let (train, _) = prepared_dataset(0.08);
+    let norm = fit_norm(&train);
+    let mut fit = FitConfig::quick(GnnKind::ParaGraph);
+    fit.epochs = 4;
+    fit.embed_dim = 16;
+    fit.attention_heads = 2;
+    let (_, loss) = TargetModel::train(&train, Target::Cap, None, fit, &norm);
+    assert!(loss.is_finite());
+}
+
+#[test]
+fn attention_weights_available_after_training() {
+    let (train, test) = prepared_dataset(0.08);
+    let norm = fit_norm(&train);
+    let mut fit = FitConfig::quick(GnnKind::ParaGraph);
+    fit.epochs = 3;
+    let (model, _) = TargetModel::train(&train, Target::Cap, None, fit, &norm);
+    let att = model.gnn().attention_weights(&test[0].graph.graph);
+    // At least the thin-transistor gate/source/drain relations carry edges.
+    let non_empty = att.iter().filter(|w| !w.is_empty()).count();
+    assert!(non_empty >= 4, "{non_empty} edge types with attention");
+    for weights in att.iter().filter(|w| !w.is_empty()) {
+        assert!(weights.iter().all(|w| (0.0..=1.0 + 1e-5).contains(w)));
+    }
+}

@@ -1,0 +1,102 @@
+//! Integration: Algorithm 2 ensembles and model persistence across the
+//! full pipeline.
+
+use paragraph::prelude::*;
+use paragraph::{SavedModel, PAPER_MAX_V};
+use paragraph_circuitgen::{paper_dataset, DatasetConfig, Split};
+use paragraph_layout::LayoutConfig;
+
+fn quick_setup() -> (Vec<PreparedCircuit>, Vec<PreparedCircuit>, paragraph::FeatureNorm) {
+    let dataset = paper_dataset(DatasetConfig { scale: 0.06, seed: 55 });
+    let layout = LayoutConfig::default();
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for c in dataset {
+        let pc = PreparedCircuit::new(c.name, c.circuit, &layout);
+        match c.split {
+            Split::Train => train.push(pc),
+            Split::Test => test.push(pc),
+        }
+    }
+    let norm = fit_norm(&train);
+    normalize_circuits(&mut train, &norm);
+    normalize_circuits(&mut test, &norm);
+    (train, test, norm)
+}
+
+#[test]
+fn ensemble_covers_all_signal_nets() {
+    let (train, test, norm) = quick_setup();
+    let members: Vec<TargetModel> = PAPER_MAX_V
+        .iter()
+        .enumerate()
+        .map(|(i, &mv)| {
+            let mut fit = FitConfig::quick(GnnKind::ParaGraph);
+            fit.epochs = 6;
+            fit.seed = i as u64 + 1;
+            TargetModel::train(&train, Target::Cap, Some(mv), fit, &norm).0
+        })
+        .collect();
+    let ensemble = CapEnsemble::new(members);
+    for pc in &test {
+        let preds = ensemble.predict(pc);
+        for (i, net) in pc.circuit.nets().iter().enumerate() {
+            match net.class {
+                paragraph_netlist::NetClass::Signal => {
+                    let p = preds[i].expect("signal net predicted");
+                    assert!(p > 0.0 && p.is_finite());
+                }
+                _ => assert!(preds[i].is_none(), "rails must not be predicted"),
+            }
+        }
+    }
+}
+
+#[test]
+fn saved_model_predicts_identically_on_unseen_circuits() {
+    let (train, test, norm) = quick_setup();
+    let mut fit = FitConfig::quick(GnnKind::ParaGraph);
+    fit.epochs = 6;
+    let (model, _) = TargetModel::train(&train, Target::Cap, None, fit, &norm);
+    let json = SavedModel::from_model(&model).to_json();
+    let restored = SavedModel::from_json(&json).unwrap().into_model().unwrap();
+    for pc in &test {
+        let a = model.predict_circuit(&pc.circuit);
+        let b = restored.predict_circuit(&pc.circuit);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            match (x, y) {
+                (Some(x), Some(y)) => {
+                    assert!((x - y).abs() <= x.abs() * 1e-5, "{x} vs {y}")
+                }
+                (None, None) => {}
+                other => panic!("mismatch {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn ensemble_members_stay_sorted_after_shuffle() {
+    let (train, _, norm) = quick_setup();
+    let mut members: Vec<TargetModel> = [100e-15, 1e-15, 10e-12, 10e-15]
+        .iter()
+        .map(|&mv| {
+            let mut fit = FitConfig::quick(GnnKind::Gcn);
+            fit.epochs = 2;
+            fit.embed_dim = 8;
+            fit.layers = 1;
+            TargetModel::train(&train[..2], Target::Cap, Some(mv), fit, &norm).0
+        })
+        .collect();
+    members.reverse();
+    let ensemble = CapEnsemble::new(members);
+    let maxes: Vec<f64> = ensemble
+        .members()
+        .iter()
+        .map(|m| m.max_value.unwrap())
+        .collect();
+    let mut sorted = maxes.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert_eq!(maxes, sorted);
+}

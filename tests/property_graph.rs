@@ -1,0 +1,125 @@
+//! Property tests on the schematic-to-graph conversion: for arbitrary
+//! randomly-wired circuits, structural invariants of §II-B must hold.
+
+use paragraph::{build_graph, Target};
+use paragraph_layout::{extract, LayoutConfig};
+use paragraph_netlist::{Circuit, DeviceParams, MosPolarity, NetClass};
+use proptest::prelude::*;
+
+/// Strategy: a random flat circuit with `n` devices over a mixed net pool.
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (2_usize..24, any::<u64>()).prop_map(|(n, seed)| {
+        let mut c = Circuit::new("prop");
+        // Net pool: signals + rails.
+        let nets: Vec<_> = (0..8).map(|i| c.net(format!("n{i}"))).collect();
+        let vdd = c.net("vdd");
+        let vss = c.net("vss");
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for i in 0..n {
+            let pick = |r: usize| match r % 10 {
+                8 => vdd,
+                9 => vss,
+                k => nets[k % 8],
+            };
+            match next() % 5 {
+                0..=2 => {
+                    let pol = if next() % 2 == 0 { MosPolarity::Nmos } else { MosPolarity::Pmos };
+                    let thick = next() % 7 == 0;
+                    c.add_mosfet(
+                        format!("m{i}"),
+                        pol,
+                        thick,
+                        pick(next()),
+                        pick(next()),
+                        pick(next()),
+                        if pol == MosPolarity::Nmos { vss } else { vdd },
+                        DeviceParams {
+                            nf: 1 + (next() % 4) as u32,
+                            nfin: 1 + (next() % 8) as u32,
+                            ..DeviceParams::default()
+                        },
+                    );
+                }
+                3 => {
+                    c.add_resistor(format!("r{i}"), pick(next()), pick(next()), 1e3, 1e-6);
+                }
+                _ => {
+                    c.add_capacitor(format!("c{i}"), pick(next()), pick(next()), 5e-15, 1);
+                }
+            }
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every non-rail terminal connection yields exactly two directed
+    /// edges; rail connections yield none.
+    #[test]
+    fn edge_count_matches_signal_terminals(c in arb_circuit()) {
+        let cg = build_graph(&c);
+        cg.graph.validate().unwrap();
+        let signal_terms: usize = c
+            .devices()
+            .iter()
+            .flat_map(|d| d.conns.iter())
+            .filter(|(_, n)| c.net_ref(*n).class == NetClass::Signal)
+            .count();
+        prop_assert_eq!(cg.graph.num_edges(), 2 * signal_terms);
+    }
+
+    /// Edge-type pairs mirror each other (opposing directions, §II-B).
+    #[test]
+    fn opposing_edges_mirror(c in arb_circuit()) {
+        let cg = build_graph(&c);
+        for k in 0..cg.graph.num_edge_types() / 2 {
+            let fwd = cg.graph.edges(2 * k);
+            let bwd = cg.graph.edges(2 * k + 1);
+            prop_assert_eq!(fwd.len(), bwd.len());
+            for i in 0..fwd.len() {
+                prop_assert_eq!(fwd.src[i], bwd.dst[i]);
+                prop_assert_eq!(fwd.dst[i], bwd.src[i]);
+            }
+        }
+    }
+
+    /// Layout extraction yields positive, finite labels for every target
+    /// on every labelled node.
+    #[test]
+    fn extraction_labels_positive(c in arb_circuit()) {
+        let cg = build_graph(&c);
+        let truth = extract(&c, &LayoutConfig::default());
+        for target in Target::all() {
+            let labels =
+                paragraph::target_labels(&c, &cg, &truth, target, None);
+            for v in &labels.physical {
+                prop_assert!(*v > 0.0 && v.is_finite());
+            }
+        }
+    }
+
+    /// Node partition: node count = signal nets + devices, and each
+    /// node's type id round-trips through the inverse maps.
+    #[test]
+    fn node_partition_consistent(c in arb_circuit()) {
+        let cg = build_graph(&c);
+        let signal = c.nets().iter().filter(|n| n.class == NetClass::Signal).count();
+        prop_assert_eq!(cg.graph.num_nodes(), signal + c.num_devices());
+        for (i, slot) in cg.net_of_node.iter().enumerate() {
+            if let Some(net) = slot {
+                prop_assert_eq!(cg.net_node[net.0 as usize], Some(i as u32));
+            }
+        }
+        for (i, slot) in cg.device_of_node.iter().enumerate() {
+            if let Some(dev) = slot {
+                prop_assert_eq!(cg.device_node[dev.0 as usize], i as u32);
+            }
+        }
+    }
+}

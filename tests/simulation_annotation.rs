@@ -1,0 +1,84 @@
+//! Integration: the Table V mechanism — the same netlist simulated with
+//! different parasitic annotations produces ordered metric errors.
+
+use paragraph_circuitgen::ChipBuilder;
+use paragraph_layout::{designer_estimate, extract, LayoutConfig};
+use paragraph_netlist::NetClass;
+use paragraph_sim::{delay_50, to_sim, transient, ConvertOptions};
+
+fn buffer_dut(seed: u64) -> (paragraph_netlist::Circuit, String, String) {
+    let mut chip = ChipBuilder::new("dut", seed);
+    let input = chip.fresh_net("in");
+    let out = chip.buffer_chain(input, 4);
+    let c = chip.into_circuit();
+    let in_name = c.net_ref(input).name.clone();
+    let out_name = c.net_ref(out).name.clone();
+    (c, in_name, out_name)
+}
+
+fn delay_with(caps: &[Option<f64>], dut: &(paragraph_netlist::Circuit, String, String)) -> f64 {
+    let (circuit, in_name, out_name) = dut;
+    let mut m = to_sim(circuit, &ConvertOptions::default());
+    m.annotate_caps(caps);
+    let inp = circuit.find_net(in_name).expect("input net");
+    m.drive_pulse(inp, 0.0, 0.9, 0.3e-9, 20e-12);
+    let tran = transient(&m.sim, 5e-9, 5e-12).expect("transient");
+    let in_w = tran.node_wave(m.node(inp));
+    let out_w = tran.node_wave(m.node(circuit.find_net(out_name).expect("output net")));
+    delay_50(&tran.times, &in_w, &out_w, 0.9, true).expect("delay measurable")
+}
+
+#[test]
+fn extracted_parasitics_slow_the_circuit() {
+    let dut = buffer_dut(31);
+    let truth = extract(&dut.0, &LayoutConfig::default());
+    let none = vec![None; dut.0.num_nets()];
+    let d_bare = delay_with(&none, &dut);
+    let d_true = delay_with(&truth.net_cap, &dut);
+    assert!(
+        d_true > d_bare * 1.05,
+        "parasitics must add delay: {d_bare} vs {d_true}"
+    );
+}
+
+#[test]
+fn perfect_annotation_reproduces_reference_exactly() {
+    let dut = buffer_dut(32);
+    let truth = extract(&dut.0, &LayoutConfig::default());
+    let d1 = delay_with(&truth.net_cap, &dut);
+    let d2 = delay_with(&truth.net_cap, &dut);
+    assert_eq!(d1, d2, "simulation must be deterministic");
+}
+
+#[test]
+fn designer_estimate_is_a_valid_annotation() {
+    let dut = buffer_dut(33);
+    let est = designer_estimate(&dut.0, 7);
+    // Signal nets estimated, rails skipped.
+    for (i, net) in dut.0.nets().iter().enumerate() {
+        match net.class {
+            NetClass::Signal => assert!(est[i].unwrap() > 0.0),
+            _ => assert!(est[i].is_none()),
+        }
+    }
+    let d = delay_with(&est, &dut);
+    assert!(d.is_finite() && d > 0.0);
+}
+
+#[test]
+fn closer_caps_give_closer_delays() {
+    // Annotating with truth*1.1 must land nearer the reference than
+    // truth*3 — the monotonicity Table V relies on.
+    let dut = buffer_dut(34);
+    let truth = extract(&dut.0, &LayoutConfig::default());
+    let scale_caps = |k: f64| -> Vec<Option<f64>> {
+        truth.net_cap.iter().map(|c| c.map(|v| v * k)).collect()
+    };
+    let d_ref = delay_with(&truth.net_cap, &dut);
+    let d_close = delay_with(&scale_caps(1.1), &dut);
+    let d_far = delay_with(&scale_caps(3.0), &dut);
+    assert!(
+        (d_close - d_ref).abs() < (d_far - d_ref).abs(),
+        "closer annotation must give closer delay"
+    );
+}

@@ -1,0 +1,74 @@
+//! Integration: every generated dataset circuit survives a SPICE
+//! write/parse round trip with its structure intact.
+
+use paragraph_circuitgen::{paper_dataset, DatasetConfig};
+use paragraph_netlist::{parse_spice, write_flat_spice};
+
+fn connected(c: &paragraph_netlist::Circuit) -> usize {
+    (0..c.num_nets())
+        .filter(|&i| c.fanout(paragraph_netlist::NetId(i as u32)) > 0)
+        .count()
+}
+
+#[test]
+fn dataset_circuits_roundtrip_through_spice() {
+    let data = paper_dataset(DatasetConfig { scale: 0.06, seed: 4 });
+    for dc in &data {
+        let text = write_flat_spice(&dc.circuit);
+        let back = parse_spice(&text)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", dc.name))
+            .flatten()
+            .unwrap();
+        // Dangling nets (e.g. unused global-distribution nets in tiny
+        // chips) cannot be expressed in SPICE text; compare device mix and
+        // connected nets.
+        let mut k1 = dc.circuit.kind_counts();
+        let mut k2 = back.kind_counts();
+        k1.net = 0;
+        k2.net = 0;
+        assert_eq!(k1, k2, "{}: device mix changed", dc.name);
+        assert_eq!(
+            connected(&dc.circuit),
+            connected(&back),
+            "{}: connected nets changed",
+            dc.name
+        );
+        back.validate().unwrap();
+        // Per-net fanout distribution preserved (order-independent;
+        // dangling zero-fanout nets excluded — see above).
+        let fanouts = |c: &paragraph_netlist::Circuit| {
+            let mut f: Vec<usize> = (0..c.num_nets())
+                .map(|i| c.fanout(paragraph_netlist::NetId(i as u32)))
+                .filter(|&f| f > 0)
+                .collect();
+            f.sort_unstable();
+            f
+        };
+        assert_eq!(fanouts(&dc.circuit), fanouts(&back), "{}", dc.name);
+    }
+}
+
+#[test]
+fn graphs_of_roundtripped_circuits_match() {
+    let data = paper_dataset(DatasetConfig { scale: 0.06, seed: 5 });
+    for dc in data.iter().take(4) {
+        let text = write_flat_spice(&dc.circuit);
+        let back = parse_spice(&text).unwrap().flatten().unwrap();
+        let g1 = paragraph::build_graph(&dc.circuit);
+        let g2 = paragraph::build_graph(&back);
+        // Node counts may differ by the dangling signal nets dropped in
+        // the SPICE text; edge structure must match exactly.
+        let dangling = (dc.circuit.num_nets() - connected(&dc.circuit))
+            - (back.num_nets() - connected(&back));
+        assert_eq!(g1.graph.num_nodes(), g2.graph.num_nodes() + dangling);
+        assert_eq!(g1.graph.num_edges(), g2.graph.num_edges());
+        for t in 0..g1.graph.num_edge_types() {
+            assert_eq!(
+                g1.graph.edges(t).len(),
+                g2.graph.edges(t).len(),
+                "{}: edge type {t}",
+                dc.name
+            );
+        }
+    }
+}
