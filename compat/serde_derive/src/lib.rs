@@ -1,0 +1,452 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro` token trees (the build environment
+//! has no `syn`/`quote`), covering the shapes this workspace derives on:
+//!
+//! * named-field structs (with `#[serde(skip)]` support),
+//! * newtype and tuple structs,
+//! * enums with unit, struct, and tuple variants.
+//!
+//! Representation follows serde's external conventions so snapshots stay
+//! readable: named structs are objects, newtypes are transparent, unit
+//! variants are strings, data variants are `{"Variant": ...}` objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// True when an attribute body (the `[...]` group) is `serde(skip)`.
+fn attr_is_skip(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match (tokens.next(), tokens.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args))) => {
+            name.to_string() == "serde"
+                && args
+                    .stream()
+                    .into_iter()
+                    .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes, returning whether any was `#[serde(skip)]`.
+fn eat_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut skip = false;
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        skip |= attr_is_skip(&g);
+                    }
+                    other => panic!("expected attribute body after '#', got {other:?}"),
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+/// Consumes a leading visibility modifier, if any.
+fn eat_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    eat_attrs(&mut tokens);
+    eat_vis(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("generic types are not supported by the offline serde derive");
+    }
+    match keyword.as_str() {
+        "struct" => Input::Struct {
+            name,
+            shape: parse_struct_shape(&mut tokens),
+        },
+        "enum" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("expected enum body, got {other:?}"),
+            };
+            Input::Enum {
+                name,
+                variants: parse_variants(body.stream()),
+            }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+fn parse_struct_shape(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Shape {
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        other => panic!("expected struct body, got {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` fields, tracking `#[serde(skip)]`. Commas
+/// inside angle brackets or groups do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        if tokens.peek().is_none() {
+            return fields;
+        }
+        let skip = eat_attrs(&mut tokens);
+        eat_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field `{name}`, got {other:?}"),
+        }
+        skip_type(&mut tokens);
+        fields.push(Field { name, skip });
+    }
+}
+
+/// Skips one type expression, stopping after the field-separating comma
+/// (or at end of stream).
+fn skip_type(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0_i32;
+    for t in tokens.by_ref() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut count = 0;
+    while tokens.peek().is_some() {
+        eat_attrs(&mut tokens);
+        eat_vis(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_type(&mut tokens);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        if tokens.peek().is_none() {
+            return variants;
+        }
+        eat_attrs(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                Shape::Tuple(n)
+            }
+            _ => Shape::Unit,
+        };
+        // Trailing comma between variants.
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            tokens.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation (as source text, parsed back into a TokenStream)
+// ---------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => gen_named_to_object(fields, "self."),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),")
+                        }
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({binds}) => {{\n\
+                                 let mut outer = ::serde::value::Map::new();\n\
+                                 outer.insert(\"{vn}\", {inner});\n\
+                                 ::serde::Value::Object(outer)\n\
+                                 }}",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                            let inner = gen_named_to_object(fields, "");
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => {{\n\
+                                 let mut outer = ::serde::value::Map::new();\n\
+                                 outer.insert(\"{vn}\", {inner});\n\
+                                 ::serde::Value::Object(outer)\n\
+                                 }}",
+                                binds = binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{}\n}}\n\
+                 }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+/// `{access}{field}` for every non-skipped field into a Map expression.
+fn gen_named_to_object(fields: &[Field], access: &str) -> String {
+    let mut out = String::from("{\nlet mut m = ::serde::value::Map::new();\n");
+    for f in fields.iter().filter(|f| !f.skip) {
+        let fname = &f.name;
+        out.push_str(&format!(
+            "m.insert(\"{fname}\", ::serde::Serialize::to_value(&{access}{fname}));\n"
+        ));
+    }
+    out.push_str("::serde::Value::Object(m)\n}");
+    out
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let body = match input {
+        Input::Struct { name, shape } => match shape {
+            Shape::Unit => format!("::std::result::Result::Ok({name})"),
+            Shape::Tuple(1) => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+            }
+            Shape::Tuple(n) => gen_tuple_from_array(name, *n, "v"),
+            Shape::Named(fields) => gen_named_from_object(name, fields, "v"),
+        },
+        Input::Enum { name, variants } => gen_enum_from_value(name, variants),
+    };
+    let name = match input {
+        Input::Struct { name, .. } | Input::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn gen_tuple_from_array(ctor: &str, n: usize, source: &str) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+        .collect();
+    format!(
+        "{{\n\
+         let items = {source}.as_array().ok_or_else(|| ::serde::Error::custom(\
+         format!(\"expected array for `{ctor}`, got {{}}\", {source}.kind_name())))?;\n\
+         if items.len() != {n} {{\n\
+         return ::std::result::Result::Err(::serde::Error::custom(\
+         format!(\"expected {n} elements for `{ctor}`, got {{}}\", items.len())));\n\
+         }}\n\
+         ::std::result::Result::Ok({ctor}({items}))\n\
+         }}",
+        items = items.join(", ")
+    )
+}
+
+fn gen_named_from_object(ctor: &str, fields: &[Field], source: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let fname = &f.name;
+        if f.skip {
+            inits.push_str(&format!("{fname}: ::std::default::Default::default(),\n"));
+        } else {
+            inits.push_str(&format!("{fname}: ::serde::de_field(obj, \"{fname}\")?,\n"));
+        }
+    }
+    format!(
+        "{{\n\
+         let obj = {source}.as_object().ok_or_else(|| ::serde::Error::custom(\
+         format!(\"expected object for `{ctor}`, got {{}}\", {source}.kind_name())))?;\n\
+         ::std::result::Result::Ok({ctor} {{\n{inits}}})\n\
+         }}"
+    )
+}
+
+fn gen_enum_from_value(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| {
+            format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                vn = v.name
+            )
+        })
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            let body = match &v.shape {
+                Shape::Unit => return None,
+                Shape::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?))"
+                ),
+                Shape::Tuple(n) => gen_tuple_from_array(&format!("{name}::{vn}"), *n, "inner"),
+                Shape::Named(fields) => {
+                    gen_named_from_object(&format!("{name}::{vn}"), fields, "inner")
+                }
+            };
+            Some(format!("\"{vn}\" => {body},"))
+        })
+        .collect();
+    format!(
+        "match v {{\n\
+         ::serde::Value::String(s) => match s.as_str() {{\n\
+         {units}\n\
+         other => ::std::result::Result::Err(::serde::Error::custom(\
+         format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+         }},\n\
+         ::serde::Value::Object(outer) if outer.len() == 1 => {{\n\
+         let (tag, inner) = outer.iter().next().expect(\"len checked\");\n\
+         match tag.as_str() {{\n\
+         {datas}\n\
+         other => ::std::result::Result::Err(::serde::Error::custom(\
+         format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+         }}\n\
+         }},\n\
+         other => ::std::result::Result::Err(::serde::Error::custom(\
+         format!(\"expected `{name}` variant, got {{}}\", other.kind_name()))),\n\
+         }}",
+        units = unit_arms.join("\n"),
+        datas = data_arms.join("\n"),
+    )
+}

@@ -8,7 +8,10 @@ fn synthetic_xy(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     let x: Vec<Vec<f64>> = (0..n)
         .map(|i| vec![(i % 17) as f64, (i % 5) as f64, ((i * 7) % 13) as f64])
         .collect();
-    let y: Vec<f64> = x.iter().map(|r| r[0] * 0.3 - r[1] + (r[2] * 0.1).sin()).collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|r| r[0] * 0.3 - r[1] + (r[2] * 0.1).sin())
+        .collect();
     (x, y)
 }
 
@@ -17,7 +20,10 @@ fn bench_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("baselines");
     group.sample_size(10);
     group.bench_function("gbt_fit_2k_rows", |b| {
-        let cfg = GbtConfig { n_trees: 40, ..GbtConfig::default() };
+        let cfg = GbtConfig {
+            n_trees: 40,
+            ..GbtConfig::default()
+        };
         b.iter(|| Gbt::fit(std::hint::black_box(&x), &y, cfg))
     });
     group.bench_function("linear_fit_2k_rows", |b| {
@@ -27,7 +33,10 @@ fn bench_baselines(c: &mut Criterion) {
         .map(|i| (0..16).map(|j| ((i * j) % 11) as f32 * 0.1).collect())
         .collect();
     group.bench_function("tsne_150_points", |b| {
-        let cfg = TsneConfig { iterations: 50, ..TsneConfig::default() };
+        let cfg = TsneConfig {
+            iterations: 50,
+            ..TsneConfig::default()
+        };
         b.iter(|| tsne(std::hint::black_box(&emb), &cfg))
     });
     group.finish();

@@ -10,7 +10,11 @@ use paragraph_tensor::{Tape, Tensor};
 
 fn prepared() -> PreparedCircuit {
     let circuit = compose_chip("bench", 5, FAMILY_ANALOG, 40);
-    let mut pcs = vec![PreparedCircuit::new("bench", circuit, &LayoutConfig::default())];
+    let mut pcs = vec![PreparedCircuit::new(
+        "bench",
+        circuit,
+        &LayoutConfig::default(),
+    )];
     let norm = fit_norm(&pcs);
     normalize_circuits(&mut pcs, &norm);
     pcs.pop().expect("one circuit")
@@ -28,16 +32,20 @@ fn bench_forward_backward(c: &mut Criterion) {
         let mut cfg = ModelConfig::new(kind);
         cfg.layers = 2;
         let model = GnnModel::new(cfg, &circuit_schema());
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &model, |b, model| {
-            b.iter(|| {
-                let mut tape = Tape::new();
-                let pred = model.predict_nodes(&mut tape, &pc.graph.graph, &nodes);
-                let t = tape.constant(targets.clone());
-                let loss = tape.mse_loss(pred, t);
-                let grads = tape.backward(loss);
-                std::hint::black_box(grads.param_grads(&tape).len())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &model,
+            |b, model| {
+                b.iter(|| {
+                    let mut tape = Tape::new();
+                    let pred = model.predict_nodes(&mut tape, &pc.graph.graph, &nodes);
+                    let t = tape.constant(targets.clone());
+                    let loss = tape.mse_loss(pred, t);
+                    let grads = tape.backward(loss);
+                    std::hint::black_box(grads.param_grads(&tape).len())
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,162 @@
+//! Criterion bench: request throughput of the inference service through
+//! the in-process `Service` API — cold predictions vs cache hits, and
+//! 1 worker vs a pool.
+//!
+//! Besides the criterion timings, a machine-readable JSON summary of
+//! requests/second is printed to stdout (and written to
+//! `target/serving_bench.json`) after the criterion groups, unless the
+//! harness runs in `--test` mode.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use paragraph::prelude::*;
+use paragraph_layout::LayoutConfig;
+use paragraph_netlist::parse_spice;
+use paragraph_serve::{LoadedModels, ModelRegistry, Service, ServiceConfig};
+use serde_json::json;
+
+const TRAIN_NETLIST: &str = "mp o i vdd vdd pch\nmn o i vss vss nch\n.end\n";
+const REQUEST_NETLIST: &str =
+    "mp z a vdd vdd pch nf=2\nmn z a vss vss nch\nmp2 y z vdd vdd pch\nmn2 y z vss vss nch\n.end\n";
+
+fn trained_members() -> Vec<(String, TargetModel)> {
+    let circuit = parse_spice(TRAIN_NETLIST).unwrap().flatten().unwrap();
+    let mut train = vec![PreparedCircuit::new(
+        "seed",
+        circuit,
+        &LayoutConfig::default(),
+    )];
+    let norm = fit_norm(&train);
+    normalize_circuits(&mut train, &norm);
+    [("cap_1f", 1e-15), ("cap_10f", 10e-15)]
+        .into_iter()
+        .map(|(name, mv)| {
+            let mut fit = FitConfig::quick(GnnKind::Gcn);
+            fit.epochs = 2;
+            fit.embed_dim = 4;
+            fit.layers = 1;
+            let model = TargetModel::train(&train, Target::Cap, Some(mv), fit, &norm).0;
+            (name.to_owned(), model)
+        })
+        .collect()
+}
+
+fn make_service(workers: usize, cache_capacity: usize) -> Arc<Service> {
+    let snapshot = LoadedModels::from_models(trained_members()).unwrap();
+    let registry = Arc::new(ModelRegistry::from_snapshot(snapshot));
+    let config = ServiceConfig {
+        workers,
+        queue_capacity: 128,
+        cache_capacity,
+        ..ServiceConfig::default()
+    };
+    Arc::new(Service::new(registry, config))
+}
+
+fn predict_line(netlist: &str) -> String {
+    format!(
+        r#"{{"op": "predict", "id": 1, "netlist": "{}"}}"#,
+        netlist.replace('\n', "\\n")
+    )
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let line = predict_line(REQUEST_NETLIST);
+
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(20);
+
+    // Cold path: caching disabled, every request runs the models.
+    let cold = make_service(1, 0);
+    group.bench_function("predict_cold", |b| {
+        b.iter(|| cold.handle_line(std::hint::black_box(&line)))
+    });
+
+    // Hit path: warmed cache serves the stored payload.
+    let warm = make_service(1, 64);
+    let first = warm.handle_line(&line);
+    assert!(first.contains("\"ok\":true"), "warmup failed: {first}");
+    group.bench_function("predict_cache_hit", |b| {
+        b.iter(|| warm.handle_line(std::hint::black_box(&line)))
+    });
+
+    // Pool scaling under concurrent callers (cache off so workers do
+    // real work).
+    for workers in [1_usize, 4] {
+        let service = make_service(workers, 0);
+        group.bench_with_input(
+            BenchmarkId::new("concurrent_callers", workers),
+            &workers,
+            |b, _| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for _ in 0..4 {
+                            let service = service.clone();
+                            let line = &line;
+                            scope.spawn(move || service.handle_line(line));
+                        }
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Requests/second over `seconds` of wall clock.
+fn measure_rps(service: &Service, line: &str, seconds: f64) -> (u64, f64) {
+    let start = Instant::now();
+    let mut served = 0_u64;
+    while start.elapsed().as_secs_f64() < seconds {
+        let response = service.handle_line(line);
+        assert!(response.contains("\"ok\":true"), "{response}");
+        served += 1;
+    }
+    (served, served as f64 / start.elapsed().as_secs_f64())
+}
+
+fn json_summary() {
+    let line = predict_line(REQUEST_NETLIST);
+    let window = 1.0;
+
+    let cold = make_service(1, 0);
+    let (cold_n, cold_rps) = measure_rps(&cold, &line, window);
+
+    let warm = make_service(1, 64);
+    warm.handle_line(&line);
+    let (hit_n, hit_rps) = measure_rps(&warm, &line, window);
+
+    let pool = make_service(4, 0);
+    let (pool_n, pool_rps) = measure_rps(&pool, &line, window);
+
+    let results = json!({
+        "bench": "serving",
+        "window_seconds": window,
+        "requests_per_second": {
+            "cold_1_worker": cold_rps,
+            "cache_hit_1_worker": hit_rps,
+            "cold_4_workers": pool_rps,
+        },
+        "requests_served": {
+            "cold_1_worker": cold_n,
+            "cache_hit_1_worker": hit_n,
+            "cold_4_workers": pool_n,
+        },
+        "cache_hit_rate_warm": warm.cache().hit_rate(),
+    });
+    let text = serde_json::to_string_pretty(&results).expect("serialisable");
+    println!("{text}");
+    let _ = std::fs::create_dir_all("target");
+    let _ = std::fs::write("target/serving_bench.json", &text);
+}
+
+criterion_group!(benches, bench_serving);
+
+fn main() {
+    benches();
+    if !std::env::args().any(|a| a == "--test") {
+        json_summary();
+    }
+}

@@ -16,7 +16,10 @@ fn main() {
     let max_v = None;
 
     println!("Layer sweep: ParaGraph CAP model, L = 1..6 (paper: plateaus at 5)");
-    println!("{:>4} {:>10} {:>10} {:>10}", "L", "R2(log)", "MAPE", "train s");
+    println!(
+        "{:>4} {:>10} {:>10} {:>10}",
+        "L", "R2(log)", "MAPE", "train s"
+    );
     let mut rows = Vec::new();
     for layers in 1..=6 {
         let mut r2_sum = 0.0;

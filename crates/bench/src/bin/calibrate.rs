@@ -47,8 +47,7 @@ fn main() {
         let t1 = std::time::Instant::now();
         let fit = harness.config.fit(GnnKind::ParaGraph, 0);
         let epochs = fit.epochs;
-        let (model, loss) =
-            TargetModel::train(&harness.train, target, None, fit, &harness.norm);
+        let (model, loss) = TargetModel::train(&harness.train, target, None, fit, &harness.norm);
         let s = evaluate_model(&model, &harness.test, None).summary();
         println!(
             "{target}: ParaGraph r2={:.3} mape={:.1}% (loss {loss:.4}, {} epochs, {:.1}s)",

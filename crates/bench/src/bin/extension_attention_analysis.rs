@@ -64,7 +64,12 @@ fn main() {
             continue;
         }
         let focus = focus_sum[t] / focus_cnt[t] as f64;
-        println!("{:>36} {:>8.3} {:>8}", edge_type_name(t), focus, focus_cnt[t]);
+        println!(
+            "{:>36} {:>8.3} {:>8}",
+            edge_type_name(t),
+            focus,
+            focus_cnt[t]
+        );
         rows.push(json!({
             "edge_type": edge_type_name(t),
             "focus": focus,

@@ -47,9 +47,15 @@ fn main() {
         let cap_pred = cap_model.predict_graph(&tb.circuit, &pc.graph);
         let res_pred = res_model.predict_graph(&tb.circuit, &pc.graph);
 
-        let Ok(reference) = tb.run_rc(&truth.net_cap, &truth.net_res) else { continue };
-        let Ok(lumped) = tb.run(&cap_pred) else { continue };
-        let Ok(rc) = tb.run_rc(&cap_pred, &res_pred) else { continue };
+        let Ok(reference) = tb.run_rc(&truth.net_cap, &truth.net_res) else {
+            continue;
+        };
+        let Ok(lumped) = tb.run(&cap_pred) else {
+            continue;
+        };
+        let Ok(rc) = tb.run_rc(&cap_pred, &res_pred) else {
+            continue;
+        };
         for mi in 0..tb.metrics.len() {
             let Some(r) = reference[mi] else { continue };
             if r.abs() < 1e-15 {
@@ -62,10 +68,7 @@ fn main() {
         }
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64 * 100.0;
-    println!(
-        "RC-annotated reference, {} metrics:",
-        errs_lumped.len()
-    );
+    println!("RC-annotated reference, {} metrics:", errs_lumped.len());
     println!(
         "  predicted lumped-C annotation: mean {:.2}%  geomean {:.2}%",
         mean(&errs_lumped),

@@ -19,20 +19,39 @@ fn main() {
     let target = Target::Res;
 
     println!("Extension: net parasitic resistance prediction (RES, ohms)");
-    println!("{:>12} {:>10} {:>12} {:>10}", "model", "R2(log)", "MAE (ohm)", "MAPE");
+    println!(
+        "{:>12} {:>10} {:>12} {:>10}",
+        "model", "R2(log)", "MAE (ohm)", "MAPE"
+    );
     let mut rows = Vec::new();
     for kind in [BaselineKind::Linear, BaselineKind::Xgb] {
         let model = BaselineModel::train(&harness.train, target, None, kind);
         let s = model.evaluate(&harness.test, None).summary();
-        println!("{:>12} {:>10.3} {:>12.1} {:>9.1}%", kind.name(), s.r2, s.mae, s.mape);
-        rows.push(json!({"model": kind.name(), "r2_log": s.r2, "mae_ohm": s.mae, "mape_pct": s.mape}));
+        println!(
+            "{:>12} {:>10.3} {:>12.1} {:>9.1}%",
+            kind.name(),
+            s.r2,
+            s.mae,
+            s.mape
+        );
+        rows.push(
+            json!({"model": kind.name(), "r2_log": s.r2, "mae_ohm": s.mae, "mape_pct": s.mape}),
+        );
     }
     for kind in GnnKind::all() {
         let fit = harness.config.fit(kind, 0);
         let (model, _) = TargetModel::train(&harness.train, target, None, fit, &harness.norm);
         let s = evaluate_model(&model, &harness.test, None).summary();
-        println!("{:>12} {:>10.3} {:>12.1} {:>9.1}%", kind.name(), s.r2, s.mae, s.mape);
-        rows.push(json!({"model": kind.name(), "r2_log": s.r2, "mae_ohm": s.mae, "mape_pct": s.mape}));
+        println!(
+            "{:>12} {:>10.3} {:>12.1} {:>9.1}%",
+            kind.name(),
+            s.r2,
+            s.mae,
+            s.mape
+        );
+        rows.push(
+            json!({"model": kind.name(), "r2_log": s.r2, "mae_ohm": s.mae, "mape_pct": s.mape}),
+        );
     }
     println!("\nexpected shape: the GNNs (ParaGraph in particular) beat the");
     println!("node-feature baselines, as with CAP in Figure 6.");

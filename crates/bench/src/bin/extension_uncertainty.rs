@@ -35,8 +35,14 @@ fn main() {
     }
     rows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
 
-    println!("calibration by predicted-sigma quartile ({} test nets):", rows.len());
-    println!("{:>10} {:>14} {:>16} {:>12}", "quartile", "mean sigma", "mean |log err|", "2σ coverage");
+    println!(
+        "calibration by predicted-sigma quartile ({} test nets):",
+        rows.len()
+    );
+    println!(
+        "{:>10} {:>14} {:>16} {:>12}",
+        "quartile", "mean sigma", "mean |log err|", "2σ coverage"
+    );
     let mut quartiles = Vec::new();
     for q in 0..4 {
         let lo = rows.len() * q / 4;
@@ -44,13 +50,11 @@ fn main() {
         let chunk = &rows[lo..hi];
         let ms = chunk.iter().map(|r| r.0).sum::<f64>() / chunk.len().max(1) as f64;
         let me = chunk.iter().map(|r| r.1).sum::<f64>() / chunk.len().max(1) as f64;
-        let cov =
-            chunk.iter().filter(|r| r.2).count() as f64 / chunk.len().max(1) as f64 * 100.0;
+        let cov = chunk.iter().filter(|r| r.2).count() as f64 / chunk.len().max(1) as f64 * 100.0;
         println!("{:>10} {:>14.3} {:>16.3} {:>11.1}%", q + 1, ms, me, cov);
         quartiles.push(json!({"quartile": q + 1, "mean_sigma": ms, "mean_abs_log_err": me, "coverage_2s_pct": cov}));
     }
-    let overall_cov =
-        rows.iter().filter(|r| r.2).count() as f64 / rows.len().max(1) as f64 * 100.0;
+    let overall_cov = rows.iter().filter(|r| r.2).count() as f64 / rows.len().max(1) as f64 * 100.0;
     println!("\noverall 2σ coverage: {overall_cov:.1}% (well-calibrated ≈ 95%)");
     println!("expected shape: |log error| grows with predicted sigma — the model");
     println!("knows which nets it cannot predict.");

@@ -12,7 +12,7 @@
 //! printed, showing the paper's observation that a wide-range model
 //! degrades on small capacitances.
 
-use paragraph::{CapEnsemble, Target, TargetModel, GnnKind, PAPER_MAX_V};
+use paragraph::{CapEnsemble, GnnKind, Target, TargetModel, PAPER_MAX_V};
 use paragraph_bench::plot::log_scatter;
 use paragraph_bench::{fmt_ff, write_json, Harness, HarnessConfig};
 use paragraph_ml::{mae, mape, r_squared};
@@ -57,9 +57,8 @@ fn main() {
         "{:>10} {:>12} {:>12} {:>12} {:>14} {:>14} {:>12}",
         "max_v", "MAE", "MAPE", "R2(log)", "MAPE<=max_v", "MAPE>max_v", "sweet spot"
     );
-    let log = |v: &[f64]| -> Vec<f64> {
-        v.iter().map(|x| (x.max(1e-21) / 1e-15).log10()).collect()
-    };
+    let log =
+        |v: &[f64]| -> Vec<f64> { v.iter().map(|x| (x.max(1e-21) / 1e-15).log10()).collect() };
     let mut rows = Vec::new();
     for (mi, model) in models.iter().enumerate() {
         let max_v = model.max_value.expect("max set");
@@ -112,13 +111,19 @@ fn main() {
 
     // Scatter panels (the paper's Fig. 5a-d, log-log).
     for (mi, model) in models.iter().enumerate() {
-        let pts: Vec<(f64, f64)> =
-            truth_f.iter().zip(&preds[mi]).map(|(&t, &p)| (t, p)).collect();
+        let pts: Vec<(f64, f64)> = truth_f
+            .iter()
+            .zip(&preds[mi])
+            .map(|(&t, &p)| (t, p))
+            .collect();
         println!(
             "
 {}",
             log_scatter(
-                &format!("Fig 5 panel: max_v = {}", fmt_ff(model.max_value.expect("max"))),
+                &format!(
+                    "Fig 5 panel: max_v = {}",
+                    fmt_ff(model.max_value.expect("max"))
+                ),
                 &pts,
                 64,
                 14
@@ -144,13 +149,17 @@ fn main() {
         ens_r2
     );
     {
-        let pts: Vec<(f64, f64)> =
-            truth_f.iter().zip(&ens_pred).map(|(&t, &p)| (t, p)).collect();
-        println!("\n{}", log_scatter("Fig 5 ensemble (Algorithm 2)", &pts, 64, 14));
+        let pts: Vec<(f64, f64)> = truth_f
+            .iter()
+            .zip(&ens_pred)
+            .map(|(&t, &p)| (t, p))
+            .collect();
+        println!(
+            "\n{}",
+            log_scatter("Fig 5 ensemble (Algorithm 2)", &pts, 64, 14)
+        );
     }
-    println!(
-        "\nheadline (paper: ensemble gives the smallest MAE (0.852 fF) and MAPE (15.0%)"
-    );
+    println!("\nheadline (paper: ensemble gives the smallest MAE (0.852 fF) and MAPE (15.0%)");
     println!("          of all individual models):");
     let best_single_mae = rows
         .iter()
@@ -160,7 +169,11 @@ fn main() {
         "  ensemble MAE {} vs best single {} -> {}",
         fmt_ff(ens_mae),
         fmt_ff(best_single_mae),
-        if ens_mae <= best_single_mae { "ensemble wins (shape holds)" } else { "single wins" }
+        if ens_mae <= best_single_mae {
+            "ensemble wins (shape holds)"
+        } else {
+            "single wins"
+        }
     );
 
     write_json(

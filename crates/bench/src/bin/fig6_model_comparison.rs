@@ -98,7 +98,10 @@ fn main() {
     }
 
     // ---- (a) R² table -------------------------------------------------
-    println!("\nFigure 6a: average prediction R^2 (test circuits, {} run(s))", n);
+    println!(
+        "\nFigure 6a: average prediction R^2 (test circuits, {} run(s))",
+        n
+    );
     print!("{:>10}", "target");
     for name in &names {
         print!("{name:>11}");
@@ -160,7 +163,9 @@ fn main() {
         (pg / xgb_avg.max(1e-9) - 1.0) * 100.0
     );
     let mae_ratio = |mi: usize| {
-        let pg_sum: f64 = (0..targets.len()).map(|t| mae[mi][t] / mae[1][t].max(1e-30)).sum();
+        let pg_sum: f64 = (0..targets.len())
+            .map(|t| mae[mi][t] / mae[1][t].max(1e-30))
+            .sum();
         pg_sum / targets.len() as f64
     };
     println!(

@@ -27,7 +27,10 @@ fn main() {
 
     let mut out = Vec::new();
     println!("Figure 7: ParaGraph prediction vs ground truth (test circuits)");
-    println!("{:>8} {:>10} {:>10} {:>8}", "target", "R2(log)", "MAPE", "points");
+    println!(
+        "{:>8} {:>10} {:>10} {:>8}",
+        "target", "R2(log)", "MAPE", "points"
+    );
 
     // CAP panel: the ensemble of Algorithm 2 (matches the paper's quoted
     // 15.0 % MAPE, which is the ensemble figure).
@@ -47,17 +50,29 @@ fn main() {
             let labels = pc.labels(Target::Cap, None);
             for (&node, phys) in labels.nodes.iter().zip(&labels.physical) {
                 let net = pc.graph.net_of_node[node as usize].expect("net node");
-                let Some(p) = preds[net.0 as usize] else { continue };
+                let Some(p) = preds[net.0 as usize] else {
+                    continue;
+                };
                 pairs.physical.push((p, *phys));
-                pairs.scaled.push((
-                    Target::Cap.scale(p) as f64,
-                    Target::Cap.scale(*phys) as f64,
-                ));
+                pairs
+                    .scaled
+                    .push((Target::Cap.scale(p) as f64, Target::Cap.scale(*phys) as f64));
             }
         }
         let s = pairs.summary();
-        println!("{:>8} {:>10.3} {:>9.1}% {:>8}", "CAP", s.r2, s.mape, s.count);
-        println!("{}", log_scatter("CAP: prediction vs truth (log-log)", &swap(&pairs.physical), 64, 16));
+        println!(
+            "{:>8} {:>10.3} {:>9.1}% {:>8}",
+            "CAP", s.r2, s.mape, s.count
+        );
+        println!(
+            "{}",
+            log_scatter(
+                "CAP: prediction vs truth (log-log)",
+                &swap(&pairs.physical),
+                64,
+                16
+            )
+        );
         out.push(json!({
             "target": "CAP",
             "r2_log": s.r2,

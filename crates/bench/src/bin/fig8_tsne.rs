@@ -53,7 +53,11 @@ fn main() {
         let perplexity = (rows.len() as f64 / 5.0).clamp(5.0, 30.0);
         let points = tsne(
             &rows,
-            &TsneConfig { iterations: 300, perplexity, ..TsneConfig::default() },
+            &TsneConfig {
+                iterations: 300,
+                perplexity,
+                ..TsneConfig::default()
+            },
         );
         let spread = knn_label_spread(&points, &logs, 5.min(points.len().saturating_sub(1)));
         // Random baseline: expected |Δlabel| over random pairs.

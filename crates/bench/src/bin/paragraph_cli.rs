@@ -16,6 +16,10 @@
 //!
 //! paragraph_cli erc --netlist my_design.sp
 //!     runs electrical rule checks (floating gates, dangling nets, ...)
+//!
+//! paragraph_cli serve --models models/ --addr 127.0.0.1:9107
+//!     serves predictions over the JSON-lines TCP protocol
+//!     (see docs/serving.md)
 //! ```
 
 use std::path::PathBuf;
@@ -39,20 +43,23 @@ fn main() {
         "predict" => predict(&flags),
         "stats" => stats(&flags),
         "erc" => erc(&flags),
+        "serve" => serve(&flags),
         _ => usage(),
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paragraph_cli <generate|train|predict|stats> [flags]\n\
+        "usage: paragraph_cli <generate|train|predict|stats|erc|serve> [flags]\n\
          \n\
          generate --scale <f> --seed <n> --out <dir>\n\
          train    --target <CAP|SA|DA|SP|DP|LDE1..8|RES> --kind <name>\n\
          \x20        --epochs <n> --scale <f> --model <file.json>\n\
          predict  --model <file.json> --netlist <file.sp>\n\
          stats    --netlist <file.sp>\n\
-         erc      --netlist <file.sp>"
+         erc      --netlist <file.sp>\n\
+         serve    --models <dir> --addr <host:port> --workers <n>\n\
+         \x20        --queue <n> --cache <n>"
     );
     std::process::exit(2)
 }
@@ -65,10 +72,16 @@ impl Flags {
     fn parse(args: &[String]) -> Self {
         let mut entries = Vec::new();
         let mut i = 0;
-        while i + 1 < args.len() + 1 {
-            let Some(key) = args.get(i) else { break };
-            let Some(key) = key.strip_prefix("--") else { usage() };
-            let Some(value) = args.get(i + 1) else { usage() };
+        while i < args.len() {
+            let key = &args[i];
+            let Some(key) = key.strip_prefix("--") else {
+                eprintln!("expected a --flag, got '{key}'");
+                usage()
+            };
+            let Some(value) = args.get(i + 1) else {
+                eprintln!("flag --{key} is missing its value");
+                usage()
+            };
             entries.push((key.to_owned(), value.clone()));
             i += 2;
         }
@@ -83,11 +96,15 @@ impl Flags {
     }
 
     fn f64_or(&self, key: &str, default: f64) -> f64 {
-        self.get(key).map(|v| v.parse().unwrap_or_else(|_| usage())).unwrap_or(default)
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(default)
     }
 
     fn u64_or(&self, key: &str, default: u64) -> u64 {
-        self.get(key).map(|v| v.parse().unwrap_or_else(|_| usage())).unwrap_or(default)
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(default)
     }
 
     fn required(&self, key: &str) -> &str {
@@ -160,17 +177,18 @@ fn train(flags: &Flags) {
     let target = parse_target(flags.get("target").unwrap_or("CAP"));
     let kind = parse_kind(flags.get("kind").unwrap_or("ParaGraph"));
     let model_path = PathBuf::from(flags.get("model").unwrap_or("model.json"));
-    let (train_set, norm) = build_training_set(
-        flags.f64_or("scale", 0.25),
-        flags.u64_or("seed", 2020),
-    );
+    let (train_set, norm) =
+        build_training_set(flags.f64_or("scale", 0.25), flags.u64_or("seed", 2020));
     let mut fit = FitConfig::new(kind);
     fit.epochs = flags.u64_or("epochs", 40) as usize;
-    eprintln!("training {} model for {target} ({} epochs)...", kind.name(), fit.epochs);
+    eprintln!(
+        "training {} model for {target} ({} epochs)...",
+        kind.name(),
+        fit.epochs
+    );
     let (model, loss) = TargetModel::train(&train_set, target, None, fit, &norm);
     eprintln!("final loss {loss:.5}");
-    std::fs::write(&model_path, SavedModel::from_model(&model).to_json())
-        .expect("write model");
+    std::fs::write(&model_path, SavedModel::from_model(&model).to_json()).expect("write model");
     println!("model saved to {}", model_path.display());
 }
 
@@ -237,6 +255,46 @@ fn erc(flags: &Flags) {
         println!("  {}", f.describe(&circuit));
     }
     std::process::exit(1);
+}
+
+fn serve(flags: &Flags) {
+    use paragraph_serve::{ModelRegistry, Server, Service, ServiceConfig};
+    use std::sync::Arc;
+
+    let models_dir = flags.required("models");
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:9107");
+    let registry = match ModelRegistry::open(models_dir) {
+        Ok(r) => Arc::new(r),
+        Err(e) => {
+            eprintln!("cannot load models from {models_dir}: {e}");
+            std::process::exit(1)
+        }
+    };
+    let config = ServiceConfig {
+        workers: flags.u64_or("workers", 4).max(1) as usize,
+        queue_capacity: flags.u64_or("queue", 64).max(1) as usize,
+        cache_capacity: flags.u64_or("cache", 256) as usize,
+        ..ServiceConfig::default()
+    };
+    let snapshot = registry.current();
+    eprintln!(
+        "loaded {} model(s): [{}]",
+        snapshot.models.len(),
+        snapshot.keys().join(", ")
+    );
+    let service = Arc::new(Service::new(registry, config));
+    let server = match Server::bind(addr, service) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(1)
+        }
+    };
+    println!(
+        "serving on {} (JSON lines; see docs/serving.md)",
+        server.local_addr()
+    );
+    server.run()
 }
 
 fn stats(flags: &Flags) {

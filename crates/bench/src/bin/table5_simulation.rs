@@ -51,8 +51,12 @@ fn main() {
         suite.len(),
         metric_count(&suite)
     );
-    let method_names = ["Layout w/o parasitics", "Designer's Estimation", "Prediction w/ XGB",
-        "Prediction w/ ParaGraph"];
+    let method_names = [
+        "Layout w/o parasitics",
+        "Designer's Estimation",
+        "Prediction w/ XGB",
+        "Prediction w/ ParaGraph",
+    ];
     let mut errors: [Vec<f64>; 4] = Default::default();
     let mut skipped = 0_usize;
     let mut metric_rows = Vec::new();
@@ -89,7 +93,10 @@ fn main() {
         let annotations = [&none_caps, &designer, &xgb_caps, &pg_caps];
         let mut per_method: Vec<Vec<Option<f64>>> = Vec::new();
         for caps in annotations {
-            per_method.push(tb.run(caps).unwrap_or_else(|_| vec![None; tb.metrics.len()]));
+            per_method.push(
+                tb.run(caps)
+                    .unwrap_or_else(|_| vec![None; tb.metrics.len()]),
+            );
         }
         for (mi, metric) in tb.metrics.iter().enumerate() {
             let Some(reference_v) = reference[mi] else {

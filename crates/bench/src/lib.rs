@@ -27,9 +27,7 @@ pub mod testbench;
 
 use std::path::{Path, PathBuf};
 
-use paragraph::{
-    fit_norm, normalize_circuits, FeatureNorm, FitConfig, GnnKind, PreparedCircuit,
-};
+use paragraph::{fit_norm, normalize_circuits, FeatureNorm, FitConfig, GnnKind, PreparedCircuit};
 use paragraph_circuitgen::{paper_dataset, DatasetConfig, Split};
 use paragraph_layout::LayoutConfig;
 
@@ -80,13 +78,17 @@ impl HarnessConfig {
             };
             match args[i].as_str() {
                 "--scale" => cfg.scale = take(&mut i).parse().unwrap_or_else(|_| usage_and_exit()),
-                "--epochs" => cfg.epochs = take(&mut i).parse().unwrap_or_else(|_| usage_and_exit()),
+                "--epochs" => {
+                    cfg.epochs = take(&mut i).parse().unwrap_or_else(|_| usage_and_exit())
+                }
                 "--runs" => cfg.runs = take(&mut i).parse().unwrap_or_else(|_| usage_and_exit()),
                 "--seed" => cfg.seed = take(&mut i).parse().unwrap_or_else(|_| usage_and_exit()),
                 "--embed" => {
                     cfg.embed_dim = take(&mut i).parse().unwrap_or_else(|_| usage_and_exit())
                 }
-                "--layers" => cfg.layers = take(&mut i).parse().unwrap_or_else(|_| usage_and_exit()),
+                "--layers" => {
+                    cfg.layers = take(&mut i).parse().unwrap_or_else(|_| usage_and_exit())
+                }
                 "--out" => cfg.out_dir = PathBuf::from(take(&mut i)),
                 "--full" => {
                     cfg.scale = 1.0;
@@ -143,7 +145,10 @@ impl Harness {
     /// Generates the dataset, synthesises layouts, builds graphs, and
     /// normalises features.
     pub fn build(config: HarnessConfig) -> Self {
-        let dataset = paper_dataset(DatasetConfig { scale: config.scale, seed: config.seed });
+        let dataset = paper_dataset(DatasetConfig {
+            scale: config.scale,
+            seed: config.seed,
+        });
         let layout = LayoutConfig::default();
         let mut train = Vec::new();
         let mut test = Vec::new();
@@ -157,7 +162,12 @@ impl Harness {
         let norm = fit_norm(&train);
         normalize_circuits(&mut train, &norm);
         normalize_circuits(&mut test, &norm);
-        Self { config, train, test, norm }
+        Self {
+            config,
+            train,
+            test,
+            norm,
+        }
     }
 
     /// Total devices across both splits.
@@ -175,8 +185,11 @@ impl Harness {
 pub fn write_json(out_dir: &Path, name: &str, value: &serde_json::Value) {
     std::fs::create_dir_all(out_dir).expect("create results dir");
     let path = out_dir.join(format!("{name}.json"));
-    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialisable"))
-        .expect("write results file");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialisable"),
+    )
+    .expect("write results file");
     println!("[results written to {}]", path.display());
 }
 
@@ -191,7 +204,11 @@ mod tests {
 
     #[test]
     fn harness_builds_tiny_dataset() {
-        let cfg = HarnessConfig { scale: 0.08, epochs: 1, ..HarnessConfig::default() };
+        let cfg = HarnessConfig {
+            scale: 0.08,
+            epochs: 1,
+            ..HarnessConfig::default()
+        };
         let h = Harness::build(cfg);
         assert_eq!(h.train.len(), 18);
         assert_eq!(h.test.len(), 4);

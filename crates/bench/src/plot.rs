@@ -32,7 +32,9 @@ pub fn log_scatter(title: &str, pairs: &[(f64, f64)], width: usize, height: usiz
     }
     let span = hi - lo;
     let cell = |v: f64, n: usize| -> usize {
-        (((v - lo) / span) * (n - 1) as f64).round().clamp(0.0, (n - 1) as f64) as usize
+        (((v - lo) / span) * (n - 1) as f64)
+            .round()
+            .clamp(0.0, (n - 1) as f64) as usize
     };
 
     let mut grid = vec![vec![0_u32; width]; height];

@@ -176,12 +176,12 @@ impl Testbench {
     ) -> Option<f64> {
         let wave = |name: &str| tran.node_wave(mapping.node(self.net(name)));
         match metric {
-            MetricSpec::Delay { input, output, out_rising } => {
-                delay_50(&tran.times, &wave(input), &wave(output), VDD, *out_rising)
-            }
-            MetricSpec::Slew { node, rising } => {
-                slew_10_90(&tran.times, &wave(node), VDD, *rising)
-            }
+            MetricSpec::Delay {
+                input,
+                output,
+                out_rising,
+            } => delay_50(&tran.times, &wave(input), &wave(output), VDD, *out_rising),
+            MetricSpec::Slew { node, rising } => slew_10_90(&tran.times, &wave(node), VDD, *rising),
             MetricSpec::Power => {
                 let k = mapping.vdd_source?;
                 Some(average_power(VDD, &tran.source_current(k)))
@@ -211,10 +211,20 @@ fn buffer_chain_tb(idx: u64, stages: usize) -> Testbench {
         pulse_inputs: vec![in_name.clone()],
         dc_inputs: vec![],
         metrics: vec![
-            MetricSpec::Delay { input: in_name, output: out_name.clone(), out_rising },
-            MetricSpec::Slew { node: out_name.clone(), rising: out_rising },
+            MetricSpec::Delay {
+                input: in_name,
+                output: out_name.clone(),
+                out_rising,
+            },
+            MetricSpec::Slew {
+                node: out_name.clone(),
+                rising: out_rising,
+            },
             MetricSpec::Power,
-            MetricSpec::CrossTime { node: out_name, rising: out_rising },
+            MetricSpec::CrossTime {
+                node: out_name,
+                rising: out_rising,
+            },
         ],
         circuit,
     }
@@ -236,8 +246,15 @@ fn nand_path_tb(idx: u64) -> Testbench {
         dc_inputs: vec![(b_n, VDD)],
         metrics: vec![
             // NAND inverts, two buffers keep polarity: falling output.
-            MetricSpec::Delay { input: a_n, output: out_n.clone(), out_rising: false },
-            MetricSpec::Slew { node: out_n, rising: false },
+            MetricSpec::Delay {
+                input: a_n,
+                output: out_n.clone(),
+                out_rising: false,
+            },
+            MetricSpec::Slew {
+                node: out_n,
+                rising: false,
+            },
             MetricSpec::Power,
         ],
         circuit,
@@ -259,8 +276,15 @@ fn nor_path_tb(idx: u64) -> Testbench {
         pulse_inputs: vec![a_n.clone()],
         dc_inputs: vec![(b_n, 0.0)],
         metrics: vec![
-            MetricSpec::Delay { input: a_n, output: out_n.clone(), out_rising: false },
-            MetricSpec::Slew { node: out_n, rising: false },
+            MetricSpec::Delay {
+                input: a_n,
+                output: out_n.clone(),
+                out_rising: false,
+            },
+            MetricSpec::Slew {
+                node: out_n,
+                rising: false,
+            },
             MetricSpec::Power,
         ],
         circuit,
@@ -278,8 +302,15 @@ fn level_shifter_tb(idx: u64) -> Testbench {
         pulse_inputs: vec![in_n.clone()],
         dc_inputs: vec![],
         metrics: vec![
-            MetricSpec::Delay { input: in_n, output: out_n.clone(), out_rising: true },
-            MetricSpec::Slew { node: out_n.clone(), rising: true },
+            MetricSpec::Delay {
+                input: in_n,
+                output: out_n.clone(),
+                out_rising: true,
+            },
+            MetricSpec::Slew {
+                node: out_n.clone(),
+                rising: true,
+            },
             MetricSpec::Power,
         ],
         circuit,
@@ -298,8 +329,14 @@ fn rc_filter_tb(idx: u64) -> Testbench {
         pulse_inputs: vec![in_n.clone()],
         dc_inputs: vec![],
         metrics: vec![
-            MetricSpec::CrossTime { node: out_n.clone(), rising: true },
-            MetricSpec::Slew { node: out_n.clone(), rising: true },
+            MetricSpec::CrossTime {
+                node: out_n.clone(),
+                rising: true,
+            },
+            MetricSpec::Slew {
+                node: out_n.clone(),
+                rising: true,
+            },
             MetricSpec::FinalLevel { node: out_n },
         ],
         circuit,
@@ -324,8 +361,15 @@ fn tgate_path_tb(idx: u64) -> Testbench {
         dc_inputs: vec![(ctl_n, VDD), (ctlb_n, 0.0)],
         metrics: vec![
             // Two inversions: output follows input polarity (rising).
-            MetricSpec::Delay { input: in_n, output: out_n.clone(), out_rising: true },
-            MetricSpec::Slew { node: out_n, rising: true },
+            MetricSpec::Delay {
+                input: in_n,
+                output: out_n.clone(),
+                out_rising: true,
+            },
+            MetricSpec::Slew {
+                node: out_n,
+                rising: true,
+            },
             MetricSpec::Power,
         ],
         circuit,
@@ -346,8 +390,13 @@ fn charge_pump_tb(idx: u64) -> Testbench {
         pulse_inputs: vec![],
         dc_inputs: vec![(up_n, 0.0), (dn_n, 0.0)],
         metrics: vec![
-            MetricSpec::FinalLevel { node: out_n.clone() },
-            MetricSpec::CrossTime { node: out_n, rising: true },
+            MetricSpec::FinalLevel {
+                node: out_n.clone(),
+            },
+            MetricSpec::CrossTime {
+                node: out_n,
+                rising: true,
+            },
         ],
         circuit,
     }
@@ -359,7 +408,9 @@ fn bias_ladder_tb(idx: u64) -> Testbench {
     let circuit = chip.into_circuit();
     let metrics = taps
         .iter()
-        .map(|&t| MetricSpec::FinalLevel { node: net_name(&circuit, t) })
+        .map(|&t| MetricSpec::FinalLevel {
+            node: net_name(&circuit, t),
+        })
         .collect();
     Testbench {
         name: format!("bias_ladder_{idx}"),
@@ -396,7 +447,7 @@ pub fn table5_suite() -> Vec<Testbench> {
         suite.push(charge_pump_tb(i)); // 2 x 2 = 4
     }
     suite.push(bias_ladder_tb(0)); // 3
-    // Pad to exactly 67 with one more nand path (3) ... 20+9+6+6+9+6+4+3 = 63.
+                                   // Pad to exactly 67 with one more nand path (3) ... 20+9+6+6+9+6+4+3 = 63.
     suite.push(nand_path_tb(7)); // 66
     suite.push(charge_pump_tb(7)); // 68 -> trim one metric below
     if let Some(last) = suite.last_mut() {
@@ -424,7 +475,11 @@ mod tests {
     fn all_testbenches_validate() {
         for tb in table5_suite() {
             tb.circuit.validate().unwrap();
-            for name in tb.pulse_inputs.iter().chain(tb.dc_inputs.iter().map(|(n, _)| n)) {
+            for name in tb
+                .pulse_inputs
+                .iter()
+                .chain(tb.dc_inputs.iter().map(|(n, _)| n))
+            {
                 assert!(tb.circuit.find_net(name).is_some(), "{}: {name}", tb.name);
             }
         }
@@ -449,9 +504,7 @@ mod tests {
             .circuit
             .nets()
             .iter()
-            .map(|n| {
-                (n.class == paragraph_netlist::NetClass::Signal).then_some(30e-15)
-            })
+            .map(|n| (n.class == paragraph_netlist::NetClass::Signal).then_some(30e-15))
             .collect();
         let d1 = tb.run(&heavy).unwrap()[0].unwrap();
         assert!(d1 > d0 * 1.3, "delay {d0} -> {d1}");

@@ -183,7 +183,12 @@ impl ChipBuilder {
 
     /// Odd-stage ring oscillator; returns its tap net.
     pub fn ring_oscillator(&mut self, stages: usize) -> NetId {
-        let stages = if stages.is_multiple_of(2) { stages + 1 } else { stages }.max(3);
+        let stages = if stages.is_multiple_of(2) {
+            stages + 1
+        } else {
+            stages
+        }
+        .max(3);
         let first = self.fresh_net("ro");
         let mut prev = first;
         for _ in 0..stages - 1 {
@@ -570,7 +575,11 @@ mod tests {
     #[test]
     fn opamp_contains_res_and_cap() {
         let mut chip = ChipBuilder::new("t", 3);
-        let (p, n, b) = (chip.fresh_net("p"), chip.fresh_net("n"), chip.fresh_net("b"));
+        let (p, n, b) = (
+            chip.fresh_net("p"),
+            chip.fresh_net("n"),
+            chip.fresh_net("b"),
+        );
         chip.opamp_two_stage(p, n, b);
         let k = chip.circuit().kind_counts();
         assert_eq!(k.res, 1);

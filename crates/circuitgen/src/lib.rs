@@ -28,9 +28,9 @@ mod sizing;
 
 pub use blocks::ChipBuilder;
 pub use dataset::{
-    compose_chip, grow_chip, paper_dataset, BlockKind, DatasetCircuit, DatasetConfig, Family, Split,
-    FAMILY_ANALOG, FAMILY_DAC, FAMILY_DIGITAL, FAMILY_IO, FAMILY_MEM, FAMILY_PLL, FAMILY_PMU,
-    FAMILY_REF,
+    compose_chip, grow_chip, paper_dataset, BlockKind, DatasetCircuit, DatasetConfig, Family,
+    Split, FAMILY_ANALOG, FAMILY_DAC, FAMILY_DIGITAL, FAMILY_IO, FAMILY_MEM, FAMILY_PLL,
+    FAMILY_PMU, FAMILY_REF,
 };
 pub use sizing::{Sizer, TechSizing};
 

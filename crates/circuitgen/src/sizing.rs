@@ -71,11 +71,14 @@ impl Sizer {
         let l = self.tech.thin_lengths[rng.random_range(0..self.tech.thin_lengths.len())];
         let max_fin = 4 + (strength * 12.0) as u32;
         let nfin = rng.random_range(1..=max_fin.max(2));
-        let nf = *[1_u32, 1, 2, 2, 4, 8]
-            [..if strength > 0.5 { 6 } else { 4 }]
-            .get(rng.random_range(0..if strength > 0.5 { 6 } else { 4 }))
+        let nf = *[1_u32, 1, 2, 2, 4, 8][..if strength > 0.5 { 6 } else { 4 }]
+            .get(rng.random_range(0..if strength > 0.5 { 6_usize } else { 4 }))
             .unwrap_or(&1);
-        let multi = if strength > 0.8 && rng.random_bool(0.3) { 2 } else { 1 };
+        let multi = if strength > 0.8 && rng.random_bool(0.3) {
+            2
+        } else {
+            1
+        };
         DeviceParams {
             l,
             w: nfin as f64 * self.tech.fin_pitch,
@@ -90,7 +93,7 @@ impl Sizer {
     pub fn thick_mosfet(&self, rng: &mut StdRng, strength: f64) -> DeviceParams {
         let l = self.tech.thick_lengths[rng.random_range(0..self.tech.thick_lengths.len())];
         let nfin = rng.random_range(2..=(6 + (strength * 20.0) as u32));
-        let nf = [1_u32, 2, 4][rng.random_range(0..3)];
+        let nf = [1_u32, 2, 4][rng.random_range(0..3_usize)];
         DeviceParams {
             l,
             w: nfin as f64 * self.tech.fin_pitch,
@@ -112,7 +115,11 @@ impl Sizer {
     /// Random capacitor value (farads) and multiplier.
     pub fn capacitor(&self, rng: &mut StdRng) -> (f64, u32) {
         let farads = sample_lognormal(rng, self.cap_dist.0, self.cap_dist.1).clamp(0.5e-15, 5e-12);
-        let multi = if farads > 500e-15 { rng.random_range(1..=4) } else { 1 };
+        let multi = if farads > 500e-15 {
+            rng.random_range(1..=4)
+        } else {
+            1
+        };
         (farads, multi)
     }
 }

@@ -16,6 +16,20 @@ use crate::targets::Target;
 /// The paper's `max_v` ladder: 1 fF, 10 fF, 100 fF, 10 pF.
 pub const PAPER_MAX_V: [f64; 4] = [1e-15, 10e-15, 100e-15, 10e-12];
 
+/// Error from assembling a [`CapEnsemble`] out of unsuitable members.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnsembleError {
+    message: String,
+}
+
+impl std::fmt::Display for EnsembleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for EnsembleError {}
+
 /// An ensemble of capacitance models with increasing `max_v`
 /// (Algorithm 2).
 #[derive(Debug, Clone)]
@@ -31,19 +45,53 @@ impl CapEnsemble {
     /// # Panics
     ///
     /// Panics if fewer than two models are given, any model is not a CAP
-    /// model, or any lacks a `max_value`.
-    pub fn new(mut models: Vec<TargetModel>) -> Self {
-        assert!(models.len() >= 2, "an ensemble needs at least two models");
-        assert!(
-            models.iter().all(|m| m.target == Target::Cap && m.max_value.is_some()),
-            "ensemble members must be CAP models with max_v set"
-        );
+    /// model, any lacks a `max_value`, or two share the same `max_value`.
+    pub fn new(models: Vec<TargetModel>) -> Self {
+        Self::try_new(models).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`CapEnsemble::new`], for assembling ensembles from
+    /// untrusted inputs (e.g. a directory of model snapshots).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnsembleError`] if fewer than two models are given, any
+    /// model is not a CAP model, any lacks a `max_value`, or two members
+    /// share the same `max_value` (which would make Algorithm 2's range
+    /// boundaries ambiguous).
+    pub fn try_new(mut models: Vec<TargetModel>) -> Result<Self, EnsembleError> {
+        let err = |message: String| EnsembleError { message };
+        if models.len() < 2 {
+            return Err(err(format!(
+                "an ensemble needs at least two models, got {}",
+                models.len()
+            )));
+        }
+        for m in &models {
+            if m.target != Target::Cap {
+                return Err(err(format!(
+                    "ensemble members must be CAP models, found {}",
+                    m.target
+                )));
+            }
+            if m.max_value.is_none() {
+                return Err(err("ensemble members must have max_v set".into()));
+            }
+        }
         models.sort_by(|a, b| {
             a.max_value
                 .partial_cmp(&b.max_value)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        Self { models }
+        for pair in models.windows(2) {
+            if pair[0].max_value == pair[1].max_value {
+                return Err(err(format!(
+                    "duplicate ensemble range max_v = {:e}",
+                    pair[0].max_value.expect("checked above")
+                )));
+            }
+        }
+        Ok(Self { models })
     }
 
     /// Member models, ascending `max_v`.
@@ -55,7 +103,11 @@ impl CapEnsemble {
     /// `max_v` order): start from the smallest-range model and move up
     /// whenever a higher-range model predicts beyond the previous range.
     pub fn select(&self, per_model: &[f64]) -> f64 {
-        assert_eq!(per_model.len(), self.models.len(), "one prediction per member");
+        assert_eq!(
+            per_model.len(),
+            self.models.len(),
+            "one prediction per member"
+        );
         let mut p = per_model[0];
         #[allow(clippy::needless_range_loop)] // i-1 lookback drives the loop
         for i in 1..per_model.len() {
@@ -77,8 +129,7 @@ impl CapEnsemble {
             .collect();
         (0..circuit.num_nets())
             .map(|net| {
-                let preds: Option<Vec<f64>> =
-                    per_model.iter().map(|pm| pm[net]).collect();
+                let preds: Option<Vec<f64>> = per_model.iter().map(|pm| pm[net]).collect();
                 preds.map(|p| self.select(&p))
             })
             .collect()
@@ -87,6 +138,23 @@ impl CapEnsemble {
     /// Convenience for a [`PreparedCircuit`].
     pub fn predict(&self, pc: &PreparedCircuit) -> Vec<Option<f64>> {
         self.predict_graph(&pc.circuit, &pc.graph)
+    }
+
+    /// Predicts every net's capacitance of a fresh schematic. Each member
+    /// builds and normalises its own graph (members may carry different
+    /// feature normalisations), then Algorithm 2 selects per net.
+    pub fn predict_circuit(&self, circuit: &Circuit) -> Vec<Option<f64>> {
+        let per_model: Vec<Vec<Option<f64>>> = self
+            .models
+            .iter()
+            .map(|m| m.predict_circuit(circuit))
+            .collect();
+        (0..circuit.num_nets())
+            .map(|net| {
+                let preds: Option<Vec<f64>> = per_model.iter().map(|pm| pm[net]).collect();
+                preds.map(|p| self.select(&p))
+            })
+            .collect()
     }
 }
 
@@ -111,7 +179,14 @@ mod tests {
                 fit.epochs = 2;
                 fit.embed_dim = 4;
                 fit.layers = 1;
-                TargetModel::train(&prepared, Target::Cap, Some(mv), fit, &FeatureNorm::identity()).0
+                TargetModel::train(
+                    &prepared,
+                    Target::Cap,
+                    Some(mv),
+                    fit,
+                    &FeatureNorm::identity(),
+                )
+                .0
             })
             .collect()
     }
@@ -163,6 +238,47 @@ mod tests {
     #[should_panic(expected = "at least two models")]
     fn rejects_single_model() {
         let _ = CapEnsemble::new(tiny_models(&[1e-15]));
+    }
+
+    #[test]
+    fn try_new_reports_bad_members() {
+        assert!(CapEnsemble::try_new(tiny_models(&[1e-15])).is_err());
+        // Duplicate ranges make Algorithm 2's boundaries ambiguous.
+        let err = CapEnsemble::try_new(tiny_models(&[1e-15, 1e-15])).unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+        // A member without max_v is rejected.
+        let mut models = tiny_models(&[1e-15, 10e-15]);
+        models[0].max_value = None;
+        assert!(CapEnsemble::try_new(models).is_err());
+    }
+
+    /// Saving every member and reloading them must reproduce the
+    /// ensemble's predictions bit-for-bit (members round-trip through
+    /// JSON text).
+    #[test]
+    fn persistence_roundtrip_preserves_ensemble_predictions() {
+        use crate::persist::SavedModel;
+        let ens = CapEnsemble::new(tiny_models(&[1e-15, 10e-15, 100e-15]));
+        let c = parse_spice("mp o i vdd vdd pch\nmn o i vss vss nch\ncl o vss 2f\n.end\n")
+            .unwrap()
+            .flatten()
+            .unwrap();
+        let before = ens.predict_circuit(&c);
+        let reloaded: Vec<TargetModel> = ens
+            .members()
+            .iter()
+            .map(|m| {
+                let json = SavedModel::from_model(m).to_json();
+                SavedModel::from_json(&json).unwrap().into_model().unwrap()
+            })
+            .collect();
+        let restored = CapEnsemble::try_new(reloaded).unwrap();
+        let after = restored.predict_circuit(&c);
+        assert_eq!(before, after, "reloaded ensemble drifted");
+        assert!(
+            before.iter().any(|p| p.is_some_and(|v| v > 0.0)),
+            "expected at least one positive net prediction"
+        );
     }
 
     #[test]

@@ -47,8 +47,12 @@ impl NodeType {
     /// Node type of a device.
     pub fn of_device(kind: DeviceKind) -> Self {
         match kind {
-            DeviceKind::Mosfet { thick_gate: false, .. } => NodeType::Transistor,
-            DeviceKind::Mosfet { thick_gate: true, .. } => NodeType::TransistorThick,
+            DeviceKind::Mosfet {
+                thick_gate: false, ..
+            } => NodeType::Transistor,
+            DeviceKind::Mosfet {
+                thick_gate: true, ..
+            } => NodeType::TransistorThick,
             DeviceKind::Resistor => NodeType::Resistor,
             DeviceKind::Capacitor => NodeType::Capacitor,
             DeviceKind::Diode => NodeType::Diode,
@@ -59,13 +63,13 @@ impl NodeType {
     /// Input feature width of this node type (Table II).
     pub fn feat_dim(self) -> usize {
         match self {
-            NodeType::Net => 1,                   // fanout
-            NodeType::Transistor => 4,            // L, NF, NFIN, MULTI
-            NodeType::TransistorThick => 4,       // L, NF, NFIN, MULTI
-            NodeType::Resistor => 1,              // L
-            NodeType::Capacitor => 1,             // MULTI
-            NodeType::Diode => 1,                 // NF
-            NodeType::Bjt => 1,                   // constant
+            NodeType::Net => 1,             // fanout
+            NodeType::Transistor => 4,      // L, NF, NFIN, MULTI
+            NodeType::TransistorThick => 4, // L, NF, NFIN, MULTI
+            NodeType::Resistor => 1,        // L
+            NodeType::Capacitor => 1,       // MULTI
+            NodeType::Diode => 1,           // NF
+            NodeType::Bjt => 1,             // constant
         }
     }
 
@@ -119,8 +123,14 @@ pub struct FeatureNorm {
 impl FeatureNorm {
     /// Identity normalisation for the standard schema.
     pub fn identity() -> Self {
-        let mean = NodeType::ALL.iter().map(|t| vec![0.0; t.feat_dim()]).collect();
-        let std = NodeType::ALL.iter().map(|t| vec![1.0; t.feat_dim()]).collect();
+        let mean = NodeType::ALL
+            .iter()
+            .map(|t| vec![0.0; t.feat_dim()])
+            .collect();
+        let std = NodeType::ALL
+            .iter()
+            .map(|t| vec![1.0; t.feat_dim()])
+            .collect();
         Self { mean, std }
     }
 
@@ -184,7 +194,16 @@ mod tests {
         let mut c = Circuit::new("t");
         let a = c.net("a");
         let b = c.net("b");
-        c.add_mosfet("m1", MosPolarity::Nmos, false, a, b, a, b, DeviceParams::default());
+        c.add_mosfet(
+            "m1",
+            MosPolarity::Nmos,
+            false,
+            a,
+            b,
+            a,
+            b,
+            DeviceParams::default(),
+        );
         c.add_resistor("r1", a, b, 1e3, 1e-6);
         c.add_capacitor("c1", a, b, 1e-15, 2);
         c.add_diode("d1", a, b, 3);
@@ -207,7 +226,10 @@ mod tests {
             a,
             a,
             a,
-            DeviceParams { nfin: 2, ..DeviceParams::default() },
+            DeviceParams {
+                nfin: 2,
+                ..DeviceParams::default()
+            },
         );
         c.add_mosfet(
             "m2",
@@ -217,7 +239,10 @@ mod tests {
             a,
             a,
             a,
-            DeviceParams { nfin: 12, ..DeviceParams::default() },
+            DeviceParams {
+                nfin: 12,
+                ..DeviceParams::default()
+            },
         );
         let f1 = device_features(&c.devices()[0]);
         let f2 = device_features(&c.devices()[1]);

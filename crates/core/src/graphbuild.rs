@@ -259,7 +259,14 @@ pub fn build_graph(circuit: &Circuit) -> CircuitGraph {
     }
     graph.union_edges();
 
-    CircuitGraph { graph, net_node, device_node, net_of_node, device_of_node, raw_features: raw }
+    CircuitGraph {
+        graph,
+        net_node,
+        device_node,
+        net_of_node,
+        device_of_node,
+        raw_features: raw,
+    }
 }
 
 #[cfg(test)]

@@ -63,7 +63,7 @@ mod persist;
 mod pipeline;
 mod targets;
 
-pub use ensemble::{CapEnsemble, PAPER_MAX_V};
+pub use ensemble::{CapEnsemble, EnsembleError, PAPER_MAX_V};
 pub use features::{device_features, net_features, FeatureNorm, NodeType};
 pub use graphbuild::{
     build_graph, circuit_schema, edge_type, edge_type_name, CircuitGraph, TerminalClass,
@@ -79,7 +79,7 @@ pub use targets::{label_node_types, target_labels, Target, TargetLabels};
 /// Commonly used items.
 pub mod prelude {
     pub use crate::{
-        build_graph, evaluate_model, fit_norm, normalize_circuits, CapEnsemble, FitConfig,
-        GnnKind, PreparedCircuit, Target, TargetModel,
+        build_graph, evaluate_model, fit_norm, normalize_circuits, CapEnsemble, FitConfig, GnnKind,
+        PreparedCircuit, Target, TargetModel,
     };
 }

@@ -76,14 +76,21 @@ impl SavedModel {
     /// parameter names/shapes.
     pub fn into_model(self) -> Result<TargetModel, LoadModelError> {
         let err = |m: String| LoadModelError { message: m };
-        let kind =
-            kind_from_name(&self.kind).ok_or_else(|| err(format!("unknown kind '{}'", self.kind)))?;
+        let kind = kind_from_name(&self.kind)
+            .ok_or_else(|| err(format!("unknown kind '{}'", self.kind)))?;
         let mut config = ModelConfig::new(kind);
         config.embed_dim = self.embed_dim;
         config.layers = self.layers;
         config.fc_layers = self.target.fc_layers();
         config.seed = self.seed;
         let mut gnn = GnnModel::new(config, &circuit_schema());
+        let expected = gnn.params().export().len();
+        if self.params.len() != expected {
+            return Err(err(format!(
+                "snapshot has {} parameters, model schema expects {expected}",
+                self.params.len()
+            )));
+        }
         gnn.params_mut().import(&self.params).map_err(err)?;
         let fit = FitConfig {
             epochs: 0,
@@ -108,7 +115,9 @@ impl SavedModel {
     ///
     /// Returns [`LoadModelError`] on malformed JSON.
     pub fn from_json(json: &str) -> Result<Self, LoadModelError> {
-        serde_json::from_str(json).map_err(|e| LoadModelError { message: e.to_string() })
+        serde_json::from_str(json).map_err(|e| LoadModelError {
+            message: e.to_string(),
+        })
     }
 }
 
@@ -169,5 +178,37 @@ mod tests {
     #[test]
     fn corrupted_json_rejected() {
         assert!(SavedModel::from_json("{not json").is_err());
+    }
+
+    /// A snapshot whose parameter shapes disagree with the circuit schema
+    /// must fail with a clear error, not panic.
+    #[test]
+    fn schema_mismatched_shapes_rejected() {
+        let (model, _) = trained();
+        let mut saved = SavedModel::from_model(&model);
+        let (_, rows, cols, data) = &mut saved.params[0];
+        *rows += 1;
+        data.extend(std::iter::repeat_n(0.0, *cols));
+        let err = saved.into_model().expect_err("shape mismatch accepted");
+        assert!(!err.to_string().is_empty());
+    }
+
+    /// A snapshot with renamed parameters (e.g. from a different edge
+    /// schema) must also be rejected.
+    #[test]
+    fn schema_mismatched_names_rejected() {
+        let (model, _) = trained();
+        let mut saved = SavedModel::from_model(&model);
+        saved.params[0].0 = "no_such_parameter".into();
+        assert!(saved.into_model().is_err());
+    }
+
+    /// Dropping a parameter entirely is a schema mismatch too.
+    #[test]
+    fn schema_missing_param_rejected() {
+        let (model, _) = trained();
+        let mut saved = SavedModel::from_model(&model);
+        saved.params.pop();
+        assert!(saved.into_model().is_err());
     }
 }

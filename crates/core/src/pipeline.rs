@@ -6,11 +6,11 @@
 //! train on node features alone.
 
 use paragraph_gnn::{GnnModel, GraphTask, ModelConfig, TrainConfig, Trainer};
-use paragraph_tensor::{Adam, Tape};
 use paragraph_layout::{extract, LayoutConfig, LayoutTruth};
 use paragraph_ml::{Gbt, GbtConfig, LinearRegression};
 use paragraph_netlist::Circuit;
 use paragraph_tensor::Tensor;
+use paragraph_tensor::{Adam, Tape};
 
 pub use paragraph_gnn::GnnKind;
 
@@ -38,7 +38,12 @@ impl PreparedCircuit {
     pub fn new(name: impl Into<String>, circuit: Circuit, layout: &LayoutConfig) -> Self {
         let truth = extract(&circuit, layout);
         let graph = build_graph(&circuit);
-        Self { name: name.into(), circuit, truth, graph }
+        Self {
+            name: name.into(),
+            circuit,
+            truth,
+            graph,
+        }
     }
 
     /// Labels of `target` on this circuit.
@@ -126,7 +131,12 @@ impl FitConfig {
 
     /// Small/fast settings for tests and examples.
     pub fn quick(kind: GnnKind) -> Self {
-        Self { embed_dim: 16, layers: 3, epochs: 25, ..Self::new(kind) }
+        Self {
+            embed_dim: 16,
+            layers: 3,
+            epochs: 25,
+            ..Self::new(kind)
+        }
     }
 }
 
@@ -211,7 +221,13 @@ impl TargetModel {
             history.last().map(|h| h.loss).unwrap_or(f32::NAN)
         };
         (
-            Self { target, max_value, fit, norm: clone_norm(norm), model },
+            Self {
+                target,
+                max_value,
+                fit,
+                norm: clone_norm(norm),
+                model,
+            },
             final_loss,
         )
     }
@@ -291,7 +307,13 @@ impl TargetModel {
         }
         gnn.params_mut().import(&best_params).expect("own snapshot");
         (
-            Self { target, max_value, fit, norm: clone_norm(norm), model: gnn },
+            Self {
+                target,
+                max_value,
+                fit,
+                norm: clone_norm(norm),
+                model: gnn,
+            },
             best_r2,
         )
     }
@@ -326,10 +348,8 @@ impl TargetModel {
     pub fn predict_graph(&self, circuit: &Circuit, cg: &CircuitGraph) -> Vec<Option<f64>> {
         if self.target.on_nets() {
             let nodes: Vec<u32> = cg.net_nodes();
-            let by_node: std::collections::HashMap<u32, f64> = self
-                .predict_for(cg, nodes)
-                .into_iter()
-                .collect();
+            let by_node: std::collections::HashMap<u32, f64> =
+                self.predict_for(cg, nodes).into_iter().collect();
             cg.net_node
                 .iter()
                 .map(|n| n.and_then(|node| by_node.get(&node).copied()))
@@ -386,7 +406,11 @@ impl TargetModel {
             .iter()
             .zip(preds)
             .map(|(&n, (mu, sigma))| {
-                (n, self.target.unscale_with(self.max_value, mu), sigma as f64)
+                (
+                    n,
+                    self.target.unscale_with(self.max_value, mu),
+                    sigma as f64,
+                )
             })
             .collect()
     }
@@ -404,7 +428,10 @@ impl TargetModel {
 }
 
 fn clone_norm(norm: &FeatureNorm) -> FeatureNorm {
-    FeatureNorm { mean: norm.mean.clone(), std: norm.std.clone() }
+    FeatureNorm {
+        mean: norm.mean.clone(),
+        std: norm.std.clone(),
+    }
 }
 
 /// `(prediction, truth)` pairs in both training (log) space and physical
@@ -548,12 +575,19 @@ impl BaselineModel {
             y.extend(labels.scaled.iter().map(|&v| v as f64));
         }
         let (linear, gbt) = match kind {
-            BaselineKind::Linear => {
-                (Some(LinearRegression::fit(&x, &y, 1e-6).expect("solvable normal equations")), None)
-            }
+            BaselineKind::Linear => (
+                Some(LinearRegression::fit(&x, &y, 1e-6).expect("solvable normal equations")),
+                None,
+            ),
             BaselineKind::Xgb => (None, Some(Gbt::fit(&x, &y, GbtConfig::default()))),
         };
-        Self { target, kind, max_value, linear, gbt }
+        Self {
+            target,
+            kind,
+            max_value,
+            linear,
+            gbt,
+        }
     }
 
     /// Evaluates on test circuits, mirroring [`evaluate_model`].
@@ -692,8 +726,8 @@ mod tests {
 #[cfg(test)]
 mod validation_tests {
     use super::*;
-    use paragraph_netlist::parse_spice;
     use paragraph_layout::LayoutConfig;
+    use paragraph_netlist::parse_spice;
 
     fn circuits(n: usize, seed: u64) -> Vec<PreparedCircuit> {
         (0..n)
@@ -718,15 +752,8 @@ mod validation_tests {
         normalize_circuits(&mut val, &norm);
         let mut fit = FitConfig::quick(GnnKind::ParaGraph);
         fit.epochs = 10;
-        let (model, best_r2) = TargetModel::train_with_validation(
-            &train,
-            &val,
-            Target::Sa,
-            None,
-            fit,
-            &norm,
-            3,
-        );
+        let (model, best_r2) =
+            TargetModel::train_with_validation(&train, &val, Target::Sa, None, fit, &norm, 3);
         assert!(best_r2.is_finite());
         // The returned model's validation R² equals the reported best.
         let again = evaluate_model(&model, &val, None).summary().r2;
@@ -739,8 +766,6 @@ mod validation_tests {
         let train = circuits(1, 2);
         let norm = fit_norm(&train);
         let fit = FitConfig::quick(GnnKind::Gcn);
-        let _ = TargetModel::train_with_validation(
-            &train, &train, Target::Sa, None, fit, &norm, 0,
-        );
+        let _ = TargetModel::train_with_validation(&train, &train, Target::Sa, None, fit, &norm, 0);
     }
 }

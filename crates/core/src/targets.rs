@@ -132,7 +132,11 @@ impl Target {
     /// FC-head depth the paper uses for this target (4 for CAP, 2 for
     /// device parameters).
     pub fn fc_layers(self) -> usize {
-        if self.on_nets() { 4 } else { 2 }
+        if self.on_nets() {
+            4
+        } else {
+            2
+        }
     }
 }
 
@@ -180,9 +184,15 @@ pub fn target_labels(
     let mut out = TargetLabels::default();
     let keep = |v: f64| max_value.map(|m| v <= m).unwrap_or(true);
     if target.on_nets() {
-        let values = if target == Target::Res { &truth.net_res } else { &truth.net_cap };
+        let values = if target == Target::Res {
+            &truth.net_res
+        } else {
+            &truth.net_cap
+        };
         for (net_idx, node) in cg.net_node.iter().enumerate() {
-            let (Some(node), Some(value)) = (node, values[net_idx]) else { continue };
+            let (Some(node), Some(value)) = (node, values[net_idx]) else {
+                continue;
+            };
             if keep(value) {
                 out.nodes.push(*node);
                 out.scaled.push(target.scale_with(max_value, value));
@@ -196,7 +206,9 @@ pub fn target_labels(
                 circuit.devices()[dev_idx].kind,
                 DeviceKind::Mosfet { .. }
             ));
-            let Some(value) = target.of_geom(geom) else { continue };
+            let Some(value) = target.of_geom(geom) else {
+                continue;
+            };
             if keep(value) {
                 out.nodes.push(cg.device_node[dev_idx]);
                 out.scaled.push(target.scale_with(max_value, value));
@@ -225,12 +237,11 @@ mod tests {
     use paragraph_netlist::parse_spice;
 
     fn setup() -> (Circuit, CircuitGraph, LayoutTruth) {
-        let c = parse_spice(
-            "mp out in vdd vdd pch nf=2\nmn out in vss vss nch\nr1 out fb 10k\n.end\n",
-        )
-        .unwrap()
-        .flatten()
-        .unwrap();
+        let c =
+            parse_spice("mp out in vdd vdd pch nf=2\nmn out in vss vss nch\nr1 out fb 10k\n.end\n")
+                .unwrap()
+                .flatten()
+                .unwrap();
         let cg = build_graph(&c);
         let truth = extract(&c, &LayoutConfig::default());
         (c, cg, truth)

@@ -26,7 +26,10 @@ impl EdgeList {
     /// Panics if `src` and `dst` lengths differ.
     pub fn new(src: Vec<u32>, dst: Vec<u32>) -> Self {
         assert_eq!(src.len(), dst.len(), "src/dst length mismatch");
-        Self { src: Rc::new(src), dst: Rc::new(dst) }
+        Self {
+            src: Rc::new(src),
+            dst: Rc::new(dst),
+        }
     }
 
     /// Number of edges.
@@ -252,7 +255,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> (GraphSchema, HeteroGraph) {
-        let schema = GraphSchema { node_feat_dims: vec![2, 3], num_edge_types: 2 };
+        let schema = GraphSchema {
+            node_feat_dims: vec![2, 3],
+            num_edge_types: 2,
+        };
         let mut g = HeteroGraph::new(&schema, vec![0, 1, 0, 1]);
         g.set_features(0, Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
         g.set_features(1, Tensor::from_rows(&[&[0.1, 0.2, 0.3], &[0.4, 0.5, 0.6]]));
@@ -304,7 +310,10 @@ mod tests {
 
     #[test]
     fn empty_edge_type_is_fine() {
-        let schema = GraphSchema { node_feat_dims: vec![1], num_edge_types: 3 };
+        let schema = GraphSchema {
+            node_feat_dims: vec![1],
+            num_edge_types: 3,
+        };
         let g = HeteroGraph::new(&schema, vec![0, 0]);
         g.validate().unwrap();
         assert_eq!(g.num_edges(), 0);

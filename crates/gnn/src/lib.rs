@@ -37,6 +37,6 @@ mod sample;
 mod train;
 
 pub use graph::{EdgeList, GraphSchema, HeteroGraph};
-pub use sample::{sample_subgraph, SampleConfig, Subsample};
 pub use model::{GnnKind, GnnModel, ModelConfig};
+pub use sample::{sample_subgraph, SampleConfig, Subsample};
 pub use train::{evaluate, EpochStats, GraphTask, TrainConfig, Trainer};

@@ -33,7 +33,13 @@ pub enum GnnKind {
 impl GnnKind {
     /// All kinds, in the order the paper's Figure 6 lists the GNNs.
     pub fn all() -> [GnnKind; 5] {
-        [GnnKind::Gcn, GnnKind::GraphSage, GnnKind::Rgcn, GnnKind::Gat, GnnKind::ParaGraph]
+        [
+            GnnKind::Gcn,
+            GnnKind::GraphSage,
+            GnnKind::Rgcn,
+            GnnKind::Gat,
+            GnnKind::ParaGraph,
+        ]
     }
 
     /// Display name matching the paper's figures.
@@ -223,21 +229,38 @@ impl GnnModel {
                     }
                 }
                 let b = params.add_bias(format!("layer{l}.b"), f);
-                LayerParams { w_type, a_type, w, w_self, b }
+                LayerParams {
+                    w_type,
+                    a_type,
+                    w,
+                    w_self,
+                    b,
+                }
             })
             .collect();
 
         let head_out = if config.uncertainty_head { 2 } else { 1 };
         let head = (0..config.fc_layers)
             .map(|k| {
-                let out = if k + 1 == config.fc_layers { head_out } else { f };
+                let out = if k + 1 == config.fc_layers {
+                    head_out
+                } else {
+                    f
+                };
                 let w = params.add_xavier(format!("head{k}.w"), f, out, &mut rng);
                 let b = params.add_bias(format!("head{k}.b"), out);
                 (w, b)
             })
             .collect();
 
-        Self { config, num_edge_types: ne, params, in_proj, layers, head }
+        Self {
+            config,
+            num_edge_types: ne,
+            params,
+            in_proj,
+            layers,
+            head,
+        }
     }
 
     /// The model's hyper-parameters.
@@ -320,7 +343,10 @@ impl GnnModel {
     ///
     /// Panics if the model has no uncertainty head.
     pub fn split_uncertain(&self, tape: &mut Tape, out: Var) -> (Var, Var) {
-        assert!(self.config.uncertainty_head, "model has no uncertainty head");
+        assert!(
+            self.config.uncertainty_head,
+            "model has no uncertainty head"
+        );
         let pick_mu = tape.constant(Tensor::from_rows(&[&[1.0], &[0.0]]));
         let pick_s = tape.constant(Tensor::from_rows(&[&[0.0], &[1.0]]));
         let mu = tape.matmul(out, pick_mu);
@@ -344,11 +370,7 @@ impl GnnModel {
 
     /// Inference with confidence: `(mean, sigma)` per node in training
     /// space.
-    pub fn predict_uncertain(
-        &self,
-        graph: &HeteroGraph,
-        nodes: &Rc<Vec<u32>>,
-    ) -> Vec<(f32, f32)> {
+    pub fn predict_uncertain(&self, graph: &HeteroGraph, nodes: &Rc<Vec<u32>>) -> Vec<(f32, f32)> {
         let mut tape = Tape::new();
         let out = self.predict_nodes(&mut tape, graph, nodes);
         let v = tape.value(out);
@@ -378,7 +400,11 @@ impl GnnModel {
     /// Panics if the model is not a ParaGraph model or attention was
     /// ablated away.
     pub fn attention_weights(&self, graph: &HeteroGraph) -> Vec<Vec<f32>> {
-        assert_eq!(self.config.kind, GnnKind::ParaGraph, "ParaGraph models only");
+        assert_eq!(
+            self.config.kind,
+            GnnKind::ParaGraph,
+            "ParaGraph models only"
+        );
         assert!(!self.config.ablate_attention, "attention is ablated");
         let heads = self.config.attention_heads.max(1);
         let n = graph.num_nodes();
@@ -447,9 +473,7 @@ impl GnnModel {
             .src
             .iter()
             .zip(edges.dst.iter())
-            .map(|(&s, &d)| {
-                1.0 / (dout[s as usize].max(1.0) * din[d as usize].max(1.0)).sqrt()
-            })
+            .map(|(&s, &d)| 1.0 / (dout[s as usize].max(1.0) * din[d as usize].max(1.0)).sqrt())
             .collect();
         let msg = tape.gather_rows(h, edges.src.clone());
         let norm_col = tape.constant(Tensor::from_col(&norm));
@@ -647,13 +671,13 @@ mod tests {
     use crate::graph::GraphSchema;
 
     fn tiny_graph() -> (GraphSchema, HeteroGraph) {
-        let schema = GraphSchema { node_feat_dims: vec![1, 3], num_edge_types: 2 };
+        let schema = GraphSchema {
+            node_feat_dims: vec![1, 3],
+            num_edge_types: 2,
+        };
         let mut g = HeteroGraph::new(&schema, vec![0, 1, 0, 1, 0]);
         g.set_features(0, Tensor::from_rows(&[&[2.0], &[1.0], &[3.0]]));
-        g.set_features(
-            1,
-            Tensor::from_rows(&[&[0.1, 0.2, 0.3], &[0.4, 0.5, 0.6]]),
-        );
+        g.set_features(1, Tensor::from_rows(&[&[0.1, 0.2, 0.3], &[0.4, 0.5, 0.6]]));
         g.set_edges(0, vec![0, 2, 4], vec![1, 3, 1]);
         g.set_edges(1, vec![1, 3, 1], vec![0, 2, 4]);
         g.validate().unwrap();
@@ -730,14 +754,19 @@ mod tests {
         let pg = grads.param_grads(&tape);
         // At least the input projections and the head must receive grads.
         let in_proj0 = model.params().find("in_proj.0").unwrap();
-        assert!(pg.iter().any(|(id, g)| *id == in_proj0 && g.max_abs() > 0.0));
+        assert!(pg
+            .iter()
+            .any(|(id, g)| *id == in_proj0 && g.max_abs() > 0.0));
         let head0 = model.params().find("head0.w").unwrap();
         assert!(pg.iter().any(|(id, g)| *id == head0 && g.max_abs() > 0.0));
     }
 
     #[test]
     fn empty_edge_types_are_skipped() {
-        let schema = GraphSchema { node_feat_dims: vec![2], num_edge_types: 4 };
+        let schema = GraphSchema {
+            node_feat_dims: vec![2],
+            num_edge_types: 4,
+        };
         let mut g = HeteroGraph::new(&schema, vec![0, 0]);
         g.set_features(0, Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
         g.set_edges(0, vec![0], vec![1]); // types 1-3 stay empty
@@ -760,7 +789,10 @@ mod multihead_tests {
     use paragraph_tensor::Tensor;
 
     fn graph() -> (GraphSchema, HeteroGraph) {
-        let schema = GraphSchema { node_feat_dims: vec![2], num_edge_types: 2 };
+        let schema = GraphSchema {
+            node_feat_dims: vec![2],
+            num_edge_types: 2,
+        };
         let mut g = HeteroGraph::new(&schema, vec![0; 6]);
         g.set_features(0, Tensor::from_fn(6, 2, |i, j| (i + j) as f32 * 0.2));
         g.set_edges(0, vec![0, 1, 2, 3, 4], vec![1, 2, 3, 4, 5]);
@@ -809,7 +841,10 @@ mod multihead_tests {
         cfg.fc_layers = 2;
         cfg.attention_heads = 2;
         let mut model = GnnModel::new(cfg, &schema);
-        let mut trainer = Trainer::new(TrainConfig { epochs: 40, ..TrainConfig::default() });
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 40,
+            ..TrainConfig::default()
+        });
         let history = trainer.fit(&mut model, &[task]);
         assert!(history.last().unwrap().loss < history.first().unwrap().loss);
     }
@@ -831,7 +866,10 @@ mod attention_tests {
     use crate::graph::GraphSchema;
 
     fn graph() -> (GraphSchema, HeteroGraph) {
-        let schema = GraphSchema { node_feat_dims: vec![2], num_edge_types: 2 };
+        let schema = GraphSchema {
+            node_feat_dims: vec![2],
+            num_edge_types: 2,
+        };
         let mut g = HeteroGraph::new(&schema, vec![0; 5]);
         g.set_features(0, Tensor::from_fn(5, 2, |i, j| (i * 2 + j) as f32 * 0.3));
         // Node 0 receives three type-0 edges; node 1 receives one.
@@ -870,7 +908,10 @@ mod attention_tests {
 
     #[test]
     fn empty_edge_types_report_empty() {
-        let schema = GraphSchema { node_feat_dims: vec![1], num_edge_types: 3 };
+        let schema = GraphSchema {
+            node_feat_dims: vec![1],
+            num_edge_types: 3,
+        };
         let mut g = HeteroGraph::new(&schema, vec![0, 0]);
         g.set_features(0, Tensor::from_col(&[0.5, -0.5]));
         g.set_edges(0, vec![0], vec![1]);
@@ -895,7 +936,10 @@ mod uncertainty_tests {
     /// NLL-trained model must learn higher sigma for the noisy group.
     #[test]
     fn nll_training_learns_heteroscedastic_sigma() {
-        let schema = GraphSchema { node_feat_dims: vec![1], num_edge_types: 1 };
+        let schema = GraphSchema {
+            node_feat_dims: vec![1],
+            num_edge_types: 1,
+        };
         let n = 60_usize;
         let mut g = HeteroGraph::new(&schema, vec![0; n]);
         let mut feats = Vec::new();
@@ -909,7 +953,11 @@ mod uncertainty_tests {
         }
         g.set_features(0, Tensor::from_col(&feats));
         g.set_edges(0, vec![], vec![]);
-        let task = GraphTask::new(g.clone(), (0..n as u32).collect(), Tensor::from_col(&labels));
+        let task = GraphTask::new(
+            g.clone(),
+            (0..n as u32).collect(),
+            Tensor::from_col(&labels),
+        );
 
         let mut cfg = ModelConfig::new(GnnKind::ParaGraph);
         cfg.embed_dim = 8;
@@ -945,7 +993,10 @@ mod uncertainty_tests {
     #[test]
     #[should_panic(expected = "no uncertainty head")]
     fn split_requires_uncertainty_head() {
-        let schema = GraphSchema { node_feat_dims: vec![1], num_edge_types: 1 };
+        let schema = GraphSchema {
+            node_feat_dims: vec![1],
+            num_edge_types: 1,
+        };
         let mut cfg = ModelConfig::new(GnnKind::Gcn);
         cfg.embed_dim = 4;
         cfg.layers = 1;
@@ -957,7 +1008,10 @@ mod uncertainty_tests {
 
     #[test]
     fn uncertainty_head_shapes() {
-        let schema = GraphSchema { node_feat_dims: vec![1], num_edge_types: 1 };
+        let schema = GraphSchema {
+            node_feat_dims: vec![1],
+            num_edge_types: 1,
+        };
         let mut g = HeteroGraph::new(&schema, vec![0, 0, 0]);
         g.set_features(0, Tensor::from_col(&[0.1, 0.2, 0.3]));
         g.set_edges(0, vec![0, 1], vec![1, 2]);

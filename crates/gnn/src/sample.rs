@@ -36,7 +36,11 @@ pub struct SampleConfig {
 
 impl Default for SampleConfig {
     fn default() -> Self {
-        Self { hops: 5, fanout: usize::MAX, seed: 0 }
+        Self {
+            hops: 5,
+            fanout: usize::MAX,
+            seed: 0,
+        }
     }
 }
 
@@ -95,7 +99,9 @@ pub fn sample_subgraph(
         let mut next = Vec::new();
         for &node in &frontier {
             for (t, adj) in in_adj.iter().enumerate() {
-                let Some(neigh) = adj.get(&node) else { continue };
+                let Some(neigh) = adj.get(&node) else {
+                    continue;
+                };
                 let take = neigh.len().min(config.fanout);
                 // Deterministic partial Fisher-Yates over a scratch copy.
                 let mut pool = neigh.clone();
@@ -169,7 +175,11 @@ pub fn sample_subgraph(
     }
 
     let seeds = seeds.iter().map(|&s| new_id[s as usize]).collect();
-    Subsample { graph: sub, parent_of, seeds }
+    Subsample {
+        graph: sub,
+        parent_of,
+        seeds,
+    }
 }
 
 #[cfg(test)]
@@ -179,7 +189,10 @@ mod tests {
 
     /// A two-type chain graph: 0 -> 1 -> 2 -> ... (type alternating).
     fn chain(n: usize) -> (GraphSchema, HeteroGraph) {
-        let schema = GraphSchema { node_feat_dims: vec![1, 1], num_edge_types: 2 };
+        let schema = GraphSchema {
+            node_feat_dims: vec![1, 1],
+            num_edge_types: 2,
+        };
         let types: Vec<u16> = (0..n).map(|i| (i % 2) as u16).collect();
         let mut g = HeteroGraph::new(&schema, types);
         for t in 0..2 {
@@ -201,7 +214,11 @@ mod tests {
             &g,
             &schema,
             &[5],
-            SampleConfig { hops: 2, fanout: usize::MAX, seed: 1 },
+            SampleConfig {
+                hops: 2,
+                fanout: usize::MAX,
+                seed: 1,
+            },
         );
         sub.graph.validate().unwrap();
         assert_eq!(sub.seeds.len(), 1);
@@ -218,7 +235,12 @@ mod tests {
         // For in-degree-normalised models, the L-hop full-fanout sample
         // reproduces full-graph seed embeddings exactly.
         let (schema, g) = chain(12);
-        for kind in [GnnKind::GraphSage, GnnKind::ParaGraph, GnnKind::Rgcn, GnnKind::Gat] {
+        for kind in [
+            GnnKind::GraphSage,
+            GnnKind::ParaGraph,
+            GnnKind::Rgcn,
+            GnnKind::Gat,
+        ] {
             let mut cfg = ModelConfig::new(kind);
             cfg.embed_dim = 8;
             cfg.layers = 3;
@@ -228,18 +250,18 @@ mod tests {
                 &g,
                 &schema,
                 &[6],
-                SampleConfig { hops: 3, fanout: usize::MAX, seed: 0 },
+                SampleConfig {
+                    hops: 3,
+                    fanout: usize::MAX,
+                    seed: 0,
+                },
             );
             let sub_emb = model.embeddings(&sub.graph);
             let seed_sub = sub.seeds[0] as usize;
             for j in 0..8 {
                 let a = full.at(6, j);
                 let b = sub_emb.at(seed_sub, j);
-                assert!(
-                    (a - b).abs() < 1e-4,
-                    "{}: dim {j}: {a} vs {b}",
-                    kind.name()
-                );
+                assert!((a - b).abs() < 1e-4, "{}: dim {j}: {a} vs {b}", kind.name());
             }
         }
     }
@@ -247,7 +269,10 @@ mod tests {
     #[test]
     fn fanout_limits_subgraph_size() {
         // A star: many sources into one hub.
-        let schema = GraphSchema { node_feat_dims: vec![1], num_edge_types: 1 };
+        let schema = GraphSchema {
+            node_feat_dims: vec![1],
+            num_edge_types: 1,
+        };
         let n = 50;
         let mut g = HeteroGraph::new(&schema, vec![0; n]);
         g.set_features(0, Tensor::from_col(&vec![1.0; n]));
@@ -258,7 +283,11 @@ mod tests {
             &g,
             &schema,
             &[0],
-            SampleConfig { hops: 1, fanout: 5, seed: 3 },
+            SampleConfig {
+                hops: 1,
+                fanout: 5,
+                seed: 3,
+            },
         );
         assert_eq!(sub.graph.num_nodes(), 6); // hub + 5 sampled sources
         assert_eq!(sub.graph.num_edges(), 5);
@@ -267,7 +296,11 @@ mod tests {
     #[test]
     fn sampling_is_deterministic() {
         let (schema, g) = chain(20);
-        let cfg = SampleConfig { hops: 3, fanout: 1, seed: 9 };
+        let cfg = SampleConfig {
+            hops: 3,
+            fanout: 1,
+            seed: 9,
+        };
         let a = sample_subgraph(&g, &schema, &[10], cfg);
         let b = sample_subgraph(&g, &schema, &[10], cfg);
         assert_eq!(a.parent_of, b.parent_of);

@@ -33,7 +33,11 @@ impl GraphTask {
     /// Panics if `labels` is not a `nodes.len() x 1` column.
     pub fn new(graph: HeteroGraph, nodes: Vec<u32>, labels: Tensor) -> Self {
         assert_eq!(labels.shape(), (nodes.len(), 1), "labels/nodes mismatch");
-        Self { graph, nodes: Rc::new(nodes), labels }
+        Self {
+            graph,
+            nodes: Rc::new(nodes),
+            labels,
+        }
     }
 
     /// Number of labelled nodes.
@@ -57,7 +61,12 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 60, lr: 0.01, lr_decay: 0.98, loss_target: None }
+        Self {
+            epochs: 60,
+            lr: 0.01,
+            lr_decay: 0.98,
+            loss_target: None,
+        }
     }
 }
 
@@ -80,7 +89,10 @@ pub struct Trainer {
 impl Trainer {
     /// Creates a trainer.
     pub fn new(config: TrainConfig) -> Self {
-        Self { config, opt: Adam::new(config.lr) }
+        Self {
+            config,
+            opt: Adam::new(config.lr),
+        }
     }
 
     /// Runs one gradient step on a single task; returns the loss.
@@ -156,23 +168,22 @@ impl Trainer {
                 order.shuffle(&mut rng);
                 for chunk in order.chunks(batch_size.max(1)) {
                     let seeds: Vec<u32> = chunk.iter().map(|&i| task.nodes[i]).collect();
-                    let labels: Vec<f32> =
-                        chunk.iter().map(|&i| task.labels.at(i, 0)).collect();
+                    let labels: Vec<f32> = chunk.iter().map(|&i| task.labels.at(i, 0)).collect();
                     let sub_cfg = SampleConfig {
                         seed: sample.seed ^ (epoch as u64) << 20 ^ batches as u64,
                         ..sample
                     };
                     let sub = sample_subgraph(&task.graph, schema, &seeds, sub_cfg);
-                    let sub_task = GraphTask::new(
-                        sub.graph,
-                        sub.seeds,
-                        Tensor::from_col(&labels),
-                    );
+                    let sub_task = GraphTask::new(sub.graph, sub.seeds, Tensor::from_col(&labels));
                     total += self.step(model, &sub_task);
                     batches += 1;
                 }
             }
-            let loss = if batches > 0 { total / batches as f32 } else { 0.0 };
+            let loss = if batches > 0 {
+                total / batches as f32
+            } else {
+                0.0
+            };
             history.push(EpochStats { epoch, loss });
             if let Some(target) = self.config.loss_target {
                 if loss < target {
@@ -209,13 +220,18 @@ mod tests {
     /// A graph where type-1 nodes' label equals the sum of their type-0
     /// neighbours' feature — learnable only via message passing.
     fn neighbourhood_task(seed: u64) -> (GraphSchema, GraphTask) {
-        let schema = GraphSchema { node_feat_dims: vec![1, 1], num_edge_types: 2 };
+        let schema = GraphSchema {
+            node_feat_dims: vec![1, 1],
+            num_edge_types: 2,
+        };
         let n0 = 12_usize;
         let n1 = 6_usize;
         let mut types = vec![0_u16; n0];
         types.extend(vec![1_u16; n1]);
         let mut g = HeteroGraph::new(&schema, types);
-        let feats: Vec<f32> = (0..n0).map(|i| ((i as u64 * 7 + seed) % 5) as f32 * 0.2).collect();
+        let feats: Vec<f32> = (0..n0)
+            .map(|i| ((i as u64 * 7 + seed) % 5) as f32 * 0.2)
+            .collect();
         g.set_features(0, Tensor::from_col(&feats));
         g.set_features(1, Tensor::zeros(n1, 1));
         // Each type-1 node j connects to type-0 nodes 2j and 2j+1.
@@ -247,7 +263,12 @@ mod tests {
         cfg.layers = 2;
         cfg.fc_layers = 2;
         let mut model = GnnModel::new(cfg, &schema);
-        let mut trainer = Trainer::new(TrainConfig { epochs: 200, lr: 0.01, lr_decay: 0.98, loss_target: Some(1e-3) });
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 200,
+            lr: 0.01,
+            lr_decay: 0.98,
+            loss_target: Some(1e-3),
+        });
         let history = trainer.fit(&mut model, std::slice::from_ref(&task));
         let last = history.last().unwrap().loss;
         let first = history.first().unwrap().loss;
@@ -263,8 +284,12 @@ mod tests {
             cfg.layers = 2;
             cfg.fc_layers = 2;
             let mut model = GnnModel::new(cfg, &schema);
-            let mut trainer =
-                Trainer::new(TrainConfig { epochs: 60, lr: 0.01, lr_decay: 0.98, loss_target: None });
+            let mut trainer = Trainer::new(TrainConfig {
+                epochs: 60,
+                lr: 0.01,
+                lr_decay: 0.98,
+                loss_target: None,
+            });
             let history = trainer.fit(&mut model, &[task]);
             let first = history.first().unwrap().loss;
             let last = history.last().unwrap().loss;
@@ -286,7 +311,10 @@ mod tests {
 
     #[test]
     fn empty_task_is_skipped() {
-        let schema = GraphSchema { node_feat_dims: vec![1], num_edge_types: 1 };
+        let schema = GraphSchema {
+            node_feat_dims: vec![1],
+            num_edge_types: 1,
+        };
         let g = HeteroGraph::new(&schema, vec![0]);
         let task = GraphTask::new(g, vec![], Tensor::zeros(0, 1));
         let mut cfg = ModelConfig::new(GnnKind::Gcn);
@@ -305,8 +333,12 @@ mod tests {
         cfg.layers = 2;
         cfg.fc_layers = 2;
         let mut model = GnnModel::new(cfg, &schema);
-        let mut trainer =
-            Trainer::new(TrainConfig { epochs: 500, lr: 0.02, lr_decay: 0.98, loss_target: Some(0.05) });
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 500,
+            lr: 0.02,
+            lr_decay: 0.98,
+            loss_target: Some(0.05),
+        });
         let history = trainer.fit(&mut model, &[task]);
         assert!(history.len() < 500, "early stop should trigger");
     }
@@ -315,16 +347,19 @@ mod tests {
 #[cfg(test)]
 mod sampled_training_tests {
     use super::*;
+    use crate::graph::GraphSchema;
     use crate::model::{GnnKind, GnnModel, ModelConfig};
     use crate::sample::SampleConfig;
-    use crate::graph::GraphSchema;
     use paragraph_tensor::Tensor;
 
     /// Label = sum of in-neighbour features (same setup as the full-batch
     /// test) — sampled mini-batch training must also learn it.
     #[test]
     fn sampled_training_learns_neighbour_sum() {
-        let schema = GraphSchema { node_feat_dims: vec![1, 1], num_edge_types: 2 };
+        let schema = GraphSchema {
+            node_feat_dims: vec![1, 1],
+            num_edge_types: 2,
+        };
         let n0 = 24_usize;
         let n1 = 12_usize;
         let mut types = vec![0_u16; n0];
@@ -353,9 +388,17 @@ mod sampled_training_tests {
         cfg.layers = 2;
         cfg.fc_layers = 2;
         let mut model = GnnModel::new(cfg, &schema);
-        let mut trainer =
-            Trainer::new(TrainConfig { epochs: 120, lr: 0.01, lr_decay: 0.99, loss_target: None });
-        let sample = SampleConfig { hops: 2, fanout: usize::MAX, seed: 5 };
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 120,
+            lr: 0.01,
+            lr_decay: 0.99,
+            loss_target: None,
+        });
+        let sample = SampleConfig {
+            hops: 2,
+            fanout: usize::MAX,
+            seed: 5,
+        };
         let history = trainer.fit_sampled(&mut model, &[task], &schema, 4, sample);
         let first = history.first().unwrap().loss;
         let last = history.last().unwrap().loss;
@@ -364,16 +407,21 @@ mod sampled_training_tests {
 
     #[test]
     fn sampled_training_handles_empty_tasks() {
-        let schema = GraphSchema { node_feat_dims: vec![1], num_edge_types: 1 };
+        let schema = GraphSchema {
+            node_feat_dims: vec![1],
+            num_edge_types: 1,
+        };
         let g = crate::graph::HeteroGraph::new(&schema, vec![0]);
         let task = GraphTask::new(g, vec![], Tensor::zeros(0, 1));
         let mut cfg = ModelConfig::new(GnnKind::Gcn);
         cfg.embed_dim = 4;
         cfg.layers = 1;
         let mut model = GnnModel::new(cfg, &schema);
-        let mut trainer = Trainer::new(TrainConfig { epochs: 2, ..TrainConfig::default() });
-        let history =
-            trainer.fit_sampled(&mut model, &[task], &schema, 4, SampleConfig::default());
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        });
+        let history = trainer.fit_sampled(&mut model, &[task], &schema, 4, SampleConfig::default());
         assert_eq!(history.len(), 2);
         assert_eq!(history[0].loss, 0.0);
     }

@@ -134,7 +134,12 @@ pub fn extract(circuit: &Circuit, config: &LayoutConfig) -> LayoutTruth {
     let placement = place(circuit, config.rules);
     let geom = extract_geometry(circuit, &placement, config);
     let (net_cap, net_res) = extract_parasitics(circuit, &placement, config);
-    LayoutTruth { net_cap, net_res, geom, placement }
+    LayoutTruth {
+        net_cap,
+        net_res,
+        geom,
+        placement,
+    }
 }
 
 fn extract_geometry(
@@ -151,7 +156,9 @@ fn extract_geometry(
         .iter()
         .enumerate()
         .map(|(i, dev)| {
-            let DeviceKind::Mosfet { .. } = dev.kind else { return None };
+            let DeviceKind::Mosfet { .. } = dev.kind else {
+                return None;
+            };
             let (island_idx, pos) = placement.island_of[i].expect("mosfet placed in island");
             let island = &placement.islands[island_idx];
             let p = dev.params;
@@ -174,9 +181,17 @@ fn extract_geometry(
                 // the contrast between shared and unshared diffusion is
                 // what makes MTS identification matter (paper Figure 2).
                 let len = if r == 0 {
-                    if left_shared { rules.diff_ext * 0.3 } else { rules.diff_ext }
+                    if left_shared {
+                        rules.diff_ext * 0.3
+                    } else {
+                        rules.diff_ext
+                    }
                 } else if r == regions - 1 {
-                    if right_shared { rules.diff_ext * 0.3 } else { rules.diff_ext }
+                    if right_shared {
+                        rules.diff_ext * 0.3
+                    } else {
+                        rules.diff_ext
+                    }
                 } else {
                     rules.diff_ext * 0.5
                 };
@@ -215,7 +230,11 @@ fn extract_geometry(
             // exceeds 100 %.
             let ln = |salt: u64| {
                 let outlier = noise(config.seed, salt ^ 0x0F0F, i as u64, 1.0) > 3.0;
-                let sigma = if outlier { 2.2 * config.lde_sigma } else { 0.35 * config.lde_sigma };
+                let sigma = if outlier {
+                    2.2 * config.lde_sigma
+                } else {
+                    0.35 * config.lde_sigma
+                };
                 noise(config.seed, salt, i as u64, sigma)
             };
             // A small floorplan-position perturbation only (position within
@@ -249,7 +268,13 @@ fn extract_geometry(
                 // Island length.
                 island_w * ln(17),
             ];
-            Some(DeviceGeom { sa, da, sp, dp, lde })
+            Some(DeviceGeom {
+                sa,
+                da,
+                sp,
+                dp,
+                lde,
+            })
         })
         .collect()
 }
@@ -315,13 +340,17 @@ fn extract_parasitics(
             // Bond-pad net: pad metal + package stub.
             cap += config.pad_cap;
         }
-        caps.push(Some(cap * noise(config.seed, 99, i as u64, config.cap_sigma)));
+        caps.push(Some(
+            cap * noise(config.seed, 99, i as u64, config.cap_sigma),
+        ));
         // Lumped driver-to-load resistance: the trunk length divided by
         // the branch count (loads see partially parallel paths), plus the
         // via stacks at both ends.
         let trunk = hpwl * steiner / fanout.sqrt().max(1.0);
         let res = config.res_per_m * trunk + 2.0 * config.via_res;
-        ress.push(Some(res * noise(config.seed, 113, i as u64, config.cap_sigma)));
+        ress.push(Some(
+            res * noise(config.seed, 113, i as u64, config.cap_sigma),
+        ));
     }
     (caps, ress)
 }
@@ -367,13 +396,36 @@ mod tests {
             c.net("g2"),
             c.net("vss"),
         );
-        c.add_mosfet("m1", MosPolarity::Nmos, false, mid, g1, a, vss, DeviceParams::default());
-        c.add_mosfet("m2", MosPolarity::Nmos, false, b, g2, mid, vss, DeviceParams::default());
+        c.add_mosfet(
+            "m1",
+            MosPolarity::Nmos,
+            false,
+            mid,
+            g1,
+            a,
+            vss,
+            DeviceParams::default(),
+        );
+        c.add_mosfet(
+            "m2",
+            MosPolarity::Nmos,
+            false,
+            b,
+            g2,
+            mid,
+            vss,
+            DeviceParams::default(),
+        );
         c
     }
 
     fn noiseless() -> LayoutConfig {
-        LayoutConfig { cap_sigma: 0.0, geom_sigma: 0.0, lde_sigma: 0.0, ..LayoutConfig::default() }
+        LayoutConfig {
+            cap_sigma: 0.0,
+            geom_sigma: 0.0,
+            lde_sigma: 0.0,
+            ..LayoutConfig::default()
+        }
     }
 
     #[test]
@@ -396,7 +448,16 @@ mod tests {
         let chained_truth = extract(&chained, &noiseless());
         let mut solo = Circuit::new("solo");
         let (d, g, s, vss) = (solo.net("d"), solo.net("g"), solo.net("s"), solo.net("vss"));
-        solo.add_mosfet("m1", MosPolarity::Nmos, false, d, g, s, vss, DeviceParams::default());
+        solo.add_mosfet(
+            "m1",
+            MosPolarity::Nmos,
+            false,
+            d,
+            g,
+            s,
+            vss,
+            DeviceParams::default(),
+        );
         let solo_truth = extract(&solo, &noiseless());
         let chained_lde = chained_truth.geom[0].unwrap().lde;
         let solo_lde = solo_truth.geom[0].unwrap().lde;
@@ -432,7 +493,10 @@ mod tests {
                 g,
                 vss,
                 vss,
-                DeviceParams { nf: 2, ..DeviceParams::default() },
+                DeviceParams {
+                    nf: 2,
+                    ..DeviceParams::default()
+                },
             );
         }
         let truth = extract(&c, &noiseless());
@@ -455,8 +519,20 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let c = series_pair();
-        let t1 = extract(&c, &LayoutConfig { seed: 1, ..LayoutConfig::default() });
-        let t2 = extract(&c, &LayoutConfig { seed: 2, ..LayoutConfig::default() });
+        let t1 = extract(
+            &c,
+            &LayoutConfig {
+                seed: 1,
+                ..LayoutConfig::default()
+            },
+        );
+        let t2 = extract(
+            &c,
+            &LayoutConfig {
+                seed: 2,
+                ..LayoutConfig::default()
+            },
+        );
         let a = c.find_net("a").unwrap();
         assert_ne!(t1.cap(a), t2.cap(a));
     }
@@ -473,7 +549,10 @@ mod tests {
             g,
             vss,
             vss,
-            DeviceParams { nf: 1, ..DeviceParams::default() },
+            DeviceParams {
+                nf: 1,
+                ..DeviceParams::default()
+            },
         );
         c.add_mosfet(
             "bigger",
@@ -483,7 +562,10 @@ mod tests {
             g,
             vss,
             vss,
-            DeviceParams { nf: 8, ..DeviceParams::default() },
+            DeviceParams {
+                nf: 8,
+                ..DeviceParams::default()
+            },
         );
         let truth = extract(&c, &noiseless());
         let small = truth.geom[0].unwrap();
@@ -535,14 +617,28 @@ mod resistance_tests {
     use paragraph_netlist::{Circuit, DeviceParams, MosPolarity};
 
     fn noiseless() -> LayoutConfig {
-        LayoutConfig { cap_sigma: 0.0, geom_sigma: 0.0, lde_sigma: 0.0, ..LayoutConfig::default() }
+        LayoutConfig {
+            cap_sigma: 0.0,
+            geom_sigma: 0.0,
+            lde_sigma: 0.0,
+            ..LayoutConfig::default()
+        }
     }
 
     #[test]
     fn rails_have_no_resistance() {
         let mut c = Circuit::new("t");
         let (a, g, vss) = (c.net("a"), c.net("g"), c.net("vss"));
-        c.add_mosfet("m1", MosPolarity::Nmos, false, a, g, vss, vss, DeviceParams::default());
+        c.add_mosfet(
+            "m1",
+            MosPolarity::Nmos,
+            false,
+            a,
+            g,
+            vss,
+            vss,
+            DeviceParams::default(),
+        );
         let truth = extract(&c, &LayoutConfig::default());
         assert_eq!(truth.res(vss), None);
         assert!(truth.res(a).unwrap() > 0.0);
@@ -564,7 +660,10 @@ mod resistance_tests {
                 g,
                 vss,
                 vss,
-                DeviceParams { nf: 8, ..DeviceParams::default() },
+                DeviceParams {
+                    nf: 8,
+                    ..DeviceParams::default()
+                },
             );
         }
         let truth = extract(&c, &noiseless());
@@ -578,7 +677,16 @@ mod resistance_tests {
         let cfg = noiseless();
         let mut c = Circuit::new("t");
         let (a, g, vss) = (c.net("a"), c.net("g"), c.net("vss"));
-        c.add_mosfet("m1", MosPolarity::Nmos, false, a, g, vss, vss, DeviceParams::default());
+        c.add_mosfet(
+            "m1",
+            MosPolarity::Nmos,
+            false,
+            a,
+            g,
+            vss,
+            vss,
+            DeviceParams::default(),
+        );
         let truth = extract(&c, &cfg);
         assert!(truth.res(a).unwrap() >= 2.0 * cfg.via_res);
     }

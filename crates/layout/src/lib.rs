@@ -31,9 +31,7 @@
 mod extract;
 mod placement;
 
-pub use extract::{
-    designer_estimate, extract, DeviceGeom, LayoutConfig, LayoutTruth, NUM_LDE,
-};
+pub use extract::{designer_estimate, extract, DeviceGeom, LayoutConfig, LayoutTruth, NUM_LDE};
 pub use placement::{mosfet_width, place, Island, LayoutRules, Placement};
 
 /// Commonly used items.

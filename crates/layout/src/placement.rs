@@ -122,9 +122,16 @@ pub fn place(circuit: &Circuit, rules: LayoutRules) -> Placement {
     // --- 1. Group MOSFETs by flavour --------------------------------
     let mut groups: HashMap<Flavour, Vec<DeviceId>> = HashMap::new();
     for (i, dev) in circuit.devices().iter().enumerate() {
-        if let DeviceKind::Mosfet { polarity, thick_gate } = dev.kind {
+        if let DeviceKind::Mosfet {
+            polarity,
+            thick_gate,
+        } = dev.kind
+        {
             groups
-                .entry(Flavour { polarity, thick: thick_gate })
+                .entry(Flavour {
+                    polarity,
+                    thick: thick_gate,
+                })
                 .or_default()
                 .push(DeviceId(i as u32));
         }
@@ -163,9 +170,9 @@ pub fn place(circuit: &Circuit, rules: LayoutRules) -> Placement {
             let seed_dev = circuit.device_ref(seed);
             let mut right_net = seed_dev.net_on(Terminal::Drain);
             while let Some(net) = right_net {
-                let next = by_net.get(&net).and_then(|cands| {
-                    cands.iter().copied().find(|d| !used[d.0 as usize])
-                });
+                let next = by_net
+                    .get(&net)
+                    .and_then(|cands| cands.iter().copied().find(|d| !used[d.0 as usize]));
                 let Some(d) = next else { break };
                 used[d.0 as usize] = true;
                 chain.push(d);
@@ -180,9 +187,9 @@ pub fn place(circuit: &Circuit, rules: LayoutRules) -> Placement {
             }
             let mut left_net = seed_dev.net_on(Terminal::Source);
             while let Some(net) = left_net {
-                let next = by_net.get(&net).and_then(|cands| {
-                    cands.iter().copied().find(|d| !used[d.0 as usize])
-                });
+                let next = by_net
+                    .get(&net)
+                    .and_then(|cands| cands.iter().copied().find(|d| !used[d.0 as usize]));
                 let Some(d) = next else { break };
                 used[d.0 as usize] = true;
                 chain.insert(0, d);
@@ -200,7 +207,10 @@ pub fn place(circuit: &Circuit, rules: LayoutRules) -> Placement {
             for (pos, &d) in chain.iter().enumerate() {
                 island_of[d.0 as usize] = Some((idx, pos));
             }
-            islands.push(Island { devices: chain, shared_left: shared });
+            islands.push(Island {
+                devices: chain,
+                shared_left: shared,
+            });
         }
     }
 
@@ -227,7 +237,11 @@ pub fn place(circuit: &Circuit, rules: LayoutRules) -> Placement {
         let mut x = cursor_x;
         for (i, &d) in island.devices.iter().enumerate() {
             let w = member_w[i];
-            let overlap = if island.shared_left[i] { rules.diff_ext } else { 0.0 };
+            let overlap = if island.shared_left[i] {
+                rules.diff_ext
+            } else {
+                0.0
+            };
             x -= 2.0 * overlap;
             positions[d.0 as usize] = (x + w / 2.0, row as f64 * rules.row_pitch);
             widths[d.0 as usize] = w;
@@ -285,8 +299,26 @@ mod tests {
             c.net("g2"),
             c.net("vss"),
         );
-        c.add_mosfet("m1", MosPolarity::Nmos, false, mid, g1, a, vss, DeviceParams::default());
-        c.add_mosfet("m2", MosPolarity::Nmos, false, b, g2, mid, vss, DeviceParams::default());
+        c.add_mosfet(
+            "m1",
+            MosPolarity::Nmos,
+            false,
+            mid,
+            g1,
+            a,
+            vss,
+            DeviceParams::default(),
+        );
+        c.add_mosfet(
+            "m2",
+            MosPolarity::Nmos,
+            false,
+            b,
+            g2,
+            mid,
+            vss,
+            DeviceParams::default(),
+        );
         let p = place(&c, LayoutRules::default());
         assert_eq!(p.islands.len(), 1);
         assert_eq!(p.islands[0].devices.len(), 2);
@@ -298,8 +330,26 @@ mod tests {
     fn polarities_are_separate_islands() {
         let mut c = Circuit::new("t");
         let (i, o, vdd, vss) = (c.net("in"), c.net("out"), c.net("vdd"), c.net("vss"));
-        c.add_mosfet("mp", MosPolarity::Pmos, false, o, i, vdd, vdd, DeviceParams::default());
-        c.add_mosfet("mn", MosPolarity::Nmos, false, o, i, vss, vss, DeviceParams::default());
+        c.add_mosfet(
+            "mp",
+            MosPolarity::Pmos,
+            false,
+            o,
+            i,
+            vdd,
+            vdd,
+            DeviceParams::default(),
+        );
+        c.add_mosfet(
+            "mn",
+            MosPolarity::Nmos,
+            false,
+            o,
+            i,
+            vss,
+            vss,
+            DeviceParams::default(),
+        );
         let p = place(&c, LayoutRules::default());
         assert_eq!(p.islands.len(), 2);
     }
@@ -309,8 +359,26 @@ mod tests {
     fn thick_gate_is_separate_flavour() {
         let mut c = Circuit::new("t");
         let (a, b, g, vss) = (c.net("a"), c.net("b"), c.net("g"), c.net("vss"));
-        c.add_mosfet("m1", MosPolarity::Nmos, false, a, g, b, vss, DeviceParams::default());
-        c.add_mosfet("m2", MosPolarity::Nmos, true, a, g, b, vss, DeviceParams::default());
+        c.add_mosfet(
+            "m1",
+            MosPolarity::Nmos,
+            false,
+            a,
+            g,
+            b,
+            vss,
+            DeviceParams::default(),
+        );
+        c.add_mosfet(
+            "m2",
+            MosPolarity::Nmos,
+            true,
+            a,
+            g,
+            b,
+            vss,
+            DeviceParams::default(),
+        );
         let p = place(&c, LayoutRules::default());
         assert_eq!(p.islands.len(), 2);
     }
@@ -328,8 +396,26 @@ mod tests {
                 c.net("vss"),
             );
             let m2s = if share { m1d } else { c.net("m2s") };
-            c.add_mosfet("m1", MosPolarity::Nmos, false, m1d, g, a, vss, DeviceParams::default());
-            c.add_mosfet("m2", MosPolarity::Nmos, false, b, g, m2s, vss, DeviceParams::default());
+            c.add_mosfet(
+                "m1",
+                MosPolarity::Nmos,
+                false,
+                m1d,
+                g,
+                a,
+                vss,
+                DeviceParams::default(),
+            );
+            c.add_mosfet(
+                "m2",
+                MosPolarity::Nmos,
+                false,
+                b,
+                g,
+                m2s,
+                vss,
+                DeviceParams::default(),
+            );
             let p = place(&c, rules);
             // Total extent = max right edge.
             (0..2)
@@ -370,7 +456,10 @@ mod tests {
                 inp,
                 vdd,
                 vdd,
-                DeviceParams { nf: 4, ..DeviceParams::default() },
+                DeviceParams {
+                    nf: 4,
+                    ..DeviceParams::default()
+                },
             );
             c.add_mosfet(
                 format!("mn{i}"),
@@ -380,7 +469,10 @@ mod tests {
                 inp,
                 vss,
                 vss,
-                DeviceParams { nf: 4, ..DeviceParams::default() },
+                DeviceParams {
+                    nf: 4,
+                    ..DeviceParams::default()
+                },
             );
         }
         let rules = LayoutRules::default();

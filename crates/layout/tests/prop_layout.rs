@@ -25,7 +25,11 @@ fn arb_circuit() -> impl Strategy<Value = Circuit> {
                 0 | 1 => {
                     c.add_mosfet(
                         format!("m{i}"),
-                        if next() % 2 == 0 { MosPolarity::Nmos } else { MosPolarity::Pmos },
+                        if next() % 2 == 0 {
+                            MosPolarity::Nmos
+                        } else {
+                            MosPolarity::Pmos
+                        },
                         next() % 6 == 0,
                         pick(next()),
                         pick(next()),

@@ -63,8 +63,17 @@ impl Tree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -113,7 +122,9 @@ impl Gbt {
             let rows: Vec<usize> = if config.subsample >= 1.0 {
                 (0..n).collect()
             } else {
-                (0..n).filter(|_| rng.random_bool(config.subsample.clamp(0.01, 1.0))).collect()
+                (0..n)
+                    .filter(|_| rng.random_bool(config.subsample.clamp(0.01, 1.0)))
+                    .collect()
             };
             if rows.is_empty() {
                 continue;
@@ -125,7 +136,12 @@ impl Gbt {
             }
             trees.push(tree);
         }
-        Self { base, eta: config.eta, num_features, trees }
+        Self {
+            base,
+            eta: config.eta,
+            num_features,
+            trees,
+        }
     }
 
     /// Predicts one sample.
@@ -191,7 +207,12 @@ fn build_node(
     tree.nodes.push(Node::Leaf { value: mean }); // placeholder
     let left = build_node(tree, x, residual, left_rows, depth + 1, config);
     let right = build_node(tree, x, residual, right_rows, depth + 1, config);
-    tree.nodes[idx] = Node::Split { feature, threshold, left, right };
+    tree.nodes[idx] = Node::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    };
     idx
 }
 
@@ -208,7 +229,9 @@ fn best_split(x: &[Vec<f64>], residual: &[f64], rows: &[usize]) -> Option<(usize
     #[allow(clippy::needless_range_loop)] // indexed features read clearer here
     for f in 0..d {
         order.sort_by(|&a, &b| {
-            x[a][f].partial_cmp(&x[b][f]).unwrap_or(std::cmp::Ordering::Equal)
+            x[a][f]
+                .partial_cmp(&x[b][f])
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut left_sum = 0.0;
         let mut left_cnt = 0.0;
@@ -241,7 +264,12 @@ mod tests {
     fn fits_step_function_exactly() {
         let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..40).map(|i| if i < 20 { 1.0 } else { 5.0 }).collect();
-        let cfg = GbtConfig { n_trees: 40, eta: 0.3, subsample: 1.0, ..GbtConfig::default() };
+        let cfg = GbtConfig {
+            n_trees: 40,
+            eta: 0.3,
+            subsample: 1.0,
+            ..GbtConfig::default()
+        };
         let m = Gbt::fit(&x, &y, cfg);
         assert!((m.predict_one(&[3.0]) - 1.0).abs() < 0.05);
         assert!((m.predict_one(&[33.0]) - 5.0).abs() < 0.05);
@@ -259,7 +287,12 @@ mod tests {
                 y.push(if a < 5 { b as f64 } else { -(b as f64) });
             }
         }
-        let cfg = GbtConfig { n_trees: 80, eta: 0.3, subsample: 1.0, ..GbtConfig::default() };
+        let cfg = GbtConfig {
+            n_trees: 80,
+            eta: 0.3,
+            subsample: 1.0,
+            ..GbtConfig::default()
+        };
         let m = Gbt::fit(&x, &y, cfg);
         assert!((m.predict_one(&[1.0, 8.0]) - 8.0).abs() < 1.0);
         assert!((m.predict_one(&[8.0, 8.0]) + 8.0).abs() < 1.0);
@@ -275,7 +308,9 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 13) as f64, (i % 7) as f64]).collect();
+        let x: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i % 13) as f64, (i % 7) as f64])
+            .collect();
         let y: Vec<f64> = x.iter().map(|r| r[0] * 0.5 - r[1]).collect();
         let m1 = Gbt::fit(&x, &y, GbtConfig::default());
         let m2 = Gbt::fit(&x, &y, GbtConfig::default());
@@ -288,7 +323,14 @@ mod tests {
         // squared loss with eta <= 1.
         let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..50).map(|i| (i as f64).sin()).collect();
-        let m = Gbt::fit(&x, &y, GbtConfig { subsample: 1.0, ..GbtConfig::default() });
+        let m = Gbt::fit(
+            &x,
+            &y,
+            GbtConfig {
+                subsample: 1.0,
+                ..GbtConfig::default()
+            },
+        );
         for p in m.predict(&x) {
             assert!((-1.5..=1.5).contains(&p));
         }
@@ -312,7 +354,14 @@ mod importance_tests {
             .map(|i| vec![((i * 13) % 7) as f64, (i % 9) as f64])
             .collect();
         let y: Vec<f64> = x.iter().map(|r| r[1] * 2.0).collect();
-        let m = Gbt::fit(&x, &y, GbtConfig { subsample: 1.0, ..GbtConfig::default() });
+        let m = Gbt::fit(
+            &x,
+            &y,
+            GbtConfig {
+                subsample: 1.0,
+                ..GbtConfig::default()
+            },
+        );
         let imp = m.feature_importance();
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(imp[1] > 0.9, "{imp:?}");

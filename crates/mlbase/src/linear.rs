@@ -45,7 +45,9 @@ impl LinearRegression {
     /// Returns [`FitLinearError`] on empty input, ragged rows, or a
     /// non-positive-definite normal matrix (increase `ridge`).
     pub fn fit(x: &[Vec<f64>], y: &[f64], ridge: f64) -> Result<Self, FitLinearError> {
-        let err = |m: &str| FitLinearError { message: m.to_owned() };
+        let err = |m: &str| FitLinearError {
+            message: m.to_owned(),
+        };
         if x.is_empty() || x.len() != y.len() {
             return Err(err("empty or mismatched training data"));
         }
@@ -74,7 +76,10 @@ impl LinearRegression {
         xtx[d * da + d] += 1e-12;
         let sol = cholesky_solve(&xtx, &xty, da)
             .ok_or_else(|| err("normal matrix is not positive definite"))?;
-        Ok(Self { weights: sol[..d].to_vec(), bias: sol[d] })
+        Ok(Self {
+            weights: sol[..d].to_vec(),
+            bias: sol[d],
+        })
     }
 
     /// Fitted feature weights.

@@ -137,7 +137,11 @@ pub struct RegressionReport {
 impl RegressionReport {
     /// Computes all three metrics.
     pub fn compute(pred: &[f64], truth: &[f64]) -> Self {
-        Self { r2: r_squared(pred, truth), mae: mae(pred, truth), mape: mape(pred, truth) }
+        Self {
+            r2: r_squared(pred, truth),
+            mae: mae(pred, truth),
+            mape: mape(pred, truth),
+        }
     }
 }
 

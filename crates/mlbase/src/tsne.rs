@@ -96,7 +96,11 @@ pub fn tsne(data: &[Vec<f32>], config: &TsneConfig) -> Vec<(f32, f32)> {
             }
             if diff > 0.0 {
                 beta_min = beta;
-                beta = if beta_max.is_finite() { (beta + beta_max) / 2.0 } else { beta * 2.0 };
+                beta = if beta_max.is_finite() {
+                    (beta + beta_max) / 2.0
+                } else {
+                    beta * 2.0
+                };
             } else {
                 beta_max = beta;
                 beta = (beta + beta_min) / 2.0;
@@ -134,7 +138,11 @@ pub fn tsne(data: &[Vec<f32>], config: &TsneConfig) -> Vec<(f32, f32)> {
     let mut q = vec![0.0_f64; n * n];
 
     for it in 0..config.iterations {
-        let exag = if it < config.iterations / 4 { config.exaggeration } else { 1.0 };
+        let exag = if it < config.iterations / 4 {
+            config.exaggeration
+        } else {
+            1.0
+        };
         // Student-t affinities in 2-D.
         let mut qsum = 0.0;
         for i in 0..n {
@@ -224,13 +232,17 @@ mod tests {
         for i in 0..60 {
             let centre = if i < 30 { 0.0 } else { 10.0 };
             data.push(vec![
-                centre + rng.random_range(-0.5..0.5),
-                centre + rng.random_range(-0.5..0.5),
-                rng.random_range(-0.5..0.5),
+                centre + rng.random_range(-0.5_f32..0.5),
+                centre + rng.random_range(-0.5_f32..0.5),
+                rng.random_range(-0.5_f32..0.5),
             ]);
             labels.push(if i < 30 { 0.0 } else { 1.0 });
         }
-        let cfg = TsneConfig { iterations: 250, perplexity: 10.0, ..TsneConfig::default() };
+        let cfg = TsneConfig {
+            iterations: 250,
+            perplexity: 10.0,
+            ..TsneConfig::default()
+        };
         let pts = tsne(&data, &cfg);
         // k-NN label spread must be much lower than the random baseline 0.5.
         let spread = knn_label_spread(&pts, &labels, 5);
@@ -240,10 +252,16 @@ mod tests {
     #[test]
     fn output_lengths_and_degenerate_cases() {
         assert!(tsne(&[], &TsneConfig::default()).is_empty());
-        assert_eq!(tsne(&[vec![1.0, 2.0]], &TsneConfig::default()), vec![(0.0, 0.0)]);
+        assert_eq!(
+            tsne(&[vec![1.0, 2.0]], &TsneConfig::default()),
+            vec![(0.0, 0.0)]
+        );
         let pts = tsne(
             &[vec![0.0], vec![1.0], vec![2.0]],
-            &TsneConfig { iterations: 50, ..TsneConfig::default() },
+            &TsneConfig {
+                iterations: 50,
+                ..TsneConfig::default()
+            },
         );
         assert_eq!(pts.len(), 3);
         assert!(pts.iter().all(|p| p.0.is_finite() && p.1.is_finite()));
@@ -251,9 +269,13 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let data: Vec<Vec<f32>> =
-            (0..20).map(|i| vec![(i % 5) as f32, (i % 3) as f32]).collect();
-        let cfg = TsneConfig { iterations: 80, ..TsneConfig::default() };
+        let data: Vec<Vec<f32>> = (0..20)
+            .map(|i| vec![(i % 5) as f32, (i % 3) as f32])
+            .collect();
+        let cfg = TsneConfig {
+            iterations: 80,
+            ..TsneConfig::default()
+        };
         assert_eq!(tsne(&data, &cfg), tsne(&data, &cfg));
     }
 

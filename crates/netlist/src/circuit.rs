@@ -42,23 +42,28 @@ impl DeviceKind {
     /// Ordered terminal list for this device class.
     pub fn terminals(self) -> &'static [Terminal] {
         match self {
-            DeviceKind::Mosfet { .. } => {
-                &[Terminal::Drain, Terminal::Gate, Terminal::Source, Terminal::Bulk]
-            }
+            DeviceKind::Mosfet { .. } => &[
+                Terminal::Drain,
+                Terminal::Gate,
+                Terminal::Source,
+                Terminal::Bulk,
+            ],
             DeviceKind::Resistor | DeviceKind::Capacitor | DeviceKind::Diode => {
                 &[Terminal::Pos, Terminal::Neg]
             }
-            DeviceKind::Bjt { .. } => {
-                &[Terminal::Collector, Terminal::Base, Terminal::Emitter]
-            }
+            DeviceKind::Bjt { .. } => &[Terminal::Collector, Terminal::Base, Terminal::Emitter],
         }
     }
 
     /// Short lowercase tag used in reports (`tran`, `tran_th`, `res`, ...).
     pub fn tag(self) -> &'static str {
         match self {
-            DeviceKind::Mosfet { thick_gate: false, .. } => "tran",
-            DeviceKind::Mosfet { thick_gate: true, .. } => "tran_th",
+            DeviceKind::Mosfet {
+                thick_gate: false, ..
+            } => "tran",
+            DeviceKind::Mosfet {
+                thick_gate: true, ..
+            } => "tran_th",
             DeviceKind::Resistor => "res",
             DeviceKind::Capacitor => "cap",
             DeviceKind::Diode => "dio",
@@ -142,7 +147,14 @@ pub struct DeviceParams {
 
 impl Default for DeviceParams {
     fn default() -> Self {
-        Self { l: 16e-9, w: 0.0, nf: 1, nfin: 2, multi: 1, value: 0.0 }
+        Self {
+            l: 16e-9,
+            w: 0.0,
+            nf: 1,
+            nfin: 2,
+            multi: 1,
+            value: 0.0,
+        }
     }
 }
 
@@ -191,7 +203,10 @@ pub struct Device {
 impl Device {
     /// Net connected to `terminal`, if any.
     pub fn net_on(&self, terminal: Terminal) -> Option<NetId> {
-        self.conns.iter().find(|(t, _)| *t == terminal).map(|(_, n)| *n)
+        self.conns
+            .iter()
+            .find(|(t, _)| *t == terminal)
+            .map(|(_, n)| *n)
     }
 }
 
@@ -240,7 +255,10 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), ..Self::default() }
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
     }
 
     /// Returns the id of the net named `name`, creating it (with a class
@@ -252,7 +270,10 @@ impl Circuit {
         }
         let class = classify_net_name(name);
         let id = NetId(self.nets.len() as u32);
-        self.nets.push(Net { name: name.to_owned(), class });
+        self.nets.push(Net {
+            name: name.to_owned(),
+            class,
+        });
         self.net_index.insert(name.to_owned(), id);
         id
     }
@@ -310,7 +331,10 @@ impl Circuit {
     ) -> DeviceId {
         self.add_device(
             name,
-            DeviceKind::Mosfet { polarity, thick_gate },
+            DeviceKind::Mosfet {
+                polarity,
+                thick_gate,
+            },
             &[
                 (Terminal::Drain, drain),
                 (Terminal::Gate, gate),
@@ -334,7 +358,11 @@ impl Circuit {
             name,
             DeviceKind::Resistor,
             &[(Terminal::Pos, pos), (Terminal::Neg, neg)],
-            DeviceParams { value: ohms, l: length, ..DeviceParams::default() },
+            DeviceParams {
+                value: ohms,
+                l: length,
+                ..DeviceParams::default()
+            },
         )
     }
 
@@ -351,7 +379,11 @@ impl Circuit {
             name,
             DeviceKind::Capacitor,
             &[(Terminal::Pos, pos), (Terminal::Neg, neg)],
-            DeviceParams { value: farads, multi, ..DeviceParams::default() },
+            DeviceParams {
+                value: farads,
+                multi,
+                ..DeviceParams::default()
+            },
         )
     }
 
@@ -367,7 +399,10 @@ impl Circuit {
             name,
             DeviceKind::Diode,
             &[(Terminal::Pos, pos), (Terminal::Neg, neg)],
-            DeviceParams { nf, ..DeviceParams::default() },
+            DeviceParams {
+                nf,
+                ..DeviceParams::default()
+            },
         )
     }
 
@@ -442,8 +477,12 @@ impl Circuit {
         let mut counts = KindCounts::default();
         for d in &self.devices {
             match d.kind {
-                DeviceKind::Mosfet { thick_gate: false, .. } => counts.tran += 1,
-                DeviceKind::Mosfet { thick_gate: true, .. } => counts.tran_th += 1,
+                DeviceKind::Mosfet {
+                    thick_gate: false, ..
+                } => counts.tran += 1,
+                DeviceKind::Mosfet {
+                    thick_gate: true, ..
+                } => counts.tran_th += 1,
                 DeviceKind::Resistor => counts.res += 1,
                 DeviceKind::Capacitor => counts.cap += 1,
                 DeviceKind::Bjt { .. } => counts.bjt += 1,
@@ -470,7 +509,10 @@ impl Circuit {
         let mut seen = HashMap::new();
         for (i, net) in self.nets.iter().enumerate() {
             if let Some(prev) = seen.insert(&net.name, i) {
-                return err(format!("duplicate net name '{}' (#{prev} and #{i})", net.name));
+                return err(format!(
+                    "duplicate net name '{}' (#{prev} and #{i})",
+                    net.name
+                ));
             }
         }
         let mut dev_seen = HashMap::new();
@@ -576,8 +618,26 @@ mod tests {
         let vout = c.net("out");
         let vdd = c.net("vdd");
         let vss = c.net("vss");
-        c.add_mosfet("mp", MosPolarity::Pmos, false, vout, vin, vdd, vdd, DeviceParams::default());
-        c.add_mosfet("mn", MosPolarity::Nmos, false, vout, vin, vss, vss, DeviceParams::default());
+        c.add_mosfet(
+            "mp",
+            MosPolarity::Pmos,
+            false,
+            vout,
+            vin,
+            vdd,
+            vdd,
+            DeviceParams::default(),
+        );
+        c.add_mosfet(
+            "mn",
+            MosPolarity::Nmos,
+            false,
+            vout,
+            vin,
+            vss,
+            vss,
+            DeviceParams::default(),
+        );
         c
     }
 

@@ -96,7 +96,9 @@ pub fn erc_check(circuit: &Circuit) -> Vec<ErcDiagnostic> {
             .collect();
         let bridges = classes.contains(&NetClass::Supply) && classes.contains(&NetClass::Ground);
         if bridges {
-            out.push(ErcDiagnostic::RailBridge { device: DeviceId(i as u32) });
+            out.push(ErcDiagnostic::RailBridge {
+                device: DeviceId(i as u32),
+            });
         }
     }
     out
@@ -109,10 +111,12 @@ mod tests {
 
     #[test]
     fn clean_inverter_passes() {
-        let c = parse_spice("mp out in vdd vdd pch\nmn out in vss vss nch\nmn2 q out vss vss nch\n.end\n")
-            .unwrap()
-            .flatten()
-            .unwrap();
+        let c = parse_spice(
+            "mp out in vdd vdd pch\nmn out in vss vss nch\nmn2 q out vss vss nch\n.end\n",
+        )
+        .unwrap()
+        .flatten()
+        .unwrap();
         // `in` is gate-only (floating) and q is dangling-ish; craft a clean
         // one instead: drive `in` via a resistor from another net.
         let c2 = parse_spice(
@@ -140,7 +144,10 @@ mod tests {
 
     #[test]
     fn dangling_net_detected() {
-        let c = parse_spice("r1 a b 1k\nr2 b c 1k\n.end\n").unwrap().flatten().unwrap();
+        let c = parse_spice("r1 a b 1k\nr2 b c 1k\n.end\n")
+            .unwrap()
+            .flatten()
+            .unwrap();
         let findings = erc_check(&c);
         let a = c.find_net("a").unwrap();
         let cn = c.find_net("c").unwrap();
@@ -152,7 +159,10 @@ mod tests {
 
     #[test]
     fn rail_bridge_detected() {
-        let c = parse_spice("rleak vdd vss 100k\n.end\n").unwrap().flatten().unwrap();
+        let c = parse_spice("rleak vdd vss 100k\n.end\n")
+            .unwrap()
+            .flatten()
+            .unwrap();
         let findings = erc_check(&c);
         assert!(matches!(findings[0], ErcDiagnostic::RailBridge { .. }));
     }
@@ -160,7 +170,10 @@ mod tests {
     #[test]
     fn rails_are_exempt_from_net_checks() {
         // A device tied entirely to rails raises no net diagnostics.
-        let c = parse_spice("mn vdd vdd vss vss nch\n.end\n").unwrap().flatten().unwrap();
+        let c = parse_spice("mn vdd vdd vss vss nch\n.end\n")
+            .unwrap()
+            .flatten()
+            .unwrap();
         assert!(erc_check(&c).is_empty());
     }
 }

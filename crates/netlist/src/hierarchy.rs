@@ -99,9 +99,16 @@ impl fmt::Display for FlattenError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FlattenError::UnknownSubckt { instance, subckt } => {
-                write!(f, "instance '{instance}' references unknown subckt '{subckt}'")
+                write!(
+                    f,
+                    "instance '{instance}' references unknown subckt '{subckt}'"
+                )
             }
-            FlattenError::PortMismatch { instance, expected, got } => write!(
+            FlattenError::PortMismatch {
+                instance,
+                expected,
+                got,
+            } => write!(
                 f,
                 "instance '{instance}' connects {got} nets but subckt has {expected} ports"
             ),
@@ -172,7 +179,9 @@ impl Netlist {
         stack: &mut Vec<String>,
     ) -> Result<(), FlattenError> {
         if stack.contains(&subckt.name) {
-            return Err(FlattenError::RecursiveSubckt { subckt: subckt.name.clone() });
+            return Err(FlattenError::RecursiveSubckt {
+                subckt: subckt.name.clone(),
+            });
         }
         stack.push(subckt.name.clone());
 
@@ -209,12 +218,13 @@ impl Netlist {
         }
 
         for inst in &subckt.instances {
-            let child_idx = *index.get(inst.subckt.as_str()).ok_or_else(|| {
-                FlattenError::UnknownSubckt {
-                    instance: inst.name.clone(),
-                    subckt: inst.subckt.clone(),
-                }
-            })?;
+            let child_idx =
+                *index
+                    .get(inst.subckt.as_str())
+                    .ok_or_else(|| FlattenError::UnknownSubckt {
+                        instance: inst.name.clone(),
+                        subckt: inst.subckt.clone(),
+                    })?;
             let child = &self.subckts[child_idx];
             if child.ports.len() != inst.conns.len() {
                 return Err(FlattenError::PortMismatch {
@@ -249,8 +259,26 @@ mod tests {
         let mut c = Circuit::new("inv");
         let (i, o) = (c.net("in"), c.net("out"));
         let (vdd, vss) = (c.net("vdd"), c.net("vss"));
-        c.add_mosfet("mp", MosPolarity::Pmos, false, o, i, vdd, vdd, DeviceParams::default());
-        c.add_mosfet("mn", MosPolarity::Nmos, false, o, i, vss, vss, DeviceParams::default());
+        c.add_mosfet(
+            "mp",
+            MosPolarity::Pmos,
+            false,
+            o,
+            i,
+            vdd,
+            vdd,
+            DeviceParams::default(),
+        );
+        c.add_mosfet(
+            "mn",
+            MosPolarity::Nmos,
+            false,
+            o,
+            i,
+            vss,
+            vss,
+            DeviceParams::default(),
+        );
         Subckt {
             name: "inv".into(),
             ports: vec!["in".into(), "out".into()],
@@ -338,7 +366,10 @@ mod tests {
             subckt: "inv".into(),
             conns: vec!["only_one".into()],
         });
-        assert!(matches!(nl.flatten(), Err(FlattenError::PortMismatch { .. })));
+        assert!(matches!(
+            nl.flatten(),
+            Err(FlattenError::PortMismatch { .. })
+        ));
     }
 
     #[test]
@@ -356,6 +387,9 @@ mod tests {
             subckt: "inv".into(),
             conns: vec!["a".into(), "b".into()],
         });
-        assert!(matches!(nl.flatten(), Err(FlattenError::RecursiveSubckt { .. })));
+        assert!(matches!(
+            nl.flatten(),
+            Err(FlattenError::RecursiveSubckt { .. })
+        ));
     }
 }

@@ -54,7 +54,10 @@ pub fn parse_spice(source: &str) -> Result<Netlist, ParseSpiceError> {
     let mut current: Option<Subckt> = None;
 
     for (line_no, raw) in logical_lines(source) {
-        let err = |message: String| ParseSpiceError { line: line_no, message };
+        let err = |message: String| ParseSpiceError {
+            line: line_no,
+            message,
+        };
         let lower = raw.to_ascii_lowercase();
         let tokens: Vec<&str> = lower.split_whitespace().collect();
         if tokens.is_empty() {
@@ -116,9 +119,7 @@ fn logical_lines(source: &str) -> Vec<(usize, String)> {
         let mut cut = raw.len();
         let bytes = raw.as_bytes();
         for (pos, c) in raw.char_indices() {
-            if (c == '$' || c == ';')
-                && (pos == 0 || bytes[pos - 1].is_ascii_whitespace())
-            {
+            if (c == '$' || c == ';') && (pos == 0 || bytes[pos - 1].is_ascii_whitespace()) {
                 cut = pos;
                 break;
             }
@@ -156,8 +157,8 @@ fn parse_card(tokens: &[&str], scope: &mut Subckt) -> Result<(), String> {
                 return Err(format!("mosfet '{name}' needs 4 nets + model"));
             }
             let model = positional[4];
-            let (polarity, thick) = mos_model(model)
-                .ok_or_else(|| format!("unknown mosfet model '{model}'"))?;
+            let (polarity, thick) =
+                mos_model(model).ok_or_else(|| format!("unknown mosfet model '{model}'"))?;
             let params = DeviceParams {
                 l: get("l").unwrap_or(16e-9),
                 w: get("w").unwrap_or(0.0),
@@ -222,7 +223,11 @@ fn parse_card(tokens: &[&str], scope: &mut Subckt) -> Result<(), String> {
                 .iter()
                 .map(|s| s.to_string())
                 .collect();
-            scope.instances.push(Instance { name: name.to_owned(), subckt, conns });
+            scope.instances.push(Instance {
+                name: name.to_owned(),
+                subckt,
+                conns,
+            });
         }
         other => return Err(format!("unsupported card '{other}'")),
     }
@@ -289,7 +294,10 @@ fn write_body(out: &mut String, sub: &Subckt) {
     for d in sub.circuit.devices() {
         let p = &d.params;
         match d.kind {
-            DeviceKind::Mosfet { polarity, thick_gate } => {
+            DeviceKind::Mosfet {
+                polarity,
+                thick_gate,
+            } => {
                 let model = match (polarity, thick_gate) {
                     (MosPolarity::Nmos, false) => "nch",
                     (MosPolarity::Pmos, false) => "pch",
@@ -412,7 +420,7 @@ mp out in vdd vdd pch l=16n\n+ nfin=8 nf=4\n.end\n";
     }
 
     #[test]
-    fn comments_are_stripped()  {
+    fn comments_are_stripped() {
         let src = "* header\nr1 a b 2.2k $ trailing\nc1 a 0 1p ; other\n.end\n";
         let flat = parse_spice(src).unwrap().flatten().unwrap();
         assert_eq!(flat.num_devices(), 2);
@@ -452,7 +460,10 @@ mp out in vdd vdd pch l=16n\n+ nfin=8 nf=4\n.end\n";
             .unwrap();
         assert!(matches!(
             flat.devices()[0].kind,
-            DeviceKind::Mosfet { thick_gate: true, polarity: MosPolarity::Nmos }
+            DeviceKind::Mosfet {
+                thick_gate: true,
+                polarity: MosPolarity::Nmos
+            }
         ));
     }
 

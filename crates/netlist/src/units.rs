@@ -39,7 +39,9 @@ impl std::error::Error for ParseValueError {}
 /// ```
 pub fn parse_value(text: &str) -> Result<f64, ParseValueError> {
     let trimmed = text.trim();
-    let err = || ParseValueError { text: trimmed.to_owned() };
+    let err = || ParseValueError {
+        text: trimmed.to_owned(),
+    };
     if trimmed.is_empty() {
         return Err(err());
     }

@@ -26,7 +26,11 @@ fn arb_circuit() -> impl Strategy<Value = Circuit> {
                 0 | 1 => {
                     c.add_mosfet(
                         format!("m{i}"),
-                        if next() % 2 == 0 { MosPolarity::Nmos } else { MosPolarity::Pmos },
+                        if next() % 2 == 0 {
+                            MosPolarity::Nmos
+                        } else {
+                            MosPolarity::Pmos
+                        },
                         next() % 5 == 0,
                         pick(next()),
                         pick(next()),
@@ -60,10 +64,21 @@ fn arb_circuit() -> impl Strategy<Value = Circuit> {
                     );
                 }
                 4 => {
-                    c.add_diode(format!("d{i}"), pick(next()), pick(next()), 1 + (next() % 8) as u32);
+                    c.add_diode(
+                        format!("d{i}"),
+                        pick(next()),
+                        pick(next()),
+                        1 + (next() % 8) as u32,
+                    );
                 }
                 _ => {
-                    c.add_bjt(format!("q{i}"), next() % 2 == 0, pick(next()), pick(next()), pick(next()));
+                    c.add_bjt(
+                        format!("q{i}"),
+                        next() % 2 == 0,
+                        pick(next()),
+                        pick(next()),
+                        pick(next()),
+                    );
                 }
             }
         }

@@ -1,0 +1,194 @@
+//! Prediction cache keyed by model key plus a content hash of the
+//! flattened netlist, with LRU eviction and hit/miss accounting.
+//!
+//! Keying on the *flattened* SPICE text means two textually different
+//! decks that flatten to the same circuit (comments, blank lines,
+//! hierarchy spelled differently) share one entry, while any electrical
+//! change produces a new key. Cached values are the exact `result`
+//! payloads served on the uncached path, so hits are bit-identical.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde_json::Value;
+
+/// FNV-1a content hash, used for cache keys.
+pub fn fnv1a(text: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for byte in text.bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Arc<Value>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<(String, u64), Entry>,
+    tick: u64,
+}
+
+/// Bounded LRU cache of prediction payloads.
+#[derive(Debug)]
+pub struct PredictionCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PredictionCache {
+    /// Creates a cache holding at most `capacity` entries (0 disables
+    /// caching: every lookup misses and nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner::default()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a payload, counting a hit or miss.
+    pub fn get(&self, model: &str, netlist_hash: u64) -> Option<Arc<Value>> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        // Borrow-split: compute the key without holding a map borrow.
+        match inner.map.get_mut(&(model.to_owned(), netlist_hash)) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let value = entry.value.clone();
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a payload, evicting the least-recently-used entry when at
+    /// capacity.
+    pub fn put(&self, model: &str, netlist_hash: u64, value: Arc<Value>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let key = (model.to_owned(), netlist_hash);
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hits over lookups, 0.0 before the first lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits() as f64;
+        let total = hits + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock poisoned").map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        self.inner.lock().expect("cache lock poisoned").map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache = PredictionCache::new(4);
+        assert!(cache.get("m", 1).is_none());
+        cache.put("m", 1, Arc::new(json!({"v": 1})));
+        let hit = cache.get("m", 1).unwrap();
+        assert_eq!(hit["v"].as_u64(), Some(1));
+        assert!(
+            cache.get("other", 1).is_none(),
+            "model key is part of the key"
+        );
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert!((cache.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = PredictionCache::new(2);
+        cache.put("m", 1, Arc::new(json!(1)));
+        cache.put("m", 2, Arc::new(json!(2)));
+        assert!(cache.get("m", 1).is_some()); // 1 is now fresher than 2
+        cache.put("m", 3, Arc::new(json!(3)));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("m", 2).is_none(), "2 was LRU");
+        assert!(cache.get("m", 1).is_some());
+        assert!(cache.get("m", 3).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache = PredictionCache::new(0);
+        cache.put("m", 1, Arc::new(json!(1)));
+        assert!(cache.get("m", 1).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn fnv_distinguishes_content() {
+        assert_ne!(fnv1a("mp o i vdd vdd pch"), fnv1a("mp o i vdd vdd nch"));
+        assert_eq!(fnv1a("same"), fnv1a("same"));
+    }
+}

@@ -1,0 +1,52 @@
+//! # paragraph-serve
+//!
+//! A std-only concurrent inference service for ParaGraph models: load a
+//! directory of trained [`paragraph::SavedModel`] snapshots, then answer
+//! `predict`/`stats`/`erc` requests over a JSON-lines TCP protocol or
+//! through the in-process [`Service`] API.
+//!
+//! The moving parts:
+//!
+//! * [`ModelRegistry`] — loads and validates snapshots, assembles
+//!   capacitance-range members into a [`paragraph::CapEnsemble`], and
+//!   hot-reloads atomically (in-flight requests keep their snapshot).
+//! * [`Service`] — a fixed worker pool (`std::thread` + `std::sync::mpsc`)
+//!   behind a bounded queue: backpressure via `overloaded` rejections,
+//!   per-request deadlines, and per-request panic isolation.
+//! * [`PredictionCache`] — LRU cache keyed by model and a content hash of
+//!   the flattened netlist; hits serve bit-identical payloads.
+//! * [`Metrics`] — atomic counters, fixed-bucket latency histograms,
+//!   queue-depth gauge, and cache hit rate, served via the `metrics` op.
+//! * [`Server`] — `std::net::TcpListener` front end, one thread per
+//!   connection, one JSON response line per request line.
+//!
+//! See `docs/serving.md` in the repository root for the wire protocol.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use paragraph_serve::{LoadedModels, ModelRegistry, Service, ServiceConfig};
+//!
+//! // Empty registry: control-plane ops still work.
+//! let registry = Arc::new(ModelRegistry::from_snapshot(LoadedModels::default()));
+//! let service = Service::new(registry, ServiceConfig::default());
+//! let response = service.handle_line(r#"{"op": "health", "id": 1}"#);
+//! assert!(response.contains("\"ok\":true"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod metrics;
+mod protocol;
+mod registry;
+mod server;
+mod service;
+
+pub use cache::{fnv1a, PredictionCache};
+pub use metrics::{Metrics, LATENCY_BUCKETS_US};
+pub use protocol::{error_response, ok_response, ErrorCode, Op, Request, ServeError};
+pub use registry::{
+    LoadedModels, ModelRef, ModelRegistry, RegistryError, ReloadReport, ENSEMBLE_KEY,
+};
+pub use server::{Server, ServerHandle};
+pub use service::{Service, ServiceConfig};

@@ -1,0 +1,246 @@
+//! Service metrics: per-endpoint request/error counters, fixed-bucket
+//! latency histograms, a queue-depth gauge, and cache statistics —
+//! all lock-free atomics, rendered either as a JSON object or as
+//! Prometheus-style exposition text.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use serde_json::{json, Value};
+
+use crate::cache::PredictionCache;
+use crate::protocol::Op;
+
+/// Upper bounds (microseconds) of the latency histogram buckets; the
+/// last bucket is unbounded.
+pub const LATENCY_BUCKETS_US: [u64; 7] =
+    [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, u64::MAX];
+
+#[derive(Debug, Default)]
+struct EndpointMetrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    total_us: AtomicU64,
+    buckets: [AtomicU64; LATENCY_BUCKETS_US.len()],
+}
+
+/// All service counters. Cheap to share behind an `Arc`; every method
+/// takes `&self`.
+#[derive(Debug)]
+pub struct Metrics {
+    endpoints: Vec<EndpointMetrics>,
+    queue_depth: AtomicI64,
+    bad_lines: AtomicU64,
+    started: Instant,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self {
+            endpoints: Op::ALL.iter().map(|_| EndpointMetrics::default()).collect(),
+            queue_depth: AtomicI64::new(0),
+            bad_lines: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Counts a protocol line that never parsed into a request.
+    pub fn bad_line(&self) {
+        self.bad_lines.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lines rejected before reaching any endpoint.
+    pub fn bad_lines(&self) -> u64 {
+        self.bad_lines.load(Ordering::Relaxed)
+    }
+
+    /// Records one finished request.
+    pub fn record(&self, op: Op, latency: Duration, ok: bool) {
+        let e = &self.endpoints[op.index()];
+        e.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            e.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        e.total_us.fetch_add(us, Ordering::Relaxed);
+        let bucket = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&ub| us <= ub)
+            .expect("last bucket is unbounded");
+        e.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Queue-depth gauge: a request entered the queue.
+    pub fn queue_entered(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Queue-depth gauge: a worker picked a request up.
+    pub fn queue_left(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Requests currently sitting in the queue.
+    pub fn queue_depth(&self) -> i64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Time since the metrics (service) were created.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Structured snapshot of every counter.
+    pub fn snapshot(&self, cache: &PredictionCache) -> Value {
+        let endpoints: Vec<Value> = Op::ALL
+            .iter()
+            .map(|&op| {
+                let e = &self.endpoints[op.index()];
+                let buckets: Vec<Value> = LATENCY_BUCKETS_US
+                    .iter()
+                    .zip(&e.buckets)
+                    .map(|(&ub, count)| {
+                        json!({
+                            "le_us": if ub == u64::MAX { Value::String("inf".into()) } else { json!(ub) },
+                            "count": count.load(Ordering::Relaxed),
+                        })
+                    })
+                    .collect();
+                json!({
+                    "op": op.name(),
+                    "requests": e.requests.load(Ordering::Relaxed),
+                    "errors": e.errors.load(Ordering::Relaxed),
+                    "total_latency_us": e.total_us.load(Ordering::Relaxed),
+                    "latency_buckets": buckets,
+                })
+            })
+            .collect();
+        json!({
+            "uptime_ms": self.uptime().as_millis() as u64,
+            "queue_depth": self.queue_depth(),
+            "bad_lines": self.bad_lines(),
+            "endpoints": endpoints,
+            "cache": {
+                "hits": cache.hits(),
+                "misses": cache.misses(),
+                "hit_rate": cache.hit_rate(),
+                "entries": cache.len(),
+            },
+        })
+    }
+
+    /// Prometheus-style exposition text.
+    pub fn render(&self, cache: &PredictionCache) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("# TYPE paragraph_requests_total counter\n");
+        for &op in &Op::ALL {
+            let e = &self.endpoints[op.index()];
+            let _ = writeln!(
+                out,
+                "paragraph_requests_total{{op=\"{}\"}} {}",
+                op.name(),
+                e.requests.load(Ordering::Relaxed)
+            );
+        }
+        out.push_str("# TYPE paragraph_errors_total counter\n");
+        for &op in &Op::ALL {
+            let e = &self.endpoints[op.index()];
+            let _ = writeln!(
+                out,
+                "paragraph_errors_total{{op=\"{}\"}} {}",
+                op.name(),
+                e.errors.load(Ordering::Relaxed)
+            );
+        }
+        out.push_str("# TYPE paragraph_request_latency_us histogram\n");
+        for &op in &Op::ALL {
+            let e = &self.endpoints[op.index()];
+            let mut cumulative = 0_u64;
+            for (&ub, count) in LATENCY_BUCKETS_US.iter().zip(&e.buckets) {
+                cumulative += count.load(Ordering::Relaxed);
+                let le = if ub == u64::MAX {
+                    "+Inf".to_owned()
+                } else {
+                    ub.to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "paragraph_request_latency_us_bucket{{op=\"{}\",le=\"{}\"}} {}",
+                    op.name(),
+                    le,
+                    cumulative
+                );
+            }
+        }
+        let _ = writeln!(out, "# TYPE paragraph_bad_lines_total counter");
+        let _ = writeln!(out, "paragraph_bad_lines_total {}", self.bad_lines());
+        let _ = writeln!(out, "# TYPE paragraph_queue_depth gauge");
+        let _ = writeln!(out, "paragraph_queue_depth {}", self.queue_depth());
+        let _ = writeln!(out, "# TYPE paragraph_cache_hits_total counter");
+        let _ = writeln!(out, "paragraph_cache_hits_total {}", cache.hits());
+        let _ = writeln!(out, "# TYPE paragraph_cache_misses_total counter");
+        let _ = writeln!(out, "paragraph_cache_misses_total {}", cache.misses());
+        let _ = writeln!(out, "# TYPE paragraph_cache_hit_rate gauge");
+        let _ = writeln!(out, "paragraph_cache_hit_rate {}", cache.hit_rate());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_fills_buckets_and_counters() {
+        let m = Metrics::new();
+        m.record(Op::Predict, Duration::from_micros(50), true);
+        m.record(Op::Predict, Duration::from_micros(500), false);
+        m.record(Op::Stats, Duration::from_secs(20), true); // +Inf bucket
+        let cache = PredictionCache::new(4);
+        let snap = m.snapshot(&cache);
+        let predict = &snap["endpoints"][Op::Predict.index()];
+        assert_eq!(predict["requests"].as_u64(), Some(2));
+        assert_eq!(predict["errors"].as_u64(), Some(1));
+        assert_eq!(predict["latency_buckets"][0]["count"].as_u64(), Some(1));
+        assert_eq!(predict["latency_buckets"][1]["count"].as_u64(), Some(1));
+        let stats = &snap["endpoints"][Op::Stats.index()];
+        let last = LATENCY_BUCKETS_US.len() - 1;
+        assert_eq!(stats["latency_buckets"][last]["count"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn queue_gauge_tracks_depth() {
+        let m = Metrics::new();
+        m.queue_entered();
+        m.queue_entered();
+        m.queue_left();
+        assert_eq!(m.queue_depth(), 1);
+    }
+
+    #[test]
+    fn render_exposes_all_families() {
+        let m = Metrics::new();
+        m.record(Op::Health, Duration::from_micros(10), true);
+        let cache = PredictionCache::new(4);
+        let text = m.render(&cache);
+        for family in [
+            "paragraph_requests_total",
+            "paragraph_errors_total",
+            "paragraph_request_latency_us_bucket",
+            "paragraph_queue_depth",
+            "paragraph_cache_hits_total",
+            "paragraph_cache_hit_rate",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+        assert!(text.contains("le=\"+Inf\""));
+    }
+}

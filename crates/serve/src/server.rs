@@ -1,0 +1,148 @@
+//! TCP front end: accepts connections on a `std::net::TcpListener` and
+//! speaks the JSON-lines protocol, one response line per request line.
+//!
+//! Each connection gets its own thread that funnels requests into the
+//! shared [`Service`]; concurrency limits (worker pool size, queue
+//! bound) are enforced by the service, not per connection, so a flood of
+//! connections degrades into `overloaded` responses instead of unbounded
+//! memory growth.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::service::Service;
+
+/// A bound, not-yet-running server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<Service>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn bind(addr: &str, service: Arc<Service>) -> std::io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            service,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the socket has no local address (not expected after a
+    /// successful bind).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// Runs the accept loop on a background thread and returns a handle
+    /// for shutdown.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || self.accept_loop(&stop2))
+            .expect("spawn accept thread");
+        ServerHandle {
+            addr,
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Runs the accept loop on the calling thread, forever.
+    pub fn run(self) -> ! {
+        let never = AtomicBool::new(false);
+        self.accept_loop(&never);
+        unreachable!("accept loop only returns when stopped");
+    }
+
+    fn accept_loop(self, stop: &AtomicBool) {
+        for conn in self.listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let Ok(stream) = conn else { continue };
+            let service = self.service.clone();
+            let _ = std::thread::Builder::new()
+                .name("serve-conn".into())
+                .spawn(move || handle_connection(stream, &service));
+        }
+    }
+}
+
+/// Handle to a running server; dropping it (or calling
+/// [`ServerHandle::shutdown`]) stops the accept loop.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    /// Already-open connections finish their current line and then drop.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the listener so a blocking accept observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.stop_accepting();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, service: &Service) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = std::io::BufWriter::new(write_half);
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = service.handle_line(&line);
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! The in-process service: a fixed worker pool behind a bounded queue,
+//! with per-request deadlines, panic isolation, caching, and metrics.
+//!
+//! [`Service::call`] is the single entry point both for in-process
+//! embedders and for the TCP front end ([`crate::server`]). Heavy
+//! operations (`predict`, `stats`, `erc`) are executed on the worker
+//! pool; control-plane operations (`health`, `metrics`, `reload`) are
+//! answered inline so they stay responsive when the queue is full.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use paragraph_netlist::{erc_check, parse_spice, write_flat_spice, Circuit};
+use serde_json::{json, Value};
+
+use crate::cache::{fnv1a, PredictionCache};
+use crate::metrics::Metrics;
+use crate::protocol::{error_response, ok_response, ErrorCode, Op, Request, ServeError};
+use crate::registry::{ModelRef, ModelRegistry};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing queued requests (min 1).
+    pub workers: usize,
+    /// Bounded queue length; requests beyond it are rejected with
+    /// `overloaded` (min 1).
+    pub queue_capacity: usize,
+    /// Prediction cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Deadline applied when a request does not set `deadline_ms`.
+    pub default_deadline: Duration,
+    /// Honour the `debug_panic` op (tests only).
+    pub enable_debug_ops: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            default_deadline: Duration::from_secs(30),
+            enable_debug_ops: false,
+        }
+    }
+}
+
+struct Job {
+    request: Request,
+    deadline: Instant,
+    reply: SyncSender<Value>,
+}
+
+/// The concurrent inference service.
+pub struct Service {
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<Metrics>,
+    cache: Arc<PredictionCache>,
+    config: ServiceConfig,
+    jobs: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("workers", &self.workers.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Service {
+    /// Starts the worker pool over `registry`.
+    pub fn new(registry: Arc<ModelRegistry>, config: ServiceConfig) -> Self {
+        let workers = config.workers.max(1);
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let metrics = Arc::new(Metrics::new());
+        let cache = Arc::new(PredictionCache::new(config.cache_capacity));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = rx.clone();
+                let registry = registry.clone();
+                let cache = cache.clone();
+                let metrics = metrics.clone();
+                let debug_ops = config.enable_debug_ops;
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &registry, &cache, &metrics, debug_ops))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self {
+            registry,
+            metrics,
+            cache,
+            config,
+            jobs: Some(tx),
+            workers: handles,
+        }
+    }
+
+    /// The registry backing this service.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Live metrics.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// The prediction cache.
+    pub fn cache(&self) -> &Arc<PredictionCache> {
+        &self.cache
+    }
+
+    /// Handles one raw protocol line, returning the response rendered as
+    /// one compact JSON line (without trailing newline).
+    pub fn handle_line(&self, line: &str) -> String {
+        let response = match Request::parse(line) {
+            Ok(request) => self.call(request),
+            Err(err) => {
+                // Salvage the id for the error envelope when the line was
+                // at least a JSON object.
+                let id = serde_json::from_str::<Value>(line)
+                    .ok()
+                    .and_then(|v| v.get("id").cloned())
+                    .unwrap_or(Value::Null);
+                self.metrics.bad_line();
+                error_response(&id, &err)
+            }
+        };
+        serde_json::to_string(&response).expect("response serialises")
+    }
+
+    /// Executes one parsed request and returns the response envelope.
+    pub fn call(&self, request: Request) -> Value {
+        let started = Instant::now();
+        let op = request.op;
+        let id = request.id.clone();
+        let response = match op {
+            // Control plane: answered inline, never queued.
+            Op::Health => ok_response(&id, self.health(), None),
+            Op::Metrics => ok_response(
+                &id,
+                json!({
+                    "metrics": self.metrics.snapshot(&self.cache),
+                    "prometheus": self.metrics.render(&self.cache),
+                }),
+                None,
+            ),
+            Op::Reload => match self.registry.reload() {
+                Ok(report) => {
+                    // New weights invalidate previously cached predictions.
+                    self.cache.clear();
+                    ok_response(
+                        &id,
+                        json!({"models": report.models, "ensemble": report.ensemble}),
+                        None,
+                    )
+                }
+                Err(e) => error_response(
+                    &id,
+                    &ServeError::new(ErrorCode::Internal, format!("reload failed: {e}")),
+                ),
+            },
+            // Data plane: through the bounded queue.
+            Op::Predict | Op::Stats | Op::Erc | Op::DebugPanic => self.enqueue(request, started),
+        };
+        let ok = response["ok"].as_bool() == Some(true);
+        self.metrics.record(op, started.elapsed(), ok);
+        response
+    }
+
+    fn enqueue(&self, request: Request, accepted: Instant) -> Value {
+        let id = request.id.clone();
+        let deadline = accepted
+            + request
+                .deadline_ms
+                .map(Duration::from_millis)
+                .unwrap_or(self.config.default_deadline);
+        let (reply_tx, reply_rx) = mpsc::sync_channel::<Value>(1);
+        let job = Job {
+            request,
+            deadline,
+            reply: reply_tx,
+        };
+        let sender = self.jobs.as_ref().expect("pool alive while service exists");
+        match sender.try_send(job) {
+            Ok(()) => self.metrics.queue_entered(),
+            Err(TrySendError::Full(_)) => {
+                return error_response(
+                    &id,
+                    &ServeError::new(
+                        ErrorCode::Overloaded,
+                        format!(
+                            "request queue full ({} queued); retry later",
+                            self.config.queue_capacity
+                        ),
+                    ),
+                );
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                return error_response(
+                    &id,
+                    &ServeError::new(ErrorCode::Internal, "worker pool is gone"),
+                );
+            }
+        }
+        match reply_rx.recv() {
+            Ok(response) => response,
+            Err(_) => error_response(
+                &id,
+                &ServeError::new(ErrorCode::Internal, "worker dropped the request"),
+            ),
+        }
+    }
+
+    fn health(&self) -> Value {
+        let snapshot = self.registry.current();
+        json!({
+            "status": "ok",
+            "models": snapshot.keys(),
+            "ensemble_members": snapshot.ensemble_members.clone(),
+            "workers": self.workers.len(),
+            "queue_capacity": self.config.queue_capacity,
+            "cache_capacity": self.config.cache_capacity,
+            "uptime_ms": self.metrics.uptime().as_millis() as u64,
+        })
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Closing the channel lets every worker's `recv` fail and exit.
+        self.jobs = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(
+    rx: &Arc<Mutex<Receiver<Job>>>,
+    registry: &Arc<ModelRegistry>,
+    cache: &Arc<PredictionCache>,
+    metrics: &Arc<Metrics>,
+    debug_ops: bool,
+) {
+    loop {
+        let job = {
+            let guard = rx.lock().expect("queue lock poisoned");
+            match guard.recv() {
+                Ok(job) => job,
+                Err(_) => return, // service dropped
+            }
+        };
+        metrics.queue_left();
+        let id = job.request.id.clone();
+        let response = if Instant::now() > job.deadline {
+            error_response(
+                &id,
+                &ServeError::new(
+                    ErrorCode::DeadlineExceeded,
+                    "deadline passed before a worker picked the request up",
+                ),
+            )
+        } else {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                execute(&job.request, registry, cache, debug_ops)
+            }));
+            match outcome {
+                Ok(Ok((result, cached))) => ok_response(&id, result, cached),
+                Ok(Err(err)) => error_response(&id, &err),
+                Err(panic) => error_response(
+                    &id,
+                    &ServeError::new(
+                        ErrorCode::Internal,
+                        format!("worker panicked: {}", panic_message(&panic)),
+                    ),
+                ),
+            }
+        };
+        // The caller may have given up (e.g. its connection died); that
+        // must not kill the worker.
+        let _ = job.reply.send(response);
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+type ExecResult = Result<(Value, Option<bool>), ServeError>;
+
+fn execute(
+    request: &Request,
+    registry: &ModelRegistry,
+    cache: &PredictionCache,
+    debug_ops: bool,
+) -> ExecResult {
+    match request.op {
+        Op::Predict => predict(request, registry, cache),
+        Op::Stats => stats(request).map(|v| (v, None)),
+        Op::Erc => erc(request).map(|v| (v, None)),
+        Op::DebugPanic if debug_ops => panic!("debug panic requested"),
+        Op::DebugPanic => Err(ServeError::new(
+            ErrorCode::BadRequest,
+            "debug ops are disabled on this service",
+        )),
+        // Control-plane ops never reach the queue.
+        Op::Health | Op::Metrics | Op::Reload => Err(ServeError::new(
+            ErrorCode::Internal,
+            "control-plane op routed to a worker",
+        )),
+    }
+}
+
+fn required_netlist(request: &Request) -> Result<Circuit, ServeError> {
+    let text = request.netlist.as_deref().ok_or_else(|| {
+        ServeError::new(
+            ErrorCode::BadRequest,
+            format!("op '{}' requires a 'netlist' field", request.op.name()),
+        )
+    })?;
+    parse_spice(text)
+        .map_err(|e| ServeError::new(ErrorCode::InvalidNetlist, format!("parse error: {e}")))?
+        .flatten()
+        .map_err(|e| ServeError::new(ErrorCode::InvalidNetlist, format!("flatten error: {e}")))
+}
+
+fn predict(request: &Request, registry: &ModelRegistry, cache: &PredictionCache) -> ExecResult {
+    let circuit = required_netlist(request)?;
+    let snapshot = registry.current();
+    let (key, model) = snapshot
+        .resolve(request.model.as_deref())
+        .map_err(|m| ServeError::new(ErrorCode::UnknownModel, m))?;
+    // Key on the flattened canonical text: hierarchy spelling and
+    // comments don't fragment the cache, electrical changes do.
+    let content_hash = fnv1a(&write_flat_spice(&circuit));
+    if let Some(hit) = cache.get(&key, content_hash) {
+        return Ok(((*hit).clone(), Some(true)));
+    }
+    let result = match &model {
+        ModelRef::Single(m) => {
+            let preds = m.predict_circuit(&circuit);
+            let predictions: Vec<Value> = if m.target.on_nets() {
+                named_predictions(
+                    &preds,
+                    circuit.nets().iter().map(|n| n.name.as_str()),
+                    "net",
+                )
+            } else {
+                named_predictions(
+                    &preds,
+                    circuit.devices().iter().map(|d| d.name.as_str()),
+                    "device",
+                )
+            };
+            json!({
+                "model": key,
+                "target": m.target.name(),
+                "predictions": predictions,
+            })
+        }
+        ModelRef::Ensemble(e) => {
+            let preds = e.predict_circuit(&circuit);
+            json!({
+                "model": key,
+                "target": "CAP",
+                "members": e.members().len(),
+                "predictions": named_predictions(
+                    &preds,
+                    circuit.nets().iter().map(|n| n.name.as_str()),
+                    "net",
+                ),
+            })
+        }
+    };
+    cache.put(&key, content_hash, Arc::new(result.clone()));
+    Ok((result, Some(false)))
+}
+
+fn named_predictions<'a>(
+    preds: &[Option<f64>],
+    names: impl Iterator<Item = &'a str>,
+    label: &str,
+) -> Vec<Value> {
+    names
+        .zip(preds)
+        .filter_map(|(name, p)| {
+            p.map(|v| {
+                let mut entry = serde_json::Map::new();
+                entry.insert(label, Value::String(name.to_owned()));
+                entry.insert("value", json!(v));
+                Value::Object(entry)
+            })
+        })
+        .collect()
+}
+
+fn stats(request: &Request) -> Result<Value, ServeError> {
+    let circuit = required_netlist(request)?;
+    let k = circuit.kind_counts();
+    let cg = paragraph::build_graph(&circuit);
+    Ok(json!({
+        "circuit": circuit.name,
+        "nets": circuit.num_nets(),
+        "signal_nets": k.net,
+        "devices": circuit.num_devices(),
+        "kinds": {
+            "tran": k.tran, "tran_th": k.tran_th, "res": k.res,
+            "cap": k.cap, "bjt": k.bjt, "dio": k.dio,
+        },
+        "graph": {
+            "nodes": cg.graph.num_nodes(),
+            "edges": cg.graph.num_edges(),
+            "edge_types": cg.graph.num_edge_types(),
+        },
+    }))
+}
+
+fn erc(request: &Request) -> Result<Value, ServeError> {
+    let circuit = required_netlist(request)?;
+    let findings = erc_check(&circuit);
+    Ok(json!({
+        "circuit": circuit.name,
+        "clean": findings.is_empty(),
+        "findings": findings.iter().map(|f| json!(f.describe(&circuit))).collect::<Vec<_>>(),
+    }))
+}

@@ -1,0 +1,366 @@
+//! End-to-end test: spawn the TCP server on an ephemeral port, hammer it
+//! with concurrent clients mixing valid, malformed, and past-deadline
+//! requests, and assert that served predictions are bit-identical to
+//! direct in-process model predictions on both cache paths.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use paragraph::{
+    fit_norm, normalize_circuits, CapEnsemble, FitConfig, GnnKind, PreparedCircuit, SavedModel,
+    Target, TargetModel,
+};
+use paragraph_layout::LayoutConfig;
+use paragraph_netlist::parse_spice;
+use paragraph_serve::{ModelRegistry, Server, ServerHandle, Service, ServiceConfig, ENSEMBLE_KEY};
+use serde_json::Value;
+
+const NETLIST_A: &str = "mp o i vdd vdd pch\nmn o i vss vss nch\n.end\n";
+const NETLIST_B: &str = "mp z a vdd vdd pch nf=2\nmn z a vss vss nch\nc1 z vss 1f\n.end\n";
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 24;
+
+fn train_cap_model(max_v: f64) -> TargetModel {
+    let circuit = parse_spice(NETLIST_A).unwrap().flatten().unwrap();
+    let mut train = vec![PreparedCircuit::new(
+        "seed",
+        circuit,
+        &LayoutConfig::default(),
+    )];
+    let norm = fit_norm(&train);
+    normalize_circuits(&mut train, &norm);
+    let mut fit = FitConfig::quick(GnnKind::Gcn);
+    fit.epochs = 2;
+    fit.embed_dim = 4;
+    fit.layers = 1;
+    TargetModel::train(&train, Target::Cap, Some(max_v), fit, &norm).0
+}
+
+/// Trains two range members, snapshots them into a fresh model dir, and
+/// returns the dir plus the reference ensemble reloaded from those very
+/// files (so the reference went through the same JSON round trip the
+/// server's registry does).
+fn build_model_dir() -> (PathBuf, CapEnsemble) {
+    let dir = std::env::temp_dir().join(format!(
+        "paragraph-serve-it-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id(),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut reloaded = Vec::new();
+    for (name, max_v) in [("cap_1f", 1e-15), ("cap_10f", 10e-15)] {
+        let model = train_cap_model(max_v);
+        let json = SavedModel::from_model(&model).to_json();
+        std::fs::write(dir.join(format!("{name}.json")), &json).unwrap();
+        reloaded.push(SavedModel::from_json(&json).unwrap().into_model().unwrap());
+    }
+    let ensemble = CapEnsemble::try_new(reloaded).unwrap();
+    (dir, ensemble)
+}
+
+fn start_server(dir: &Path) -> (Arc<Service>, ServerHandle) {
+    let registry = Arc::new(ModelRegistry::open(dir).unwrap());
+    let config = ServiceConfig {
+        workers: 4,
+        queue_capacity: 256,
+        cache_capacity: 64,
+        enable_debug_ops: true,
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(Service::new(registry, config));
+    let server = Server::bind("127.0.0.1:0", service.clone()).unwrap();
+    (service, server.spawn())
+}
+
+/// Expected `{"net": ..., "value": ...}` pairs for `netlist`, computed
+/// directly (no server, no cache).
+fn direct_reference(ensemble: &CapEnsemble, netlist: &str) -> Vec<(String, f64)> {
+    let circuit = parse_spice(netlist).unwrap().flatten().unwrap();
+    let preds = ensemble.predict_circuit(&circuit);
+    circuit
+        .nets()
+        .iter()
+        .zip(&preds)
+        .filter_map(|(n, p)| p.map(|v| (n.name.clone(), v)))
+        .collect()
+}
+
+fn response_predictions(response: &Value) -> Vec<(String, f64)> {
+    response["result"]["predictions"]
+        .as_array()
+        .expect("predictions array")
+        .iter()
+        .map(|e| {
+            (
+                e["net"].as_str().expect("net name").to_owned(),
+                e["value"].as_f64().expect("numeric value"),
+            )
+        })
+        .collect()
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Self {
+            writer: stream,
+            reader,
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Value {
+        self.writer.write_all(line.as_bytes()).expect("write");
+        self.writer.write_all(b"\n").expect("write newline");
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response).expect("read");
+        assert!(n > 0, "server dropped the connection after: {line}");
+        serde_json::from_str(&response).expect("response is JSON")
+    }
+}
+
+#[test]
+fn concurrent_clients_mixed_traffic() {
+    let (dir, ensemble) = build_model_dir();
+    let (service, handle) = start_server(&dir);
+    let addr = handle.addr();
+    let expected_a = Arc::new(direct_reference(&ensemble, NETLIST_A));
+    let expected_b = Arc::new(direct_reference(&ensemble, NETLIST_B));
+    assert!(
+        expected_a.iter().any(|(_, v)| *v > 0.0),
+        "reference predictions must be non-trivial"
+    );
+
+    // Warm the cache once so later identical requests can hit it, and
+    // check the cached-path payload is bit-identical to the cold one.
+    {
+        let mut c = Client::connect(addr);
+        let cold = c.roundtrip(&predict_line(9_000, NETLIST_A, None));
+        assert_eq!(cold["ok"].as_bool(), Some(true), "{cold:?}");
+        assert_eq!(cold["cached"].as_bool(), Some(false));
+        let warm = c.roundtrip(&predict_line(9_001, NETLIST_A, None));
+        assert_eq!(warm["cached"].as_bool(), Some(true));
+        assert_eq!(
+            cold["result"], warm["result"],
+            "cache must serve identical payloads"
+        );
+        assert_eq!(response_predictions(&cold), *expected_a);
+    }
+
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|client_id| {
+            let expected_a = expected_a.clone();
+            let expected_b = expected_b.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut predictions_checked = 0_usize;
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let id = (client_id * 1000 + i) as u64;
+                    match i % 8 {
+                        0 | 1 => {
+                            let (netlist, expected) = if i % 16 < 8 {
+                                (NETLIST_A, &expected_a)
+                            } else {
+                                (NETLIST_B, &expected_b)
+                            };
+                            let r = client.roundtrip(&predict_line(id, netlist, None));
+                            assert_eq!(r["ok"].as_bool(), Some(true), "{r:?}");
+                            assert_eq!(r["id"].as_u64(), Some(id));
+                            assert_eq!(
+                                response_predictions(&r),
+                                **expected,
+                                "served prediction differs from direct predict"
+                            );
+                            predictions_checked += 1;
+                        }
+                        2 => {
+                            // Malformed JSON: structured error, connection stays up.
+                            let r = client.roundtrip("this is not json {{{");
+                            assert_eq!(r["ok"].as_bool(), Some(false));
+                            assert_eq!(r["error"]["code"].as_str(), Some("bad_request"));
+                        }
+                        3 => {
+                            // Unknown op.
+                            let r = client.roundtrip(&format!(
+                                r#"{{"op": "frobnicate", "id": {id}}}"#
+                            ));
+                            assert_eq!(r["error"]["code"].as_str(), Some("bad_request"));
+                            assert_eq!(r["id"].as_u64(), Some(id), "id salvaged on errors");
+                        }
+                        4 => {
+                            // Past-deadline request.
+                            let r = client.roundtrip(&format!(
+                                r#"{{"op": "predict", "id": {id}, "netlist": "{NL_A_ESCAPED}", "deadline_ms": 0}}"#
+                            ));
+                            assert_eq!(r["ok"].as_bool(), Some(false));
+                            assert_eq!(
+                                r["error"]["code"].as_str(),
+                                Some("deadline_exceeded"),
+                                "{r:?}"
+                            );
+                        }
+                        5 => {
+                            // Unparseable netlist.
+                            let r = client.roundtrip(&format!(
+                                r#"{{"op": "predict", "id": {id}, "netlist": "m broken\n.end\n"}}"#
+                            ));
+                            assert_eq!(r["ok"].as_bool(), Some(false));
+                            assert_eq!(r["error"]["code"].as_str(), Some("invalid_netlist"));
+                        }
+                        6 => {
+                            let r = client.roundtrip(&format!(
+                                r#"{{"op": "stats", "id": {id}, "netlist": "{NL_A_ESCAPED}"}}"#
+                            ));
+                            assert_eq!(r["ok"].as_bool(), Some(true), "{r:?}");
+                            assert!(r["result"]["devices"].as_u64().unwrap() >= 2);
+                        }
+                        _ => {
+                            let r = client.roundtrip(&format!(r#"{{"op": "health", "id": {id}}}"#));
+                            assert_eq!(r["ok"].as_bool(), Some(true));
+                            let models = r["result"]["models"].as_array().unwrap();
+                            assert!(models
+                                .iter()
+                                .any(|m| m.as_str() == Some(ENSEMBLE_KEY)));
+                        }
+                    }
+                }
+                predictions_checked
+            })
+        })
+        .collect();
+
+    let total_checked: usize = threads
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .sum();
+    assert!(
+        total_checked >= CLIENTS * 4,
+        "predictions exercised: {total_checked}"
+    );
+
+    // Panic isolation: a worker panic returns a structured internal
+    // error, and the pool keeps serving afterwards.
+    {
+        let mut c = Client::connect(addr);
+        let r = c.roundtrip(r#"{"op": "debug_panic", "id": 7777}"#);
+        assert_eq!(r["ok"].as_bool(), Some(false));
+        assert_eq!(r["error"]["code"].as_str(), Some("internal"));
+        assert!(r["error"]["message"].as_str().unwrap().contains("panicked"));
+        let after = c.roundtrip(&predict_line(7_778, NETLIST_B, None));
+        assert_eq!(
+            after["ok"].as_bool(),
+            Some(true),
+            "pool died after a panic: {after:?}"
+        );
+        assert_eq!(response_predictions(&after), *expected_b);
+    }
+
+    // Metrics: counts, histogram buckets, queue depth, cache hit rate.
+    {
+        let mut c = Client::connect(addr);
+        let r = c.roundtrip(r#"{"op": "metrics", "id": 8888}"#);
+        assert_eq!(r["ok"].as_bool(), Some(true));
+        let m = &r["result"]["metrics"];
+        let endpoints = m["endpoints"].as_array().unwrap();
+        let predict = endpoints
+            .iter()
+            .find(|e| e["op"].as_str() == Some("predict"))
+            .expect("predict endpoint");
+        let requests = predict["requests"].as_u64().unwrap();
+        assert!(
+            requests >= (CLIENTS * 4) as u64,
+            "predict requests: {requests}"
+        );
+        let bucket_sum: u64 = predict["latency_buckets"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|b| b["count"].as_u64().unwrap())
+            .sum();
+        assert_eq!(bucket_sum, requests, "histogram must cover every request");
+        assert!(
+            predict["errors"].as_u64().unwrap() >= 1,
+            "deadline errors recorded"
+        );
+        assert!(m["queue_depth"].as_u64().is_some() || m["queue_depth"].as_f64().is_some());
+        assert!(m["bad_lines"].as_u64().unwrap() >= CLIENTS as u64);
+        let cache = &m["cache"];
+        assert!(
+            cache["hits"].as_u64().unwrap() > 0,
+            "repeated identical requests must hit"
+        );
+        assert!(cache["hit_rate"].as_f64().unwrap() > 0.0);
+        assert!(r["result"]["prometheus"]
+            .as_str()
+            .unwrap()
+            .contains("paragraph_requests_total"));
+    }
+
+    // In-process API serves the same bit-identical payloads as TCP.
+    {
+        let line = predict_line(12_345, NETLIST_A, None);
+        let response: Value = serde_json::from_str(&service.handle_line(&line)).unwrap();
+        assert_eq!(response["ok"].as_bool(), Some(true));
+        assert_eq!(response_predictions(&response), *expected_a);
+    }
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hot_reload_swaps_registry() {
+    let (dir, _ensemble) = build_model_dir();
+    let (service, handle) = start_server(&dir);
+    let mut c = Client::connect(handle.addr());
+
+    let r = c.roundtrip(r#"{"op": "reload", "id": 1}"#);
+    assert_eq!(r["ok"].as_bool(), Some(true), "{r:?}");
+    assert_eq!(r["result"]["models"].as_u64(), Some(2));
+    assert_eq!(r["result"]["ensemble"].as_bool(), Some(true));
+
+    // Add a third range member on disk; reload must pick it up.
+    let model = train_cap_model(100e-15);
+    std::fs::write(
+        dir.join("cap_100f.json"),
+        SavedModel::from_model(&model).to_json(),
+    )
+    .unwrap();
+    let r = c.roundtrip(r#"{"op": "reload", "id": 2}"#);
+    assert_eq!(r["result"]["models"].as_u64(), Some(3), "{r:?}");
+
+    // A corrupt snapshot must fail the reload and keep the old registry.
+    std::fs::write(dir.join("broken.json"), "{not a model").unwrap();
+    let r = c.roundtrip(r#"{"op": "reload", "id": 3}"#);
+    assert_eq!(r["ok"].as_bool(), Some(false));
+    assert_eq!(r["error"]["code"].as_str(), Some("internal"));
+    assert_eq!(
+        service.registry().current().models.len(),
+        3,
+        "old snapshot retained"
+    );
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `NETLIST_A` with `\n` escaped for embedding in JSON string literals.
+const NL_A_ESCAPED: &str = "mp o i vdd vdd pch\\nmn o i vss vss nch\\n.end\\n";
+
+fn predict_line(id: u64, netlist: &str, model: Option<&str>) -> String {
+    let escaped = netlist.replace('\n', "\\n");
+    match model {
+        Some(m) => {
+            format!(r#"{{"op": "predict", "id": {id}, "model": "{m}", "netlist": "{escaped}"}}"#)
+        }
+        None => format!(r#"{{"op": "predict", "id": {id}, "netlist": "{escaped}"}}"#),
+    }
+}

@@ -106,7 +106,11 @@ impl SimMapping {
             if node.is_ground() || *c <= 0.0 {
                 continue;
             }
-            self.sim.add(Element::Capacitor { a: node, b: SimNode::GROUND, farads: *c });
+            self.sim.add(Element::Capacitor {
+                a: node,
+                b: SimNode::GROUND,
+                farads: *c,
+            });
         }
     }
 }
@@ -129,7 +133,10 @@ impl SimMapping {
             if drv.is_ground() {
                 continue;
             }
-            match (caps.get(i).copied().flatten(), ress.get(i).copied().flatten()) {
+            match (
+                caps.get(i).copied().flatten(),
+                ress.get(i).copied().flatten(),
+            ) {
                 (Some(c), Some(r)) if c > 0.0 && r > 0.0 => {
                     let load = self.sim.node();
                     pending.push((drv, load, c, r));
@@ -161,9 +168,21 @@ impl SimMapping {
                     _ => {}
                 }
             }
-            self.sim.add(Element::Resistor { a: drv, b: load, ohms: r.max(1e-3) });
-            self.sim.add(Element::Capacitor { a: drv, b: SimNode::GROUND, farads: c / 2.0 });
-            self.sim.add(Element::Capacitor { a: load, b: SimNode::GROUND, farads: c / 2.0 });
+            self.sim.add(Element::Resistor {
+                a: drv,
+                b: load,
+                ohms: r.max(1e-3),
+            });
+            self.sim.add(Element::Capacitor {
+                a: drv,
+                b: SimNode::GROUND,
+                farads: c / 2.0,
+            });
+            self.sim.add(Element::Capacitor {
+                a: load,
+                b: SimNode::GROUND,
+                farads: c / 2.0,
+            });
         }
     }
 }
@@ -183,7 +202,11 @@ pub fn to_sim(circuit: &Circuit, options: &ConvertOptions) -> SimMapping {
             NetClass::Ground => node_of_net.push(SimNode::GROUND),
             NetClass::Supply => {
                 let node = sim.node();
-                let volts = if net.name.contains("io") { options.vddio } else { options.vdd };
+                let volts = if net.name.contains("io") {
+                    options.vddio
+                } else {
+                    options.vdd
+                };
                 sim.add(Element::Vsource {
                     pos: node,
                     neg: SimNode::GROUND,
@@ -205,27 +228,55 @@ pub fn to_sim(circuit: &Circuit, options: &ConvertOptions) -> SimMapping {
                 .unwrap_or(SimNode::GROUND)
         };
         match dev.kind {
-            DeviceKind::Mosfet { polarity, thick_gate } => {
+            DeviceKind::Mosfet {
+                polarity,
+                thick_gate,
+            } => {
                 let p = dev.params;
                 // Netlists often omit W for FinFETs; derive it from the
                 // fin count and pitch in that case.
-                let finger_w = if p.w > 0.0 { p.w } else { p.nfin.max(1) as f64 * 48e-9 };
+                let finger_w = if p.w > 0.0 {
+                    p.w
+                } else {
+                    p.nfin.max(1) as f64 * 48e-9
+                };
                 let w = finger_w * p.nf.max(1) as f64 * p.multi.max(1) as f64;
                 let (kp, pmos) = match polarity {
                     MosPolarity::Nmos => (options.kp_n, false),
                     MosPolarity::Pmos => (options.kp_p, true),
                 };
-                let vth = if thick_gate { options.vth_thick } else { options.vth };
+                let vth = if thick_gate {
+                    options.vth_thick
+                } else {
+                    options.vth
+                };
                 let model = MosModel::from_geometry(kp, vth, options.lambda, w, p.l);
-                let (d, g, s_node) =
-                    (node(Terminal::Drain), node(Terminal::Gate), node(Terminal::Source));
-                sim.add(Element::Mosfet { d, g, s: s_node, model, pmos });
+                let (d, g, s_node) = (
+                    node(Terminal::Drain),
+                    node(Terminal::Gate),
+                    node(Terminal::Source),
+                );
+                sim.add(Element::Mosfet {
+                    d,
+                    g,
+                    s: s_node,
+                    model,
+                    pmos,
+                });
                 // Intrinsic gate capacitance, split gate-source /
                 // gate-drain. The channel is longer than drawn L by the
                 // overlap regions; 3x drawn is a reasonable lump.
                 let cg = options.cox * w * (3.0 * p.l);
-                sim.add(Element::Capacitor { a: g, b: s_node, farads: cg / 2.0 });
-                sim.add(Element::Capacitor { a: g, b: d, farads: cg / 2.0 });
+                sim.add(Element::Capacitor {
+                    a: g,
+                    b: s_node,
+                    farads: cg / 2.0,
+                });
+                sim.add(Element::Capacitor {
+                    a: g,
+                    b: d,
+                    farads: cg / 2.0,
+                });
             }
             DeviceKind::Resistor => {
                 sim.add(Element::Resistor {
@@ -260,7 +311,11 @@ pub fn to_sim(circuit: &Circuit, options: &ConvertOptions) -> SimMapping {
             }
         }
     }
-    SimMapping { sim, node_of_net, vdd_source }
+    SimMapping {
+        sim,
+        node_of_net,
+        vdd_source,
+    }
 }
 
 #[cfg(test)]

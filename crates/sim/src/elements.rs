@@ -48,7 +48,15 @@ impl Waveform {
     pub fn at(&self, t: f64) -> f64 {
         match *self {
             Waveform::Dc(v) => v,
-            Waveform::Pulse { v0, v1, delay, rise, fall, width, period } => {
+            Waveform::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
                 if t < delay {
                     return v0;
                 }
@@ -84,7 +92,11 @@ pub struct MosModel {
 impl MosModel {
     /// Builds from process transconductance and geometry.
     pub fn from_geometry(kp: f64, vth: f64, lambda: f64, w: f64, l: f64) -> Self {
-        Self { vth, k: kp * (w / l.max(1e-9)), lambda }
+        Self {
+            vth,
+            k: kp * (w / l.max(1e-9)),
+            lambda,
+        }
     }
 }
 
@@ -262,8 +274,16 @@ mod tests {
     fn mna_dim_counts_sources() {
         let mut c = SimCircuit::new();
         let a = c.node();
-        c.add(Element::Vsource { pos: a, neg: SimNode::GROUND, wave: Waveform::Dc(1.0) });
-        c.add(Element::Resistor { a, b: SimNode::GROUND, ohms: 1e3 });
+        c.add(Element::Vsource {
+            pos: a,
+            neg: SimNode::GROUND,
+            wave: Waveform::Dc(1.0),
+        });
+        c.add(Element::Resistor {
+            a,
+            b: SimNode::GROUND,
+            ohms: 1e3,
+        });
         assert_eq!(c.mna_dim(), 2);
     }
 

@@ -116,7 +116,13 @@ fn stamp(
                 sys.stamp_b(pos.index(), *amps * src_scale);
                 sys.stamp_b(neg.index(), -*amps * src_scale);
             }
-            Element::Vcvs { pos, neg, cpos, cneg, gain } => {
+            Element::Vcvs {
+                pos,
+                neg,
+                cpos,
+                cneg,
+                gain,
+            } => {
                 let row = n + vsrc;
                 vsrc += 1;
                 // Branch current into the output pins.
@@ -128,7 +134,13 @@ fn stamp(
                 sys.stamp_a(row, cpos.index(), -gain);
                 sys.stamp_a(row, cneg.index(), *gain);
             }
-            Element::Vccs { pos, neg, cpos, cneg, gm } => {
+            Element::Vccs {
+                pos,
+                neg,
+                cpos,
+                cneg,
+                gm,
+            } => {
                 // i(pos -> external) = gm (v(cpos) - v(cneg)): a current of
                 // that magnitude leaves `pos` and enters `neg`.
                 sys.stamp_a(pos.index(), cpos.index(), *gm);
@@ -147,14 +159,23 @@ fn stamp(
                 sys.stamp_b(a.index(), -ieq);
                 sys.stamp_b(b.index(), ieq);
             }
-            Element::Mosfet { d, g, s, model, pmos } => {
+            Element::Mosfet {
+                d,
+                g,
+                s,
+                model,
+                pmos,
+            } => {
                 let sign = if *pmos { -1.0 } else { 1.0 };
                 let vd = sign * v_of(x, *d);
                 let vg = sign * v_of(x, *g);
                 let vs = sign * v_of(x, *s);
                 // Effective orientation: source is the lower terminal.
-                let (de, se, vde, vse) =
-                    if vd >= vs { (*d, *s, vd, vs) } else { (*s, *d, vs, vd) };
+                let (de, se, vde, vse) = if vd >= vs {
+                    (*d, *s, vd, vs)
+                } else {
+                    (*s, *d, vs, vd)
+                };
                 let vgs = vg - vse;
                 let vds = vde - vse;
                 let vov = vgs - model.vth;
@@ -301,11 +322,7 @@ pub fn dc_operating_point(circuit: &SimCircuit) -> Result<Vec<f64>, SimulateErro
 /// # Errors
 ///
 /// Returns [`SimulateError`] if the operating point or any step fails.
-pub fn transient(
-    circuit: &SimCircuit,
-    t_stop: f64,
-    dt: f64,
-) -> Result<TranResult, SimulateError> {
+pub fn transient(circuit: &SimCircuit, t_stop: f64, dt: f64) -> Result<TranResult, SimulateError> {
     let n = circuit.num_nodes;
     // Bistable circuits (latches, level shifters) can defeat the DC
     // solver; fall back to a pseudo-transient start from zero state, which
@@ -384,9 +401,21 @@ mod tests {
         let mut c = SimCircuit::new();
         let top = c.node();
         let mid = c.node();
-        c.add(Element::Vsource { pos: top, neg: SimNode::GROUND, wave: Waveform::Dc(3.0) });
-        c.add(Element::Resistor { a: top, b: mid, ohms: 1e3 });
-        c.add(Element::Resistor { a: mid, b: SimNode::GROUND, ohms: 2e3 });
+        c.add(Element::Vsource {
+            pos: top,
+            neg: SimNode::GROUND,
+            wave: Waveform::Dc(3.0),
+        });
+        c.add(Element::Resistor {
+            a: top,
+            b: mid,
+            ohms: 1e3,
+        });
+        c.add(Element::Resistor {
+            a: mid,
+            b: SimNode::GROUND,
+            ohms: 2e3,
+        });
         let x = dc_operating_point(&c).unwrap();
         assert!((x[mid.index()] - 2.0).abs() < 1e-4);
     }
@@ -411,8 +440,16 @@ mod tests {
                 period: 0.0,
             },
         });
-        c.add(Element::Resistor { a: inp, b: out, ohms: r });
-        c.add(Element::Capacitor { a: out, b: SimNode::GROUND, farads: cap });
+        c.add(Element::Resistor {
+            a: inp,
+            b: out,
+            ohms: r,
+        });
+        c.add(Element::Capacitor {
+            a: out,
+            b: SimNode::GROUND,
+            farads: cap,
+        });
         let tr = transient(&c, 5e-9, 5e-12).unwrap();
         let wave = tr.node_wave(out);
         // At t = 1 ns (one tau), v = 0.632.
@@ -427,8 +464,16 @@ mod tests {
     fn diode_forward_drop() {
         let mut c = SimCircuit::new();
         let a = c.node();
-        c.add(Element::Isource { pos: a, neg: SimNode::GROUND, amps: 1e-3 });
-        c.add(Element::Diode { a, b: SimNode::GROUND, i_sat: 1e-14 });
+        c.add(Element::Isource {
+            pos: a,
+            neg: SimNode::GROUND,
+            amps: 1e-3,
+        });
+        c.add(Element::Diode {
+            a,
+            b: SimNode::GROUND,
+            i_sat: 1e-14,
+        });
         let x = dc_operating_point(&c).unwrap();
         assert!(
             x[a.index()] > 0.5 && x[a.index()] < 1.0,
@@ -442,11 +487,27 @@ mod tests {
         let vdd = c.node();
         let inp = c.node();
         let out = c.node();
-        c.add(Element::Vsource { pos: vdd, neg: SimNode::GROUND, wave: Waveform::Dc(vdd_v) });
+        c.add(Element::Vsource {
+            pos: vdd,
+            neg: SimNode::GROUND,
+            wave: Waveform::Dc(vdd_v),
+        });
         let nmodel = MosModel::from_geometry(400e-6, 0.35, 0.02, 0.5e-6, 0.05e-6);
         let pmodel = MosModel::from_geometry(200e-6, 0.35, 0.02, 1.0e-6, 0.05e-6);
-        c.add(Element::Mosfet { d: out, g: inp, s: SimNode::GROUND, model: nmodel, pmos: false });
-        c.add(Element::Mosfet { d: out, g: inp, s: vdd, model: pmodel, pmos: true });
+        c.add(Element::Mosfet {
+            d: out,
+            g: inp,
+            s: SimNode::GROUND,
+            model: nmodel,
+            pmos: false,
+        });
+        c.add(Element::Mosfet {
+            d: out,
+            g: inp,
+            s: vdd,
+            model: pmodel,
+            pmos: true,
+        });
         (c, vdd, inp, out)
     }
 
@@ -487,7 +548,11 @@ mod tests {
                     period: 0.0,
                 },
             });
-            c.add(Element::Capacitor { a: out, b: SimNode::GROUND, farads: cl });
+            c.add(Element::Capacitor {
+                a: out,
+                b: SimNode::GROUND,
+                farads: cl,
+            });
             let tr = transient(&c, 3e-9, 2e-12).unwrap();
             let wave = tr.node_wave(out);
             // Time when output falls below 0.5.
@@ -510,12 +575,34 @@ mod tests {
             let mut c = SimCircuit::new();
             let vdd = c.node();
             let out = c.node();
-            c.add(Element::Vsource { pos: vdd, neg: SimNode::GROUND, wave: Waveform::Dc(1.0) });
-            c.add(Element::Resistor { a: vdd, b: out, ohms: 10e3 });
-            let model = MosModel { vth: 0.3, k: 1e-4 * k_scale, lambda: 0.02 };
+            c.add(Element::Vsource {
+                pos: vdd,
+                neg: SimNode::GROUND,
+                wave: Waveform::Dc(1.0),
+            });
+            c.add(Element::Resistor {
+                a: vdd,
+                b: out,
+                ohms: 10e3,
+            });
+            let model = MosModel {
+                vth: 0.3,
+                k: 1e-4 * k_scale,
+                lambda: 0.02,
+            };
             let gate = c.node();
-            c.add(Element::Vsource { pos: gate, neg: SimNode::GROUND, wave: Waveform::Dc(0.7) });
-            c.add(Element::Mosfet { d: out, g: gate, s: SimNode::GROUND, model, pmos: false });
+            c.add(Element::Vsource {
+                pos: gate,
+                neg: SimNode::GROUND,
+                wave: Waveform::Dc(0.7),
+            });
+            c.add(Element::Mosfet {
+                d: out,
+                g: gate,
+                s: SimNode::GROUND,
+                model,
+                pmos: false,
+            });
             let x = dc_operating_point(&c).unwrap();
             x[out.index()]
         };
@@ -534,11 +621,29 @@ mod controlled_source_tests {
         let mut c = SimCircuit::new();
         let inp = c.node();
         let out = c.node();
-        c.add(Element::Vsource { pos: inp, neg: SimNode::GROUND, wave: Waveform::Dc(0.1) });
-        c.add(Element::Vcvs { pos: out, neg: SimNode::GROUND, cpos: inp, cneg: SimNode::GROUND, gain: 10.0 });
-        c.add(Element::Resistor { a: out, b: SimNode::GROUND, ohms: 1e3 });
+        c.add(Element::Vsource {
+            pos: inp,
+            neg: SimNode::GROUND,
+            wave: Waveform::Dc(0.1),
+        });
+        c.add(Element::Vcvs {
+            pos: out,
+            neg: SimNode::GROUND,
+            cpos: inp,
+            cneg: SimNode::GROUND,
+            gain: 10.0,
+        });
+        c.add(Element::Resistor {
+            a: out,
+            b: SimNode::GROUND,
+            ohms: 1e3,
+        });
         let x = dc_operating_point(&c).unwrap();
-        assert!((x[out.index()] - 1.0).abs() < 1e-6, "vout = {}", x[out.index()]);
+        assert!(
+            (x[out.index()] - 1.0).abs() < 1e-6,
+            "vout = {}",
+            x[out.index()]
+        );
     }
 
     /// A VCCS into a load resistor: vout = gm * vin * R.
@@ -547,13 +652,31 @@ mod controlled_source_tests {
         let mut c = SimCircuit::new();
         let inp = c.node();
         let out = c.node();
-        c.add(Element::Vsource { pos: inp, neg: SimNode::GROUND, wave: Waveform::Dc(0.5) });
+        c.add(Element::Vsource {
+            pos: inp,
+            neg: SimNode::GROUND,
+            wave: Waveform::Dc(0.5),
+        });
         // Current flows out of `out` into ground through the source, so the
         // load sees -gm*vin*R at `out` with this orientation.
-        c.add(Element::Vccs { pos: out, neg: SimNode::GROUND, cpos: inp, cneg: SimNode::GROUND, gm: 1e-3 });
-        c.add(Element::Resistor { a: out, b: SimNode::GROUND, ohms: 2e3 });
+        c.add(Element::Vccs {
+            pos: out,
+            neg: SimNode::GROUND,
+            cpos: inp,
+            cneg: SimNode::GROUND,
+            gm: 1e-3,
+        });
+        c.add(Element::Resistor {
+            a: out,
+            b: SimNode::GROUND,
+            ohms: 2e3,
+        });
         let x = dc_operating_point(&c).unwrap();
-        assert!((x[out.index()] + 1.0).abs() < 1e-4, "vout = {}", x[out.index()]);
+        assert!(
+            (x[out.index()] + 1.0).abs() < 1e-4,
+            "vout = {}",
+            x[out.index()]
+        );
     }
 
     /// Negative-feedback op-amp macromodel: VCVS with large gain in a
@@ -564,13 +687,35 @@ mod controlled_source_tests {
         let vin = c.node();
         let vout = c.node();
         let fb = c.node();
-        c.add(Element::Vsource { pos: vin, neg: SimNode::GROUND, wave: Waveform::Dc(0.2) });
+        c.add(Element::Vsource {
+            pos: vin,
+            neg: SimNode::GROUND,
+            wave: Waveform::Dc(0.2),
+        });
         // out = A (v+ - v-) with v+ = vin, v- = fb.
-        c.add(Element::Vcvs { pos: vout, neg: SimNode::GROUND, cpos: vin, cneg: fb, gain: 1e5 });
-        c.add(Element::Resistor { a: vout, b: fb, ohms: 3e3 }); // R1
-        c.add(Element::Resistor { a: fb, b: SimNode::GROUND, ohms: 1e3 }); // R2
+        c.add(Element::Vcvs {
+            pos: vout,
+            neg: SimNode::GROUND,
+            cpos: vin,
+            cneg: fb,
+            gain: 1e5,
+        });
+        c.add(Element::Resistor {
+            a: vout,
+            b: fb,
+            ohms: 3e3,
+        }); // R1
+        c.add(Element::Resistor {
+            a: fb,
+            b: SimNode::GROUND,
+            ohms: 1e3,
+        }); // R2
         let x = dc_operating_point(&c).unwrap();
         // Gain 1 + 3k/1k = 4 -> vout = 0.8.
-        assert!((x[vout.index()] - 0.8).abs() < 1e-3, "vout = {}", x[vout.index()]);
+        assert!(
+            (x[vout.index()] - 0.8).abs() < 1e-3,
+            "vout = {}",
+            x[vout.index()]
+        );
     }
 }

@@ -37,7 +37,5 @@ mod solver;
 pub use convert::{to_sim, ConvertOptions, SimMapping};
 pub use elements::{Element, MosModel, SimCircuit, SimNode, Waveform};
 pub use engine::{dc_operating_point, transient, SimulateError, TranResult};
-pub use measure::{
-    average_power, cross_time, delay_50, mean_abs, peak_to_peak, slew_10_90,
-};
+pub use measure::{average_power, cross_time, delay_50, mean_abs, peak_to_peak, slew_10_90};
 pub use solver::DenseSystem;

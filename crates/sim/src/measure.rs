@@ -12,9 +12,17 @@ pub fn cross_time(
 ) -> Option<f64> {
     for i in 1..times.len().min(wave.len()) {
         let (v0, v1) = (wave[i - 1], wave[i]);
-        let crossed = if rising { v0 < level && v1 >= level } else { v0 > level && v1 <= level };
+        let crossed = if rising {
+            v0 < level && v1 >= level
+        } else {
+            v0 > level && v1 <= level
+        };
         if crossed {
-            let frac = if (v1 - v0).abs() < 1e-30 { 0.0 } else { (level - v0) / (v1 - v0) };
+            let frac = if (v1 - v0).abs() < 1e-30 {
+                0.0
+            } else {
+                (level - v0) / (v1 - v0)
+            };
             let tc = times[i - 1] + frac * (times[i] - times[i - 1]);
             if tc >= after {
                 return Some(tc);
@@ -39,7 +47,11 @@ pub fn delay_50(
         .or_else(|| cross_time(times, input, swing / 2.0, false, 0.0))?;
     // Search slightly before the input crossing: with near-zero delays the
     // discretised output edge can land a fraction of a step earlier.
-    let step = if times.len() > 1 { times[1] - times[0] } else { 0.0 };
+    let step = if times.len() > 1 {
+        times[1] - times[0]
+    } else {
+        0.0
+    };
     let t_out = cross_time(times, output, swing / 2.0, out_rising, t_in - 2.0 * step)?;
     Some(t_out - t_in)
 }
@@ -75,7 +87,11 @@ pub fn average_power(supply_volts: f64, source_current: &[f64]) -> f64 {
 pub fn peak_to_peak(wave: &[f64]) -> f64 {
     let max = wave.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let min = wave.iter().cloned().fold(f64::INFINITY, f64::min);
-    if max >= min { max - min } else { 0.0 }
+    if max >= min {
+        max - min
+    } else {
+        0.0
+    }
 }
 
 #[cfg(test)]
@@ -115,8 +131,14 @@ mod tests {
     #[test]
     fn delay_between_shifted_edges() {
         let times: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
-        let input: Vec<f64> = times.iter().map(|&t| if t > 0.2 { 1.0 } else { 0.0 }).collect();
-        let output: Vec<f64> = times.iter().map(|&t| if t > 0.5 { 1.0 } else { 0.0 }).collect();
+        let input: Vec<f64> = times
+            .iter()
+            .map(|&t| if t > 0.2 { 1.0 } else { 0.0 })
+            .collect();
+        let output: Vec<f64> = times
+            .iter()
+            .map(|&t| if t > 0.5 { 1.0 } else { 0.0 })
+            .collect();
         let d = delay_50(&times, &input, &output, 1.0, true).unwrap();
         assert!((d - 0.3).abs() < 0.02);
     }

@@ -11,7 +11,11 @@ pub struct DenseSystem {
 impl DenseSystem {
     /// Creates an all-zero `n x n` system.
     pub fn new(n: usize) -> Self {
-        Self { n, a: vec![0.0; n * n], b: vec![0.0; n] }
+        Self {
+            n,
+            a: vec![0.0; n * n],
+            b: vec![0.0; n],
+        }
     }
 
     /// System dimension.

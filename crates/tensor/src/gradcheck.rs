@@ -82,7 +82,10 @@ pub fn check(
             }
         }
     }
-    GradCheck { max_abs_err, max_rel_err }
+    GradCheck {
+        max_abs_err,
+        max_rel_err,
+    }
 }
 
 #[cfg(test)]
@@ -104,7 +107,9 @@ mod tests {
     fn matmul_bias_relu_chain() {
         let mut params = small_params(3, &[("w", 4, 3), ("b", 1, 3)]);
         let result = check(&mut params, 1e-2, |tape, params| {
-            let x = tape.constant(Tensor::from_fn(5, 4, |i, j| ((i + 2 * j) % 5) as f32 * 0.3 - 0.6));
+            let x = tape.constant(Tensor::from_fn(5, 4, |i, j| {
+                ((i + 2 * j) % 5) as f32 * 0.3 - 0.6
+            }));
             let w = tape.param(params, params.find("w").unwrap());
             let b = tape.param(params, params.find("b").unwrap());
             let h = tape.matmul(x, w);
@@ -146,7 +151,9 @@ mod tests {
     fn l2_normalize_and_tanh() {
         let mut params = small_params(11, &[("w", 3, 4)]);
         let result = check(&mut params, 1e-2, |tape, params| {
-            let x = tape.constant(Tensor::from_fn(6, 3, |i, j| ((i * 3 + j) % 7) as f32 * 0.2 + 0.1));
+            let x = tape.constant(Tensor::from_fn(6, 3, |i, j| {
+                ((i * 3 + j) % 7) as f32 * 0.2 + 0.1
+            }));
             let w = tape.param(params, params.find("w").unwrap());
             let h = tape.matmul(x, w);
             let h = tape.tanh(h);
@@ -161,7 +168,9 @@ mod tests {
     fn sigmoid_square_slice() {
         let mut params = small_params(17, &[("w", 2, 2)]);
         let result = check(&mut params, 1e-2, |tape, params| {
-            let x = tape.constant(Tensor::from_fn(4, 2, |i, j| (i as f32 + j as f32) * 0.3 - 0.5));
+            let x = tape.constant(Tensor::from_fn(4, 2, |i, j| {
+                (i as f32 + j as f32) * 0.3 - 0.5
+            }));
             let w = tape.param(params, params.find("w").unwrap());
             let h = tape.matmul(x, w);
             let h = tape.sigmoid(h);

@@ -389,7 +389,11 @@ impl Tape {
     ///
     /// Panics if `loss` is not a scalar.
     pub fn backward(&self, loss: Var) -> Gradients {
-        assert_eq!(self.value(loss).shape(), (1, 1), "backward() needs a scalar loss");
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward() needs a scalar loss"
+        );
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         grads[loss.0] = Some(Tensor::scalar(1.0));
 
@@ -402,11 +406,10 @@ impl Tape {
     }
 
     fn accumulate(&self, idx: usize, g: &Tensor, grads: &mut [Option<Tensor>]) {
-        let add_to = |grads: &mut [Option<Tensor>], var: Var, delta: Tensor| {
-            match &mut grads[var.0] {
-                Some(existing) => existing.add_scaled(&delta, 1.0),
-                slot @ None => *slot = Some(delta),
-            }
+        let add_to = |grads: &mut [Option<Tensor>], var: Var, delta: Tensor| match &mut grads[var.0]
+        {
+            Some(existing) => existing.add_scaled(&delta, 1.0),
+            slot @ None => *slot = Some(delta),
         };
         match &self.nodes[idx].op {
             Op::Leaf { .. } => {}
@@ -450,7 +453,11 @@ impl Tape {
             }
             Op::Relu(a) => {
                 let x = self.value(*a);
-                add_to(grads, *a, g.zip_map(x, |gv, xv| if xv > 0.0 { gv } else { 0.0 }));
+                add_to(
+                    grads,
+                    *a,
+                    g.zip_map(x, |gv, xv| if xv > 0.0 { gv } else { 0.0 }),
+                );
             }
             Op::LeakyRelu(a, alpha) => {
                 let x = self.value(*a);

@@ -51,7 +51,11 @@ impl Tensor {
     /// Panics if `rows * cols` overflows `usize`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         let len = rows.checked_mul(cols).expect("tensor shape overflow");
-        Self { rows, cols, data: vec![0.0; len] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a tensor filled with the given value.
@@ -107,7 +111,11 @@ impl Tensor {
             assert_eq!(r.len(), cols, "ragged rows in Tensor::from_rows");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Creates a column vector (`n x 1`) from a slice.
@@ -374,7 +382,11 @@ impl Tensor {
         let mut data = Vec::with_capacity(self.data.len() + other.data.len());
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
-        Self { rows: self.rows + other.rows, cols: self.cols, data }
+        Self {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Concatenates columns of `self` and `other` (same row count).
@@ -401,7 +413,10 @@ const PAR_FLOP_THRESHOLD: usize = 1 << 21;
 pub(crate) fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     let work = m.saturating_mul(k).saturating_mul(n);
     let threads = if work >= PAR_FLOP_THRESHOLD {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(8)
     } else {
         1
     };
@@ -428,7 +443,15 @@ pub(crate) fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usiz
     });
 }
 
-fn matmul_rows(a: &[f32], b: &[f32], c: &mut [f32], k: usize, n: usize, row_start: usize, row_end: usize) {
+fn matmul_rows(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    k: usize,
+    n: usize,
+    row_start: usize,
+    row_end: usize,
+) {
     for i in row_start..row_end {
         let c_row = &mut c[(i - row_start) * n..(i - row_start + 1) * n];
         let a_row = &a[i * k..(i + 1) * k];

@@ -17,7 +17,10 @@ use paragraph_layout::LayoutConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("generating dataset...");
-    let dataset = paper_dataset(DatasetConfig { scale: 0.2, seed: 11 });
+    let dataset = paper_dataset(DatasetConfig {
+        scale: 0.2,
+        seed: 11,
+    });
     let layout = LayoutConfig::default();
     let mut train = Vec::new();
     let mut test = Vec::new();

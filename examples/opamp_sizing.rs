@@ -26,8 +26,16 @@ fn candidate(stage2_fins: u32) -> Circuit {
     let mut c = Circuit::new(format!("drv_{stage2_fins}"));
     let (inp, mid, out) = (c.net("in"), c.net("mid"), c.net("out"));
     let (vdd, vss) = (c.net("vdd"), c.net("vss"));
-    let small = DeviceParams { nfin: 4, nf: 2, ..DeviceParams::default() };
-    let big = DeviceParams { nfin: stage2_fins, nf: 4, ..DeviceParams::default() };
+    let small = DeviceParams {
+        nfin: 4,
+        nf: 2,
+        ..DeviceParams::default()
+    };
+    let big = DeviceParams {
+        nfin: stage2_fins,
+        nf: 4,
+        ..DeviceParams::default()
+    };
     c.add_mosfet("mp1", MosPolarity::Pmos, false, mid, inp, vdd, vdd, small);
     c.add_mosfet("mn1", MosPolarity::Nmos, false, mid, inp, vss, vss, small);
     c.add_mosfet("mp2", MosPolarity::Pmos, false, out, mid, vdd, vdd, big);
@@ -43,7 +51,11 @@ fn candidate(stage2_fins: u32) -> Circuit {
             out,
             vss,
             vss,
-            DeviceParams { nfin: 6, nf: 2, ..DeviceParams::default() },
+            DeviceParams {
+                nfin: 6,
+                nf: 2,
+                ..DeviceParams::default()
+            },
         );
     }
     c
@@ -62,7 +74,10 @@ fn simulate_delay(circuit: &Circuit, caps: &[Option<f64>]) -> Option<f64> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("training capacitance predictor...");
-    let dataset = paper_dataset(DatasetConfig { scale: 0.15, seed: 5 });
+    let dataset = paper_dataset(DatasetConfig {
+        scale: 0.15,
+        seed: 5,
+    });
     let layout = LayoutConfig::default();
     let mut train: Vec<PreparedCircuit> = dataset
         .into_iter()

@@ -13,15 +13,19 @@
 //! ```
 
 use paragraph::prelude::*;
-use paragraph_circuitgen::{grow_chip, paper_dataset, ChipBuilder, DatasetConfig, Split,
-    FAMILY_DIGITAL};
+use paragraph_circuitgen::{
+    grow_chip, paper_dataset, ChipBuilder, DatasetConfig, Split, FAMILY_DIGITAL,
+};
 use paragraph_layout::{designer_estimate, extract, LayoutConfig};
 use paragraph_sim::{average_power, delay_50, slew_10_90, to_sim, transient, ConvertOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Train a quick capacitance model.
     println!("training capacitance predictor...");
-    let dataset = paper_dataset(DatasetConfig { scale: 0.15, seed: 3 });
+    let dataset = paper_dataset(DatasetConfig {
+        scale: 0.15,
+        seed: 3,
+    });
     let layout = LayoutConfig::default();
     let mut train: Vec<PreparedCircuit> = dataset
         .into_iter()

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // with extracted parasitics; here the layout synthesiser provides the
     // ground truth.)
     println!("generating dataset & synthesising layouts...");
-    let dataset = paper_dataset(DatasetConfig { scale: 0.15, seed: 7 });
+    let dataset = paper_dataset(DatasetConfig {
+        scale: 0.15,
+        seed: 7,
+    });
     let layout = LayoutConfig::default();
     let mut train: Vec<PreparedCircuit> = dataset
         .into_iter()

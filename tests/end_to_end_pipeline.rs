@@ -83,7 +83,12 @@ fn labels_cover_expected_nodes() {
     let (train, _) = prepared_dataset(0.08);
     for pc in &train {
         let cap_labels = pc.labels(Target::Cap, None);
-        assert_eq!(cap_labels.len(), pc.circuit.kind_counts().net, "{}", pc.name);
+        assert_eq!(
+            cap_labels.len(),
+            pc.circuit.kind_counts().net,
+            "{}",
+            pc.name
+        );
         let sa_labels = pc.labels(Target::Sa, None);
         let mosfets = pc
             .circuit

@@ -6,8 +6,15 @@ use paragraph::{SavedModel, PAPER_MAX_V};
 use paragraph_circuitgen::{paper_dataset, DatasetConfig, Split};
 use paragraph_layout::LayoutConfig;
 
-fn quick_setup() -> (Vec<PreparedCircuit>, Vec<PreparedCircuit>, paragraph::FeatureNorm) {
-    let dataset = paper_dataset(DatasetConfig { scale: 0.06, seed: 55 });
+fn quick_setup() -> (
+    Vec<PreparedCircuit>,
+    Vec<PreparedCircuit>,
+    paragraph::FeatureNorm,
+) {
+    let dataset = paper_dataset(DatasetConfig {
+        scale: 0.06,
+        seed: 55,
+    });
     let layout = LayoutConfig::default();
     let mut train = Vec::new();
     let mut test = Vec::new();

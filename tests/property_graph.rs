@@ -16,7 +16,9 @@ fn arb_circuit() -> impl Strategy<Value = Circuit> {
         let vss = c.net("vss");
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         for i in 0..n {
@@ -27,7 +29,11 @@ fn arb_circuit() -> impl Strategy<Value = Circuit> {
             };
             match next() % 5 {
                 0..=2 => {
-                    let pol = if next() % 2 == 0 { MosPolarity::Nmos } else { MosPolarity::Pmos };
+                    let pol = if next() % 2 == 0 {
+                        MosPolarity::Nmos
+                    } else {
+                        MosPolarity::Pmos
+                    };
                     let thick = next() % 7 == 0;
                     c.add_mosfet(
                         format!("m{i}"),

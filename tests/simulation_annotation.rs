@@ -71,9 +71,8 @@ fn closer_caps_give_closer_delays() {
     // truth*3 — the monotonicity Table V relies on.
     let dut = buffer_dut(34);
     let truth = extract(&dut.0, &LayoutConfig::default());
-    let scale_caps = |k: f64| -> Vec<Option<f64>> {
-        truth.net_cap.iter().map(|c| c.map(|v| v * k)).collect()
-    };
+    let scale_caps =
+        |k: f64| -> Vec<Option<f64>> { truth.net_cap.iter().map(|c| c.map(|v| v * k)).collect() };
     let d_ref = delay_with(&truth.net_cap, &dut);
     let d_close = delay_with(&scale_caps(1.1), &dut);
     let d_far = delay_with(&scale_caps(3.0), &dut);

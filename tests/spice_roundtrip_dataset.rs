@@ -12,7 +12,10 @@ fn connected(c: &paragraph_netlist::Circuit) -> usize {
 
 #[test]
 fn dataset_circuits_roundtrip_through_spice() {
-    let data = paper_dataset(DatasetConfig { scale: 0.06, seed: 4 });
+    let data = paper_dataset(DatasetConfig {
+        scale: 0.06,
+        seed: 4,
+    });
     for dc in &data {
         let text = write_flat_spice(&dc.circuit);
         let back = parse_spice(&text)
@@ -50,7 +53,10 @@ fn dataset_circuits_roundtrip_through_spice() {
 
 #[test]
 fn graphs_of_roundtripped_circuits_match() {
-    let data = paper_dataset(DatasetConfig { scale: 0.06, seed: 5 });
+    let data = paper_dataset(DatasetConfig {
+        scale: 0.06,
+        seed: 5,
+    });
     for dc in data.iter().take(4) {
         let text = write_flat_spice(&dc.circuit);
         let back = parse_spice(&text).unwrap().flatten().unwrap();
@@ -58,8 +64,8 @@ fn graphs_of_roundtripped_circuits_match() {
         let g2 = paragraph::build_graph(&back);
         // Node counts may differ by the dangling signal nets dropped in
         // the SPICE text; edge structure must match exactly.
-        let dangling = (dc.circuit.num_nets() - connected(&dc.circuit))
-            - (back.num_nets() - connected(&back));
+        let dangling =
+            (dc.circuit.num_nets() - connected(&dc.circuit)) - (back.num_nets() - connected(&back));
         assert_eq!(g1.graph.num_nodes(), g2.graph.num_nodes() + dangling);
         assert_eq!(g1.graph.num_edges(), g2.graph.num_edges());
         for t in 0..g1.graph.num_edge_types() {
