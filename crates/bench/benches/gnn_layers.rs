@@ -23,7 +23,7 @@ fn prepared() -> PreparedCircuit {
 fn bench_forward_backward(c: &mut Criterion) {
     let pc = prepared();
     let labels = pc.labels(Target::Cap, None);
-    let nodes = std::rc::Rc::new(labels.nodes.clone());
+    let nodes = std::sync::Arc::new(labels.nodes.clone());
     let targets = Tensor::from_col(&labels.scaled);
 
     let mut group = c.benchmark_group("layer_forward_backward");

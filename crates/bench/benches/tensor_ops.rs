@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use paragraph_tensor::{init_rng, ParamSet, Tape, Tensor};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
@@ -31,8 +31,8 @@ fn bench_message_passing_ops(c: &mut Criterion) {
         state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
         ((state >> 33) as usize % n) as u32
     };
-    let src = Rc::new((0..e).map(|_| next()).collect::<Vec<_>>());
-    let dst = Rc::new((0..e).map(|_| next()).collect::<Vec<_>>());
+    let src = Arc::new((0..e).map(|_| next()).collect::<Vec<_>>());
+    let dst = Arc::new((0..e).map(|_| next()).collect::<Vec<_>>());
 
     let mut group = c.benchmark_group("message_passing");
     group.bench_function("gather_scatter_8k_edges", |bench| {

@@ -1,0 +1,194 @@
+//! Criterion bench: data-parallel training throughput.
+//!
+//! Times one training epoch of `Trainer::fit` (sequential, one Adam step
+//! per task) against `Trainer::fit_parallel_on` (one Adam step per
+//! epoch) at 1, 2, 4, and 8 pool workers on a synthetic multi-graph
+//! task set, and writes a machine-readable summary (graphs/sec and
+//! epoch wall-clock per configuration) to `target/training_bench.json`.
+//!
+//! Real speedup requires real cores: the summary records
+//! `hardware_threads` so a 1-core CI container's ~1.0x ratios are not
+//! mistaken for a regression.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paragraph_gnn::{GnnKind, GnnModel, GraphSchema, GraphTask, ModelConfig, TrainConfig, Trainer};
+use paragraph_runtime::Pool;
+use paragraph_tensor::Tensor;
+use serde_json::json;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn quick_mode() -> bool {
+    // `cargo test` invokes harness-less bench targets with `--test`.
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Synthetic neighbour-sum task set: `graphs` bipartite graphs whose
+/// type-1 nodes are labelled with the sum of their type-0 in-neighbour
+/// features.
+fn task_set(graphs: usize, n1: usize) -> (GraphSchema, Vec<GraphTask>) {
+    let schema = GraphSchema {
+        node_feat_dims: vec![1, 1],
+        num_edge_types: 2,
+    };
+    let mut tasks = Vec::with_capacity(graphs);
+    for g_idx in 0..graphs {
+        let n0 = 2 * n1;
+        let mut types = vec![0u16; n0];
+        types.extend(vec![1u16; n1]);
+        let mut g = paragraph_gnn::HeteroGraph::new(&schema, types);
+        let feats: Vec<f32> = (0..n0)
+            .map(|i| ((i * 7 + g_idx * 13) % 5) as f32 * 0.2)
+            .collect();
+        g.set_features(0, Tensor::from_col(&feats));
+        g.set_features(1, Tensor::zeros(n1, 1));
+        let mut src = Vec::new();
+        let mut dst = Vec::new();
+        let mut labels = Vec::new();
+        for j in 0..n1 {
+            for k in [2 * j, 2 * j + 1] {
+                src.push(k as u32);
+                dst.push((n0 + j) as u32);
+            }
+            labels.push(feats[2 * j] + feats[2 * j + 1]);
+        }
+        g.set_edges(0, src.clone(), dst.clone());
+        g.set_edges(1, dst, src);
+        let nodes: Vec<u32> = (n0..n0 + n1).map(|i| i as u32).collect();
+        tasks.push(GraphTask::new(g, nodes, Tensor::from_col(&labels)));
+    }
+    (schema, tasks)
+}
+
+fn fresh_model(schema: &GraphSchema) -> GnnModel {
+    let mut cfg = ModelConfig::new(GnnKind::ParaGraph);
+    cfg.embed_dim = 16;
+    cfg.layers = 2;
+    cfg.fc_layers = 2;
+    GnnModel::new(cfg, schema)
+}
+
+fn train_config(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        lr: 0.01,
+        lr_decay: 0.98,
+        loss_target: None,
+    }
+}
+
+/// Wall-clock for `epochs` epochs of sequential `fit`.
+fn time_sequential(schema: &GraphSchema, tasks: &[GraphTask], epochs: usize) -> f64 {
+    let mut model = fresh_model(schema);
+    let mut trainer = Trainer::new(train_config(epochs));
+    let start = Instant::now();
+    let history = trainer.fit(&mut model, tasks);
+    assert_eq!(history.len(), epochs);
+    start.elapsed().as_secs_f64()
+}
+
+/// Wall-clock for `epochs` epochs of `fit_parallel_on` with `workers`
+/// pool threads.
+fn time_parallel(schema: &GraphSchema, tasks: &[GraphTask], epochs: usize, workers: usize) -> f64 {
+    let pool = Pool::new(workers);
+    let mut model = fresh_model(schema);
+    let mut trainer = Trainer::new(train_config(epochs));
+    let start = Instant::now();
+    let history = trainer.fit_parallel_on(&mut model, tasks, &pool);
+    assert_eq!(history.len(), epochs);
+    start.elapsed().as_secs_f64()
+}
+
+/// Criterion-visible timings (one epoch per iteration).
+fn bench_training(c: &mut Criterion) {
+    let (schema, tasks) = if quick_mode() {
+        task_set(4, 8)
+    } else {
+        task_set(8, 48)
+    };
+    let mut group = c.benchmark_group("training_epoch");
+    group.sample_size(10);
+    group.bench_function("fit_sequential", |bench| {
+        bench.iter(|| time_sequential(&schema, &tasks, 1));
+    });
+    for workers in WORKER_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("fit_parallel", workers),
+            &workers,
+            |bench, &w| {
+                bench.iter(|| time_parallel(&schema, &tasks, 1, w));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Steady-state measurement + JSON summary.
+fn write_summary(_c: &mut Criterion) {
+    let quick = quick_mode();
+    let (schema, tasks) = if quick {
+        task_set(4, 8)
+    } else {
+        task_set(8, 48)
+    };
+    let epochs = if quick { 2 } else { 20 };
+    let graphs = tasks.len();
+
+    let seq_secs = time_sequential(&schema, &tasks, epochs);
+    let seq_epoch_ms = seq_secs * 1e3 / epochs as f64;
+    let seq_gps = (graphs * epochs) as f64 / seq_secs;
+
+    let mut parallel_rows = Vec::new();
+    for workers in WORKER_COUNTS {
+        let secs = time_parallel(&schema, &tasks, epochs, workers);
+        let epoch_ms = secs * 1e3 / epochs as f64;
+        let gps = (graphs * epochs) as f64 / secs;
+        println!(
+            "training summary: fit_parallel workers={workers} epoch={epoch_ms:.2} ms \
+             ({gps:.1} graphs/sec; sequential fit {seq_epoch_ms:.2} ms, {seq_gps:.1} graphs/sec; \
+             speedup {:.2}x)",
+            seq_secs / secs
+        );
+        parallel_rows.push(json!({
+            "workers": workers,
+            "epoch_ms": epoch_ms,
+            "graphs_per_sec": gps,
+            "speedup_vs_sequential_fit": seq_secs / secs,
+        }));
+    }
+
+    let hardware_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let summary = json!({
+        "bench": "training",
+        "quick_mode": quick,
+        "hardware_threads": hardware_threads,
+        "graphs": graphs,
+        "epochs_timed": epochs,
+        "sequential_fit": {
+            "epoch_ms": seq_epoch_ms,
+            "graphs_per_sec": seq_gps,
+        },
+        "fit_parallel": parallel_rows,
+    });
+
+    let target_dir = std::env::var("CARGO_TARGET_DIR")
+        .unwrap_or_else(|_| format!("{}/../../target", env!("CARGO_MANIFEST_DIR")));
+    let path = format!("{target_dir}/training_bench.json");
+    match serde_json::to_string_pretty(&summary) {
+        Ok(body) => {
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("training bench: could not write {path}: {e}");
+            } else {
+                println!("training summary written to {path}");
+            }
+        }
+        Err(e) => eprintln!("training bench: could not serialise summary: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_training, write_summary);
+criterion_main!(benches);

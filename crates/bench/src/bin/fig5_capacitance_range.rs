@@ -12,7 +12,7 @@
 //! printed, showing the paper's observation that a wide-range model
 //! degrades on small capacitances.
 
-use paragraph::{CapEnsemble, GnnKind, Target, TargetModel, PAPER_MAX_V};
+use paragraph::{train_models, CapEnsemble, GnnKind, Target, TargetModel, TrainSpec, PAPER_MAX_V};
 use paragraph_bench::plot::log_scatter;
 use paragraph_bench::{fmt_ff, write_json, Harness, HarnessConfig};
 use paragraph_ml::{mae, mape, r_squared};
@@ -22,16 +22,27 @@ fn main() {
     let config = HarnessConfig::from_args();
     let harness = Harness::build(config);
 
-    // Train one CAP model per max_v (ascending).
-    let mut models = Vec::new();
-    for (i, &max_v) in PAPER_MAX_V.iter().enumerate() {
-        let mut fit = harness.config.fit(GnnKind::ParaGraph, 0);
-        fit.seed ^= (i as u64 + 1) << 32;
-        eprintln!("training CAP model max_v = {}", fmt_ff(max_v));
-        let (model, _) =
-            TargetModel::train(&harness.train, Target::Cap, Some(max_v), fit, &harness.norm);
-        models.push(model);
-    }
+    // Train one CAP model per max_v (ascending) — all four ensemble
+    // members concurrently on the shared worker pool, returned in
+    // `max_v` order.
+    let specs: Vec<TrainSpec> = PAPER_MAX_V
+        .iter()
+        .enumerate()
+        .map(|(i, &max_v)| {
+            let mut fit = harness.config.fit(GnnKind::ParaGraph, 0);
+            fit.seed ^= (i as u64 + 1) << 32;
+            eprintln!("queueing CAP model max_v = {}", fmt_ff(max_v));
+            TrainSpec {
+                target: Target::Cap,
+                max_value: Some(max_v),
+                fit,
+            }
+        })
+        .collect();
+    let models: Vec<TargetModel> = train_models(&harness.train, &specs, &harness.norm)
+        .into_iter()
+        .map(|(model, _)| model)
+        .collect();
 
     // Collect per-net truth + per-model predictions over all test nets.
     let mut truth_f: Vec<f64> = Vec::new();

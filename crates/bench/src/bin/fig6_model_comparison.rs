@@ -12,7 +12,8 @@
 //! used here (the ensemble study is `fig5_capacitance_range`).
 
 use paragraph::{
-    evaluate_model, BaselineKind, BaselineModel, EvalPairs, GnnKind, Target, TargetModel,
+    evaluate_model, train_models, BaselineKind, BaselineModel, EvalPairs, GnnKind, Target,
+    TrainSpec,
 };
 use paragraph_ml::r_squared;
 
@@ -73,11 +74,19 @@ fn main() {
                 mape[mi][ti] += s.mape;
                 eprint!(" {}={:.3}", kind.name(), r2_v);
             }
-            // GNNs.
-            for (gi, kind) in GnnKind::all().iter().enumerate() {
-                let fit = harness.config.fit(*kind, run);
-                let (model, _) =
-                    TargetModel::train(&harness.train, target, max_v, fit, &harness.norm);
+            // GNNs: the five kinds are independent models, so they train
+            // concurrently on the shared pool; results come back (and are
+            // accumulated) in kind order.
+            let specs: Vec<TrainSpec> = GnnKind::all()
+                .iter()
+                .map(|kind| TrainSpec {
+                    target,
+                    max_value: max_v,
+                    fit: harness.config.fit(*kind, run),
+                })
+                .collect();
+            let trained = train_models(&harness.train, &specs, &harness.norm);
+            for (gi, (kind, (model, _))) in GnnKind::all().iter().zip(trained).enumerate() {
                 let pairs = evaluate_model(&model, &harness.test, max_v);
                 let s = pairs.summary();
                 let r2_v = target_r2(target, &pairs);

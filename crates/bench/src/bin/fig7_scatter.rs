@@ -9,7 +9,8 @@
 //! LDE.
 
 use paragraph::{
-    evaluate_model, CapEnsemble, EvalPairs, GnnKind, Target, TargetModel, PAPER_MAX_V,
+    evaluate_model, train_models, CapEnsemble, EvalPairs, GnnKind, Target, TargetModel, TrainSpec,
+    PAPER_MAX_V,
 };
 use paragraph_bench::plot::log_scatter;
 use paragraph_bench::{write_json, Harness, HarnessConfig};
@@ -35,14 +36,24 @@ fn main() {
     // CAP panel: the ensemble of Algorithm 2 (matches the paper's quoted
     // 15.0 % MAPE, which is the ensemble figure).
     {
-        let mut members = Vec::new();
-        for (i, &max_v) in PAPER_MAX_V.iter().enumerate() {
-            let mut fit = harness.config.fit(GnnKind::ParaGraph, 0);
-            fit.seed ^= (i as u64 + 1) << 24;
-            let (m, _) =
-                TargetModel::train(&harness.train, Target::Cap, Some(max_v), fit, &harness.norm);
-            members.push(m);
-        }
+        // All four range members train concurrently on the shared pool.
+        let specs: Vec<TrainSpec> = PAPER_MAX_V
+            .iter()
+            .enumerate()
+            .map(|(i, &max_v)| {
+                let mut fit = harness.config.fit(GnnKind::ParaGraph, 0);
+                fit.seed ^= (i as u64 + 1) << 24;
+                TrainSpec {
+                    target: Target::Cap,
+                    max_value: Some(max_v),
+                    fit,
+                }
+            })
+            .collect();
+        let members = train_models(&harness.train, &specs, &harness.norm)
+            .into_iter()
+            .map(|(m, _)| m)
+            .collect();
         let ensemble = CapEnsemble::new(members);
         let mut pairs = EvalPairs::default();
         for pc in &harness.test {

@@ -14,8 +14,8 @@
 //! Table V, with mean and geometric-mean rows.
 
 use paragraph::{
-    BaselineKind, BaselineModel, CapEnsemble, GnnKind, PreparedCircuit, Target, TargetModel,
-    PAPER_MAX_V,
+    train_models, BaselineKind, BaselineModel, CapEnsemble, GnnKind, PreparedCircuit, Target,
+    TrainSpec, PAPER_MAX_V,
 };
 use paragraph_bench::testbench::{metric_count, table5_suite};
 use paragraph_bench::{write_json, Harness, HarnessConfig};
@@ -33,15 +33,24 @@ fn main() {
     // The baseline gets its best configuration: log-space training
     // (max_value = None) avoids the linear-scale small-cap collapse.
     let xgb = BaselineModel::train(&harness.train, Target::Cap, None, BaselineKind::Xgb);
-    eprintln!("training ParaGraph capacitance ensemble (4 models)...");
-    let mut members = Vec::new();
-    for (i, &max_v) in PAPER_MAX_V.iter().enumerate() {
-        let mut fit = harness.config.fit(GnnKind::ParaGraph, 0);
-        fit.seed ^= (i as u64 + 1) << 40;
-        let (m, _) =
-            TargetModel::train(&harness.train, Target::Cap, Some(max_v), fit, &harness.norm);
-        members.push(m);
-    }
+    eprintln!("training ParaGraph capacitance ensemble (4 models, concurrent)...");
+    let specs: Vec<TrainSpec> = PAPER_MAX_V
+        .iter()
+        .enumerate()
+        .map(|(i, &max_v)| {
+            let mut fit = harness.config.fit(GnnKind::ParaGraph, 0);
+            fit.seed ^= (i as u64 + 1) << 40;
+            TrainSpec {
+                target: Target::Cap,
+                max_value: Some(max_v),
+                fit,
+            }
+        })
+        .collect();
+    let members = train_models(&harness.train, &specs, &harness.norm)
+        .into_iter()
+        .map(|(m, _)| m)
+        .collect();
     let ensemble = CapEnsemble::new(members);
 
     // --- run the suite --------------------------------------------------

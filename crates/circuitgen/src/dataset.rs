@@ -453,26 +453,26 @@ const RECIPES: &[(&str, Split, Family, usize)] = &[
 /// assert_eq!(data.iter().filter(|c| c.split == Split::Test).count(), 4);
 /// ```
 pub fn paper_dataset(config: DatasetConfig) -> Vec<DatasetCircuit> {
-    RECIPES
-        .iter()
-        .enumerate()
-        .map(|(i, (name, split, family, base))| {
-            let blocks = ((*base as f64 * config.scale).round() as usize).max(4);
-            // Test chips draw from a disjoint seed region.
-            let seed_off = if *split == Split::Test { 10_000 } else { 0 };
-            let circuit = compose_chip(
-                name,
-                config.seed + seed_off + i as u64 * 131,
-                family,
-                blocks,
-            );
-            DatasetCircuit {
-                name: (*name).to_owned(),
-                split: *split,
-                circuit,
-            }
-        })
-        .collect()
+    // Each chip's RNG is seeded purely from its recipe index, so the
+    // chips are independent and the shared worker pool can generate them
+    // concurrently while `map` returns them in recipe order — the result
+    // is byte-identical to the old sequential stream.
+    paragraph_runtime::global().map(RECIPES, |i, (name, split, family, base)| {
+        let blocks = ((*base as f64 * config.scale).round() as usize).max(4);
+        // Test chips draw from a disjoint seed region.
+        let seed_off = if *split == Split::Test { 10_000 } else { 0 };
+        let circuit = compose_chip(
+            name,
+            config.seed + seed_off + i as u64 * 131,
+            family,
+            blocks,
+        );
+        DatasetCircuit {
+            name: (*name).to_owned(),
+            split: *split,
+            circuit,
+        }
+    })
 }
 
 #[cfg(test)]

@@ -94,6 +94,43 @@ impl CapEnsemble {
         Ok(Self { models })
     }
 
+    /// Trains the full Algorithm-2 ensemble — one CAP model per entry of
+    /// `max_vs` — with all members training **concurrently** on the
+    /// shared worker pool (via [`crate::train_models`]). `fit.seed` is
+    /// XOR-perturbed per member exactly like the sequential recipe the
+    /// bench binaries use, so a parallel ensemble matches a sequential
+    /// one bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`CapEnsemble::new`] if `max_vs` has fewer than two
+    /// entries or duplicates.
+    pub fn train(
+        train: &[crate::PreparedCircuit],
+        max_vs: &[f64],
+        fit: &crate::FitConfig,
+        norm: &crate::FeatureNorm,
+    ) -> Self {
+        let specs: Vec<crate::TrainSpec> = max_vs
+            .iter()
+            .enumerate()
+            .map(|(i, &max_v)| {
+                let mut member_fit = fit.clone();
+                member_fit.seed ^= (i as u64 + 1) << 32;
+                crate::TrainSpec {
+                    target: Target::Cap,
+                    max_value: Some(max_v),
+                    fit: member_fit,
+                }
+            })
+            .collect();
+        let models = crate::train_models(train, &specs, norm)
+            .into_iter()
+            .map(|(model, _)| model)
+            .collect();
+        Self::new(models)
+    }
+
     /// Member models, ascending `max_v`.
     pub fn members(&self) -> &[TargetModel] {
         &self.models

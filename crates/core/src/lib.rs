@@ -71,15 +71,16 @@ pub use graphbuild::{
 };
 pub use persist::{LoadModelError, SavedModel};
 pub use pipeline::{
-    evaluate_model, fit_norm, normalize_circuits, prepare_circuits, BaselineKind, BaselineModel,
-    EvalPairs, EvalSummary, FitConfig, GnnKind, PreparedCircuit, TargetModel,
+    evaluate_model, fit_norm, normalize_circuits, prepare_circuits, train_models, BaselineKind,
+    BaselineModel, EvalPairs, EvalSummary, FitConfig, GnnKind, PreparedCircuit, TargetModel,
+    TrainSpec,
 };
 pub use targets::{label_node_types, target_labels, Target, TargetLabels};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::{
-        build_graph, evaluate_model, fit_norm, normalize_circuits, CapEnsemble, FitConfig, GnnKind,
-        PreparedCircuit, Target, TargetModel,
+        build_graph, evaluate_model, fit_norm, normalize_circuits, train_models, CapEnsemble,
+        FitConfig, GnnKind, PreparedCircuit, Target, TargetModel, TrainSpec,
     };
 }

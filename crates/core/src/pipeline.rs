@@ -324,9 +324,9 @@ impl TargetModel {
         if nodes.is_empty() {
             return Vec::new();
         }
-        let nodes_rc = std::rc::Rc::new(nodes);
-        let preds = self.model.predict(&pc.graph.graph, &nodes_rc);
-        nodes_rc
+        let nodes_arc = std::sync::Arc::new(nodes);
+        let preds = self.model.predict(&pc.graph.graph, &nodes_arc);
+        nodes_arc
             .iter()
             .zip(preds)
             .map(|(&n, p)| (n, self.target.unscale_with(self.max_value, p)))
@@ -374,9 +374,9 @@ impl TargetModel {
         if nodes.is_empty() {
             return Vec::new();
         }
-        let nodes_rc = std::rc::Rc::new(nodes);
-        let preds = self.model.predict(&cg.graph, &nodes_rc);
-        nodes_rc
+        let nodes_arc = std::sync::Arc::new(nodes);
+        let preds = self.model.predict(&cg.graph, &nodes_arc);
+        nodes_arc
             .iter()
             .zip(preds)
             .map(|(&n, p)| (n, self.target.unscale_with(self.max_value, p)))
@@ -400,9 +400,9 @@ impl TargetModel {
         if nodes.is_empty() {
             return Vec::new();
         }
-        let nodes_rc = std::rc::Rc::new(nodes);
-        let preds = self.model.predict_uncertain(&pc.graph.graph, &nodes_rc);
-        nodes_rc
+        let nodes_arc = std::sync::Arc::new(nodes);
+        let preds = self.model.predict_uncertain(&pc.graph.graph, &nodes_arc);
+        nodes_arc
             .iter()
             .zip(preds)
             .map(|(&n, (mu, sigma))| {
@@ -432,6 +432,50 @@ fn clone_norm(norm: &FeatureNorm) -> FeatureNorm {
         mean: norm.mean.clone(),
         std: norm.std.clone(),
     }
+}
+
+/// One independent training run for [`train_models`]: a `(target,
+/// max_value, fit)` triple, mirroring [`TargetModel::train`]'s
+/// arguments.
+#[derive(Debug, Clone)]
+pub struct TrainSpec {
+    /// The predicted quantity.
+    pub target: Target,
+    /// Upper capacitance bound (the ensemble's `max_v`), if any.
+    pub max_value: Option<f64>,
+    /// Fit settings for this run.
+    pub fit: FitConfig,
+}
+
+impl TrainSpec {
+    /// Creates a spec without a `max_value` bound.
+    pub fn new(target: Target, fit: FitConfig) -> Self {
+        Self {
+            target,
+            max_value: None,
+            fit,
+        }
+    }
+}
+
+/// Trains every spec's model concurrently on the shared
+/// [`paragraph_runtime::global`] worker pool — one pool job per
+/// `(kind, target)` model, so independent models (e.g. the paper's 16+
+/// per-experiment runs, or the four ensemble members) no longer train
+/// one after another.
+///
+/// Results are returned **in spec order** regardless of which run
+/// finishes first, and each run is bit-identical to calling
+/// [`TargetModel::train`] with the same arguments sequentially: the
+/// runs share no mutable state, only the read-only training circuits.
+pub fn train_models(
+    train: &[PreparedCircuit],
+    specs: &[TrainSpec],
+    norm: &FeatureNorm,
+) -> Vec<(TargetModel, f32)> {
+    paragraph_runtime::global().map(specs, |_, spec| {
+        TargetModel::train(train, spec.target, spec.max_value, spec.fit.clone(), norm)
+    })
 }
 
 /// `(prediction, truth)` pairs in both training (log) space and physical

@@ -5,7 +5,7 @@
 //! are stored per node type (each type has its own feature dimension, as in
 //! Table II).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use paragraph_tensor::Tensor;
 
@@ -13,9 +13,9 @@ use paragraph_tensor::Tensor;
 #[derive(Debug, Clone)]
 pub struct EdgeList {
     /// Source node (global id) per edge.
-    pub src: Rc<Vec<u32>>,
+    pub src: Arc<Vec<u32>>,
     /// Destination node (global id) per edge.
-    pub dst: Rc<Vec<u32>>,
+    pub dst: Arc<Vec<u32>>,
 }
 
 impl EdgeList {
@@ -27,8 +27,8 @@ impl EdgeList {
     pub fn new(src: Vec<u32>, dst: Vec<u32>) -> Self {
         assert_eq!(src.len(), dst.len(), "src/dst length mismatch");
         Self {
-            src: Rc::new(src),
-            dst: Rc::new(dst),
+            src: Arc::new(src),
+            dst: Arc::new(dst),
         }
     }
 
@@ -83,7 +83,7 @@ pub struct HeteroGraph {
     node_type: Vec<u16>,
     /// Global node ids per type; row `i` of `features[t]` describes node
     /// `nodes_of_type[t][i]`.
-    nodes_of_type: Vec<Rc<Vec<u32>>>,
+    nodes_of_type: Vec<Arc<Vec<u32>>>,
     features: Vec<Tensor>,
     edges: Vec<EdgeList>,
     union_edges: Option<EdgeList>,
@@ -114,7 +114,7 @@ impl HeteroGraph {
         Self {
             num_nodes,
             node_type,
-            nodes_of_type: nodes_of_type.into_iter().map(Rc::new).collect(),
+            nodes_of_type: nodes_of_type.into_iter().map(Arc::new).collect(),
             features,
             edges: (0..schema.num_edge_types)
                 .map(|_| EdgeList::new(vec![], vec![]))
@@ -149,7 +149,7 @@ impl HeteroGraph {
     }
 
     /// Global ids of all nodes of `node_type`.
-    pub fn nodes_of_type(&self, node_type: u16) -> &Rc<Vec<u32>> {
+    pub fn nodes_of_type(&self, node_type: u16) -> &Arc<Vec<u32>> {
         &self.nodes_of_type[node_type as usize]
     }
 

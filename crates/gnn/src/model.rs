@@ -7,7 +7,7 @@
 //! regression head. They differ only in the aggregation step, per Table
 //! III.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use paragraph_tensor::{init_rng, ParamId, ParamSet, Tape, Tensor, Var};
 
@@ -311,7 +311,12 @@ impl GnnModel {
 
     /// Predicts a scalar per node in `nodes` (global ids): embedding
     /// followed by the FC head.
-    pub fn predict_nodes(&self, tape: &mut Tape, graph: &HeteroGraph, nodes: &Rc<Vec<u32>>) -> Var {
+    pub fn predict_nodes(
+        &self,
+        tape: &mut Tape,
+        graph: &HeteroGraph,
+        nodes: &Arc<Vec<u32>>,
+    ) -> Var {
         let h = self.embed(tape, graph);
         let mut z = tape.gather_rows(h, nodes.clone());
         for (k, (w, b)) in self.head.iter().enumerate() {
@@ -329,7 +334,7 @@ impl GnnModel {
     /// Convenience inference: returns plain predictions for `nodes`.
     ///
     /// For uncertainty-headed models this returns the mean column.
-    pub fn predict(&self, graph: &HeteroGraph, nodes: &Rc<Vec<u32>>) -> Vec<f32> {
+    pub fn predict(&self, graph: &HeteroGraph, nodes: &Arc<Vec<u32>>) -> Vec<f32> {
         let mut tape = Tape::new();
         let out = self.predict_nodes(&mut tape, graph, nodes);
         let v = tape.value(out);
@@ -370,7 +375,7 @@ impl GnnModel {
 
     /// Inference with confidence: `(mean, sigma)` per node in training
     /// space.
-    pub fn predict_uncertain(&self, graph: &HeteroGraph, nodes: &Rc<Vec<u32>>) -> Vec<(f32, f32)> {
+    pub fn predict_uncertain(&self, graph: &HeteroGraph, nodes: &Arc<Vec<u32>>) -> Vec<(f32, f32)> {
         let mut tape = Tape::new();
         let out = self.predict_nodes(&mut tape, graph, nodes);
         let v = tape.value(out);
@@ -706,7 +711,7 @@ mod tests {
         cfg.layers = 2;
         cfg.fc_layers = 2;
         let model = GnnModel::new(cfg, &schema);
-        let nodes = Rc::new(vec![1_u32, 3]);
+        let nodes = Arc::new(vec![1_u32, 3]);
         let preds = model.predict(&graph, &nodes);
         assert_eq!(preds.len(), 2);
     }
@@ -746,7 +751,7 @@ mod tests {
         cfg.fc_layers = 2;
         let model = GnnModel::new(cfg, &schema);
         let mut tape = Tape::new();
-        let nodes = Rc::new(vec![1_u32, 3]);
+        let nodes = Arc::new(vec![1_u32, 3]);
         let pred = model.predict_nodes(&mut tape, &graph, &nodes);
         let target = tape.constant(Tensor::from_col(&[1.0, -1.0]));
         let loss = tape.mse_loss(pred, target);
@@ -1021,7 +1026,7 @@ mod uncertainty_tests {
         cfg.fc_layers = 2;
         cfg.uncertainty_head = true;
         let model = GnnModel::new(cfg, &schema);
-        let preds = model.predict_uncertain(&g, &Rc::new(vec![0, 2]));
+        let preds = model.predict_uncertain(&g, &Arc::new(vec![0, 2]));
         assert_eq!(preds.len(), 2);
         assert!(preds.iter().all(|(m, s)| m.is_finite() && *s > 0.0));
     }

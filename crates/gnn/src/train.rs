@@ -5,7 +5,7 @@
 //! [`GraphTask`] carries one graph plus the labelled node subset; the
 //! [`Trainer`] loops graphs x epochs.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use paragraph_tensor::{Adam, Tape, Tensor};
 
@@ -19,7 +19,7 @@ pub struct GraphTask {
     /// The circuit graph.
     pub graph: HeteroGraph,
     /// Global ids of labelled nodes.
-    pub nodes: Rc<Vec<u32>>,
+    pub nodes: Arc<Vec<u32>>,
     /// Target value per labelled node (`nodes.len() x 1`), already scaled
     /// to training space.
     pub labels: Tensor,
@@ -35,7 +35,7 @@ impl GraphTask {
         assert_eq!(labels.shape(), (nodes.len(), 1), "labels/nodes mismatch");
         Self {
             graph,
-            nodes: Rc::new(nodes),
+            nodes: Arc::new(nodes),
             labels,
         }
     }
@@ -138,6 +138,96 @@ impl Trainer {
 }
 
 impl Trainer {
+    /// Data-parallel full-batch training on the process-wide
+    /// [`paragraph_runtime::global`] pool.
+    ///
+    /// See [`fit_parallel_on`](Self::fit_parallel_on) for semantics and
+    /// the determinism contract.
+    pub fn fit_parallel(&mut self, model: &mut GnnModel, tasks: &[GraphTask]) -> Vec<EpochStats> {
+        self.fit_parallel_on(model, tasks, paragraph_runtime::global())
+    }
+
+    /// Data-parallel full-batch training: every epoch runs the
+    /// forward/backward pass of each [`GraphTask`] shard concurrently on
+    /// `pool` workers, then takes **one** Adam step on the mean of the
+    /// per-task parameter gradients.
+    ///
+    /// # Determinism contract
+    ///
+    /// The result is **bit-identical for any worker count** (1, 2, 8,
+    /// ...): each shard's gradients are computed independently against
+    /// the same epoch-start parameters, and the reduction sums them in
+    /// fixed task order — never in completion order. The only quantity
+    /// that varies with the pool is wall-clock time.
+    ///
+    /// Note the optimizer schedule differs from [`fit`](Self::fit),
+    /// which takes one Adam step *per task* and therefore lets later
+    /// tasks see parameters already updated by earlier ones; the
+    /// sequential equivalent of this method is gradient accumulation
+    /// over all tasks followed by a single step.
+    ///
+    /// Returns per-epoch mean task loss, in epoch order.
+    pub fn fit_parallel_on(
+        &mut self,
+        model: &mut GnnModel,
+        tasks: &[GraphTask],
+        pool: &paragraph_runtime::Pool,
+    ) -> Vec<EpochStats> {
+        let mut history = Vec::with_capacity(self.config.epochs);
+        for epoch in 0..self.config.epochs {
+            self.opt.lr = self.config.lr * self.config.lr_decay.powi(epoch as i32);
+            // Forward/backward per shard, in parallel. Results come
+            // back slotted by task index regardless of which worker
+            // finished first.
+            let shard_model: &GnnModel = model;
+            let per_task = pool.map(tasks, |_, task| {
+                if task.nodes.is_empty() {
+                    return None;
+                }
+                let mut tape = Tape::new();
+                let pred = shard_model.predict_nodes(&mut tape, &task.graph, &task.nodes);
+                let target = tape.constant(task.labels.clone());
+                let loss = tape.mse_loss(pred, target);
+                let loss_v = tape.value(loss).item();
+                let grads = tape.backward(loss);
+                Some((loss_v, grads.param_grads(&tape)))
+            });
+            // Deterministic reduction: accumulate in task order.
+            let mut total = 0.0;
+            let mut count = 0usize;
+            let mut summed: Vec<Option<(paragraph_tensor::ParamId, Tensor)>> =
+                (0..model.params().len()).map(|_| None).collect();
+            for shard in per_task.into_iter().flatten() {
+                let (loss_v, pg) = shard;
+                total += loss_v;
+                count += 1;
+                for (id, grad) in pg {
+                    match &mut summed[id.index()] {
+                        Some((_, acc)) => acc.add_scaled(&grad, 1.0),
+                        slot @ None => *slot = Some((id, grad)),
+                    }
+                }
+            }
+            if count > 0 {
+                let scale = 1.0 / count as f32;
+                let mean_grads: Vec<(paragraph_tensor::ParamId, Tensor)> = summed
+                    .into_iter()
+                    .flatten()
+                    .map(|(id, acc)| (id, acc.scale(scale)))
+                    .collect();
+                self.opt.step(model.params_mut(), &mean_grads);
+            }
+            let loss = if count > 0 { total / count as f32 } else { 0.0 };
+            history.push(EpochStats { epoch, loss });
+            if let Some(target) = self.config.loss_target {
+                if loss < target {
+                    break;
+                }
+            }
+        }
+        history
+    }
+
     /// Mini-batch training over sampled neighbourhoods: each step trains
     /// on the `sample.hops`-deep neighbourhood of `batch_size` labelled
     /// nodes instead of the full graph — the GraphSage recipe for graphs

@@ -1,0 +1,185 @@
+//! Determinism contract of `Trainer::fit_parallel_on`: training on 1, 2,
+//! and 8 pool workers must produce bit-identical model parameters and
+//! loss history, and must match a hand-rolled sequential
+//! gradient-accumulation loop (the sequential equivalent of one Adam
+//! step per epoch on task-order-summed mean gradients).
+
+use paragraph_gnn::{
+    GnnKind, GnnModel, GraphSchema, GraphTask, HeteroGraph, ModelConfig, TrainConfig, Trainer,
+};
+use paragraph_runtime::Pool;
+use paragraph_tensor::{Adam, ParamId, Tape, Tensor};
+
+/// Builds a small multi-graph task set: each graph's type-1 nodes are
+/// labelled with the sum of their type-0 in-neighbours' features.
+fn task_set() -> (GraphSchema, Vec<GraphTask>) {
+    let schema = GraphSchema {
+        node_feat_dims: vec![1, 1],
+        num_edge_types: 2,
+    };
+    let mut tasks = Vec::new();
+    for seed in [3u64, 17, 40, 51] {
+        let n0 = 10usize;
+        let n1 = 5usize;
+        let mut types = vec![0u16; n0];
+        types.extend(vec![1u16; n1]);
+        let mut g = HeteroGraph::new(&schema, types);
+        let feats: Vec<f32> = (0..n0)
+            .map(|i| ((i as u64 * 7 + seed) % 5) as f32 * 0.2)
+            .collect();
+        g.set_features(0, Tensor::from_col(&feats));
+        g.set_features(1, Tensor::zeros(n1, 1));
+        let mut src = Vec::new();
+        let mut dst = Vec::new();
+        let mut labels = Vec::new();
+        for j in 0..n1 {
+            for k in [2 * j, 2 * j + 1] {
+                src.push(k as u32);
+                dst.push((n0 + j) as u32);
+            }
+            labels.push(feats[2 * j] + feats[2 * j + 1]);
+        }
+        g.set_edges(0, src.clone(), dst.clone());
+        g.set_edges(1, dst, src);
+        let nodes: Vec<u32> = (n0..n0 + n1).map(|i| i as u32).collect();
+        tasks.push(GraphTask::new(g, nodes, Tensor::from_col(&labels)));
+    }
+    // An empty task: must be skipped identically on every path.
+    let g = HeteroGraph::new(&schema, vec![0u16]);
+    tasks.push(GraphTask::new(g, vec![], Tensor::zeros(0, 1)));
+    (schema, tasks)
+}
+
+fn fresh_model(schema: &GraphSchema) -> GnnModel {
+    let mut cfg = ModelConfig::new(GnnKind::ParaGraph);
+    cfg.embed_dim = 8;
+    cfg.layers = 2;
+    cfg.fc_layers = 2;
+    GnnModel::new(cfg, schema)
+}
+
+const TRAIN: TrainConfig = TrainConfig {
+    epochs: 12,
+    lr: 0.01,
+    lr_decay: 0.98,
+    loss_target: None,
+};
+
+fn run_parallel(schema: &GraphSchema, tasks: &[GraphTask], workers: usize) -> (Vec<f32>, Vec<f32>) {
+    let pool = Pool::new(workers);
+    let mut model = fresh_model(schema);
+    let mut trainer = Trainer::new(TRAIN);
+    let history = trainer.fit_parallel_on(&mut model, tasks, &pool);
+    let losses = history.iter().map(|e| e.loss).collect();
+    let params = model
+        .params()
+        .export()
+        .into_iter()
+        .flat_map(|(_, _, _, data)| data)
+        .collect();
+    (losses, params)
+}
+
+/// Sequential reference: per epoch, accumulate each non-empty task's
+/// gradients in task order against the epoch-start parameters, average,
+/// and take a single Adam step.
+fn run_sequential_reference(schema: &GraphSchema, tasks: &[GraphTask]) -> (Vec<f32>, Vec<f32>) {
+    let mut model = fresh_model(schema);
+    let mut opt = Adam::new(TRAIN.lr);
+    let mut losses = Vec::new();
+    for epoch in 0..TRAIN.epochs {
+        opt.lr = TRAIN.lr * TRAIN.lr_decay.powi(epoch as i32);
+        let mut summed: Vec<Option<(ParamId, Tensor)>> =
+            (0..model.params().len()).map(|_| None).collect();
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for task in tasks {
+            if task.nodes.is_empty() {
+                continue;
+            }
+            let mut tape = Tape::new();
+            let pred = model.predict_nodes(&mut tape, &task.graph, &task.nodes);
+            let target = tape.constant(task.labels.clone());
+            let loss = tape.mse_loss(pred, target);
+            total += tape.value(loss).item();
+            count += 1;
+            for (id, grad) in tape.backward(loss).param_grads(&tape) {
+                match &mut summed[id.index()] {
+                    Some((_, acc)) => acc.add_scaled(&grad, 1.0),
+                    slot @ None => *slot = Some((id, grad)),
+                }
+            }
+        }
+        let scale = 1.0 / count as f32;
+        let mean: Vec<(ParamId, Tensor)> = summed
+            .into_iter()
+            .flatten()
+            .map(|(id, acc)| (id, acc.scale(scale)))
+            .collect();
+        opt.step(model.params_mut(), &mean);
+        losses.push(total / count as f32);
+    }
+    let params = model
+        .params()
+        .export()
+        .into_iter()
+        .flat_map(|(_, _, _, data)| data)
+        .collect();
+    (losses, params)
+}
+
+#[test]
+fn fit_parallel_bit_identical_across_worker_counts() {
+    let (schema, tasks) = task_set();
+    let (loss1, params1) = run_parallel(&schema, &tasks, 1);
+    let (loss2, params2) = run_parallel(&schema, &tasks, 2);
+    let (loss8, params8) = run_parallel(&schema, &tasks, 8);
+
+    // Losses are bitwise equal epoch by epoch...
+    assert_eq!(loss1.len(), TRAIN.epochs);
+    assert!(
+        loss1
+            .iter()
+            .zip(&loss2)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "1-worker vs 2-worker loss history diverged"
+    );
+    assert!(
+        loss1
+            .iter()
+            .zip(&loss8)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "1-worker vs 8-worker loss history diverged"
+    );
+    // ...and every parameter is bitwise equal.
+    assert_eq!(params1.len(), params2.len());
+    assert_eq!(params1.len(), params8.len());
+    for (i, ((a, b), c)) in params1.iter().zip(&params2).zip(&params8).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "param {i}: 1 vs 2 workers");
+        assert_eq!(a.to_bits(), c.to_bits(), "param {i}: 1 vs 8 workers");
+    }
+    // Training actually did something.
+    assert!(loss1.last().unwrap() < loss1.first().unwrap());
+}
+
+#[test]
+fn fit_parallel_matches_sequential_gradient_accumulation() {
+    let (schema, tasks) = task_set();
+    let (loss_par, params_par) = run_parallel(&schema, &tasks, 8);
+    let (loss_seq, params_seq) = run_sequential_reference(&schema, &tasks);
+    assert!(
+        loss_par
+            .iter()
+            .zip(&loss_seq)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "parallel vs sequential-reference loss history diverged"
+    );
+    assert_eq!(params_par.len(), params_seq.len());
+    for (i, (a, b)) in params_par.iter().zip(&params_seq).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "param {i}: parallel vs sequential"
+        );
+    }
+}

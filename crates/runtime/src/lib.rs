@@ -1,0 +1,480 @@
+//! Std-only scoped worker pool shared by every compute fan-out in the
+//! workspace.
+//!
+//! The seed implementation spawned fresh OS threads inside every large
+//! `Tensor::matmul` and trained every model strictly sequentially. This
+//! crate replaces both patterns with one long-lived [`Pool`]: workers are
+//! spawned once (normally via [`global`]) and every parallel region —
+//! matmul row chunks, per-graph forward/backward shards, whole model
+//! training runs, dataset generation — submits closures to the same
+//! queue.
+//!
+//! # Design
+//!
+//! * **Scoped borrows.** [`Pool::scope`] lets jobs borrow from the
+//!   caller's stack (like `std::thread::scope`): the scope does not
+//!   return until every job spawned inside it has finished.
+//! * **Caller helps.** While a scope waits for its jobs, the submitting
+//!   thread pops and runs queued jobs itself. This keeps a
+//!   single-worker pool from deadlocking on nested scopes (a training
+//!   shard that itself fans out matmul row chunks) and means a pool
+//!   with `threads == 1` degenerates to plain sequential execution in
+//!   the caller, with no cross-thread traffic at all.
+//! * **Panic isolation.** A panicking job never kills a worker and
+//!   never poisons the queue. The first panic payload of a scope is
+//!   captured and re-thrown from `scope` on the submitting thread after
+//!   all sibling jobs have drained; later submissions are unaffected
+//!   (see the `panicking_job_does_not_poison_later_submissions` test).
+//! * **Determinism is the caller's contract.** The pool runs jobs in an
+//!   unspecified order on an unspecified thread; callers that need
+//!   bit-identical results across worker counts must make each job
+//!   write disjoint output (e.g. [`Pool::map`] slots results by input
+//!   index) and reduce in a fixed order afterwards.
+//!
+//! # Sizing
+//!
+//! The global pool sizes itself from the `PARAGRAPH_NUM_THREADS`
+//! environment variable, falling back to
+//! [`std::thread::available_parallelism`]. A pool of `t` threads spawns
+//! `t - 1` workers: the submitting thread is the `t`-th executor.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// A type-erased job. Lifetime-erased to `'static` by [`Scope::spawn`];
+/// soundness is provided by `scope` blocking until completion.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Locks a mutex, ignoring poisoning (jobs are already wrapped in
+/// `catch_unwind`, so a poisoned lock carries no extra information).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signalled when a job is pushed or shutdown begins.
+    job_ready: Condvar,
+}
+
+impl Shared {
+    fn pop_blocking(&self) -> Option<Job> {
+        let mut q = lock(&self.queue);
+        loop {
+            if let Some(job) = q.jobs.pop_front() {
+                return Some(job);
+            }
+            if q.shutdown {
+                return None;
+            }
+            q = self
+                .job_ready
+                .wait(q)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        lock(&self.queue).jobs.pop_front()
+    }
+
+    fn push(&self, job: Job) {
+        lock(&self.queue).jobs.push_back(job);
+        self.job_ready.notify_one();
+    }
+}
+
+/// Completion latch for one [`Scope`]: counts outstanding jobs and holds
+/// the first panic payload.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+struct LatchState {
+    pending: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(LatchState {
+                pending: 0,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn add_one(&self) {
+        lock(&self.state).pending += 1;
+    }
+
+    fn complete_one(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut s = lock(&self.state);
+        s.pending -= 1;
+        if s.panic.is_none() {
+            s.panic = panic;
+        }
+        if s.pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        lock(&self.state).pending == 0
+    }
+
+    /// Waits briefly for completion; returns whether the latch is done.
+    /// A short timeout (rather than a pure `wait`) sidesteps the missed
+    /// wake-up race between `is_done` checks and job completion while
+    /// the scope owner alternates between helping and waiting.
+    fn wait_brief(&self) -> bool {
+        let s = lock(&self.state);
+        if s.pending == 0 {
+            return true;
+        }
+        let (s, _) = self
+            .done
+            .wait_timeout(s, Duration::from_micros(200))
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        s.pending == 0
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        lock(&self.state).panic.take()
+    }
+}
+
+/// A fixed-size worker pool with scoped job submission.
+///
+/// Most code should use the process-wide [`global`] pool; tests and
+/// benchmarks construct private pools with [`Pool::new`] to pin an
+/// exact worker count.
+pub struct Pool {
+    shared: Arc<Shared>,
+    threads: usize,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Creates a pool that executes on `threads` threads in total
+    /// (`threads - 1` spawned workers plus the submitting thread).
+    /// `threads` is clamped to at least 1; a 1-thread pool runs every
+    /// job inline in the caller.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("paragraph-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            threads,
+            workers,
+        }
+    }
+
+    /// Total execution threads (spawned workers + the submitting
+    /// thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with a [`Scope`] on which jobs borrowing from the
+    /// enclosing stack frame can be spawned. Returns only after every
+    /// spawned job has finished; while waiting, the calling thread
+    /// executes queued jobs itself.
+    ///
+    /// # Panics
+    ///
+    /// Re-throws the first panic raised by `f` or by any spawned job,
+    /// after all jobs of this scope have completed (so borrowed data is
+    /// never accessed after `scope` unwinds).
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            latch: Arc::new(Latch::new()),
+            _env: std::marker::PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Help until every job of this scope is done. Jobs of unrelated
+        // scopes may also be executed here; that is harmless and avoids
+        // idling while the queue is non-empty.
+        while !scope.latch.is_done() {
+            match self.shared.try_pop() {
+                Some(job) => job(),
+                None => {
+                    scope.latch.wait_brief();
+                }
+            }
+        }
+        if let Some(payload) = scope.latch.take_panic() {
+            resume_unwind(payload);
+        }
+        match result {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// Applies `f` to every element of `items` on the pool, returning
+    /// results **in input order** regardless of execution order — the
+    /// building block for the workspace's deterministic-reduction
+    /// contract. `f` receives `(index, &item)`.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let mut slots: Vec<Mutex<Option<R>>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || Mutex::new(None));
+        self.scope(|s| {
+            for (i, (item, slot)) in items.iter().zip(&slots).enumerate() {
+                let f = &f;
+                s.spawn(move || {
+                    let r = f(i, item);
+                    *lock(slot) = Some(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                lock(&slot)
+                    .take()
+                    .expect("pool map slot unfilled after scope")
+            })
+            .collect()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        lock(&self.shared.queue).shutdown = true;
+        self.shared.job_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.pop_blocking() {
+        // The job closure built by `Scope::spawn` already catches
+        // panics and records them in its scope's latch; this outer
+        // guard only protects the worker against panics escaping a
+        // panic payload's own destructor.
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+/// A spawn handle tied to one [`Pool::scope`] call. `'env` is the
+/// lifetime of borrows captured by spawned jobs.
+pub struct Scope<'pool, 'env> {
+    pool: &'pool Pool,
+    latch: Arc<Latch>,
+    _env: std::marker::PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'_, 'env> {
+    /// Queues `f` for execution on the pool. The closure may borrow
+    /// from the environment of the enclosing [`Pool::scope`] call.
+    ///
+    /// A panic inside `f` is captured (not propagated to the executing
+    /// worker) and re-thrown by `Pool::scope` after all sibling jobs
+    /// have finished.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.latch.add_one();
+        let latch = Arc::clone(&self.latch);
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(f));
+            latch.complete_one(result.err());
+        });
+        // SAFETY: `Pool::scope` does not return (or unwind) before the
+        // latch counts this job as complete, so every borrow captured
+        // by `f` outlives the job's execution. This is the same
+        // lifetime erasure `std::thread::scope` performs internally.
+        let job: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
+        self.pool.shared.push(job);
+    }
+}
+
+/// Returns the process-wide shared pool, creating it on first use.
+///
+/// The thread count is read once from `PARAGRAPH_NUM_THREADS` (values
+/// `< 1` or non-numeric are ignored), falling back to
+/// [`std::thread::available_parallelism`]. Set
+/// `PARAGRAPH_NUM_THREADS=1` to force every pool consumer onto the
+/// sequential path.
+pub fn global() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool::new(default_threads()))
+}
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("PARAGRAPH_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_all_jobs_with_borrows() {
+        let pool = Pool::new(4);
+        let mut out = vec![0usize; 64];
+        pool.scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move || *slot = i * i);
+            }
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..10 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let pool = Pool::new(3);
+        let items: Vec<usize> = (0..100).collect();
+        let out = pool.map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 3
+        });
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        // A job that itself opens a scope on the same pool must make
+        // progress even when every worker is busy with outer jobs —
+        // this exercises the caller-helps path.
+        let pool = Pool::new(2);
+        let total = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    pool.scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(|| {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn panicking_job_does_not_poison_later_submissions() {
+        let pool = Pool::new(2);
+        let before = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| {
+                    before.fetch_add(1, Ordering::Relaxed);
+                });
+                s.spawn(|| panic!("job explodes"));
+                s.spawn(|| {
+                    before.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }));
+        assert!(result.is_err(), "scope must re-throw the job panic");
+        // Sibling jobs of the panicking scope still ran.
+        assert_eq!(before.load(Ordering::Relaxed), 2);
+        // The pool stays fully usable: workers survived and the next
+        // scope behaves normally.
+        let after = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    after.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(after.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn map_survives_past_panics() {
+        let pool = Pool::new(2);
+        let items = [1, 2, 3];
+        let bad: Result<Vec<i32>, _> = catch_unwind(AssertUnwindSafe(|| {
+            pool.map(&items, |_, &x| {
+                if x == 2 {
+                    panic!("poison attempt");
+                }
+                x
+            })
+        }));
+        assert!(bad.is_err());
+        let good = pool.map(&items, |_, &x| x * 10);
+        assert_eq!(good, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = global();
+        let b = global();
+        assert!(std::ptr::eq(a, b));
+        assert!(a.threads() >= 1);
+    }
+}

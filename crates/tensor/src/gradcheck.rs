@@ -92,7 +92,7 @@ pub fn check(
 mod tests {
     use super::*;
     use crate::params::init_rng;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn small_params(seed: u64, shapes: &[(&str, usize, usize)]) -> ParamSet {
         let mut rng = init_rng(seed);
@@ -126,8 +126,8 @@ mod tests {
         // Exercises the message-passing ops end to end (a mini attention
         // layer) under gradient checking.
         let mut params = small_params(9, &[("w", 3, 3), ("a", 6, 1)]);
-        let src = Rc::new(vec![0_u32, 1, 2, 2, 0]);
-        let dst = Rc::new(vec![1_u32, 0, 0, 1, 2]);
+        let src = Arc::new(vec![0_u32, 1, 2, 2, 0]);
+        let dst = Arc::new(vec![1_u32, 0, 0, 1, 2]);
         let result = check(&mut params, 1e-2, |tape, params| {
             let x = tape.constant(Tensor::from_fn(3, 3, |i, j| (i as f32 - j as f32) * 0.4));
             let w = tape.param(params, params.find("w").unwrap());

@@ -22,7 +22,7 @@
 //! assert_eq!(grads.for_param(&tape, w).unwrap().item(), 3.0);
 //! ```
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::params::{ParamId, ParamSet};
 use crate::tensor::Tensor;
@@ -48,9 +48,9 @@ enum Op {
     Tanh(Var),
     Square(Var),
     Exp(Var),
-    GatherRows(Var, Rc<Vec<u32>>),
-    ScatterAddRows(Var, Rc<Vec<u32>>, usize),
-    SegmentSoftmax(Var, Rc<Vec<u32>>, usize),
+    GatherRows(Var, Arc<Vec<u32>>),
+    ScatterAddRows(Var, Arc<Vec<u32>>, usize),
+    SegmentSoftmax(Var, Arc<Vec<u32>>, usize),
     MulColBroadcast(Var, Var),
     RowL2Normalize(Var),
     MeanAll(Var),
@@ -261,7 +261,7 @@ impl Tape {
     /// # Panics
     ///
     /// Panics if any index is out of range.
-    pub fn gather_rows(&mut self, a: Var, index: Rc<Vec<u32>>) -> Var {
+    pub fn gather_rows(&mut self, a: Var, index: Arc<Vec<u32>>) -> Var {
         let src = self.value(a);
         let (n, f) = src.shape();
         let mut out = Tensor::zeros(index.len(), f);
@@ -279,7 +279,7 @@ impl Tape {
     /// # Panics
     ///
     /// Panics if any index is `>= num_rows` or `a.rows() != index.len()`.
-    pub fn scatter_add_rows(&mut self, a: Var, index: Rc<Vec<u32>>, num_rows: usize) -> Var {
+    pub fn scatter_add_rows(&mut self, a: Var, index: Arc<Vec<u32>>, num_rows: usize) -> Var {
         let src = self.value(a);
         assert_eq!(src.rows(), index.len(), "scatter rows/index mismatch");
         let f = src.cols();
@@ -304,7 +304,7 @@ impl Tape {
     /// # Panics
     ///
     /// Panics if `a` is not a column vector or ids exceed `num_segments`.
-    pub fn segment_softmax(&mut self, a: Var, segments: Rc<Vec<u32>>, num_segments: usize) -> Var {
+    pub fn segment_softmax(&mut self, a: Var, segments: Arc<Vec<u32>>, num_segments: usize) -> Var {
         let src = self.value(a);
         assert_eq!(src.cols(), 1, "segment_softmax expects an E x 1 column");
         assert_eq!(src.rows(), segments.len(), "segment ids/rows mismatch");
@@ -414,10 +414,12 @@ impl Tape {
         match &self.nodes[idx].op {
             Op::Leaf { .. } => {}
             Op::MatMul(a, b) => {
+                // Fused transposed-operand kernels: ∂a = g @ bᵀ and
+                // ∂b = aᵀ @ g without materialising either transpose.
                 let av = self.value(*a);
                 let bv = self.value(*b);
-                add_to(grads, *a, g.matmul(&bv.transpose()));
-                add_to(grads, *b, av.transpose().matmul(g));
+                add_to(grads, *a, g.matmul_nt(bv));
+                add_to(grads, *b, av.matmul_tn(g));
             }
             Op::Add(a, b) => {
                 add_to(grads, *a, g.clone());
@@ -646,7 +648,7 @@ mod tests {
     fn segment_softmax_sums_to_one_per_segment() {
         let mut tape = Tape::new();
         let scores = tape.constant(Tensor::from_col(&[0.3, -1.0, 2.0, 0.5, 0.5]));
-        let segs = Rc::new(vec![0_u32, 0, 1, 1, 1]);
+        let segs = Arc::new(vec![0_u32, 0, 1, 1, 1]);
         let sm = tape.segment_softmax(scores, segs.clone(), 2);
         let y = tape.value(sm);
         let s0 = y.at(0, 0) + y.at(1, 0);
@@ -658,7 +660,7 @@ mod tests {
     #[test]
     fn gather_scatter_are_adjoint() {
         // <scatter(x), y> == <x, gather(y)> for matching indices.
-        let idx = Rc::new(vec![2_u32, 0, 2]);
+        let idx = Arc::new(vec![2_u32, 0, 2]);
         let x = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
         let y = Tensor::from_rows(&[&[1.0, -1.0], &[0.5, 0.5], &[2.0, 1.0]]);
 

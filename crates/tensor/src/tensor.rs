@@ -296,8 +296,8 @@ impl Tensor {
 
     /// Matrix product `self @ other`.
     ///
-    /// Uses a cache-friendly i-k-j loop and splits the row range over threads
-    /// for large products.
+    /// Uses a cache-friendly i-k-j loop and submits row chunks to the
+    /// shared [`paragraph_runtime`] worker pool for large products.
     ///
     /// # Panics
     ///
@@ -317,6 +317,59 @@ impl Tensor {
             self.cols,
             other.cols,
         );
+        out
+    }
+
+    /// Transposed-operand product `self @ otherᵀ` without materialising
+    /// the transpose.
+    ///
+    /// Shapes: `(m x k) @ (n x k)ᵀ = (m x n)`. Each output element is a
+    /// dot product of a row of `self` with a row of `other`, accumulated
+    /// in a fixed order, so results are bit-identical across worker
+    /// counts. Used by the backward pass of [`matmul`](Self::matmul) for
+    /// the left operand's gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts disagree.
+    pub fn matmul_nt(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {}x{} @ ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Self::zeros(m, n);
+        par_row_chunks(m, k, n, &mut out.data, |c, row_start, row_end| {
+            matmul_nt_rows(&self.data, &other.data, c, k, n, row_start, row_end);
+        });
+        out
+    }
+
+    /// Transposed-operand product `selfᵀ @ other` without materialising
+    /// the transpose.
+    ///
+    /// Shapes: `(k x m)ᵀ @ (k x n) = (m x n)`. Work is split over output
+    /// row chunks; every chunk scans the `k` rows of both inputs in the
+    /// same ascending order, so each output element sees one fixed
+    /// summation order and results are bit-identical across worker
+    /// counts. Used by the backward pass of [`matmul`](Self::matmul) for
+    /// the right operand's gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts disagree.
+    pub fn matmul_tn(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: ({}x{})^T @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Self::zeros(m, n);
+        par_row_chunks(m, k, n, &mut out.data, |c, row_start, row_end| {
+            matmul_tn_rows(&self.data, &other.data, c, k, n, row_start, row_end);
+        });
         out
     }
 
@@ -406,40 +459,55 @@ impl Tensor {
     }
 }
 
-/// Threshold (in multiply-accumulate operations) above which `matmul`
-/// parallelises across rows.
+/// Threshold (in multiply-accumulate operations) above which the matmul
+/// kernels parallelise across output rows.
 const PAR_FLOP_THRESHOLD: usize = 1 << 21;
 
-pub(crate) fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+/// Splits the `m` output rows of an `m x n` buffer into chunks and runs
+/// `kernel(chunk, row_start, row_end)` for each — on the shared
+/// [`paragraph_runtime`] pool when the product is large enough, inline
+/// otherwise. Workers are reused across calls; nothing is spawned here.
+///
+/// Every output element is written by exactly one job, so any kernel
+/// with a fixed per-element accumulation order stays bit-identical
+/// across worker counts.
+fn par_row_chunks(
+    m: usize,
+    k: usize,
+    n: usize,
+    c: &mut [f32],
+    kernel: impl Fn(&mut [f32], usize, usize) + Sync,
+) {
     let work = m.saturating_mul(k).saturating_mul(n);
+    let pool = paragraph_runtime::global();
     let threads = if work >= PAR_FLOP_THRESHOLD {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(8)
+        pool.threads().min(8)
     } else {
         1
     };
     if threads <= 1 || m < 2 * threads {
-        matmul_rows(a, b, c, k, n, 0, m);
+        kernel(c, 0, m);
         return;
     }
     let chunk = m.div_ceil(threads);
-    std::thread::scope(|scope| {
+    pool.scope(|scope| {
         let mut rest = &mut c[..];
         let mut start = 0;
         while start < m {
             let rows_here = chunk.min(m - start);
             let (head, tail) = rest.split_at_mut(rows_here * n);
             rest = tail;
-            let a_ref = a;
-            let b_ref = b;
+            let kernel = &kernel;
             let s = start;
-            scope.spawn(move || {
-                matmul_rows(a_ref, b_ref, head, k, n, s, s + rows_here);
-            });
+            scope.spawn(move || kernel(head, s, s + rows_here));
             start += rows_here;
         }
+    });
+}
+
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    par_row_chunks(m, k, n, c, |chunk, row_start, row_end| {
+        matmul_rows(a, b, chunk, k, n, row_start, row_end);
     });
 }
 
@@ -460,6 +528,61 @@ fn matmul_rows(
                 continue;
             }
             let b_row = &b[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    }
+}
+
+/// Rows `row_start..row_end` of `a (m x k) @ b (n x k)ᵀ`: each output
+/// element is a row-by-row dot product.
+fn matmul_nt_rows(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    k: usize,
+    n: usize,
+    row_start: usize,
+    row_end: usize,
+) {
+    for i in row_start..row_end {
+        let c_row = &mut c[(i - row_start) * n..(i - row_start + 1) * n];
+        let a_row = &a[i * k..(i + 1) * k];
+        for (j, c_v) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&a_v, &b_v) in a_row.iter().zip(b_row.iter()) {
+                acc += a_v * b_v;
+            }
+            *c_v = acc;
+        }
+    }
+}
+
+/// Output rows `row_start..row_end` of `a (k x m)ᵀ @ b (k x n)`:
+/// accumulates rank-1 contributions over the `k` input rows in fixed
+/// ascending order, so chunk boundaries never change any element's
+/// summation order.
+fn matmul_tn_rows(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    k: usize,
+    n: usize,
+    row_start: usize,
+    row_end: usize,
+) {
+    let m = a.len().checked_div(k).unwrap_or(0);
+    for i in 0..k {
+        let a_row = &a[i * m..(i + 1) * m];
+        let b_row = &b[i * n..(i + 1) * n];
+        for p in row_start..row_end {
+            let a_ip = a_row[p];
+            if a_ip == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[(p - row_start) * n..(p - row_start + 1) * n];
             for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
                 *c_v += a_ip * b_v;
             }
@@ -502,6 +625,44 @@ mod tests {
             }
         }
         assert_eq!(c, reference);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Tensor::from_fn(7, 5, |i, j| ((i * 13 + j * 5) % 9) as f32 - 4.0 + 0.25);
+        let b = Tensor::from_fn(6, 5, |i, j| ((i * 7 + j * 11) % 8) as f32 - 3.0 + 0.5);
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Tensor::from_fn(9, 4, |i, j| ((i * 5 + j * 3) % 7) as f32 - 3.0 + 0.125);
+        let b = Tensor::from_fn(9, 6, |i, j| ((i * 11 + j * 13) % 10) as f32 - 4.0 + 0.375);
+        assert_eq!(a.matmul_tn(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn large_transposed_kernels_parallel_match_serial() {
+        // Big enough to clear PAR_FLOP_THRESHOLD so pool chunking runs.
+        let a = Tensor::from_fn(300, 130, |i, j| ((i * 31 + j * 7) % 13) as f32 - 6.0 + 0.25);
+        let g = Tensor::from_fn(300, 220, |i, j| ((i * 17 + j * 3) % 11) as f32 - 5.0 + 0.5);
+        let b = Tensor::from_fn(220, 130, |i, j| {
+            ((i * 23 + j * 29) % 9) as f32 - 4.0 + 0.125
+        });
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose()));
+        assert_eq!(a.matmul_tn(&g), a.transpose().matmul(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_nt shape mismatch")]
+    fn matmul_nt_shape_mismatch_panics() {
+        let _ = Tensor::zeros(2, 3).matmul_nt(&Tensor::zeros(4, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_tn shape mismatch")]
+    fn matmul_tn_shape_mismatch_panics() {
+        let _ = Tensor::zeros(2, 3).matmul_tn(&Tensor::zeros(4, 5));
     }
 
     #[test]

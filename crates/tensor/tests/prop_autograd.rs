@@ -3,7 +3,7 @@
 
 use paragraph_tensor::{gradcheck, init_rng, ParamSet, Tensor};
 use proptest::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn small_dim() -> impl Strategy<Value = usize> {
     1_usize..5
@@ -80,8 +80,8 @@ proptest! {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
             (state >> 33) as usize
         };
-        let src = Rc::new((0..e).map(|_| (next() % n) as u32).collect::<Vec<_>>());
-        let dst = Rc::new((0..e).map(|_| (next() % n) as u32).collect::<Vec<_>>());
+        let src = Arc::new((0..e).map(|_| (next() % n) as u32).collect::<Vec<_>>());
+        let dst = Arc::new((0..e).map(|_| (next() % n) as u32).collect::<Vec<_>>());
         let mut params = ParamSet::new();
         params.add_xavier("w", 3, 3, &mut rng);
         params.add_xavier("a", 6, 1, &mut rng);
@@ -117,7 +117,7 @@ proptest! {
         let scores: Vec<f32> = (0..e).map(|_| (next() % 100) as f32 * 0.05 - 2.5).collect();
         let mut tape = Tape::new();
         let s = tape.constant(Tensor::from_col(&scores));
-        let sm = tape.segment_softmax(s, Rc::new(segs.clone()), groups);
+        let sm = tape.segment_softmax(s, Arc::new(segs.clone()), groups);
         let out = tape.value(sm);
         for g in 0..groups {
             let total: f32 = segs
