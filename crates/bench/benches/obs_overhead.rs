@@ -1,0 +1,119 @@
+//! Criterion bench: observability disabled-path overhead.
+//!
+//! The tracing layer's contract is that an un-enabled `span!` costs one
+//! relaxed atomic load — nothing else. This bench measures that cost in
+//! isolation, compares it against the wall-clock of the matmul it would
+//! instrument, **asserts the ratio stays under 2%**, and writes the
+//! numbers to `target/obs_overhead.json`.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paragraph_tensor::{init_rng, ParamSet};
+use serde_json::json;
+
+fn quick_mode() -> bool {
+    // `cargo test` invokes harness-less bench targets with `--test`.
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Nanoseconds per disabled span (open + drop), measured over `iters`
+/// spans. Args closures must not be evaluated on this path, so the span
+/// carries one.
+fn disabled_span_ns(iters: u64) -> f64 {
+    paragraph_obs::set_enabled(false);
+    let start = Instant::now();
+    for i in 0..iters {
+        let _g = paragraph_obs::span!("bench_noop", i = i);
+        std::hint::black_box(i);
+    }
+    start.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+/// Seconds per `n x n` matmul call (the operation the span guards).
+fn matmul_secs(n: usize, reps: usize) -> f64 {
+    let mut rng = init_rng(1);
+    let mut p = ParamSet::new();
+    let a = p.add_xavier("a", n, n, &mut rng);
+    let b = p.add_xavier("b", n, n, &mut rng);
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(p.value(a).matmul(p.value(b)));
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+fn bench_disabled_span(c: &mut Criterion) {
+    paragraph_obs::set_enabled(false);
+    let mut group = c.benchmark_group("obs_overhead");
+    group.bench_function("disabled_span", |bench| {
+        bench.iter(|| {
+            let _g = paragraph_obs::span!("bench_noop");
+            std::hint::black_box(0)
+        })
+    });
+    group.finish();
+}
+
+/// Measurement + assertion + JSON summary.
+fn write_summary(_c: &mut Criterion) {
+    let quick = quick_mode();
+    let (n, reps, iters) = if quick {
+        (64, 20, 100_000)
+    } else {
+        (256, 20, 5_000_000)
+    };
+
+    // Sanity: the enabled path must actually record, otherwise a broken
+    // feature gate would make the overhead numbers meaningless.
+    paragraph_obs::set_enabled(true);
+    {
+        let _g = paragraph_obs::span!("overhead_probe");
+    }
+    let probe = paragraph_obs::take_events();
+    assert!(
+        probe.iter().any(|e| e.name == "overhead_probe"),
+        "enabled span did not record; overhead measurement is invalid"
+    );
+
+    let span_ns = disabled_span_ns(iters);
+    let mm_secs = matmul_secs(n, reps);
+    let overhead_pct = span_ns / (mm_secs * 1e9) * 100.0;
+    println!(
+        "obs overhead: disabled span {span_ns:.2} ns, {n}x{n} matmul \
+         {:.2} us -> {overhead_pct:.5}% per instrumented call",
+        mm_secs * 1e6
+    );
+    assert!(
+        overhead_pct <= 2.0,
+        "disabled-path span overhead {overhead_pct:.3}% exceeds the 2% budget \
+         ({span_ns:.1} ns per span vs {:.1} us per matmul)",
+        mm_secs * 1e6
+    );
+
+    let summary = json!({
+        "bench": "obs_overhead",
+        "quick_mode": quick,
+        "disabled_span_ns": span_ns,
+        "matmul_n": n,
+        "matmul_us": mm_secs * 1e6,
+        "overhead_pct_per_call": overhead_pct,
+        "budget_pct": 2.0,
+    });
+    let target_dir = std::env::var("CARGO_TARGET_DIR")
+        .unwrap_or_else(|_| format!("{}/../../target", env!("CARGO_MANIFEST_DIR")));
+    let path = format!("{target_dir}/obs_overhead.json");
+    match serde_json::to_string_pretty(&summary) {
+        Ok(body) => {
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("obs overhead bench: could not write {path}: {e}");
+            } else {
+                println!("obs overhead summary written to {path}");
+            }
+        }
+        Err(e) => eprintln!("obs overhead bench: could not serialise summary: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_disabled_span, write_summary);
+criterion_main!(benches);

@@ -46,6 +46,16 @@ fn main() {
         "serve" => serve(&flags),
         _ => usage(),
     }
+    // With PARAGRAPH_TRACE=1 every span recorded above lands in a
+    // Chrome-trace file; a disabled run writes nothing.
+    match paragraph_obs::flush_default_trace() {
+        Ok(0) => {}
+        Ok(n) => eprintln!(
+            "wrote {n} trace events to {}",
+            paragraph_obs::DEFAULT_TRACE_PATH
+        ),
+        Err(e) => eprintln!("could not write trace: {e}"),
+    }
 }
 
 fn usage() -> ! {

@@ -165,6 +165,11 @@ impl TargetModel {
         fit: FitConfig,
         norm: &FeatureNorm,
     ) -> (Self, f32) {
+        let _span = paragraph_obs::span!(
+            "train_target",
+            target = target.name(),
+            kind = fit.kind.name(),
+        );
         let mut config = ModelConfig::new(fit.kind);
         config.embed_dim = fit.embed_dim;
         config.layers = fit.layers;
@@ -220,6 +225,12 @@ impl TargetModel {
             let history = trainer.fit(&mut model, &tasks);
             history.last().map(|h| h.loss).unwrap_or(f32::NAN)
         };
+        paragraph_obs::global()
+            .counter(
+                "paragraph_core_models_trained_total",
+                &[("kind", fit.kind.name()), ("target", &target.name())],
+            )
+            .inc();
         (
             Self {
                 target,
@@ -251,6 +262,11 @@ impl TargetModel {
     ) -> (Self, f64) {
         assert!(patience > 0, "patience must be positive");
         assert!(!fit.uncertainty, "validation loop supports MSE models");
+        let _span = paragraph_obs::span!(
+            "train_with_validation",
+            target = target.name(),
+            kind = fit.kind.name(),
+        );
         let mut config = ModelConfig::new(fit.kind);
         config.embed_dim = fit.embed_dim;
         config.layers = fit.layers;

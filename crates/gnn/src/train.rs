@@ -5,13 +5,66 @@
 //! [`GraphTask`] carries one graph plus the labelled node subset; the
 //! [`Trainer`] loops graphs x epochs.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
-use paragraph_tensor::{Adam, Tape, Tensor};
+use paragraph_tensor::{Adam, ParamId, Tape, Tensor};
 
 use crate::graph::{GraphSchema, HeteroGraph};
 use crate::model::GnnModel;
 use crate::sample::{sample_subgraph, SampleConfig};
+
+/// Training metrics in the global [`paragraph_obs`] registry: per-epoch
+/// loss / throughput gauges plus cumulative epoch and graph counters.
+/// Grad-norm is only computed while tracing is enabled (it costs a pass
+/// over every gradient); everything else is a handful of atomics per
+/// epoch.
+struct TrainMetrics {
+    epochs_total: Arc<paragraph_obs::Counter>,
+    graphs_total: Arc<paragraph_obs::Counter>,
+    epoch_loss: Arc<paragraph_obs::Gauge>,
+    grad_norm: Arc<paragraph_obs::Gauge>,
+    graphs_per_sec: Arc<paragraph_obs::Gauge>,
+}
+
+fn train_metrics() -> &'static TrainMetrics {
+    static METRICS: OnceLock<TrainMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = paragraph_obs::global();
+        TrainMetrics {
+            epochs_total: reg.counter("paragraph_train_epochs_total", &[]),
+            graphs_total: reg.counter("paragraph_train_graphs_total", &[]),
+            epoch_loss: reg.gauge("paragraph_train_epoch_loss", &[]),
+            grad_norm: reg.gauge("paragraph_train_grad_norm", &[]),
+            graphs_per_sec: reg.gauge("paragraph_train_graphs_per_sec", &[]),
+        }
+    })
+}
+
+/// L2 norm over a set of parameter gradients.
+fn param_grad_norm(grads: &[(ParamId, Tensor)]) -> f64 {
+    grads
+        .iter()
+        .map(|(_, g)| {
+            let n = f64::from(g.frobenius_norm());
+            n * n
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Updates the per-epoch gauges/counters after one epoch over `count`
+/// graphs.
+fn record_epoch(count: usize, loss: f32, started: Instant) {
+    let m = train_metrics();
+    m.epochs_total.inc();
+    m.graphs_total.add(count as u64);
+    m.epoch_loss.set(f64::from(loss));
+    let secs = started.elapsed().as_secs_f64();
+    if secs > 0.0 {
+        m.graphs_per_sec.set(count as f64 / secs);
+    }
+}
 
 /// One training unit: a graph, the labelled nodes, and their targets.
 #[derive(Debug, Clone)]
@@ -100,6 +153,7 @@ impl Trainer {
         if task.nodes.is_empty() {
             return 0.0;
         }
+        let _span = paragraph_obs::span!("train_step", labels = task.num_labels());
         let mut tape = Tape::new();
         let pred = model.predict_nodes(&mut tape, &task.graph, &task.nodes);
         let target = tape.constant(task.labels.clone());
@@ -107,6 +161,9 @@ impl Trainer {
         let loss_v = tape.value(loss).item();
         let grads = tape.backward(loss);
         let pg = grads.param_grads(&tape);
+        if paragraph_obs::enabled() {
+            train_metrics().grad_norm.set(param_grad_norm(&pg));
+        }
         self.opt.step(model.params_mut(), &pg);
         loss_v
     }
@@ -115,6 +172,8 @@ impl Trainer {
     pub fn fit(&mut self, model: &mut GnnModel, tasks: &[GraphTask]) -> Vec<EpochStats> {
         let mut history = Vec::with_capacity(self.config.epochs);
         for epoch in 0..self.config.epochs {
+            let _span = paragraph_obs::span!("epoch", epoch = epoch);
+            let epoch_started = Instant::now();
             self.opt.lr = self.config.lr * self.config.lr_decay.powi(epoch as i32);
             let mut total = 0.0;
             let mut count = 0;
@@ -126,6 +185,7 @@ impl Trainer {
                 count += 1;
             }
             let loss = if count > 0 { total / count as f32 } else { 0.0 };
+            record_epoch(count, loss, epoch_started);
             history.push(EpochStats { epoch, loss });
             if let Some(target) = self.config.loss_target {
                 if loss < target {
@@ -175,15 +235,18 @@ impl Trainer {
     ) -> Vec<EpochStats> {
         let mut history = Vec::with_capacity(self.config.epochs);
         for epoch in 0..self.config.epochs {
+            let _span = paragraph_obs::span!("epoch", epoch = epoch);
+            let epoch_started = Instant::now();
             self.opt.lr = self.config.lr * self.config.lr_decay.powi(epoch as i32);
             // Forward/backward per shard, in parallel. Results come
             // back slotted by task index regardless of which worker
             // finished first.
             let shard_model: &GnnModel = model;
-            let per_task = pool.map(tasks, |_, task| {
+            let per_task = pool.map(tasks, |i, task| {
                 if task.nodes.is_empty() {
                     return None;
                 }
+                let _span = paragraph_obs::span!("train_shard", task = i);
                 let mut tape = Tape::new();
                 let pred = shard_model.predict_nodes(&mut tape, &task.graph, &task.nodes);
                 let target = tape.constant(task.labels.clone());
@@ -215,9 +278,13 @@ impl Trainer {
                     .flatten()
                     .map(|(id, acc)| (id, acc.scale(scale)))
                     .collect();
+                if paragraph_obs::enabled() {
+                    train_metrics().grad_norm.set(param_grad_norm(&mean_grads));
+                }
                 self.opt.step(model.params_mut(), &mean_grads);
             }
             let loss = if count > 0 { total / count as f32 } else { 0.0 };
+            record_epoch(count, loss, epoch_started);
             history.push(EpochStats { epoch, loss });
             if let Some(target) = self.config.loss_target {
                 if loss < target {
@@ -247,6 +314,8 @@ impl Trainer {
         let mut history = Vec::with_capacity(self.config.epochs);
         let mut rng = rand::rngs::StdRng::seed_from_u64(sample.seed ^ 0xBA7C);
         for epoch in 0..self.config.epochs {
+            let _span = paragraph_obs::span!("epoch", epoch = epoch);
+            let epoch_started = Instant::now();
             self.opt.lr = self.config.lr * self.config.lr_decay.powi(epoch as i32);
             let mut total = 0.0;
             let mut batches = 0;
@@ -274,6 +343,7 @@ impl Trainer {
             } else {
                 0.0
             };
+            record_epoch(batches, loss, epoch_started);
             history.push(EpochStats { epoch, loss });
             if let Some(target) = self.config.loss_target {
                 if loss < target {

@@ -1,0 +1,85 @@
+//! Property tests: the SPICE parser must reject hostile input with
+//! `Err`, never a panic — the serving layer feeds it raw bytes straight
+//! off a socket.
+
+use paragraph_netlist::parse_spice;
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Drives the full parse + flatten path; any `Err` is acceptable, any
+/// panic is a bug.
+fn never_panics(src: &str) {
+    if let Ok(netlist) = parse_spice(src) {
+        let _ = netlist.flatten();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup (lossily decoded, as a server would).
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in collection::vec(any::<u8>(), 0..512)) {
+        never_panics(&String::from_utf8_lossy(&bytes));
+    }
+
+    /// Printable-ASCII soup with newlines and tabs: more likely to form
+    /// card-shaped lines than raw bytes.
+    #[test]
+    fn ascii_soup_never_panics(src in "[ -~\\n\\t]{0,256}") {
+        never_panics(&src);
+    }
+
+    /// Lines built from the characters SPICE cards actually use —
+    /// device prefixes, digits, dots, unit suffixes, equals signs —
+    /// maximizing coverage of half-valid cards.
+    #[test]
+    fn card_shaped_soup_never_panics(src in "[mrcxv.endsubck0-9 =+-\\n]{0,200}") {
+        never_panics(&src);
+    }
+}
+
+/// Counterexample pins: inputs that target specific parse paths
+/// (truncated exponents, dangling hierarchy, incomplete cards). Each
+/// stays here verbatim so a regression is caught by name, not by luck.
+#[test]
+fn pinned_counterexamples_never_panic() {
+    let pins: &[&str] = &[
+        // Empty / whitespace / comment-only decks.
+        "",
+        "\n\n\n",
+        "* comment only\n",
+        // Truncated value suffixes and exponents.
+        "r1 a b 1e\n.end\n",
+        "r1 a b 1e+\n.end\n",
+        "r1 a b 1e999999\n.end\n",
+        "c1 a b .\n.end\n",
+        "r1 a b meg\n.end\n",
+        // Cards with too few tokens.
+        "m\n.end\n",
+        "mp o\n.end\n",
+        "x\n.end\n",
+        "x a\n.end\n",
+        "r1 a\n.end\n",
+        // Hierarchy abuse: unterminated, dangling ends, self-reference.
+        ".subckt foo a b\n",
+        ".ends\n.end\n",
+        ".subckt loop a\nxinner a loop\n.ends\nxtop n1 loop\n.end\n",
+        ".subckt a x\nxb x b\n.ends\n.subckt b x\nxa x a\n.ends\nx1 n a\n.end\n",
+        // Continuation lines with nothing to continue.
+        "+ w=1u l=2u\n.end\n",
+        // Parameter assignments with missing halves.
+        "mp o i vdd vdd pch nf=\n.end\n",
+        "mp o i vdd vdd pch =4\n.end\n",
+        // Embedded NUL and other control characters.
+        "r1 a b 1k\u{0}\n.end\n",
+        "\u{1b}[31mr1 a b 1k\n.end\n",
+        // Unicode in names and values.
+        "rΩ ａ b 1k\n.end\n",
+    ];
+    for src in pins {
+        never_panics(src);
+    }
+    // Very long single token (heap-built, so pinned separately).
+    never_panics(&format!("r1 a b {}\n.end\n", "9".repeat(4096)));
+}

@@ -1,0 +1,48 @@
+//! Std-only observability layer for the ParaGraph workspace.
+//!
+//! Three pieces, one crate, zero dependencies:
+//!
+//! * **Spans** — [`span!`] opens an RAII guard with monotonic timing;
+//!   nested guards form a hierarchy. Guards are inert unless tracing is
+//!   on (`PARAGRAPH_TRACE=1` or [`set_enabled`]); the disabled path is
+//!   a single relaxed atomic load, and building this crate with
+//!   `--no-default-features` compiles recording out entirely.
+//! * **Trace buffers** — completed spans land in per-thread buffers
+//!   that [`write_trace`] drains into a Chrome-trace-compatible JSON
+//!   file (open it in `chrome://tracing` or <https://ui.perfetto.dev>).
+//! * **Metrics** — [`Registry`] holds counters, gauges, and fixed-bucket
+//!   histograms behind atomics, grouped into labelled families, and
+//!   renders them as Prometheus exposition text or JSON. The
+//!   process-wide [`global`] registry collects training/tensor/runtime
+//!   metrics; `paragraph-serve` layers its per-service registry on top
+//!   and exports both through one endpoint.
+//!
+//! Metric naming convention (see `docs/observability.md`):
+//! `paragraph_<layer>_<quantity>[_<unit>][_total]`, e.g.
+//! `paragraph_runtime_jobs_total`, `paragraph_train_epoch_loss`,
+//! `paragraph_tensor_matmul_us`.
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod trace;
+
+pub use metrics::{escape_label_value, global, Counter, Gauge, Histogram, Labels, Registry};
+pub use trace::{
+    enabled, pending_events, render_chrome_trace, set_enabled, take_events, write_trace, SpanGuard,
+    TraceEvent,
+};
+
+/// Default trace-file location, relative to the working directory.
+pub const DEFAULT_TRACE_PATH: &str = "target/trace.json";
+
+/// Writes buffered trace events to [`DEFAULT_TRACE_PATH`] when tracing
+/// is enabled; a no-op (returning `Ok(0)`) otherwise. Binaries call
+/// this once at exit so `PARAGRAPH_TRACE=1 <binary>` always leaves a
+/// `target/trace.json` behind.
+pub fn flush_default_trace() -> std::io::Result<usize> {
+    if !enabled() && pending_events() == 0 {
+        return Ok(0);
+    }
+    write_trace(DEFAULT_TRACE_PATH)
+}

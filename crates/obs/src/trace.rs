@@ -1,0 +1,357 @@
+//! Hierarchical spans and the per-thread trace-event buffers behind
+//! them.
+//!
+//! [`span!`](crate::span!) opens an RAII guard; when tracing is enabled
+//! the guard's drop records one complete ("X" phase) event — name,
+//! monotonic start timestamp, duration, thread id, nesting depth, and
+//! optional key/value args — into a buffer owned by the recording
+//! thread. Buffers register themselves in a process-wide list the first
+//! time a thread records, so [`take_events`] / [`write_trace`] can
+//! drain every thread's events (including threads that have since
+//! exited) without any synchronisation on the hot recording path beyond
+//! the buffer's own uncontended mutex.
+//!
+//! The output of [`write_trace`] is Chrome-trace-compatible JSON: load
+//! `target/trace.json` in `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// One completed span, in microseconds since the process trace epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Span name (the `span!` literal).
+    pub name: &'static str,
+    /// Start, µs since the first instrumented event of the process.
+    pub ts_us: f64,
+    /// Duration in µs.
+    pub dur_us: f64,
+    /// Stable per-thread id (assigned in first-record order).
+    pub tid: u64,
+    /// Nesting depth at the time the span opened (0 = top level).
+    pub depth: u32,
+    /// Key/value annotations from the `span!` call site.
+    pub args: Vec<(&'static str, String)>,
+}
+
+/// Tri-state runtime toggle: 0 = uninitialised, 1 = off, 2 = on.
+static TRACE_STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether span/trace recording is on.
+///
+/// Initialised from the `PARAGRAPH_TRACE` environment variable on first
+/// call (`1`/`true`/`on` enable it); afterwards a single relaxed atomic
+/// load — cheap enough for per-matmul checks. Tests and embedders can
+/// override with [`set_enabled`].
+#[cfg(feature = "trace")]
+#[inline]
+pub fn enabled() -> bool {
+    match TRACE_STATE.load(Ordering::Relaxed) {
+        0 => init_from_env(),
+        s => s == 2,
+    }
+}
+
+/// Always false: the `trace` feature is compiled out.
+#[cfg(not(feature = "trace"))]
+#[inline]
+pub fn enabled() -> bool {
+    false
+}
+
+#[cfg(feature = "trace")]
+#[cold]
+fn init_from_env() -> bool {
+    let on = std::env::var("PARAGRAPH_TRACE")
+        .map(|v| matches!(v.trim(), "1" | "true" | "on"))
+        .unwrap_or(false);
+    // A concurrent set_enabled may have raced us; only fill in if still
+    // uninitialised so the explicit override wins.
+    let _ = TRACE_STATE.compare_exchange(
+        0,
+        if on { 2 } else { 1 },
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+    TRACE_STATE.load(Ordering::Relaxed) == 2
+}
+
+/// Turns span/trace recording on or off, overriding `PARAGRAPH_TRACE`.
+pub fn set_enabled(on: bool) {
+    TRACE_STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Process-wide monotonic epoch every timestamp is measured from.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+type SharedBuffer = Arc<Mutex<Vec<TraceEvent>>>;
+
+/// Every thread's buffer, kept alive past thread exit.
+fn sinks() -> &'static Mutex<Vec<SharedBuffer>> {
+    static SINKS: OnceLock<Mutex<Vec<SharedBuffer>>> = OnceLock::new();
+    SINKS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+thread_local! {
+    static THREAD_BUFFER: SharedBuffer = {
+        let buffer: SharedBuffer = Arc::new(Mutex::new(Vec::new()));
+        lock(sinks()).push(Arc::clone(&buffer));
+        buffer
+    };
+    static THREAD_ID: Cell<u64> = const { Cell::new(u64::MAX) };
+    static SPAN_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+fn thread_id() -> u64 {
+    THREAD_ID.with(|id| {
+        if id.get() == u64::MAX {
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            id.set(NEXT.fetch_add(1, Ordering::Relaxed));
+        }
+        id.get()
+    })
+}
+
+fn record(event: TraceEvent) {
+    // Threads being torn down can no longer access their TLS buffer;
+    // drop the event rather than panic in a destructor.
+    let _ = THREAD_BUFFER.try_with(|buffer| lock(buffer).push(event));
+}
+
+/// RAII guard created by [`span!`](crate::span!). Records one trace
+/// event on drop when tracing was enabled at construction.
+#[derive(Debug)]
+#[must_use = "a span measures the scope it is bound to; `let _span = span!(..)`"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    name: &'static str,
+    start: Instant,
+    ts_us: f64,
+    depth: u32,
+    args: Vec<(&'static str, String)>,
+}
+
+impl SpanGuard {
+    /// Opens a span when tracing is enabled; otherwise the guard is
+    /// inert. `args` is only invoked on the enabled path.
+    #[inline]
+    pub fn open(name: &'static str, args: impl FnOnce() -> Vec<(&'static str, String)>) -> Self {
+        if !enabled() {
+            return Self { active: None };
+        }
+        Self::open_always(name, args())
+    }
+
+    #[cold]
+    fn open_always(name: &'static str, args: Vec<(&'static str, String)>) -> Self {
+        let depth = SPAN_DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        });
+        let start = Instant::now();
+        Self {
+            active: Some(ActiveSpan {
+                name,
+                start,
+                ts_us: start.duration_since(epoch()).as_secs_f64() * 1e6,
+                depth,
+                args,
+            }),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(span) = self.active.take() {
+            let dur_us = span.start.elapsed().as_secs_f64() * 1e6;
+            SPAN_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            record(TraceEvent {
+                name: span.name,
+                ts_us: span.ts_us,
+                dur_us,
+                tid: thread_id(),
+                depth: span.depth,
+                args: span.args,
+            });
+        }
+    }
+}
+
+/// Opens a hierarchical timing span bound to the current scope.
+///
+/// ```
+/// # paragraph_obs::set_enabled(true);
+/// let _span = paragraph_obs::span!("epoch", epoch = 3, graphs = 128);
+/// // ... timed work ...
+/// ```
+///
+/// Arguments are `key = expr` pairs; the expressions are formatted with
+/// `Display` and are **not evaluated on the disabled path**.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::SpanGuard::open($name, || {
+            ::std::vec![$((stringify!($key), ::std::format!("{}", $value))),*]
+        })
+    };
+}
+
+/// Drains and returns every buffered event from every thread, ordered
+/// by start timestamp.
+pub fn take_events() -> Vec<TraceEvent> {
+    let mut events = Vec::new();
+    for buffer in lock(sinks()).iter() {
+        events.append(&mut lock(buffer));
+    }
+    events.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
+    events
+}
+
+/// Number of currently buffered (not yet drained) events.
+pub fn pending_events() -> usize {
+    lock(sinks()).iter().map(|b| lock(b).len()).sum()
+}
+
+/// Drains every buffered event and writes a Chrome-trace-format JSON
+/// file (the `{"traceEvents": [...]}` object form). Returns the number
+/// of events written. Creates parent directories as needed.
+pub fn write_trace(path: impl AsRef<Path>) -> io::Result<usize> {
+    let events = take_events();
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, render_chrome_trace(&events))?;
+    Ok(events.len())
+}
+
+/// Renders events as Chrome trace JSON without draining anything.
+pub fn render_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"ph\":\"X\",\"cat\":\"paragraph\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{\"depth\":{}",
+            json_string(e.name),
+            e.ts_us,
+            e.dur_us,
+            e.tid,
+            e.depth
+        );
+        for (k, v) in &e.args {
+            let _ = write!(out, ",{}:{}", json_string(k), json_string(v));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests toggle the process-wide trace flag, so they must not
+    // interleave with each other; a shared mutex serialises them.
+    fn flag_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        lock(&LOCK)
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _guard = flag_lock();
+        set_enabled(false);
+        let before = pending_events();
+        {
+            let _span = crate::span!("idle");
+        }
+        assert_eq!(pending_events(), before);
+    }
+
+    #[test]
+    fn enabled_spans_nest_and_record() {
+        let _guard = flag_lock();
+        set_enabled(true);
+        let _ = take_events();
+        {
+            let _outer = crate::span!("outer", size = 4);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            {
+                let _inner = crate::span!("inner");
+            }
+        }
+        set_enabled(false);
+        let events = take_events();
+        let outer = events.iter().find(|e| e.name == "outer").expect("outer");
+        let inner = events.iter().find(|e| e.name == "inner").expect("inner");
+        assert_eq!(outer.args, vec![("size", "4".to_owned())]);
+        assert!(outer.dur_us >= 1000.0, "slept 1ms: {}", outer.dur_us);
+        assert!(inner.depth > outer.depth, "inner nests under outer");
+        assert!(inner.ts_us >= outer.ts_us);
+        assert!(inner.dur_us <= outer.dur_us);
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let events = vec![TraceEvent {
+            name: "epoch",
+            ts_us: 1.5,
+            dur_us: 2.25,
+            tid: 3,
+            depth: 0,
+            args: vec![("loss", "0.5".to_owned())],
+        }];
+        let json = render_chrome_trace(&events);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"epoch\""));
+        assert!(json.contains("\"loss\":\"0.5\""));
+        assert!(json.ends_with("\"displayTimeUnit\":\"ms\"}"));
+    }
+}

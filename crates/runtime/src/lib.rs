@@ -41,7 +41,35 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Observability handles for the pool, resolved once from the global
+/// [`paragraph_obs`] registry. The queue-depth gauge and job counter
+/// are always live (single atomic ops per job); job wait/run
+/// histograms additionally require tracing to be enabled, since they
+/// cost monotonic-clock reads on every job.
+struct PoolMetrics {
+    jobs_total: Arc<paragraph_obs::Counter>,
+    queue_depth: Arc<paragraph_obs::Gauge>,
+    wait_us: Arc<paragraph_obs::Histogram>,
+    run_us: Arc<paragraph_obs::Histogram>,
+}
+
+/// Microsecond buckets for job wait/run histograms.
+const JOB_US_BUCKETS: [f64; 6] = [10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0];
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = paragraph_obs::global();
+        PoolMetrics {
+            jobs_total: reg.counter("paragraph_runtime_jobs_total", &[]),
+            queue_depth: reg.gauge("paragraph_runtime_queue_depth", &[]),
+            wait_us: reg.histogram("paragraph_runtime_job_wait_us", &[], &JOB_US_BUCKETS),
+            run_us: reg.histogram("paragraph_runtime_job_run_us", &[], &JOB_US_BUCKETS),
+        }
+    })
+}
 
 /// A type-erased job. Lifetime-erased to `'static` by [`Scope::spawn`];
 /// soundness is provided by `scope` blocking until completion.
@@ -71,6 +99,7 @@ impl Shared {
         let mut q = lock(&self.queue);
         loop {
             if let Some(job) = q.jobs.pop_front() {
+                pool_metrics().queue_depth.sub(1.0);
                 return Some(job);
             }
             if q.shutdown {
@@ -84,10 +113,17 @@ impl Shared {
     }
 
     fn try_pop(&self) -> Option<Job> {
-        lock(&self.queue).jobs.pop_front()
+        let job = lock(&self.queue).jobs.pop_front();
+        if job.is_some() {
+            pool_metrics().queue_depth.sub(1.0);
+        }
+        job
     }
 
     fn push(&self, job: Job) {
+        let metrics = pool_metrics();
+        metrics.jobs_total.inc();
+        metrics.queue_depth.add(1.0);
         lock(&self.queue).jobs.push_back(job);
         self.job_ready.notify_one();
     }
@@ -316,8 +352,24 @@ impl<'env> Scope<'_, 'env> {
     {
         self.latch.add_one();
         let latch = Arc::clone(&self.latch);
+        // Job wait/run timing costs clock reads per job, so it is only
+        // measured while tracing is on; results are unaffected either
+        // way.
+        let queued = paragraph_obs::enabled().then(Instant::now);
         let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let started = queued.map(|q| {
+                let now = Instant::now();
+                pool_metrics()
+                    .wait_us
+                    .observe(now.duration_since(q).as_secs_f64() * 1e6);
+                now
+            });
             let result = catch_unwind(AssertUnwindSafe(f));
+            if let Some(started) = started {
+                pool_metrics()
+                    .run_us
+                    .observe(started.elapsed().as_secs_f64() * 1e6);
+            }
             latch.complete_one(result.err());
         });
         // SAFETY: `Pool::scope` does not return (or unwind) before the

@@ -191,4 +191,83 @@ mod tests {
         assert_ne!(fnv1a("mp o i vdd vdd pch"), fnv1a("mp o i vdd vdd nch"));
         assert_eq!(fnv1a("same"), fnv1a("same"));
     }
+
+    #[test]
+    fn capacity_one_keeps_only_latest() {
+        let cache = PredictionCache::new(1);
+        cache.put("m", 1, Arc::new(json!(1)));
+        cache.put("m", 2, Arc::new(json!(2)));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get("m", 1).is_none(), "1 was evicted by 2");
+        assert_eq!(cache.get("m", 2).unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn zero_capacity_never_evicts_or_stores() {
+        let cache = PredictionCache::new(0);
+        for k in 0..10 {
+            cache.put("m", k, Arc::new(json!(k)));
+            assert!(cache.get("m", k).is_none());
+        }
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 10);
+    }
+
+    /// Eviction follows full recency order across interleaved gets and
+    /// puts, not insertion order.
+    #[test]
+    fn eviction_order_tracks_recency_not_insertion() {
+        let cache = PredictionCache::new(3);
+        cache.put("m", 1, Arc::new(json!(1)));
+        cache.put("m", 2, Arc::new(json!(2)));
+        cache.put("m", 3, Arc::new(json!(3)));
+        // Touch in order 2, 1 — recency (oldest first) is now 3, 2, 1.
+        assert!(cache.get("m", 2).is_some());
+        assert!(cache.get("m", 1).is_some());
+        cache.put("m", 4, Arc::new(json!(4))); // evicts 3
+        assert!(cache.get("m", 3).is_none(), "3 was least recent");
+        cache.put("m", 5, Arc::new(json!(5))); // evicts 2
+        assert!(cache.get("m", 2).is_none(), "2 was least recent");
+        assert!(cache.get("m", 1).is_some());
+        assert!(cache.get("m", 4).is_some());
+        assert!(cache.get("m", 5).is_some());
+    }
+
+    /// Re-putting an existing key at capacity must update in place, not
+    /// evict an unrelated entry.
+    #[test]
+    fn put_of_existing_key_does_not_evict() {
+        let cache = PredictionCache::new(2);
+        cache.put("m", 1, Arc::new(json!(1)));
+        cache.put("m", 2, Arc::new(json!(2)));
+        cache.put("m", 1, Arc::new(json!(10)));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("m", 1).unwrap().as_u64(), Some(10));
+        assert!(cache.get("m", 2).is_some(), "2 must survive the re-put");
+    }
+
+    /// After eviction churn, hits + misses must equal lookups exactly
+    /// and hit_rate must stay consistent with the raw counters.
+    #[test]
+    fn counters_stay_consistent_after_eviction() {
+        let cache = PredictionCache::new(2);
+        let mut lookups = 0_u64;
+        for k in 0..6 {
+            cache.put("m", k, Arc::new(json!(k)));
+            // Current key always hits; key-2 has been evicted.
+            assert!(cache.get("m", k).is_some());
+            lookups += 1;
+            if k >= 2 {
+                assert!(cache.get("m", k - 2).is_none());
+                lookups += 1;
+            }
+        }
+        assert_eq!(cache.hits() + cache.misses(), lookups);
+        assert_eq!(cache.hits(), 6);
+        assert_eq!(cache.misses(), 4);
+        let expected = cache.hits() as f64 / lookups as f64;
+        assert!((cache.hit_rate() - expected).abs() < 1e-12);
+        assert_eq!(cache.len(), 2, "capacity bound held through churn");
+    }
 }

@@ -1,36 +1,57 @@
 //! Service metrics: per-endpoint request/error counters, fixed-bucket
-//! latency histograms, a queue-depth gauge, and cache statistics —
-//! all lock-free atomics, rendered either as a JSON object or as
-//! Prometheus-style exposition text.
+//! latency histograms, a queue-depth gauge, and cache statistics.
+//!
+//! Since the observability PR everything is backed by a
+//! [`paragraph_obs::Registry`] — the same metric types the training and
+//! runtime layers record into — so the `metrics` endpoint renders the
+//! service's own registry *and* the process-wide
+//! [`paragraph_obs::global`] registry (training throughput, pool queue
+//! depth, backward-op timings) through one code path.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use paragraph_obs::{Counter, Gauge, Histogram, Registry};
 use serde_json::{json, Value};
 
 use crate::cache::PredictionCache;
 use crate::protocol::Op;
 
-/// Upper bounds (microseconds) of the latency histogram buckets; the
-/// last bucket is unbounded.
-pub const LATENCY_BUCKETS_US: [u64; 7] =
-    [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, u64::MAX];
+/// Finite upper bounds (microseconds) of the latency histogram buckets;
+/// the `+Inf` bucket is implicit, as in Prometheus exposition.
+pub const LATENCY_BUCKETS_US: [f64; 6] = [
+    100.0,
+    1_000.0,
+    10_000.0,
+    100_000.0,
+    1_000_000.0,
+    10_000_000.0,
+];
 
-#[derive(Debug, Default)]
+/// Handles for one endpoint's families, resolved once at construction.
+#[derive(Debug)]
 struct EndpointMetrics {
-    requests: AtomicU64,
-    errors: AtomicU64,
-    total_us: AtomicU64,
-    buckets: [AtomicU64; LATENCY_BUCKETS_US.len()],
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    latency: Arc<Histogram>,
 }
 
 /// All service counters. Cheap to share behind an `Arc`; every method
 /// takes `&self`.
+///
+/// Each `Metrics` owns its own [`Registry`] so concurrent services (and
+/// tests) never see each other's counts; the process-wide
+/// [`paragraph_obs::global`] registry is merged in at render time only.
 #[derive(Debug)]
 pub struct Metrics {
+    registry: Registry,
     endpoints: Vec<EndpointMetrics>,
-    queue_depth: AtomicI64,
-    bad_lines: AtomicU64,
+    queue_depth: Arc<Gauge>,
+    bad_lines: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_hit_rate: Arc<Gauge>,
+    cache_entries: Arc<Gauge>,
     started: Instant,
 }
 
@@ -43,53 +64,65 @@ impl Default for Metrics {
 impl Metrics {
     /// Creates zeroed metrics.
     pub fn new() -> Self {
+        let registry = Registry::new();
+        let endpoints = Op::ALL
+            .iter()
+            .map(|op| EndpointMetrics {
+                requests: registry.counter("paragraph_requests_total", &[("op", op.name())]),
+                errors: registry.counter("paragraph_errors_total", &[("op", op.name())]),
+                latency: registry.histogram(
+                    "paragraph_request_latency_us",
+                    &[("op", op.name())],
+                    &LATENCY_BUCKETS_US,
+                ),
+            })
+            .collect();
         Self {
-            endpoints: Op::ALL.iter().map(|_| EndpointMetrics::default()).collect(),
-            queue_depth: AtomicI64::new(0),
-            bad_lines: AtomicU64::new(0),
+            endpoints,
+            queue_depth: registry.gauge("paragraph_queue_depth", &[]),
+            bad_lines: registry.counter("paragraph_bad_lines_total", &[]),
+            cache_hits: registry.counter("paragraph_cache_hits_total", &[]),
+            cache_misses: registry.counter("paragraph_cache_misses_total", &[]),
+            cache_hit_rate: registry.gauge("paragraph_cache_hit_rate", &[]),
+            cache_entries: registry.gauge("paragraph_cache_entries", &[]),
+            registry,
             started: Instant::now(),
         }
     }
 
     /// Counts a protocol line that never parsed into a request.
     pub fn bad_line(&self) {
-        self.bad_lines.fetch_add(1, Ordering::Relaxed);
+        self.bad_lines.inc();
     }
 
     /// Lines rejected before reaching any endpoint.
     pub fn bad_lines(&self) -> u64 {
-        self.bad_lines.load(Ordering::Relaxed)
+        self.bad_lines.get()
     }
 
     /// Records one finished request.
     pub fn record(&self, op: Op, latency: Duration, ok: bool) {
         let e = &self.endpoints[op.index()];
-        e.requests.fetch_add(1, Ordering::Relaxed);
+        e.requests.inc();
         if !ok {
-            e.errors.fetch_add(1, Ordering::Relaxed);
+            e.errors.inc();
         }
-        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        e.total_us.fetch_add(us, Ordering::Relaxed);
-        let bucket = LATENCY_BUCKETS_US
-            .iter()
-            .position(|&ub| us <= ub)
-            .expect("last bucket is unbounded");
-        e.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        e.latency.observe(latency.as_secs_f64() * 1e6);
     }
 
     /// Queue-depth gauge: a request entered the queue.
     pub fn queue_entered(&self) {
-        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.add(1.0);
     }
 
     /// Queue-depth gauge: a worker picked a request up.
     pub fn queue_left(&self) {
-        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.queue_depth.sub(1.0);
     }
 
     /// Requests currently sitting in the queue.
     pub fn queue_depth(&self) -> i64 {
-        self.queue_depth.load(Ordering::Relaxed)
+        self.queue_depth.get() as i64
     }
 
     /// Time since the metrics (service) were created.
@@ -97,27 +130,37 @@ impl Metrics {
         self.started.elapsed()
     }
 
+    /// Copies the cache's own counters into the registry so renders and
+    /// snapshots see current values.
+    fn sync_cache(&self, cache: &PredictionCache) {
+        self.cache_hits.store(cache.hits());
+        self.cache_misses.store(cache.misses());
+        self.cache_hit_rate.set(cache.hit_rate());
+        self.cache_entries.set(cache.len() as f64);
+    }
+
     /// Structured snapshot of every counter.
     pub fn snapshot(&self, cache: &PredictionCache) -> Value {
+        self.sync_cache(cache);
         let endpoints: Vec<Value> = Op::ALL
             .iter()
             .map(|&op| {
                 let e = &self.endpoints[op.index()];
-                let buckets: Vec<Value> = LATENCY_BUCKETS_US
+                let counts = e.latency.bucket_counts();
+                let buckets: Vec<Value> = e
+                    .latency
+                    .bounds()
                     .iter()
-                    .zip(&e.buckets)
-                    .map(|(&ub, count)| {
-                        json!({
-                            "le_us": if ub == u64::MAX { Value::String("inf".into()) } else { json!(ub) },
-                            "count": count.load(Ordering::Relaxed),
-                        })
-                    })
+                    .map(|&ub| json!(ub as u64))
+                    .chain(std::iter::once(Value::String("inf".into())))
+                    .zip(&counts)
+                    .map(|(le, &count)| json!({ "le_us": le, "count": count }))
                     .collect();
                 json!({
                     "op": op.name(),
-                    "requests": e.requests.load(Ordering::Relaxed),
-                    "errors": e.errors.load(Ordering::Relaxed),
-                    "total_latency_us": e.total_us.load(Ordering::Relaxed),
+                    "requests": e.requests.get(),
+                    "errors": e.errors.get(),
+                    "total_latency_us": e.latency.sum() as u64,
                     "latency_buckets": buckets,
                 })
             })
@@ -136,60 +179,14 @@ impl Metrics {
         })
     }
 
-    /// Prometheus-style exposition text.
+    /// Prometheus-style exposition text: this service's registry
+    /// followed by the process-wide [`paragraph_obs::global`] registry
+    /// (training / runtime / tensor families), both rendered by the same
+    /// [`Registry::render_prometheus`] code path.
     pub fn render(&self, cache: &PredictionCache) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        out.push_str("# TYPE paragraph_requests_total counter\n");
-        for &op in &Op::ALL {
-            let e = &self.endpoints[op.index()];
-            let _ = writeln!(
-                out,
-                "paragraph_requests_total{{op=\"{}\"}} {}",
-                op.name(),
-                e.requests.load(Ordering::Relaxed)
-            );
-        }
-        out.push_str("# TYPE paragraph_errors_total counter\n");
-        for &op in &Op::ALL {
-            let e = &self.endpoints[op.index()];
-            let _ = writeln!(
-                out,
-                "paragraph_errors_total{{op=\"{}\"}} {}",
-                op.name(),
-                e.errors.load(Ordering::Relaxed)
-            );
-        }
-        out.push_str("# TYPE paragraph_request_latency_us histogram\n");
-        for &op in &Op::ALL {
-            let e = &self.endpoints[op.index()];
-            let mut cumulative = 0_u64;
-            for (&ub, count) in LATENCY_BUCKETS_US.iter().zip(&e.buckets) {
-                cumulative += count.load(Ordering::Relaxed);
-                let le = if ub == u64::MAX {
-                    "+Inf".to_owned()
-                } else {
-                    ub.to_string()
-                };
-                let _ = writeln!(
-                    out,
-                    "paragraph_request_latency_us_bucket{{op=\"{}\",le=\"{}\"}} {}",
-                    op.name(),
-                    le,
-                    cumulative
-                );
-            }
-        }
-        let _ = writeln!(out, "# TYPE paragraph_bad_lines_total counter");
-        let _ = writeln!(out, "paragraph_bad_lines_total {}", self.bad_lines());
-        let _ = writeln!(out, "# TYPE paragraph_queue_depth gauge");
-        let _ = writeln!(out, "paragraph_queue_depth {}", self.queue_depth());
-        let _ = writeln!(out, "# TYPE paragraph_cache_hits_total counter");
-        let _ = writeln!(out, "paragraph_cache_hits_total {}", cache.hits());
-        let _ = writeln!(out, "# TYPE paragraph_cache_misses_total counter");
-        let _ = writeln!(out, "paragraph_cache_misses_total {}", cache.misses());
-        let _ = writeln!(out, "# TYPE paragraph_cache_hit_rate gauge");
-        let _ = writeln!(out, "paragraph_cache_hit_rate {}", cache.hit_rate());
+        self.sync_cache(cache);
+        let mut out = self.registry.render_prometheus();
+        out.push_str(&paragraph_obs::global().render_prometheus());
         out
     }
 }
@@ -212,7 +209,12 @@ mod tests {
         assert_eq!(predict["latency_buckets"][0]["count"].as_u64(), Some(1));
         assert_eq!(predict["latency_buckets"][1]["count"].as_u64(), Some(1));
         let stats = &snap["endpoints"][Op::Stats.index()];
-        let last = LATENCY_BUCKETS_US.len() - 1;
+        // Implicit +Inf slot trails the finite bounds.
+        let last = LATENCY_BUCKETS_US.len();
+        assert_eq!(
+            stats["latency_buckets"][last]["le_us"].as_str(),
+            Some("inf")
+        );
         assert_eq!(stats["latency_buckets"][last]["count"].as_u64(), Some(1));
     }
 
@@ -242,5 +244,108 @@ mod tests {
             assert!(text.contains(family), "missing {family} in:\n{text}");
         }
         assert!(text.contains("le=\"+Inf\""));
+    }
+
+    /// Every boundary value lands in its own bucket (le is inclusive)
+    /// and the value one past a bound lands in the next bucket.
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive() {
+        let m = Metrics::new();
+        for &ub in &LATENCY_BUCKETS_US {
+            m.record(Op::Predict, Duration::from_micros(ub as u64), true);
+            m.record(Op::Predict, Duration::from_micros(ub as u64 + 1), true);
+        }
+        let e = &m.endpoints[Op::Predict.index()];
+        let counts = e.latency.bucket_counts();
+        // Bucket 0 holds only its own boundary; every later bucket holds
+        // its boundary plus the previous bound's +1 overflow; the +Inf
+        // slot holds the last bound's +1.
+        assert_eq!(counts[0], 1);
+        for &c in &counts[1..LATENCY_BUCKETS_US.len()] {
+            assert_eq!(c, 2);
+        }
+        assert_eq!(counts[LATENCY_BUCKETS_US.len()], 1);
+        assert_eq!(e.latency.count(), 2 * LATENCY_BUCKETS_US.len() as u64);
+    }
+
+    /// Prometheus text-format invariants: one `# TYPE` line per family,
+    /// cumulative `_bucket` series ending at `+Inf`, and
+    /// `_bucket{le="+Inf"} == _count`.
+    #[test]
+    fn prometheus_histogram_conformance() {
+        let m = Metrics::new();
+        m.record(Op::Predict, Duration::from_micros(50), true);
+        m.record(Op::Predict, Duration::from_micros(5_000), true);
+        m.record(Op::Predict, Duration::from_secs(100), false);
+        let cache = PredictionCache::new(4);
+        let text = m.render(&cache);
+
+        assert_eq!(
+            text.matches("# TYPE paragraph_request_latency_us histogram")
+                .count(),
+            1
+        );
+        // Buckets must be cumulative (monotone non-decreasing in le
+        // order) for every op label.
+        for op in Op::ALL {
+            let mut last = 0_u64;
+            let mut inf = None;
+            for line in text.lines() {
+                if line.starts_with("paragraph_request_latency_us_bucket{")
+                    && line.contains(&format!("op=\"{}\"", op.name()))
+                {
+                    let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+                    assert!(v >= last, "non-cumulative bucket line: {line}");
+                    last = v;
+                    if line.contains("le=\"+Inf\"") {
+                        inf = Some(v);
+                    }
+                }
+            }
+            let count_line = text
+                .lines()
+                .find(|l| {
+                    l.starts_with("paragraph_request_latency_us_count{")
+                        && l.contains(&format!("op=\"{}\"", op.name()))
+                })
+                .unwrap_or_else(|| panic!("no _count for {}", op.name()));
+            let count: u64 = count_line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert_eq!(inf, Some(count), "+Inf bucket must equal _count");
+        }
+        // _sum present for the histogram family.
+        assert!(text
+            .lines()
+            .any(|l| l.starts_with("paragraph_request_latency_us_sum{")));
+    }
+
+    /// Label values with quotes, backslashes, and newlines must be
+    /// escaped per the exposition format.
+    #[test]
+    fn prometheus_label_escaping() {
+        let m = Metrics::new();
+        let c = m
+            .registry
+            .counter("paragraph_test_total", &[("path", "a\\b\"c\nd")]);
+        c.inc();
+        let cache = PredictionCache::new(1);
+        let text = m.render(&cache);
+        assert!(
+            text.contains(r#"path="a\\b\"c\nd""#),
+            "escaped label missing in:\n{text}"
+        );
+        assert!(!text.contains("c\nd"), "raw newline leaked into a label");
+    }
+
+    /// The render path merges the process-global registry, so training
+    /// metrics appear on the serving endpoint.
+    #[test]
+    fn render_merges_global_registry() {
+        paragraph_obs::global()
+            .counter("paragraph_render_merge_probe_total", &[])
+            .inc();
+        let m = Metrics::new();
+        let cache = PredictionCache::new(1);
+        let text = m.render(&cache);
+        assert!(text.contains("paragraph_render_merge_probe_total"));
     }
 }

@@ -58,6 +58,38 @@ enum Op {
     SliceRows(Var, usize, usize),
 }
 
+impl Op {
+    /// Stable dispatch name, used as the `op` label on the
+    /// backward-pass timing metrics.
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Op::Leaf { .. } => "leaf",
+            Op::MatMul(..) => "matmul",
+            Op::Add(..) => "add",
+            Op::AddBias(..) => "add_bias",
+            Op::Sub(..) => "sub",
+            Op::Mul(..) => "mul",
+            Op::Scale(..) => "scale",
+            Op::AddScalar(..) => "add_scalar",
+            Op::ConcatCols(..) => "concat_cols",
+            Op::Relu(..) => "relu",
+            Op::LeakyRelu(..) => "leaky_relu",
+            Op::Sigmoid(..) => "sigmoid",
+            Op::Tanh(..) => "tanh",
+            Op::Square(..) => "square",
+            Op::Exp(..) => "exp",
+            Op::GatherRows(..) => "gather_rows",
+            Op::ScatterAddRows(..) => "scatter_add_rows",
+            Op::SegmentSoftmax(..) => "segment_softmax",
+            Op::MulColBroadcast(..) => "mul_col_broadcast",
+            Op::RowL2Normalize(..) => "row_l2_normalize",
+            Op::MeanAll(..) => "mean_all",
+            Op::SumAll(..) => "sum_all",
+            Op::SliceRows(..) => "slice_rows",
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Node {
     value: Tensor,
@@ -394,13 +426,40 @@ impl Tape {
             (1, 1),
             "backward() needs a scalar loss"
         );
+        // Per-op dispatch timing is only measured while tracing is on
+        // (a clock read per node is too hot for the default path); the
+        // gradient math is identical either way.
+        let traced = paragraph_obs::enabled();
+        let _span = paragraph_obs::span!("tape_backward", ops = self.nodes.len());
+        let mut op_timing: Vec<(&'static str, f64, u64)> = Vec::new();
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         grads[loss.0] = Some(Tensor::scalar(1.0));
 
         for idx in (0..=loss.0).rev() {
             let Some(g) = grads[idx].take() else { continue };
+            let started = traced.then(std::time::Instant::now);
             self.accumulate(idx, &g, &mut grads);
+            if let Some(started) = started {
+                let us = started.elapsed().as_secs_f64() * 1e6;
+                let name = self.nodes[idx].op.kind_name();
+                match op_timing.iter_mut().find(|(n, ..)| *n == name) {
+                    Some((_, total, count)) => {
+                        *total += us;
+                        *count += 1;
+                    }
+                    None => op_timing.push((name, us, 1)),
+                }
+            }
             grads[idx] = Some(g);
+        }
+        let registry = paragraph_obs::global();
+        for (name, us, count) in op_timing {
+            registry
+                .counter("paragraph_tensor_backward_ops_total", &[("op", name)])
+                .add(count);
+            registry
+                .counter("paragraph_tensor_backward_op_us_total", &[("op", name)])
+                .add(us as u64);
         }
         Gradients { grads }
     }

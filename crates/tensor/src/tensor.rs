@@ -308,6 +308,7 @@ impl Tensor {
             "matmul shape mismatch: {}x{} @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
+        let _span = paragraph_obs::span!("matmul", m = self.rows, k = self.cols, n = other.cols);
         let mut out = Self::zeros(self.rows, other.cols);
         matmul_into(
             &self.data,
@@ -339,6 +340,7 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
+        let _span = paragraph_obs::span!("matmul_nt", m = m, k = k, n = n);
         let mut out = Self::zeros(m, n);
         par_row_chunks(m, k, n, &mut out.data, |c, row_start, row_end| {
             matmul_nt_rows(&self.data, &other.data, c, k, n, row_start, row_end);
@@ -366,6 +368,7 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let (k, m, n) = (self.rows, self.cols, other.cols);
+        let _span = paragraph_obs::span!("matmul_tn", m = m, k = k, n = n);
         let mut out = Self::zeros(m, n);
         par_row_chunks(m, k, n, &mut out.data, |c, row_start, row_end| {
             matmul_tn_rows(&self.data, &other.data, c, k, n, row_start, row_end);

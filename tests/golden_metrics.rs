@@ -1,0 +1,129 @@
+//! Golden regression test: a pinned-seed quick training run must keep
+//! producing the same evaluation metrics (R² / MAE / MAPE per target)
+//! as the checked-in golden file, within a tight tolerance.
+//!
+//! Training here is fully sequential and seeded, so drift means a real
+//! change to the numerics — an op rewrite, an initialisation change, an
+//! accidental reordering of a reduction. When the change is intentional,
+//! refresh the golden with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_metrics
+//! ```
+
+use paragraph::prelude::*;
+use paragraph_layout::LayoutConfig;
+use paragraph_netlist::parse_spice;
+use serde_json::{json, Value};
+
+/// Relative tolerance for golden float comparisons. The run is
+/// deterministic on one platform; the slack only absorbs cross-platform
+/// libm differences.
+const REL_TOL: f64 = 1e-4;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.json");
+
+/// Pinned mini-dataset: deterministic hand-shaped circuits (no RNG
+/// anywhere on the data path).
+fn dataset(n: usize, salt: usize) -> Vec<PreparedCircuit> {
+    (0..n)
+        .map(|i| {
+            let k = salt + i;
+            let src = format!(
+                "mp{i} o{i} i{i} vdd vdd pch nf={}\n\
+                 mn{i} o{i} i{i} vss vss nch nfin={}\n\
+                 mp{i}b p{i} o{i} vdd vdd pch nf={}\n\
+                 mn{i}b p{i} o{i} vss vss nch\n\
+                 r{i} p{i} f{i} {}k\nc{i} f{i} vss {}f\n.end\n",
+                1 + k % 4,
+                1 + k % 8,
+                1 + (k / 2) % 3,
+                1 + k % 9,
+                5 + k % 17,
+            );
+            let c = parse_spice(&src).unwrap().flatten().unwrap();
+            PreparedCircuit::new(format!("g{salt}_{i}"), c, &LayoutConfig::default())
+        })
+        .collect()
+}
+
+fn golden_run() -> Value {
+    let mut train = dataset(5, 3);
+    let mut test = dataset(3, 40);
+    let norm = fit_norm(&train);
+    normalize_circuits(&mut train, &norm);
+    normalize_circuits(&mut test, &norm);
+
+    let mut targets = serde_json::Map::new();
+    for target in [Target::Cap, Target::Sa] {
+        let mut fit = FitConfig::quick(GnnKind::ParaGraph);
+        fit.epochs = 12;
+        fit.seed = 7;
+        let (model, loss) = TargetModel::train(&train, target, None, fit, &norm);
+        assert!(loss.is_finite(), "{}: training diverged", target.name());
+        let s = evaluate_model(&model, &test, None).summary();
+        targets.insert(
+            target.name(),
+            json!({
+                "r2": s.r2,
+                "mae": s.mae,
+                "mape": s.mape,
+                "count": s.count,
+            }),
+        );
+    }
+    let mut root = serde_json::Map::new();
+    root.insert("targets", Value::Object(targets));
+    Value::Object(root)
+}
+
+fn assert_close(name: &str, actual: f64, golden: f64) {
+    let scale = golden.abs().max(1e-12);
+    let rel = (actual - golden).abs() / scale;
+    assert!(
+        rel <= REL_TOL,
+        "{name}: actual {actual} vs golden {golden} (rel err {rel:.3e} > {REL_TOL:.0e}); \
+         run with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn pinned_seed_metrics_match_golden() {
+    let actual = golden_run();
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(std::path::Path::new(GOLDEN_PATH).parent().unwrap()).unwrap();
+        std::fs::write(GOLDEN_PATH, serde_json::to_string_pretty(&actual).unwrap()).unwrap();
+        println!("golden refreshed at {GOLDEN_PATH}");
+        return;
+    }
+    let golden: Value = serde_json::from_str(
+        &std::fs::read_to_string(GOLDEN_PATH)
+            .unwrap_or_else(|e| panic!("no golden at {GOLDEN_PATH} ({e}); run UPDATE_GOLDEN=1")),
+    )
+    .expect("golden parses");
+
+    let golden_targets = golden["targets"].as_object().expect("targets object");
+    let actual_targets = actual["targets"].as_object().unwrap();
+    assert_eq!(
+        golden_targets.len(),
+        actual_targets.len(),
+        "target set changed; refresh the golden"
+    );
+    for (name, g) in golden_targets.iter() {
+        let a = actual_targets
+            .get(name)
+            .unwrap_or_else(|| panic!("target {name} missing from run"));
+        assert_eq!(
+            a["count"].as_u64(),
+            g["count"].as_u64(),
+            "{name}: evaluation point count changed"
+        );
+        for metric in ["r2", "mae", "mape"] {
+            assert_close(
+                &format!("{name}.{metric}"),
+                a[metric].as_f64().unwrap(),
+                g[metric].as_f64().unwrap(),
+            );
+        }
+    }
+}
