@@ -193,6 +193,37 @@ impl CapEnsemble {
             })
             .collect()
     }
+
+    /// Predicts every net's capacitance for several fresh schematics at
+    /// once. Each member runs one forward pass over the circuits'
+    /// block-diagonal [`paragraph_gnn::GraphBatch`] union (via
+    /// [`TargetModel::predict_circuits`]) instead of one pass per
+    /// circuit; Algorithm 2 then selects per net, per circuit. The result
+    /// equals calling [`CapEnsemble::predict_circuit`] on each circuit.
+    pub fn predict_circuits(&self, circuits: &[&Circuit]) -> Vec<Vec<Option<f64>>> {
+        if circuits.is_empty() {
+            return Vec::new();
+        }
+        // per_model[m][c][net]
+        let per_model: Vec<Vec<Vec<Option<f64>>>> = self
+            .models
+            .iter()
+            .map(|m| m.predict_circuits(circuits))
+            .collect();
+        circuits
+            .iter()
+            .enumerate()
+            .map(|(ci, circuit)| {
+                (0..circuit.num_nets())
+                    .map(|net| {
+                        let preds: Option<Vec<f64>> =
+                            per_model.iter().map(|pm| pm[ci][net]).collect();
+                        preds.map(|p| self.select(&p))
+                    })
+                    .collect()
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -316,6 +347,30 @@ mod tests {
             before.iter().any(|p| p.is_some_and(|v| v > 0.0)),
             "expected at least one positive net prediction"
         );
+    }
+
+    /// Batched prediction over the block-diagonal union must equal the
+    /// per-circuit path exactly — same graphs, same accumulation order,
+    /// same floats.
+    #[test]
+    fn batched_prediction_matches_sequential() {
+        let ens = CapEnsemble::new(tiny_models(&[1e-15, 10e-15, 100e-15]));
+        let sources = [
+            "mp o i vdd vdd pch\nmn o i vss vss nch\n.end\n",
+            "mp1 x a vdd vdd pch nf=2\nmn1 x a vss vss nch\nr1 x y 5k\n.end\n",
+            "mn1 d g s vss nch nfin=4\nc1 d vss 10f\n.end\n",
+        ];
+        let circuits: Vec<_> = sources
+            .iter()
+            .map(|s| parse_spice(s).unwrap().flatten().unwrap())
+            .collect();
+        let refs: Vec<&paragraph_netlist::Circuit> = circuits.iter().collect();
+        let batched = ens.predict_circuits(&refs);
+        assert_eq!(batched.len(), circuits.len());
+        for (c, got) in circuits.iter().zip(&batched) {
+            let sequential = ens.predict_circuit(c);
+            assert_eq!(&sequential, got, "batched ensemble drifted");
+        }
     }
 
     #[test]

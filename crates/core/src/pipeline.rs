@@ -5,7 +5,7 @@
 //! the classical baselines (linear regression and the XGBoost stand-in)
 //! train on node features alone.
 
-use paragraph_gnn::{GnnModel, GraphTask, ModelConfig, TrainConfig, Trainer};
+use paragraph_gnn::{GnnModel, GraphBatch, GraphTask, ModelConfig, TrainConfig, Trainer};
 use paragraph_layout::{extract, LayoutConfig, LayoutTruth};
 use paragraph_ml::{Gbt, GbtConfig, LinearRegression};
 use paragraph_netlist::Circuit;
@@ -108,6 +108,10 @@ pub struct FitConfig {
     /// Train with a Gaussian NLL and a `(mean, log-variance)` head,
     /// enabling per-node confidence (extension beyond the paper).
     pub uncertainty: bool,
+    /// Fold this many training circuits into each block-diagonal
+    /// [`paragraph_gnn::GraphBatch`] per optimizer step (1 = per-graph
+    /// steps, the paper's schedule).
+    pub graphs_per_batch: usize,
 }
 
 impl FitConfig {
@@ -126,6 +130,7 @@ impl FitConfig {
             ablate_concat: false,
             attention_heads: 1,
             uncertainty: false,
+            graphs_per_batch: 1,
         }
     }
 
@@ -198,6 +203,7 @@ impl TargetModel {
             .collect();
         let final_loss = if fit.uncertainty {
             // Gaussian-NLL loop (Trainer covers the MSE case only).
+            let tasks = paragraph_gnn::batch_tasks(&tasks, fit.graphs_per_batch);
             let mut opt = Adam::new(fit.lr);
             let mut last = f32::NAN;
             for epoch in 0..fit.epochs {
@@ -221,6 +227,7 @@ impl TargetModel {
                 lr: fit.lr,
                 lr_decay: 0.98,
                 loss_target: None,
+                graphs_per_batch: fit.graphs_per_batch,
             });
             let history = trainer.fit(&mut model, &tasks);
             history.last().map(|h| h.loss).unwrap_or(f32::NAN)
@@ -288,11 +295,13 @@ impl TargetModel {
             })
             .collect();
 
+        let tasks = paragraph_gnn::batch_tasks(&tasks, fit.graphs_per_batch);
         let mut trainer = Trainer::new(TrainConfig {
             epochs: 1,
             lr: fit.lr,
             lr_decay: 1.0,
             loss_target: None,
+            graphs_per_batch: 1,
         });
         let mut best_r2 = f64::NEG_INFINITY;
         let mut best_params = gnn.params().export();
@@ -362,24 +371,96 @@ impl TargetModel {
     /// Same as [`TargetModel::predict_circuit`] but reusing an existing
     /// normalised graph.
     pub fn predict_graph(&self, circuit: &Circuit, cg: &CircuitGraph) -> Vec<Option<f64>> {
-        if self.target.on_nets() {
-            let nodes: Vec<u32> = cg.net_nodes();
-            let by_node: std::collections::HashMap<u32, f64> =
-                self.predict_for(cg, nodes).into_iter().collect();
-            cg.net_node
-                .iter()
-                .map(|n| n.and_then(|node| by_node.get(&node).copied()))
-                .collect()
+        let nodes = self.query_nodes(circuit, cg);
+        let preds = self.predict_for(cg, nodes);
+        self.scatter_predictions(circuit, cg, preds)
+    }
+
+    /// Predicts every applicable node of several fresh schematics in one
+    /// forward pass over their block-diagonal [`GraphBatch`] union, then
+    /// splits the results back per circuit — exactly equal to calling
+    /// [`TargetModel::predict_circuit`] on each.
+    pub fn predict_circuits(&self, circuits: &[&Circuit]) -> Vec<Vec<Option<f64>>> {
+        if circuits.is_empty() {
+            return Vec::new();
+        }
+        if circuits.len() == 1 {
+            return vec![self.predict_circuit(circuits[0])];
+        }
+        let _span = paragraph_obs::span!("predict_circuits", circuits = circuits.len());
+        let cgs: Vec<CircuitGraph> = circuits
+            .iter()
+            .map(|c| {
+                let mut cg = build_graph(c);
+                cg.normalize(&self.norm);
+                cg
+            })
+            .collect();
+        let graphs: Vec<&paragraph_gnn::HeteroGraph> = cgs.iter().map(|cg| &cg.graph).collect();
+        let batch = GraphBatch::new(&graphs);
+        let per_circuit: Vec<Vec<u32>> = circuits
+            .iter()
+            .zip(&cgs)
+            .map(|(c, cg)| self.query_nodes(c, cg))
+            .collect();
+        let mut merged = Vec::with_capacity(per_circuit.iter().map(Vec::len).sum());
+        for (i, nodes) in per_circuit.iter().enumerate() {
+            merged.extend(nodes.iter().map(|&n| batch.global_node(i, n)));
+        }
+        let preds = if merged.is_empty() {
+            Vec::new()
         } else {
-            let mosfets: Vec<u32> = circuit
+            self.model
+                .predict(batch.graph(), &std::sync::Arc::new(merged))
+        };
+        let mut off = 0;
+        circuits
+            .iter()
+            .zip(&cgs)
+            .zip(per_circuit)
+            .map(|((c, cg), nodes)| {
+                let pairs: Vec<(u32, f64)> = nodes
+                    .iter()
+                    .zip(&preds[off..off + nodes.len()])
+                    .map(|(&n, &p)| (n, self.target.unscale_with(self.max_value, p)))
+                    .collect();
+                off += nodes.len();
+                self.scatter_predictions(c, cg, pairs)
+            })
+            .collect()
+    }
+
+    /// Global ids of the nodes this model's target applies to.
+    fn query_nodes(&self, circuit: &Circuit, cg: &CircuitGraph) -> Vec<u32> {
+        if self.target.on_nets() {
+            cg.net_nodes()
+        } else {
+            circuit
                 .devices()
                 .iter()
                 .enumerate()
                 .filter(|(_, d)| d.kind.is_mosfet())
                 .map(|(i, _)| cg.device_node[i])
-                .collect();
-            let by_node: std::collections::HashMap<u32, f64> =
-                self.predict_for(cg, mosfets).into_iter().collect();
+                .collect()
+        }
+    }
+
+    /// Lays `(node, value)` predictions back out per net (for net
+    /// targets) or per device (for device targets), `None` where the
+    /// target does not apply.
+    fn scatter_predictions(
+        &self,
+        circuit: &Circuit,
+        cg: &CircuitGraph,
+        preds: Vec<(u32, f64)>,
+    ) -> Vec<Option<f64>> {
+        let by_node: std::collections::HashMap<u32, f64> = preds.into_iter().collect();
+        if self.target.on_nets() {
+            cg.net_node
+                .iter()
+                .map(|n| n.and_then(|node| by_node.get(&node).copied()))
+                .collect()
+        } else {
             (0..circuit.num_devices())
                 .map(|i| by_node.get(&cg.device_node[i]).copied())
                 .collect()
@@ -772,6 +853,52 @@ mod tests {
             assert!(!pairs.scaled.is_empty(), "{}", kind.name());
             assert!(pairs.physical.iter().all(|(p, _)| *p > 0.0));
         }
+    }
+
+    /// `predict_circuits` runs one forward pass over the block-diagonal
+    /// batch; the per-circuit split-back must equal `predict_circuit`
+    /// float for float, for net and device targets alike.
+    #[test]
+    fn batched_circuit_prediction_matches_sequential() {
+        let prepared = tiny_dataset();
+        let norm = FeatureNorm::identity();
+        for (target, kind) in [
+            (Target::Cap, GnnKind::ParaGraph),
+            (Target::Sa, GnnKind::Gcn),
+        ] {
+            let mut fit = FitConfig::quick(kind);
+            fit.epochs = 3;
+            let (model, _) = TargetModel::train(&prepared, target, None, fit, &norm);
+            let circuits: Vec<&paragraph_netlist::Circuit> =
+                prepared.iter().map(|pc| &pc.circuit).collect();
+            let batched = model.predict_circuits(&circuits);
+            assert_eq!(batched.len(), circuits.len());
+            for (pc, got) in prepared.iter().zip(&batched) {
+                let sequential = model.predict_circuit(&pc.circuit);
+                assert_eq!(&sequential, got, "{} on {}", target.name(), pc.name);
+            }
+        }
+        // Degenerate widths pass through the single-circuit path.
+        let mut fit = FitConfig::quick(GnnKind::Gcn);
+        fit.epochs = 1;
+        let (model, _) = TargetModel::train(&prepared, Target::Cap, None, fit, &norm);
+        assert!(model.predict_circuits(&[]).is_empty());
+        let one = model.predict_circuits(&[&prepared[0].circuit]);
+        assert_eq!(one[0], model.predict_circuit(&prepared[0].circuit));
+    }
+
+    /// Training with `graphs_per_batch > 1` must still learn (the loss
+    /// schedule changes, so only convergence is asserted, not parity).
+    #[test]
+    fn batched_training_converges() {
+        let prepared = tiny_dataset();
+        let norm = FeatureNorm::identity();
+        let mut fit = FitConfig::quick(GnnKind::ParaGraph);
+        fit.graphs_per_batch = 3;
+        let (model, loss) = TargetModel::train(&prepared, Target::Cap, None, fit, &norm);
+        assert!(loss.is_finite());
+        let caps = model.predict_graph(&prepared[0].circuit, &prepared[0].graph);
+        assert!(caps.into_iter().flatten().all(|c| c > 0.0));
     }
 
     #[test]

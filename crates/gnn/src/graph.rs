@@ -5,9 +5,11 @@
 //! are stored per node type (each type has its own feature dimension, as in
 //! Table II).
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use paragraph_tensor::Tensor;
+
+use crate::plan::GraphPlan;
 
 /// Edges of one relation/edge type.
 #[derive(Debug, Clone)]
@@ -84,9 +86,15 @@ pub struct HeteroGraph {
     /// Global node ids per type; row `i` of `features[t]` describes node
     /// `nodes_of_type[t][i]`.
     nodes_of_type: Vec<Arc<Vec<u32>>>,
-    features: Vec<Tensor>,
+    /// Arc-backed so tapes can record the feature matrices as shared
+    /// constants without copying them each forward pass.
+    features: Vec<Arc<Tensor>>,
     edges: Vec<EdgeList>,
     union_edges: Option<EdgeList>,
+    /// Compiled message plan, built lazily on first use and shared (via
+    /// `Arc`) across layers, epochs and graph clones. Reset whenever the
+    /// edges change.
+    plan: OnceLock<Arc<GraphPlan>>,
 }
 
 impl HeteroGraph {
@@ -109,7 +117,7 @@ impl HeteroGraph {
             .node_feat_dims
             .iter()
             .enumerate()
-            .map(|(t, &d)| Tensor::zeros(nodes_of_type[t].len(), d))
+            .map(|(t, &d)| Arc::new(Tensor::zeros(nodes_of_type[t].len(), d)))
             .collect();
         Self {
             num_nodes,
@@ -120,6 +128,7 @@ impl HeteroGraph {
                 .map(|_| EdgeList::new(vec![], vec![]))
                 .collect(),
             union_edges: None,
+            plan: OnceLock::new(),
         }
     }
 
@@ -155,6 +164,12 @@ impl HeteroGraph {
 
     /// Input features of `node_type` (`n_t x d_t`).
     pub fn features(&self, node_type: u16) -> &Tensor {
+        self.features[node_type as usize].as_ref()
+    }
+
+    /// Shared handle to the features of `node_type`, for recording on a
+    /// tape via `Tape::constant_shared` without copying.
+    pub fn features_shared(&self, node_type: u16) -> &Arc<Tensor> {
         &self.features[node_type as usize]
     }
 
@@ -171,13 +186,23 @@ impl HeteroGraph {
             expected,
             "type {node_type} has {expected} nodes"
         );
-        self.features[node_type as usize] = features;
+        self.features[node_type as usize] = Arc::new(features);
     }
 
     /// Replaces the edges of `edge_type`.
     pub fn set_edges(&mut self, edge_type: usize, src: Vec<u32>, dst: Vec<u32>) {
         self.edges[edge_type] = EdgeList::new(src, dst);
         self.union_edges = None;
+        self.plan = OnceLock::new();
+    }
+
+    /// The compiled message plan for this graph, built on first use and
+    /// cached. Cloning the graph shares the already-built plan; mutating
+    /// edges invalidates it.
+    pub fn plan(&self) -> Arc<GraphPlan> {
+        self.plan
+            .get_or_init(|| Arc::new(GraphPlan::build(self)))
+            .clone()
     }
 
     /// Edges of one type.

@@ -31,12 +31,17 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod graph;
 mod model;
+mod plan;
+pub mod reference;
 mod sample;
 mod train;
 
+pub use batch::{batch_tasks, GraphBatch};
 pub use graph::{EdgeList, GraphSchema, HeteroGraph};
 pub use model::{GnnKind, GnnModel, ModelConfig};
+pub use plan::GraphPlan;
 pub use sample::{sample_subgraph, SampleConfig, Subsample};
 pub use train::{evaluate, EpochStats, GraphTask, TrainConfig, Trainer};

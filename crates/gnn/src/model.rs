@@ -9,9 +9,9 @@
 
 use std::sync::Arc;
 
-use paragraph_tensor::{init_rng, ParamId, ParamSet, Tape, Tensor, Var};
+use paragraph_tensor::{init_rng, CsrPlan, ParamId, ParamSet, Tape, Tensor, Var};
 
-use crate::graph::{EdgeList, HeteroGraph};
+use crate::graph::HeteroGraph;
 
 /// Which aggregation scheme a model uses (paper Table III + Algorithm 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -108,17 +108,17 @@ impl ModelConfig {
 }
 
 #[derive(Debug, Clone)]
-struct LayerParams {
+pub(crate) struct LayerParams {
     /// Per-edge-type weight matrices (ParaGraph, RGCN).
-    w_type: Vec<ParamId>,
+    pub(crate) w_type: Vec<ParamId>,
     /// Per-edge-type attention vectors (ParaGraph).
-    a_type: Vec<ParamId>,
+    pub(crate) a_type: Vec<ParamId>,
     /// Shared weight (GCN, GraphSage, GAT; ParaGraph's concat weight).
-    w: Option<ParamId>,
+    pub(crate) w: Option<ParamId>,
     /// Self-loop weight (RGCN).
-    w_self: Option<ParamId>,
+    pub(crate) w_self: Option<ParamId>,
     /// Bias.
-    b: ParamId,
+    pub(crate) b: ParamId,
 }
 
 /// A trainable GNN regressor over [`HeteroGraph`]s with a fixed schema.
@@ -134,12 +134,12 @@ struct LayerParams {
 /// ```
 #[derive(Debug, Clone)]
 pub struct GnnModel {
-    config: ModelConfig,
-    num_edge_types: usize,
-    params: ParamSet,
-    in_proj: Vec<ParamId>,
-    layers: Vec<LayerParams>,
-    head: Vec<(ParamId, ParamId)>,
+    pub(crate) config: ModelConfig,
+    pub(crate) num_edge_types: usize,
+    pub(crate) params: ParamSet,
+    pub(crate) in_proj: Vec<ParamId>,
+    pub(crate) layers: Vec<LayerParams>,
+    pub(crate) head: Vec<(ParamId, ParamId)>,
 }
 
 impl GnnModel {
@@ -278,25 +278,31 @@ impl GnnModel {
         &mut self.params
     }
 
-    /// Computes the final node embedding matrix (`N x F`), Algorithm 1.
-    pub fn embed(&self, tape: &mut Tape, graph: &HeteroGraph) -> Var {
+    /// Algorithm 1 lines 1-2: per-type projection into the common
+    /// feature space. Shared by [`GnnModel::embed`] and
+    /// [`GnnModel::attention_weights`] so the two cannot drift. Feature
+    /// matrices are recorded as shared constants — no copies per call.
+    pub(crate) fn input_projection(&self, tape: &mut Tape, graph: &HeteroGraph) -> Var {
         let n = graph.num_nodes();
         let f = self.config.embed_dim;
-
-        // Lines 1-2: per-type projection into the common feature space.
         let mut h = tape.constant(Tensor::zeros(n, f));
         for t in 0..graph.num_node_types() {
             let idx = graph.nodes_of_type(t as u16);
             if idx.is_empty() {
                 continue;
             }
-            let x = tape.constant(graph.features(t as u16).clone());
+            let x = tape.constant_shared(graph.features_shared(t as u16).clone());
             let w = tape.param(&self.params, self.in_proj[t]);
             let proj = tape.matmul(x, w);
             let scattered = tape.scatter_add_rows(proj, idx.clone(), n);
             h = tape.add(h, scattered);
         }
+        h
+    }
 
+    /// Computes the final node embedding matrix (`N x F`), Algorithm 1.
+    pub fn embed(&self, tape: &mut Tape, graph: &HeteroGraph) -> Var {
+        let mut h = self.input_projection(tape, graph);
         for layer in &self.layers {
             h = match self.config.kind {
                 GnnKind::Gcn => self.gcn_layer(tape, graph, h, layer),
@@ -412,78 +418,42 @@ impl GnnModel {
         );
         assert!(!self.config.ablate_attention, "attention is ablated");
         let heads = self.config.attention_heads.max(1);
-        let n = graph.num_nodes();
-        let f = self.config.embed_dim;
         let mut tape = Tape::new();
 
-        // Input projection (Algorithm 1 lines 1-2), as in `embed`.
-        let mut h = tape.constant(Tensor::zeros(n, f));
-        for t in 0..graph.num_node_types() {
-            let idx = graph.nodes_of_type(t as u16);
-            if idx.is_empty() {
-                continue;
-            }
-            let x = tape.constant(graph.features(t as u16).clone());
-            let w = tape.param(&self.params, self.in_proj[t]);
-            let proj = tape.matmul(x, w);
-            let scattered = tape.scatter_add_rows(proj, idx.clone(), n);
-            h = tape.add(h, scattered);
-        }
+        // Input projection (Algorithm 1 lines 1-2) — the *same* code path
+        // as `embed`, and `attention_probabilities` is the same kernel the
+        // fused layer op runs, so this inspection view cannot drift from
+        // what training computes.
+        let h = self.input_projection(&mut tape, graph);
+        let plan = graph.plan();
 
         let lp = &self.layers[0];
         let mut out = Vec::with_capacity(self.num_edge_types);
         for t in 0..self.num_edge_types {
-            let edges = graph.edges(t);
-            if edges.is_empty() || self.config.ablate_edge_types {
+            let tp = plan.edge_type(t);
+            if tp.num_edges() == 0 || self.config.ablate_edge_types {
                 out.push(Vec::new());
                 continue;
             }
             let w_t = tape.param(&self.params, lp.w_type[t * heads]);
             let z = tape.matmul(h, w_t);
-            let zs = tape.gather_rows(z, edges.src.clone());
-            let zd = tape.gather_rows(z, edges.dst.clone());
-            let cat = tape.concat_cols(zd, zs);
             let av = tape.param(&self.params, lp.a_type[t * heads]);
-            let scores = tape.matmul(cat, av);
-            let scores = tape.leaky_relu(scores, self.config.leaky_slope);
-            let att = tape.segment_softmax(scores, edges.dst.clone(), n);
-            out.push(tape.value(att).as_slice().to_vec());
+            out.push(paragraph_tensor::attention_probabilities(
+                tape.value(z),
+                tape.value(av),
+                tp,
+                self.config.leaky_slope,
+            ));
         }
         out
     }
 
     // --- layer implementations ---------------------------------------
 
-    fn union(&self, graph: &HeteroGraph) -> EdgeList {
-        if let Some(u) = graph.cached_union() {
-            return u.clone();
-        }
-        let mut src = Vec::with_capacity(graph.num_edges());
-        let mut dst = Vec::with_capacity(graph.num_edges());
-        for t in 0..graph.num_edge_types() {
-            let e = graph.edges(t);
-            src.extend_from_slice(&e.src);
-            dst.extend_from_slice(&e.dst);
-        }
-        EdgeList::new(src, dst)
-    }
-
     /// `h' = relu(b + sum_j (1/c_ij) W h_j)` with symmetric degree norm.
     fn gcn_layer(&self, tape: &mut Tape, graph: &HeteroGraph, h: Var, lp: &LayerParams) -> Var {
-        let n = graph.num_nodes();
-        let edges = self.union(graph);
-        let din = graph.in_degrees(&edges);
-        let dout = graph.out_degrees(&edges);
-        let norm: Vec<f32> = edges
-            .src
-            .iter()
-            .zip(edges.dst.iter())
-            .map(|(&s, &d)| 1.0 / (dout[s as usize].max(1.0) * din[d as usize].max(1.0)).sqrt())
-            .collect();
-        let msg = tape.gather_rows(h, edges.src.clone());
-        let norm_col = tape.constant(Tensor::from_col(&norm));
-        let msg = tape.mul_col_broadcast(msg, norm_col);
-        let agg = tape.scatter_add_rows(msg, edges.dst.clone(), n);
+        let plan = graph.plan();
+        let agg = tape.spmm_norm(h, plan.union().clone(), plan.union_gcn_coeff().clone());
         let w = tape.param(&self.params, lp.w.expect("gcn has w"));
         let b = tape.param(&self.params, lp.b);
         let z = tape.matmul(agg, w);
@@ -493,14 +463,8 @@ impl GnnModel {
 
     /// GraphSage: mean aggregation, concat skip, L2 row normalisation.
     fn sage_layer(&self, tape: &mut Tape, graph: &HeteroGraph, h: Var, lp: &LayerParams) -> Var {
-        let n = graph.num_nodes();
-        let edges = self.union(graph);
-        let din = graph.in_degrees(&edges);
-        let msg = tape.gather_rows(h, edges.src.clone());
-        let agg = tape.scatter_add_rows(msg, edges.dst.clone(), n);
-        let inv: Vec<f32> = din.iter().map(|&d| 1.0 / d.max(1.0)).collect();
-        let inv_col = tape.constant(Tensor::from_col(&inv));
-        let mean = tape.mul_col_broadcast(agg, inv_col);
+        let plan = graph.plan();
+        let mean = tape.spmm_mean(h, plan.union().clone());
         let cat = tape.concat_cols(h, mean);
         let w = tape.param(&self.params, lp.w.expect("sage has w"));
         let b = tape.param(&self.params, lp.b);
@@ -513,20 +477,15 @@ impl GnnModel {
     /// RGCN: per-relation mean aggregation with relation weights + self
     /// loop.
     fn rgcn_layer(&self, tape: &mut Tape, graph: &HeteroGraph, h: Var, lp: &LayerParams) -> Var {
-        let n = graph.num_nodes();
+        let plan = graph.plan();
         let w_self = tape.param(&self.params, lp.w_self.expect("rgcn has w_self"));
         let mut acc = tape.matmul(h, w_self);
         for t in 0..self.num_edge_types {
-            let edges = graph.edges(t);
-            if edges.is_empty() {
+            let tp = plan.edge_type(t);
+            if tp.num_edges() == 0 {
                 continue;
             }
-            let din = graph.in_degrees(edges);
-            let msg = tape.gather_rows(h, edges.src.clone());
-            let agg = tape.scatter_add_rows(msg, edges.dst.clone(), n);
-            let inv: Vec<f32> = din.iter().map(|&d| 1.0 / d.max(1.0)).collect();
-            let inv_col = tape.constant(Tensor::from_col(&inv));
-            let mean = tape.mul_col_broadcast(agg, inv_col);
+            let mean = tape.spmm_mean(h, tp.clone());
             let w_r = tape.param(&self.params, lp.w_type[t]);
             let z = tape.matmul(mean, w_r);
             acc = tape.add(acc, z);
@@ -539,14 +498,13 @@ impl GnnModel {
     /// GAT: additive attention over the homogeneous neighbourhood;
     /// multiple heads split the embedding dimension and concatenate.
     fn gat_layer(&self, tape: &mut Tape, graph: &HeteroGraph, h: Var, lp: &LayerParams) -> Var {
-        let n = graph.num_nodes();
-        let edges = self.union(graph);
+        let plan = graph.plan();
         let heads = self.config.attention_heads.max(1);
         let mut agg: Option<Var> = None;
         for k in 0..heads {
             let w = tape.param(&self.params, lp.w_type[k]);
             let z = tape.matmul(h, w);
-            let head = self.attention_aggregate(tape, &edges, z, lp.a_type[k], n);
+            let head = self.attention_aggregate(tape, plan.union(), z, lp.a_type[k]);
             agg = Some(match agg {
                 Some(prev) => tape.concat_cols(prev, head),
                 None => head,
@@ -570,20 +528,21 @@ impl GnnModel {
     ) -> Var {
         let n = graph.num_nodes();
         let f = self.config.embed_dim;
+        let plan = graph.plan();
         let mut agg = tape.constant(Tensor::zeros(n, f));
         if self.config.ablate_edge_types {
             // Ablation: a single weight/attention over the union graph.
-            let edges = self.union(graph);
-            if !edges.is_empty() {
+            let tp = plan.union();
+            if tp.num_edges() > 0 {
                 let heads = self.config.attention_heads.max(1);
                 let mut h_t: Option<Var> = None;
                 for k in 0..heads {
                     let w_t = tape.param(&self.params, lp.w_type[k]);
                     let z = tape.matmul(h, w_t);
                     let head = if self.config.ablate_attention {
-                        self.mean_aggregate(tape, graph, &edges, z, n)
+                        tape.spmm_mean(z, tp.clone())
                     } else {
-                        self.attention_aggregate(tape, &edges, z, lp.a_type[k], n)
+                        self.attention_aggregate(tape, tp, z, lp.a_type[k])
                     };
                     h_t = Some(match h_t {
                         Some(prev) => tape.concat_cols(prev, head),
@@ -595,8 +554,8 @@ impl GnnModel {
         } else {
             let heads = self.config.attention_heads.max(1);
             for t in 0..self.num_edge_types {
-                let edges = graph.edges(t);
-                if edges.is_empty() {
+                let tp = plan.edge_type(t);
+                if tp.num_edges() == 0 {
                     continue;
                 }
                 let mut h_t: Option<Var> = None;
@@ -604,9 +563,9 @@ impl GnnModel {
                     let w_t = tape.param(&self.params, lp.w_type[t * heads + k]);
                     let z = tape.matmul(h, w_t);
                     let head = if self.config.ablate_attention {
-                        self.mean_aggregate(tape, graph, edges, z, n)
+                        tape.spmm_mean(z, tp.clone())
                     } else {
-                        self.attention_aggregate(tape, edges, z, lp.a_type[t * heads + k], n)
+                        self.attention_aggregate(tape, tp, z, lp.a_type[t * heads + k])
                     };
                     h_t = Some(match h_t {
                         Some(prev) => tape.concat_cols(prev, head),
@@ -631,42 +590,12 @@ impl GnnModel {
         tape.relu(z)
     }
 
-    /// Shared GAT-style attention: scores from `a^T concat(z_dst, z_src)`,
-    /// per-destination softmax, weighted scatter-sum.
-    fn attention_aggregate(
-        &self,
-        tape: &mut Tape,
-        edges: &EdgeList,
-        z: Var,
-        a: ParamId,
-        n: usize,
-    ) -> Var {
-        let zs = tape.gather_rows(z, edges.src.clone());
-        let zd = tape.gather_rows(z, edges.dst.clone());
-        let cat = tape.concat_cols(zd, zs);
+    /// Shared GAT-style attention: one fused op computes the scores
+    /// `a^T (z_dst ‖ z_src)`, the per-destination softmax, and the
+    /// weighted scatter-sum.
+    fn attention_aggregate(&self, tape: &mut Tape, plan: &Arc<CsrPlan>, z: Var, a: ParamId) -> Var {
         let av = tape.param(&self.params, a);
-        let scores = tape.matmul(cat, av);
-        let scores = tape.leaky_relu(scores, self.config.leaky_slope);
-        let att = tape.segment_softmax(scores, edges.dst.clone(), n);
-        let weighted = tape.mul_col_broadcast(zs, att);
-        tape.scatter_add_rows(weighted, edges.dst.clone(), n)
-    }
-
-    /// Mean aggregation over `edges` (used by the attention ablation).
-    fn mean_aggregate(
-        &self,
-        tape: &mut Tape,
-        graph: &HeteroGraph,
-        edges: &EdgeList,
-        z: Var,
-        n: usize,
-    ) -> Var {
-        let zs = tape.gather_rows(z, edges.src.clone());
-        let agg = tape.scatter_add_rows(zs, edges.dst.clone(), n);
-        let din = graph.in_degrees(edges);
-        let inv: Vec<f32> = din.iter().map(|&d| 1.0 / d.max(1.0)).collect();
-        let inv_col = tape.constant(Tensor::from_col(&inv));
-        tape.mul_col_broadcast(agg, inv_col)
+        tape.attend_aggregate(z, av, plan.clone(), self.config.leaky_slope)
     }
 }
 

@@ -1,0 +1,138 @@
+//! Per-graph compiled message plans.
+//!
+//! A [`GraphPlan`] bundles one [`CsrPlan`] per edge type plus a plan for
+//! the type-union edge list (used by the homogeneous GCN / GraphSage /
+//! GAT layers) and the GCN symmetric-norm coefficients over that union.
+//! It is built once per [`HeteroGraph`](crate::HeteroGraph) (lazily, via
+//! [`HeteroGraph::plan`](crate::HeteroGraph::plan)) and shared behind an
+//! `Arc` across every layer, epoch and ensemble member — the degree
+//! counting, destination sorting and normalisation that every layer call
+//! used to re-derive from COO now happens exactly once.
+
+use std::sync::Arc;
+
+use paragraph_tensor::CsrPlan;
+
+use crate::graph::HeteroGraph;
+
+/// Compiled CSR plans for every edge view of one graph.
+#[derive(Debug)]
+pub struct GraphPlan {
+    per_type: Vec<Arc<CsrPlan>>,
+    union: Arc<CsrPlan>,
+    /// GCN symmetric-norm coefficients `1/sqrt(dout(s)·din(d))` (degrees
+    /// floored at 1) per union edge, in the union plan's
+    /// destination-sorted order.
+    union_gcn_coeff: Arc<Vec<f32>>,
+}
+
+impl GraphPlan {
+    /// Compiles all edge lists of `graph`.
+    pub fn build(graph: &HeteroGraph) -> Self {
+        let n = graph.num_nodes();
+        let per_type: Vec<Arc<CsrPlan>> = (0..graph.num_edge_types())
+            .map(|t| {
+                let e = graph.edges(t);
+                CsrPlan::shared(&e.src, &e.dst, n)
+            })
+            .collect();
+        // Union edges in edge-type order, matching
+        // `HeteroGraph::union_edges`.
+        let mut src = Vec::with_capacity(graph.num_edges());
+        let mut dst = Vec::with_capacity(graph.num_edges());
+        for t in 0..graph.num_edge_types() {
+            let e = graph.edges(t);
+            src.extend_from_slice(&e.src);
+            dst.extend_from_slice(&e.dst);
+        }
+        let union = CsrPlan::shared(&src, &dst, n);
+        let union_gcn_coeff = Arc::new(
+            (0..union.num_edges())
+                .map(|ei| {
+                    let s = union.sorted_src()[ei] as usize;
+                    let d = union.sorted_dst()[ei] as usize;
+                    1.0 / (union.out_degree()[s].max(1.0) * union.in_degree()[d].max(1.0)).sqrt()
+                })
+                .collect(),
+        );
+        Self {
+            per_type,
+            union,
+            union_gcn_coeff,
+        }
+    }
+
+    /// The plan for one edge type.
+    pub fn edge_type(&self, t: usize) -> &Arc<CsrPlan> {
+        &self.per_type[t]
+    }
+
+    /// The plan for the union of all edge types.
+    pub fn union(&self) -> &Arc<CsrPlan> {
+        &self.union
+    }
+
+    /// GCN symmetric-norm coefficients for the union plan, in its
+    /// destination-sorted edge order.
+    pub fn union_gcn_coeff(&self) -> &Arc<Vec<f32>> {
+        &self.union_gcn_coeff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphSchema;
+    use paragraph_tensor::Tensor;
+
+    fn graph() -> HeteroGraph {
+        let schema = GraphSchema {
+            node_feat_dims: vec![2],
+            num_edge_types: 2,
+        };
+        let mut g = HeteroGraph::new(&schema, vec![0, 0, 0, 0]);
+        g.set_features(0, Tensor::from_fn(4, 2, |i, j| (i + j) as f32));
+        g.set_edges(0, vec![0, 1], vec![1, 2]);
+        g.set_edges(1, vec![2, 3], vec![0, 0]);
+        g
+    }
+
+    #[test]
+    fn union_merges_types_in_order() {
+        let g = graph();
+        let plan = g.plan();
+        assert_eq!(plan.edge_type(0).num_edges(), 2);
+        assert_eq!(plan.edge_type(1).num_edges(), 2);
+        assert_eq!(plan.union().num_edges(), 4);
+        assert_eq!(plan.union().in_degree(), &[2.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn gcn_coefficients_use_floored_degrees() {
+        let g = graph();
+        let plan = g.plan();
+        let u = plan.union();
+        for ei in 0..u.num_edges() {
+            let s = u.sorted_src()[ei] as usize;
+            let d = u.sorted_dst()[ei] as usize;
+            let expect = 1.0 / (u.out_degree()[s].max(1.0) * u.in_degree()[d].max(1.0)).sqrt();
+            assert_eq!(plan.union_gcn_coeff()[ei], expect);
+        }
+    }
+
+    #[test]
+    fn plan_is_cached_and_invalidated_on_edge_change() {
+        let mut g = graph();
+        let p1 = g.plan();
+        let p2 = g.plan();
+        assert!(Arc::ptr_eq(&p1, &p2), "plan must be built once");
+        // Clones share the compiled plan.
+        let clone = g.clone();
+        assert!(Arc::ptr_eq(&p1, &clone.plan()));
+        // Edge mutation rebuilds.
+        g.set_edges(0, vec![3], vec![2]);
+        let p3 = g.plan();
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        assert_eq!(p3.union().num_edges(), 3);
+    }
+}

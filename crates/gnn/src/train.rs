@@ -110,6 +110,13 @@ pub struct TrainConfig {
     pub lr_decay: f32,
     /// If set, stop early once the epoch-mean loss drops below this.
     pub loss_target: Option<f32>,
+    /// How many tasks to fold into each block-diagonal
+    /// [`GraphBatch`](crate::GraphBatch) before training (1 = no
+    /// batching). Batching amortises plan compilation and tape overhead
+    /// across member graphs; the per-batch loss is the MSE over the
+    /// union of labelled nodes, so large batches also change the loss
+    /// weighting from per-graph to per-node.
+    pub graphs_per_batch: usize,
 }
 
 impl Default for TrainConfig {
@@ -119,6 +126,7 @@ impl Default for TrainConfig {
             lr: 0.01,
             lr_decay: 0.98,
             loss_target: None,
+            graphs_per_batch: 1,
         }
     }
 }
@@ -169,7 +177,13 @@ impl Trainer {
     }
 
     /// Full training loop; returns per-epoch loss history.
+    ///
+    /// With `config.graphs_per_batch > 1` the tasks are first folded into
+    /// block-diagonal [`GraphBatch`](crate::GraphBatch)es, so each
+    /// optimizer step covers several graphs.
     pub fn fit(&mut self, model: &mut GnnModel, tasks: &[GraphTask]) -> Vec<EpochStats> {
+        let batched = crate::batch::batch_tasks(tasks, self.config.graphs_per_batch);
+        let tasks = batched.as_slice();
         let mut history = Vec::with_capacity(self.config.epochs);
         for epoch in 0..self.config.epochs {
             let _span = paragraph_obs::span!("epoch", epoch = epoch);
@@ -233,6 +247,8 @@ impl Trainer {
         tasks: &[GraphTask],
         pool: &paragraph_runtime::Pool,
     ) -> Vec<EpochStats> {
+        let batched = crate::batch::batch_tasks(tasks, self.config.graphs_per_batch);
+        let tasks = batched.as_slice();
         let mut history = Vec::with_capacity(self.config.epochs);
         for epoch in 0..self.config.epochs {
             let _span = paragraph_obs::span!("epoch", epoch = epoch);
@@ -428,6 +444,7 @@ mod tests {
             lr: 0.01,
             lr_decay: 0.98,
             loss_target: Some(1e-3),
+            graphs_per_batch: 1,
         });
         let history = trainer.fit(&mut model, std::slice::from_ref(&task));
         let last = history.last().unwrap().loss;
@@ -449,6 +466,7 @@ mod tests {
                 lr: 0.01,
                 lr_decay: 0.98,
                 loss_target: None,
+                graphs_per_batch: 1,
             });
             let history = trainer.fit(&mut model, &[task]);
             let first = history.first().unwrap().loss;
@@ -498,6 +516,7 @@ mod tests {
             lr: 0.02,
             lr_decay: 0.98,
             loss_target: Some(0.05),
+            graphs_per_batch: 1,
         });
         let history = trainer.fit(&mut model, &[task]);
         assert!(history.len() < 500, "early stop should trigger");
@@ -553,6 +572,7 @@ mod sampled_training_tests {
             lr: 0.01,
             lr_decay: 0.99,
             loss_target: None,
+            graphs_per_batch: 1,
         });
         let sample = SampleConfig {
             hops: 2,

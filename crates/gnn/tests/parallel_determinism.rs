@@ -63,6 +63,7 @@ const TRAIN: TrainConfig = TrainConfig {
     lr: 0.01,
     lr_decay: 0.98,
     loss_target: None,
+    graphs_per_batch: 1,
 };
 
 fn run_parallel(schema: &GraphSchema, tasks: &[GraphTask], workers: usize) -> (Vec<f32>, Vec<f32>) {

@@ -35,6 +35,10 @@ pub struct ServiceConfig {
     pub default_deadline: Duration,
     /// Honour the `debug_panic` op (tests only).
     pub enable_debug_ops: bool,
+    /// How many queued jobs a worker drains per wake-up (min 1). Predict
+    /// jobs in the drained batch that resolve to the same model run as
+    /// one forward pass over their circuits' block-diagonal graph union.
+    pub max_batch: usize,
 }
 
 impl Default for ServiceConfig {
@@ -45,6 +49,7 @@ impl Default for ServiceConfig {
             cache_capacity: 256,
             default_deadline: Duration::from_secs(30),
             enable_debug_ops: false,
+            max_batch: 8,
         }
     }
 }
@@ -89,9 +94,12 @@ impl Service {
                 let cache = cache.clone();
                 let metrics = metrics.clone();
                 let debug_ops = config.enable_debug_ops;
+                let max_batch = config.max_batch.max(1);
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &registry, &cache, &metrics, debug_ops))
+                    .spawn(move || {
+                        worker_loop(&rx, &registry, &cache, &metrics, debug_ops, max_batch)
+                    })
                     .expect("spawn worker")
             })
             .collect();
@@ -252,30 +260,49 @@ fn worker_loop(
     cache: &Arc<PredictionCache>,
     metrics: &Arc<Metrics>,
     debug_ops: bool,
+    max_batch: usize,
 ) {
     loop {
-        let job = {
+        // Block for one job, then opportunistically drain whatever else
+        // is already queued (up to max_batch) under the same lock, so
+        // co-queued predictions can share a forward pass.
+        let mut jobs = Vec::with_capacity(max_batch);
+        {
             let guard = rx.lock().expect("queue lock poisoned");
             match guard.recv() {
-                Ok(job) => job,
+                Ok(job) => jobs.push(job),
                 Err(_) => return, // service dropped
             }
-        };
-        metrics.queue_left();
-        let id = job.request.id.clone();
-        let response = if Instant::now() > job.deadline {
-            error_response(
-                &id,
-                &ServeError::new(
-                    ErrorCode::DeadlineExceeded,
-                    "deadline passed before a worker picked the request up",
-                ),
-            )
-        } else {
+            while jobs.len() < max_batch {
+                match guard.try_recv() {
+                    Ok(job) => jobs.push(job),
+                    Err(_) => break,
+                }
+            }
+        }
+        let mut predict_jobs = Vec::new();
+        for job in jobs {
+            metrics.queue_left();
+            let id = job.request.id.clone();
+            if Instant::now() > job.deadline {
+                let response = error_response(
+                    &id,
+                    &ServeError::new(
+                        ErrorCode::DeadlineExceeded,
+                        "deadline passed before a worker picked the request up",
+                    ),
+                );
+                let _ = job.reply.send(response);
+                continue;
+            }
+            if job.request.op == Op::Predict {
+                predict_jobs.push(job);
+                continue;
+            }
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 execute(&job.request, registry, cache, debug_ops)
             }));
-            match outcome {
+            let response = match outcome {
                 Ok(Ok((result, cached))) => ok_response(&id, result, cached),
                 Ok(Err(err)) => error_response(&id, &err),
                 Err(panic) => error_response(
@@ -285,11 +312,133 @@ fn worker_loop(
                         format!("worker panicked: {}", panic_message(&panic)),
                     ),
                 ),
+            };
+            // The caller may have given up (e.g. its connection died);
+            // that must not kill the worker.
+            let _ = job.reply.send(response);
+        }
+        if !predict_jobs.is_empty() {
+            predict_many(predict_jobs, registry, cache);
+        }
+    }
+}
+
+/// One predict job that parsed and resolved but missed the cache.
+struct PendingPredict {
+    job: Job,
+    circuit: Circuit,
+    content_hash: u64,
+}
+
+/// Serves a drained batch of predict jobs: per-job parse / model
+/// resolution / cache lookup, then one batched forward pass per distinct
+/// model over the cache misses. Each job gets exactly the response the
+/// single-request path would have produced; a panic inside one model
+/// group fails only that group's jobs.
+fn predict_many(jobs: Vec<Job>, registry: &Arc<ModelRegistry>, cache: &Arc<PredictionCache>) {
+    let snapshot = registry.current();
+    let mut groups: std::collections::BTreeMap<String, (ModelRef, Vec<PendingPredict>)> =
+        std::collections::BTreeMap::new();
+    for job in jobs {
+        let id = job.request.id.clone();
+        let circuit = match required_netlist(&job.request) {
+            Ok(c) => c,
+            Err(err) => {
+                let _ = job.reply.send(error_response(&id, &err));
+                continue;
             }
         };
-        // The caller may have given up (e.g. its connection died); that
-        // must not kill the worker.
-        let _ = job.reply.send(response);
+        let (key, model) = match snapshot.resolve(job.request.model.as_deref()) {
+            Ok(resolved) => resolved,
+            Err(m) => {
+                let err = ServeError::new(ErrorCode::UnknownModel, m);
+                let _ = job.reply.send(error_response(&id, &err));
+                continue;
+            }
+        };
+        let content_hash = fnv1a(&write_flat_spice(&circuit));
+        if let Some(hit) = cache.get(&key, content_hash) {
+            let _ = job.reply.send(ok_response(&id, (*hit).clone(), Some(true)));
+            continue;
+        }
+        groups
+            .entry(key)
+            .or_insert_with(|| (model, Vec::new()))
+            .1
+            .push(PendingPredict {
+                job,
+                circuit,
+                content_hash,
+            });
+    }
+    for (key, (model, pending)) in groups {
+        if pending.len() > 1 {
+            paragraph_obs::global()
+                .counter("paragraph_serve_predict_batched_jobs_total", &[])
+                .add(pending.len() as u64);
+        }
+        let circuits: Vec<&Circuit> = pending.iter().map(|p| &p.circuit).collect();
+        let outcome = catch_unwind(AssertUnwindSafe(|| match &model {
+            ModelRef::Single(m) => m.predict_circuits(&circuits),
+            ModelRef::Ensemble(e) => e.predict_circuits(&circuits),
+        }));
+        match outcome {
+            Ok(per_circuit) => {
+                for (p, preds) in pending.into_iter().zip(per_circuit) {
+                    let id = p.job.request.id.clone();
+                    let result = render_prediction(&key, &model, &p.circuit, &preds);
+                    cache.put(&key, p.content_hash, Arc::new(result.clone()));
+                    let _ = p.job.reply.send(ok_response(&id, result, Some(false)));
+                }
+            }
+            Err(panic) => {
+                let err = ServeError::new(
+                    ErrorCode::Internal,
+                    format!("worker panicked: {}", panic_message(&panic)),
+                );
+                for p in pending {
+                    let _ = p.job.reply.send(error_response(&p.job.request.id, &err));
+                }
+            }
+        }
+    }
+}
+
+/// The predict response body for one circuit's predictions — shared by
+/// the batched and single-request paths so they stay byte-identical.
+fn render_prediction(
+    key: &str,
+    model: &ModelRef,
+    circuit: &Circuit,
+    preds: &[Option<f64>],
+) -> Value {
+    match model {
+        ModelRef::Single(m) => {
+            let predictions: Vec<Value> = if m.target.on_nets() {
+                named_predictions(preds, circuit.nets().iter().map(|n| n.name.as_str()), "net")
+            } else {
+                named_predictions(
+                    preds,
+                    circuit.devices().iter().map(|d| d.name.as_str()),
+                    "device",
+                )
+            };
+            json!({
+                "model": key,
+                "target": m.target.name(),
+                "predictions": predictions,
+            })
+        }
+        ModelRef::Ensemble(e) => json!({
+            "model": key,
+            "target": "CAP",
+            "members": e.members().len(),
+            "predictions": named_predictions(
+                preds,
+                circuit.nets().iter().map(|n| n.name.as_str()),
+                "net",
+            ),
+        }),
     }
 }
 
@@ -353,42 +502,11 @@ fn predict(request: &Request, registry: &ModelRegistry, cache: &PredictionCache)
     if let Some(hit) = cache.get(&key, content_hash) {
         return Ok(((*hit).clone(), Some(true)));
     }
-    let result = match &model {
-        ModelRef::Single(m) => {
-            let preds = m.predict_circuit(&circuit);
-            let predictions: Vec<Value> = if m.target.on_nets() {
-                named_predictions(
-                    &preds,
-                    circuit.nets().iter().map(|n| n.name.as_str()),
-                    "net",
-                )
-            } else {
-                named_predictions(
-                    &preds,
-                    circuit.devices().iter().map(|d| d.name.as_str()),
-                    "device",
-                )
-            };
-            json!({
-                "model": key,
-                "target": m.target.name(),
-                "predictions": predictions,
-            })
-        }
-        ModelRef::Ensemble(e) => {
-            let preds = e.predict_circuit(&circuit);
-            json!({
-                "model": key,
-                "target": "CAP",
-                "members": e.members().len(),
-                "predictions": named_predictions(
-                    &preds,
-                    circuit.nets().iter().map(|n| n.name.as_str()),
-                    "net",
-                ),
-            })
-        }
+    let preds = match &model {
+        ModelRef::Single(m) => m.predict_circuit(&circuit),
+        ModelRef::Ensemble(e) => e.predict_circuit(&circuit),
     };
+    let result = render_prediction(&key, &model, &circuit, &preds);
     cache.put(&key, content_hash, Arc::new(result.clone()));
     Ok((result, Some(false)))
 }

@@ -1,0 +1,101 @@
+//! Batched predict parity: a service draining several queued predict
+//! jobs into one block-diagonal forward pass must answer every request
+//! with exactly the payload an unbatched service produces.
+
+use std::sync::Arc;
+
+use paragraph::{
+    fit_norm, normalize_circuits, FitConfig, GnnKind, PreparedCircuit, Target, TargetModel,
+};
+use paragraph_layout::LayoutConfig;
+use paragraph_netlist::parse_spice;
+use paragraph_serve::{LoadedModels, ModelRegistry, Service, ServiceConfig};
+use serde_json::{json, Value};
+
+const NETLISTS: [&str; 4] = [
+    "mp o i vdd vdd pch\nmn o i vss vss nch\n.end\n",
+    "mp z a vdd vdd pch nf=2\nmn z a vss vss nch\nc1 z vss 1f\n.end\n",
+    "mn1 d g s vss nch nfin=4\nr1 d o 2k\n.end\n",
+    "mp1 q b vdd vdd pch\nmn1 q b vss vss nch\nmp2 w q vdd vdd pch\nmn2 w q vss vss nch\n.end\n",
+];
+
+fn service(max_batch: usize) -> Arc<Service> {
+    let circuit = parse_spice(NETLISTS[0]).unwrap().flatten().unwrap();
+    let mut train = vec![PreparedCircuit::new(
+        "seed",
+        circuit,
+        &LayoutConfig::default(),
+    )];
+    let norm = fit_norm(&train);
+    normalize_circuits(&mut train, &norm);
+    let members: Vec<(String, TargetModel)> = [("cap_1f", 1e-15), ("cap_10f", 10e-15)]
+        .iter()
+        .map(|(name, max_v)| {
+            let mut fit = FitConfig::quick(GnnKind::Gcn);
+            fit.epochs = 2;
+            fit.embed_dim = 4;
+            fit.layers = 1;
+            let model = TargetModel::train(&train, Target::Cap, Some(*max_v), fit, &norm).0;
+            (name.to_string(), model)
+        })
+        .collect();
+    let snapshot = LoadedModels::from_models(members).unwrap();
+    let registry = Arc::new(ModelRegistry::from_snapshot(snapshot));
+    let config = ServiceConfig {
+        // One worker so co-queued jobs actually drain as one batch;
+        // caching off so every request takes the compute path.
+        workers: 1,
+        cache_capacity: 0,
+        max_batch,
+        ..ServiceConfig::default()
+    };
+    Arc::new(Service::new(registry, config))
+}
+
+fn predict_line(id: usize, netlist: &str) -> String {
+    serde_json::to_string(&json!({"op": "predict", "id": id, "netlist": netlist})).unwrap()
+}
+
+#[test]
+fn batched_service_matches_unbatched() {
+    let unbatched = service(1);
+    let batched = service(4);
+
+    // Reference payloads from the unbatched service.
+    let reference: Vec<Value> = NETLISTS
+        .iter()
+        .enumerate()
+        .map(|(i, nl)| {
+            let r: Value =
+                serde_json::from_str(&unbatched.handle_line(&predict_line(i, nl))).unwrap();
+            assert_eq!(r["ok"].as_bool(), Some(true), "{r:?}");
+            r["result"].clone()
+        })
+        .collect();
+
+    // Fire all four at the batched single-worker service concurrently —
+    // jobs queue while the worker is busy and drain as one batch — and
+    // repeat a few rounds to cover different interleavings.
+    for round in 0..4 {
+        let threads: Vec<_> = NETLISTS
+            .iter()
+            .enumerate()
+            .map(|(i, nl)| {
+                let svc = batched.clone();
+                let line = predict_line(round * 10 + i, nl);
+                std::thread::spawn(move || {
+                    let r: Value = serde_json::from_str(&svc.handle_line(&line)).unwrap();
+                    (i, r)
+                })
+            })
+            .collect();
+        for t in threads {
+            let (i, r) = t.join().unwrap();
+            assert_eq!(r["ok"].as_bool(), Some(true), "{r:?}");
+            assert_eq!(
+                r["result"], reference[i],
+                "batched response {i} drifted from unbatched"
+            );
+        }
+    }
+}

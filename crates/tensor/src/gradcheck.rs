@@ -165,6 +165,56 @@ mod tests {
     }
 
     #[test]
+    fn fused_attend_aggregate() {
+        use crate::plan::CsrPlan;
+        let mut params = small_params(21, &[("w", 3, 3), ("a", 6, 1)]);
+        let src = [0u32, 1, 2, 2, 0];
+        let dst = [1u32, 0, 0, 1, 2];
+        let plan = CsrPlan::shared(&src, &dst, 3);
+        let result = check(&mut params, 1e-2, |tape, params| {
+            let x = tape.constant(Tensor::from_fn(3, 3, |i, j| (i as f32 - j as f32) * 0.4));
+            let w = tape.param(params, params.find("w").unwrap());
+            let a = tape.param(params, params.find("a").unwrap());
+            let z = tape.matmul(x, w);
+            let agg = tape.attend_aggregate(z, a, plan.clone(), 0.2);
+            let t = tape.constant(Tensor::filled(3, 3, 0.25));
+            tape.mse_loss(agg, t)
+        });
+        assert!(result.within(2e-2), "{result:?}");
+    }
+
+    #[test]
+    fn fused_spmm_mean_and_norm() {
+        use crate::plan::CsrPlan;
+        let mut params = small_params(25, &[("w", 3, 4)]);
+        let src = [0u32, 1, 2, 2, 0, 1];
+        let dst = [1u32, 0, 0, 1, 2, 2];
+        let plan = CsrPlan::shared(&src, &dst, 3);
+        let coeff: Arc<Vec<f32>> = Arc::new(
+            (0..plan.num_edges())
+                .map(|ei| {
+                    let s = plan.sorted_src()[ei] as usize;
+                    let d = plan.sorted_dst()[ei] as usize;
+                    1.0 / (plan.out_degree()[s].max(1.0) * plan.in_degree()[d].max(1.0)).sqrt()
+                })
+                .collect(),
+        );
+        let result = check(&mut params, 1e-2, |tape, params| {
+            let x = tape.constant(Tensor::from_fn(3, 3, |i, j| {
+                ((i + j) % 3) as f32 * 0.5 - 0.4
+            }));
+            let w = tape.param(params, params.find("w").unwrap());
+            let h = tape.matmul(x, w);
+            let mean = tape.spmm_mean(h, plan.clone());
+            let norm = tape.spmm_norm(h, plan.clone(), coeff.clone());
+            let both = tape.add(mean, norm);
+            let t = tape.constant(Tensor::filled(3, 4, 0.1));
+            tape.mse_loss(both, t)
+        });
+        assert!(result.within(1e-2), "{result:?}");
+    }
+
+    #[test]
     fn sigmoid_square_slice() {
         let mut params = small_params(17, &[("w", 2, 2)]);
         let result = check(&mut params, 1e-2, |tape, params| {

@@ -41,10 +41,12 @@
 pub mod gradcheck;
 mod optim;
 mod params;
+mod plan;
 mod tape;
 mod tensor;
 
 pub use optim::{Adam, Sgd};
 pub use params::{init_rng, ParamId, ParamSet};
-pub use tape::{Gradients, Tape, Var};
+pub use plan::CsrPlan;
+pub use tape::{attention_probabilities, Gradients, Tape, Var};
 pub use tensor::Tensor;

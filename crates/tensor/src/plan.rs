@@ -1,0 +1,263 @@
+//! Compiled CSR message plans for sparse aggregation kernels.
+//!
+//! A [`CsrPlan`] is the one-time compilation of a COO edge list into the
+//! layout the fused tape ops ([`crate::Tape::attend_aggregate`],
+//! [`crate::Tape::spmm_mean`], [`crate::Tape::spmm_norm`]) consume:
+//! destination-sorted edge order, per-destination segment offsets, a
+//! source-side transpose for the backward scatter, and in/out degree
+//! vectors. Layers used to re-derive all of this from COO on every call;
+//! a plan is built once per graph and shared behind an `Arc` across
+//! layers, epochs, and ensemble members.
+//!
+//! The destination sort is a *stable* counting sort, so edges that share
+//! a destination keep their original relative order. This makes the
+//! fused segment reductions accumulate in exactly the same element order
+//! as the composed `scatter_add_rows` path, which is what lets the fused
+//! kernels be bitwise identical to the primitives they replace.
+
+use std::sync::Arc;
+
+/// Destination-sorted CSR compilation of one edge list.
+///
+/// All edge-indexed slices (`sorted_src`, `sorted_dst`, `perm`) are in
+/// *destination-sorted* order: edges targeting destination `d` occupy
+/// the contiguous range `dst_offsets[d]..dst_offsets[d+1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrPlan {
+    num_nodes: usize,
+    /// `dst_offsets[d]..dst_offsets[d+1]` indexes the edges into `d`.
+    dst_offsets: Vec<u32>,
+    /// Source node of each dst-sorted edge.
+    sorted_src: Vec<u32>,
+    /// Destination node of each dst-sorted edge.
+    sorted_dst: Vec<u32>,
+    /// Original COO index of each dst-sorted edge (`perm[i]` is where
+    /// sorted edge `i` came from).
+    perm: Vec<u32>,
+    /// `edges_of_src[src_offsets[s]..src_offsets[s+1]]` lists the
+    /// dst-sorted edge indices whose source is `s`, in ascending sorted
+    /// index order. This is the transpose used by backward scatters.
+    src_offsets: Vec<u32>,
+    edges_of_src: Vec<u32>,
+    in_degree: Vec<f32>,
+    /// `1 / max(in_degree, 1)` — the mean-aggregation coefficient.
+    inv_in_degree: Vec<f32>,
+    out_degree: Vec<f32>,
+}
+
+impl CsrPlan {
+    /// Compiles a COO edge list over `num_nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` differ in length or reference a node
+    /// `>= num_nodes`.
+    pub fn new(src: &[u32], dst: &[u32], num_nodes: usize) -> Self {
+        assert_eq!(src.len(), dst.len(), "src/dst edge list length mismatch");
+        let e = src.len();
+        for (&s, &d) in src.iter().zip(dst.iter()) {
+            assert!(
+                (s as usize) < num_nodes && (d as usize) < num_nodes,
+                "edge ({s}, {d}) out of range for {num_nodes} nodes"
+            );
+        }
+
+        // Stable counting sort by destination.
+        let mut counts = vec![0u32; num_nodes + 1];
+        for &d in dst {
+            counts[d as usize + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            counts[i + 1] += counts[i];
+        }
+        let dst_offsets = counts.clone();
+        let mut cursor = counts;
+        let mut sorted_src = vec![0u32; e];
+        let mut sorted_dst = vec![0u32; e];
+        let mut perm = vec![0u32; e];
+        for i in 0..e {
+            let d = dst[i] as usize;
+            let at = cursor[d] as usize;
+            cursor[d] += 1;
+            sorted_src[at] = src[i];
+            sorted_dst[at] = dst[i];
+            perm[at] = i as u32;
+        }
+
+        // Source-side transpose: for each source node, the dst-sorted
+        // edge indices it feeds, in ascending order (another stable
+        // counting sort, this time over the sorted edges).
+        let mut scounts = vec![0u32; num_nodes + 1];
+        for &s in &sorted_src {
+            scounts[s as usize + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            scounts[i + 1] += scounts[i];
+        }
+        let src_offsets = scounts.clone();
+        let mut scursor = scounts;
+        let mut edges_of_src = vec![0u32; e];
+        for (i, &s) in sorted_src.iter().enumerate() {
+            let at = scursor[s as usize] as usize;
+            scursor[s as usize] += 1;
+            edges_of_src[at] = i as u32;
+        }
+
+        let mut in_degree = vec![0.0f32; num_nodes];
+        let mut out_degree = vec![0.0f32; num_nodes];
+        for i in 0..e {
+            in_degree[dst[i] as usize] += 1.0;
+            out_degree[src[i] as usize] += 1.0;
+        }
+        let inv_in_degree = in_degree.iter().map(|&d| 1.0 / d.max(1.0)).collect();
+
+        Self {
+            num_nodes,
+            dst_offsets,
+            sorted_src,
+            sorted_dst,
+            perm,
+            src_offsets,
+            edges_of_src,
+            in_degree,
+            inv_in_degree,
+            out_degree,
+        }
+    }
+
+    /// Convenience constructor that wraps the plan in an `Arc`.
+    pub fn shared(src: &[u32], dst: &[u32], num_nodes: usize) -> Arc<Self> {
+        Arc::new(Self::new(src, dst, num_nodes))
+    }
+
+    /// Number of nodes the plan was compiled over.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.sorted_src.len()
+    }
+
+    /// Per-destination segment offsets (`len = num_nodes + 1`).
+    pub fn dst_offsets(&self) -> &[u32] {
+        &self.dst_offsets
+    }
+
+    /// The dst-sorted edge range targeting destination `d`.
+    pub fn edges_into(&self, d: usize) -> std::ops::Range<usize> {
+        self.dst_offsets[d] as usize..self.dst_offsets[d + 1] as usize
+    }
+
+    /// Source node per dst-sorted edge.
+    pub fn sorted_src(&self) -> &[u32] {
+        &self.sorted_src
+    }
+
+    /// Destination node per dst-sorted edge.
+    pub fn sorted_dst(&self) -> &[u32] {
+        &self.sorted_dst
+    }
+
+    /// Original COO edge index per dst-sorted edge.
+    pub fn perm(&self) -> &[u32] {
+        &self.perm
+    }
+
+    /// Per-source offsets into [`CsrPlan::edges_of_src`].
+    pub fn src_offsets(&self) -> &[u32] {
+        &self.src_offsets
+    }
+
+    /// Dst-sorted edge indices grouped by source node.
+    pub fn edges_of_src(&self) -> &[u32] {
+        &self.edges_of_src
+    }
+
+    /// The dst-sorted edge indices leaving source `s`.
+    pub fn edges_from(&self, s: usize) -> &[u32] {
+        &self.edges_of_src[self.src_offsets[s] as usize..self.src_offsets[s + 1] as usize]
+    }
+
+    /// In-degree (number of incoming edges) per node.
+    pub fn in_degree(&self) -> &[f32] {
+        &self.in_degree
+    }
+
+    /// `1 / max(in_degree, 1)` per node.
+    pub fn inv_in_degree(&self) -> &[f32] {
+        &self.inv_in_degree
+    }
+
+    /// Out-degree (number of outgoing edges) per node.
+    pub fn out_degree(&self) -> &[f32] {
+        &self.out_degree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_by_destination_stably() {
+        // Two edges into node 0 appear in original order (idx 1 then 2),
+        // likewise the two into node 1 (idx 0 then 3).
+        let src = [0u32, 1, 2, 2, 0];
+        let dst = [1u32, 0, 0, 1, 2];
+        let plan = CsrPlan::new(&src, &dst, 3);
+        assert_eq!(plan.num_edges(), 5);
+        assert_eq!(plan.dst_offsets(), &[0, 2, 4, 5]);
+        assert_eq!(plan.sorted_src(), &[1, 2, 0, 2, 0]);
+        assert_eq!(plan.sorted_dst(), &[0, 0, 1, 1, 2]);
+        assert_eq!(plan.perm(), &[1, 2, 0, 3, 4]);
+    }
+
+    #[test]
+    fn source_transpose_covers_every_edge() {
+        let src = [0u32, 1, 2, 2, 0];
+        let dst = [1u32, 0, 0, 1, 2];
+        let plan = CsrPlan::new(&src, &dst, 3);
+        let mut seen = [false; 5];
+        for s in 0..3 {
+            for &ei in plan.edges_from(s) {
+                assert_eq!(plan.sorted_src()[ei as usize], s as u32);
+                assert!(!seen[ei as usize], "edge {ei} listed twice");
+                seen[ei as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+        // Within a source, sorted edge indices ascend (determinism
+        // contract for the backward scatter order).
+        for s in 0..3 {
+            let edges = plan.edges_from(s);
+            assert!(edges.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn degrees_match_coo() {
+        let src = [0u32, 1, 2, 2, 0];
+        let dst = [1u32, 0, 0, 1, 2];
+        let plan = CsrPlan::new(&src, &dst, 4);
+        assert_eq!(plan.in_degree(), &[2.0, 2.0, 1.0, 0.0]);
+        assert_eq!(plan.out_degree(), &[2.0, 1.0, 2.0, 0.0]);
+        assert_eq!(plan.inv_in_degree(), &[0.5, 0.5, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_edge_list() {
+        let plan = CsrPlan::new(&[], &[], 3);
+        assert_eq!(plan.num_edges(), 0);
+        assert_eq!(plan.dst_offsets(), &[0, 0, 0, 0]);
+        assert_eq!(plan.in_degree(), &[0.0, 0.0, 0.0]);
+        assert_eq!(plan.inv_in_degree(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edges() {
+        CsrPlan::new(&[0, 5], &[1, 0], 3);
+    }
+}

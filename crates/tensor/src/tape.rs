@@ -25,7 +25,8 @@
 use std::sync::Arc;
 
 use crate::params::{ParamId, ParamSet};
-use crate::tensor::Tensor;
+use crate::plan::CsrPlan;
+use crate::tensor::{par_rows_by_work, Tensor};
 
 /// Handle to a value recorded on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,7 +34,9 @@ pub struct Var(usize);
 
 #[derive(Debug, Clone)]
 enum Op {
-    Leaf { param: Option<ParamId> },
+    Leaf {
+        param: Option<ParamId>,
+    },
     MatMul(Var, Var),
     Add(Var, Var),
     AddBias(Var, Var),
@@ -56,6 +59,14 @@ enum Op {
     MeanAll(Var),
     SumAll(Var),
     SliceRows(Var, usize, usize),
+    AttendAggregate {
+        z: Var,
+        a: Var,
+        plan: Arc<CsrPlan>,
+        slope: f32,
+    },
+    SpmmMean(Var, Arc<CsrPlan>),
+    SpmmNorm(Var, Arc<CsrPlan>, Arc<Vec<f32>>),
 }
 
 impl Op {
@@ -86,13 +97,18 @@ impl Op {
             Op::MeanAll(..) => "mean_all",
             Op::SumAll(..) => "sum_all",
             Op::SliceRows(..) => "slice_rows",
+            Op::AttendAggregate { .. } => "attend_aggregate",
+            Op::SpmmMean(..) => "spmm_mean",
+            Op::SpmmNorm(..) => "spmm_norm",
         }
     }
 }
 
 #[derive(Debug)]
 struct Node {
-    value: Tensor,
+    /// Arc-backed so graph-resident constants (feature matrices shared
+    /// across epochs and ensemble members) are recorded without copying.
+    value: Arc<Tensor>,
     op: Op,
 }
 
@@ -171,10 +187,14 @@ impl Tape {
 
     /// The current value of `var`.
     pub fn value(&self, var: Var) -> &Tensor {
-        &self.nodes[var.0].value
+        self.nodes[var.0].value.as_ref()
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.push_shared(Arc::new(value), op)
+    }
+
+    fn push_shared(&mut self, value: Arc<Tensor>, op: Op) -> Var {
         debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
         self.nodes.push(Node { value, op });
         Var(self.nodes.len() - 1)
@@ -184,6 +204,14 @@ impl Tape {
     /// with any parameter).
     pub fn constant(&mut self, value: Tensor) -> Var {
         self.push(value, Op::Leaf { param: None })
+    }
+
+    /// Records a shared constant without copying the tensor.
+    ///
+    /// The `Arc` is cloned, not the data — this is how per-graph feature
+    /// matrices are fed to every epoch's tape with zero copies.
+    pub fn constant_shared(&mut self, value: Arc<Tensor>) -> Var {
+        self.push_shared(value, Op::Leaf { param: None })
     }
 
     /// Records a leaf for parameter `id`, copying its current value from
@@ -405,6 +433,157 @@ impl Tape {
             out.row_mut(i - start).copy_from_slice(x.row(i));
         }
         self.push(out, Op::SliceRows(a, start, end))
+    }
+
+    /// Fused attention aggregation over a compiled [`CsrPlan`].
+    ///
+    /// Computes, in one tape node, what previously took eight:
+    /// per-edge attention scores `leaky_relu(z[dst]·a_dst + z[src]·a_src)`,
+    /// a per-destination segment softmax, and the attention-weighted
+    /// scatter `out[d] = Σ_e α_e · z[src_e]`. `z` is `N x F`; `a` is the
+    /// `2F x 1` attention vector (destination half first, matching the
+    /// composed `concat_cols(z[dst], z[src]) @ a` ordering).
+    ///
+    /// No `E x 2F` concat buffer is materialised: scores come from two
+    /// `F`-length dot products per node. The backward pass is
+    /// hand-written and recomputes the softmax from the recorded inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` does not cover `plan.num_nodes()` rows or `a` is not
+    /// `2F x 1`.
+    pub fn attend_aggregate(&mut self, z: Var, a: Var, plan: Arc<CsrPlan>, slope: f32) -> Var {
+        let zv = self.value(z);
+        let (n, f) = zv.shape();
+        assert_eq!(n, plan.num_nodes(), "attend_aggregate node-count mismatch");
+        assert_eq!(
+            self.value(a).shape(),
+            (2 * f, 1),
+            "attention vector must be {}x1",
+            2 * f
+        );
+        if paragraph_obs::enabled() {
+            paragraph_obs::global()
+                .counter(
+                    "paragraph_tensor_fused_ops_total",
+                    &[("op", "attend_aggregate")],
+                )
+                .inc();
+        }
+        let _span = paragraph_obs::span!("attend_aggregate", nodes = n, edges = plan.num_edges());
+        let av = self.value(a);
+        let (_, alpha) = attend_scores(zv, av, &plan, slope);
+        let mut out = Tensor::zeros(n, f);
+        let work = plan.num_edges().saturating_mul(f);
+        {
+            let zv = self.value(z);
+            par_rows_by_work(n, f, work, out.as_mut_slice(), |chunk, d0, d1| {
+                let offsets = plan.dst_offsets();
+                let src = plan.sorted_src();
+                for d in d0..d1 {
+                    let row = &mut chunk[(d - d0) * f..(d - d0 + 1) * f];
+                    for ei in offsets[d] as usize..offsets[d + 1] as usize {
+                        let w = alpha[ei];
+                        for (o, &v) in row.iter_mut().zip(zv.row(src[ei] as usize)) {
+                            *o += w * v;
+                        }
+                    }
+                }
+            });
+        }
+        self.push(out, Op::AttendAggregate { z, a, plan, slope })
+    }
+
+    /// Fused segment-mean aggregation: `out[d] = (Σ_e h[src_e]) / deg(d)`
+    /// over a compiled [`CsrPlan`] (degree floored at 1).
+    ///
+    /// Replaces the composed `gather_rows` → `scatter_add_rows` →
+    /// `mul_col_broadcast` chain bit-for-bit: the plan's stable
+    /// destination sort preserves the original per-destination
+    /// accumulation order, and the inverse degree multiplies the
+    /// completed sum exactly like the broadcast did.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` does not cover `plan.num_nodes()` rows.
+    pub fn spmm_mean(&mut self, h: Var, plan: Arc<CsrPlan>) -> Var {
+        let hv = self.value(h);
+        let (n, f) = hv.shape();
+        assert_eq!(n, plan.num_nodes(), "spmm_mean node-count mismatch");
+        if paragraph_obs::enabled() {
+            paragraph_obs::global()
+                .counter("paragraph_tensor_fused_ops_total", &[("op", "spmm_mean")])
+                .inc();
+        }
+        let _span = paragraph_obs::span!("spmm_mean", nodes = n, edges = plan.num_edges());
+        let mut out = Tensor::zeros(n, f);
+        let work = plan.num_edges().saturating_mul(f);
+        par_rows_by_work(n, f, work, out.as_mut_slice(), |chunk, d0, d1| {
+            let offsets = plan.dst_offsets();
+            let src = plan.sorted_src();
+            let inv = plan.inv_in_degree();
+            for d in d0..d1 {
+                let row = &mut chunk[(d - d0) * f..(d - d0 + 1) * f];
+                for &s in &src[offsets[d] as usize..offsets[d + 1] as usize] {
+                    for (o, &v) in row.iter_mut().zip(hv.row(s as usize)) {
+                        *o += v;
+                    }
+                }
+                let w = inv[d];
+                for o in row.iter_mut() {
+                    *o *= w;
+                }
+            }
+        });
+        self.push(out, Op::SpmmMean(h, plan))
+    }
+
+    /// Fused per-edge-weighted aggregation:
+    /// `out[d] = Σ_e coeff_e · h[src_e]` with `coeff` given in the plan's
+    /// destination-sorted edge order (e.g. GCN symmetric-norm
+    /// coefficients).
+    ///
+    /// Bit-for-bit replacement for `gather_rows` → `mul_col_broadcast` →
+    /// `scatter_add_rows` with per-edge weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` does not cover `plan.num_nodes()` rows or
+    /// `coeff.len() != plan.num_edges()`.
+    pub fn spmm_norm(&mut self, h: Var, plan: Arc<CsrPlan>, coeff: Arc<Vec<f32>>) -> Var {
+        let hv = self.value(h);
+        let (n, f) = hv.shape();
+        assert_eq!(n, plan.num_nodes(), "spmm_norm node-count mismatch");
+        assert_eq!(
+            coeff.len(),
+            plan.num_edges(),
+            "spmm_norm coefficient/edge count mismatch"
+        );
+        if paragraph_obs::enabled() {
+            paragraph_obs::global()
+                .counter("paragraph_tensor_fused_ops_total", &[("op", "spmm_norm")])
+                .inc();
+        }
+        let _span = paragraph_obs::span!("spmm_norm", nodes = n, edges = plan.num_edges());
+        let mut out = Tensor::zeros(n, f);
+        let work = plan.num_edges().saturating_mul(f);
+        {
+            let coeff = &coeff;
+            par_rows_by_work(n, f, work, out.as_mut_slice(), |chunk, d0, d1| {
+                let offsets = plan.dst_offsets();
+                let src = plan.sorted_src();
+                for d in d0..d1 {
+                    let row = &mut chunk[(d - d0) * f..(d - d0 + 1) * f];
+                    for ei in offsets[d] as usize..offsets[d + 1] as usize {
+                        let w = coeff[ei];
+                        for (o, &v) in row.iter_mut().zip(hv.row(src[ei] as usize)) {
+                            *o += w * v;
+                        }
+                    }
+                }
+            });
+        }
+        self.push(out, Op::SpmmNorm(h, plan, coeff))
     }
 
     /// Mean-squared-error loss between two same-shape values, as a scalar.
@@ -638,6 +817,51 @@ impl Tape {
                 }
                 add_to(grads, *a, ga);
             }
+            Op::AttendAggregate { z, a, plan, slope } => {
+                let (gz, ga) =
+                    attend_aggregate_backward(g, self.value(*z), self.value(*a), plan, *slope);
+                add_to(grads, *z, gz);
+                add_to(grads, *a, ga);
+            }
+            Op::SpmmMean(h, plan) => {
+                let (n, f) = self.value(*h).shape();
+                let mut gh = Tensor::zeros(n, f);
+                let work = plan.num_edges().saturating_mul(f);
+                par_rows_by_work(n, f, work, gh.as_mut_slice(), |chunk, s0, s1| {
+                    let dst = plan.sorted_dst();
+                    let inv = plan.inv_in_degree();
+                    for s in s0..s1 {
+                        let row = &mut chunk[(s - s0) * f..(s - s0 + 1) * f];
+                        for &ei in plan.edges_from(s) {
+                            let d = dst[ei as usize] as usize;
+                            let w = inv[d];
+                            for (o, &v) in row.iter_mut().zip(g.row(d)) {
+                                *o += w * v;
+                            }
+                        }
+                    }
+                });
+                add_to(grads, *h, gh);
+            }
+            Op::SpmmNorm(h, plan, coeff) => {
+                let (n, f) = self.value(*h).shape();
+                let mut gh = Tensor::zeros(n, f);
+                let work = plan.num_edges().saturating_mul(f);
+                par_rows_by_work(n, f, work, gh.as_mut_slice(), |chunk, s0, s1| {
+                    let dst = plan.sorted_dst();
+                    for s in s0..s1 {
+                        let row = &mut chunk[(s - s0) * f..(s - s0 + 1) * f];
+                        for &ei in plan.edges_from(s) {
+                            let w = coeff[ei as usize];
+                            let d = dst[ei as usize] as usize;
+                            for (o, &v) in row.iter_mut().zip(g.row(d)) {
+                                *o += w * v;
+                            }
+                        }
+                    }
+                });
+                add_to(grads, *h, gh);
+            }
         }
     }
 }
@@ -669,6 +893,233 @@ fn segment_softmax_forward(src: &Tensor, segments: &[u32], num_segments: usize) 
         }
     }
     out
+}
+
+/// Per-edge attention scores and softmax weights in the plan's
+/// destination-sorted order.
+///
+/// Returns `(raw, alpha)` where `raw[e] = z[dst_e]·a_dst + z[src_e]·a_src`
+/// (pre-activation, needed for the leaky-ReLU backward) and `alpha` is the
+/// per-destination softmax of `leaky_relu(raw)`. Shared by the fused
+/// forward, its backward recomputation, and [`attention_probabilities`] so
+/// the inspection path cannot drift from the training path.
+fn attend_scores(z: &Tensor, a: &Tensor, plan: &CsrPlan, slope: f32) -> (Vec<f32>, Vec<f32>) {
+    let (n, f) = z.shape();
+    let a_dst = &a.as_slice()[..f];
+    let a_src = &a.as_slice()[f..];
+    // Per-node halves of the score: raw_e decomposes into
+    // zd_dot[dst_e] + zs_dot[src_e], so the O(E·F) gathered dot product
+    // collapses to O(N·F) + O(E).
+    let mut zd_dot = vec![0.0_f32; n];
+    let mut zs_dot = vec![0.0_f32; n];
+    for i in 0..n {
+        let row = z.row(i);
+        let mut d = 0.0_f32;
+        let mut s = 0.0_f32;
+        for j in 0..f {
+            d += row[j] * a_dst[j];
+            s += row[j] * a_src[j];
+        }
+        zd_dot[i] = d;
+        zs_dot[i] = s;
+    }
+    let e = plan.num_edges();
+    let mut raw = vec![0.0_f32; e];
+    let mut alpha = vec![0.0_f32; e];
+    for ei in 0..e {
+        raw[ei] = zd_dot[plan.sorted_dst()[ei] as usize] + zs_dot[plan.sorted_src()[ei] as usize];
+    }
+    // Segment softmax over the contiguous destination segments, with the
+    // same max-subtraction scheme as `segment_softmax_forward`.
+    for d in 0..n {
+        let seg = plan.edges_into(d);
+        if seg.is_empty() {
+            continue;
+        }
+        let mut max = f32::NEG_INFINITY;
+        for ei in seg.clone() {
+            let x = raw[ei];
+            let s = if x >= 0.0 { x } else { slope * x };
+            alpha[ei] = s;
+            max = max.max(s);
+        }
+        let mut denom = 0.0_f32;
+        for ei in seg.clone() {
+            let v = (alpha[ei] - max).exp();
+            alpha[ei] = v;
+            denom += v;
+        }
+        if denom > 0.0 {
+            for ei in seg {
+                alpha[ei] /= denom;
+            }
+        }
+    }
+    (raw, alpha)
+}
+
+/// Attention softmax weights in the **original COO edge order** for a
+/// projected feature matrix `z` and attention vector `a` (`2F x 1`,
+/// destination half first).
+///
+/// This is the exact forward computation of [`Tape::attend_aggregate`]
+/// exposed for inspection APIs (e.g. `GnnModel::attention_weights`).
+pub fn attention_probabilities(z: &Tensor, a: &Tensor, plan: &CsrPlan, slope: f32) -> Vec<f32> {
+    let (n, f) = z.shape();
+    assert_eq!(n, plan.num_nodes(), "attention node-count mismatch");
+    assert_eq!(
+        a.shape(),
+        (2 * f, 1),
+        "attention vector must be {}x1",
+        2 * f
+    );
+    let (_, alpha) = attend_scores(z, a, plan, slope);
+    let mut out = vec![0.0_f32; plan.num_edges()];
+    for (i, &p) in plan.perm().iter().enumerate() {
+        out[p as usize] = alpha[i];
+    }
+    out
+}
+
+/// Hand-written backward for [`Tape::attend_aggregate`]; returns
+/// `(grad_z, grad_a)`. See `docs/performance.md` for the derivation.
+fn attend_aggregate_backward(
+    g: &Tensor,
+    zv: &Tensor,
+    av: &Tensor,
+    plan: &CsrPlan,
+    slope: f32,
+) -> (Tensor, Tensor) {
+    let (n, f) = zv.shape();
+    let e = plan.num_edges();
+    let (raw, alpha) = attend_scores(zv, av, plan, slope);
+    let a_dst = &av.as_slice()[..f];
+    let a_src = &av.as_slice()[f..];
+    let offsets = plan.dst_offsets();
+
+    // Phase 1 — parallel over destination segments: per-edge score
+    // gradients dt (through softmax and leaky) plus the per-destination
+    // dot-half gradient dzd_dot[d] = Σ_seg dt. Both buffers chunk at
+    // segment boundaries, so writes stay disjoint per worker.
+    let mut dt = vec![0.0_f32; e];
+    let mut dzd_dot = vec![0.0_f32; n];
+    let phase1 = |dt_chunk: &mut [f32], dzd_chunk: &mut [f32], d0: usize, d1: usize| {
+        let base = offsets[d0] as usize;
+        for d in d0..d1 {
+            let gr = g.row(d);
+            let seg = offsets[d] as usize..offsets[d + 1] as usize;
+            // dL/dα_e = g[d] · z[src_e]; the segment dot is the softmax
+            // backward's shared term.
+            let mut seg_dot = 0.0_f32;
+            for ei in seg.clone() {
+                let zr = zv.row(plan.sorted_src()[ei] as usize);
+                let da: f32 = gr.iter().zip(zr.iter()).map(|(x, y)| x * y).sum();
+                dt_chunk[ei - base] = da;
+                seg_dot += da * alpha[ei];
+            }
+            let mut acc = 0.0_f32;
+            for ei in seg {
+                let mut v = alpha[ei] * (dt_chunk[ei - base] - seg_dot);
+                if raw[ei] < 0.0 {
+                    v *= slope;
+                }
+                dt_chunk[ei - base] = v;
+                acc += v;
+            }
+            dzd_chunk[d - d0] = acc;
+        }
+    };
+    let ranges = par_chunk_ranges(n, e.saturating_mul(f));
+    if ranges.len() == 1 {
+        phase1(&mut dt, &mut dzd_dot, 0, n);
+    } else {
+        paragraph_runtime::global().scope(|scope| {
+            let mut dt_rest = &mut dt[..];
+            let mut dzd_rest = &mut dzd_dot[..];
+            for &(d0, d1) in &ranges {
+                let e0 = offsets[d0] as usize;
+                let e1 = offsets[d1] as usize;
+                let (dt_head, dt_tail) = dt_rest.split_at_mut(e1 - e0);
+                dt_rest = dt_tail;
+                let (dzd_head, dzd_tail) = dzd_rest.split_at_mut(d1 - d0);
+                dzd_rest = dzd_tail;
+                let phase1 = &phase1;
+                scope.spawn(move || phase1(dt_head, dzd_head, d0, d1));
+            }
+        });
+    }
+
+    // Phase 2 — parallel over source rows: z picks up the weighted
+    // message gradient Σ α_e g[dst_e] plus both score-path halves.
+    // dzs_dot[s] = Σ_{e from s} dt_e is folded into the same pass.
+    let mut gz = Tensor::zeros(n, f);
+    let work = e.saturating_mul(f).saturating_add(n.saturating_mul(f));
+    par_rows_by_work(n, f, work, gz.as_mut_slice(), |chunk, s0, s1| {
+        let dst = plan.sorted_dst();
+        for s in s0..s1 {
+            let row = &mut chunk[(s - s0) * f..(s - s0 + 1) * f];
+            let mut dzs = 0.0_f32;
+            for &ei in plan.edges_from(s) {
+                let ei = ei as usize;
+                let w = alpha[ei];
+                for (o, &v) in row.iter_mut().zip(g.row(dst[ei] as usize)) {
+                    *o += w * v;
+                }
+                dzs += dt[ei];
+            }
+            let zdd = dzd_dot[s];
+            for (j, o) in row.iter_mut().enumerate() {
+                *o += zdd * a_dst[j] + dzs * a_src[j];
+            }
+        }
+    });
+
+    // Phase 3 — sequential O(N·F): the attention-vector gradient
+    // a_dst_grad = Σ_n dzd_dot[n]·z[n], a_src_grad analogously.
+    let mut dzs_dot = vec![0.0_f32; n];
+    for (s, o) in dzs_dot.iter_mut().enumerate() {
+        for &ei in plan.edges_from(s) {
+            *o += dt[ei as usize];
+        }
+    }
+    let mut ga = Tensor::zeros(2 * f, 1);
+    {
+        let gs = ga.as_mut_slice();
+        for i in 0..n {
+            let zr = zv.row(i);
+            let wd = dzd_dot[i];
+            let ws = dzs_dot[i];
+            for (j, &zj) in zr.iter().enumerate() {
+                gs[j] += wd * zj;
+                gs[f + j] += ws * zj;
+            }
+        }
+    }
+    (gz, ga)
+}
+
+/// Node-index ranges for chunking destination segments across the pool,
+/// mirroring the thresholds of [`par_rows_by_work`]. A single range
+/// means "run inline".
+fn par_chunk_ranges(n: usize, work: usize) -> Vec<(usize, usize)> {
+    let pool = paragraph_runtime::global();
+    let threads = if work >= crate::tensor::PAR_FLOP_THRESHOLD {
+        pool.threads().min(8)
+    } else {
+        1
+    };
+    if threads <= 1 || n < 2 * threads {
+        return vec![(0, n)];
+    }
+    let chunk = n.div_ceil(threads);
+    let mut ranges = Vec::new();
+    let mut start = 0;
+    while start < n {
+        let end = (start + chunk).min(n);
+        ranges.push((start, end));
+        start = end;
+    }
+    ranges
 }
 
 #[cfg(test)]
@@ -820,5 +1271,314 @@ mod exp_tests {
         let x = tape.constant(Tensor::scalar(1000.0));
         let y = tape.exp(x);
         assert!(tape.value(y).item().is_finite());
+    }
+}
+
+#[cfg(test)]
+mod fused_tests {
+    use super::*;
+
+    /// Deterministic pseudo-random fill (no RNG dependency in this crate).
+    fn pseudo(rows: usize, cols: usize, salt: u64) -> Tensor {
+        Tensor::from_fn(rows, cols, |i, j| {
+            let h = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(j as u64)
+                .wrapping_mul(1442695040888963407)
+                .wrapping_add(salt);
+            ((h >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+    }
+
+    fn test_edges() -> (Vec<u32>, Vec<u32>, usize) {
+        // 6 nodes, node 5 isolated; node 0 has a 3-edge segment.
+        let src = vec![1u32, 2, 3, 0, 4, 0, 2];
+        let dst = vec![0u32, 0, 0, 1, 1, 2, 3];
+        (src, dst, 6)
+    }
+
+    /// Composed-primitive attention aggregation — the exact pre-fusion
+    /// 8-op chain from the ParaGraph/GAT layers.
+    fn composed_attend(
+        tape: &mut Tape,
+        z: Var,
+        a: Var,
+        src: &Arc<Vec<u32>>,
+        dst: &Arc<Vec<u32>>,
+        n: usize,
+        slope: f32,
+    ) -> Var {
+        let zs = tape.gather_rows(z, src.clone());
+        let zd = tape.gather_rows(z, dst.clone());
+        let cat = tape.concat_cols(zd, zs);
+        let scores = tape.matmul(cat, a);
+        let scores = tape.leaky_relu(scores, slope);
+        let att = tape.segment_softmax(scores, dst.clone(), n);
+        let weighted = tape.mul_col_broadcast(zs, att);
+        tape.scatter_add_rows(weighted, dst.clone(), n)
+    }
+
+    fn max_rel_diff(a: &Tensor, b: &Tensor) -> f32 {
+        assert_eq!(a.shape(), b.shape());
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| (x - y).abs() / x.abs().max(y.abs()).max(1.0))
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn attend_aggregate_matches_composed_forward_and_gradient() {
+        let (src, dst, n) = test_edges();
+        let f = 5;
+        let plan = CsrPlan::shared(&src, &dst, n);
+        let src = Arc::new(src);
+        let dst = Arc::new(dst);
+        let mut params = ParamSet::new();
+        let zp = params.add("z", pseudo(n, f, 11));
+        let ap = params.add("a", pseudo(2 * f, 1, 23));
+
+        let mut fused = Tape::new();
+        let z = fused.param(&params, zp);
+        let a = fused.param(&params, ap);
+        let out_f = fused.attend_aggregate(z, a, plan, 0.2);
+
+        let mut composed = Tape::new();
+        let zc = composed.param(&params, zp);
+        let ac = composed.param(&params, ap);
+        let out_c = composed_attend(&mut composed, zc, ac, &src, &dst, n, 0.2);
+
+        assert!(
+            max_rel_diff(fused.value(out_f), composed.value(out_c)) < 1e-5,
+            "fused forward deviates from composed"
+        );
+
+        // Same downstream loss on both tapes -> parameter gradients agree.
+        let t = pseudo(n, f, 37);
+        let tf = fused.constant(t.clone());
+        let loss_f = fused.mse_loss(out_f, tf);
+        let gf = fused.backward(loss_f);
+        let tc = composed.constant(t);
+        let loss_c = composed.mse_loss(out_c, tc);
+        let gc = composed.backward(loss_c);
+        for id in [zp, ap] {
+            let a = gf.for_param(&fused, id).unwrap();
+            let b = gc.for_param(&composed, id).unwrap();
+            assert!(
+                max_rel_diff(&a, &b) < 1e-5,
+                "fused gradient deviates from composed"
+            );
+        }
+    }
+
+    #[test]
+    fn spmm_mean_is_bitwise_composed() {
+        let (src, dst, n) = test_edges();
+        let f = 4;
+        let plan = CsrPlan::shared(&src, &dst, n);
+        let h = pseudo(n, f, 5);
+
+        let mut fused = Tape::new();
+        let hv = fused.constant(h.clone());
+        let out_f = fused.spmm_mean(hv, plan.clone());
+
+        let mut composed = Tape::new();
+        let hc = composed.constant(h);
+        let src = Arc::new(src);
+        let dst = Arc::new(dst);
+        let gathered = composed.gather_rows(hc, src);
+        let summed = composed.scatter_add_rows(gathered, dst, n);
+        let inv = Tensor::from_col(plan.inv_in_degree());
+        let invv = composed.constant(inv);
+        let out_c = composed.mul_col_broadcast(summed, invv);
+
+        assert_eq!(
+            fused.value(out_f).as_slice(),
+            composed.value(out_c).as_slice(),
+            "spmm_mean must be bit-identical to the composed chain"
+        );
+        // Isolated node stays zero.
+        assert!(fused.value(out_f).row(5).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn spmm_norm_is_bitwise_composed() {
+        let (src, dst, n) = test_edges();
+        let f = 4;
+        let plan = CsrPlan::shared(&src, &dst, n);
+        let h = pseudo(n, f, 29);
+        // GCN-style symmetric-norm coefficients, in sorted edge order for
+        // the fused op and original order for the composed chain.
+        let coeff_sorted: Vec<f32> = (0..plan.num_edges())
+            .map(|ei| {
+                let s = plan.sorted_src()[ei] as usize;
+                let d = plan.sorted_dst()[ei] as usize;
+                1.0 / (plan.out_degree()[s].max(1.0) * plan.in_degree()[d].max(1.0)).sqrt()
+            })
+            .collect();
+        let mut coeff_orig = vec![0.0_f32; plan.num_edges()];
+        for (i, &p) in plan.perm().iter().enumerate() {
+            coeff_orig[p as usize] = coeff_sorted[i];
+        }
+
+        let mut fused = Tape::new();
+        let hv = fused.constant(h.clone());
+        let out_f = fused.spmm_norm(hv, plan, Arc::new(coeff_sorted));
+
+        let mut composed = Tape::new();
+        let hc = composed.constant(h);
+        let src = Arc::new(src);
+        let dst = Arc::new(dst);
+        let gathered = composed.gather_rows(hc, src);
+        let cv = composed.constant(Tensor::from_col(&coeff_orig));
+        let weighted = composed.mul_col_broadcast(gathered, cv);
+        let out_c = composed.scatter_add_rows(weighted, dst, n);
+
+        assert_eq!(
+            fused.value(out_f).as_slice(),
+            composed.value(out_c).as_slice(),
+            "spmm_norm must be bit-identical to the composed chain"
+        );
+    }
+
+    #[test]
+    fn attention_probabilities_match_composed_softmax() {
+        let (src, dst, n) = test_edges();
+        let f = 3;
+        let plan = CsrPlan::shared(&src, &dst, n);
+        let z = pseudo(n, f, 41);
+        let a = pseudo(2 * f, 1, 43);
+        let probs = attention_probabilities(&z, &a, &plan, 0.2);
+
+        let mut tape = Tape::new();
+        let zv = tape.constant(z);
+        let av = tape.constant(a);
+        let srcv = Arc::new(src);
+        let dstv = Arc::new(dst);
+        let zs = tape.gather_rows(zv, srcv);
+        let zd = tape.gather_rows(zv, dstv.clone());
+        let cat = tape.concat_cols(zd, zs);
+        let scores = tape.matmul(cat, av);
+        let scores = tape.leaky_relu(scores, 0.2);
+        let att = tape.segment_softmax(scores, dstv, n);
+        for (e, &p) in probs.iter().enumerate() {
+            assert!(
+                (p - tape.value(att).at(e, 0)).abs() < 1e-6,
+                "edge {e}: {p} vs {}",
+                tape.value(att).at(e, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn fused_ops_on_empty_edge_list_return_zeros() {
+        let n = 4;
+        let f = 3;
+        let plan = CsrPlan::shared(&[], &[], n);
+        let mut tape = Tape::new();
+        let z = tape.constant(pseudo(n, f, 3));
+        let a = tape.constant(pseudo(2 * f, 1, 7));
+        let att = tape.attend_aggregate(z, a, plan.clone(), 0.2);
+        let mean = tape.spmm_mean(z, plan.clone());
+        let norm = tape.spmm_norm(z, plan, Arc::new(Vec::new()));
+        for out in [att, mean, norm] {
+            assert!(tape.value(out).as_slice().iter().all(|&v| v == 0.0));
+        }
+        // Backward through an empty aggregation must still produce
+        // (zero) gradients without panicking.
+        let loss = tape.mean_all(att);
+        let grads = tape.backward(loss);
+        assert!(grads
+            .for_var(z)
+            .unwrap()
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0));
+    }
+
+    /// The fused kernels must be bitwise deterministic regardless of how
+    /// the pool splits the work: each output row is written by exactly
+    /// one worker with a fixed per-element accumulation order. This test
+    /// builds a graph big enough to cross the parallel threshold and
+    /// checks the pooled result against a hand-rolled sequential loop.
+    #[test]
+    fn parallel_fused_ops_match_sequential_reference_bitwise() {
+        let n = 3000;
+        let f = 64;
+        // 12 stride edges per node: e = 12n = 36k, so e * f ≈ 2.3M
+        // crosses PAR_FLOP_THRESHOLD and the kernels take the pooled
+        // path on multi-core hosts.
+        let mut src = Vec::new();
+        let mut dst = Vec::new();
+        for i in 0..n as u32 {
+            for s in [1u32, 2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31] {
+                src.push((i + s) % n as u32);
+                dst.push(i);
+            }
+        }
+        let plan = CsrPlan::shared(&src, &dst, n);
+        let h = pseudo(n, f, 51);
+
+        let mut tape = Tape::new();
+        let hv = tape.constant(h.clone());
+        let out = tape.spmm_mean(hv, plan.clone());
+
+        let mut expect = Tensor::zeros(n, f);
+        for d in 0..n {
+            for ei in plan.edges_into(d) {
+                let s = plan.sorted_src()[ei] as usize;
+                for j in 0..f {
+                    let v = expect.at(d, j) + h.at(s, j);
+                    expect.set(d, j, v);
+                }
+            }
+            let w = plan.inv_in_degree()[d];
+            for j in 0..f {
+                let v = expect.at(d, j) * w;
+                expect.set(d, j, v);
+            }
+        }
+        assert_eq!(
+            tape.value(out).as_slice(),
+            expect.as_slice(),
+            "pooled spmm_mean deviates from sequential reference"
+        );
+
+        // Same check for the attention kernel's weighted scatter.
+        let a = pseudo(2 * f, 1, 53);
+        let av = tape.constant(a.clone());
+        let att = tape.attend_aggregate(hv, av, plan.clone(), 0.2);
+        let probs_sorted = {
+            let mut sorted = vec![0.0_f32; plan.num_edges()];
+            let orig = attention_probabilities(&h, &a, &plan, 0.2);
+            for (i, &p) in plan.perm().iter().enumerate() {
+                sorted[i] = orig[p as usize];
+            }
+            sorted
+        };
+        let mut expect = Tensor::zeros(n, f);
+        for d in 0..n {
+            for ei in plan.edges_into(d) {
+                let s = plan.sorted_src()[ei] as usize;
+                let w = probs_sorted[ei];
+                for j in 0..f {
+                    let v = expect.at(d, j) + w * h.at(s, j);
+                    expect.set(d, j, v);
+                }
+            }
+        }
+        assert_eq!(
+            tape.value(att).as_slice(),
+            expect.as_slice(),
+            "pooled attend_aggregate deviates from sequential reference"
+        );
+    }
+
+    #[test]
+    fn constant_shared_does_not_copy() {
+        let t = Arc::new(pseudo(4, 4, 9));
+        let mut tape = Tape::new();
+        let v = tape.constant_shared(t.clone());
+        assert!(std::ptr::eq(tape.value(v), t.as_ref()));
     }
 }

@@ -464,7 +464,7 @@ impl Tensor {
 
 /// Threshold (in multiply-accumulate operations) above which the matmul
 /// kernels parallelise across output rows.
-const PAR_FLOP_THRESHOLD: usize = 1 << 21;
+pub(crate) const PAR_FLOP_THRESHOLD: usize = 1 << 21;
 
 /// Splits the `m` output rows of an `m x n` buffer into chunks and runs
 /// `kernel(chunk, row_start, row_end)` for each — on the shared
@@ -482,6 +482,20 @@ fn par_row_chunks(
     kernel: impl Fn(&mut [f32], usize, usize) + Sync,
 ) {
     let work = m.saturating_mul(k).saturating_mul(n);
+    par_rows_by_work(m, n, work, c, kernel);
+}
+
+/// Like [`par_row_chunks`] but with an explicit work estimate (in
+/// flop-equivalents) instead of the `m * k * n` matmul product. Used by
+/// the fused sparse kernels in [`crate::tape`], whose work is
+/// edge-count-bound rather than row-count-bound.
+pub(crate) fn par_rows_by_work(
+    m: usize,
+    n: usize,
+    work: usize,
+    c: &mut [f32],
+    kernel: impl Fn(&mut [f32], usize, usize) + Sync,
+) {
     let pool = paragraph_runtime::global();
     let threads = if work >= PAR_FLOP_THRESHOLD {
         pool.threads().min(8)
@@ -514,6 +528,91 @@ pub(crate) fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usiz
     });
 }
 
+/// True when the AVX2 row kernels can run: x86-64 with AVX2 (checked
+/// once, cached by `is_x86_feature_detected`) and a column count that
+/// is a whole number of 256-bit lanes small enough to keep the output
+/// row resident in vector registers.
+#[cfg(target_arch = "x86_64")]
+fn avx2_cols(n: usize) -> bool {
+    n > 0 && n.is_multiple_of(8) && n <= 64 && std::arch::is_x86_feature_detected!("avx2")
+}
+
+/// AVX2 accumulate-rows kernel for `n == BLOCKS * 8` columns: the
+/// output row lives in `BLOCKS` 256-bit accumulators while the `p`
+/// loop streams `b` rows through them in ascending order. Vector lanes
+/// are distinct output elements — never partial sums — and mul/add
+/// stay separate instructions (no FMA), so every element sums its
+/// terms in exactly the portable kernel's order and the two paths are
+/// bit-identical.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_rows_avx2<const BLOCKS: usize>(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    k: usize,
+    n: usize,
+    row_start: usize,
+    row_end: usize,
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(n, BLOCKS * 8);
+    for i in row_start..row_end {
+        let c_row = c[(i - row_start) * n..(i - row_start + 1) * n].as_mut_ptr();
+        let a_row = &a[i * k..(i + 1) * k];
+        let mut acc = [_mm256_setzero_ps(); BLOCKS];
+        for (bl, slot) in acc.iter_mut().enumerate() {
+            *slot = _mm256_loadu_ps(c_row.add(bl * 8));
+        }
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let av = _mm256_set1_ps(a_ip);
+            let b_row = b[p * n..(p + 1) * n].as_ptr();
+            for (bl, slot) in acc.iter_mut().enumerate() {
+                let bv = _mm256_loadu_ps(b_row.add(bl * 8));
+                *slot = _mm256_add_ps(*slot, _mm256_mul_ps(av, bv));
+            }
+        }
+        for (bl, slot) in acc.iter().enumerate() {
+            _mm256_storeu_ps(c_row.add(bl * 8), *slot);
+        }
+    }
+}
+
+/// Monomorphises [`matmul_rows_avx2`] on the lane-block count.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available and `n % 8 == 0`,
+/// `8 <= n <= 64` (i.e. [`avx2_cols`] returned true).
+#[cfg(target_arch = "x86_64")]
+unsafe fn matmul_rows_avx2_dispatch(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    k: usize,
+    n: usize,
+    row_start: usize,
+    row_end: usize,
+) {
+    match n / 8 {
+        1 => matmul_rows_avx2::<1>(a, b, c, k, n, row_start, row_end),
+        2 => matmul_rows_avx2::<2>(a, b, c, k, n, row_start, row_end),
+        3 => matmul_rows_avx2::<3>(a, b, c, k, n, row_start, row_end),
+        4 => matmul_rows_avx2::<4>(a, b, c, k, n, row_start, row_end),
+        5 => matmul_rows_avx2::<5>(a, b, c, k, n, row_start, row_end),
+        6 => matmul_rows_avx2::<6>(a, b, c, k, n, row_start, row_end),
+        7 => matmul_rows_avx2::<7>(a, b, c, k, n, row_start, row_end),
+        _ => matmul_rows_avx2::<8>(a, b, c, k, n, row_start, row_end),
+    }
+}
+
+/// Inner row kernel: accumulates `b` rows into each output row in
+/// strictly ascending `p` order — every element sums its terms in the
+/// same fixed order regardless of chunking or instruction width, so the
+/// result is bit-identical across dispatch paths and worker counts.
 fn matmul_rows(
     a: &[f32],
     b: &[f32],
@@ -523,6 +622,11 @@ fn matmul_rows(
     row_start: usize,
     row_end: usize,
 ) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_cols(n) {
+        // SAFETY: avx2_cols verified the CPU feature and lane count.
+        return unsafe { matmul_rows_avx2_dispatch(a, b, c, k, n, row_start, row_end) };
+    }
     for i in row_start..row_end {
         let c_row = &mut c[(i - row_start) * n..(i - row_start + 1) * n];
         let a_row = &a[i * k..(i + 1) * k];
@@ -539,7 +643,9 @@ fn matmul_rows(
 }
 
 /// Rows `row_start..row_end` of `a (m x k) @ b (n x k)ᵀ`: each output
-/// element is a row-by-row dot product.
+/// element is a row-by-row dot product. Stays scalar on every target:
+/// vectorising a single dot product would split it into per-lane
+/// partial sums and change the summation order (and therefore bits).
 fn matmul_nt_rows(
     a: &[f32],
     b: &[f32],
@@ -563,6 +669,78 @@ fn matmul_nt_rows(
     }
 }
 
+/// AVX2 variant of [`matmul_tn_rows`]: visits each output row once,
+/// accumulating its rank-1 contributions over the `k` input rows in the
+/// same ascending-`i` order as the portable kernel while the row sits
+/// in `BLOCKS` 256-bit registers. Lanes are distinct output elements
+/// and mul/add stay separate instructions, so results are
+/// bit-identical to the portable loop.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_tn_rows_avx2<const BLOCKS: usize>(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    k: usize,
+    n: usize,
+    row_start: usize,
+    row_end: usize,
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(n, BLOCKS * 8);
+    let m = a.len().checked_div(k).unwrap_or(0);
+    for p in row_start..row_end {
+        let c_row = c[(p - row_start) * n..(p - row_start + 1) * n].as_mut_ptr();
+        let mut acc = [_mm256_setzero_ps(); BLOCKS];
+        for (bl, slot) in acc.iter_mut().enumerate() {
+            *slot = _mm256_loadu_ps(c_row.add(bl * 8));
+        }
+        for i in 0..k {
+            let a_ip = a[i * m + p];
+            if a_ip == 0.0 {
+                continue;
+            }
+            let av = _mm256_set1_ps(a_ip);
+            let b_row = b[i * n..(i + 1) * n].as_ptr();
+            for (bl, slot) in acc.iter_mut().enumerate() {
+                let bv = _mm256_loadu_ps(b_row.add(bl * 8));
+                *slot = _mm256_add_ps(*slot, _mm256_mul_ps(av, bv));
+            }
+        }
+        for (bl, slot) in acc.iter().enumerate() {
+            _mm256_storeu_ps(c_row.add(bl * 8), *slot);
+        }
+    }
+}
+
+/// Monomorphises [`matmul_tn_rows_avx2`] on the lane-block count.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available and `n % 8 == 0`,
+/// `8 <= n <= 64` (i.e. [`avx2_cols`] returned true).
+#[cfg(target_arch = "x86_64")]
+unsafe fn matmul_tn_rows_avx2_dispatch(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    k: usize,
+    n: usize,
+    row_start: usize,
+    row_end: usize,
+) {
+    match n / 8 {
+        1 => matmul_tn_rows_avx2::<1>(a, b, c, k, n, row_start, row_end),
+        2 => matmul_tn_rows_avx2::<2>(a, b, c, k, n, row_start, row_end),
+        3 => matmul_tn_rows_avx2::<3>(a, b, c, k, n, row_start, row_end),
+        4 => matmul_tn_rows_avx2::<4>(a, b, c, k, n, row_start, row_end),
+        5 => matmul_tn_rows_avx2::<5>(a, b, c, k, n, row_start, row_end),
+        6 => matmul_tn_rows_avx2::<6>(a, b, c, k, n, row_start, row_end),
+        7 => matmul_tn_rows_avx2::<7>(a, b, c, k, n, row_start, row_end),
+        _ => matmul_tn_rows_avx2::<8>(a, b, c, k, n, row_start, row_end),
+    }
+}
+
 /// Output rows `row_start..row_end` of `a (k x m)ᵀ @ b (k x n)`:
 /// accumulates rank-1 contributions over the `k` input rows in fixed
 /// ascending order, so chunk boundaries never change any element's
@@ -576,6 +754,11 @@ fn matmul_tn_rows(
     row_start: usize,
     row_end: usize,
 ) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_cols(n) {
+        // SAFETY: avx2_cols verified the CPU feature and lane count.
+        return unsafe { matmul_tn_rows_avx2_dispatch(a, b, c, k, n, row_start, row_end) };
+    }
     let m = a.len().checked_div(k).unwrap_or(0);
     for i in 0..k {
         let a_row = &a[i * m..(i + 1) * m];
