@@ -52,6 +52,12 @@ impl Map {
         self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
+    /// Removes `key`, returning its value when it was present.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -56,6 +56,15 @@ fn main() {
         ),
         Err(e) => eprintln!("could not write trace: {e}"),
     }
+    // Likewise PARAGRAPH_EVENTS=1 flushes the structured event log.
+    match paragraph_obs::flush_default_events() {
+        Ok(0) => {}
+        Ok(n) => eprintln!(
+            "wrote {n} event records to {}",
+            paragraph_obs::DEFAULT_EVENTS_PATH
+        ),
+        Err(e) => eprintln!("could not write events: {e}"),
+    }
 }
 
 fn usage() -> ! {
@@ -69,7 +78,17 @@ fn usage() -> ! {
          stats    --netlist <file.sp>\n\
          erc      --netlist <file.sp>\n\
          serve    --models <dir> --addr <host:port> --workers <n>\n\
-         \x20        --queue <n> --cache <n>"
+         \x20        --queue <n> --cache <n>\n\
+         \x20        --events <path>       periodic event-log flush target\n\
+         \x20                              (env PARAGRAPH_EVENTS_PATH)\n\
+         \x20        --event-sample <n>    log every nth ok request; errors\n\
+         \x20                              and slow requests always logged\n\
+         \x20                              (env PARAGRAPH_EVENT_SAMPLE)\n\
+         \x20        --slow-ms <t>         slow-request threshold in ms\n\
+         \x20                              (env PARAGRAPH_SLOW_MS)\n\
+         \n\
+         PARAGRAPH_TRACE=1 records spans to target/trace.json;\n\
+         PARAGRAPH_EVENTS=1 records the structured event log"
     );
     std::process::exit(2)
 }
@@ -267,9 +286,23 @@ fn erc(flags: &Flags) {
     std::process::exit(1);
 }
 
+/// Flag value, falling back to an environment variable, then `default`.
+/// A present-but-malformed flag aborts with usage; a malformed env var
+/// silently falls through to the default.
+fn u64_flag_env(flags: &Flags, key: &str, env: &str, default: u64) -> u64 {
+    if let Some(v) = flags.get(key) {
+        return v.parse().unwrap_or_else(|_| usage());
+    }
+    std::env::var(env)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 fn serve(flags: &Flags) {
     use paragraph_serve::{ModelRegistry, Server, Service, ServiceConfig};
     use std::sync::Arc;
+    use std::time::Duration;
 
     let models_dir = flags.required("models");
     let addr = flags.get("addr").unwrap_or("127.0.0.1:9107");
@@ -280,10 +313,18 @@ fn serve(flags: &Flags) {
             std::process::exit(1)
         }
     };
+    let event_sample = u64_flag_env(flags, "event-sample", "PARAGRAPH_EVENT_SAMPLE", 1).max(1);
+    let slow_ms = u64_flag_env(flags, "slow-ms", "PARAGRAPH_SLOW_MS", 500);
+    let events_path = flags
+        .get("events")
+        .map(str::to_owned)
+        .or_else(|| std::env::var("PARAGRAPH_EVENTS_PATH").ok());
     let config = ServiceConfig {
         workers: flags.u64_or("workers", 4).max(1) as usize,
         queue_capacity: flags.u64_or("queue", 64).max(1) as usize,
         cache_capacity: flags.u64_or("cache", 256) as usize,
+        event_sample,
+        slow_threshold: Duration::from_millis(slow_ms),
         ..ServiceConfig::default()
     };
     let snapshot = registry.current();
@@ -292,6 +333,34 @@ fn serve(flags: &Flags) {
         snapshot.models.len(),
         snapshot.keys().join(", ")
     );
+    if paragraph_obs::events_enabled() {
+        eprintln!(
+            "event log on: sampling 1/{event_sample} ok requests, slow threshold {slow_ms} ms{}",
+            events_path
+                .as_deref()
+                .map(|p| format!(", flushing to {p}"))
+                .unwrap_or_default()
+        );
+    }
+    // Periodically flush buffered event records so a long-running server
+    // doesn't hold (or drop) them until shutdown. Harmless when the
+    // event log is disabled: there is nothing to write.
+    if let Some(path) = events_path {
+        let path = PathBuf::from(path);
+        std::thread::Builder::new()
+            .name("event-flusher".into())
+            .spawn(move || loop {
+                std::thread::sleep(Duration::from_secs(5));
+                match paragraph_obs::write_events(&path) {
+                    Ok(_) => {}
+                    Err(e) => {
+                        eprintln!("event-log flush to {} failed: {e}", path.display());
+                        return;
+                    }
+                }
+            })
+            .expect("spawn event flusher");
+    }
     let service = Arc::new(Service::new(registry, config));
     let server = match Server::bind(addr, service) {
         Ok(s) => s,

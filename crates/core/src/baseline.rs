@@ -1,0 +1,183 @@
+//! Training-time baseline statistics, captured into the saved-model
+//! artifact so a serving process can judge whether incoming traffic
+//! still looks like the training distribution (drift / OOD detection).
+//!
+//! The statistics are computed over the **raw** (pre-normalisation)
+//! feature rows of the training circuits — the same rows
+//! [`crate::raw_feature_rows`] produces for a fresh schematic at serve
+//! time, so baseline and live windows are directly comparable — plus
+//! the physical label range each model (ensemble member) was trained
+//! on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::features::NodeType;
+use crate::pipeline::PreparedCircuit;
+use crate::targets::Target;
+
+/// Per-feature training-set statistics plus the label range, stored in
+/// [`crate::SavedModel`] and carried by [`crate::TargetModel`].
+///
+/// Indexing follows the graph schema: `mean[t][f]` is feature `f` of
+/// node type `t` (see [`NodeType::ALL`]); node types absent from the
+/// training set have empty inner vectors and `rows[t] == 0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineStats {
+    /// Per-type per-feature mean of the raw training rows.
+    pub mean: Vec<Vec<f64>>,
+    /// Per-type per-feature population standard deviation.
+    pub std: Vec<Vec<f64>>,
+    /// Per-type per-feature minimum observed in training.
+    pub min: Vec<Vec<f64>>,
+    /// Per-type per-feature maximum observed in training.
+    pub max: Vec<Vec<f64>>,
+    /// Training rows per node type.
+    pub rows: Vec<u64>,
+    /// Smallest physical label trained on (per ensemble member), if any
+    /// labelled node existed.
+    pub label_min: Option<f64>,
+    /// Largest physical label trained on.
+    pub label_max: Option<f64>,
+    /// Number of labelled training nodes.
+    pub labelled_nodes: u64,
+}
+
+impl BaselineStats {
+    /// Computes statistics over the training circuits for a model of
+    /// `target` trained with range cap `max_value` (the label range
+    /// reflects the capped labels, so each ensemble member records its
+    /// own range).
+    pub fn compute(train: &[PreparedCircuit], target: Target, max_value: Option<f64>) -> Self {
+        let num_types = NodeType::ALL.len();
+        let mut count = vec![0u64; num_types];
+        let mut sum: Vec<Vec<f64>> = vec![Vec::new(); num_types];
+        let mut sum_sq: Vec<Vec<f64>> = vec![Vec::new(); num_types];
+        let mut min: Vec<Vec<f64>> = vec![Vec::new(); num_types];
+        let mut max: Vec<Vec<f64>> = vec![Vec::new(); num_types];
+        for pc in train {
+            for (t, rows) in pc.graph.raw_features().iter().enumerate() {
+                for row in rows {
+                    if sum[t].is_empty() {
+                        sum[t] = vec![0.0; row.len()];
+                        sum_sq[t] = vec![0.0; row.len()];
+                        min[t] = vec![f64::INFINITY; row.len()];
+                        max[t] = vec![f64::NEG_INFINITY; row.len()];
+                    }
+                    count[t] += 1;
+                    for (f, &v) in row.iter().enumerate() {
+                        let v = v as f64;
+                        sum[t][f] += v;
+                        sum_sq[t][f] += v * v;
+                        min[t][f] = min[t][f].min(v);
+                        max[t][f] = max[t][f].max(v);
+                    }
+                }
+            }
+        }
+        let mut mean: Vec<Vec<f64>> = vec![Vec::new(); num_types];
+        let mut std: Vec<Vec<f64>> = vec![Vec::new(); num_types];
+        for t in 0..num_types {
+            if count[t] == 0 {
+                min[t].clear();
+                max[t].clear();
+                continue;
+            }
+            let n = count[t] as f64;
+            mean[t] = sum[t].iter().map(|s| s / n).collect();
+            std[t] = sum[t]
+                .iter()
+                .zip(&sum_sq[t])
+                .map(|(s, sq)| (sq / n - (s / n) * (s / n)).max(0.0).sqrt())
+                .collect();
+        }
+
+        let mut label_min = f64::INFINITY;
+        let mut label_max = f64::NEG_INFINITY;
+        let mut labelled_nodes = 0u64;
+        for pc in train {
+            let labels = pc.labels(target, max_value);
+            labelled_nodes += labels.physical.len() as u64;
+            for &v in &labels.physical {
+                label_min = label_min.min(v);
+                label_max = label_max.max(v);
+            }
+        }
+        Self {
+            mean,
+            std,
+            min,
+            max,
+            rows: count,
+            label_min: (labelled_nodes > 0).then_some(label_min),
+            label_max: (labelled_nodes > 0).then_some(label_max),
+            labelled_nodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PreparedCircuit;
+    use paragraph_layout::LayoutConfig;
+    use paragraph_netlist::parse_spice;
+
+    fn prepared(src: &str) -> PreparedCircuit {
+        let c = parse_spice(src).unwrap().flatten().unwrap();
+        PreparedCircuit::new("t", c, &LayoutConfig::default())
+    }
+
+    #[test]
+    fn stats_cover_types_and_label_range() {
+        let pcs = vec![
+            prepared("mp o i vdd vdd pch nf=2\nmn o i vss vss nch\n.end\n"),
+            prepared("mn1 d g s vss nch nfin=4\nr1 d x 10k\n.end\n"),
+        ];
+        let stats = BaselineStats::compute(&pcs, Target::Cap, None);
+        let net = NodeType::Net.id() as usize;
+        assert!(stats.rows[net] >= 5, "signal nets across both circuits");
+        assert_eq!(stats.mean[net].len(), 1);
+        assert!(stats.min[net][0] <= stats.mean[net][0]);
+        assert!(stats.mean[net][0] <= stats.max[net][0]);
+        assert!(stats.std[net][0] >= 0.0);
+        // Transistor rows: 4 features each.
+        let tr = NodeType::Transistor.id() as usize;
+        assert_eq!(stats.mean[tr].len(), 4);
+        assert!(stats.rows[tr] == 3);
+        // Absent types stay empty.
+        let bjt = NodeType::Bjt.id() as usize;
+        assert_eq!(stats.rows[bjt], 0);
+        assert!(stats.mean[bjt].is_empty() && stats.min[bjt].is_empty());
+        // Labels: every signal net has a capacitance label.
+        assert!(stats.labelled_nodes > 0);
+        let (lo, hi) = (stats.label_min.unwrap(), stats.label_max.unwrap());
+        assert!(lo > 0.0 && lo <= hi);
+    }
+
+    #[test]
+    fn label_range_respects_max_value_cap() {
+        let pcs = vec![prepared(
+            "mp o i vdd vdd pch nf=4\nmn o i vss vss nch\nc1 o vss 90f\n.end\n",
+        )];
+        let unbounded = BaselineStats::compute(&pcs, Target::Cap, None);
+        let capped = BaselineStats::compute(&pcs, Target::Cap, Some(1e-15));
+        // The cap excludes large-capacitance labels, so the member's
+        // recorded range shrinks (or the member sees fewer nodes).
+        assert!(capped.labelled_nodes <= unbounded.labelled_nodes);
+        if let (Some(c), Some(u)) = (capped.label_max, unbounded.label_max) {
+            assert!(c <= u);
+        }
+        // Feature statistics are label-independent: identical.
+        assert_eq!(capped.mean, unbounded.mean);
+        assert_eq!(capped.std, unbounded.std);
+    }
+
+    #[test]
+    fn empty_training_set_yields_empty_stats() {
+        let stats = BaselineStats::compute(&[], Target::Cap, None);
+        assert!(stats.rows.iter().all(|&r| r == 0));
+        assert_eq!(stats.label_min, None);
+        assert_eq!(stats.label_max, None);
+        assert_eq!(stats.labelled_nodes, 0);
+    }
+}

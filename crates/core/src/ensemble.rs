@@ -140,20 +140,26 @@ impl CapEnsemble {
     /// `max_v` order): start from the smallest-range model and move up
     /// whenever a higher-range model predicts beyond the previous range.
     pub fn select(&self, per_model: &[f64]) -> f64 {
+        per_model[self.select_index(per_model)]
+    }
+
+    /// Index of the member [`CapEnsemble::select`] picks — the same
+    /// Algorithm-2 walk, exposed so observers can attribute a
+    /// prediction to its ensemble member.
+    pub fn select_index(&self, per_model: &[f64]) -> usize {
         assert_eq!(
             per_model.len(),
             self.models.len(),
             "one prediction per member"
         );
-        let mut p = per_model[0];
-        #[allow(clippy::needless_range_loop)] // i-1 lookback drives the loop
-        for i in 1..per_model.len() {
+        let mut picked = 0;
+        for (i, &pred) in per_model.iter().enumerate().skip(1) {
             let prev_max = self.models[i - 1].max_value.expect("max_v set");
-            if per_model[i] > prev_max {
-                p = per_model[i];
+            if pred > prev_max {
+                picked = i;
             }
         }
-        p
+        picked
     }
 
     /// Predicts every net's capacitance of a prepared circuit (indexed by
@@ -192,6 +198,40 @@ impl CapEnsemble {
                 preds.map(|p| self.select(&p))
             })
             .collect()
+    }
+
+    /// [`CapEnsemble::predict_circuit`] with a per-stage wall-clock
+    /// breakdown summed over members, plus how many nets each member's
+    /// prediction won (Algorithm-2 selection counts, ascending `max_v`
+    /// order). Predictions are bitwise identical to the unprofiled
+    /// path.
+    pub fn predict_circuit_profiled(
+        &self,
+        circuit: &Circuit,
+    ) -> (Vec<Option<f64>>, crate::PredictProfile, Vec<u64>) {
+        let mut profile = crate::PredictProfile::default();
+        let per_model: Vec<Vec<Option<f64>>> = self
+            .models
+            .iter()
+            .map(|m| {
+                let (preds, p) = m.predict_circuit_profiled(circuit);
+                profile.graph_build_us += p.graph_build_us;
+                profile.inference_us += p.inference_us;
+                preds
+            })
+            .collect();
+        let mut selected = vec![0u64; self.models.len()];
+        let preds = (0..circuit.num_nets())
+            .map(|net| {
+                let preds: Option<Vec<f64>> = per_model.iter().map(|pm| pm[net]).collect();
+                preds.map(|p| {
+                    let i = self.select_index(&p);
+                    selected[i] += 1;
+                    p[i]
+                })
+            })
+            .collect();
+        (preds, profile, selected)
     }
 
     /// Predicts every net's capacitance for several fresh schematics at
@@ -371,6 +411,25 @@ mod tests {
             let sequential = ens.predict_circuit(c);
             assert_eq!(&sequential, got, "batched ensemble drifted");
         }
+    }
+
+    /// The profiled path runs the same call chain as the plain one —
+    /// predictions must match bit for bit, and the selection counts
+    /// must cover exactly the signal nets.
+    #[test]
+    fn profiled_prediction_matches_and_attributes_members() {
+        let ens = CapEnsemble::new(tiny_models(&[1e-15, 10e-15, 100e-15]));
+        let c = parse_spice("mp o i vdd vdd pch nf=2\nmn o i vss vss nch\nr1 o f 10k\n.end\n")
+            .unwrap()
+            .flatten()
+            .unwrap();
+        let plain = ens.predict_circuit(&c);
+        let (profiled, profile, selected) = ens.predict_circuit_profiled(&c);
+        assert_eq!(plain, profiled, "profiling changed predictions");
+        assert!(profile.graph_build_us >= 0.0 && profile.inference_us > 0.0);
+        let nets_predicted = plain.iter().flatten().count() as u64;
+        assert_eq!(selected.iter().sum::<u64>(), nets_predicted);
+        assert_eq!(selected.len(), ens.members().len());
     }
 
     #[test]

@@ -171,6 +171,27 @@ impl CircuitGraph {
     }
 }
 
+/// Computes the raw per-type feature rows of a circuit **without**
+/// building the graph — exactly the rows [`build_graph`] would store
+/// (signal nets first in net-id order, then devices in device order).
+///
+/// This is the cheap path for observers that only need feature
+/// statistics (e.g. the serving drift monitor, which compares every
+/// incoming circuit — cache hits included — against the training
+/// baseline): no edges, no tensors, no allocation beyond the rows.
+pub fn raw_feature_rows(circuit: &Circuit) -> Vec<Vec<Vec<f32>>> {
+    let mut raw: Vec<Vec<Vec<f32>>> = vec![Vec::new(); NodeType::ALL.len()];
+    for (id, net) in circuit.nets().iter().enumerate() {
+        if net.class == NetClass::Signal {
+            raw[NodeType::Net.id() as usize].push(net_features(circuit.fanout(NetId(id as u32))));
+        }
+    }
+    for dev in circuit.devices() {
+        raw[NodeType::of_device(dev.kind).id() as usize].push(device_features(dev));
+    }
+    raw
+}
+
 /// Builds the heterogeneous graph of a flat circuit (paper §II-B).
 ///
 /// # Examples
@@ -367,6 +388,20 @@ q1 vss bias ref pnp\n.end\n";
         assert_ne!(&before, cg.graph.features(NodeType::Net.id()));
         cg.normalize(&norm);
         assert_eq!(&before, cg.graph.features(NodeType::Net.id()));
+    }
+
+    /// The graph-free feature path must produce exactly the rows the
+    /// graph builder stores, for every node type.
+    #[test]
+    fn raw_feature_rows_match_built_graph() {
+        let src = "\
+mp out in vdd vdd pch nf=2\n\
+mn out in vss vss nch\n\
+r1 out fb 10k\n\
+c1 fb vss 50f\n\
+d1 out vdd dnom\n.end\n";
+        let c = parse_spice(src).unwrap().flatten().unwrap();
+        assert_eq!(&raw_feature_rows(&c), build_graph(&c).raw_features());
     }
 
     #[test]

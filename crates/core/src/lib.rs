@@ -56,6 +56,7 @@
 
 #![warn(missing_docs)]
 
+mod baseline;
 mod ensemble;
 mod features;
 mod graphbuild;
@@ -63,17 +64,18 @@ mod persist;
 mod pipeline;
 mod targets;
 
+pub use baseline::BaselineStats;
 pub use ensemble::{CapEnsemble, EnsembleError, PAPER_MAX_V};
 pub use features::{device_features, net_features, FeatureNorm, NodeType};
 pub use graphbuild::{
-    build_graph, circuit_schema, edge_type, edge_type_name, CircuitGraph, TerminalClass,
-    EDGE_CLASSES, NUM_EDGE_TYPES,
+    build_graph, circuit_schema, edge_type, edge_type_name, raw_feature_rows, CircuitGraph,
+    TerminalClass, EDGE_CLASSES, NUM_EDGE_TYPES,
 };
 pub use persist::{LoadModelError, SavedModel};
 pub use pipeline::{
     evaluate_model, fit_norm, normalize_circuits, prepare_circuits, train_models, BaselineKind,
-    BaselineModel, EvalPairs, EvalSummary, FitConfig, GnnKind, PreparedCircuit, TargetModel,
-    TrainSpec,
+    BaselineModel, EvalPairs, EvalSummary, FitConfig, GnnKind, PredictProfile, PreparedCircuit,
+    TargetModel, TrainSpec,
 };
 pub use targets::{label_node_types, target_labels, Target, TargetLabels};
 

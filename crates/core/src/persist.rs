@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use paragraph_gnn::{GnnKind, GnnModel, ModelConfig};
 
+use crate::baseline::BaselineStats;
 use crate::features::FeatureNorm;
 use crate::graphbuild::circuit_schema;
 use crate::pipeline::{FitConfig, TargetModel};
@@ -40,6 +41,10 @@ pub struct SavedModel {
     pub seed: u64,
     /// Feature normalisation.
     pub norm: FeatureNorm,
+    /// Training-set baseline statistics for serve-side drift
+    /// monitoring. Absent in artifacts written before baseline capture
+    /// existed — such snapshots still load (the field reads as `None`).
+    pub baseline: Option<BaselineStats>,
     /// Flattened parameters: `(name, rows, cols, data)`.
     pub params: Vec<(String, usize, usize, Vec<f32>)>,
 }
@@ -59,6 +64,7 @@ impl SavedModel {
             layers: model.fit.layers,
             seed: model.fit.seed,
             norm: model.norm.clone(),
+            baseline: model.baseline.clone(),
             params: model.gnn().params().export(),
         }
     }
@@ -105,6 +111,7 @@ impl SavedModel {
             max_value: self.max_value,
             fit,
             norm: self.norm,
+            baseline: self.baseline,
             model: gnn,
         })
     }
@@ -165,6 +172,50 @@ mod tests {
                 other => panic!("mismatch: {other:?}"),
             }
         }
+    }
+
+    /// Baseline statistics captured at training time survive the JSON
+    /// round trip exactly.
+    #[test]
+    fn baseline_stats_roundtrip() {
+        let (model, _) = trained();
+        let baseline = model
+            .baseline
+            .clone()
+            .expect("training captures a baseline");
+        assert!(baseline.labelled_nodes > 0);
+        assert!(baseline.label_min.is_some() && baseline.label_max.is_some());
+        let json = SavedModel::from_model(&model).to_json();
+        let restored = SavedModel::from_json(&json).unwrap().into_model().unwrap();
+        assert_eq!(restored.baseline.as_ref(), Some(&baseline));
+    }
+
+    /// Artifacts written before baseline capture existed — no
+    /// `baseline` key at all — must still load, with `baseline = None`.
+    #[test]
+    fn old_artifact_without_baseline_loads() {
+        let (model, pc) = trained();
+        let json = SavedModel::from_model(&model).to_json();
+        // Simulate a pre-baseline artifact by stripping the field from
+        // the JSON text (not just nulling it).
+        let mut value = serde_json::from_str::<serde_json::Value>(&json).unwrap();
+        match &mut value {
+            serde_json::Value::Object(fields) => {
+                assert!(fields.remove("baseline").is_some(), "baseline key present");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        let stripped = serde_json::to_string(&value).unwrap();
+        let restored = SavedModel::from_json(&stripped)
+            .unwrap()
+            .into_model()
+            .unwrap();
+        assert!(restored.baseline.is_none());
+        // And it still predicts identically.
+        assert_eq!(
+            restored.predict_graph(&pc.circuit, &pc.graph),
+            model.predict_graph(&pc.circuit, &pc.graph)
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@ use paragraph_tensor::{Adam, Tape};
 
 pub use paragraph_gnn::GnnKind;
 
+use crate::baseline::BaselineStats;
 use crate::features::FeatureNorm;
 use crate::graphbuild::{build_graph, circuit_schema, CircuitGraph};
 use crate::targets::{target_labels, Target, TargetLabels};
@@ -157,7 +158,22 @@ pub struct TargetModel {
     pub fit: FitConfig,
     /// Feature normalisation (from the training set).
     pub norm: FeatureNorm,
+    /// Training-set feature statistics and label range, captured at
+    /// training time for serve-side drift monitoring. `None` on models
+    /// restored from artifacts that predate baseline capture.
+    pub baseline: Option<BaselineStats>,
     pub(crate) model: GnnModel,
+}
+
+/// Wall-clock breakdown of one profiled circuit prediction, split at
+/// the stage boundary the serving layer reports: graph construction +
+/// normalisation vs the GNN forward pass (including unscale/scatter).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PredictProfile {
+    /// Time spent building and normalising the circuit graph, µs.
+    pub graph_build_us: f64,
+    /// Time spent in the forward pass and prediction scatter, µs.
+    pub inference_us: f64,
 }
 
 impl TargetModel {
@@ -244,6 +260,7 @@ impl TargetModel {
                 max_value,
                 fit,
                 norm: clone_norm(norm),
+                baseline: Some(BaselineStats::compute(train, target, max_value)),
                 model,
             },
             final_loss,
@@ -316,6 +333,7 @@ impl TargetModel {
                 max_value,
                 fit: fit.clone(),
                 norm: clone_norm(norm),
+                baseline: None, // per-epoch probe: skip the stats pass
                 model: gnn.clone(),
             };
             let r2 = evaluate_model(&probe, validation, max_value).summary().r2;
@@ -337,6 +355,7 @@ impl TargetModel {
                 max_value,
                 fit,
                 norm: clone_norm(norm),
+                baseline: Some(BaselineStats::compute(train, target, max_value)),
                 model: gnn,
             },
             best_r2,
@@ -366,6 +385,33 @@ impl TargetModel {
         let mut cg = build_graph(circuit);
         cg.normalize(&self.norm);
         self.predict_graph(circuit, &cg)
+    }
+
+    /// [`TargetModel::predict_circuit`] with a per-stage wall-clock
+    /// breakdown. Runs the exact same call chain — the returned
+    /// predictions are bitwise identical to the unprofiled path.
+    pub fn predict_circuit_profiled(
+        &self,
+        circuit: &Circuit,
+    ) -> (Vec<Option<f64>>, PredictProfile) {
+        let start = std::time::Instant::now();
+        let mut cg = build_graph(circuit);
+        cg.normalize(&self.norm);
+        let graph_build_us = start.elapsed().as_secs_f64() * 1e6;
+        let infer = std::time::Instant::now();
+        let preds = self.predict_graph(circuit, &cg);
+        (
+            preds,
+            PredictProfile {
+                graph_build_us,
+                inference_us: infer.elapsed().as_secs_f64() * 1e6,
+            },
+        )
+    }
+
+    /// Number of trainable scalars in the underlying GNN.
+    pub fn param_count(&self) -> usize {
+        self.model.params().num_scalars()
     }
 
     /// Same as [`TargetModel::predict_circuit`] but reusing an existing

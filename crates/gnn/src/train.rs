@@ -25,6 +25,7 @@ struct TrainMetrics {
     epoch_loss: Arc<paragraph_obs::Gauge>,
     grad_norm: Arc<paragraph_obs::Gauge>,
     graphs_per_sec: Arc<paragraph_obs::Gauge>,
+    epoch_us: Arc<paragraph_obs::RollingQuantile>,
 }
 
 fn train_metrics() -> &'static TrainMetrics {
@@ -37,6 +38,9 @@ fn train_metrics() -> &'static TrainMetrics {
             epoch_loss: reg.gauge("paragraph_train_epoch_loss", &[]),
             grad_norm: reg.gauge("paragraph_train_grad_norm", &[]),
             graphs_per_sec: reg.gauge("paragraph_train_graphs_per_sec", &[]),
+            // Exact p50/p95/p99 over the last 256 epochs, so a run's
+            // tail epochs (GC of caches, contention) are visible.
+            epoch_us: reg.rolling("paragraph_train_epoch_us", &[], 256),
         }
     })
 }
@@ -61,6 +65,7 @@ fn record_epoch(count: usize, loss: f32, started: Instant) {
     m.graphs_total.add(count as u64);
     m.epoch_loss.set(f64::from(loss));
     let secs = started.elapsed().as_secs_f64();
+    m.epoch_us.observe(secs * 1e6);
     if secs > 0.0 {
         m.graphs_per_sec.set(count as f64 / secs);
     }

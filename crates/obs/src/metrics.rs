@@ -17,6 +17,8 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
+use crate::quantile::{RollingQuantile, RENDERED_QUANTILES};
+
 /// A label set: `(key, value)` pairs, sorted by key at registration.
 pub type Labels = Vec<(String, String)>;
 
@@ -192,6 +194,7 @@ enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
+    Rolling(Arc<RollingQuantile>),
 }
 
 impl Metric {
@@ -200,6 +203,9 @@ impl Metric {
             Metric::Counter(_) => "counter",
             Metric::Gauge(_) => "gauge",
             Metric::Histogram(_) => "histogram",
+            // Rolling quantiles render as a Prometheus summary:
+            // quantile-labelled samples plus _sum/_count.
+            Metric::Rolling(_) => "summary",
         }
     }
 }
@@ -299,6 +305,37 @@ impl Registry {
         }
     }
 
+    /// Resolves (registering on first use) the rolling-window quantile
+    /// estimator `name{labels...}` keeping the `window` most recent
+    /// observations. Rendered as a Prometheus `summary` with exact
+    /// p50/p95/p99 over the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered with a different metric
+    /// kind.
+    pub fn rolling(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        window: usize,
+    ) -> Arc<RollingQuantile> {
+        let mut families = lock(&self.families);
+        let metric = families
+            .entry(name.to_owned())
+            .or_default()
+            .by_labels
+            .entry(sorted_labels(labels))
+            .or_insert_with(|| Metric::Rolling(Arc::new(RollingQuantile::new(window))));
+        match metric {
+            Metric::Rolling(r) => Arc::clone(r),
+            other => panic!(
+                "metric '{name}' is a {}, not a rolling quantile",
+                other.kind()
+            ),
+        }
+    }
+
     /// Renders Prometheus text exposition format: one `# TYPE` line per
     /// family, then one sample line per labelled instance. Histograms
     /// expand into cumulative `_bucket{le=...}` series plus `_sum` and
@@ -349,6 +386,24 @@ impl Registry {
                         );
                         let _ =
                             writeln!(out, "{}_count{} {}", name, label_block(labels), h.count());
+                    }
+                    Metric::Rolling(r) => {
+                        let values = r.quantiles(&RENDERED_QUANTILES);
+                        for (&q, &v) in RENDERED_QUANTILES.iter().zip(values.iter()) {
+                            let mut with_q = labels.clone();
+                            with_q.push(("quantile".to_owned(), format!("{q}")));
+                            let _ =
+                                writeln!(out, "{}{} {}", name, label_block(&with_q), fmt_f64(v));
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{}_sum{} {}",
+                            name,
+                            label_block(labels),
+                            fmt_f64(r.sum())
+                        );
+                        let _ =
+                            writeln!(out, "{}_count{} {}", name, label_block(labels), r.count());
                     }
                 }
             }
@@ -404,6 +459,25 @@ impl Registry {
                             "],\"sum\":{},\"count\":{}",
                             json_f64(h.sum()),
                             h.count()
+                        );
+                    }
+                    Metric::Rolling(r) => {
+                        let values = r.quantiles(&RENDERED_QUANTILES);
+                        out.push_str(",\"quantiles\":{");
+                        for (i, (&q, &v)) in
+                            RENDERED_QUANTILES.iter().zip(values.iter()).enumerate()
+                        {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            let _ = write!(out, "\"{q}\":{}", json_f64(v));
+                        }
+                        let _ = write!(
+                            out,
+                            "}},\"sum\":{},\"count\":{},\"window\":{}",
+                            json_f64(r.sum()),
+                            r.count(),
+                            r.window_len()
                         );
                     }
                 }
@@ -558,6 +632,69 @@ mod tests {
             text.contains("esc_total{path=\"a\\\"b\\\\c\\nd\"} 1"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn rolling_renders_as_summary() {
+        let r = Registry::new();
+        let rq = r.rolling("lat_rolling_us", &[("op", "predict")], 8);
+        for v in 1..=8 {
+            rq.observe(v as f64);
+        }
+        // Same (name, labels) resolves to the same instance.
+        assert_eq!(
+            r.rolling("lat_rolling_us", &[("op", "predict")], 8).count(),
+            8
+        );
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE lat_rolling_us summary"), "{text}");
+        assert!(
+            text.contains("lat_rolling_us{op=\"predict\",quantile=\"0.5\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_rolling_us{op=\"predict\",quantile=\"0.95\"} 8"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_rolling_us{op=\"predict\",quantile=\"0.99\"} 8"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_rolling_us_sum{op=\"predict\"} 36"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_rolling_us_count{op=\"predict\"} 8"),
+            "{text}"
+        );
+        let json = r.render_json();
+        assert!(
+            json.contains("\"quantiles\":{\"0.5\":4,\"0.95\":8,\"0.99\":8}"),
+            "{json}"
+        );
+        assert!(json.contains("\"window\":8"), "{json}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a rolling quantile")]
+    fn rolling_kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("y", &[]);
+        let _ = r.rolling("y", &[], 4);
+    }
+
+    #[test]
+    fn empty_rolling_window_renders_nan_quantiles() {
+        let r = Registry::new();
+        let _ = r.rolling("idle_rolling", &[], 4);
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("idle_rolling{quantile=\"0.5\"} NaN"),
+            "{text}"
+        );
+        let json = r.render_json();
+        assert!(json.contains("\"0.5\":null"), "{json}");
     }
 
     #[test]

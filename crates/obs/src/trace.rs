@@ -87,7 +87,8 @@ pub fn set_enabled(on: bool) {
 }
 
 /// Process-wide monotonic epoch every timestamp is measured from.
-fn epoch() -> Instant {
+/// Shared with the event log so event `ts_us` and span `ts` correlate.
+pub(crate) fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
 }
@@ -100,7 +101,7 @@ fn sinks() -> &'static Mutex<Vec<SharedBuffer>> {
     SINKS.get_or_init(|| Mutex::new(Vec::new()))
 }
 
-fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -272,7 +273,7 @@ pub fn render_chrome_trace(events: &[TraceEvent]) -> String {
     out
 }
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -315,6 +316,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "trace")]
     fn enabled_spans_nest_and_record() {
         let _guard = flag_lock();
         set_enabled(true);

@@ -16,7 +16,11 @@
 //! * [`PredictionCache`] — LRU cache keyed by model and a content hash of
 //!   the flattened netlist; hits serve bit-identical payloads.
 //! * [`Metrics`] — atomic counters, fixed-bucket latency histograms,
-//!   queue-depth gauge, and cache hit rate, served via the `metrics` op.
+//!   rolling p50/p95/p99 latency quantiles, queue-depth gauge, and
+//!   cache hit rate, served via the `metrics` op.
+//! * [`DriftMonitor`] — compares rolling windows of incoming circuit
+//!   features against the training baselines stored in each model
+//!   artifact; out-of-distribution traffic degrades the `health` op.
 //! * [`Server`] — `std::net::TcpListener` front end, one thread per
 //!   connection, one JSON response line per request line.
 //!
@@ -36,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod drift;
 mod metrics;
 mod protocol;
 mod registry;
@@ -43,7 +48,8 @@ mod server;
 mod service;
 
 pub use cache::{fnv1a, PredictionCache};
-pub use metrics::{Metrics, LATENCY_BUCKETS_US};
+pub use drift::{DriftConfig, DriftMonitor};
+pub use metrics::{Metrics, LATENCY_BUCKETS_US, ROLLING_WINDOW};
 pub use protocol::{error_response, ok_response, ErrorCode, Op, Request, ServeError};
 pub use registry::{
     LoadedModels, ModelRef, ModelRegistry, RegistryError, ReloadReport, ENSEMBLE_KEY,

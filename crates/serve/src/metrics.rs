@@ -11,7 +11,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use paragraph_obs::{Counter, Gauge, Histogram, Registry};
+use paragraph_obs::{Counter, Gauge, Histogram, Registry, RollingQuantile, RENDERED_QUANTILES};
 use serde_json::{json, Value};
 
 use crate::cache::PredictionCache;
@@ -28,12 +28,17 @@ pub const LATENCY_BUCKETS_US: [f64; 6] = [
     10_000_000.0,
 ];
 
+/// Observations kept in each per-op rolling latency window; exact
+/// p50/p95/p99 are computed over this many most-recent requests.
+pub const ROLLING_WINDOW: usize = 512;
+
 /// Handles for one endpoint's families, resolved once at construction.
 #[derive(Debug)]
 struct EndpointMetrics {
     requests: Arc<Counter>,
     errors: Arc<Counter>,
     latency: Arc<Histogram>,
+    rolling: Arc<RollingQuantile>,
 }
 
 /// All service counters. Cheap to share behind an `Arc`; every method
@@ -75,6 +80,11 @@ impl Metrics {
                     &[("op", op.name())],
                     &LATENCY_BUCKETS_US,
                 ),
+                rolling: registry.rolling(
+                    "paragraph_request_latency_rolling_us",
+                    &[("op", op.name())],
+                    ROLLING_WINDOW,
+                ),
             })
             .collect();
         Self {
@@ -107,7 +117,15 @@ impl Metrics {
         if !ok {
             e.errors.inc();
         }
-        e.latency.observe(latency.as_secs_f64() * 1e6);
+        let us = latency.as_secs_f64() * 1e6;
+        e.latency.observe(us);
+        e.rolling.observe(us);
+    }
+
+    /// The service's own registry; the drift monitor and slow-request
+    /// counter register their families here so one render covers them.
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Queue-depth gauge: a request entered the queue.
@@ -156,12 +174,22 @@ impl Metrics {
                     .zip(&counts)
                     .map(|(le, &count)| json!({ "le_us": le, "count": count }))
                     .collect();
+                let qs = e.rolling.quantiles(&RENDERED_QUANTILES);
+                let rolling: Vec<Value> = RENDERED_QUANTILES
+                    .iter()
+                    .zip(&qs)
+                    .map(|(&q, &v)| {
+                        let value = if v.is_finite() { json!(v) } else { Value::Null };
+                        json!({ "q": q, "latency_us": value })
+                    })
+                    .collect();
                 json!({
                     "op": op.name(),
                     "requests": e.requests.get(),
                     "errors": e.errors.get(),
                     "total_latency_us": e.latency.sum() as u64,
                     "latency_buckets": buckets,
+                    "latency_rolling": rolling,
                 })
             })
             .collect();
@@ -334,6 +362,36 @@ mod tests {
             "escaped label missing in:\n{text}"
         );
         assert!(!text.contains("c\nd"), "raw newline leaked into a label");
+    }
+
+    /// Per-op rolling quantiles render as a Prometheus summary and
+    /// appear in the JSON snapshot.
+    #[test]
+    fn rolling_quantiles_render_and_snapshot() {
+        let m = Metrics::new();
+        for us in 1..=100u64 {
+            m.record(Op::Predict, Duration::from_micros(us), true);
+        }
+        let cache = PredictionCache::new(4);
+        let text = m.render(&cache);
+        assert!(
+            text.contains(
+                "paragraph_request_latency_rolling_us{op=\"predict\",quantile=\"0.5\"} 50"
+            ),
+            "missing p50 summary line in:\n{text}"
+        );
+        assert!(text
+            .contains("paragraph_request_latency_rolling_us{op=\"predict\",quantile=\"0.95\"} 95"));
+        assert!(text
+            .contains("paragraph_request_latency_rolling_us{op=\"predict\",quantile=\"0.99\"} 99"));
+        let snap = m.snapshot(&cache);
+        let rolling = &snap["endpoints"][Op::Predict.index()]["latency_rolling"];
+        assert_eq!(rolling[0]["q"].as_f64(), Some(0.5));
+        assert_eq!(rolling[0]["latency_us"].as_f64(), Some(50.0));
+        assert_eq!(rolling[2]["latency_us"].as_f64(), Some(99.0));
+        // Ops with no traffic render null quantiles, not garbage.
+        let idle = &snap["endpoints"][Op::Reload.index()]["latency_rolling"];
+        assert!(idle[0]["latency_us"].is_null());
     }
 
     /// The render path merges the process-global registry, so training

@@ -140,6 +140,9 @@ pub struct Request {
     /// Per-request deadline relative to arrival; `None` uses the
     /// service default.
     pub deadline_ms: Option<u64>,
+    /// When `true` the response carries a `debug` object with the
+    /// request ID and per-stage latency breakdown.
+    pub debug: bool,
 }
 
 impl Request {
@@ -160,7 +163,7 @@ impl Request {
         for (key, _) in obj.iter() {
             if !matches!(
                 key.as_str(),
-                "op" | "id" | "model" | "netlist" | "deadline_ms"
+                "op" | "id" | "model" | "netlist" | "deadline_ms" | "debug"
             ) {
                 return Err(bad(format!("unknown field '{key}'")));
             }
@@ -189,12 +192,23 @@ impl Request {
                 ))
             })?),
         };
+        let debug = match obj.get("debug") {
+            None | Some(Value::Null) => false,
+            Some(Value::Bool(b)) => *b,
+            Some(other) => {
+                return Err(bad(format!(
+                    "field 'debug' must be a boolean, got {}",
+                    other.kind_name()
+                )))
+            }
+        };
         Ok(Request {
             id: obj.get("id").cloned().unwrap_or(Value::Null),
             op,
             model: get_str("model")?,
             netlist: get_str("netlist")?,
             deadline_ms,
+            debug,
         })
     }
 }
@@ -228,9 +242,10 @@ mod tests {
         let r = Request::parse(r#"{"op": "health"}"#).unwrap();
         assert_eq!(r.op, Op::Health);
         assert!(r.id.is_null() && r.model.is_none() && r.deadline_ms.is_none());
+        assert!(!r.debug);
 
         let r = Request::parse(
-            r#"{"op": "predict", "id": 3, "model": "m", "netlist": ".end", "deadline_ms": 250}"#,
+            r#"{"op": "predict", "id": 3, "model": "m", "netlist": ".end", "deadline_ms": 250, "debug": true}"#,
         )
         .unwrap();
         assert_eq!(r.op, Op::Predict);
@@ -238,6 +253,7 @@ mod tests {
         assert_eq!(r.model.as_deref(), Some("m"));
         assert_eq!(r.netlist.as_deref(), Some(".end"));
         assert_eq!(r.deadline_ms, Some(250));
+        assert!(r.debug);
     }
 
     #[test]
@@ -250,6 +266,7 @@ mod tests {
             r#"{"op": "predict", "netlist": 5}"#,
             r#"{"op": "predict", "deadline_ms": "soon"}"#,
             r#"{"op": "predict", "surprise": true}"#,
+            r#"{"op": "predict", "debug": "yes"}"#,
         ] {
             let err = Request::parse(line).unwrap_err();
             assert_eq!(err.code, ErrorCode::BadRequest, "{line}");

@@ -6,20 +6,35 @@
 //! operations (`predict`, `stats`, `erc`) are executed on the worker
 //! pool; control-plane operations (`health`, `metrics`, `reload`) are
 //! answered inline so they stay responsive when the queue is full.
+//!
+//! Every request gets a service-unique ID (`req-<n>`), runs under a
+//! `serve_request` span, and can leave one structured event-log record
+//! ([`paragraph_obs::Event`]) carrying the per-stage latency breakdown
+//! (parse → cache lookup → queue wait → graph build → inference).
+//! Clients sending `"debug": true` get the same breakdown attached to
+//! the response under `debug`; the `result` payload itself is never
+//! perturbed by instrumentation.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use paragraph_netlist::{erc_check, parse_spice, write_flat_spice, Circuit};
+use paragraph_obs::Counter;
 use serde_json::{json, Value};
 
 use crate::cache::{fnv1a, PredictionCache};
+use crate::drift::{baseline_from_snapshot, DriftConfig, DriftMonitor};
 use crate::metrics::Metrics;
 use crate::protocol::{error_response, ok_response, ErrorCode, Op, Request, ServeError};
 use crate::registry::{ModelRef, ModelRegistry};
+
+/// Key the workers use to smuggle per-stage timings back to [`Service::call`]
+/// on the response envelope; popped before the envelope reaches the client.
+const OBS_KEY: &str = "_obs";
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -39,6 +54,14 @@ pub struct ServiceConfig {
     /// jobs in the drained batch that resolve to the same model run as
     /// one forward pass over their circuits' block-diagonal graph union.
     pub max_batch: usize,
+    /// Event-log sampling: log every `n`th successful request (min 1 =
+    /// every request). Errors and slow requests are always logged.
+    pub event_sample: u64,
+    /// Requests at/above this latency count as slow: always event-logged
+    /// and counted in `paragraph_serve_slow_requests_total`.
+    pub slow_threshold: Duration,
+    /// Drift-monitor tunables.
+    pub drift: DriftConfig,
 }
 
 impl Default for ServiceConfig {
@@ -50,13 +73,18 @@ impl Default for ServiceConfig {
             default_deadline: Duration::from_secs(30),
             enable_debug_ops: false,
             max_batch: 8,
+            event_sample: 1,
+            slow_threshold: Duration::from_millis(500),
+            drift: DriftConfig::default(),
         }
     }
 }
 
 struct Job {
     request: Request,
+    request_id: String,
     deadline: Instant,
+    enqueued: Instant,
     reply: SyncSender<Value>,
 }
 
@@ -65,9 +93,14 @@ pub struct Service {
     registry: Arc<ModelRegistry>,
     metrics: Arc<Metrics>,
     cache: Arc<PredictionCache>,
+    drift: Arc<DriftMonitor>,
     config: ServiceConfig,
     jobs: Option<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    next_request_id: AtomicU64,
+    /// Successful requests seen, for event-log sampling.
+    ok_requests: AtomicU64,
+    slow_requests: Arc<Counter>,
 }
 
 impl std::fmt::Debug for Service {
@@ -87,18 +120,29 @@ impl Service {
         let rx = Arc::new(Mutex::new(rx));
         let metrics = Arc::new(Metrics::new());
         let cache = Arc::new(PredictionCache::new(config.cache_capacity));
+        let drift = Arc::new(DriftMonitor::new(metrics.registry(), config.drift.clone()));
+        drift.set_baseline(
+            metrics.registry(),
+            baseline_from_snapshot(&registry.current()),
+        );
+        let slow_requests = metrics
+            .registry()
+            .counter("paragraph_serve_slow_requests_total", &[]);
         let handles = (0..workers)
             .map(|i| {
                 let rx = rx.clone();
                 let registry = registry.clone();
                 let cache = cache.clone();
                 let metrics = metrics.clone();
+                let drift = drift.clone();
                 let debug_ops = config.enable_debug_ops;
                 let max_batch = config.max_batch.max(1);
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
                     .spawn(move || {
-                        worker_loop(&rx, &registry, &cache, &metrics, debug_ops, max_batch)
+                        worker_loop(
+                            &rx, &registry, &cache, &metrics, &drift, debug_ops, max_batch,
+                        )
                     })
                     .expect("spawn worker")
             })
@@ -107,10 +151,19 @@ impl Service {
             registry,
             metrics,
             cache,
+            drift,
             config,
             jobs: Some(tx),
             workers: handles,
+            next_request_id: AtomicU64::new(0),
+            ok_requests: AtomicU64::new(0),
+            slow_requests,
         }
+    }
+
+    /// The drift monitor (for health checks and tests).
+    pub fn drift(&self) -> &Arc<DriftMonitor> {
+        &self.drift
     }
 
     /// The registry backing this service.
@@ -131,8 +184,11 @@ impl Service {
     /// Handles one raw protocol line, returning the response rendered as
     /// one compact JSON line (without trailing newline).
     pub fn handle_line(&self, line: &str) -> String {
-        let response = match Request::parse(line) {
-            Ok(request) => self.call(request),
+        let parse_started = Instant::now();
+        let parsed = Request::parse(line);
+        let parse_us = parse_started.elapsed().as_secs_f64() * 1e6;
+        let response = match parsed {
+            Ok(request) => self.call_inner(request, parse_us),
             Err(err) => {
                 // Salvage the id for the error envelope when the line was
                 // at least a JSON object.
@@ -149,10 +205,20 @@ impl Service {
 
     /// Executes one parsed request and returns the response envelope.
     pub fn call(&self, request: Request) -> Value {
+        self.call_inner(request, 0.0)
+    }
+
+    fn call_inner(&self, request: Request, parse_us: f64) -> Value {
         let started = Instant::now();
         let op = request.op;
         let id = request.id.clone();
-        let response = match op {
+        let debug = request.debug;
+        let request_id = format!(
+            "req-{}",
+            self.next_request_id.fetch_add(1, Ordering::Relaxed) + 1
+        );
+        let _span = paragraph_obs::span!("serve_request", request_id = request_id, op = op.name());
+        let mut response = match op {
             // Control plane: answered inline, never queued.
             Op::Health => ok_response(&id, self.health(), None),
             Op::Metrics => ok_response(
@@ -165,8 +231,13 @@ impl Service {
             ),
             Op::Reload => match self.registry.reload() {
                 Ok(report) => {
-                    // New weights invalidate previously cached predictions.
+                    // New weights invalidate previously cached predictions
+                    // and may carry fresh baseline statistics.
                     self.cache.clear();
+                    self.drift.set_baseline(
+                        self.metrics.registry(),
+                        baseline_from_snapshot(&self.registry.current()),
+                    );
                     ok_response(
                         &id,
                         json!({"models": report.models, "ensemble": report.ensemble}),
@@ -179,14 +250,125 @@ impl Service {
                 ),
             },
             // Data plane: through the bounded queue.
-            Op::Predict | Op::Stats | Op::Erc | Op::DebugPanic => self.enqueue(request, started),
+            Op::Predict | Op::Stats | Op::Erc | Op::DebugPanic => {
+                self.enqueue(request, &request_id, started)
+            }
         };
+        let latency = started.elapsed();
         let ok = response["ok"].as_bool() == Some(true);
-        self.metrics.record(op, started.elapsed(), ok);
+        self.metrics.record(op, latency, ok);
+        self.finish_request(&request_id, op, debug, parse_us, latency, ok, &mut response);
         response
     }
 
-    fn enqueue(&self, request: Request, accepted: Instant) -> Value {
+    /// Post-processing common to every request: pops the workers'
+    /// stage-timing payload off the envelope, maintains the slow-request
+    /// log, emits the (sampled) event record, and attaches the `debug`
+    /// breakdown when the client asked for it. Never touches `result`.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_request(
+        &self,
+        request_id: &str,
+        op: Op,
+        debug: bool,
+        parse_us: f64,
+        latency: Duration,
+        ok: bool,
+        response: &mut Value,
+    ) {
+        let worker_obs = match response {
+            Value::Object(m) => m.remove(OBS_KEY),
+            _ => None,
+        };
+        let latency_us = latency.as_secs_f64() * 1e6;
+        let mut stages = serde_json::Map::new();
+        stages.insert("parse_us", json!(parse_us));
+        let mut model = None;
+        let mut cache_hit = None;
+        let mut member_max_v = None;
+        let mut batched = None;
+        if let Some(Value::Object(mut o)) = worker_obs {
+            if let Some(Value::Object(s)) = o.remove("stages") {
+                for (k, v) in s.iter() {
+                    stages.insert(k.clone(), v.clone());
+                }
+            }
+            model = o.remove("model").and_then(|v| v.as_str().map(String::from));
+            cache_hit = o.remove("cache_hit").and_then(|v| v.as_bool());
+            member_max_v = o.remove("member_max_v").and_then(|v| v.as_f64());
+            batched = o.remove("batched").and_then(|v| v.as_u64());
+        }
+        stages.insert("total_us", json!(latency_us));
+        let slow = latency >= self.config.slow_threshold;
+        if slow {
+            self.slow_requests.inc();
+        }
+        let sampled = if ok {
+            let n = self.ok_requests.fetch_add(1, Ordering::Relaxed);
+            n.is_multiple_of(self.config.event_sample.max(1))
+        } else {
+            true // errors are always logged
+        };
+        if paragraph_obs::events_enabled() && (sampled || slow) {
+            let stages_json = serde_json::to_string(&Value::Object(stages.clone()))
+                .expect("stage timings serialise");
+            let mut event = paragraph_obs::Event::new("request")
+                .str_field("request_id", request_id)
+                .str_field("op", op.name())
+                .str_field("span", "serve_request")
+                .bool_field("ok", ok)
+                .bool_field("slow", slow)
+                .f64_field("latency_us", latency_us)
+                .raw_field("stages", &stages_json);
+            if let Some(m) = &model {
+                event = event.str_field("model", m);
+            }
+            if let Some(c) = cache_hit {
+                event = event.bool_field("cache_hit", c);
+            }
+            if let Some(v) = member_max_v {
+                event = event.f64_field("member_max_v", v);
+            }
+            if let Some(b) = batched {
+                event = event.u64_field("batched", b);
+            }
+            event.emit();
+            if slow {
+                paragraph_obs::Event::new("slow_request")
+                    .str_field("request_id", request_id)
+                    .str_field("op", op.name())
+                    .str_field("span", "serve_request")
+                    .f64_field("latency_us", latency_us)
+                    .f64_field(
+                        "threshold_us",
+                        self.config.slow_threshold.as_secs_f64() * 1e6,
+                    )
+                    .emit();
+            }
+        }
+        if debug {
+            let mut dbg = serde_json::Map::new();
+            dbg.insert("request_id", json!(request_id));
+            dbg.insert("span", json!("serve_request"));
+            dbg.insert("slow", json!(slow));
+            if let Some(m) = model {
+                dbg.insert("model", json!(m));
+            }
+            if let Some(c) = cache_hit {
+                dbg.insert("cache_hit", json!(c));
+            }
+            if let Some(v) = member_max_v {
+                dbg.insert("member_max_v", json!(v));
+            }
+            if let Some(b) = batched {
+                dbg.insert("batched", json!(b));
+            }
+            dbg.insert("stages", Value::Object(stages));
+            response["debug"] = Value::Object(dbg);
+        }
+    }
+
+    fn enqueue(&self, request: Request, request_id: &str, accepted: Instant) -> Value {
         let id = request.id.clone();
         let deadline = accepted
             + request
@@ -196,7 +378,9 @@ impl Service {
         let (reply_tx, reply_rx) = mpsc::sync_channel::<Value>(1);
         let job = Job {
             request,
+            request_id: request_id.to_owned(),
             deadline,
+            enqueued: accepted,
             reply: reply_tx,
         };
         let sender = self.jobs.as_ref().expect("pool alive while service exists");
@@ -232,10 +416,56 @@ impl Service {
 
     fn health(&self) -> Value {
         let snapshot = self.registry.current();
+        let (degraded, reasons) = self.drift.status();
+        let opt = |v: Option<f64>| v.map_or(Value::Null, |v| json!(v));
+        let model_registry: Vec<Value> = snapshot
+            .models
+            .iter()
+            .map(|(name, m)| {
+                json!({
+                    "name": name,
+                    "target": m.target.name(),
+                    "param_count": m.param_count(),
+                    "max_value": opt(m.max_value),
+                    "baseline_stats": m.baseline.is_some(),
+                })
+            })
+            .collect();
+        let ensemble_ranges: Vec<Value> = snapshot
+            .ensemble
+            .as_ref()
+            .map(|e| {
+                e.members()
+                    .iter()
+                    .zip(&snapshot.ensemble_members)
+                    .map(|(m, key)| {
+                        json!({
+                            "name": key,
+                            "max_value": opt(m.max_value),
+                            "label_min": opt(m.baseline.as_ref().and_then(|b| b.label_min)),
+                            "label_max": opt(m.baseline.as_ref().and_then(|b| b.label_max)),
+                            "baseline_stats": m.baseline.is_some(),
+                        })
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         json!({
-            "status": "ok",
+            "status": if degraded { "degraded" } else { "ok" },
+            "degraded_reasons": reasons,
             "models": snapshot.keys(),
+            "model_registry": model_registry,
             "ensemble_members": snapshot.ensemble_members.clone(),
+            "ensemble_ranges": ensemble_ranges,
+            "drift": {
+                "active": self.drift.is_active(),
+                "ood_requests_total": self.drift.ood_requests_total(),
+                "ood_fraction": self.drift.ood_fraction(),
+            },
+            "events": {
+                "enabled": paragraph_obs::events_enabled(),
+                "dropped": paragraph_obs::dropped_events(),
+            },
             "workers": self.workers.len(),
             "queue_capacity": self.config.queue_capacity,
             "cache_capacity": self.config.cache_capacity,
@@ -254,11 +484,21 @@ impl Drop for Service {
     }
 }
 
+/// Attaches the worker's stage-timing payload to the response envelope
+/// under [`OBS_KEY`]; [`Service::call`] pops it before the envelope
+/// leaves the service, so the wire payload is unchanged.
+fn attach_obs(response: &mut Value, obs: Value) {
+    if let Value::Object(m) = response {
+        m.insert(OBS_KEY, obs);
+    }
+}
+
 fn worker_loop(
     rx: &Arc<Mutex<Receiver<Job>>>,
     registry: &Arc<ModelRegistry>,
     cache: &Arc<PredictionCache>,
     metrics: &Arc<Metrics>,
+    drift: &Arc<DriftMonitor>,
     debug_ops: bool,
     max_batch: usize,
 ) {
@@ -283,26 +523,33 @@ fn worker_loop(
         let mut predict_jobs = Vec::new();
         for job in jobs {
             metrics.queue_left();
+            let queue_wait_us = job.enqueued.elapsed().as_secs_f64() * 1e6;
             let id = job.request.id.clone();
             if Instant::now() > job.deadline {
-                let response = error_response(
+                let mut response = error_response(
                     &id,
                     &ServeError::new(
                         ErrorCode::DeadlineExceeded,
                         "deadline passed before a worker picked the request up",
                     ),
                 );
+                attach_obs(
+                    &mut response,
+                    json!({"stages": {"queue_wait_us": queue_wait_us}}),
+                );
                 let _ = job.reply.send(response);
                 continue;
             }
             if job.request.op == Op::Predict {
-                predict_jobs.push(job);
+                predict_jobs.push((job, queue_wait_us));
                 continue;
             }
+            let exec_started = Instant::now();
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 execute(&job.request, registry, cache, debug_ops)
             }));
-            let response = match outcome {
+            let exec_us = exec_started.elapsed().as_secs_f64() * 1e6;
+            let mut response = match outcome {
                 Ok(Ok((result, cached))) => ok_response(&id, result, cached),
                 Ok(Err(err)) => error_response(&id, &err),
                 Err(panic) => error_response(
@@ -313,12 +560,16 @@ fn worker_loop(
                     ),
                 ),
             };
+            attach_obs(
+                &mut response,
+                json!({"stages": {"queue_wait_us": queue_wait_us, "exec_us": exec_us}}),
+            );
             // The caller may have given up (e.g. its connection died);
             // that must not kill the worker.
             let _ = job.reply.send(response);
         }
         if !predict_jobs.is_empty() {
-            predict_many(predict_jobs, registry, cache);
+            predict_many(predict_jobs, registry, cache, drift);
         }
     }
 }
@@ -328,6 +579,20 @@ struct PendingPredict {
     job: Job,
     circuit: Circuit,
     content_hash: u64,
+    queue_wait_us: f64,
+    lookup_us: f64,
+}
+
+/// How a model group's forward pass was timed, for stage attribution.
+enum GroupTiming {
+    /// Single job: exact graph-build / inference split (and, for the
+    /// ensemble, which member Algorithm 2 picked most often).
+    Profiled {
+        profile: paragraph::PredictProfile,
+        member_max_v: Option<f64>,
+    },
+    /// Batched forward pass over `n` circuits: only the shared total.
+    Batched { total_us: f64, n: usize },
 }
 
 /// Serves a drained batch of predict jobs: per-job parse / model
@@ -335,12 +600,18 @@ struct PendingPredict {
 /// model over the cache misses. Each job gets exactly the response the
 /// single-request path would have produced; a panic inside one model
 /// group fails only that group's jobs.
-fn predict_many(jobs: Vec<Job>, registry: &Arc<ModelRegistry>, cache: &Arc<PredictionCache>) {
+fn predict_many(
+    jobs: Vec<(Job, f64)>,
+    registry: &Arc<ModelRegistry>,
+    cache: &Arc<PredictionCache>,
+    drift: &Arc<DriftMonitor>,
+) {
     let snapshot = registry.current();
     let mut groups: std::collections::BTreeMap<String, (ModelRef, Vec<PendingPredict>)> =
         std::collections::BTreeMap::new();
-    for job in jobs {
+    for (job, queue_wait_us) in jobs {
         let id = job.request.id.clone();
+        let lookup_started = Instant::now();
         let circuit = match required_netlist(&job.request) {
             Ok(c) => c,
             Err(err) => {
@@ -348,6 +619,9 @@ fn predict_many(jobs: Vec<Job>, registry: &Arc<ModelRegistry>, cache: &Arc<Predi
                 continue;
             }
         };
+        // Every parsed circuit feeds the drift windows, cache hit or
+        // not: the monitor watches traffic, not model invocations.
+        drift.observe(&paragraph::raw_feature_rows(&circuit));
         let (key, model) = match snapshot.resolve(job.request.model.as_deref()) {
             Ok(resolved) => resolved,
             Err(m) => {
@@ -358,9 +632,20 @@ fn predict_many(jobs: Vec<Job>, registry: &Arc<ModelRegistry>, cache: &Arc<Predi
         };
         let content_hash = fnv1a(&write_flat_spice(&circuit));
         if let Some(hit) = cache.get(&key, content_hash) {
-            let _ = job.reply.send(ok_response(&id, (*hit).clone(), Some(true)));
+            let lookup_us = lookup_started.elapsed().as_secs_f64() * 1e6;
+            let mut response = ok_response(&id, (*hit).clone(), Some(true));
+            attach_obs(
+                &mut response,
+                json!({
+                    "stages": {"queue_wait_us": queue_wait_us, "cache_lookup_us": lookup_us},
+                    "model": key,
+                    "cache_hit": true,
+                }),
+            );
+            let _ = job.reply.send(response);
             continue;
         }
+        let lookup_us = lookup_started.elapsed().as_secs_f64() * 1e6;
         groups
             .entry(key)
             .or_insert_with(|| (model, Vec::new()))
@@ -369,6 +654,8 @@ fn predict_many(jobs: Vec<Job>, registry: &Arc<ModelRegistry>, cache: &Arc<Predi
                 job,
                 circuit,
                 content_hash,
+                queue_wait_us,
+                lookup_us,
             });
     }
     for (key, (model, pending)) in groups {
@@ -378,17 +665,82 @@ fn predict_many(jobs: Vec<Job>, registry: &Arc<ModelRegistry>, cache: &Arc<Predi
                 .add(pending.len() as u64);
         }
         let circuits: Vec<&Circuit> = pending.iter().map(|p| &p.circuit).collect();
-        let outcome = catch_unwind(AssertUnwindSafe(|| match &model {
-            ModelRef::Single(m) => m.predict_circuits(&circuits),
-            ModelRef::Ensemble(e) => e.predict_circuits(&circuits),
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if circuits.len() == 1 {
+                // Lone job: the profiled path runs the identical
+                // build_graph + predict_graph chain (bit-identical
+                // output) while splitting the stage timings out.
+                match &model {
+                    ModelRef::Single(m) => {
+                        let (preds, profile) = m.predict_circuit_profiled(circuits[0]);
+                        let timing = GroupTiming::Profiled {
+                            profile,
+                            member_max_v: None,
+                        };
+                        (vec![preds], timing)
+                    }
+                    ModelRef::Ensemble(e) => {
+                        let (preds, profile, selected) = e.predict_circuit_profiled(circuits[0]);
+                        let member_max_v = selected
+                            .iter()
+                            .enumerate()
+                            .max_by_key(|(_, &n)| n)
+                            .filter(|(_, &n)| n > 0)
+                            .and_then(|(i, _)| e.members()[i].max_value);
+                        let timing = GroupTiming::Profiled {
+                            profile,
+                            member_max_v,
+                        };
+                        (vec![preds], timing)
+                    }
+                }
+            } else {
+                let batch_started = Instant::now();
+                let per_circuit = match &model {
+                    ModelRef::Single(m) => m.predict_circuits(&circuits),
+                    ModelRef::Ensemble(e) => e.predict_circuits(&circuits),
+                };
+                let timing = GroupTiming::Batched {
+                    total_us: batch_started.elapsed().as_secs_f64() * 1e6,
+                    n: circuits.len(),
+                };
+                (per_circuit, timing)
+            }
         }));
         match outcome {
-            Ok(per_circuit) => {
+            Ok((per_circuit, timing)) => {
                 for (p, preds) in pending.into_iter().zip(per_circuit) {
+                    let _span = paragraph_obs::span!("predict_job", request_id = p.job.request_id);
                     let id = p.job.request.id.clone();
                     let result = render_prediction(&key, &model, &p.circuit, &preds);
                     cache.put(&key, p.content_hash, Arc::new(result.clone()));
-                    let _ = p.job.reply.send(ok_response(&id, result, Some(false)));
+                    let mut stages = json!({
+                        "queue_wait_us": p.queue_wait_us,
+                        "cache_lookup_us": p.lookup_us,
+                    });
+                    let mut obs = serde_json::Map::new();
+                    match &timing {
+                        GroupTiming::Profiled {
+                            profile,
+                            member_max_v,
+                        } => {
+                            stages["graph_build_us"] = json!(profile.graph_build_us);
+                            stages["inference_us"] = json!(profile.inference_us);
+                            if let Some(v) = member_max_v {
+                                obs.insert("member_max_v", json!(*v));
+                            }
+                        }
+                        GroupTiming::Batched { total_us, n } => {
+                            stages["inference_us"] = json!(*total_us);
+                            obs.insert("batched", json!(*n as u64));
+                        }
+                    }
+                    obs.insert("stages", stages);
+                    obs.insert("model", json!(key.clone()));
+                    obs.insert("cache_hit", json!(false));
+                    let mut response = ok_response(&id, result, Some(false));
+                    attach_obs(&mut response, Value::Object(obs));
+                    let _ = p.job.reply.send(response);
                 }
             }
             Err(panic) => {

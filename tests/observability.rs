@@ -2,9 +2,12 @@
 //! training stack:
 //!
 //! 1. a pinned-seed training run with tracing enabled writes a valid
-//!    Chrome-trace `trace.json` (schema-checked field by field), and
+//!    Chrome-trace `trace.json` (schema-checked field by field),
 //! 2. instrumentation never changes the math — model parameters from an
-//!    enabled run are bitwise identical to an uninstrumented run.
+//!    enabled run are bitwise identical to an uninstrumented run, and
+//! 3. a run with tracing *and* the event log enabled is still bitwise
+//!    identical (parameters and predictions), and flushes a
+//!    schema-valid `events.jsonl` sample.
 
 use std::sync::Mutex;
 
@@ -37,9 +40,8 @@ fn dataset() -> Vec<PreparedCircuit> {
     prepared
 }
 
-/// Trains the pinned-seed quick model and returns its parameters as
-/// exact bit patterns.
-fn train_param_bits(prepared: &[PreparedCircuit]) -> Vec<(String, usize, usize, Vec<u32>)> {
+/// Trains the pinned-seed quick model.
+fn train_model(prepared: &[PreparedCircuit]) -> TargetModel {
     let norm = fit_norm(prepared);
     let mut fit = FitConfig::quick(GnnKind::ParaGraph);
     fit.epochs = 8;
@@ -47,11 +49,35 @@ fn train_param_bits(prepared: &[PreparedCircuit]) -> Vec<(String, usize, usize, 
     let (model, loss) = TargetModel::train(prepared, Target::Cap, None, fit, &norm);
     assert!(loss.is_finite());
     model
+}
+
+fn param_bits(model: &TargetModel) -> Vec<(String, usize, usize, Vec<u32>)> {
+    model
         .gnn()
         .params()
         .export()
         .into_iter()
         .map(|(name, r, c, data)| (name, r, c, data.iter().map(|v| v.to_bits()).collect()))
+        .collect()
+}
+
+/// Trains the pinned-seed quick model and returns its parameters as
+/// exact bit patterns.
+fn train_param_bits(prepared: &[PreparedCircuit]) -> Vec<(String, usize, usize, Vec<u32>)> {
+    param_bits(&train_model(prepared))
+}
+
+/// Per-circuit predictions as exact bit patterns.
+fn predict_bits(model: &TargetModel, prepared: &[PreparedCircuit]) -> Vec<Vec<Option<u64>>> {
+    prepared
+        .iter()
+        .map(|pc| {
+            model
+                .predict_circuit(&pc.circuit)
+                .into_iter()
+                .map(|p| p.map(f64::to_bits))
+                .collect()
+        })
         .collect()
 }
 
@@ -118,5 +144,66 @@ fn tracing_does_not_change_trained_parameters() {
         assert_eq!(n_a, n_b);
         assert_eq!((r_a, c_a), (r_b, c_b), "{n_a}: shape changed");
         assert_eq!(bits_a, bits_b, "{n_a}: parameters not bitwise identical");
+    }
+}
+
+/// Tracing *and* the event log on at once: trained parameters and every
+/// prediction stay bitwise identical to the quiet run, and the buffered
+/// event records flush to a schema-valid JSONL sample (the file CI
+/// uploads as an artifact).
+#[test]
+fn traced_and_evented_run_is_bitwise_identical_and_flushes_jsonl() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prepared = dataset();
+
+    paragraph_obs::set_enabled(false);
+    paragraph_obs::set_events_enabled(false);
+    let quiet_model = train_model(&prepared);
+    let quiet_params = param_bits(&quiet_model);
+    let quiet_preds = predict_bits(&quiet_model, &prepared);
+
+    paragraph_obs::take_events();
+    let _ = paragraph_obs::take_event_lines();
+    paragraph_obs::set_enabled(true);
+    paragraph_obs::set_events_enabled(true);
+    // `recording` is false when the `trace` feature is compiled out;
+    // the bitwise assertions below still run in that configuration.
+    let probe = paragraph_obs::Event::new("train_run");
+    let recording = probe.is_recording();
+    probe.str_field("suite", "observability").emit();
+    let loud_model = train_model(&prepared);
+    let loud_preds = predict_bits(&loud_model, &prepared);
+    paragraph_obs::Event::new("train_run_done")
+        .u64_field("params", quiet_params.len() as u64)
+        .bool_field("ok", true)
+        .emit();
+    paragraph_obs::set_events_enabled(false);
+    paragraph_obs::set_enabled(false);
+    paragraph_obs::take_events();
+
+    assert_eq!(quiet_params, param_bits(&loud_model));
+    assert_eq!(
+        quiet_preds, loud_preds,
+        "event log must not perturb predictions"
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/target/events.jsonl");
+    let _ = std::fs::remove_file(path);
+    let written = paragraph_obs::write_events(path).expect("events flushed");
+    if recording {
+        assert!(written >= 2, "expected the two probe events, got {written}");
+        let body = std::fs::read_to_string(path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), written, "one JSONL line per record");
+        for line in &lines {
+            let v: Value = serde_json::from_str(line).expect("event line parses");
+            let obj = v.as_object().expect("event is a JSON object");
+            assert!(obj.get("ts_us").and_then(Value::as_f64).is_some(), "{line}");
+            assert!(obj.get("kind").and_then(Value::as_str).is_some(), "{line}");
+        }
+        assert!(
+            lines.iter().any(|l| l.contains("\"kind\":\"train_run\"")),
+            "probe event missing from sample"
+        );
     }
 }
