@@ -1,0 +1,227 @@
+//! Criterion bench: compiled tape-free executor vs the autograd tape on
+//! single-request inference.
+//!
+//! The workload is circuit-realistic: the real serving schema
+//! ([`paragraph::circuit_schema`]) with degree-8 connectivity per edge
+//! type, the shape `build_graph` produces for analog blocks. Both paths
+//! run the identical fused kernels (`crates/exec/tests/parity.rs` pins
+//! bitwise equality); this bench tracks what skipping tape-node
+//! recording and reusing the preallocated arena buys, and counts heap
+//! allocations per request on each path via a counting global
+//! allocator. Results land in `target/executor_bench.json`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paragraph::circuit_schema;
+use paragraph_exec::CompiledModel;
+use paragraph_gnn::{GnnKind, GnnModel, HeteroGraph, ModelConfig};
+use paragraph_tensor::Tensor;
+use serde_json::json;
+
+/// In-edges per node per edge type, matching the fan-in `build_graph`
+/// yields on transistor-dominated circuits.
+const DEGREE: usize = 8;
+
+/// Counts allocation calls so the two inference paths can report heap
+/// traffic per request.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn quick_mode() -> bool {
+    // `cargo test` invokes harness-less bench targets with `--test`.
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Deterministic pseudo-random stream (no RNG dependency needed).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_f32(&mut self) -> f32 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.0 >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+    }
+
+    fn next_in(&mut self, n: usize) -> u32 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.0 >> 33) % n as u64) as u32
+    }
+}
+
+/// A degree-8 graph over the real circuit schema: alternating
+/// device/net nodes, every edge type populated.
+fn workload(n: usize) -> (HeteroGraph, Vec<u32>) {
+    let schema = circuit_schema();
+    let num_types = schema.node_feat_dims.len();
+    let mut rng = Lcg(2020);
+    let types: Vec<u16> = (0..n).map(|i| (i % num_types) as u16).collect();
+    let mut g = HeteroGraph::new(&schema, types.clone());
+    for (t, &dim) in schema.node_feat_dims.iter().enumerate() {
+        let count = types.iter().filter(|&&x| x == t as u16).count();
+        g.set_features(t as u16, Tensor::from_fn(count, dim, |_, _| rng.next_f32()));
+    }
+    for et in 0..schema.num_edge_types {
+        let mut src = Vec::with_capacity(n * DEGREE / schema.num_edge_types);
+        let mut dst = Vec::with_capacity(n * DEGREE / schema.num_edge_types);
+        for d in 0..n {
+            for _ in 0..DEGREE / schema.num_edge_types {
+                src.push(rng.next_in(n));
+                dst.push(d as u32);
+            }
+        }
+        g.set_edges(et, src, dst);
+    }
+    g.validate().expect("synthetic graph is well-formed");
+    // Query half the nodes, as a CAP request over the signal nets would.
+    let nodes: Vec<u32> = (0..n / 2).map(|_| rng.next_in(n)).collect();
+    (g, nodes)
+}
+
+fn model() -> GnnModel {
+    let mut cfg = ModelConfig::new(GnnKind::ParaGraph);
+    cfg.embed_dim = 16;
+    cfg.layers = 3;
+    cfg.fc_layers = 3;
+    GnnModel::new(cfg, &circuit_schema())
+}
+
+/// Mean latency (µs/request) and heap allocations per request over
+/// `reps` runs of `f`, measured after the closure has already warmed up.
+fn measure(reps: usize, mut f: impl FnMut()) -> (f64, f64) {
+    f();
+    f();
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    (elapsed * 1e6 / reps as f64, allocs as f64 / reps as f64)
+}
+
+/// Criterion-visible timings.
+fn bench_executor(c: &mut Criterion) {
+    let n = if quick_mode() { 64 } else { 128 };
+    let (graph, nodes) = workload(n);
+    let gnn = model();
+    let compiled = CompiledModel::compile(&gnn).expect("ParaGraph compiles");
+    let _ = graph.plan();
+    let nodes_arc = Arc::new(nodes.clone());
+
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(10);
+    group.bench_function("tape", |b| {
+        b.iter(|| std::hint::black_box(gnn.predict(&graph, &nodes_arc)));
+    });
+    let mut out = Vec::new();
+    group.bench_function("compiled", |b| {
+        b.iter(|| {
+            compiled.predict_into(&graph, &nodes, &mut out);
+            std::hint::black_box(&out);
+        });
+    });
+    group.finish();
+}
+
+/// Steady-state measurement + JSON summary.
+fn write_summary(_c: &mut Criterion) {
+    let quick = quick_mode();
+    // A ~128-node graph is the size build_graph yields for the paper's
+    // analog blocks (tens of devices plus their nets); override with
+    // BENCH_N to sweep other sizes.
+    let n = std::env::var("BENCH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 64 } else { 128 });
+    let reps = if quick { 10 } else { 200 };
+    let (graph, nodes) = workload(n);
+    let gnn = model();
+    let compiled = CompiledModel::compile(&gnn).expect("ParaGraph compiles");
+    // Pre-build the cached GraphPlan, as serve does: plan compilation is
+    // shared by both paths and not part of the per-request cost.
+    let _ = graph.plan();
+
+    let nodes_arc = Arc::new(nodes.clone());
+    let (tape_us, tape_allocs) = measure(reps, || {
+        std::hint::black_box(gnn.predict(&graph, &nodes_arc));
+    });
+    let mut out = Vec::new();
+    let (exec_us, exec_allocs) = measure(reps, || {
+        compiled.predict_into(&graph, &nodes, &mut out);
+        std::hint::black_box(&out);
+    });
+
+    let speedup = tape_us / exec_us;
+    println!(
+        "executor summary: tape {tape_us:.1} us/req ({tape_allocs:.0} allocs), \
+         compiled {exec_us:.1} us/req ({exec_allocs:.0} allocs), speedup {speedup:.2}x"
+    );
+
+    let hardware_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let summary = json!({
+        "bench": "executor",
+        "quick_mode": quick,
+        "hardware_threads": hardware_threads,
+        "nodes": n,
+        "degree": DEGREE,
+        "query_nodes": nodes.len(),
+        "tape": {
+            "latency_us": tape_us,
+            "allocs_per_request": tape_allocs,
+        },
+        "compiled": {
+            "latency_us": exec_us,
+            "allocs_per_request": exec_allocs,
+        },
+        "speedup": speedup,
+    });
+
+    let target_dir = std::env::var("CARGO_TARGET_DIR")
+        .unwrap_or_else(|_| format!("{}/../../target", env!("CARGO_MANIFEST_DIR")));
+    let path = format!("{target_dir}/executor_bench.json");
+    match serde_json::to_string_pretty(&summary) {
+        Ok(body) => {
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("executor bench: could not write {path}: {e}");
+            } else {
+                println!("executor summary written to {path}");
+            }
+        }
+        Err(e) => eprintln!("executor bench: could not serialise summary: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_executor, write_summary);
+criterion_main!(benches);

@@ -86,6 +86,10 @@ fn usage() -> ! {
          \x20                              (env PARAGRAPH_EVENT_SAMPLE)\n\
          \x20        --slow-ms <t>         slow-request threshold in ms\n\
          \x20                              (env PARAGRAPH_SLOW_MS)\n\
+         \x20        --executor <on|off|auto>  inference path: compiled\n\
+         \x20                              executor, autograd tape, or auto\n\
+         \x20                              (executor when the model compiles;\n\
+         \x20                              env PARAGRAPH_EXECUTOR)\n\
          \n\
          PARAGRAPH_TRACE=1 records spans to target/trace.json;\n\
          PARAGRAPH_EVENTS=1 records the structured event log"
@@ -299,6 +303,23 @@ fn u64_flag_env(flags: &Flags, key: &str, env: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// `--executor` flag, falling back to `PARAGRAPH_EXECUTOR`, then Auto.
+/// Same precedence contract as [`u64_flag_env`]: a malformed flag aborts
+/// with usage, a malformed env var silently defaults.
+fn executor_flag_env(flags: &Flags) -> paragraph::ExecutorMode {
+    use paragraph::ExecutorMode;
+    if let Some(v) = flags.get("executor") {
+        return ExecutorMode::parse(v).unwrap_or_else(|| {
+            eprintln!("--executor expects on|off|auto, got '{v}'");
+            usage()
+        });
+    }
+    std::env::var("PARAGRAPH_EXECUTOR")
+        .ok()
+        .and_then(|v| ExecutorMode::parse(&v))
+        .unwrap_or(ExecutorMode::Auto)
+}
+
 fn serve(flags: &Flags) {
     use paragraph_serve::{ModelRegistry, Server, Service, ServiceConfig};
     use std::sync::Arc;
@@ -306,7 +327,12 @@ fn serve(flags: &Flags) {
 
     let models_dir = flags.required("models");
     let addr = flags.get("addr").unwrap_or("127.0.0.1:9107");
-    let registry = match ModelRegistry::open(models_dir) {
+    let executor = executor_flag_env(flags);
+    // The process-wide default governs any model created outside the
+    // registry (Auto-mode models defer to it); the registry stamps the
+    // mode onto every loaded model so reloads keep the choice.
+    paragraph::set_executor_default(executor);
+    let registry = match ModelRegistry::open_with_executor(models_dir, executor) {
         Ok(r) => Arc::new(r),
         Err(e) => {
             eprintln!("cannot load models from {models_dir}: {e}");
@@ -329,9 +355,10 @@ fn serve(flags: &Flags) {
     };
     let snapshot = registry.current();
     eprintln!(
-        "loaded {} model(s): [{}]",
+        "loaded {} model(s): [{}]  (executor {})",
         snapshot.models.len(),
-        snapshot.keys().join(", ")
+        snapshot.keys().join(", "),
+        executor.name()
     );
     if paragraph_obs::events_enabled() {
         eprintln!(

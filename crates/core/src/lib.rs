@@ -73,9 +73,9 @@ pub use graphbuild::{
 };
 pub use persist::{LoadModelError, SavedModel};
 pub use pipeline::{
-    evaluate_model, fit_norm, normalize_circuits, prepare_circuits, train_models, BaselineKind,
-    BaselineModel, EvalPairs, EvalSummary, FitConfig, GnnKind, PredictProfile, PreparedCircuit,
-    TargetModel, TrainSpec,
+    evaluate_model, executor_default, fit_norm, normalize_circuits, prepare_circuits,
+    set_executor_default, train_models, BaselineKind, BaselineModel, EvalPairs, EvalSummary,
+    ExecutorMode, FitConfig, GnnKind, PredictProfile, PreparedCircuit, TargetModel, TrainSpec,
 };
 pub use targets::{label_node_types, target_labels, Target, TargetLabels};
 

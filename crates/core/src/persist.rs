@@ -7,7 +7,7 @@ use paragraph_gnn::{GnnKind, GnnModel, ModelConfig};
 use crate::baseline::BaselineStats;
 use crate::features::FeatureNorm;
 use crate::graphbuild::circuit_schema;
-use crate::pipeline::{FitConfig, TargetModel};
+use crate::pipeline::{CompiledCell, ExecutorMode, FitConfig, TargetModel};
 use crate::targets::Target;
 
 /// Error from loading a saved model.
@@ -113,6 +113,8 @@ impl SavedModel {
             norm: self.norm,
             baseline: self.baseline,
             model: gnn,
+            executor: ExecutorMode::Auto,
+            compiled: CompiledCell::default(),
         })
     }
 

@@ -5,6 +5,10 @@
 //! the classical baselines (linear regression and the XGBoost stand-in)
 //! train on node features alone.
 
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use paragraph_exec::CompiledModel;
 use paragraph_gnn::{GnnModel, GraphBatch, GraphTask, ModelConfig, TrainConfig, Trainer};
 use paragraph_layout::{extract, LayoutConfig, LayoutTruth};
 use paragraph_ml::{Gbt, GbtConfig, LinearRegression};
@@ -146,6 +150,115 @@ impl FitConfig {
     }
 }
 
+/// Which inference path a [`TargetModel`] uses for its forward passes.
+///
+/// The tape-free compiled executor ([`paragraph_exec::CompiledModel`])
+/// is bitwise-identical to the autograd tape forward, so switching modes
+/// never changes predictions — only per-request allocation and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutorMode {
+    /// Always use the compiled executor; panics if the model cannot be
+    /// compiled (an explicit opt-in for deployment).
+    On,
+    /// Always use the autograd tape forward (the reference path).
+    Off,
+    /// Use the compiled executor when compilation succeeds, otherwise
+    /// fall back to the tape — further gated by the process-wide default
+    /// (see [`set_executor_default`] / `PARAGRAPH_EXECUTOR`).
+    #[default]
+    Auto,
+}
+
+impl ExecutorMode {
+    /// Parses the `--executor` flag / `PARAGRAPH_EXECUTOR` env values:
+    /// `on`/`1`/`true`, `off`/`0`/`false`, or `auto`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "on" | "1" | "true" => Some(Self::On),
+            "off" | "0" | "false" => Some(Self::Off),
+            "auto" => Some(Self::Auto),
+            _ => None,
+        }
+    }
+
+    /// Flag-style name (`on`, `off`, `auto`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::On => "on",
+            Self::Off => "off",
+            Self::Auto => "auto",
+        }
+    }
+}
+
+/// Process-wide executor default: `u8::MAX` = not yet initialised (read
+/// `PARAGRAPH_EXECUTOR` lazily), else an [`ExecutorMode`] discriminant.
+static EXECUTOR_DEFAULT: AtomicU8 = AtomicU8::new(u8::MAX);
+
+fn mode_to_u8(mode: ExecutorMode) -> u8 {
+    match mode {
+        ExecutorMode::On => 0,
+        ExecutorMode::Off => 1,
+        ExecutorMode::Auto => 2,
+    }
+}
+
+/// Sets the process-wide default inference path for models whose own
+/// `executor` field is [`ExecutorMode::Auto`]. Used by the CLI's
+/// `--executor` flag; overrides any `PARAGRAPH_EXECUTOR` env value.
+pub fn set_executor_default(mode: ExecutorMode) {
+    EXECUTOR_DEFAULT.store(mode_to_u8(mode), Ordering::Relaxed);
+}
+
+/// The process-wide default inference path: whatever
+/// [`set_executor_default`] stored, else the `PARAGRAPH_EXECUTOR`
+/// environment variable (`on`/`off`/`auto`, also `1`/`0`), else
+/// [`ExecutorMode::Auto`].
+pub fn executor_default() -> ExecutorMode {
+    match EXECUTOR_DEFAULT.load(Ordering::Relaxed) {
+        0 => ExecutorMode::On,
+        1 => ExecutorMode::Off,
+        2 => ExecutorMode::Auto,
+        _ => {
+            let mode = std::env::var("PARAGRAPH_EXECUTOR")
+                .ok()
+                .and_then(|v| ExecutorMode::parse(&v))
+                .unwrap_or(ExecutorMode::Auto);
+            EXECUTOR_DEFAULT.store(mode_to_u8(mode), Ordering::Relaxed);
+            mode
+        }
+    }
+}
+
+/// Lazily compiled executor attached to a [`TargetModel`].
+///
+/// `None` inside the lock means compilation was attempted and failed
+/// (the model falls back to the tape path). Cloning starts a fresh
+/// cell when the original is still uncompiled; a compiled executor is
+/// shared, which is sound because it snapshots the parameters.
+#[derive(Default)]
+pub(crate) struct CompiledCell(OnceLock<Option<Arc<CompiledModel>>>);
+
+impl Clone for CompiledCell {
+    fn clone(&self) -> Self {
+        let cell = OnceLock::new();
+        if let Some(v) = self.0.get() {
+            let _ = cell.set(v.clone());
+        }
+        Self(cell)
+    }
+}
+
+impl std::fmt::Debug for CompiledCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0.get() {
+            None => write!(f, "CompiledCell(uncompiled)"),
+            Some(None) => write!(f, "CompiledCell(failed)"),
+            Some(Some(_)) => write!(f, "CompiledCell(compiled)"),
+        }
+    }
+}
+
 /// A trained per-target GNN model plus everything needed to apply it to a
 /// fresh schematic.
 #[derive(Debug, Clone)]
@@ -162,7 +275,11 @@ pub struct TargetModel {
     /// training time for serve-side drift monitoring. `None` on models
     /// restored from artifacts that predate baseline capture.
     pub baseline: Option<BaselineStats>,
+    /// Inference path selection for this model (default
+    /// [`ExecutorMode::Auto`]).
+    pub executor: ExecutorMode,
     pub(crate) model: GnnModel,
+    pub(crate) compiled: CompiledCell,
 }
 
 /// Wall-clock breakdown of one profiled circuit prediction, split at
@@ -261,7 +378,9 @@ impl TargetModel {
                 fit,
                 norm: clone_norm(norm),
                 baseline: Some(BaselineStats::compute(train, target, max_value)),
+                executor: ExecutorMode::Auto,
                 model,
+                compiled: CompiledCell::default(),
             },
             final_loss,
         )
@@ -333,8 +452,10 @@ impl TargetModel {
                 max_value,
                 fit: fit.clone(),
                 norm: clone_norm(norm),
-                baseline: None, // per-epoch probe: skip the stats pass
+                baseline: None,              // per-epoch probe: skip the stats pass
+                executor: ExecutorMode::Off, // probe once, no compile cost
                 model: gnn.clone(),
+                compiled: CompiledCell::default(),
             };
             let r2 = evaluate_model(&probe, validation, max_value).summary().r2;
             if r2 > best_r2 {
@@ -356,7 +477,9 @@ impl TargetModel {
                 fit,
                 norm: clone_norm(norm),
                 baseline: Some(BaselineStats::compute(train, target, max_value)),
+                executor: ExecutorMode::Auto,
                 model: gnn,
+                compiled: CompiledCell::default(),
             },
             best_r2,
         )
@@ -456,8 +579,7 @@ impl TargetModel {
         let preds = if merged.is_empty() {
             Vec::new()
         } else {
-            self.model
-                .predict(batch.graph(), &std::sync::Arc::new(merged))
+            self.predict_scores(batch.graph(), &merged)
         };
         let mut off = 0;
         circuits
@@ -517,9 +639,8 @@ impl TargetModel {
         if nodes.is_empty() {
             return Vec::new();
         }
-        let nodes_arc = std::sync::Arc::new(nodes);
-        let preds = self.model.predict(&cg.graph, &nodes_arc);
-        nodes_arc
+        let preds = self.predict_scores(&cg.graph, &nodes);
+        nodes
             .iter()
             .zip(preds)
             .map(|(&n, p)| (n, self.target.unscale_with(self.max_value, p)))
@@ -567,6 +688,63 @@ impl TargetModel {
     /// The underlying GNN (for parameter export).
     pub fn gnn(&self) -> &GnnModel {
         &self.model
+    }
+
+    /// The lazily compiled executor, or `None` if compilation failed.
+    fn compiled(&self) -> Option<&Arc<CompiledModel>> {
+        self.compiled
+            .0
+            .get_or_init(|| CompiledModel::compile(&self.model).ok().map(Arc::new))
+            .as_ref()
+    }
+
+    /// This model's effective inference mode: its own `executor` field,
+    /// with [`ExecutorMode::Auto`] resolved against the process-wide
+    /// default ([`executor_default`]).
+    fn effective_executor(&self) -> ExecutorMode {
+        match self.executor {
+            ExecutorMode::Auto => executor_default(),
+            mode => mode,
+        }
+    }
+
+    /// Whether circuit predictions currently run on the compiled
+    /// tape-free executor (vs the autograd tape). Used by the serving
+    /// layer to label per-path metrics.
+    pub fn uses_executor(&self) -> bool {
+        match self.effective_executor() {
+            ExecutorMode::Off => false,
+            ExecutorMode::On => true,
+            ExecutorMode::Auto => self.compiled().is_some(),
+        }
+    }
+
+    /// Scaled-space forward pass, dispatched to the executor or the
+    /// tape per [`TargetModel::uses_executor`]. Both paths are bitwise
+    /// identical (pinned by the `paragraph-exec` parity suite and the
+    /// golden-metrics tests).
+    fn predict_scores(&self, graph: &paragraph_gnn::HeteroGraph, nodes: &[u32]) -> Vec<f32> {
+        match self.effective_executor() {
+            ExecutorMode::Off => self
+                .model
+                .predict(graph, &std::sync::Arc::new(nodes.to_vec())),
+            ExecutorMode::On => {
+                let compiled = self.compiled().unwrap_or_else(|| {
+                    panic!(
+                        "executor forced on, but {}/{} does not compile",
+                        self.fit.kind.name(),
+                        self.target.name()
+                    )
+                });
+                compiled.predict(graph, nodes)
+            }
+            ExecutorMode::Auto => match self.compiled() {
+                Some(compiled) => compiled.predict(graph, nodes),
+                None => self
+                    .model
+                    .predict(graph, &std::sync::Arc::new(nodes.to_vec())),
+            },
+        }
     }
 }
 

@@ -1,0 +1,606 @@
+//! Tape-free compiled inference executor with preallocated arenas.
+//!
+//! Training needs the autograd [`paragraph_tensor::Tape`]; serving does
+//! not. This crate compiles a trained [`GnnModel`] into a
+//! [`CompiledModel`]: a validated snapshot of the model's parameter
+//! tensors plus a fixed per-[`GnnKind`] op sequence
+//! (embed → fused message passing → FC readout) executed directly over
+//! raw `f32` buffers — no tape nodes, no per-op `Tensor` intermediates.
+//!
+//! All numerical work dispatches into [`paragraph_tensor::kernels`], the
+//! *same* into-buffer kernels the tape forwards call (including the AVX2
+//! dense paths), so executor predictions are **bitwise identical** to
+//! `GnnModel::predict` for every kind — the parity suite in
+//! `tests/parity.rs` pins this, and `docs/performance.md` documents the
+//! contract.
+//!
+//! Buffers live in an [`Arena`]: a set of grow-only scratch vectors sized
+//! on first use for a (model, graph-shape) pair and reused verbatim on
+//! subsequent requests — zero steady-state heap allocation (asserted by
+//! the counting-allocator test in `tests/arena_reuse.rs`). A
+//! [`CompiledModel`] owns an arena pool, so concurrent serve workers can
+//! call [`CompiledModel::predict`] on a shared handle and each request
+//! checks out its own arena.
+//!
+//! [`GraphBatch`] block-diagonal inputs need no special casing — a
+//! batch's merged graph *is* a [`HeteroGraph`] — and
+//! [`CompiledModel::predict_batch`] wraps the batching end-to-end.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::Mutex;
+
+use paragraph_gnn::{GnnKind, GnnModel, GraphBatch, HeteroGraph};
+use paragraph_tensor::{kernels, Tensor};
+
+/// Why a model could not be compiled for tape-free execution.
+///
+/// Compilation validates every shape the executor will rely on, so a
+/// `CompiledModel` can run without per-request checks; anything
+/// inconsistent is reported here instead (and lets an `auto` mode fall
+/// back to the tape path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError(String);
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "executor compile error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn err(msg: impl Into<String>) -> CompileError {
+    CompileError(msg.into())
+}
+
+/// One message-passing layer's owned parameter snapshot.
+#[derive(Debug, Clone)]
+struct CompiledLayer {
+    w_type: Vec<Tensor>,
+    a_type: Vec<Tensor>,
+    w: Option<Tensor>,
+    w_self: Option<Tensor>,
+    b: Tensor,
+}
+
+/// Preallocated scratch buffers for one in-flight request.
+///
+/// Every vector is grow-only: the first request over a given
+/// (model, graph-shape) pair sizes it, later requests reuse the storage
+/// untouched. Zeroing a reused buffer with `fill(0.0)` is bit-identical
+/// to the fresh `Tensor::zeros` the tape path starts from.
+#[derive(Debug, Default)]
+pub struct Arena {
+    h: Vec<f32>,
+    h2: Vec<f32>,
+    agg: Vec<f32>,
+    ht: Vec<f32>,
+    hh: Vec<f32>,
+    z: Vec<f32>,
+    cat: Vec<f32>,
+    sum: Vec<f32>,
+    t1: Vec<f32>,
+    t2: Vec<f32>,
+    zd: Vec<f32>,
+    zs: Vec<f32>,
+    raw: Vec<f32>,
+    alpha: Vec<f32>,
+    g1: Vec<f32>,
+    g2: Vec<f32>,
+}
+
+/// Grows `v` to at least `len` and returns the exact-length slice.
+fn ensure(v: &mut Vec<f32>, len: usize) -> &mut [f32] {
+    if v.len() < len {
+        v.resize(len, 0.0);
+    }
+    &mut v[..len]
+}
+
+/// A checkout/checkin pool of [`Arena`]s.
+///
+/// Shared by all clones of a serve worker's model handle: each
+/// concurrent request pops an arena (or starts a fresh one on first
+/// use), runs, and pushes it back. In steady state the pool holds as
+/// many warmed arenas as the peak concurrency, and checkout/checkin is
+/// a mutex-guarded pointer move — no allocation.
+#[derive(Debug, Default)]
+pub struct ArenaPool {
+    arenas: Mutex<Vec<Arena>>,
+}
+
+impl ArenaPool {
+    /// Takes a (possibly warmed) arena out of the pool.
+    pub fn checkout(&self) -> Arena {
+        self.arenas.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    /// Returns an arena for reuse by later requests.
+    pub fn checkin(&self, arena: Arena) {
+        self.arenas.lock().unwrap().push(arena);
+    }
+}
+
+/// A trained model compiled for tape-free inference.
+///
+/// Built once with [`CompiledModel::compile`]; cheap to share behind an
+/// `Arc`. The parameter tensors are snapshotted (cloned) at compile
+/// time, so a `CompiledModel` stays self-consistent even if the source
+/// model is later mutated by training.
+#[derive(Debug)]
+pub struct CompiledModel {
+    kind: GnnKind,
+    f: usize,
+    heads: usize,
+    slope: f32,
+    ablate_attention: bool,
+    ablate_edge_types: bool,
+    ablate_concat: bool,
+    num_edge_types: usize,
+    in_proj: Vec<Tensor>,
+    layers: Vec<CompiledLayer>,
+    head: Vec<(Tensor, Tensor)>,
+    pool: ArenaPool,
+}
+
+impl CompiledModel {
+    /// Validates and snapshots `model` into a fixed execution plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] naming the first inconsistent shape or
+    /// missing parameter; callers in `auto` mode fall back to the tape
+    /// path on error.
+    pub fn compile(model: &GnnModel) -> Result<Self, CompileError> {
+        let cfg = model.config();
+        let f = cfg.embed_dim;
+        let heads = cfg.attention_heads.max(1);
+        if f == 0 {
+            return Err(err("embed_dim must be positive"));
+        }
+        if !f.is_multiple_of(heads) {
+            return Err(err(format!(
+                "attention heads ({heads}) must divide embed_dim ({f})"
+            )));
+        }
+        let fh = f / heads;
+        let ne = model.num_edge_types();
+
+        let in_proj: Vec<Tensor> = model.input_projections().into_iter().cloned().collect();
+        for (t, w) in in_proj.iter().enumerate() {
+            if w.cols() != f {
+                return Err(err(format!(
+                    "in_proj.{t} projects to {} columns, expected {f}",
+                    w.cols()
+                )));
+            }
+        }
+
+        let mut layers = Vec::with_capacity(model.layer_specs().len());
+        for (l, spec) in model.layer_specs().iter().enumerate() {
+            let check = |cond: bool, msg: &str| -> Result<(), CompileError> {
+                if cond {
+                    Ok(())
+                } else {
+                    Err(err(format!("layer {l}: {msg}")))
+                }
+            };
+            check(spec.b.shape() == (1, f), "bias must be 1 x F")?;
+            match cfg.kind {
+                GnnKind::Gcn => {
+                    let w = spec
+                        .w
+                        .ok_or_else(|| err(format!("layer {l}: GCN needs w")))?;
+                    check(w.shape() == (f, f), "GCN weight must be F x F")?;
+                }
+                GnnKind::GraphSage => {
+                    let w = spec
+                        .w
+                        .ok_or_else(|| err(format!("layer {l}: GraphSage needs w")))?;
+                    check(w.shape() == (2 * f, f), "GraphSage weight must be 2F x F")?;
+                }
+                GnnKind::Rgcn => {
+                    let ws = spec
+                        .w_self
+                        .ok_or_else(|| err(format!("layer {l}: RGCN needs w_self")))?;
+                    check(ws.shape() == (f, f), "RGCN self weight must be F x F")?;
+                    check(
+                        spec.w_type.len() == ne,
+                        "RGCN needs one weight per edge type",
+                    )?;
+                    for w in &spec.w_type {
+                        check(w.shape() == (f, f), "RGCN relation weight must be F x F")?;
+                    }
+                }
+                GnnKind::Gat => {
+                    check(spec.w_type.len() == heads, "GAT needs one weight per head")?;
+                    check(
+                        spec.a_type.len() == heads,
+                        "GAT needs one attention vector per head",
+                    )?;
+                    for w in &spec.w_type {
+                        check(w.shape() == (f, fh), "GAT head weight must be F x F/heads")?;
+                    }
+                    for a in &spec.a_type {
+                        check(
+                            a.shape() == (2 * fh, 1),
+                            "GAT attention vector must be 2F/heads x 1",
+                        )?;
+                    }
+                }
+                GnnKind::ParaGraph => {
+                    let groups = if cfg.ablate_edge_types { 1 } else { ne };
+                    check(
+                        spec.w_type.len() == groups * heads,
+                        "ParaGraph needs one weight per (edge type, head)",
+                    )?;
+                    if !cfg.ablate_attention {
+                        check(
+                            spec.a_type.len() == groups * heads,
+                            "ParaGraph needs one attention vector per (edge type, head)",
+                        )?;
+                        for a in &spec.a_type {
+                            check(
+                                a.shape() == (2 * fh, 1),
+                                "ParaGraph attention vector must be 2F/heads x 1",
+                            )?;
+                        }
+                    }
+                    for w in &spec.w_type {
+                        check(
+                            w.shape() == (f, fh),
+                            "ParaGraph type weight must be F x F/heads",
+                        )?;
+                    }
+                    let w_in = if cfg.ablate_concat { f } else { 2 * f };
+                    let w = spec
+                        .w
+                        .ok_or_else(|| err(format!("layer {l}: ParaGraph needs w")))?;
+                    check(
+                        w.shape() == (w_in, f),
+                        "ParaGraph concat weight has the wrong shape",
+                    )?;
+                }
+            }
+            layers.push(CompiledLayer {
+                w_type: spec.w_type.iter().map(|&t| t.clone()).collect(),
+                a_type: spec.a_type.iter().map(|&t| t.clone()).collect(),
+                w: spec.w.cloned(),
+                w_self: spec.w_self.cloned(),
+                b: spec.b.clone(),
+            });
+        }
+
+        let head: Vec<(Tensor, Tensor)> = model
+            .head_specs()
+            .into_iter()
+            .map(|(w, b)| (w.clone(), b.clone()))
+            .collect();
+        let mut width = f;
+        for (k, (w, b)) in head.iter().enumerate() {
+            if w.rows() != width {
+                return Err(err(format!(
+                    "head {k}: weight expects {} inputs, previous layer yields {width}",
+                    w.rows()
+                )));
+            }
+            if b.shape() != (1, w.cols()) {
+                return Err(err(format!("head {k}: bias must be 1 x {}", w.cols())));
+            }
+            width = w.cols();
+        }
+        if width == 0 {
+            return Err(err("head output width must be positive"));
+        }
+
+        Ok(Self {
+            kind: cfg.kind,
+            f,
+            heads,
+            slope: cfg.leaky_slope,
+            ablate_attention: cfg.ablate_attention,
+            ablate_edge_types: cfg.ablate_edge_types,
+            ablate_concat: cfg.ablate_concat,
+            num_edge_types: ne,
+            in_proj,
+            layers,
+            head,
+            pool: ArenaPool::default(),
+        })
+    }
+
+    /// Embedding width `F`.
+    pub fn embed_dim(&self) -> usize {
+        self.f
+    }
+
+    /// The aggregation scheme this model was compiled from.
+    pub fn kind(&self) -> GnnKind {
+        self.kind
+    }
+
+    /// Predicts a scalar per node in `nodes` (global ids), exactly like
+    /// `GnnModel::predict` — same values, bit for bit — without building
+    /// a tape. For uncertainty-headed models this is the mean column.
+    pub fn predict(&self, graph: &HeteroGraph, nodes: &[u32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.predict_into(graph, nodes, &mut out);
+        out
+    }
+
+    /// Like [`CompiledModel::predict`], writing into a caller-owned
+    /// vector (cleared first). With a warmed arena pool, a pre-built
+    /// graph plan, and `out` at capacity, a call performs **zero** heap
+    /// allocations.
+    pub fn predict_into(&self, graph: &HeteroGraph, nodes: &[u32], out: &mut Vec<f32>) {
+        let mut arena = self.pool.checkout();
+        self.run(graph, nodes, &mut arena, out);
+        self.pool.checkin(arena);
+    }
+
+    /// Batched prediction over independent graphs: block-diagonal merge
+    /// via [`GraphBatch`], one executor pass, then per-graph splits.
+    /// `nodes[i]` holds graph-local node ids for `graphs[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graphs` is empty, the schemas differ, or
+    /// `nodes.len() != graphs.len()`.
+    pub fn predict_batch(&self, graphs: &[&HeteroGraph], nodes: &[Vec<u32>]) -> Vec<Vec<f32>> {
+        assert_eq!(graphs.len(), nodes.len(), "one node list per graph");
+        let batch = GraphBatch::new(graphs);
+        let mut merged = Vec::with_capacity(nodes.iter().map(Vec::len).sum());
+        for (g, local) in nodes.iter().enumerate() {
+            merged.extend(local.iter().map(|&v| batch.global_node(g, v)));
+        }
+        let flat = self.predict(batch.graph(), &merged);
+        let mut split = Vec::with_capacity(graphs.len());
+        let mut at = 0;
+        for local in nodes {
+            split.push(flat[at..at + local.len()].to_vec());
+            at += local.len();
+        }
+        split
+    }
+
+    /// The full fixed op sequence: embed → L message-passing layers →
+    /// gather → FC head → column-0 extraction.
+    fn run(&self, graph: &HeteroGraph, nodes: &[u32], arena: &mut Arena, out: &mut Vec<f32>) {
+        let n = graph.num_nodes();
+        let f = self.f;
+        let plan = graph.plan();
+
+        // --- input projection (Algorithm 1 lines 1-2) ------------------
+        // Node types partition the node set, so scattering each type's
+        // projection straight into the zeroed `h` accumulates exactly
+        // like the tape's add-chain of per-type scatters.
+        let h = ensure(&mut arena.h, n * f);
+        h.fill(0.0);
+        for t in 0..graph.num_node_types() {
+            let idx = graph.nodes_of_type(t as u16);
+            if idx.is_empty() {
+                continue;
+            }
+            let x = graph.features(t as u16);
+            let w = &self.in_proj[t];
+            let proj = ensure(&mut arena.t1, idx.len() * f);
+            kernels::matmul(x.as_slice(), w.as_slice(), proj, idx.len(), w.rows(), f);
+            kernels::scatter_add_rows(proj, f, idx, h);
+        }
+
+        // --- message-passing layers ------------------------------------
+        for layer in &self.layers {
+            match self.kind {
+                GnnKind::Gcn => {
+                    let tp = plan.union();
+                    let agg = ensure(&mut arena.agg, n * f);
+                    agg.fill(0.0);
+                    kernels::spmm_norm(&arena.h[..n * f], f, tp, plan.union_gcn_coeff(), agg);
+                    let w = layer.w.as_ref().expect("validated at compile");
+                    let h2 = ensure(&mut arena.h2, n * f);
+                    kernels::matmul(&arena.agg[..n * f], w.as_slice(), h2, n, f, f);
+                    kernels::add_bias(h2, layer.b.as_slice());
+                    kernels::relu(h2);
+                }
+                GnnKind::GraphSage => {
+                    let tp = plan.union();
+                    let agg = ensure(&mut arena.agg, n * f);
+                    agg.fill(0.0);
+                    kernels::spmm_mean(&arena.h[..n * f], f, tp, agg);
+                    let cat = ensure(&mut arena.cat, n * 2 * f);
+                    kernels::concat_cols(&arena.h[..n * f], f, &arena.agg[..n * f], f, cat, n);
+                    let w = layer.w.as_ref().expect("validated at compile");
+                    let h2 = ensure(&mut arena.h2, n * f);
+                    kernels::matmul(&arena.cat[..n * 2 * f], w.as_slice(), h2, n, 2 * f, f);
+                    kernels::add_bias(h2, layer.b.as_slice());
+                    kernels::relu(h2);
+                    kernels::row_l2_normalize(h2, f);
+                }
+                GnnKind::Rgcn => {
+                    let w_self = layer.w_self.as_ref().expect("validated at compile");
+                    let h2 = ensure(&mut arena.h2, n * f);
+                    kernels::matmul(&arena.h[..n * f], w_self.as_slice(), h2, n, f, f);
+                    for t in 0..self.num_edge_types {
+                        let tp = plan.edge_type(t);
+                        if tp.num_edges() == 0 {
+                            continue;
+                        }
+                        let agg = ensure(&mut arena.agg, n * f);
+                        agg.fill(0.0);
+                        kernels::spmm_mean(&arena.h[..n * f], f, tp, agg);
+                        let t2 = ensure(&mut arena.t2, n * f);
+                        kernels::matmul(
+                            &arena.agg[..n * f],
+                            layer.w_type[t].as_slice(),
+                            t2,
+                            n,
+                            f,
+                            f,
+                        );
+                        for (o, &v) in arena.h2[..n * f].iter_mut().zip(arena.t2[..n * f].iter()) {
+                            *o += v;
+                        }
+                    }
+                    let h2 = &mut arena.h2[..n * f];
+                    kernels::add_bias(h2, layer.b.as_slice());
+                    kernels::relu(h2);
+                }
+                GnnKind::Gat => {
+                    let tp = plan.union();
+                    let fh = f / self.heads;
+                    ensure(&mut arena.h2, n * f);
+                    for k in 0..self.heads {
+                        self.attention_head(
+                            &layer.w_type[k],
+                            Some(&layer.a_type[k]),
+                            tp,
+                            n,
+                            fh,
+                            arena,
+                        );
+                        // Concatenate heads: head k owns columns
+                        // [k*fh, (k+1)*fh), copied exactly like the
+                        // tape's concat_cols.
+                        for i in 0..n {
+                            arena.h2[i * f + k * fh..i * f + (k + 1) * fh]
+                                .copy_from_slice(&arena.hh[i * fh..(i + 1) * fh]);
+                        }
+                    }
+                    let h2 = &mut arena.h2[..n * f];
+                    kernels::add_bias(h2, layer.b.as_slice());
+                    kernels::relu(h2);
+                }
+                GnnKind::ParaGraph => {
+                    let fh = f / self.heads;
+                    let agg = ensure(&mut arena.agg, n * f);
+                    agg.fill(0.0);
+                    let groups = if self.ablate_edge_types {
+                        1
+                    } else {
+                        self.num_edge_types
+                    };
+                    for t in 0..groups {
+                        let tp = if self.ablate_edge_types {
+                            plan.union()
+                        } else {
+                            plan.edge_type(t)
+                        };
+                        if tp.num_edges() == 0 {
+                            continue;
+                        }
+                        ensure(&mut arena.ht, n * f);
+                        for k in 0..self.heads {
+                            let pi = t * self.heads + k;
+                            let a = if self.ablate_attention {
+                                None
+                            } else {
+                                Some(&layer.a_type[pi])
+                            };
+                            self.attention_head(&layer.w_type[pi], a, tp, n, fh, arena);
+                            for i in 0..n {
+                                arena.ht[i * f + k * fh..i * f + (k + 1) * fh]
+                                    .copy_from_slice(&arena.hh[i * fh..(i + 1) * fh]);
+                            }
+                        }
+                        // Algorithm 1 line 9: sum over edge types.
+                        for (o, &v) in arena.agg[..n * f].iter_mut().zip(arena.ht[..n * f].iter()) {
+                            *o += v;
+                        }
+                    }
+                    // Line 10: W (h ‖ agg) + b — or a plain sum under the
+                    // concat ablation.
+                    let w = layer.w.as_ref().expect("validated at compile");
+                    let h2 = ensure(&mut arena.h2, n * f);
+                    if self.ablate_concat {
+                        let sum = ensure(&mut arena.sum, n * f);
+                        sum.copy_from_slice(&arena.h[..n * f]);
+                        for (o, &v) in sum.iter_mut().zip(arena.agg[..n * f].iter()) {
+                            *o += v;
+                        }
+                        kernels::matmul(&arena.sum[..n * f], w.as_slice(), h2, n, f, f);
+                    } else {
+                        let cat = ensure(&mut arena.cat, n * 2 * f);
+                        kernels::concat_cols(&arena.h[..n * f], f, &arena.agg[..n * f], f, cat, n);
+                        kernels::matmul(&arena.cat[..n * 2 * f], w.as_slice(), h2, n, 2 * f, f);
+                    }
+                    kernels::add_bias(h2, layer.b.as_slice());
+                    kernels::relu(h2);
+                }
+            }
+            std::mem::swap(&mut arena.h, &mut arena.h2);
+        }
+
+        // --- readout: gather + FC head ---------------------------------
+        let m = nodes.len();
+        let mut width = f;
+        let g1 = ensure(&mut arena.g1, m * width);
+        kernels::gather_rows(&arena.h[..n * f], f, nodes, g1);
+        for (k, (w, b)) in self.head.iter().enumerate() {
+            let next = w.cols();
+            let g2 = ensure(&mut arena.g2, m * next);
+            kernels::matmul(&arena.g1[..m * width], w.as_slice(), g2, m, width, next);
+            kernels::add_bias(g2, b.as_slice());
+            if k + 1 < self.head.len() {
+                kernels::relu(g2);
+            }
+            std::mem::swap(&mut arena.g1, &mut arena.g2);
+            width = next;
+        }
+
+        out.clear();
+        out.reserve(m);
+        for i in 0..m {
+            out.push(arena.g1[i * width]);
+        }
+    }
+
+    /// One attention (or ablated-mean) head: `z = h W`, then either the
+    /// fused attend pipeline or a plain segment mean, into `arena.hh`.
+    fn attention_head(
+        &self,
+        w: &Tensor,
+        a: Option<&Tensor>,
+        tp: &paragraph_tensor::CsrPlan,
+        n: usize,
+        fh: usize,
+        arena: &mut Arena,
+    ) {
+        let f = self.f;
+        let z = ensure(&mut arena.z, n * fh);
+        kernels::matmul(&arena.h[..n * f], w.as_slice(), z, n, f, fh);
+        let hh = ensure(&mut arena.hh, n * fh);
+        hh.fill(0.0);
+        match a {
+            Some(a) => {
+                let e = tp.num_edges();
+                ensure(&mut arena.zd, n);
+                ensure(&mut arena.zs, n);
+                ensure(&mut arena.raw, e);
+                ensure(&mut arena.alpha, e);
+                kernels::attend_scores(
+                    &arena.z[..n * fh],
+                    fh,
+                    a.as_slice(),
+                    tp,
+                    self.slope,
+                    &mut arena.zd[..n],
+                    &mut arena.zs[..n],
+                    &mut arena.raw[..e],
+                    &mut arena.alpha[..e],
+                );
+                kernels::attend_apply(
+                    &arena.z[..n * fh],
+                    fh,
+                    tp,
+                    &arena.alpha[..e],
+                    &mut arena.hh[..n * fh],
+                );
+            }
+            None => {
+                kernels::spmm_mean(&arena.z[..n * fh], fh, tp, &mut arena.hh[..n * fh]);
+            }
+        }
+    }
+}

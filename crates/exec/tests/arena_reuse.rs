@@ -1,0 +1,132 @@
+//! Arena-reuse guarantees: after warm-up, the executor's predict path
+//! performs **zero** heap allocations per request (counting allocator),
+//! and predictions stay bitwise-stable across 1000 arena-reuse
+//! iterations.
+//!
+//! The graph is kept small enough that every kernel stays on the
+//! single-threaded inline path (work below the parallel threshold), so
+//! no thread-pool scope machinery runs. That is also the realistic
+//! serve shape: per-request circuits are small; throughput comes from
+//! concurrent workers, each with its own arena.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use paragraph_exec::CompiledModel;
+use paragraph_gnn::{GnnKind, GnnModel, GraphSchema, HeteroGraph, ModelConfig};
+use paragraph_tensor::Tensor;
+
+/// Wraps the system allocator and counts allocation calls.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn small_graph() -> (GraphSchema, HeteroGraph) {
+    let schema = GraphSchema {
+        node_feat_dims: vec![2, 4],
+        num_edge_types: 2,
+    };
+    let types: Vec<u16> = (0..12).map(|i| (i % 2) as u16).collect();
+    let mut g = HeteroGraph::new(&schema, types);
+    g.set_features(
+        0,
+        Tensor::from_fn(6, 2, |i, j| (i * 2 + j) as f32 * 0.17 - 0.4),
+    );
+    g.set_features(
+        1,
+        Tensor::from_fn(6, 4, |i, j| (i * 4 + j) as f32 * 0.09 - 0.6),
+    );
+    let src: Vec<u32> = (0..12).map(|i| i as u32).collect();
+    let dst: Vec<u32> = (0..12).map(|i| ((i * 5 + 3) % 12) as u32).collect();
+    g.set_edges(0, src.clone(), dst.clone());
+    g.set_edges(1, dst, src);
+    g.validate().unwrap();
+    (schema, g)
+}
+
+fn compiled(kind: GnnKind, schema: &GraphSchema) -> (GnnModel, CompiledModel) {
+    let mut cfg = ModelConfig::new(kind);
+    cfg.embed_dim = 8;
+    cfg.layers = 2;
+    cfg.fc_layers = 2;
+    let model = GnnModel::new(cfg, schema);
+    let exec = CompiledModel::compile(&model).unwrap();
+    (model, exec)
+}
+
+#[test]
+fn steady_state_predict_is_allocation_free() {
+    let (schema, graph) = small_graph();
+    // Pre-build the cached GraphPlan so plan compilation is not charged
+    // to the request path (serve reuses the plan exactly like this).
+    let _ = graph.plan();
+    let nodes: Vec<u32> = vec![1, 4, 7, 10];
+
+    for kind in GnnKind::all() {
+        let (_, exec) = compiled(kind, &schema);
+        let mut out = Vec::new();
+        // Warm-up: sizes the arena and the output vector.
+        exec.predict_into(&graph, &nodes, &mut out);
+        exec.predict_into(&graph, &nodes, &mut out);
+
+        let before = alloc_count();
+        for _ in 0..100 {
+            exec.predict_into(&graph, &nodes, &mut out);
+        }
+        let delta = alloc_count() - before;
+        assert_eq!(
+            delta,
+            0,
+            "{}: {delta} heap allocations across 100 steady-state requests",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn predictions_bitwise_stable_across_1000_reuses() {
+    let (schema, graph) = small_graph();
+    let _ = graph.plan();
+    let nodes: Vec<u32> = vec![0, 3, 5, 8, 11];
+
+    for kind in GnnKind::all() {
+        let (model, exec) = compiled(kind, &schema);
+        let reference = model.predict(&graph, &Arc::new(nodes.clone()));
+        let baseline: Vec<u32> = reference.iter().map(|v| v.to_bits()).collect();
+        let mut out = Vec::new();
+        for iter in 0..1000 {
+            exec.predict_into(&graph, &nodes, &mut out);
+            let bits: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                baseline,
+                bits,
+                "{}: drifted from the tape reference at reuse iteration {iter}",
+                kind.name()
+            );
+        }
+    }
+}

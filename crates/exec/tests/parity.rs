@@ -1,0 +1,240 @@
+//! Bitwise parity: the compiled executor must reproduce the tape
+//! forward exactly — same bits, not just same values — for every
+//! `GnnKind`, single graphs and `GraphBatch` merges, SIMD and portable
+//! matmul paths alike.
+//!
+//! SIMD coverage comes from the embedding width: the AVX2 dense kernels
+//! engage only when the output column count is a multiple of 8 (up to
+//! 64), so `embed_dim = 8` exercises them (on AVX2 hardware) while
+//! `embed_dim = 12` forces the portable path. Both must match the tape,
+//! which dispatches through the identical kernels.
+
+use std::sync::Arc;
+
+use paragraph_exec::CompiledModel;
+use paragraph_gnn::{GnnKind, GnnModel, GraphBatch, GraphSchema, HeteroGraph, ModelConfig};
+use paragraph_tensor::Tensor;
+
+/// Deterministic pseudo-random stream (no external RNG needed).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_f32(&mut self) -> f32 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.0 >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+    }
+
+    fn next_in(&mut self, n: usize) -> u32 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.0 >> 33) % n as u64) as u32
+    }
+}
+
+/// A small heterogeneous graph with two node types, three edge types,
+/// and dense-ish random topology.
+fn build_graph(seed: u64, nodes: usize) -> (GraphSchema, HeteroGraph) {
+    let schema = GraphSchema {
+        node_feat_dims: vec![3, 5],
+        num_edge_types: 3,
+    };
+    let mut rng = Lcg(seed);
+    let types: Vec<u16> = (0..nodes).map(|i| (i % 2) as u16).collect();
+    let mut g = HeteroGraph::new(&schema, types.clone());
+    for t in 0..2u16 {
+        let count = types.iter().filter(|&&x| x == t).count();
+        let dim = schema.node_feat_dims[t as usize];
+        let feats = Tensor::from_fn(count, dim, |_, _| rng.next_f32());
+        g.set_features(t, feats);
+    }
+    for et in 0..3 {
+        let edges = nodes * 2;
+        let mut src = Vec::with_capacity(edges);
+        let mut dst = Vec::with_capacity(edges);
+        for _ in 0..edges {
+            src.push(rng.next_in(nodes));
+            dst.push(rng.next_in(nodes));
+        }
+        g.set_edges(et, src, dst);
+    }
+    g.validate().unwrap();
+    (schema, g)
+}
+
+fn query_nodes(nodes: usize, seed: u64) -> Vec<u32> {
+    let mut rng = Lcg(seed);
+    (0..nodes / 2).map(|_| rng.next_in(nodes)).collect()
+}
+
+fn assert_bitwise_eq(tape: &[f32], exec: &[f32], label: &str) {
+    assert_eq!(tape.len(), exec.len(), "{label}: length mismatch");
+    for (i, (a, b)) in tape.iter().zip(exec.iter()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{label}: prediction {i} differs (tape {a:?} vs executor {b:?})"
+        );
+    }
+}
+
+fn check_parity(cfg: ModelConfig, label: &str) {
+    let (schema, graph) = build_graph(7, 40);
+    let model = GnnModel::new(cfg, &schema);
+    let compiled = CompiledModel::compile(&model).expect("model should compile");
+
+    let nodes = query_nodes(40, 99);
+    let tape = model.predict(&graph, &Arc::new(nodes.clone()));
+    let exec = compiled.predict(&graph, &nodes);
+    assert_bitwise_eq(&tape, &exec, label);
+}
+
+#[test]
+fn all_kinds_bitwise_parity_avx2_width() {
+    for kind in GnnKind::all() {
+        let mut cfg = ModelConfig::new(kind);
+        cfg.embed_dim = 8; // multiple of 8 -> AVX2 dense path where supported
+        cfg.layers = 3;
+        cfg.fc_layers = 3;
+        check_parity(cfg, kind.name());
+    }
+}
+
+#[test]
+fn all_kinds_bitwise_parity_portable_width() {
+    for kind in GnnKind::all() {
+        let mut cfg = ModelConfig::new(kind);
+        cfg.embed_dim = 12; // not a multiple of 8 -> portable matmul rows
+        cfg.layers = 2;
+        cfg.fc_layers = 2;
+        check_parity(cfg, kind.name());
+    }
+}
+
+#[test]
+fn multi_head_attention_parity() {
+    for kind in [GnnKind::Gat, GnnKind::ParaGraph] {
+        let mut cfg = ModelConfig::new(kind);
+        cfg.embed_dim = 8;
+        cfg.layers = 2;
+        cfg.fc_layers = 2;
+        cfg.attention_heads = 2;
+        check_parity(cfg, &format!("{} 2 heads", kind.name()));
+    }
+}
+
+#[test]
+fn paragraph_ablations_parity() {
+    for (att, et, cat) in [
+        (true, false, false),
+        (false, true, false),
+        (false, false, true),
+        (true, true, true),
+    ] {
+        let mut cfg = ModelConfig::new(GnnKind::ParaGraph);
+        cfg.embed_dim = 8;
+        cfg.layers = 2;
+        cfg.fc_layers = 2;
+        cfg.ablate_attention = att;
+        cfg.ablate_edge_types = et;
+        cfg.ablate_concat = cat;
+        check_parity(cfg, &format!("ablations a={att} e={et} c={cat}"));
+    }
+}
+
+#[test]
+fn uncertainty_head_parity() {
+    let mut cfg = ModelConfig::new(GnnKind::ParaGraph);
+    cfg.embed_dim = 8;
+    cfg.layers = 2;
+    cfg.fc_layers = 2;
+    cfg.uncertainty_head = true;
+    check_parity(cfg, "uncertainty head");
+}
+
+#[test]
+fn empty_edge_types_parity() {
+    // Edge type 1 empty; GCN/GAT union still populated, RGCN/ParaGraph
+    // must skip the empty relation exactly like the tape does.
+    let schema = GraphSchema {
+        node_feat_dims: vec![2],
+        num_edge_types: 2,
+    };
+    let mut g = HeteroGraph::new(&schema, vec![0; 6]);
+    g.set_features(0, Tensor::from_fn(6, 2, |i, j| (i + j) as f32 * 0.3 - 0.5));
+    g.set_edges(0, vec![0, 1, 2, 3], vec![1, 2, 3, 4]);
+    g.validate().unwrap();
+
+    let nodes = vec![0u32, 2, 5];
+    for kind in GnnKind::all() {
+        let mut cfg = ModelConfig::new(kind);
+        cfg.embed_dim = 8;
+        cfg.layers = 2;
+        cfg.fc_layers = 2;
+        let model = GnnModel::new(cfg, &schema);
+        let compiled = CompiledModel::compile(&model).unwrap();
+        let tape = model.predict(&g, &Arc::new(nodes.clone()));
+        let exec = compiled.predict(&g, &nodes);
+        assert_bitwise_eq(&tape, &exec, kind.name());
+    }
+}
+
+#[test]
+fn graph_batch_parity() {
+    // Executor over a block-diagonal merged graph must match the tape
+    // over the same merged graph, and predict_batch must match
+    // per-graph tape predictions.
+    let (schema, g1) = build_graph(11, 24);
+    let (_, g2) = build_graph(23, 30);
+    let (_, g3) = build_graph(31, 18);
+    let graphs = [&g1, &g2, &g3];
+    let batch = GraphBatch::new(&graphs);
+
+    for kind in GnnKind::all() {
+        let mut cfg = ModelConfig::new(kind);
+        cfg.embed_dim = 8;
+        cfg.layers = 2;
+        cfg.fc_layers = 2;
+        let model = GnnModel::new(cfg, &schema);
+        let compiled = CompiledModel::compile(&model).unwrap();
+
+        // Merged-graph parity.
+        let locals: Vec<Vec<u32>> =
+            vec![query_nodes(24, 1), query_nodes(30, 2), query_nodes(18, 3)];
+        let mut merged = Vec::new();
+        for (gi, local) in locals.iter().enumerate() {
+            merged.extend(local.iter().map(|&v| batch.global_node(gi, v)));
+        }
+        let tape = model.predict(batch.graph(), &Arc::new(merged.clone()));
+        let exec = compiled.predict(batch.graph(), &merged);
+        assert_bitwise_eq(&tape, &exec, &format!("{} merged", kind.name()));
+
+        // predict_batch splits match per-graph positions in the flat
+        // merged prediction.
+        let split = compiled.predict_batch(&graphs, &locals);
+        let flat: Vec<f32> = split.iter().flatten().copied().collect();
+        assert_bitwise_eq(&exec, &flat, &format!("{} split", kind.name()));
+    }
+}
+
+#[test]
+fn predict_into_reuses_output_vector() {
+    let (schema, graph) = build_graph(5, 20);
+    let mut cfg = ModelConfig::new(GnnKind::ParaGraph);
+    cfg.embed_dim = 8;
+    cfg.layers = 2;
+    cfg.fc_layers = 2;
+    let model = GnnModel::new(cfg, &schema);
+    let compiled = CompiledModel::compile(&model).unwrap();
+    let nodes = query_nodes(20, 4);
+    let expect = compiled.predict(&graph, &nodes);
+    let mut out = Vec::new();
+    for _ in 0..3 {
+        compiled.predict_into(&graph, &nodes, &mut out);
+        assert_bitwise_eq(&expect, &out, "predict_into");
+    }
+}

@@ -334,6 +334,58 @@ mod tests {
     }
 
     #[test]
+    fn set_edges_invalidates_cached_plan() {
+        let (_, mut g) = tiny();
+        let before = g.plan();
+        assert_eq!(before.union().num_edges(), 4);
+        g.set_edges(0, vec![0], vec![3]);
+        let after = g.plan();
+        assert!(
+            !Arc::ptr_eq(&before, &after),
+            "stale GraphPlan reused after set_edges"
+        );
+        assert_eq!(after.union().num_edges(), 3);
+        assert_eq!(after.edge_type(0).num_edges(), 1);
+    }
+
+    #[test]
+    fn cloned_graph_does_not_share_stale_plan() {
+        // The derived Clone copies the OnceLock's *contents*, so right
+        // after cloning both graphs hand out the same Arc — that is fine
+        // while the edges are identical. Mutating the clone must rebuild
+        // its plan without disturbing the original's.
+        let (_, g) = tiny();
+        let original_plan = g.plan();
+        let mut g2 = g.clone();
+        assert!(Arc::ptr_eq(&original_plan, &g2.plan()));
+
+        g2.set_edges(1, vec![0, 1, 2], vec![1, 2, 3]);
+        let p2 = g2.plan();
+        assert!(
+            !Arc::ptr_eq(&original_plan, &p2),
+            "clone reused the shared pre-mutation plan"
+        );
+        assert_eq!(p2.edge_type(1).num_edges(), 3);
+        // The original still sees its own (unchanged) topology.
+        assert!(Arc::ptr_eq(&original_plan, &g.plan()));
+        assert_eq!(g.plan().edge_type(1).num_edges(), 2);
+    }
+
+    #[test]
+    fn mutating_original_after_clone_keeps_clone_intact() {
+        let (_, mut g) = tiny();
+        let _ = g.plan();
+        let g2 = g.clone();
+        let clone_plan = g2.plan();
+
+        g.set_edges(0, vec![], vec![]);
+        assert_eq!(g.plan().union().num_edges(), 2);
+        // The clone's plan is untouched by the original's mutation.
+        assert!(Arc::ptr_eq(&clone_plan, &g2.plan()));
+        assert_eq!(g2.plan().union().num_edges(), 4);
+    }
+
+    #[test]
     fn empty_edge_type_is_fine() {
         let schema = GraphSchema {
             node_feat_dims: vec![1],

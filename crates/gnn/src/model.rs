@@ -121,6 +121,26 @@ pub(crate) struct LayerParams {
     pub(crate) b: ParamId,
 }
 
+/// Read-only view of one message-passing layer's resolved parameter
+/// tensors, as walked by the compiled inference executor.
+///
+/// Which fields are populated depends on [`GnnKind`], mirroring
+/// [`LayerParams`]: `w_type`/`a_type` for per-edge-type (or per-head)
+/// weights, `w` for the shared weight, `w_self` for RGCN's self loop.
+#[derive(Debug)]
+pub struct LayerSpec<'a> {
+    /// Per-edge-type (ParaGraph, RGCN) or per-head (GAT) weight matrices.
+    pub w_type: Vec<&'a Tensor>,
+    /// Per-edge-type / per-head attention vectors (GAT, ParaGraph).
+    pub a_type: Vec<&'a Tensor>,
+    /// Shared weight (GCN, GraphSage; ParaGraph's concat weight).
+    pub w: Option<&'a Tensor>,
+    /// Self-loop weight (RGCN).
+    pub w_self: Option<&'a Tensor>,
+    /// Bias row (`1 x F`).
+    pub b: &'a Tensor,
+}
+
 /// A trainable GNN regressor over [`HeteroGraph`]s with a fixed schema.
 ///
 /// # Examples
@@ -276,6 +296,44 @@ impl GnnModel {
     /// Mutable access for optimizers.
     pub fn params_mut(&mut self) -> &mut ParamSet {
         &mut self.params
+    }
+
+    /// Number of edge types the model was initialised for.
+    pub fn num_edge_types(&self) -> usize {
+        self.num_edge_types
+    }
+
+    /// Per-node-type input projection matrices, indexed by node type.
+    pub fn input_projections(&self) -> Vec<&Tensor> {
+        self.in_proj
+            .iter()
+            .map(|&id| self.params.value(id))
+            .collect()
+    }
+
+    /// Resolved parameter tensors of every message-passing layer, in
+    /// execution order. This is the read-only view the compiled executor
+    /// (`paragraph-exec`) walks so it dispatches the exact weights the
+    /// tape forward uses.
+    pub fn layer_specs(&self) -> Vec<LayerSpec<'_>> {
+        self.layers
+            .iter()
+            .map(|l| LayerSpec {
+                w_type: l.w_type.iter().map(|&id| self.params.value(id)).collect(),
+                a_type: l.a_type.iter().map(|&id| self.params.value(id)).collect(),
+                w: l.w.map(|id| self.params.value(id)),
+                w_self: l.w_self.map(|id| self.params.value(id)),
+                b: self.params.value(l.b),
+            })
+            .collect()
+    }
+
+    /// `(weight, bias)` tensors of the FC regression head, in order.
+    pub fn head_specs(&self) -> Vec<(&Tensor, &Tensor)> {
+        self.head
+            .iter()
+            .map(|&(w, b)| (self.params.value(w), self.params.value(b)))
+            .collect()
     }
 
     /// Algorithm 1 lines 1-2: per-type projection into the common

@@ -41,6 +41,14 @@ struct EndpointMetrics {
     rolling: Arc<RollingQuantile>,
 }
 
+/// Counters and rolling latency windows for one inference path
+/// (compiled executor or autograd tape).
+#[derive(Debug)]
+struct PathMetrics {
+    requests: Arc<Counter>,
+    rolling: Arc<RollingQuantile>,
+}
+
 /// All service counters. Cheap to share behind an `Arc`; every method
 /// takes `&self`.
 ///
@@ -51,6 +59,8 @@ struct EndpointMetrics {
 pub struct Metrics {
     registry: Registry,
     endpoints: Vec<EndpointMetrics>,
+    executor_path: PathMetrics,
+    tape_path: PathMetrics,
     queue_depth: Arc<Gauge>,
     bad_lines: Arc<Counter>,
     cache_hits: Arc<Counter>,
@@ -87,8 +97,18 @@ impl Metrics {
                 ),
             })
             .collect();
+        let path_metrics = |name: &'static str, path: &'static str| PathMetrics {
+            requests: registry.counter(name, &[]),
+            rolling: registry.rolling(
+                "paragraph_serve_predict_path_latency_us",
+                &[("path", path)],
+                ROLLING_WINDOW,
+            ),
+        };
         Self {
             endpoints,
+            executor_path: path_metrics("paragraph_serve_executor_requests_total", "executor"),
+            tape_path: path_metrics("paragraph_serve_tape_requests_total", "tape"),
             queue_depth: registry.gauge("paragraph_queue_depth", &[]),
             bad_lines: registry.counter("paragraph_bad_lines_total", &[]),
             cache_hits: registry.counter("paragraph_cache_hits_total", &[]),
@@ -120,6 +140,29 @@ impl Metrics {
         let us = latency.as_secs_f64() * 1e6;
         e.latency.observe(us);
         e.rolling.observe(us);
+    }
+
+    /// Records which inference path (compiled executor vs autograd
+    /// tape) served a predict group, with its end-to-end latency.
+    /// Cache hits never reach this — only groups that ran inference.
+    pub fn record_path(&self, executor: bool, latency: Duration) {
+        let p = if executor {
+            &self.executor_path
+        } else {
+            &self.tape_path
+        };
+        p.requests.inc();
+        p.rolling.observe(latency.as_secs_f64() * 1e6);
+    }
+
+    /// Requests served by the compiled executor path so far.
+    pub fn executor_requests(&self) -> u64 {
+        self.executor_path.requests.get()
+    }
+
+    /// Requests served by the autograd tape path so far.
+    pub fn tape_requests(&self) -> u64 {
+        self.tape_path.requests.get()
     }
 
     /// The service's own registry; the drift monitor and slow-request
@@ -193,11 +236,27 @@ impl Metrics {
                 })
             })
             .collect();
+        let path_json = |p: &PathMetrics| {
+            let qs = p.rolling.quantiles(&RENDERED_QUANTILES);
+            let rolling: Vec<Value> = RENDERED_QUANTILES
+                .iter()
+                .zip(&qs)
+                .map(|(&q, &v)| {
+                    let value = if v.is_finite() { json!(v) } else { Value::Null };
+                    json!({ "q": q, "latency_us": value })
+                })
+                .collect();
+            json!({ "requests": p.requests.get(), "latency_rolling": rolling })
+        };
         json!({
             "uptime_ms": self.uptime().as_millis() as u64,
             "queue_depth": self.queue_depth(),
             "bad_lines": self.bad_lines(),
             "endpoints": endpoints,
+            "paths": {
+                "executor": path_json(&self.executor_path),
+                "tape": path_json(&self.tape_path),
+            },
             "cache": {
                 "hits": cache.hits(),
                 "misses": cache.misses(),
@@ -392,6 +451,41 @@ mod tests {
         // Ops with no traffic render null quantiles, not garbage.
         let idle = &snap["endpoints"][Op::Reload.index()]["latency_rolling"];
         assert!(idle[0]["latency_us"].is_null());
+    }
+
+    /// Executor-vs-tape path counters and their rolling windows render
+    /// and snapshot independently of the per-op endpoint families.
+    #[test]
+    fn path_metrics_track_executor_and_tape() {
+        let m = Metrics::new();
+        m.record_path(true, Duration::from_micros(40));
+        m.record_path(true, Duration::from_micros(60));
+        m.record_path(false, Duration::from_micros(500));
+        assert_eq!(m.executor_requests(), 2);
+        assert_eq!(m.tape_requests(), 1);
+        let cache = PredictionCache::new(1);
+        let text = m.render(&cache);
+        assert!(text.contains("paragraph_serve_executor_requests_total"));
+        assert!(text.contains("paragraph_serve_tape_requests_total"));
+        assert!(
+            text.contains(
+                "paragraph_serve_predict_path_latency_us{path=\"executor\",quantile=\"0.5\"} 40"
+            ),
+            "missing executor-path p50 in:\n{text}"
+        );
+        assert!(
+            text.contains(
+                "paragraph_serve_predict_path_latency_us{path=\"tape\",quantile=\"0.5\"} 500"
+            ),
+            "missing tape-path p50 in:\n{text}"
+        );
+        let snap = m.snapshot(&cache);
+        assert_eq!(snap["paths"]["executor"]["requests"].as_u64(), Some(2));
+        assert_eq!(snap["paths"]["tape"]["requests"].as_u64(), Some(1));
+        assert_eq!(
+            snap["paths"]["tape"]["latency_rolling"][0]["latency_us"].as_f64(),
+            Some(500.0)
+        );
     }
 
     /// The render path merges the process-global registry, so training

@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock};
 
-use paragraph::{CapEnsemble, SavedModel, TargetModel};
+use paragraph::{CapEnsemble, ExecutorMode, SavedModel, TargetModel};
 
 /// Reserved model key that routes to the assembled [`CapEnsemble`].
 pub const ENSEMBLE_KEY: &str = "cap_ensemble";
@@ -45,6 +45,19 @@ pub enum ModelRef {
     Single(Arc<TargetModel>),
     /// The assembled capacitance ensemble.
     Ensemble(Arc<CapEnsemble>),
+}
+
+impl ModelRef {
+    /// Whether inference for this model currently runs on the compiled
+    /// tape-free executor (vs the autograd tape); used to label the
+    /// per-path serving metrics. Ensembles report their members' shared
+    /// mode (all members are stamped identically at load time).
+    pub fn uses_executor(&self) -> bool {
+        match self {
+            ModelRef::Single(m) => m.uses_executor(),
+            ModelRef::Ensemble(e) => e.members().first().is_some_and(|m| m.uses_executor()),
+        }
+    }
 }
 
 /// An immutable snapshot of everything the registry has loaded.
@@ -173,11 +186,15 @@ pub struct ReloadReport {
 #[derive(Debug)]
 pub struct ModelRegistry {
     dir: Option<PathBuf>,
+    executor: ExecutorMode,
     current: RwLock<Arc<LoadedModels>>,
 }
 
 impl ModelRegistry {
-    /// Loads every `*.json` snapshot under `dir`.
+    /// Loads every `*.json` snapshot under `dir` with the default
+    /// [`ExecutorMode::Auto`] inference path (compiled executor when the
+    /// model compiles, autograd tape otherwise — further gated by the
+    /// process-wide [`paragraph::executor_default`]).
     ///
     /// # Errors
     ///
@@ -185,10 +202,25 @@ impl ModelRegistry {
     /// snapshot fails to parse or validate against the circuit schema,
     /// or ensemble assembly fails. Nothing is partially loaded.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, RegistryError> {
+        Self::open_with_executor(dir, ExecutorMode::Auto)
+    }
+
+    /// Like [`Self::open`] but stamps every loaded model (and ensemble
+    /// member) with `executor`. The mode is remembered and reapplied on
+    /// every [`Self::reload`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::open`].
+    pub fn open_with_executor(
+        dir: impl Into<PathBuf>,
+        executor: ExecutorMode,
+    ) -> Result<Self, RegistryError> {
         let dir = dir.into();
-        let snapshot = load_dir(&dir)?;
+        let snapshot = load_dir(&dir, executor)?;
         Ok(Self {
             dir: Some(dir),
+            executor,
             current: RwLock::new(Arc::new(snapshot)),
         })
     }
@@ -198,6 +230,7 @@ impl ModelRegistry {
     pub fn from_snapshot(snapshot: LoadedModels) -> Self {
         Self {
             dir: None,
+            executor: ExecutorMode::Auto,
             current: RwLock::new(Arc::new(snapshot)),
         }
     }
@@ -216,7 +249,7 @@ impl ModelRegistry {
     /// Same conditions as [`Self::open`].
     pub fn reload(&self) -> Result<ReloadReport, RegistryError> {
         let snapshot = match &self.dir {
-            Some(dir) => load_dir(dir)?,
+            Some(dir) => load_dir(dir, self.executor)?,
             None => return Ok(self.report()),
         };
         let report = ReloadReport {
@@ -236,7 +269,7 @@ impl ModelRegistry {
     }
 }
 
-fn load_dir(dir: &Path) -> Result<LoadedModels, RegistryError> {
+fn load_dir(dir: &Path, executor: ExecutorMode) -> Result<LoadedModels, RegistryError> {
     let entries = std::fs::read_dir(dir)
         .map_err(|e| RegistryError::new(format!("cannot read {}: {e}", dir.display())))?;
     let mut named = Vec::new();
@@ -254,9 +287,12 @@ fn load_dir(dir: &Path) -> Result<LoadedModels, RegistryError> {
             .to_owned();
         let text = std::fs::read_to_string(&path)
             .map_err(|e| RegistryError::new(format!("cannot read {}: {e}", path.display())))?;
-        let model = SavedModel::from_json(&text)
+        let mut model = SavedModel::from_json(&text)
             .and_then(SavedModel::into_model)
             .map_err(|e| RegistryError::new(format!("{}: {e}", path.display())))?;
+        // Ensemble members are cloned out of this set, so stamping here
+        // covers both individual models and the assembled ensemble.
+        model.executor = executor;
         named.push((stem, model));
     }
     LoadedModels::from_models(named)

@@ -569,7 +569,7 @@ fn worker_loop(
             let _ = job.reply.send(response);
         }
         if !predict_jobs.is_empty() {
-            predict_many(predict_jobs, registry, cache, drift);
+            predict_many(predict_jobs, registry, cache, metrics, drift);
         }
     }
 }
@@ -604,6 +604,7 @@ fn predict_many(
     jobs: Vec<(Job, f64)>,
     registry: &Arc<ModelRegistry>,
     cache: &Arc<PredictionCache>,
+    metrics: &Arc<Metrics>,
     drift: &Arc<DriftMonitor>,
 ) {
     let snapshot = registry.current();
@@ -709,6 +710,16 @@ fn predict_many(
         }));
         match outcome {
             Ok((per_circuit, timing)) => {
+                // Attribute this forward pass to its inference path
+                // (compiled executor vs tape). Cache hits never get here.
+                let inference_us = match &timing {
+                    GroupTiming::Profiled { profile, .. } => profile.inference_us,
+                    GroupTiming::Batched { total_us, .. } => *total_us,
+                };
+                metrics.record_path(
+                    model.uses_executor(),
+                    Duration::from_secs_f64(inference_us / 1e6),
+                );
                 for (p, preds) in pending.into_iter().zip(per_circuit) {
                     let _span = paragraph_obs::span!("predict_job", request_id = p.job.request_id);
                     let id = p.job.request.id.clone();

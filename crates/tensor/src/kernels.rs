@@ -1,0 +1,405 @@
+//! Shared forward (inference) kernels.
+//!
+//! Every kernel here writes **into a caller-provided buffer** and performs
+//! no allocation, so the same code serves two masters:
+//!
+//! * the autograd [`crate::Tape`] forward ops, which hand in freshly
+//!   zeroed [`crate::Tensor`]s and record the result for the backward
+//!   pass, and
+//! * the tape-free compiled executor (`paragraph-exec`), which hands in
+//!   preallocated arena slices reused across requests.
+//!
+//! Because both paths dispatch into the *same* functions — including the
+//! AVX2 dense matmul path behind [`matmul`] — their outputs are
+//! bit-identical by construction: there is no second implementation to
+//! drift. Kernels that accumulate ([`matmul`] excepted, which zeroes its
+//! output first) require the output buffer to be pre-zeroed; each doc
+//! comment states the contract.
+//!
+//! Accumulation orders mirror the tape ops exactly: ascending edge index
+//! within a destination segment, ascending `p` in dense products, and
+//! the same max-subtracted segment softmax for attention. See
+//! `docs/performance.md` for the bitwise-parity contract.
+
+use crate::plan::CsrPlan;
+use crate::tensor::{matmul_into, par_rows_by_work};
+
+/// Row norms at or below this threshold pass through
+/// [`row_l2_normalize`] unscaled.
+pub const L2_EPS: f32 = 1e-12;
+
+/// Euclidean norm of a row, accumulated in ascending index order.
+pub fn l2(row: &[f32]) -> f32 {
+    row.iter().map(|v| v * v).sum::<f32>().sqrt()
+}
+
+/// Dense product `out = a (m x k) @ b (k x n)`.
+///
+/// Zeroes `out` and accumulates with the same threaded, AVX2-dispatched
+/// row kernels [`crate::Tensor::matmul`] uses, so results are
+/// bit-identical to the tape path.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given shape.
+pub fn matmul(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "matmul lhs length mismatch");
+    assert_eq!(b.len(), k * n, "matmul rhs length mismatch");
+    assert_eq!(out.len(), m * n, "matmul out length mismatch");
+    out.fill(0.0);
+    matmul_into(a, b, out, m, k, n);
+}
+
+/// Adds a `1 x F` bias row to every row of `x` in place.
+///
+/// # Panics
+///
+/// Panics if `x.len()` is not a multiple of `bias.len()`.
+pub fn add_bias(x: &mut [f32], bias: &[f32]) {
+    if bias.is_empty() {
+        assert!(x.is_empty(), "bias width must divide the buffer length");
+        return;
+    }
+    assert!(
+        x.len().is_multiple_of(bias.len()),
+        "bias width must divide the buffer length"
+    );
+    for row in x.chunks_exact_mut(bias.len()) {
+        for (v, &b) in row.iter_mut().zip(bias.iter()) {
+            *v += b;
+        }
+    }
+}
+
+/// Rectified linear unit in place.
+pub fn relu(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v = v.max(0.0);
+    }
+}
+
+/// L2-normalises each `cols`-wide row of `x` in place; rows with norm at
+/// or below [`L2_EPS`] pass through.
+///
+/// # Panics
+///
+/// Panics if `x.len()` is not a multiple of `cols`.
+pub fn row_l2_normalize(x: &mut [f32], cols: usize) {
+    if cols == 0 {
+        assert!(x.is_empty(), "column count must divide the buffer length");
+        return;
+    }
+    assert!(
+        x.len().is_multiple_of(cols),
+        "column count must divide the buffer length"
+    );
+    for row in x.chunks_exact_mut(cols) {
+        let norm = l2(row);
+        if norm > L2_EPS {
+            for v in row.iter_mut() {
+                *v /= norm;
+            }
+        }
+    }
+}
+
+/// Column concatenation: `out` rows are `a`'s row followed by `b`'s row.
+///
+/// # Panics
+///
+/// Panics if the buffer lengths disagree with `rows * (fa + fb)`.
+pub fn concat_cols(a: &[f32], fa: usize, b: &[f32], fb: usize, out: &mut [f32], rows: usize) {
+    assert_eq!(a.len(), rows * fa, "concat lhs length mismatch");
+    assert_eq!(b.len(), rows * fb, "concat rhs length mismatch");
+    assert_eq!(out.len(), rows * (fa + fb), "concat out length mismatch");
+    for i in 0..rows {
+        let dst = &mut out[i * (fa + fb)..(i + 1) * (fa + fb)];
+        dst[..fa].copy_from_slice(&a[i * fa..(i + 1) * fa]);
+        dst[fa..].copy_from_slice(&b[i * fb..(i + 1) * fb]);
+    }
+}
+
+/// Gathers rows: `out[e] = src[index[e]]` with `f`-wide rows.
+///
+/// # Panics
+///
+/// Panics if an index is out of range or the lengths disagree.
+pub fn gather_rows(src: &[f32], f: usize, index: &[u32], out: &mut [f32]) {
+    assert_eq!(out.len(), index.len() * f, "gather out length mismatch");
+    let n = src.len().checked_div(f).unwrap_or(0);
+    for (e, &i) in index.iter().enumerate() {
+        let i = i as usize;
+        assert!(i < n, "gather index {i} out of range (n = {n})");
+        out[e * f..(e + 1) * f].copy_from_slice(&src[i * f..(i + 1) * f]);
+    }
+}
+
+/// Scatter-add rows: `out[index[e]] += src[e]` with `f`-wide rows, in
+/// ascending `e` order. `out` must be pre-zeroed (or hold a running sum).
+///
+/// # Panics
+///
+/// Panics if an index is out of range or `src` does not match `index`.
+pub fn scatter_add_rows(src: &[f32], f: usize, index: &[u32], out: &mut [f32]) {
+    assert_eq!(src.len(), index.len() * f, "scatter src length mismatch");
+    let rows = out.len().checked_div(f).unwrap_or(0);
+    for (e, &i) in index.iter().enumerate() {
+        let i = i as usize;
+        assert!(i < rows, "scatter index {i} out of range");
+        for (o, &v) in out[i * f..(i + 1) * f]
+            .iter_mut()
+            .zip(src[e * f..(e + 1) * f].iter())
+        {
+            *o += v;
+        }
+    }
+}
+
+/// Fused segment-mean aggregation over a compiled [`CsrPlan`]:
+/// `out[d] = (Σ_e h[src_e]) / max(deg(d), 1)`. `out` must be pre-zeroed.
+///
+/// Parallelises over destination rows exactly like the tape op (same
+/// work estimate, same chunking), so results are bit-identical across
+/// worker counts and against the tape path.
+///
+/// # Panics
+///
+/// Panics if `h` does not cover `plan.num_nodes()` rows of width `f`.
+pub fn spmm_mean(h: &[f32], f: usize, plan: &CsrPlan, out: &mut [f32]) {
+    let n = plan.num_nodes();
+    assert_eq!(h.len(), n * f, "spmm_mean input length mismatch");
+    assert_eq!(out.len(), n * f, "spmm_mean out length mismatch");
+    let work = plan.num_edges().saturating_mul(f);
+    par_rows_by_work(n, f, work, out, |chunk, d0, d1| {
+        let offsets = plan.dst_offsets();
+        let src = plan.sorted_src();
+        let inv = plan.inv_in_degree();
+        for d in d0..d1 {
+            let row = &mut chunk[(d - d0) * f..(d - d0 + 1) * f];
+            for &s in &src[offsets[d] as usize..offsets[d + 1] as usize] {
+                let s = s as usize;
+                for (o, &v) in row.iter_mut().zip(h[s * f..(s + 1) * f].iter()) {
+                    *o += v;
+                }
+            }
+            let w = inv[d];
+            for o in row.iter_mut() {
+                *o *= w;
+            }
+        }
+    });
+}
+
+/// Fused per-edge-weighted aggregation: `out[d] = Σ_e coeff_e · h[src_e]`
+/// with `coeff` in the plan's destination-sorted order. `out` must be
+/// pre-zeroed.
+///
+/// # Panics
+///
+/// Panics if the lengths disagree with the plan.
+pub fn spmm_norm(h: &[f32], f: usize, plan: &CsrPlan, coeff: &[f32], out: &mut [f32]) {
+    let n = plan.num_nodes();
+    assert_eq!(h.len(), n * f, "spmm_norm input length mismatch");
+    assert_eq!(out.len(), n * f, "spmm_norm out length mismatch");
+    assert_eq!(
+        coeff.len(),
+        plan.num_edges(),
+        "spmm_norm coefficient/edge count mismatch"
+    );
+    let work = plan.num_edges().saturating_mul(f);
+    par_rows_by_work(n, f, work, out, |chunk, d0, d1| {
+        let offsets = plan.dst_offsets();
+        let src = plan.sorted_src();
+        for d in d0..d1 {
+            let row = &mut chunk[(d - d0) * f..(d - d0 + 1) * f];
+            for ei in offsets[d] as usize..offsets[d + 1] as usize {
+                let w = coeff[ei];
+                let s = src[ei] as usize;
+                for (o, &v) in row.iter_mut().zip(h[s * f..(s + 1) * f].iter()) {
+                    *o += w * v;
+                }
+            }
+        }
+    });
+}
+
+/// Per-edge attention scores and softmax weights in the plan's
+/// destination-sorted order.
+///
+/// `z` is `N x f` row-major, `a` the `2f`-long attention vector
+/// (destination half first). Fills `raw[e] = z[dst_e]·a_dst + z[src_e]·a_src`
+/// (pre-activation, needed by the backward pass) and `alpha` with the
+/// per-destination softmax of `leaky_relu(raw)`; `zd_dot`/`zs_dot` are
+/// `N`-long scratch for the per-node score halves. All four buffers are
+/// fully overwritten — no pre-zeroing needed.
+///
+/// # Panics
+///
+/// Panics if any buffer length disagrees with the plan or `f`.
+#[allow(clippy::too_many_arguments)]
+pub fn attend_scores(
+    z: &[f32],
+    f: usize,
+    a: &[f32],
+    plan: &CsrPlan,
+    slope: f32,
+    zd_dot: &mut [f32],
+    zs_dot: &mut [f32],
+    raw: &mut [f32],
+    alpha: &mut [f32],
+) {
+    let n = plan.num_nodes();
+    let e = plan.num_edges();
+    assert_eq!(z.len(), n * f, "attend input length mismatch");
+    assert_eq!(a.len(), 2 * f, "attention vector must have 2F entries");
+    assert_eq!(zd_dot.len(), n, "zd_dot scratch length mismatch");
+    assert_eq!(zs_dot.len(), n, "zs_dot scratch length mismatch");
+    assert_eq!(raw.len(), e, "raw buffer length mismatch");
+    assert_eq!(alpha.len(), e, "alpha buffer length mismatch");
+    let a_dst = &a[..f];
+    let a_src = &a[f..];
+    // Per-node halves of the score: raw_e decomposes into
+    // zd_dot[dst_e] + zs_dot[src_e], so the O(E·F) gathered dot product
+    // collapses to O(N·F) + O(E).
+    for i in 0..n {
+        let row = &z[i * f..(i + 1) * f];
+        let mut d = 0.0_f32;
+        let mut s = 0.0_f32;
+        for j in 0..f {
+            d += row[j] * a_dst[j];
+            s += row[j] * a_src[j];
+        }
+        zd_dot[i] = d;
+        zs_dot[i] = s;
+    }
+    for ei in 0..e {
+        raw[ei] = zd_dot[plan.sorted_dst()[ei] as usize] + zs_dot[plan.sorted_src()[ei] as usize];
+    }
+    // Segment softmax over the contiguous destination segments, with the
+    // same max-subtraction scheme as the composed `segment_softmax` op.
+    for d in 0..n {
+        let seg = plan.edges_into(d);
+        if seg.is_empty() {
+            continue;
+        }
+        let mut max = f32::NEG_INFINITY;
+        for ei in seg.clone() {
+            let x = raw[ei];
+            let s = if x >= 0.0 { x } else { slope * x };
+            alpha[ei] = s;
+            max = max.max(s);
+        }
+        let mut denom = 0.0_f32;
+        for ei in seg.clone() {
+            let v = (alpha[ei] - max).exp();
+            alpha[ei] = v;
+            denom += v;
+        }
+        if denom > 0.0 {
+            for ei in seg {
+                alpha[ei] /= denom;
+            }
+        }
+    }
+}
+
+/// Attention-weighted scatter: `out[d] = Σ_e alpha_e · z[src_e]` with
+/// `alpha` in the plan's destination-sorted order (from
+/// [`attend_scores`]). `out` must be pre-zeroed.
+///
+/// # Panics
+///
+/// Panics if the lengths disagree with the plan.
+pub fn attend_apply(z: &[f32], f: usize, plan: &CsrPlan, alpha: &[f32], out: &mut [f32]) {
+    let n = plan.num_nodes();
+    assert_eq!(z.len(), n * f, "attend input length mismatch");
+    assert_eq!(out.len(), n * f, "attend out length mismatch");
+    assert_eq!(alpha.len(), plan.num_edges(), "alpha/edge count mismatch");
+    let work = plan.num_edges().saturating_mul(f);
+    par_rows_by_work(n, f, work, out, |chunk, d0, d1| {
+        let offsets = plan.dst_offsets();
+        let src = plan.sorted_src();
+        for d in d0..d1 {
+            let row = &mut chunk[(d - d0) * f..(d - d0 + 1) * f];
+            for ei in offsets[d] as usize..offsets[d + 1] as usize {
+                let w = alpha[ei];
+                let s = src[ei] as usize;
+                for (o, &v) in row.iter_mut().zip(z[s * f..(s + 1) * f].iter()) {
+                    *o += w * v;
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_tensor_matmul() {
+        let a = crate::Tensor::from_fn(3, 4, |i, j| (i * 4 + j) as f32 * 0.25 - 1.0);
+        let b = crate::Tensor::from_fn(4, 2, |i, j| (i as f32 - j as f32) * 0.5);
+        let expect = a.matmul(&b);
+        let mut out = vec![f32::NAN; 6];
+        matmul(a.as_slice(), b.as_slice(), &mut out, 3, 4, 2);
+        assert_eq!(out, expect.as_slice());
+    }
+
+    #[test]
+    fn add_bias_relu_l2norm_roundtrip() {
+        let mut x = vec![1.0, -2.0, 3.0, -4.0];
+        add_bias(&mut x, &[0.5, 0.5]);
+        assert_eq!(x, vec![1.5, -1.5, 3.5, -3.5]);
+        relu(&mut x);
+        assert_eq!(x, vec![1.5, 0.0, 3.5, 0.0]);
+        row_l2_normalize(&mut x, 2);
+        assert_eq!(x, vec![1.0, 0.0, 1.0, 0.0]);
+        // Zero rows pass through unscaled.
+        let mut z = vec![0.0, 0.0];
+        row_l2_normalize(&mut z, 2);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn gather_scatter_inverse_on_permutation() {
+        let src = [1.0_f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut gathered = vec![0.0; 6];
+        gather_rows(&src, 2, &[2, 0, 1], &mut gathered);
+        assert_eq!(gathered, vec![5.0, 6.0, 1.0, 2.0, 3.0, 4.0]);
+        let mut back = vec![0.0; 6];
+        scatter_add_rows(&gathered, 2, &[2, 0, 1], &mut back);
+        assert_eq!(back.as_slice(), src.as_slice());
+    }
+
+    #[test]
+    fn spmm_mean_averages_incoming_rows() {
+        // Edges 0->2, 1->2: node 2 receives the mean of rows 0 and 1.
+        let plan = CsrPlan::new(&[0, 1], &[2, 2], 3);
+        let h = [2.0_f32, 4.0, 6.0, 8.0, 0.0, 0.0];
+        let mut out = vec![0.0; 6];
+        spmm_mean(&h, 2, &plan, &mut out);
+        assert_eq!(&out[4..], &[4.0, 6.0]);
+        assert_eq!(&out[..4], &[0.0; 4]);
+    }
+
+    #[test]
+    fn attend_scores_softmax_sums_to_one() {
+        let plan = CsrPlan::new(&[0, 1, 2], &[2, 2, 0], 3);
+        let z = [0.3_f32, -0.1, 0.7, 0.2, -0.4, 0.5];
+        let a = [0.25_f32, -0.5, 1.0, 0.75];
+        let (mut zd, mut zs) = (vec![0.0; 3], vec![0.0; 3]);
+        let (mut raw, mut alpha) = (vec![0.0; 3], vec![0.0; 3]);
+        attend_scores(
+            &z, 2, &a, &plan, 0.2, &mut zd, &mut zs, &mut raw, &mut alpha,
+        );
+        // Destination 2 owns sorted edges 1..3; its weights sum to 1.
+        assert!((alpha[1] + alpha[2] - 1.0).abs() < 1e-6);
+        assert!((alpha[0] - 1.0).abs() < 1e-6);
+        let mut out = vec![0.0; 6];
+        attend_apply(&z, 2, &plan, &alpha, &mut out);
+        // Node 1 aggregates nothing; node 0 aggregates z[2] with weight 1.
+        assert_eq!(&out[2..4], &[0.0, 0.0]);
+        assert_eq!(&out[..2], &[-0.4, 0.5]);
+    }
+}

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod gradcheck;
+pub mod kernels;
 mod optim;
 mod params;
 mod plan;

@@ -24,6 +24,8 @@
 
 use std::sync::Arc;
 
+use crate::kernels;
+use crate::kernels::{l2, L2_EPS};
 use crate::params::{ParamId, ParamSet};
 use crate::plan::CsrPlan;
 use crate::tensor::{par_rows_by_work, Tensor};
@@ -238,15 +240,10 @@ impl Tape {
     ///
     /// Panics if `bias` is not `1 x F` with matching `F`.
     pub fn add_bias(&mut self, a: Var, bias: Var) -> Var {
-        let (n, f) = self.value(a).shape();
+        let (_, f) = self.value(a).shape();
         assert_eq!(self.value(bias).shape(), (1, f), "bias must be 1x{f}");
         let mut v = self.value(a).clone();
-        for i in 0..n {
-            let b = self.nodes[bias.0].value.row(0).to_vec();
-            for (x, bv) in v.row_mut(i).iter_mut().zip(b.iter()) {
-                *x += bv;
-            }
-        }
+        kernels::add_bias(v.as_mut_slice(), self.nodes[bias.0].value.row(0));
         self.push(v, Op::AddBias(a, bias))
     }
 
@@ -282,7 +279,8 @@ impl Tape {
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(0.0));
+        let mut v = self.value(a).clone();
+        kernels::relu(v.as_mut_slice());
         self.push(v, Op::Relu(a))
     }
 
@@ -323,13 +321,9 @@ impl Tape {
     /// Panics if any index is out of range.
     pub fn gather_rows(&mut self, a: Var, index: Arc<Vec<u32>>) -> Var {
         let src = self.value(a);
-        let (n, f) = src.shape();
+        let f = src.cols();
         let mut out = Tensor::zeros(index.len(), f);
-        for (e, &i) in index.iter().enumerate() {
-            let i = i as usize;
-            assert!(i < n, "gather index {i} out of range (n = {n})");
-            out.row_mut(e).copy_from_slice(src.row(i));
-        }
+        kernels::gather_rows(src.as_slice(), f, &index, out.as_mut_slice());
         self.push(out, Op::GatherRows(a, index))
     }
 
@@ -344,14 +338,7 @@ impl Tape {
         assert_eq!(src.rows(), index.len(), "scatter rows/index mismatch");
         let f = src.cols();
         let mut out = Tensor::zeros(num_rows, f);
-        for (e, &i) in index.iter().enumerate() {
-            let i = i as usize;
-            assert!(i < num_rows, "scatter index {i} out of range");
-            let row = src.row(e).to_vec();
-            for (o, v) in out.row_mut(i).iter_mut().zip(row.iter()) {
-                *o += v;
-            }
-        }
+        kernels::scatter_add_rows(src.as_slice(), f, &index, out.as_mut_slice());
         self.push(out, Op::ScatterAddRows(a, index, num_rows))
     }
 
@@ -395,16 +382,9 @@ impl Tape {
 
     /// L2-normalises each row (rows with norm below `1e-12` pass through).
     pub fn row_l2_normalize(&mut self, a: Var) -> Var {
-        let x = self.value(a);
-        let mut out = x.clone();
-        for i in 0..out.rows() {
-            let norm = l2(out.row(i));
-            if norm > L2_EPS {
-                for v in out.row_mut(i) {
-                    *v /= norm;
-                }
-            }
-        }
+        let mut out = self.value(a).clone();
+        let cols = out.cols();
+        kernels::row_l2_normalize(out.as_mut_slice(), cols);
         self.push(out, Op::RowL2Normalize(a))
     }
 
@@ -474,23 +454,13 @@ impl Tape {
         let av = self.value(a);
         let (_, alpha) = attend_scores(zv, av, &plan, slope);
         let mut out = Tensor::zeros(n, f);
-        let work = plan.num_edges().saturating_mul(f);
-        {
-            let zv = self.value(z);
-            par_rows_by_work(n, f, work, out.as_mut_slice(), |chunk, d0, d1| {
-                let offsets = plan.dst_offsets();
-                let src = plan.sorted_src();
-                for d in d0..d1 {
-                    let row = &mut chunk[(d - d0) * f..(d - d0 + 1) * f];
-                    for ei in offsets[d] as usize..offsets[d + 1] as usize {
-                        let w = alpha[ei];
-                        for (o, &v) in row.iter_mut().zip(zv.row(src[ei] as usize)) {
-                            *o += w * v;
-                        }
-                    }
-                }
-            });
-        }
+        kernels::attend_apply(
+            self.value(z).as_slice(),
+            f,
+            &plan,
+            &alpha,
+            out.as_mut_slice(),
+        );
         self.push(out, Op::AttendAggregate { z, a, plan, slope })
     }
 
@@ -517,24 +487,7 @@ impl Tape {
         }
         let _span = paragraph_obs::span!("spmm_mean", nodes = n, edges = plan.num_edges());
         let mut out = Tensor::zeros(n, f);
-        let work = plan.num_edges().saturating_mul(f);
-        par_rows_by_work(n, f, work, out.as_mut_slice(), |chunk, d0, d1| {
-            let offsets = plan.dst_offsets();
-            let src = plan.sorted_src();
-            let inv = plan.inv_in_degree();
-            for d in d0..d1 {
-                let row = &mut chunk[(d - d0) * f..(d - d0 + 1) * f];
-                for &s in &src[offsets[d] as usize..offsets[d + 1] as usize] {
-                    for (o, &v) in row.iter_mut().zip(hv.row(s as usize)) {
-                        *o += v;
-                    }
-                }
-                let w = inv[d];
-                for o in row.iter_mut() {
-                    *o *= w;
-                }
-            }
-        });
+        kernels::spmm_mean(hv.as_slice(), f, &plan, out.as_mut_slice());
         self.push(out, Op::SpmmMean(h, plan))
     }
 
@@ -566,23 +519,7 @@ impl Tape {
         }
         let _span = paragraph_obs::span!("spmm_norm", nodes = n, edges = plan.num_edges());
         let mut out = Tensor::zeros(n, f);
-        let work = plan.num_edges().saturating_mul(f);
-        {
-            let coeff = &coeff;
-            par_rows_by_work(n, f, work, out.as_mut_slice(), |chunk, d0, d1| {
-                let offsets = plan.dst_offsets();
-                let src = plan.sorted_src();
-                for d in d0..d1 {
-                    let row = &mut chunk[(d - d0) * f..(d - d0 + 1) * f];
-                    for ei in offsets[d] as usize..offsets[d + 1] as usize {
-                        let w = coeff[ei];
-                        for (o, &v) in row.iter_mut().zip(hv.row(src[ei] as usize)) {
-                            *o += w * v;
-                        }
-                    }
-                }
-            });
-        }
+        kernels::spmm_norm(hv.as_slice(), f, &plan, &coeff, out.as_mut_slice());
         self.push(out, Op::SpmmNorm(h, plan, coeff))
     }
 
@@ -866,12 +803,6 @@ impl Tape {
     }
 }
 
-const L2_EPS: f32 = 1e-12;
-
-fn l2(row: &[f32]) -> f32 {
-    row.iter().map(|v| v * v).sum::<f32>().sqrt()
-}
-
 fn segment_softmax_forward(src: &Tensor, segments: &[u32], num_segments: usize) -> Tensor {
     let mut max = vec![f32::NEG_INFINITY; num_segments];
     for (e, &s) in segments.iter().enumerate() {
@@ -905,56 +836,22 @@ fn segment_softmax_forward(src: &Tensor, segments: &[u32], num_segments: usize) 
 /// the inspection path cannot drift from the training path.
 fn attend_scores(z: &Tensor, a: &Tensor, plan: &CsrPlan, slope: f32) -> (Vec<f32>, Vec<f32>) {
     let (n, f) = z.shape();
-    let a_dst = &a.as_slice()[..f];
-    let a_src = &a.as_slice()[f..];
-    // Per-node halves of the score: raw_e decomposes into
-    // zd_dot[dst_e] + zs_dot[src_e], so the O(E·F) gathered dot product
-    // collapses to O(N·F) + O(E).
+    let e = plan.num_edges();
     let mut zd_dot = vec![0.0_f32; n];
     let mut zs_dot = vec![0.0_f32; n];
-    for i in 0..n {
-        let row = z.row(i);
-        let mut d = 0.0_f32;
-        let mut s = 0.0_f32;
-        for j in 0..f {
-            d += row[j] * a_dst[j];
-            s += row[j] * a_src[j];
-        }
-        zd_dot[i] = d;
-        zs_dot[i] = s;
-    }
-    let e = plan.num_edges();
     let mut raw = vec![0.0_f32; e];
     let mut alpha = vec![0.0_f32; e];
-    for ei in 0..e {
-        raw[ei] = zd_dot[plan.sorted_dst()[ei] as usize] + zs_dot[plan.sorted_src()[ei] as usize];
-    }
-    // Segment softmax over the contiguous destination segments, with the
-    // same max-subtraction scheme as `segment_softmax_forward`.
-    for d in 0..n {
-        let seg = plan.edges_into(d);
-        if seg.is_empty() {
-            continue;
-        }
-        let mut max = f32::NEG_INFINITY;
-        for ei in seg.clone() {
-            let x = raw[ei];
-            let s = if x >= 0.0 { x } else { slope * x };
-            alpha[ei] = s;
-            max = max.max(s);
-        }
-        let mut denom = 0.0_f32;
-        for ei in seg.clone() {
-            let v = (alpha[ei] - max).exp();
-            alpha[ei] = v;
-            denom += v;
-        }
-        if denom > 0.0 {
-            for ei in seg {
-                alpha[ei] /= denom;
-            }
-        }
-    }
+    kernels::attend_scores(
+        z.as_slice(),
+        f,
+        a.as_slice(),
+        plan,
+        slope,
+        &mut zd_dot,
+        &mut zs_dot,
+        &mut raw,
+        &mut alpha,
+    );
     (raw, alpha)
 }
 

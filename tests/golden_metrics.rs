@@ -87,6 +87,48 @@ fn assert_close(name: &str, actual: f64, golden: f64) {
     );
 }
 
+/// The compiled tape-free executor must reproduce the tape's circuit
+/// predictions bit-for-bit on a trained model — same contract the
+/// `paragraph-exec` parity suite pins on raw graphs, here checked
+/// through the full `predict_circuit` pipeline (graph build, feature
+/// normalisation, unscaling) so serving can switch paths freely.
+#[test]
+fn executor_path_is_bitwise_identical_to_tape() {
+    use paragraph::ExecutorMode;
+    let mut train = dataset(4, 11);
+    let test = dataset(2, 60);
+    let norm = fit_norm(&train);
+    normalize_circuits(&mut train, &norm);
+
+    for kind in GnnKind::all() {
+        let mut fit = FitConfig::quick(kind);
+        fit.epochs = 4;
+        fit.seed = 7;
+        let (model, _) = TargetModel::train(&train, Target::Cap, None, fit, &norm);
+        let mut tape_model = model.clone();
+        tape_model.executor = ExecutorMode::Off;
+        let mut exec_model = model;
+        exec_model.executor = ExecutorMode::On;
+        for pc in &test {
+            let tape = tape_model.predict_circuit(&pc.circuit);
+            let exec = exec_model.predict_circuit(&pc.circuit);
+            assert_eq!(tape.len(), exec.len());
+            for (i, (t, e)) in tape.iter().zip(&exec).enumerate() {
+                match (t, e) {
+                    (Some(t), Some(e)) => assert_eq!(
+                        t.to_bits(),
+                        e.to_bits(),
+                        "{}: net {i} differs (tape {t:?} vs executor {e:?})",
+                        kind.name()
+                    ),
+                    (None, None) => {}
+                    other => panic!("{}: net {i} presence differs: {other:?}", kind.name()),
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn pinned_seed_metrics_match_golden() {
     let actual = golden_run();
