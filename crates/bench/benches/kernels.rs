@@ -13,7 +13,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use paragraph_tensor::{CsrPlan, ParamSet, Tape, Tensor, Var};
+use paragraph_tensor::quant::{self, F16Matrix, QuantMatrix};
+use paragraph_tensor::{kernels, CsrPlan, ParamSet, Tape, Tensor, Var};
 use serde_json::json;
 
 const FEAT_DIM: usize = 16;
@@ -203,6 +204,52 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// Single-precision vs reduced-precision GEMM on the executor's weight
+/// shapes: one `m x k` activation block against a `k x n` packed weight
+/// matrix, quantize-on-the-fly included in the int8 timing (that is
+/// what the compiled path pays per request).
+fn bench_gemm_precision(c: &mut Criterion) {
+    let m = if quick_mode() { 64 } else { 512 };
+    for kn in [16usize, 64, 128] {
+        let (k, n) = (kn, kn);
+        // Post-ReLU activations, as every layer past the first sees:
+        // about half the entries are exact zeros, which the int8
+        // kernel's nonzero-pair compression exploits.
+        let a = Tensor::from_fn(m, k, |i, j| {
+            (((i * 7 + j * 3) % 23) as f32 * 0.09 - 1.0).max(0.0)
+        });
+        let b = Tensor::from_fn(k, n, |i, j| ((i * 5 + j * 11) % 19) as f32 * 0.1 - 0.9);
+        let b16 = F16Matrix::from_f32(b.as_slice(), k, n);
+        let b8 = QuantMatrix::quantize(b.as_slice(), k, n);
+        let a_scale = quant::max_abs(a.as_slice()) / 127.0;
+        let mut qa = vec![0_i8; m * k];
+        let mut out = vec![0f32; m * n];
+
+        let mut group = c.benchmark_group(format!("gemm_{m}x{k}x{n}"));
+        group.sample_size(10);
+        group.bench_function("f32", |bench| {
+            bench.iter(|| {
+                kernels::matmul(a.as_slice(), b.as_slice(), &mut out, m, k, n);
+                std::hint::black_box(&out);
+            });
+        });
+        group.bench_function("f16", |bench| {
+            bench.iter(|| {
+                kernels::matmul_f16(a.as_slice(), &b16, &mut out, m, k, n);
+                std::hint::black_box(&out);
+            });
+        });
+        group.bench_function("int8", |bench| {
+            bench.iter(|| {
+                quant::quantize_i8(a.as_slice(), a_scale, &mut qa);
+                kernels::matmul_q8(&qa, a_scale, &b8, &mut out, m, k, n);
+                std::hint::black_box(&out);
+            });
+        });
+        group.finish();
+    }
+}
+
 /// Steady-state measurement + JSON summary.
 fn write_summary(_c: &mut Criterion) {
     let quick = quick_mode();
@@ -273,5 +320,5 @@ fn write_summary(_c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_kernels, write_summary);
+criterion_group!(benches, bench_kernels, bench_gemm_precision, write_summary);
 criterion_main!(benches);

@@ -90,6 +90,9 @@ fn usage() -> ! {
          \x20                              executor, autograd tape, or auto\n\
          \x20                              (executor when the model compiles;\n\
          \x20                              env PARAGRAPH_EXECUTOR)\n\
+         \x20        --precision <f32|f16|int8>  compiled-path weight\n\
+         \x20                              precision; artifact pins win\n\
+         \x20                              (env PARAGRAPH_PRECISION)\n\
          \n\
          PARAGRAPH_TRACE=1 records spans to target/trace.json;\n\
          PARAGRAPH_EVENTS=1 records the structured event log"
@@ -320,6 +323,22 @@ fn executor_flag_env(flags: &Flags) -> paragraph::ExecutorMode {
         .unwrap_or(ExecutorMode::Auto)
 }
 
+/// `--precision` flag, falling back to `PARAGRAPH_PRECISION`, then f32.
+/// Same precedence contract as [`executor_flag_env`].
+fn precision_flag_env(flags: &Flags) -> paragraph::Precision {
+    use paragraph::Precision;
+    if let Some(v) = flags.get("precision") {
+        return Precision::parse(v).unwrap_or_else(|| {
+            eprintln!("--precision expects f32|f16|int8, got '{v}'");
+            usage()
+        });
+    }
+    std::env::var("PARAGRAPH_PRECISION")
+        .ok()
+        .and_then(|v| Precision::parse(&v))
+        .unwrap_or(Precision::F32)
+}
+
 fn serve(flags: &Flags) {
     use paragraph_serve::{ModelRegistry, Server, Service, ServiceConfig};
     use std::sync::Arc;
@@ -328,11 +347,14 @@ fn serve(flags: &Flags) {
     let models_dir = flags.required("models");
     let addr = flags.get("addr").unwrap_or("127.0.0.1:9107");
     let executor = executor_flag_env(flags);
-    // The process-wide default governs any model created outside the
-    // registry (Auto-mode models defer to it); the registry stamps the
-    // mode onto every loaded model so reloads keep the choice.
+    let precision = precision_flag_env(flags);
+    // The process-wide defaults govern any model created outside the
+    // registry (Auto-mode models defer to them); the registry stamps
+    // both settings onto every loaded model so reloads keep the choice
+    // (artifact precision pins win over the registry-wide setting).
     paragraph::set_executor_default(executor);
-    let registry = match ModelRegistry::open_with_executor(models_dir, executor) {
+    paragraph::set_precision_default(precision);
+    let registry = match ModelRegistry::open_with(models_dir, executor, Some(precision)) {
         Ok(r) => Arc::new(r),
         Err(e) => {
             eprintln!("cannot load models from {models_dir}: {e}");
@@ -355,10 +377,11 @@ fn serve(flags: &Flags) {
     };
     let snapshot = registry.current();
     eprintln!(
-        "loaded {} model(s): [{}]  (executor {})",
+        "loaded {} model(s): [{}]  (executor {}, precision {})",
         snapshot.models.len(),
         snapshot.keys().join(", "),
-        executor.name()
+        executor.name(),
+        precision.name()
     );
     if paragraph_obs::events_enabled() {
         eprintln!(

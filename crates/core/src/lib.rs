@@ -71,11 +71,13 @@ pub use graphbuild::{
     build_graph, circuit_schema, edge_type, edge_type_name, raw_feature_rows, CircuitGraph,
     TerminalClass, EDGE_CLASSES, NUM_EDGE_TYPES,
 };
+pub use paragraph_exec::{CompileError, Precision};
 pub use persist::{LoadModelError, SavedModel};
 pub use pipeline::{
-    evaluate_model, executor_default, fit_norm, normalize_circuits, prepare_circuits,
-    set_executor_default, train_models, BaselineKind, BaselineModel, EvalPairs, EvalSummary,
-    ExecutorMode, FitConfig, GnnKind, PredictProfile, PreparedCircuit, TargetModel, TrainSpec,
+    evaluate_model, executor_default, fit_norm, normalize_circuits, precision_default,
+    prepare_circuits, set_executor_default, set_precision_default, train_models, BaselineKind,
+    BaselineModel, EvalPairs, EvalSummary, ExecutorMode, FitConfig, GnnKind, PredictProfile,
+    PreparedCircuit, TargetModel, TrainSpec,
 };
 pub use targets::{label_node_types, target_labels, Target, TargetLabels};
 

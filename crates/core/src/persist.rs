@@ -4,6 +4,8 @@ use serde::{Deserialize, Serialize};
 
 use paragraph_gnn::{GnnKind, GnnModel, ModelConfig};
 
+use paragraph_exec::Precision;
+
 use crate::baseline::BaselineStats;
 use crate::features::FeatureNorm;
 use crate::graphbuild::circuit_schema;
@@ -45,6 +47,15 @@ pub struct SavedModel {
     /// monitoring. Absent in artifacts written before baseline capture
     /// existed — such snapshots still load (the field reads as `None`).
     pub baseline: Option<BaselineStats>,
+    /// Pinned compiled-path precision name (`f32`/`f16`/`int8`), if the
+    /// model was saved with an explicit pin. `None` (including old
+    /// artifacts without the key) follows the process-wide default.
+    pub precision: Option<String>,
+    /// Activation-calibration site maxima for int8 scales (see
+    /// `TargetModel::calibration`). Absent in pre-quantization
+    /// artifacts; re-derived from the baseline at load time when
+    /// possible.
+    pub calibration: Option<Vec<f32>>,
     /// Flattened parameters: `(name, rows, cols, data)`.
     pub params: Vec<(String, usize, usize, Vec<f32>)>,
 }
@@ -65,6 +76,8 @@ impl SavedModel {
             seed: model.fit.seed,
             norm: model.norm.clone(),
             baseline: model.baseline.clone(),
+            precision: model.precision.map(|p| p.name().to_owned()),
+            calibration: model.calibration.clone(),
             params: model.gnn().params().export(),
         }
     }
@@ -98,6 +111,12 @@ impl SavedModel {
             )));
         }
         gnn.params_mut().import(&self.params).map_err(err)?;
+        let precision = match &self.precision {
+            None => None,
+            Some(name) => Some(
+                Precision::parse(name).ok_or_else(|| err(format!("unknown precision '{name}'")))?,
+            ),
+        };
         let fit = FitConfig {
             epochs: 0,
             lr: 0.0,
@@ -106,6 +125,12 @@ impl SavedModel {
             layers: self.layers,
             ..FitConfig::new(kind)
         };
+        // Pre-quantization artifacts carry no calibration table;
+        // re-derive one from the baseline so int8 serving still gets
+        // static activation scales.
+        let calibration = self.calibration.or_else(|| {
+            crate::pipeline::derive_calibration(&gnn, &self.norm, self.baseline.as_ref())
+        });
         Ok(TargetModel {
             target: self.target,
             max_value: self.max_value,
@@ -114,6 +139,8 @@ impl SavedModel {
             baseline: self.baseline,
             model: gnn,
             executor: ExecutorMode::Auto,
+            precision,
+            calibration,
             compiled: CompiledCell::default(),
         })
     }

@@ -8,8 +8,10 @@
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use paragraph_exec::CompiledModel;
-use paragraph_gnn::{GnnModel, GraphBatch, GraphTask, ModelConfig, TrainConfig, Trainer};
+use paragraph_exec::{Calibration, CompileError, CompiledModel, Precision};
+use paragraph_gnn::{
+    GnnModel, GraphBatch, GraphTask, HeteroGraph, ModelConfig, TrainConfig, Trainer,
+};
 use paragraph_layout::{extract, LayoutConfig, LayoutTruth};
 use paragraph_ml::{Gbt, GbtConfig, LinearRegression};
 use paragraph_netlist::Circuit;
@@ -230,14 +232,55 @@ pub fn executor_default() -> ExecutorMode {
     }
 }
 
+/// Process-wide precision default: `u8::MAX` = not yet initialised
+/// (read `PARAGRAPH_PRECISION` lazily), else a [`Precision`]
+/// discriminant.
+static PRECISION_DEFAULT: AtomicU8 = AtomicU8::new(u8::MAX);
+
+fn precision_to_u8(precision: Precision) -> u8 {
+    match precision {
+        Precision::F32 => 0,
+        Precision::F16 => 1,
+        Precision::Int8 => 2,
+    }
+}
+
+/// Sets the process-wide compiled-path precision for models whose own
+/// `precision` field is `None`. Used by the CLI's `--precision` flag;
+/// overrides any `PARAGRAPH_PRECISION` env value.
+pub fn set_precision_default(precision: Precision) {
+    PRECISION_DEFAULT.store(precision_to_u8(precision), Ordering::Relaxed);
+}
+
+/// The process-wide compiled-path precision: whatever
+/// [`set_precision_default`] stored, else the `PARAGRAPH_PRECISION`
+/// environment variable (`f32`/`f16`/`int8`), else [`Precision::F32`].
+pub fn precision_default() -> Precision {
+    match PRECISION_DEFAULT.load(Ordering::Relaxed) {
+        0 => Precision::F32,
+        1 => Precision::F16,
+        2 => Precision::Int8,
+        _ => {
+            let precision = std::env::var("PARAGRAPH_PRECISION")
+                .ok()
+                .and_then(|v| Precision::parse(&v))
+                .unwrap_or(Precision::F32);
+            PRECISION_DEFAULT.store(precision_to_u8(precision), Ordering::Relaxed);
+            precision
+        }
+    }
+}
+
 /// Lazily compiled executor attached to a [`TargetModel`].
 ///
-/// `None` inside the lock means compilation was attempted and failed
-/// (the model falls back to the tape path). Cloning starts a fresh
-/// cell when the original is still uncompiled; a compiled executor is
-/// shared, which is sound because it snapshots the parameters.
+/// `Err` inside the lock means compilation was attempted and failed
+/// with the stored reason (the model falls back to the tape path, and
+/// the serving layer surfaces the reason in its health report).
+/// Cloning starts a fresh cell when the original is still uncompiled; a
+/// compiled executor is shared, which is sound because it snapshots the
+/// parameters.
 #[derive(Default)]
-pub(crate) struct CompiledCell(OnceLock<Option<Arc<CompiledModel>>>);
+pub(crate) struct CompiledCell(OnceLock<Result<Arc<CompiledModel>, CompileError>>);
 
 impl Clone for CompiledCell {
     fn clone(&self) -> Self {
@@ -253,8 +296,8 @@ impl std::fmt::Debug for CompiledCell {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.0.get() {
             None => write!(f, "CompiledCell(uncompiled)"),
-            Some(None) => write!(f, "CompiledCell(failed)"),
-            Some(Some(_)) => write!(f, "CompiledCell(compiled)"),
+            Some(Err(e)) => write!(f, "CompiledCell(failed: {e})"),
+            Some(Ok(_)) => write!(f, "CompiledCell(compiled)"),
         }
     }
 }
@@ -278,6 +321,17 @@ pub struct TargetModel {
     /// Inference path selection for this model (default
     /// [`ExecutorMode::Auto`]).
     pub executor: ExecutorMode,
+    /// Numeric precision for the compiled path. `None` follows the
+    /// process-wide default ([`precision_default`] /
+    /// `PARAGRAPH_PRECISION`); a pinned value wins over the default, so
+    /// accuracy-critical models can stay [`Precision::F32`] while the
+    /// rest of a registry runs quantized.
+    pub precision: Option<Precision>,
+    /// Per-activation-site maxima captured at training time over
+    /// synthetic graphs spanning the baseline feature ranges — the
+    /// static int8 activation scales. `None` on artifacts predating
+    /// calibration capture (int8 then falls back to dynamic scales).
+    pub calibration: Option<Vec<f32>>,
     pub(crate) model: GnnModel,
     pub(crate) compiled: CompiledCell,
 }
@@ -371,14 +425,18 @@ impl TargetModel {
                 &[("kind", fit.kind.name()), ("target", &target.name())],
             )
             .inc();
+        let baseline = Some(BaselineStats::compute(train, target, max_value));
+        let calibration = derive_calibration(&model, norm, baseline.as_ref());
         (
             Self {
                 target,
                 max_value,
                 fit,
                 norm: clone_norm(norm),
-                baseline: Some(BaselineStats::compute(train, target, max_value)),
+                baseline,
                 executor: ExecutorMode::Auto,
+                precision: None,
+                calibration,
                 model,
                 compiled: CompiledCell::default(),
             },
@@ -454,6 +512,8 @@ impl TargetModel {
                 norm: clone_norm(norm),
                 baseline: None,              // per-epoch probe: skip the stats pass
                 executor: ExecutorMode::Off, // probe once, no compile cost
+                precision: None,
+                calibration: None,
                 model: gnn.clone(),
                 compiled: CompiledCell::default(),
             };
@@ -470,14 +530,18 @@ impl TargetModel {
             }
         }
         gnn.params_mut().import(&best_params).expect("own snapshot");
+        let baseline = Some(BaselineStats::compute(train, target, max_value));
+        let calibration = derive_calibration(&gnn, norm, baseline.as_ref());
         (
             Self {
                 target,
                 max_value,
                 fit,
                 norm: clone_norm(norm),
-                baseline: Some(BaselineStats::compute(train, target, max_value)),
+                baseline,
                 executor: ExecutorMode::Auto,
+                precision: None,
+                calibration,
                 model: gnn,
                 compiled: CompiledCell::default(),
             },
@@ -486,14 +550,14 @@ impl TargetModel {
     }
 
     /// Predicts physical-unit values for the labelled nodes of a prepared
-    /// circuit; returns `(node, prediction)` pairs.
+    /// circuit; returns `(node, prediction)` pairs. Dispatches through
+    /// the same executor/precision selection as the circuit paths.
     pub fn predict_nodes(&self, pc: &PreparedCircuit, nodes: Vec<u32>) -> Vec<(u32, f64)> {
         if nodes.is_empty() {
             return Vec::new();
         }
-        let nodes_arc = std::sync::Arc::new(nodes);
-        let preds = self.model.predict(&pc.graph.graph, &nodes_arc);
-        nodes_arc
+        let preds = self.predict_scores(&pc.graph.graph, &nodes);
+        nodes
             .iter()
             .zip(preds)
             .map(|(&n, p)| (n, self.target.unscale_with(self.max_value, p)))
@@ -691,11 +755,25 @@ impl TargetModel {
     }
 
     /// The lazily compiled executor, or `None` if compilation failed.
+    /// Compiles at this model's effective precision, passing the cached
+    /// calibration table along for int8 activation scales.
     fn compiled(&self) -> Option<&Arc<CompiledModel>> {
         self.compiled
             .0
-            .get_or_init(|| CompiledModel::compile(&self.model).ok().map(Arc::new))
+            .get_or_init(|| {
+                let calibration = self
+                    .calibration
+                    .as_ref()
+                    .map(|sites| Calibration::from_sites(sites.clone()));
+                CompiledModel::compile_with(
+                    &self.model,
+                    self.effective_precision(),
+                    calibration.as_ref(),
+                )
+                .map(Arc::new)
+            })
             .as_ref()
+            .ok()
     }
 
     /// This model's effective inference mode: its own `executor` field,
@@ -706,6 +784,41 @@ impl TargetModel {
             ExecutorMode::Auto => executor_default(),
             mode => mode,
         }
+    }
+
+    /// This model's effective compiled-path precision: its own
+    /// `precision` field, or the process-wide default
+    /// ([`precision_default`] / `PARAGRAPH_PRECISION`).
+    pub fn effective_precision(&self) -> Precision {
+        self.precision.unwrap_or_else(precision_default)
+    }
+
+    /// Flag-style name of the precision circuit predictions run at:
+    /// the effective precision when the compiled path is in use, `f32`
+    /// when predictions fall back to the tape.
+    pub fn precision_name(&self) -> &'static str {
+        if self.uses_executor() {
+            self.effective_precision().name()
+        } else {
+            Precision::F32.name()
+        }
+    }
+
+    /// Why the compiled path is unavailable for this model, if
+    /// compilation was attempted and failed (the serving layer surfaces
+    /// this in its health report). `None` while the model compiles
+    /// cleanly or when the executor is forced off (nothing to fall back
+    /// from).
+    pub fn compile_fallback(&self) -> Option<String> {
+        if self.effective_executor() == ExecutorMode::Off {
+            return None;
+        }
+        let _ = self.compiled();
+        self.compiled
+            .0
+            .get()
+            .and_then(|r| r.as_ref().err())
+            .map(|e| e.to_string())
     }
 
     /// Whether circuit predictions currently run on the compiled
@@ -720,9 +833,11 @@ impl TargetModel {
     }
 
     /// Scaled-space forward pass, dispatched to the executor or the
-    /// tape per [`TargetModel::uses_executor`]. Both paths are bitwise
-    /// identical (pinned by the `paragraph-exec` parity suite and the
-    /// golden-metrics tests).
+    /// tape per [`TargetModel::uses_executor`]. At [`Precision::F32`]
+    /// both paths are bitwise identical (pinned by the `paragraph-exec`
+    /// parity suite and the golden-metrics tests); at reduced precision
+    /// the compiled path tracks the tape within the documented
+    /// quantization tolerances instead.
     fn predict_scores(&self, graph: &paragraph_gnn::HeteroGraph, nodes: &[u32]) -> Vec<f32> {
         match self.effective_executor() {
             ExecutorMode::Off => self
@@ -753,6 +868,75 @@ fn clone_norm(norm: &FeatureNorm) -> FeatureNorm {
         mean: norm.mean.clone(),
         std: norm.std.clone(),
     }
+}
+
+/// Rows of synthetic raw features per node type in the calibration
+/// workload: the observed minimum, maximum, midpoint, and a per-feature
+/// spread point.
+const CALIBRATION_ROWS_PER_TYPE: usize = 4;
+
+/// Derives the int8 activation-calibration table for a freshly trained
+/// model: builds a small synthetic graph whose raw features span the
+/// training baseline's per-feature `[min, max]` ranges (normalised
+/// exactly like live traffic) with every edge type wired, compiles the
+/// model at f32, and records the per-site activation maxima.
+///
+/// Returns `None` when no baseline was captured or the model does not
+/// compile — int8 then falls back to dynamic per-buffer scales.
+pub(crate) fn derive_calibration(
+    model: &GnnModel,
+    norm: &FeatureNorm,
+    baseline: Option<&BaselineStats>,
+) -> Option<Vec<f32>> {
+    let baseline = baseline?;
+    let schema = circuit_schema();
+    let num_types = schema.node_feat_dims.len();
+    let mut types = Vec::with_capacity(num_types * CALIBRATION_ROWS_PER_TYPE);
+    for t in 0..num_types {
+        types.extend(std::iter::repeat_n(t as u16, CALIBRATION_ROWS_PER_TYPE));
+    }
+    let mut graph = HeteroGraph::new(&schema, types);
+    for t in 0..num_types {
+        let d = schema.node_feat_dims[t];
+        let mut rows = Vec::with_capacity(CALIBRATION_ROWS_PER_TYPE);
+        for r in 0..CALIBRATION_ROWS_PER_TYPE {
+            let mut row = vec![0.0_f32; d];
+            for (f, v) in row.iter_mut().enumerate() {
+                let lo = baseline
+                    .min
+                    .get(t)
+                    .and_then(|m| m.get(f))
+                    .copied()
+                    .unwrap_or(0.0) as f32;
+                let hi = baseline
+                    .max
+                    .get(t)
+                    .and_then(|m| m.get(f))
+                    .copied()
+                    .unwrap_or(0.0) as f32;
+                *v = match r {
+                    0 => lo,
+                    1 => hi,
+                    2 => 0.5 * (lo + hi),
+                    _ => lo + (hi - lo) * ((f + 1) as f32 / (d + 1) as f32),
+                };
+            }
+            norm.apply(t as u16, &mut row);
+            rows.push(row);
+        }
+        let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+        graph.set_features(t as u16, Tensor::from_rows(&refs));
+    }
+    let n = (num_types * CALIBRATION_ROWS_PER_TYPE) as u32;
+    for e in 0..schema.num_edge_types {
+        let src: Vec<u32> = (0..n).collect();
+        let dst: Vec<u32> = (0..n).map(|i| (i + 1 + e as u32) % n).collect();
+        graph.set_edges(e, src, dst);
+    }
+    graph.validate().ok()?;
+    let exec = CompiledModel::compile(model).ok()?;
+    let nodes: Vec<u32> = (0..n).collect();
+    Some(exec.calibrate(&[(&graph, nodes)]).sites().to_vec())
 }
 
 /// One independent training run for [`train_models`]: a `(target,
@@ -1163,9 +1347,14 @@ mod validation_tests {
         normalize_circuits(&mut val, &norm);
         let mut fit = FitConfig::quick(GnnKind::ParaGraph);
         fit.epochs = 10;
-        let (model, best_r2) =
+        let (mut model, best_r2) =
             TargetModel::train_with_validation(&train, &val, Target::Sa, None, fit, &norm, 3);
         assert!(best_r2.is_finite());
+        // The per-epoch probes score on the f32 tape, so the equality
+        // below only holds at f32 — pin it so a process-wide
+        // PARAGRAPH_PRECISION override (the quantized CI job) cannot
+        // reroute the final evaluation through a quantized path.
+        model.precision = Some(Precision::F32);
         // The returned model's validation R² equals the reported best.
         let again = evaluate_model(&model, &val, None).summary().r2;
         assert!((again - best_r2).abs() < 1e-6, "{again} vs {best_r2}");

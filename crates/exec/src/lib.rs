@@ -7,12 +7,23 @@
 //! (embed → fused message passing → FC readout) executed directly over
 //! raw `f32` buffers — no tape nodes, no per-op `Tensor` intermediates.
 //!
-//! All numerical work dispatches into [`paragraph_tensor::kernels`], the
-//! *same* into-buffer kernels the tape forwards call (including the AVX2
-//! dense paths), so executor predictions are **bitwise identical** to
-//! `GnnModel::predict` for every kind — the parity suite in
-//! `tests/parity.rs` pins this, and `docs/performance.md` documents the
-//! contract.
+//! At [`Precision::F32`] (the default) all numerical work dispatches
+//! into [`paragraph_tensor::kernels`], the *same* into-buffer kernels
+//! the tape forwards call (including the AVX2 dense paths), so executor
+//! predictions are **bitwise identical** to `GnnModel::predict` for
+//! every kind — the parity suite in `tests/parity.rs` pins this, and
+//! `docs/performance.md` documents the contract.
+//!
+//! [`CompiledModel::compile_with`] additionally offers two quantized
+//! tiers that trade that bitwise contract for throughput (accuracy is
+//! then pinned by tolerance instead — see the golden-metrics suite):
+//!
+//! * [`Precision::F16`] — weights stored as binary16, widened on load,
+//!   accumulated in f32;
+//! * [`Precision::Int8`] — weights prepacked per-output-channel into
+//!   interleaved int8 row pairs, activations quantized per call against
+//!   a [`Calibration`] range (or a dynamic max-abs fallback), products
+//!   accumulated exactly in `i32` through the 16-lane AVX2 `madd` GEMM.
 //!
 //! Buffers live in an [`Arena`]: a set of grow-only scratch vectors sized
 //! on first use for a (model, graph-shape) pair and reused verbatim on
@@ -32,37 +43,201 @@ use std::fmt;
 use std::sync::Mutex;
 
 use paragraph_gnn::{GnnKind, GnnModel, GraphBatch, HeteroGraph};
-use paragraph_tensor::{kernels, Tensor};
+use paragraph_tensor::{kernels, quant, F16Matrix, QuantMatrix, Tensor};
+
+/// Numeric representation of a compiled model's weights.
+///
+/// `F32` keeps the tape path's bitwise-parity contract; `F16` and
+/// `Int8` relax it to a tolerance-based accuracy contract in exchange
+/// for throughput (see `docs/performance.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full f32 weights — bitwise identical to the tape path.
+    #[default]
+    F32,
+    /// Binary16 weight storage with f32 accumulation.
+    F16,
+    /// Symmetric int8 weights (per-output-channel scales) with exact
+    /// i32 accumulation and baseline-calibrated activation ranges.
+    Int8,
+}
+
+impl Precision {
+    /// Parses the `--precision` flag / `PARAGRAPH_PRECISION` env
+    /// values: `f32`, `f16`, or `int8`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "f32" => Some(Self::F32),
+            "f16" => Some(Self::F16),
+            "int8" => Some(Self::Int8),
+            _ => None,
+        }
+    }
+
+    /// Flag-style name (`f32`, `f16`, `int8`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::F32 => "f32",
+            Self::F16 => "f16",
+            Self::Int8 => "int8",
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Why a model could not be compiled for tape-free execution.
 ///
 /// Compilation validates every shape the executor will rely on, so a
 /// `CompiledModel` can run without per-request checks; anything
 /// inconsistent is reported here instead (and lets an `auto` mode fall
-/// back to the tape path).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CompileError(String);
+/// back to the tape path). The variants are structured so the serving
+/// layer can surface *why* a model fell back in its health report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// A model-level configuration inconsistency (dimensions, head
+    /// widths, calibration table size).
+    InvalidConfig {
+        /// The aggregation scheme of the offending model.
+        kind: GnnKind,
+        /// What was inconsistent.
+        detail: String,
+    },
+    /// A message-passing layer parameter had an unsupported shape.
+    UnsupportedShape {
+        /// The aggregation scheme of the offending model.
+        kind: GnnKind,
+        /// Zero-based index of the offending layer.
+        layer: usize,
+        /// Which shape was wrong, and how.
+        detail: String,
+    },
+    /// A required layer parameter was absent.
+    MissingParam {
+        /// The aggregation scheme of the offending model.
+        kind: GnnKind,
+        /// Zero-based index of the offending layer.
+        layer: usize,
+        /// Name of the missing parameter.
+        param: &'static str,
+    },
+    /// The requested reduced precision cannot be applied to this model
+    /// (e.g. non-finite weights cannot be quantized).
+    UnsupportedPrecision {
+        /// The aggregation scheme of the offending model.
+        kind: GnnKind,
+        /// The precision that was requested.
+        precision: Precision,
+        /// Why the weights cannot be packed.
+        detail: String,
+    },
+}
 
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "executor compile error: {}", self.0)
+        match self {
+            Self::InvalidConfig { kind, detail } => {
+                write!(f, "executor compile error: {} model: {detail}", kind.name())
+            }
+            Self::UnsupportedShape {
+                kind,
+                layer,
+                detail,
+            } => write!(
+                f,
+                "executor compile error: {} model, layer {layer}: {detail}",
+                kind.name()
+            ),
+            Self::MissingParam { kind, layer, param } => write!(
+                f,
+                "executor compile error: {} model, layer {layer}: missing parameter {param}",
+                kind.name()
+            ),
+            Self::UnsupportedPrecision {
+                kind,
+                precision,
+                detail,
+            } => write!(
+                f,
+                "executor compile error: {} model: cannot pack weights as {precision}: {detail}",
+                kind.name()
+            ),
+        }
     }
 }
 
 impl std::error::Error for CompileError {}
 
-fn err(msg: impl Into<String>) -> CompileError {
-    CompileError(msg.into())
+/// Per-activation-site maximum-magnitude table driving int8 activation
+/// scales.
+///
+/// Sites are laid out `[feat(T) | h(L) | agg(L) | cat(L) | g(H)]` for a
+/// model with `T` node types, `L` message-passing layers and `H` head
+/// stages — one entry per distinct matmul *input* in the fixed op
+/// sequence. Produced by [`CompiledModel::calibrate`] over
+/// representative graphs (the core pipeline synthesises them from the
+/// artifact's `BaselineStats`) and cached in the saved artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    sites: Vec<f32>,
+}
+
+impl Calibration {
+    /// Wraps a previously captured site table (e.g. from an artifact).
+    pub fn from_sites(sites: Vec<f32>) -> Self {
+        Self { sites }
+    }
+
+    /// The per-site maximum magnitudes, in the documented layout.
+    pub fn sites(&self) -> &[f32] {
+        &self.sites
+    }
 }
 
 /// One message-passing layer's owned parameter snapshot.
 #[derive(Debug, Clone)]
 struct CompiledLayer {
-    w_type: Vec<Tensor>,
+    w_type: Vec<Packed>,
     a_type: Vec<Tensor>,
-    w: Option<Tensor>,
-    w_self: Option<Tensor>,
+    w: Option<Packed>,
+    w_self: Option<Packed>,
     b: Tensor,
+}
+
+/// A weight matrix in the compiled model's chosen representation.
+#[derive(Debug, Clone)]
+enum Packed {
+    F32(Tensor),
+    F16(F16Matrix),
+    Int8(QuantMatrix),
+}
+
+impl Packed {
+    /// Packs `t` for `precision`, verifying the values are finite when
+    /// a reduced representation is requested.
+    fn pack(
+        t: &Tensor,
+        precision: Precision,
+        kind: GnnKind,
+        what: &str,
+    ) -> Result<Self, CompileError> {
+        if precision != Precision::F32 && !t.as_slice().iter().all(|v| v.is_finite()) {
+            return Err(CompileError::UnsupportedPrecision {
+                kind,
+                precision,
+                detail: format!("{what} contains non-finite values"),
+            });
+        }
+        Ok(match precision {
+            Precision::F32 => Self::F32(t.clone()),
+            Precision::F16 => Self::F16(F16Matrix::from_f32(t.as_slice(), t.rows(), t.cols())),
+            Precision::Int8 => Self::Int8(QuantMatrix::quantize(t.as_slice(), t.rows(), t.cols())),
+        })
+    }
 }
 
 /// Preallocated scratch buffers for one in-flight request.
@@ -89,6 +264,39 @@ pub struct Arena {
     alpha: Vec<f32>,
     g1: Vec<f32>,
     g2: Vec<f32>,
+    /// Quantized-activation scratch for the int8 GEMM path.
+    qa: QuantScratch,
+}
+
+/// Quantized-activation scratch with a one-slot reuse tag.
+///
+/// The attention branches quantize the same unchanged `h` buffer once
+/// per edge-type group and head — identical input, identical site,
+/// identical scale. Tagging the prepared activations
+/// ([`kernels::Q8Prepared`]: quantize + nonzero-pair compression) with
+/// the calibration site they were built for lets those repeat calls
+/// skip the whole preparation. The tag is only trusted when the caller
+/// asserts the input buffer is unchanged since the tagged call
+/// (`reuse` in [`CompiledModel::mm`]); any non-reusable preparation
+/// invalidates it.
+#[derive(Debug)]
+struct QuantScratch {
+    prep: kernels::Q8Prepared,
+    /// Calibration site of the preparation currently held
+    /// (`usize::MAX` = no valid tag).
+    site: usize,
+    /// Element count of the tagged preparation.
+    len: usize,
+}
+
+impl Default for QuantScratch {
+    fn default() -> Self {
+        QuantScratch {
+            prep: kernels::Q8Prepared::default(),
+            site: usize::MAX,
+            len: 0,
+        }
+    }
 }
 
 /// Grows `v` to at least `len` and returns the exact-length slice.
@@ -99,13 +307,19 @@ fn ensure(v: &mut Vec<f32>, len: usize) -> &mut [f32] {
     &mut v[..len]
 }
 
+/// Most arenas [`ArenaPool::checkin`] will retain for reuse; arenas
+/// returned beyond this high-water count are dropped so a one-off
+/// concurrency burst does not pin its peak scratch memory forever.
+pub const MAX_POOLED_ARENAS: usize = 32;
+
 /// A checkout/checkin pool of [`Arena`]s.
 ///
 /// Shared by all clones of a serve worker's model handle: each
 /// concurrent request pops an arena (or starts a fresh one on first
 /// use), runs, and pushes it back. In steady state the pool holds as
-/// many warmed arenas as the peak concurrency, and checkout/checkin is
-/// a mutex-guarded pointer move — no allocation.
+/// many warmed arenas as the peak concurrency (bounded by
+/// [`MAX_POOLED_ARENAS`]), and checkout/checkin is a mutex-guarded
+/// pointer move — no allocation.
 #[derive(Debug, Default)]
 pub struct ArenaPool {
     arenas: Mutex<Vec<Arena>>,
@@ -117,18 +331,29 @@ impl ArenaPool {
         self.arenas.lock().unwrap().pop().unwrap_or_default()
     }
 
-    /// Returns an arena for reuse by later requests.
+    /// Returns an arena for reuse by later requests. Arenas beyond
+    /// [`MAX_POOLED_ARENAS`] are dropped instead of retained.
     pub fn checkin(&self, arena: Arena) {
-        self.arenas.lock().unwrap().push(arena);
+        let mut arenas = self.arenas.lock().unwrap();
+        if arenas.len() < MAX_POOLED_ARENAS {
+            arenas.push(arena);
+        }
+    }
+
+    /// Number of arenas currently retained for reuse.
+    pub fn pooled(&self) -> usize {
+        self.arenas.lock().unwrap().len()
     }
 }
 
 /// A trained model compiled for tape-free inference.
 ///
-/// Built once with [`CompiledModel::compile`]; cheap to share behind an
-/// `Arc`. The parameter tensors are snapshotted (cloned) at compile
-/// time, so a `CompiledModel` stays self-consistent even if the source
-/// model is later mutated by training.
+/// Built once with [`CompiledModel::compile`] (f32) or
+/// [`CompiledModel::compile_with`] (choosing a [`Precision`]); cheap to
+/// share behind an `Arc`. The parameter tensors are snapshotted
+/// (cloned, and packed for the chosen precision) at compile time, so a
+/// `CompiledModel` stays self-consistent even if the source model is
+/// later mutated by training.
 #[derive(Debug)]
 pub struct CompiledModel {
     kind: GnnKind,
@@ -139,14 +364,17 @@ pub struct CompiledModel {
     ablate_edge_types: bool,
     ablate_concat: bool,
     num_edge_types: usize,
-    in_proj: Vec<Tensor>,
+    precision: Precision,
+    calibration: Option<Vec<f32>>,
+    in_proj: Vec<Packed>,
     layers: Vec<CompiledLayer>,
-    head: Vec<(Tensor, Tensor)>,
+    head: Vec<(Packed, Tensor)>,
     pool: ArenaPool,
 }
 
 impl CompiledModel {
-    /// Validates and snapshots `model` into a fixed execution plan.
+    /// Validates and snapshots `model` into an f32 execution plan —
+    /// bitwise identical to the tape path.
     ///
     /// # Errors
     ///
@@ -154,28 +382,50 @@ impl CompiledModel {
     /// missing parameter; callers in `auto` mode fall back to the tape
     /// path on error.
     pub fn compile(model: &GnnModel) -> Result<Self, CompileError> {
+        Self::compile_with(model, Precision::F32, None)
+    }
+
+    /// Validates and snapshots `model`, packing weights for
+    /// `precision`. For [`Precision::Int8`], `calibration` supplies the
+    /// activation ranges (sites the table does not cover — and the
+    /// no-table case — fall back to per-call dynamic max-abs scales).
+    /// The FC head stays f32 under int8: its matrices are tiny, and the
+    /// regression output is most error-sensitive there.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] naming the first inconsistent shape,
+    /// missing parameter, or unpackable weight.
+    pub fn compile_with(
+        model: &GnnModel,
+        precision: Precision,
+        calibration: Option<&Calibration>,
+    ) -> Result<Self, CompileError> {
         let cfg = model.config();
+        let kind = cfg.kind;
         let f = cfg.embed_dim;
         let heads = cfg.attention_heads.max(1);
+        let invalid = |detail: String| CompileError::InvalidConfig { kind, detail };
         if f == 0 {
-            return Err(err("embed_dim must be positive"));
+            return Err(invalid("embed_dim must be positive".into()));
         }
         if !f.is_multiple_of(heads) {
-            return Err(err(format!(
+            return Err(invalid(format!(
                 "attention heads ({heads}) must divide embed_dim ({f})"
             )));
         }
         let fh = f / heads;
         let ne = model.num_edge_types();
 
-        let in_proj: Vec<Tensor> = model.input_projections().into_iter().cloned().collect();
-        for (t, w) in in_proj.iter().enumerate() {
+        let mut in_proj = Vec::new();
+        for (t, w) in model.input_projections().into_iter().enumerate() {
             if w.cols() != f {
-                return Err(err(format!(
+                return Err(invalid(format!(
                     "in_proj.{t} projects to {} columns, expected {f}",
                     w.cols()
                 )));
             }
+            in_proj.push(Packed::pack(w, precision, kind, "input projection")?);
         }
 
         let mut layers = Vec::with_capacity(model.layer_specs().len());
@@ -184,27 +434,30 @@ impl CompiledModel {
                 if cond {
                     Ok(())
                 } else {
-                    Err(err(format!("layer {l}: {msg}")))
+                    Err(CompileError::UnsupportedShape {
+                        kind,
+                        layer: l,
+                        detail: msg.to_string(),
+                    })
                 }
+            };
+            let missing = |param: &'static str| CompileError::MissingParam {
+                kind,
+                layer: l,
+                param,
             };
             check(spec.b.shape() == (1, f), "bias must be 1 x F")?;
             match cfg.kind {
                 GnnKind::Gcn => {
-                    let w = spec
-                        .w
-                        .ok_or_else(|| err(format!("layer {l}: GCN needs w")))?;
+                    let w = spec.w.ok_or_else(|| missing("w"))?;
                     check(w.shape() == (f, f), "GCN weight must be F x F")?;
                 }
                 GnnKind::GraphSage => {
-                    let w = spec
-                        .w
-                        .ok_or_else(|| err(format!("layer {l}: GraphSage needs w")))?;
+                    let w = spec.w.ok_or_else(|| missing("w"))?;
                     check(w.shape() == (2 * f, f), "GraphSage weight must be 2F x F")?;
                 }
                 GnnKind::Rgcn => {
-                    let ws = spec
-                        .w_self
-                        .ok_or_else(|| err(format!("layer {l}: RGCN needs w_self")))?;
+                    let ws = spec.w_self.ok_or_else(|| missing("w_self"))?;
                     check(ws.shape() == (f, f), "RGCN self weight must be F x F")?;
                     check(
                         spec.w_type.len() == ne,
@@ -255,45 +508,74 @@ impl CompiledModel {
                         )?;
                     }
                     let w_in = if cfg.ablate_concat { f } else { 2 * f };
-                    let w = spec
-                        .w
-                        .ok_or_else(|| err(format!("layer {l}: ParaGraph needs w")))?;
+                    let w = spec.w.ok_or_else(|| missing("w"))?;
                     check(
                         w.shape() == (w_in, f),
                         "ParaGraph concat weight has the wrong shape",
                     )?;
                 }
             }
+            let pack = |t: &Tensor, what: &str| Packed::pack(t, precision, kind, what);
             layers.push(CompiledLayer {
-                w_type: spec.w_type.iter().map(|&t| t.clone()).collect(),
+                w_type: spec
+                    .w_type
+                    .iter()
+                    .map(|&t| pack(t, "layer weight"))
+                    .collect::<Result<_, _>>()?,
                 a_type: spec.a_type.iter().map(|&t| t.clone()).collect(),
-                w: spec.w.cloned(),
-                w_self: spec.w_self.cloned(),
+                w: spec.w.map(|t| pack(t, "layer weight")).transpose()?,
+                w_self: spec.w_self.map(|t| pack(t, "self weight")).transpose()?,
                 b: spec.b.clone(),
             });
         }
 
-        let head: Vec<(Tensor, Tensor)> = model
+        // The head stays f32 under int8 (tiny matrices, error-sensitive
+        // output); f16 packs it like everything else.
+        let head_precision = match precision {
+            Precision::Int8 => Precision::F32,
+            p => p,
+        };
+        let head: Vec<(Packed, Tensor)> = model
             .head_specs()
             .into_iter()
-            .map(|(w, b)| (w.clone(), b.clone()))
-            .collect();
+            .map(|(w, b)| {
+                Packed::pack(w, head_precision, kind, "head weight").map(|p| (p, b.clone()))
+            })
+            .collect::<Result<_, _>>()?;
+        let head_specs = model.head_specs();
         let mut width = f;
-        for (k, (w, b)) in head.iter().enumerate() {
+        for (k, (w, b)) in head_specs.iter().enumerate() {
             if w.rows() != width {
-                return Err(err(format!(
-                    "head {k}: weight expects {} inputs, previous layer yields {width}",
+                return Err(invalid(format!(
+                    "head stage {k}: weight expects {} inputs, previous layer yields {width}",
                     w.rows()
                 )));
             }
             if b.shape() != (1, w.cols()) {
-                return Err(err(format!("head {k}: bias must be 1 x {}", w.cols())));
+                return Err(invalid(format!(
+                    "head stage {k}: bias must be 1 x {}",
+                    w.cols()
+                )));
             }
             width = w.cols();
         }
         if width == 0 {
-            return Err(err("head output width must be positive"));
+            return Err(invalid("head output width must be positive".into()));
         }
+
+        let num_sites = in_proj.len() + 3 * layers.len() + head.len();
+        let calibration = match calibration {
+            None => None,
+            Some(c) => {
+                if c.sites().len() != num_sites {
+                    return Err(invalid(format!(
+                        "calibration table has {} sites, model needs {num_sites}",
+                        c.sites().len()
+                    )));
+                }
+                Some(c.sites().to_vec())
+            }
+        };
 
         Ok(Self {
             kind: cfg.kind,
@@ -304,6 +586,8 @@ impl CompiledModel {
             ablate_edge_types: cfg.ablate_edge_types,
             ablate_concat: cfg.ablate_concat,
             num_edge_types: ne,
+            precision,
+            calibration,
             in_proj,
             layers,
             head,
@@ -321,8 +605,68 @@ impl CompiledModel {
         self.kind
     }
 
+    /// The numeric representation this model was compiled at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Length of this model's calibration site table
+    /// (`T + 3L + H` — see [`Calibration`]).
+    pub fn calibration_sites(&self) -> usize {
+        self.in_proj.len() + 3 * self.layers.len() + self.head.len()
+    }
+
+    /// The arena pool backing this model's predict paths.
+    pub fn pool(&self) -> &ArenaPool {
+        &self.pool
+    }
+
+    fn site_feat(&self, t: usize) -> usize {
+        t
+    }
+
+    fn site_h(&self, l: usize) -> usize {
+        self.in_proj.len() + l
+    }
+
+    fn site_agg(&self, l: usize) -> usize {
+        self.in_proj.len() + self.layers.len() + l
+    }
+
+    fn site_cat(&self, l: usize) -> usize {
+        self.in_proj.len() + 2 * self.layers.len() + l
+    }
+
+    fn site_g(&self, s: usize) -> usize {
+        self.in_proj.len() + 3 * self.layers.len() + s
+    }
+
+    /// Records per-site activation maxima by running the (f32) model
+    /// over representative `(graph, query nodes)` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this model was not compiled at [`Precision::F32`] —
+    /// calibration must measure the exact ranges quantization will see.
+    pub fn calibrate(&self, samples: &[(&HeteroGraph, Vec<u32>)]) -> Calibration {
+        assert_eq!(
+            self.precision,
+            Precision::F32,
+            "calibration runs on an f32-compiled model"
+        );
+        let mut sites = vec![0.0_f32; self.calibration_sites()];
+        let mut out = Vec::new();
+        for (graph, nodes) in samples {
+            let mut arena = self.pool.checkout();
+            self.run(graph, nodes, &mut arena, &mut out, Some(&mut sites));
+            self.pool.checkin(arena);
+        }
+        Calibration::from_sites(sites)
+    }
+
     /// Predicts a scalar per node in `nodes` (global ids), exactly like
-    /// `GnnModel::predict` — same values, bit for bit — without building
+    /// `GnnModel::predict` — bit for bit at [`Precision::F32`], within
+    /// the documented tolerance at reduced precision — without building
     /// a tape. For uncertainty-headed models this is the mean column.
     pub fn predict(&self, graph: &HeteroGraph, nodes: &[u32]) -> Vec<f32> {
         let mut out = Vec::new();
@@ -336,7 +680,7 @@ impl CompiledModel {
     /// allocations.
     pub fn predict_into(&self, graph: &HeteroGraph, nodes: &[u32], out: &mut Vec<f32>) {
         let mut arena = self.pool.checkout();
-        self.run(graph, nodes, &mut arena, out);
+        self.run(graph, nodes, &mut arena, out, None);
         self.pool.checkin(arena);
     }
 
@@ -365,12 +709,90 @@ impl CompiledModel {
         split
     }
 
+    /// Activation scale for an int8 matmul input: calibrated site
+    /// maximum when available (and non-zero — a site the calibration
+    /// graphs never exercised falls back to the live buffer), dynamic
+    /// max-abs otherwise.
+    fn act_scale(&self, site: usize, a: &[f32]) -> f32 {
+        let calibrated = self.calibration.as_ref().map(|c| c[site]).unwrap_or(0.0);
+        let max = if calibrated > 0.0 {
+            calibrated
+        } else {
+            quant::max_abs(a)
+        };
+        max / 127.0
+    }
+
+    /// Precision-dispatched dense product `out = a @ w`, recording the
+    /// input's magnitude into `calib` when calibrating. The f32 arm is
+    /// exactly [`kernels::matmul`] — the bitwise-parity path.
+    ///
+    /// `reuse` asserts that `a` is byte-identical to the last `reuse`
+    /// call at the same `site` (nothing wrote the buffer in between),
+    /// allowing the int8 arm to skip re-quantization. The quantized
+    /// result is identical either way: the scale depends only on the
+    /// site (calibrated) or the unchanged input (dynamic max-abs).
+    #[allow(clippy::too_many_arguments)]
+    fn mm(
+        &self,
+        w: &Packed,
+        site: usize,
+        a: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        qa: &mut QuantScratch,
+        reuse: bool,
+        calib: Option<&mut [f32]>,
+    ) {
+        if let Some(sites) = calib {
+            sites[site] = sites[site].max(quant::max_abs(a));
+        }
+        match w {
+            Packed::F32(t) => kernels::matmul(a, t.as_slice(), out, m, k, n),
+            Packed::F16(h) => kernels::matmul_f16(a, h, out, m, k, n),
+            Packed::Int8(q) => {
+                let scale = self.act_scale(site, a);
+                let need = m * k;
+                let hit = reuse && qa.site == site && qa.len == need;
+                if !hit {
+                    qa.prep.prepare(a, scale, m, k);
+                    qa.site = if reuse { site } else { usize::MAX };
+                    qa.len = need;
+                }
+                kernels::matmul_q8_prepared(&qa.prep, scale, q, out, n);
+            }
+        }
+    }
+
+    /// Segment-mean dispatch: the widened-SIMD variant on the
+    /// reduced-precision path, the tape-identical kernel at f32.
+    fn spmm_mean(&self, h: &[f32], f: usize, tp: &paragraph_tensor::CsrPlan, out: &mut [f32]) {
+        if self.precision == Precision::F32 {
+            kernels::spmm_mean(h, f, tp, out);
+        } else {
+            kernels::spmm_mean_fast(h, f, tp, out);
+        }
+    }
+
     /// The full fixed op sequence: embed → L message-passing layers →
-    /// gather → FC head → column-0 extraction.
-    fn run(&self, graph: &HeteroGraph, nodes: &[u32], arena: &mut Arena, out: &mut Vec<f32>) {
+    /// gather → FC head → column-0 extraction. `calib`, when present,
+    /// receives per-site max-abs updates (f32 calibration runs only).
+    fn run(
+        &self,
+        graph: &HeteroGraph,
+        nodes: &[u32],
+        arena: &mut Arena,
+        out: &mut Vec<f32>,
+        mut calib: Option<&mut [f32]>,
+    ) {
         let n = graph.num_nodes();
         let f = self.f;
         let plan = graph.plan();
+        // Arenas are pooled across requests: a reuse tag from a prior
+        // run refers to buffers this run is about to overwrite.
+        arena.qa.site = usize::MAX;
 
         // --- input projection (Algorithm 1 lines 1-2) ------------------
         // Node types partition the node set, so scattering each type's
@@ -386,12 +808,23 @@ impl CompiledModel {
             let x = graph.features(t as u16);
             let w = &self.in_proj[t];
             let proj = ensure(&mut arena.t1, idx.len() * f);
-            kernels::matmul(x.as_slice(), w.as_slice(), proj, idx.len(), w.rows(), f);
-            kernels::scatter_add_rows(proj, f, idx, h);
+            self.mm(
+                w,
+                self.site_feat(t),
+                x.as_slice(),
+                proj,
+                idx.len(),
+                x.cols(),
+                f,
+                &mut arena.qa,
+                false,
+                calib.as_deref_mut(),
+            );
+            kernels::scatter_add_rows(proj, f, idx, &mut arena.h[..n * f]);
         }
 
         // --- message-passing layers ------------------------------------
-        for layer in &self.layers {
+        for (l, layer) in self.layers.iter().enumerate() {
             match self.kind {
                 GnnKind::Gcn => {
                     let tp = plan.union();
@@ -400,7 +833,19 @@ impl CompiledModel {
                     kernels::spmm_norm(&arena.h[..n * f], f, tp, plan.union_gcn_coeff(), agg);
                     let w = layer.w.as_ref().expect("validated at compile");
                     let h2 = ensure(&mut arena.h2, n * f);
-                    kernels::matmul(&arena.agg[..n * f], w.as_slice(), h2, n, f, f);
+                    self.mm(
+                        w,
+                        self.site_agg(l),
+                        &arena.agg[..n * f],
+                        h2,
+                        n,
+                        f,
+                        f,
+                        &mut arena.qa,
+                        false,
+                        calib.as_deref_mut(),
+                    );
+                    let h2 = &mut arena.h2[..n * f];
                     kernels::add_bias(h2, layer.b.as_slice());
                     kernels::relu(h2);
                 }
@@ -408,12 +853,24 @@ impl CompiledModel {
                     let tp = plan.union();
                     let agg = ensure(&mut arena.agg, n * f);
                     agg.fill(0.0);
-                    kernels::spmm_mean(&arena.h[..n * f], f, tp, agg);
+                    self.spmm_mean(&arena.h[..n * f], f, tp, agg);
                     let cat = ensure(&mut arena.cat, n * 2 * f);
                     kernels::concat_cols(&arena.h[..n * f], f, &arena.agg[..n * f], f, cat, n);
                     let w = layer.w.as_ref().expect("validated at compile");
                     let h2 = ensure(&mut arena.h2, n * f);
-                    kernels::matmul(&arena.cat[..n * 2 * f], w.as_slice(), h2, n, 2 * f, f);
+                    self.mm(
+                        w,
+                        self.site_cat(l),
+                        &arena.cat[..n * 2 * f],
+                        h2,
+                        n,
+                        2 * f,
+                        f,
+                        &mut arena.qa,
+                        false,
+                        calib.as_deref_mut(),
+                    );
+                    let h2 = &mut arena.h2[..n * f];
                     kernels::add_bias(h2, layer.b.as_slice());
                     kernels::relu(h2);
                     kernels::row_l2_normalize(h2, f);
@@ -421,7 +878,18 @@ impl CompiledModel {
                 GnnKind::Rgcn => {
                     let w_self = layer.w_self.as_ref().expect("validated at compile");
                     let h2 = ensure(&mut arena.h2, n * f);
-                    kernels::matmul(&arena.h[..n * f], w_self.as_slice(), h2, n, f, f);
+                    self.mm(
+                        w_self,
+                        self.site_h(l),
+                        &arena.h[..n * f],
+                        h2,
+                        n,
+                        f,
+                        f,
+                        &mut arena.qa,
+                        false,
+                        calib.as_deref_mut(),
+                    );
                     for t in 0..self.num_edge_types {
                         let tp = plan.edge_type(t);
                         if tp.num_edges() == 0 {
@@ -429,15 +897,19 @@ impl CompiledModel {
                         }
                         let agg = ensure(&mut arena.agg, n * f);
                         agg.fill(0.0);
-                        kernels::spmm_mean(&arena.h[..n * f], f, tp, agg);
+                        self.spmm_mean(&arena.h[..n * f], f, tp, agg);
                         let t2 = ensure(&mut arena.t2, n * f);
-                        kernels::matmul(
+                        self.mm(
+                            &layer.w_type[t],
+                            self.site_agg(l),
                             &arena.agg[..n * f],
-                            layer.w_type[t].as_slice(),
                             t2,
                             n,
                             f,
                             f,
+                            &mut arena.qa,
+                            false,
+                            calib.as_deref_mut(),
                         );
                         for (o, &v) in arena.h2[..n * f].iter_mut().zip(arena.t2[..n * f].iter()) {
                             *o += v;
@@ -451,6 +923,29 @@ impl CompiledModel {
                     let tp = plan.union();
                     let fh = f / self.heads;
                     ensure(&mut arena.h2, n * f);
+                    if self.heads == 1 {
+                        // Single-head fast path: the concat is the
+                        // identity, so the head output buffer simply
+                        // becomes the layer output (pointer swap, no
+                        // copy).
+                        self.attention_head(
+                            &layer.w_type[0],
+                            Some(&layer.a_type[0]),
+                            tp,
+                            n,
+                            f,
+                            self.site_h(l),
+                            arena,
+                            false,
+                            calib.as_deref_mut(),
+                        );
+                        std::mem::swap(&mut arena.h2, &mut arena.hh);
+                        let h2 = &mut arena.h2[..n * f];
+                        kernels::add_bias(h2, layer.b.as_slice());
+                        kernels::relu(h2);
+                        std::mem::swap(&mut arena.h, &mut arena.h2);
+                        continue;
+                    }
                     for k in 0..self.heads {
                         self.attention_head(
                             &layer.w_type[k],
@@ -458,7 +953,10 @@ impl CompiledModel {
                             tp,
                             n,
                             fh,
+                            self.site_h(l),
                             arena,
+                            false,
+                            calib.as_deref_mut(),
                         );
                         // Concatenate heads: head k owns columns
                         // [k*fh, (k+1)*fh), copied exactly like the
@@ -490,6 +988,38 @@ impl CompiledModel {
                         if tp.num_edges() == 0 {
                             continue;
                         }
+                        if self.heads == 1 {
+                            // Single-head fast path: the head-concat is
+                            // the identity, so the head output goes into
+                            // the edge-type sum directly — fused into
+                            // the attend kernel on the reduced-precision
+                            // path, via `hh` (same values, same add
+                            // order, minus the staging memcpy) at f32.
+                            let fuse = self.precision != Precision::F32 && !self.ablate_attention;
+                            self.attention_head(
+                                &layer.w_type[t],
+                                if self.ablate_attention {
+                                    None
+                                } else {
+                                    Some(&layer.a_type[t])
+                                },
+                                tp,
+                                n,
+                                f,
+                                self.site_h(l),
+                                arena,
+                                fuse,
+                                calib.as_deref_mut(),
+                            );
+                            if !fuse {
+                                for (o, &v) in
+                                    arena.agg[..n * f].iter_mut().zip(arena.hh[..n * f].iter())
+                                {
+                                    *o += v;
+                                }
+                            }
+                            continue;
+                        }
                         ensure(&mut arena.ht, n * f);
                         for k in 0..self.heads {
                             let pi = t * self.heads + k;
@@ -498,7 +1028,17 @@ impl CompiledModel {
                             } else {
                                 Some(&layer.a_type[pi])
                             };
-                            self.attention_head(&layer.w_type[pi], a, tp, n, fh, arena);
+                            self.attention_head(
+                                &layer.w_type[pi],
+                                a,
+                                tp,
+                                n,
+                                fh,
+                                self.site_h(l),
+                                arena,
+                                false,
+                                calib.as_deref_mut(),
+                            );
                             for i in 0..n {
                                 arena.ht[i * f + k * fh..i * f + (k + 1) * fh]
                                     .copy_from_slice(&arena.hh[i * fh..(i + 1) * fh]);
@@ -519,12 +1059,35 @@ impl CompiledModel {
                         for (o, &v) in sum.iter_mut().zip(arena.agg[..n * f].iter()) {
                             *o += v;
                         }
-                        kernels::matmul(&arena.sum[..n * f], w.as_slice(), h2, n, f, f);
+                        self.mm(
+                            w,
+                            self.site_cat(l),
+                            &arena.sum[..n * f],
+                            h2,
+                            n,
+                            f,
+                            f,
+                            &mut arena.qa,
+                            false,
+                            calib.as_deref_mut(),
+                        );
                     } else {
                         let cat = ensure(&mut arena.cat, n * 2 * f);
                         kernels::concat_cols(&arena.h[..n * f], f, &arena.agg[..n * f], f, cat, n);
-                        kernels::matmul(&arena.cat[..n * 2 * f], w.as_slice(), h2, n, 2 * f, f);
+                        self.mm(
+                            w,
+                            self.site_cat(l),
+                            &arena.cat[..n * 2 * f],
+                            h2,
+                            n,
+                            2 * f,
+                            f,
+                            &mut arena.qa,
+                            false,
+                            calib.as_deref_mut(),
+                        );
                     }
+                    let h2 = &mut arena.h2[..n * f];
                     kernels::add_bias(h2, layer.b.as_slice());
                     kernels::relu(h2);
                 }
@@ -537,12 +1100,24 @@ impl CompiledModel {
         let mut width = f;
         let g1 = ensure(&mut arena.g1, m * width);
         kernels::gather_rows(&arena.h[..n * f], f, nodes, g1);
-        for (k, (w, b)) in self.head.iter().enumerate() {
-            let next = w.cols();
+        for (s, (w, b)) in self.head.iter().enumerate() {
+            let next = b.cols();
             let g2 = ensure(&mut arena.g2, m * next);
-            kernels::matmul(&arena.g1[..m * width], w.as_slice(), g2, m, width, next);
+            self.mm(
+                w,
+                self.site_g(s),
+                &arena.g1[..m * width],
+                g2,
+                m,
+                width,
+                next,
+                &mut arena.qa,
+                false,
+                calib.as_deref_mut(),
+            );
+            let g2 = &mut arena.g2[..m * next];
             kernels::add_bias(g2, b.as_slice());
-            if k + 1 < self.head.len() {
+            if s + 1 < self.head.len() {
                 kernels::relu(g2);
             }
             std::mem::swap(&mut arena.g1, &mut arena.g2);
@@ -557,21 +1132,46 @@ impl CompiledModel {
     }
 
     /// One attention (or ablated-mean) head: `z = h W`, then either the
-    /// fused attend pipeline or a plain segment mean, into `arena.hh`.
+    /// fused attend pipeline or a plain segment mean, into `arena.hh` —
+    /// or, with `accum_into_agg` (reduced precision + real attention
+    /// only), accumulated straight into `arena.agg`, skipping the `hh`
+    /// zero-fill, store and re-read the staging buffer would cost.
+    #[allow(clippy::too_many_arguments)]
     fn attention_head(
         &self,
-        w: &Tensor,
+        w: &Packed,
         a: Option<&Tensor>,
         tp: &paragraph_tensor::CsrPlan,
         n: usize,
         fh: usize,
+        site: usize,
         arena: &mut Arena,
+        accum_into_agg: bool,
+        calib: Option<&mut [f32]>,
     ) {
         let f = self.f;
-        let z = ensure(&mut arena.z, n * fh);
-        kernels::matmul(&arena.h[..n * f], w.as_slice(), z, n, f, fh);
-        let hh = ensure(&mut arena.hh, n * fh);
-        hh.fill(0.0);
+        ensure(&mut arena.z, n * fh);
+        // `reuse = true`: every head/group projection within a layer
+        // reads the same untouched `h` at the same site — attention
+        // writes go to `z`/`hh`/`ht` — so the int8 arm quantizes `h`
+        // once per layer instead of once per (group, head).
+        self.mm(
+            w,
+            site,
+            &arena.h[..n * f],
+            &mut arena.z[..n * fh],
+            n,
+            f,
+            fh,
+            &mut arena.qa,
+            true,
+            calib,
+        );
+        debug_assert!(
+            !(accum_into_agg && self.precision == Precision::F32),
+            "the fused-accumulate path changes float add order; \
+             the bitwise f32 contract forbids it"
+        );
         match a {
             Some(a) => {
                 let e = tp.num_edges();
@@ -579,27 +1179,69 @@ impl CompiledModel {
                 ensure(&mut arena.zs, n);
                 ensure(&mut arena.raw, e);
                 ensure(&mut arena.alpha, e);
-                kernels::attend_scores(
-                    &arena.z[..n * fh],
-                    fh,
-                    a.as_slice(),
-                    tp,
-                    self.slope,
-                    &mut arena.zd[..n],
-                    &mut arena.zs[..n],
-                    &mut arena.raw[..e],
-                    &mut arena.alpha[..e],
-                );
-                kernels::attend_apply(
-                    &arena.z[..n * fh],
-                    fh,
-                    tp,
-                    &arena.alpha[..e],
-                    &mut arena.hh[..n * fh],
-                );
+                if self.precision == Precision::F32 {
+                    kernels::attend_scores(
+                        &arena.z[..n * fh],
+                        fh,
+                        a.as_slice(),
+                        tp,
+                        self.slope,
+                        &mut arena.zd[..n],
+                        &mut arena.zs[..n],
+                        &mut arena.raw[..e],
+                        &mut arena.alpha[..e],
+                    );
+                } else {
+                    kernels::attend_scores_fast(
+                        &arena.z[..n * fh],
+                        fh,
+                        a.as_slice(),
+                        tp,
+                        self.slope,
+                        &mut arena.zd[..n],
+                        &mut arena.zs[..n],
+                        &mut arena.raw[..e],
+                        &mut arena.alpha[..e],
+                    );
+                }
+                if accum_into_agg {
+                    // attend_apply accumulates into its output, so
+                    // handing it the edge-type sum directly both skips
+                    // the hh staging round-trip and performs the
+                    // `agg += head` add for free.
+                    kernels::attend_apply_fast(
+                        &arena.z[..n * fh],
+                        fh,
+                        tp,
+                        &arena.alpha[..e],
+                        &mut arena.agg[..n * fh],
+                    );
+                } else if self.precision == Precision::F32 {
+                    let hh = ensure(&mut arena.hh, n * fh);
+                    hh.fill(0.0);
+                    kernels::attend_apply(
+                        &arena.z[..n * fh],
+                        fh,
+                        tp,
+                        &arena.alpha[..e],
+                        &mut arena.hh[..n * fh],
+                    );
+                } else {
+                    let hh = ensure(&mut arena.hh, n * fh);
+                    hh.fill(0.0);
+                    kernels::attend_apply_fast(
+                        &arena.z[..n * fh],
+                        fh,
+                        tp,
+                        &arena.alpha[..e],
+                        &mut arena.hh[..n * fh],
+                    );
+                }
             }
             None => {
-                kernels::spmm_mean(&arena.z[..n * fh], fh, tp, &mut arena.hh[..n * fh]);
+                let hh = ensure(&mut arena.hh, n * fh);
+                hh.fill(0.0);
+                self.spmm_mean(&arena.z[..n * fh], fh, tp, &mut arena.hh[..n * fh]);
             }
         }
     }

@@ -49,6 +49,10 @@ struct PathMetrics {
     rolling: Arc<RollingQuantile>,
 }
 
+/// Names of the compiled-path precisions tracked by the per-precision
+/// serving metrics, in label order.
+pub const PRECISION_NAMES: [&str; 3] = ["f32", "f16", "int8"];
+
 /// All service counters. Cheap to share behind an `Arc`; every method
 /// takes `&self`.
 ///
@@ -61,6 +65,7 @@ pub struct Metrics {
     endpoints: Vec<EndpointMetrics>,
     executor_path: PathMetrics,
     tape_path: PathMetrics,
+    precisions: Vec<PathMetrics>,
     queue_depth: Arc<Gauge>,
     bad_lines: Arc<Counter>,
     cache_hits: Arc<Counter>,
@@ -105,10 +110,25 @@ impl Metrics {
                 ROLLING_WINDOW,
             ),
         };
+        let precisions = PRECISION_NAMES
+            .iter()
+            .map(|&p| PathMetrics {
+                requests: registry.counter(
+                    "paragraph_serve_precision_requests_total",
+                    &[("precision", p)],
+                ),
+                rolling: registry.rolling(
+                    "paragraph_serve_precision_latency_us",
+                    &[("precision", p)],
+                    ROLLING_WINDOW,
+                ),
+            })
+            .collect();
         Self {
             endpoints,
             executor_path: path_metrics("paragraph_serve_executor_requests_total", "executor"),
             tape_path: path_metrics("paragraph_serve_tape_requests_total", "tape"),
+            precisions,
             queue_depth: registry.gauge("paragraph_queue_depth", &[]),
             bad_lines: registry.counter("paragraph_bad_lines_total", &[]),
             cache_hits: registry.counter("paragraph_cache_hits_total", &[]),
@@ -153,6 +173,28 @@ impl Metrics {
         };
         p.requests.inc();
         p.rolling.observe(latency.as_secs_f64() * 1e6);
+    }
+
+    /// Records the numeric precision (`f32`/`f16`/`int8`) a predict
+    /// group's inference ran at, with its end-to-end latency. Unknown
+    /// names are ignored (forward compatibility with new tiers).
+    pub fn record_precision(&self, precision: &str, latency: Duration) {
+        let Some(i) = PRECISION_NAMES.iter().position(|&p| p == precision) else {
+            return;
+        };
+        let p = &self.precisions[i];
+        p.requests.inc();
+        p.rolling.observe(latency.as_secs_f64() * 1e6);
+    }
+
+    /// Requests served at the given precision so far (0 for unknown
+    /// names).
+    pub fn precision_requests(&self, precision: &str) -> u64 {
+        PRECISION_NAMES
+            .iter()
+            .position(|&p| p == precision)
+            .map(|i| self.precisions[i].requests.get())
+            .unwrap_or(0)
     }
 
     /// Requests served by the compiled executor path so far.
@@ -256,6 +298,11 @@ impl Metrics {
             "paths": {
                 "executor": path_json(&self.executor_path),
                 "tape": path_json(&self.tape_path),
+            },
+            "precisions": {
+                "f32": path_json(&self.precisions[0]),
+                "f16": path_json(&self.precisions[1]),
+                "int8": path_json(&self.precisions[2]),
             },
             "cache": {
                 "hits": cache.hits(),
@@ -485,6 +532,41 @@ mod tests {
         assert_eq!(
             snap["paths"]["tape"]["latency_rolling"][0]["latency_us"].as_f64(),
             Some(500.0)
+        );
+    }
+
+    /// Per-precision request counters and latency windows render under
+    /// their `precision` label and appear in the JSON snapshot; unknown
+    /// precision names are ignored.
+    #[test]
+    fn precision_metrics_track_each_tier() {
+        let m = Metrics::new();
+        m.record_precision("int8", Duration::from_micros(30));
+        m.record_precision("int8", Duration::from_micros(50));
+        m.record_precision("f32", Duration::from_micros(200));
+        m.record_precision("bf16", Duration::from_micros(999)); // unknown: dropped
+        assert_eq!(m.precision_requests("int8"), 2);
+        assert_eq!(m.precision_requests("f32"), 1);
+        assert_eq!(m.precision_requests("f16"), 0);
+        assert_eq!(m.precision_requests("bf16"), 0);
+        let cache = PredictionCache::new(1);
+        let text = m.render(&cache);
+        assert!(
+            text.contains("paragraph_serve_precision_requests_total{precision=\"int8\"} 2"),
+            "missing int8 counter in:\n{text}"
+        );
+        assert!(
+            text.contains(
+                "paragraph_serve_precision_latency_us{precision=\"f32\",quantile=\"0.5\"} 200"
+            ),
+            "missing f32 p50 in:\n{text}"
+        );
+        let snap = m.snapshot(&cache);
+        assert_eq!(snap["precisions"]["int8"]["requests"].as_u64(), Some(2));
+        assert_eq!(snap["precisions"]["f16"]["requests"].as_u64(), Some(0));
+        assert_eq!(
+            snap["precisions"]["f32"]["latency_rolling"][0]["latency_us"].as_f64(),
+            Some(200.0)
         );
     }
 

@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock};
 
-use paragraph::{CapEnsemble, ExecutorMode, SavedModel, TargetModel};
+use paragraph::{CapEnsemble, ExecutorMode, Precision, SavedModel, TargetModel};
 
 /// Reserved model key that routes to the assembled [`CapEnsemble`].
 pub const ENSEMBLE_KEY: &str = "cap_ensemble";
@@ -56,6 +56,20 @@ impl ModelRef {
         match self {
             ModelRef::Single(m) => m.uses_executor(),
             ModelRef::Ensemble(e) => e.members().first().is_some_and(|m| m.uses_executor()),
+        }
+    }
+
+    /// Flag-style name of the precision inference for this model runs
+    /// at (`f32`/`f16`/`int8`); used to label the per-precision serving
+    /// metrics. Ensembles report their members' shared precision.
+    pub fn precision_name(&self) -> &'static str {
+        match self {
+            ModelRef::Single(m) => m.precision_name(),
+            ModelRef::Ensemble(e) => e
+                .members()
+                .first()
+                .map(|m| m.precision_name())
+                .unwrap_or("f32"),
         }
     }
 }
@@ -187,6 +201,7 @@ pub struct ReloadReport {
 pub struct ModelRegistry {
     dir: Option<PathBuf>,
     executor: ExecutorMode,
+    precision: Option<Precision>,
     current: RwLock<Arc<LoadedModels>>,
 }
 
@@ -216,11 +231,31 @@ impl ModelRegistry {
         dir: impl Into<PathBuf>,
         executor: ExecutorMode,
     ) -> Result<Self, RegistryError> {
+        Self::open_with(dir, executor, None)
+    }
+
+    /// Like [`Self::open_with_executor`], additionally stamping every
+    /// loaded model with a compiled-path `precision`. A model whose
+    /// artifact pins its own precision keeps the pin — so
+    /// accuracy-critical targets can stay `f32` while the rest of the
+    /// registry serves quantized. `None` leaves models on the
+    /// process-wide default. Both settings are remembered and reapplied
+    /// on every [`Self::reload`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::open`].
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        executor: ExecutorMode,
+        precision: Option<Precision>,
+    ) -> Result<Self, RegistryError> {
         let dir = dir.into();
-        let snapshot = load_dir(&dir, executor)?;
+        let snapshot = load_dir(&dir, executor, precision)?;
         Ok(Self {
             dir: Some(dir),
             executor,
+            precision,
             current: RwLock::new(Arc::new(snapshot)),
         })
     }
@@ -231,6 +266,7 @@ impl ModelRegistry {
         Self {
             dir: None,
             executor: ExecutorMode::Auto,
+            precision: None,
             current: RwLock::new(Arc::new(snapshot)),
         }
     }
@@ -249,7 +285,7 @@ impl ModelRegistry {
     /// Same conditions as [`Self::open`].
     pub fn reload(&self) -> Result<ReloadReport, RegistryError> {
         let snapshot = match &self.dir {
-            Some(dir) => load_dir(dir, self.executor)?,
+            Some(dir) => load_dir(dir, self.executor, self.precision)?,
             None => return Ok(self.report()),
         };
         let report = ReloadReport {
@@ -269,7 +305,11 @@ impl ModelRegistry {
     }
 }
 
-fn load_dir(dir: &Path, executor: ExecutorMode) -> Result<LoadedModels, RegistryError> {
+fn load_dir(
+    dir: &Path,
+    executor: ExecutorMode,
+    precision: Option<Precision>,
+) -> Result<LoadedModels, RegistryError> {
     let entries = std::fs::read_dir(dir)
         .map_err(|e| RegistryError::new(format!("cannot read {}: {e}", dir.display())))?;
     let mut named = Vec::new();
@@ -291,8 +331,13 @@ fn load_dir(dir: &Path, executor: ExecutorMode) -> Result<LoadedModels, Registry
             .and_then(SavedModel::into_model)
             .map_err(|e| RegistryError::new(format!("{}: {e}", path.display())))?;
         // Ensemble members are cloned out of this set, so stamping here
-        // covers both individual models and the assembled ensemble.
+        // covers both individual models and the assembled ensemble. An
+        // artifact's own precision pin wins over the registry-wide
+        // setting.
         model.executor = executor;
+        if model.precision.is_none() {
+            model.precision = precision;
+        }
         named.push((stem, model));
     }
     LoadedModels::from_models(named)

@@ -428,6 +428,10 @@ impl Service {
                     "param_count": m.param_count(),
                     "max_value": opt(m.max_value),
                     "baseline_stats": m.baseline.is_some(),
+                    "precision": m.precision_name(),
+                    "compile_fallback": m
+                        .compile_fallback()
+                        .map_or(Value::Null, |reason| json!(reason)),
                 })
             })
             .collect();
@@ -718,6 +722,10 @@ fn predict_many(
                 };
                 metrics.record_path(
                     model.uses_executor(),
+                    Duration::from_secs_f64(inference_us / 1e6),
+                );
+                metrics.record_precision(
+                    model.precision_name(),
                     Duration::from_secs_f64(inference_us / 1e6),
                 );
                 for (p, preds) in pending.into_iter().zip(per_circuit) {

@@ -22,6 +22,7 @@
 //! `docs/performance.md` for the bitwise-parity contract.
 
 use crate::plan::CsrPlan;
+use crate::quant::{F16Matrix, QuantMatrix};
 use crate::tensor::{matmul_into, par_rows_by_work};
 
 /// Row norms at or below this threshold pass through
@@ -272,12 +273,25 @@ pub fn attend_scores(
         zd_dot[i] = d;
         zs_dot[i] = s;
     }
-    for ei in 0..e {
-        raw[ei] = zd_dot[plan.sorted_dst()[ei] as usize] + zs_dot[plan.sorted_src()[ei] as usize];
+    scores_segments(plan, slope, zd_dot, zs_dot, raw, alpha);
+}
+
+/// The O(E) half of [`attend_scores`]: per-edge raw scores from the
+/// per-node dot halves, then the per-destination-segment softmax of
+/// `leaky_relu(raw)` (same max-subtraction scheme as the composed
+/// `segment_softmax` op).
+fn scores_segments(
+    plan: &CsrPlan,
+    slope: f32,
+    zd_dot: &[f32],
+    zs_dot: &[f32],
+    raw: &mut [f32],
+    alpha: &mut [f32],
+) {
+    for (ei, r) in raw.iter_mut().enumerate() {
+        *r = zd_dot[plan.sorted_dst()[ei] as usize] + zs_dot[plan.sorted_src()[ei] as usize];
     }
-    // Segment softmax over the contiguous destination segments, with the
-    // same max-subtraction scheme as the composed `segment_softmax` op.
-    for d in 0..n {
+    for d in 0..plan.num_nodes() {
         let seg = plan.edges_into(d);
         if seg.is_empty() {
             continue;
@@ -303,9 +317,94 @@ pub fn attend_scores(
     }
 }
 
-/// Attention-weighted scatter: `out[d] = Σ_e alpha_e · z[src_e]` with
+/// [`attend_scores`] with FMA-vectorized per-node dot products, used by
+/// the executor's reduced-precision path. The 8-lane accumulators
+/// reassociate the dot sums, so results differ from [`attend_scores`]
+/// in the last ulps — inside the quantized tiers' tolerance contract,
+/// which is why the bitwise f32 path keeps the scalar kernel. The
+/// segment-softmax half is shared code (it is O(E) and branchy either
+/// way).
+///
+/// # Panics
+///
+/// Panics as [`attend_scores`] does.
+#[allow(clippy::too_many_arguments)]
+pub fn attend_scores_fast(
+    z: &[f32],
+    f: usize,
+    a: &[f32],
+    plan: &CsrPlan,
+    slope: f32,
+    zd_dot: &mut [f32],
+    zs_dot: &mut [f32],
+    raw: &mut [f32],
+    alpha: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if f > 0
+        && f.is_multiple_of(8)
+        && std::arch::is_x86_feature_detected!("avx2")
+        && std::arch::is_x86_feature_detected!("fma")
+    {
+        let n = plan.num_nodes();
+        let e = plan.num_edges();
+        assert_eq!(z.len(), n * f, "attend input length mismatch");
+        assert_eq!(a.len(), 2 * f, "attention vector must have 2F entries");
+        assert_eq!(zd_dot.len(), n, "zd_dot scratch length mismatch");
+        assert_eq!(zs_dot.len(), n, "zs_dot scratch length mismatch");
+        assert_eq!(raw.len(), e, "raw buffer length mismatch");
+        assert_eq!(alpha.len(), e, "alpha buffer length mismatch");
+        // SAFETY: AVX2 + FMA presence and the lane count checked above.
+        unsafe { score_dots_avx2(z, f, &a[..f], &a[f..], zd_dot, zs_dot) };
+        scores_segments(plan, slope, zd_dot, zs_dot, raw, alpha);
+        return;
+    }
+    attend_scores(z, f, a, plan, slope, zd_dot, zs_dot, raw, alpha);
+}
+
+/// AVX2+FMA inner kernel for [`attend_scores_fast`]: both score halves
+/// per row in one pass over `z`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn score_dots_avx2(
+    z: &[f32],
+    f: usize,
+    a_dst: &[f32],
+    a_src: &[f32],
+    zd_dot: &mut [f32],
+    zs_dot: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    #[inline]
+    unsafe fn hsum(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let q = _mm_add_ps(lo, hi);
+        let d = _mm_add_ps(q, _mm_movehl_ps(q, q));
+        let s = _mm_add_ss(d, _mm_shuffle_ps(d, d, 1));
+        _mm_cvtss_f32(s)
+    }
+    for (i, (zd, zs)) in zd_dot.iter_mut().zip(zs_dot.iter_mut()).enumerate() {
+        let row = z[i * f..(i + 1) * f].as_ptr();
+        let mut accd = _mm256_setzero_ps();
+        let mut accs = _mm256_setzero_ps();
+        let mut j = 0;
+        while j < f {
+            let v = _mm256_loadu_ps(row.add(j));
+            accd = _mm256_fmadd_ps(v, _mm256_loadu_ps(a_dst.as_ptr().add(j)), accd);
+            accs = _mm256_fmadd_ps(v, _mm256_loadu_ps(a_src.as_ptr().add(j)), accs);
+            j += 8;
+        }
+        *zd = hsum(accd);
+        *zs = hsum(accs);
+    }
+}
+
+/// Attention-weighted scatter: `out[d] += Σ_e alpha_e · z[src_e]` with
 /// `alpha` in the plan's destination-sorted order (from
-/// [`attend_scores`]). `out` must be pre-zeroed.
+/// [`attend_scores`]). Accumulates into `out` — pre-zero it for a plain
+/// attended result, or hand it a running sum to fuse the follow-on add
+/// (the executor's reduced-precision edge-type accumulation does this).
 ///
 /// # Panics
 ///
@@ -330,6 +429,654 @@ pub fn attend_apply(z: &[f32], f: usize, plan: &CsrPlan, alpha: &[f32], out: &mu
             }
         }
     });
+}
+
+// --- quantized / widened-SIMD kernels ----------------------------------
+//
+// Everything below serves the compiled executor's reduced-precision
+// path. These kernels keep a *scalar/SIMD* bitwise guarantee (integer
+// accumulation is exact; the float paths use the same per-element
+// mul/add order on every dispatch), but the f16/int8 results are of
+// course not bitwise equal to the f32 kernels above — the accuracy
+// contract is pinned by tolerance instead (see docs/performance.md).
+
+/// True when the 8-lane kernels below may run on `cols`-wide rows.
+/// Rows wider than the 64 columns that fit in vector registers are
+/// handled inside each kernel by tiling the columns, which leaves every
+/// element's accumulation order untouched.
+#[cfg(target_arch = "x86_64")]
+fn lanes8_tiled(cols: usize) -> bool {
+    cols > 0 && cols.is_multiple_of(8) && std::arch::is_x86_feature_detected!("avx2")
+}
+
+/// Dense product `out = a (m x k) @ b (k x n)` with binary16 weights
+/// widened to f32 on load and accumulated in f32. Zeroes `out` first.
+///
+/// The AVX2+F16C path widens eight weights per `vcvtph2ps` and keeps
+/// the per-element accumulation order of the scalar fallback (ascending
+/// `p`, mul/add unfused), so the two dispatches are bit-identical.
+///
+/// # Panics
+///
+/// Panics if any length disagrees with the given shape.
+pub fn matmul_f16(a: &[f32], b: &F16Matrix, out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "matmul_f16 lhs length mismatch");
+    assert_eq!(
+        (b.rows(), b.cols()),
+        (k, n),
+        "matmul_f16 rhs shape mismatch"
+    );
+    assert_eq!(out.len(), m * n, "matmul_f16 out length mismatch");
+    out.fill(0.0);
+    let work = m.saturating_mul(k).saturating_mul(n);
+    par_rows_by_work(m, n, work, out, |chunk, r0, r1| {
+        #[cfg(target_arch = "x86_64")]
+        if lanes8_tiled(n) && std::arch::is_x86_feature_detected!("f16c") {
+            // SAFETY: feature detection and lane count checked above.
+            unsafe { matmul_f16_rows_avx2(a, b.data(), chunk, k, n, r0, r1) };
+            return;
+        }
+        for i in r0..r1 {
+            let c_row = &mut chunk[(i - r0) * n..(i - r0 + 1) * n];
+            let a_row = &a[i * k..(i + 1) * k];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b.data()[p * n..(p + 1) * n];
+                for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                    *c_v += a_ip * crate::quant::f16_to_f32(b_v);
+                }
+            }
+        }
+    });
+}
+
+/// AVX2+F16C inner kernel for [`matmul_f16`]: `n` a multiple of 8,
+/// output rows live in up to eight 256-bit accumulators per column
+/// tile; wider rows iterate 64-column tiles (per-element accumulation
+/// order is unchanged by the tiling).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,f16c")]
+unsafe fn matmul_f16_rows_avx2(
+    a: &[f32],
+    b: &[u16],
+    c: &mut [f32],
+    k: usize,
+    n: usize,
+    row_start: usize,
+    row_end: usize,
+) {
+    use std::arch::x86_64::*;
+    let mut col0 = 0;
+    while col0 < n {
+        let blocks = ((n - col0) / 8).min(8);
+        for i in row_start..row_end {
+            let c_row = c[(i - row_start) * n..(i - row_start + 1) * n].as_mut_ptr();
+            let a_row = &a[i * k..(i + 1) * k];
+            let mut acc = [_mm256_setzero_ps(); 8];
+            for (bl, slot) in acc.iter_mut().take(blocks).enumerate() {
+                *slot = _mm256_loadu_ps(c_row.add(col0 + bl * 8));
+            }
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let av = _mm256_set1_ps(a_ip);
+                let b_row = b[p * n..(p + 1) * n].as_ptr();
+                for (bl, slot) in acc.iter_mut().take(blocks).enumerate() {
+                    let half = _mm_loadu_si128(b_row.add(col0 + bl * 8) as *const __m128i);
+                    let bv = _mm256_cvtph_ps(half);
+                    *slot = _mm256_add_ps(*slot, _mm256_mul_ps(av, bv));
+                }
+            }
+            for (bl, slot) in acc.iter().take(blocks).enumerate() {
+                _mm256_storeu_ps(c_row.add(col0 + bl * 8), *slot);
+            }
+        }
+        col0 += blocks * 8;
+    }
+}
+
+/// Widened int8 GEMM: `out = dequant(qa (m x k) @ b (k x n))` where
+/// `qa` holds symmetric int8 activations at scale `a_scale` and `b` is
+/// a packed [`QuantMatrix`]. Products accumulate **exactly** in `i32`,
+/// then one fused dequantization multiply per element applies
+/// `a_scale · b.scales()[j]`. Zeroes (overwrites) `out`.
+///
+/// The AVX2 path consumes one interleaved row pair per
+/// `_mm256_madd_epi16` — 16 multiply-accumulates per instruction,
+/// twice the f32 kernel's lane width. Because integer accumulation is
+/// exact, the scalar and SIMD dispatches are bit-identical.
+///
+/// # Panics
+///
+/// Panics if any length disagrees with the given shape.
+pub fn matmul_q8(
+    qa: &[i8],
+    a_scale: f32,
+    b: &QuantMatrix,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(qa.len(), m * k, "matmul_q8 lhs length mismatch");
+    assert_eq!((b.rows(), b.cols()), (k, n), "matmul_q8 rhs shape mismatch");
+    assert_eq!(out.len(), m * n, "matmul_q8 out length mismatch");
+    let pairs = k.div_ceil(2);
+    let work = m.saturating_mul(k).saturating_mul(n);
+    par_rows_by_work(m, n, work, out, |chunk, r0, r1| {
+        #[cfg(target_arch = "x86_64")]
+        if lanes8_tiled(n) {
+            // SAFETY: feature detection and lane count checked above.
+            unsafe { matmul_q8_rows_avx2(qa, a_scale, b, chunk, k, n, r0, r1) };
+            return;
+        }
+        let packed = b.packed();
+        let scales = b.scales();
+        let mut acc = vec![0_i32; n];
+        for i in r0..r1 {
+            acc.fill(0);
+            let a_row = &qa[i * k..(i + 1) * k];
+            for q in 0..pairs {
+                let a0 = a_row[2 * q] as i32;
+                let a1 = if 2 * q + 1 < k {
+                    a_row[2 * q + 1] as i32
+                } else {
+                    0
+                };
+                if a0 == 0 && a1 == 0 {
+                    continue;
+                }
+                let b_pair = &packed[q * 2 * n..(q + 1) * 2 * n];
+                for (j, slot) in acc.iter_mut().enumerate() {
+                    *slot += a0 * b_pair[2 * j] as i32 + a1 * b_pair[2 * j + 1] as i32;
+                }
+            }
+            let c_row = &mut chunk[(i - r0) * n..(i - r0 + 1) * n];
+            for (j, c_v) in c_row.iter_mut().enumerate() {
+                *c_v = (acc[j] as f32 * a_scale) * scales[j];
+            }
+        }
+    });
+}
+
+/// Largest `k` whose widened activation row fits the stack scratch
+/// buffer of [`matmul_q8_rows_avx2`]; wider products fall back to the
+/// bit-identical (exact i32) pairwise-decode loop.
+#[cfg(target_arch = "x86_64")]
+const Q8_WIDEN_MAX_K: usize = 2048;
+
+/// AVX2 inner kernel for [`matmul_q8`]: each activation row is widened
+/// once to an i16 pair buffer, its **nonzero** pair words compressed
+/// (branchlessly) into an index list, and the hot loop then broadcasts
+/// one listed pair word per `madd` against the interleaved weight row
+/// pairs. Quantized post-ReLU activations leave many pair words zero;
+/// compressing once per row both skips their `madd`s and keeps the
+/// inner loop free of the ~unpredictable per-pair branch a naive skip
+/// would pay in every column tile. Output rows wider than 64 columns
+/// iterate 64-column tiles; integer accumulation is exact, so neither
+/// tiling nor zero-pair skipping changes the result.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn matmul_q8_rows_avx2(
+    qa: &[i8],
+    a_scale: f32,
+    b: &QuantMatrix,
+    c: &mut [f32],
+    k: usize,
+    n: usize,
+    row_start: usize,
+    row_end: usize,
+) {
+    use std::arch::x86_64::*;
+    let pairs = k.div_ceil(2);
+    let packed = b.packed();
+    let scales = b.scales();
+    let vscale = _mm256_set1_ps(a_scale);
+    let mut wide = [0_i16; Q8_WIDEN_MAX_K];
+    // Compressed nonzero pairs: weight-row byte offset and pair word.
+    let mut nz_off = [0_u32; Q8_WIDEN_MAX_K / 2];
+    let mut nz_word = [0_i32; Q8_WIDEN_MAX_K / 2];
+    for i in row_start..row_end {
+        let a_row = &qa[i * k..(i + 1) * k];
+        let use_widened = k <= Q8_WIDEN_MAX_K;
+        let mut nnz = 0_usize;
+        if use_widened {
+            // Widen 16 lanes per step; the (zero-padded) tail scalar.
+            let mut j = 0;
+            while j + 16 <= k {
+                let v = _mm_loadu_si128(a_row.as_ptr().add(j) as *const __m128i);
+                _mm256_storeu_si256(
+                    wide.as_mut_ptr().add(j) as *mut __m256i,
+                    _mm256_cvtepi8_epi16(v),
+                );
+                j += 16;
+            }
+            while j < k {
+                wide[j] = a_row[j] as i16;
+                j += 1;
+            }
+            if k < 2 * pairs {
+                wide[k] = 0;
+            }
+            // Branchless compaction: always write, advance on nonzero.
+            let pair_words = wide.as_ptr() as *const i32;
+            for q in 0..pairs {
+                let word = *pair_words.add(q);
+                *nz_off.get_unchecked_mut(nnz) = (q * 2 * n) as u32;
+                *nz_word.get_unchecked_mut(nnz) = word;
+                nnz += usize::from(word != 0);
+            }
+        }
+        let mut col0 = 0;
+        while col0 < n {
+            let blocks = ((n - col0) / 8).min(8);
+            let mut acc = [_mm256_setzero_si256(); 8];
+            if use_widened {
+                let pbase = packed.as_ptr();
+                for t in 0..nnz {
+                    let av = _mm256_set1_epi32(*nz_word.get_unchecked(t));
+                    let b_pair = pbase.add(*nz_off.get_unchecked(t) as usize + 2 * col0);
+                    for (bl, slot) in acc.iter_mut().take(blocks).enumerate() {
+                        let bv = _mm256_loadu_si256(b_pair.add(bl * 16) as *const __m256i);
+                        *slot = _mm256_add_epi32(*slot, _mm256_madd_epi16(bv, av));
+                    }
+                }
+            } else {
+                for q in 0..pairs {
+                    let a0 = a_row[2 * q] as i16;
+                    let a1 = if 2 * q + 1 < k {
+                        a_row[2 * q + 1] as i16
+                    } else {
+                        0
+                    };
+                    if a0 == 0 && a1 == 0 {
+                        continue;
+                    }
+                    let pair = ((a1 as u16 as u32) << 16) | (a0 as u16 as u32);
+                    let av = _mm256_set1_epi32(pair as i32);
+                    let b_pair = packed[q * 2 * n..(q + 1) * 2 * n].as_ptr();
+                    for (bl, slot) in acc.iter_mut().take(blocks).enumerate() {
+                        let bv =
+                            _mm256_loadu_si256(b_pair.add(2 * col0 + bl * 16) as *const __m256i);
+                        *slot = _mm256_add_epi32(*slot, _mm256_madd_epi16(bv, av));
+                    }
+                }
+            }
+            let c_row = c[(i - row_start) * n..(i - row_start + 1) * n].as_mut_ptr();
+            for (bl, slot) in acc.iter().take(blocks).enumerate() {
+                let f = _mm256_cvtepi32_ps(*slot);
+                let sc = _mm256_loadu_ps(scales.as_ptr().add(col0 + bl * 8));
+                _mm256_storeu_ps(
+                    c_row.add(col0 + bl * 8),
+                    _mm256_mul_ps(_mm256_mul_ps(f, vscale), sc),
+                );
+            }
+            col0 += blocks * 8;
+        }
+    }
+}
+
+/// Quantized activations with their nonzero pair words pre-compressed,
+/// so the per-row widen + compaction cost of [`matmul_q8`] is paid
+/// **once** per activation buffer instead of once per GEMM.
+///
+/// The executor's ParaGraph/GAT layers multiply the same quantized
+/// hidden state against one weight matrix per edge type and head —
+/// with [`Q8Prepared`] the sibling GEMMs share a single preparation
+/// pass. The compressed form stores pair *indices* (not offsets), so
+/// one preparation serves right-hand sides of any width. All buffers
+/// are grow-only: steady-state reuse allocates nothing.
+#[derive(Debug, Default, Clone)]
+pub struct Q8Prepared {
+    m: usize,
+    k: usize,
+    /// Raw symmetric int8 activations, `m * k` row-major.
+    qa: Vec<i8>,
+    /// Widen scratch for one row (`2 * pairs`, zero-padded).
+    wide: Vec<i16>,
+    /// Per-row prefix offsets into `nz_q`/`nz_word` (`m + 1` long).
+    nz_start: Vec<u32>,
+    /// Pair index of each nonzero pair word.
+    nz_q: Vec<u32>,
+    /// The i16 activation pair packed in broadcast order.
+    nz_word: Vec<i32>,
+}
+
+impl Q8Prepared {
+    /// Quantizes `a` (`m x k`, scale `scale`) and compresses each row's
+    /// nonzero pair words. See [`crate::quant::quantize_i8`] for the
+    /// rounding contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != m * k`.
+    pub fn prepare(&mut self, a: &[f32], scale: f32, m: usize, k: usize) {
+        assert_eq!(a.len(), m * k, "prepare lhs length mismatch");
+        self.m = m;
+        self.k = k;
+        let pairs = k.div_ceil(2);
+        if self.qa.len() < m * k {
+            self.qa.resize(m * k, 0);
+        }
+        crate::quant::quantize_i8(a, scale, &mut self.qa[..m * k]);
+        if self.wide.len() < 2 * pairs {
+            self.wide.resize(2 * pairs, 0);
+        }
+        if self.nz_start.len() < m + 1 {
+            self.nz_start.resize(m + 1, 0);
+        }
+        if self.nz_q.len() < m * pairs {
+            self.nz_q.resize(m * pairs, 0);
+            self.nz_word.resize(m * pairs, 0);
+        }
+        let mut nnz = 0_usize;
+        for i in 0..m {
+            self.nz_start[i] = nnz as u32;
+            let row = &self.qa[i * k..(i + 1) * k];
+            // Widen the row to i16 pairs (zero-padding an odd k), then
+            // compact branchlessly: always write, advance on nonzero.
+            #[cfg(target_arch = "x86_64")]
+            let widened = if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: AVX2 presence checked above; `wide` holds
+                // `2 * pairs >= k` entries.
+                unsafe { widen_row_avx2(row, &mut self.wide) };
+                true
+            } else {
+                false
+            };
+            #[cfg(not(target_arch = "x86_64"))]
+            let widened = false;
+            if !widened {
+                for (w, &v) in self.wide.iter_mut().zip(row.iter()) {
+                    *w = v as i16;
+                }
+            }
+            if k < 2 * pairs {
+                self.wide[k] = 0;
+            }
+            for q in 0..pairs {
+                let word = (self.wide[2 * q] as u16 as u32
+                    | ((self.wide[2 * q + 1] as u16 as u32) << 16))
+                    as i32;
+                self.nz_q[nnz] = q as u32;
+                self.nz_word[nnz] = word;
+                nnz += usize::from(word != 0);
+            }
+        }
+        self.nz_start[m] = nnz as u32;
+    }
+
+    /// Row count of the prepared activations.
+    pub fn rows(&self) -> usize {
+        self.m
+    }
+
+    /// Inner (`k`) dimension of the prepared activations.
+    pub fn inner(&self) -> usize {
+        self.k
+    }
+
+    /// The raw quantized activations (`m * k`, row-major).
+    pub fn qa(&self) -> &[i8] {
+        &self.qa[..self.m * self.k]
+    }
+}
+
+/// Widens an i8 row into the i16 buffer, 16 lanes per step.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn widen_row_avx2(row: &[i8], wide: &mut [i16]) {
+    use std::arch::x86_64::*;
+    let k = row.len();
+    let mut j = 0;
+    while j + 16 <= k {
+        let v = _mm_loadu_si128(row.as_ptr().add(j) as *const __m128i);
+        _mm256_storeu_si256(
+            wide.as_mut_ptr().add(j) as *mut __m256i,
+            _mm256_cvtepi8_epi16(v),
+        );
+        j += 16;
+    }
+    while j < k {
+        wide[j] = row[j] as i16;
+        j += 1;
+    }
+}
+
+/// [`matmul_q8`] over pre-prepared activations: identical results
+/// (integer accumulation is exact and zero pairs contribute nothing),
+/// minus the per-call widen/compress work. `n` is the output width.
+///
+/// # Panics
+///
+/// Panics if `b`'s shape disagrees with the preparation or `out` with
+/// `(rows, n)`.
+pub fn matmul_q8_prepared(
+    p: &Q8Prepared,
+    a_scale: f32,
+    b: &QuantMatrix,
+    out: &mut [f32],
+    n: usize,
+) {
+    let (m, k) = (p.m, p.k);
+    assert_eq!(
+        (b.rows(), b.cols()),
+        (k, n),
+        "matmul_q8_prepared rhs shape mismatch"
+    );
+    assert_eq!(out.len(), m * n, "matmul_q8_prepared out length mismatch");
+    let work = m.saturating_mul(k).saturating_mul(n);
+    par_rows_by_work(m, n, work, out, |chunk, r0, r1| {
+        #[cfg(target_arch = "x86_64")]
+        if lanes8_tiled(n) {
+            // SAFETY: feature detection and lane count checked above.
+            unsafe { matmul_q8_prepared_rows_avx2(p, a_scale, b, chunk, n, r0, r1) };
+            return;
+        }
+        let packed = b.packed();
+        let scales = b.scales();
+        let mut acc = vec![0_i32; n];
+        for i in r0..r1 {
+            acc.fill(0);
+            for t in p.nz_start[i] as usize..p.nz_start[i + 1] as usize {
+                let q = p.nz_q[t] as usize;
+                let word = p.nz_word[t];
+                let a0 = (word & 0xffff) as u16 as i16 as i32;
+                let a1 = ((word >> 16) & 0xffff) as u16 as i16 as i32;
+                let b_pair = &packed[q * 2 * n..(q + 1) * 2 * n];
+                for (j, slot) in acc.iter_mut().enumerate() {
+                    *slot += a0 * b_pair[2 * j] as i32 + a1 * b_pair[2 * j + 1] as i32;
+                }
+            }
+            let c_row = &mut chunk[(i - r0) * n..(i - r0 + 1) * n];
+            for (j, c_v) in c_row.iter_mut().enumerate() {
+                *c_v = (acc[j] as f32 * a_scale) * scales[j];
+            }
+        }
+    });
+}
+
+/// AVX2 inner kernel for [`matmul_q8_prepared`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_q8_prepared_rows_avx2(
+    p: &Q8Prepared,
+    a_scale: f32,
+    b: &QuantMatrix,
+    c: &mut [f32],
+    n: usize,
+    row_start: usize,
+    row_end: usize,
+) {
+    use std::arch::x86_64::*;
+    let packed = b.packed();
+    let scales = b.scales();
+    let vscale = _mm256_set1_ps(a_scale);
+    for i in row_start..row_end {
+        let t0 = *p.nz_start.get_unchecked(i) as usize;
+        let t1 = *p.nz_start.get_unchecked(i + 1) as usize;
+        let mut col0 = 0;
+        while col0 < n {
+            let blocks = ((n - col0) / 8).min(8);
+            let mut acc = [_mm256_setzero_si256(); 8];
+            let pbase = packed.as_ptr();
+            for t in t0..t1 {
+                let av = _mm256_set1_epi32(*p.nz_word.get_unchecked(t));
+                let q = *p.nz_q.get_unchecked(t) as usize;
+                let b_pair = pbase.add(q * 2 * n + 2 * col0);
+                for (bl, slot) in acc.iter_mut().take(blocks).enumerate() {
+                    let bv = _mm256_loadu_si256(b_pair.add(bl * 16) as *const __m256i);
+                    *slot = _mm256_add_epi32(*slot, _mm256_madd_epi16(bv, av));
+                }
+            }
+            let c_row = c[(i - row_start) * n..(i - row_start + 1) * n].as_mut_ptr();
+            for (bl, slot) in acc.iter().take(blocks).enumerate() {
+                let f = _mm256_cvtepi32_ps(*slot);
+                let sc = _mm256_loadu_ps(scales.as_ptr().add(col0 + bl * 8));
+                _mm256_storeu_ps(
+                    c_row.add(col0 + bl * 8),
+                    _mm256_mul_ps(_mm256_mul_ps(f, vscale), sc),
+                );
+            }
+            col0 += blocks * 8;
+        }
+    }
+}
+
+/// [`spmm_mean`] with 8-lane AVX2 inner loops, used by the executor's
+/// reduced-precision path. Per-element accumulation order (ascending
+/// edge index, mean multiply last) matches [`spmm_mean`] exactly and
+/// lanes are distinct elements, so results are bit-identical to it —
+/// the split exists only so the f32 executor path keeps dispatching
+/// through the identical-by-construction tape kernels.
+///
+/// # Panics
+///
+/// Panics as [`spmm_mean`] does.
+pub fn spmm_mean_fast(h: &[f32], f: usize, plan: &CsrPlan, out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if lanes8_tiled(f) {
+        let n = plan.num_nodes();
+        assert_eq!(h.len(), n * f, "spmm_mean input length mismatch");
+        assert_eq!(out.len(), n * f, "spmm_mean out length mismatch");
+        let work = plan.num_edges().saturating_mul(f);
+        par_rows_by_work(n, f, work, out, |chunk, d0, d1| {
+            // SAFETY: lanes8_tiled verified AVX2 and the lane count.
+            unsafe { spmm_mean_rows_avx2(h, f, plan, chunk, d0, d1) };
+        });
+        return;
+    }
+    spmm_mean(h, f, plan, out);
+}
+
+/// AVX2 inner kernel for [`spmm_mean_fast`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn spmm_mean_rows_avx2(
+    h: &[f32],
+    f: usize,
+    plan: &CsrPlan,
+    chunk: &mut [f32],
+    d0: usize,
+    d1: usize,
+) {
+    use std::arch::x86_64::*;
+    let offsets = plan.dst_offsets();
+    let src = plan.sorted_src();
+    let inv = plan.inv_in_degree();
+    let mut col0 = 0;
+    while col0 < f {
+        let blocks = ((f - col0) / 8).min(8);
+        for d in d0..d1 {
+            let row = chunk[(d - d0) * f..(d - d0 + 1) * f].as_mut_ptr();
+            let mut acc = [_mm256_setzero_ps(); 8];
+            for (bl, slot) in acc.iter_mut().take(blocks).enumerate() {
+                *slot = _mm256_loadu_ps(row.add(col0 + bl * 8));
+            }
+            for &s in &src[offsets[d] as usize..offsets[d + 1] as usize] {
+                let h_row = h[(s as usize) * f..(s as usize + 1) * f].as_ptr();
+                for (bl, slot) in acc.iter_mut().take(blocks).enumerate() {
+                    *slot = _mm256_add_ps(*slot, _mm256_loadu_ps(h_row.add(col0 + bl * 8)));
+                }
+            }
+            let w = _mm256_set1_ps(inv[d]);
+            for (bl, slot) in acc.iter().take(blocks).enumerate() {
+                _mm256_storeu_ps(row.add(col0 + bl * 8), _mm256_mul_ps(*slot, w));
+            }
+        }
+        col0 += blocks * 8;
+    }
+}
+
+/// [`attend_apply`] with 8-lane AVX2 inner loops, used by the
+/// executor's reduced-precision path. Same per-element order as
+/// [`attend_apply`] (ascending edge index, mul/add unfused), so the
+/// two are bit-identical.
+///
+/// # Panics
+///
+/// Panics as [`attend_apply`] does.
+pub fn attend_apply_fast(z: &[f32], f: usize, plan: &CsrPlan, alpha: &[f32], out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if lanes8_tiled(f) {
+        let n = plan.num_nodes();
+        assert_eq!(z.len(), n * f, "attend input length mismatch");
+        assert_eq!(out.len(), n * f, "attend out length mismatch");
+        assert_eq!(alpha.len(), plan.num_edges(), "alpha/edge count mismatch");
+        let work = plan.num_edges().saturating_mul(f);
+        par_rows_by_work(n, f, work, out, |chunk, d0, d1| {
+            // SAFETY: lanes8_tiled verified AVX2 and the lane count.
+            unsafe { attend_apply_rows_avx2(z, f, plan, alpha, chunk, d0, d1) };
+        });
+        return;
+    }
+    attend_apply(z, f, plan, alpha, out);
+}
+
+/// AVX2 inner kernel for [`attend_apply_fast`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn attend_apply_rows_avx2(
+    z: &[f32],
+    f: usize,
+    plan: &CsrPlan,
+    alpha: &[f32],
+    chunk: &mut [f32],
+    d0: usize,
+    d1: usize,
+) {
+    use std::arch::x86_64::*;
+    let offsets = plan.dst_offsets();
+    let src = plan.sorted_src();
+    let mut col0 = 0;
+    while col0 < f {
+        let blocks = ((f - col0) / 8).min(8);
+        for d in d0..d1 {
+            let row = chunk[(d - d0) * f..(d - d0 + 1) * f].as_mut_ptr();
+            let mut acc = [_mm256_setzero_ps(); 8];
+            for (bl, slot) in acc.iter_mut().take(blocks).enumerate() {
+                *slot = _mm256_loadu_ps(row.add(col0 + bl * 8));
+            }
+            for ei in offsets[d] as usize..offsets[d + 1] as usize {
+                let w = _mm256_set1_ps(alpha[ei]);
+                let z_row = z[(src[ei] as usize) * f..(src[ei] as usize + 1) * f].as_ptr();
+                for (bl, slot) in acc.iter_mut().take(blocks).enumerate() {
+                    *slot = _mm256_add_ps(
+                        *slot,
+                        _mm256_mul_ps(w, _mm256_loadu_ps(z_row.add(col0 + bl * 8))),
+                    );
+                }
+            }
+            for (bl, slot) in acc.iter().take(blocks).enumerate() {
+                _mm256_storeu_ps(row.add(col0 + bl * 8), *slot);
+            }
+        }
+        col0 += blocks * 8;
+    }
 }
 
 #[cfg(test)]
@@ -381,6 +1128,156 @@ mod tests {
         spmm_mean(&h, 2, &plan, &mut out);
         assert_eq!(&out[4..], &[4.0, 6.0]);
         assert_eq!(&out[..4], &[0.0; 4]);
+    }
+
+    /// Reference int8 GEMM straight off the quantized values — the
+    /// kernel must match it bit for bit (integer accumulation is exact).
+    fn q8_reference(
+        qa: &[i8],
+        a_scale: f32,
+        b: &QuantMatrix,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> Vec<f32> {
+        let mut out = vec![0.0_f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0_i64;
+                for p in 0..k {
+                    let w = b.packed()[(p / 2) * 2 * n + 2 * j + (p % 2)] as i64;
+                    acc += qa[i * k + p] as i64 * w;
+                }
+                out[i * n + j] = (acc as i32 as f32 * a_scale) * b.scales()[j];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_q8_matches_integer_reference() {
+        for (m, k, n) in [(3, 5, 16), (4, 4, 8), (2, 7, 6), (1, 1, 3)] {
+            let a: Vec<f32> = (0..m * k)
+                .map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.11)
+                .collect();
+            let b: Vec<f32> = (0..k * n)
+                .map(|i| ((i * 29 % 23) as f32 - 11.0) * 0.07)
+                .collect();
+            let bq = QuantMatrix::quantize(&b, k, n);
+            let a_scale = crate::quant::max_abs(&a) / 127.0;
+            let mut qa = vec![0_i8; m * k];
+            crate::quant::quantize_i8(&a, a_scale, &mut qa);
+            let mut out = vec![f32::NAN; m * n];
+            matmul_q8(&qa, a_scale, &bq, &mut out, m, k, n);
+            assert_eq!(
+                out,
+                q8_reference(&qa, a_scale, &bq, m, k, n),
+                "({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_q8_prepared_matches_one_shot_kernel() {
+        // Shapes cover SIMD-tiled (n multiple of 8, incl. > 64) and
+        // scalar dispatch, odd k, and rows with all-zero pairs.
+        for (m, k, n) in [(3, 5, 16), (4, 8, 72), (2, 7, 6), (5, 128, 128)] {
+            let a: Vec<f32> = (0..m * k)
+                .map(|i| (((i * 37 % 19) as f32 - 9.0) * 0.11).max(0.0))
+                .collect();
+            let b: Vec<f32> = (0..k * n)
+                .map(|i| ((i * 29 % 23) as f32 - 11.0) * 0.07)
+                .collect();
+            let bq = QuantMatrix::quantize(&b, k, n);
+            let a_scale = crate::quant::max_abs(&a) / 127.0;
+            let mut qa = vec![0_i8; m * k];
+            crate::quant::quantize_i8(&a, a_scale, &mut qa);
+            let mut one_shot = vec![f32::NAN; m * n];
+            matmul_q8(&qa, a_scale, &bq, &mut one_shot, m, k, n);
+            let mut prep = Q8Prepared::default();
+            prep.prepare(&a, a_scale, m, k);
+            assert_eq!(prep.qa(), &qa[..], "prepare must quantize identically");
+            let mut out = vec![f32::NAN; m * n];
+            matmul_q8_prepared(&prep, a_scale, &bq, &mut out, n);
+            assert_eq!(out, one_shot, "({m},{k},{n})");
+            // Preparations are reusable across right-hand sides.
+            let mut again = vec![f32::NAN; m * n];
+            matmul_q8_prepared(&prep, a_scale, &bq, &mut again, n);
+            assert_eq!(again, one_shot, "({m},{k},{n}) reuse");
+        }
+    }
+
+    #[test]
+    fn matmul_q8_approximates_f32_matmul() {
+        let (m, k, n) = (6, 16, 16);
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 13 % 31) as f32 - 15.0) * 0.05)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 17 % 27) as f32 - 13.0) * 0.04)
+            .collect();
+        let mut exact = vec![0.0; m * n];
+        matmul(&a, &b, &mut exact, m, k, n);
+        let bq = QuantMatrix::quantize(&b, k, n);
+        let a_scale = crate::quant::max_abs(&a) / 127.0;
+        let mut qa = vec![0_i8; m * k];
+        crate::quant::quantize_i8(&a, a_scale, &mut qa);
+        let mut out = vec![0.0; m * n];
+        matmul_q8(&qa, a_scale, &bq, &mut out, m, k, n);
+        let scale = crate::quant::max_abs(&exact).max(1e-6);
+        for (q, e) in out.iter().zip(exact.iter()) {
+            assert!((q - e).abs() <= 0.02 * scale, "int8 {q} vs f32 {e}");
+        }
+    }
+
+    #[test]
+    fn matmul_f16_matches_f32_within_half_ulp_accumulation() {
+        let (m, k, n) = (5, 12, 16);
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 7 % 17) as f32 - 8.0) * 0.125)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 11 % 13) as f32 - 6.0) * 0.0625)
+            .collect();
+        let mut exact = vec![0.0; m * n];
+        matmul(&a, &b, &mut exact, m, k, n);
+        let bh = F16Matrix::from_f32(&b, k, n);
+        let mut out = vec![0.0; m * n];
+        matmul_f16(&a, &bh, &mut out, m, k, n);
+        let scale = crate::quant::max_abs(&exact).max(1e-6);
+        for (h, e) in out.iter().zip(exact.iter()) {
+            assert!((h - e).abs() <= 2e-3 * scale, "f16 {h} vs f32 {e}");
+        }
+        // These weights are exactly representable in f16, so the product
+        // must in fact be bit-identical.
+        assert_eq!(out, exact);
+    }
+
+    #[test]
+    fn fast_aggregation_kernels_are_bitwise_identical() {
+        // f = 16 exercises the AVX2 path where available; the contract
+        // says fast == standard bit for bit either way.
+        let f = 16;
+        let n = 9;
+        let src: Vec<u32> = (0..24).map(|i| i % n as u32).collect();
+        let dst: Vec<u32> = (0..24).map(|i| (i * 5 + 2) % n as u32).collect();
+        let plan = CsrPlan::new(&src, &dst, n);
+        let h: Vec<f32> = (0..n * f)
+            .map(|i| ((i * 3 % 41) as f32 - 20.0) * 0.17)
+            .collect();
+        let mut a = vec![0.0; n * f];
+        let mut b = vec![0.0; n * f];
+        spmm_mean(&h, f, &plan, &mut a);
+        spmm_mean_fast(&h, f, &plan, &mut b);
+        assert_eq!(a, b, "spmm_mean_fast drifted from spmm_mean");
+        let alpha: Vec<f32> = (0..plan.num_edges())
+            .map(|i| (i as f32 + 1.0) * 0.03)
+            .collect();
+        a.fill(0.0);
+        b.fill(0.0);
+        attend_apply(&h, f, &plan, &alpha, &mut a);
+        attend_apply_fast(&h, f, &plan, &alpha, &mut b);
+        assert_eq!(a, b, "attend_apply_fast drifted from attend_apply");
     }
 
     #[test]

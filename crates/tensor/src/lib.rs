@@ -43,11 +43,13 @@ pub mod kernels;
 mod optim;
 mod params;
 mod plan;
+pub mod quant;
 mod tape;
 mod tensor;
 
 pub use optim::{Adam, Sgd};
 pub use params::{init_rng, ParamId, ParamSet};
 pub use plan::CsrPlan;
+pub use quant::{F16Matrix, QuantMatrix};
 pub use tape::{attention_probabilities, Gradients, Tape, Var};
 pub use tensor::Tensor;

@@ -530,11 +530,12 @@ pub(crate) fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usiz
 
 /// True when the AVX2 row kernels can run: x86-64 with AVX2 (checked
 /// once, cached by `is_x86_feature_detected`) and a column count that
-/// is a whole number of 256-bit lanes small enough to keep the output
-/// row resident in vector registers.
+/// is a whole number of 256-bit lanes. Wider outputs than the 64
+/// columns that fit in vector registers are handled by tiling the
+/// columns, which leaves each element's accumulation order untouched.
 #[cfg(target_arch = "x86_64")]
 fn avx2_cols(n: usize) -> bool {
-    n > 0 && n.is_multiple_of(8) && n <= 64 && std::arch::is_x86_feature_detected!("avx2")
+    n > 0 && n.is_multiple_of(8) && std::arch::is_x86_feature_detected!("avx2")
 }
 
 /// AVX2 accumulate-rows kernel for `n == BLOCKS * 8` columns: the
@@ -546,23 +547,25 @@ fn avx2_cols(n: usize) -> bool {
 /// bit-identical.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
 unsafe fn matmul_rows_avx2<const BLOCKS: usize>(
     a: &[f32],
     b: &[f32],
     c: &mut [f32],
     k: usize,
     n: usize,
+    col0: usize,
     row_start: usize,
     row_end: usize,
 ) {
     use std::arch::x86_64::*;
-    debug_assert_eq!(n, BLOCKS * 8);
+    debug_assert!(col0 + BLOCKS * 8 <= n);
     for i in row_start..row_end {
         let c_row = c[(i - row_start) * n..(i - row_start + 1) * n].as_mut_ptr();
         let a_row = &a[i * k..(i + 1) * k];
         let mut acc = [_mm256_setzero_ps(); BLOCKS];
         for (bl, slot) in acc.iter_mut().enumerate() {
-            *slot = _mm256_loadu_ps(c_row.add(bl * 8));
+            *slot = _mm256_loadu_ps(c_row.add(col0 + bl * 8));
         }
         for (p, &a_ip) in a_row.iter().enumerate() {
             if a_ip == 0.0 {
@@ -571,22 +574,23 @@ unsafe fn matmul_rows_avx2<const BLOCKS: usize>(
             let av = _mm256_set1_ps(a_ip);
             let b_row = b[p * n..(p + 1) * n].as_ptr();
             for (bl, slot) in acc.iter_mut().enumerate() {
-                let bv = _mm256_loadu_ps(b_row.add(bl * 8));
+                let bv = _mm256_loadu_ps(b_row.add(col0 + bl * 8));
                 *slot = _mm256_add_ps(*slot, _mm256_mul_ps(av, bv));
             }
         }
         for (bl, slot) in acc.iter().enumerate() {
-            _mm256_storeu_ps(c_row.add(bl * 8), *slot);
+            _mm256_storeu_ps(c_row.add(col0 + bl * 8), *slot);
         }
     }
 }
 
-/// Monomorphises [`matmul_rows_avx2`] on the lane-block count.
+/// Monomorphises [`matmul_rows_avx2`] on the lane-block count, tiling
+/// column ranges wider than the eight resident accumulators.
 ///
 /// # Safety
 ///
-/// Caller must ensure AVX2 is available and `n % 8 == 0`,
-/// `8 <= n <= 64` (i.e. [`avx2_cols`] returned true).
+/// Caller must ensure AVX2 is available and `n % 8 == 0` (i.e.
+/// [`avx2_cols`] returned true).
 #[cfg(target_arch = "x86_64")]
 unsafe fn matmul_rows_avx2_dispatch(
     a: &[f32],
@@ -597,15 +601,20 @@ unsafe fn matmul_rows_avx2_dispatch(
     row_start: usize,
     row_end: usize,
 ) {
-    match n / 8 {
-        1 => matmul_rows_avx2::<1>(a, b, c, k, n, row_start, row_end),
-        2 => matmul_rows_avx2::<2>(a, b, c, k, n, row_start, row_end),
-        3 => matmul_rows_avx2::<3>(a, b, c, k, n, row_start, row_end),
-        4 => matmul_rows_avx2::<4>(a, b, c, k, n, row_start, row_end),
-        5 => matmul_rows_avx2::<5>(a, b, c, k, n, row_start, row_end),
-        6 => matmul_rows_avx2::<6>(a, b, c, k, n, row_start, row_end),
-        7 => matmul_rows_avx2::<7>(a, b, c, k, n, row_start, row_end),
-        _ => matmul_rows_avx2::<8>(a, b, c, k, n, row_start, row_end),
+    let mut col0 = 0;
+    while col0 < n {
+        let blocks = ((n - col0) / 8).min(8);
+        match blocks {
+            1 => matmul_rows_avx2::<1>(a, b, c, k, n, col0, row_start, row_end),
+            2 => matmul_rows_avx2::<2>(a, b, c, k, n, col0, row_start, row_end),
+            3 => matmul_rows_avx2::<3>(a, b, c, k, n, col0, row_start, row_end),
+            4 => matmul_rows_avx2::<4>(a, b, c, k, n, col0, row_start, row_end),
+            5 => matmul_rows_avx2::<5>(a, b, c, k, n, col0, row_start, row_end),
+            6 => matmul_rows_avx2::<6>(a, b, c, k, n, col0, row_start, row_end),
+            7 => matmul_rows_avx2::<7>(a, b, c, k, n, col0, row_start, row_end),
+            _ => matmul_rows_avx2::<8>(a, b, c, k, n, col0, row_start, row_end),
+        }
+        col0 += blocks * 8;
     }
 }
 

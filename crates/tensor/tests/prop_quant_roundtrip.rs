@@ -1,0 +1,122 @@
+//! Property tests for the quantization round-trip bounds that the
+//! compiled executor's accuracy contract rests on:
+//!
+//! * int8 per-column quantization reconstructs every element within
+//!   `scale/2` (the symmetric rounding bound — no clamping error is
+//!   possible because the scale is derived from the column max), and
+//! * the f32→f16→f32 round-trip lands within one binary16 ulp,
+//!   including zeros, subnormals and values at the extremes of
+//!   `BaselineStats`-like feature ranges.
+
+use paragraph_tensor::quant::{f16_to_f32, f32_to_f16, max_abs, quantize_i8};
+use paragraph_tensor::QuantMatrix;
+use proptest::collection;
+use proptest::prelude::*;
+
+/// One binary16 ulp at `v` (the spacing of the f16 grid around it).
+fn f16_ulp(v: f32) -> f32 {
+    let a = v.abs();
+    if a < f16_to_f32(0x0400) {
+        // Subnormal spacing is constant: 2^-24.
+        return 2f32.powi(-24);
+    }
+    let e = (f32_to_f16(a) >> 10) & 0x1f; // biased f16 exponent, >= 1
+    2f32.powi(e as i32 - 15 - 10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Weight-tensor round-trip: every element of a random matrix comes
+    /// back within half the per-column scale.
+    #[test]
+    fn int8_weight_roundtrip_bounded_by_half_scale(
+        vals in collection::vec(-50.0_f32..50.0, 1..96),
+        cols in 1_usize..8,
+    ) {
+        let cols = cols.min(vals.len());
+        let rows = vals.len() / cols;
+        let data = &vals[..rows * cols];
+        let q = QuantMatrix::quantize(data, rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                let err = (q.get(i, j) - data[i * cols + j]).abs();
+                let bound = q.scales()[j] * 0.5 * (1.0 + 1e-5);
+                prop_assert!(
+                    err <= bound,
+                    "element ({}, {}): error {} exceeds scale/2 {}",
+                    i, j, err, bound
+                );
+            }
+        }
+    }
+
+    /// Activation round-trip at an explicit max-abs scale: dequantized
+    /// values land within `scale/2` for in-range inputs.
+    #[test]
+    fn int8_activation_roundtrip_bounded_by_half_scale(
+        vals in collection::vec(-1000.0_f32..1000.0, 1..64),
+    ) {
+        let scale = max_abs(&vals) / 127.0;
+        let mut q = vec![0_i8; vals.len()];
+        quantize_i8(&vals, scale, &mut q);
+        for (&qi, &v) in q.iter().zip(vals.iter()) {
+            let err = (qi as f32 * scale - v).abs();
+            prop_assert!(
+                err <= scale * 0.5 * (1.0 + 1e-5) || scale == 0.0,
+                "activation {}: error {} exceeds scale/2 {}",
+                v, err, scale * 0.5
+            );
+        }
+    }
+
+    /// f16 round-trip within one ulp across the normal range (scaled to
+    /// cover magnitudes from ~1e-4 to ~1e4, the span of normalised
+    /// features and baseline extremes).
+    #[test]
+    fn f16_roundtrip_within_one_ulp(v in -1.0_f32..1.0, mag in -14_i32..15) {
+        let x = v * 2f32.powi(mag);
+        let back = f16_to_f32(f32_to_f16(x));
+        prop_assert!(
+            (back - x).abs() <= f16_ulp(x),
+            "f16 roundtrip {} -> {} off by more than one ulp",
+            x, back
+        );
+    }
+
+    /// f16 round-trip on subnormal-range magnitudes (|x| < 2^-14),
+    /// where the absolute error bound is the constant subnormal ulp.
+    #[test]
+    fn f16_subnormal_roundtrip_within_one_ulp(v in -1.0_f32..1.0, mag in -26_i32..-14) {
+        let x = v * 2f32.powi(mag);
+        let back = f16_to_f32(f32_to_f16(x));
+        prop_assert!(
+            (back - x).abs() <= 2f32.powi(-24),
+            "subnormal roundtrip {} -> {} off by more than one ulp",
+            x, back
+        );
+    }
+}
+
+/// Pinned edge cases: zeros, the subnormal boundary, the f16 max, and
+/// saturation beyond it (where the round-trip contract switches from
+/// "within one ulp" to "saturates to infinity").
+#[test]
+fn pinned_extreme_values() {
+    for v in [0.0_f32, -0.0, 6.097e-5, 6.104e-5, 65504.0, -65504.0] {
+        let back = f16_to_f32(f32_to_f16(v));
+        assert!(
+            (back - v).abs() <= f16_ulp(v),
+            "pinned {v} -> {back} off by more than one ulp"
+        );
+    }
+    assert_eq!(f16_to_f32(f32_to_f16(65520.0)), f32::INFINITY);
+    assert_eq!(f16_to_f32(f32_to_f16(-65520.0)), f32::NEG_INFINITY);
+    // Zero-scale (all-zero input) quantization round-trips exactly.
+    let q = QuantMatrix::quantize(&[0.0; 6], 3, 2);
+    for i in 0..3 {
+        for j in 0..2 {
+            assert_eq!(q.get(i, j), 0.0);
+        }
+    }
+}
