@@ -93,6 +93,15 @@ fn usage() -> ! {
          \x20        --precision <f32|f16|int8>  compiled-path weight\n\
          \x20                              precision; artifact pins win\n\
          \x20                              (env PARAGRAPH_PRECISION)\n\
+         \x20        --http-port <port>    also run the sharded gateway\n\
+         \x20                              (HTTP/1.1 + JSON lines, protocol\n\
+         \x20                              sniffing) on this port\n\
+         \x20        --shards <n>          gateway shard count; 0 = one per\n\
+         \x20                              core (env PARAGRAPH_SHARDS)\n\
+         \x20        --max-queue <n>       per-shard queue bound before 503\n\
+         \x20                              shedding (env PARAGRAPH_MAX_QUEUE)\n\
+         \x20        --idle-ms <t>         gateway idle-connection reclaim\n\
+         \x20                              deadline (env PARAGRAPH_IDLE_MS)\n\
          \n\
          PARAGRAPH_TRACE=1 records spans to target/trace.json;\n\
          PARAGRAPH_EVENTS=1 records the structured event log"
@@ -340,7 +349,7 @@ fn precision_flag_env(flags: &Flags) -> paragraph::Precision {
 }
 
 fn serve(flags: &Flags) {
-    use paragraph_serve::{ModelRegistry, Server, Service, ServiceConfig};
+    use paragraph_serve::{Gateway, GatewayConfig, ModelRegistry, Server, Service, ServiceConfig};
     use std::sync::Arc;
     use std::time::Duration;
 
@@ -410,6 +419,49 @@ fn serve(flags: &Flags) {
                 }
             })
             .expect("spawn event flusher");
+    }
+    // Optional sharded gateway on a second port: HTTP/1.1 keep-alive
+    // and JSON-lines with protocol sniffing, N thread-per-core shards.
+    if let Some(http_port) = flags.get("http-port") {
+        let Ok(port) = http_port.parse::<u16>() else {
+            eprintln!("--http-port expects a port number, got '{http_port}'");
+            usage()
+        };
+        let host = addr.rsplit_once(':').map_or("127.0.0.1", |(h, _)| h);
+        let gateway_addr = format!("{host}:{port}");
+        let shards = u64_flag_env(flags, "shards", "PARAGRAPH_SHARDS", 0) as usize;
+        let max_queue = u64_flag_env(
+            flags,
+            "max-queue",
+            "PARAGRAPH_MAX_QUEUE",
+            config.queue_capacity as u64,
+        )
+        .max(1) as usize;
+        let idle_ms = u64_flag_env(flags, "idle-ms", "PARAGRAPH_IDLE_MS", 60_000).max(1);
+        let gateway_config = GatewayConfig {
+            shards,
+            service: ServiceConfig {
+                queue_capacity: max_queue,
+                ..config.clone()
+            },
+            idle_deadline: Duration::from_millis(idle_ms),
+            ..GatewayConfig::default()
+        };
+        let gateway = match Gateway::bind(&gateway_addr, registry.clone(), gateway_config) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("cannot bind gateway on {gateway_addr}: {e}");
+                std::process::exit(1)
+            }
+        };
+        println!(
+            "gateway on {} ({} shard(s); HTTP/1.1 + JSON lines)",
+            gateway.local_addr(),
+            gateway.shard_count()
+        );
+        // The legacy server below runs forever; keep the gateway's
+        // threads alive alongside it.
+        std::mem::forget(gateway.spawn());
     }
     let service = Arc::new(Service::new(registry, config));
     let server = match Server::bind(addr, service) {

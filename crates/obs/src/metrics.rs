@@ -237,6 +237,22 @@ fn sorted_labels(labels: &[(&str, &str)]) -> Labels {
     out
 }
 
+/// Instance labels plus render-time extras, re-sorted; an extra key that
+/// collides with an instance key replaces it.
+fn merge_labels(base: &Labels, extra: &[(&str, &str)]) -> Labels {
+    if extra.is_empty() {
+        return base.clone();
+    }
+    let mut out: Labels = base
+        .iter()
+        .filter(|(k, _)| !extra.iter().any(|(ek, _)| ek == k))
+        .cloned()
+        .collect();
+    out.extend(extra.iter().map(|&(k, v)| (k.to_owned(), v.to_owned())));
+    out.sort();
+    out
+}
+
 impl Registry {
     /// Creates an empty registry.
     pub fn new() -> Self {
@@ -341,6 +357,15 @@ impl Registry {
     /// expand into cumulative `_bucket{le=...}` series plus `_sum` and
     /// `_count`.
     pub fn render_prometheus(&self) -> String {
+        self.render_prometheus_labeled(&[])
+    }
+
+    /// Like [`Registry::render_prometheus`] but merges `extra` label
+    /// pairs into every sample line at render time — e.g. a gateway
+    /// rendering per-shard registries tags each one `shard="<n>"`
+    /// without the instrumented code knowing about shards. Extra labels
+    /// sort with the instance labels; `le`/`quantile` stay last.
+    pub fn render_prometheus_labeled(&self, extra: &[(&str, &str)]) -> String {
         let families = lock(&self.families);
         let mut out = String::new();
         for (name, family) in families.iter() {
@@ -349,7 +374,8 @@ impl Registry {
                 None => continue,
             };
             let _ = writeln!(out, "# TYPE {name} {kind}");
-            for (labels, metric) in &family.by_labels {
+            for (base_labels, metric) in &family.by_labels {
+                let labels = &merge_labels(base_labels, extra);
                 match metric {
                     Metric::Counter(c) => {
                         let _ = writeln!(out, "{}{} {}", name, label_block(labels), c.get());
@@ -620,6 +646,33 @@ mod tests {
         assert!(a < b, "families render in name order:\n{text}");
         assert!(text.contains("b_total{op=\"erc\"} 1"));
         assert!(text.contains("b_total{op=\"predict\"} 2"));
+    }
+
+    #[test]
+    fn labeled_render_injects_extra_labels() {
+        let r = Registry::new();
+        r.counter("req_total", &[("op", "predict")]).add(3);
+        r.rolling("lat_us", &[("op", "predict")], 4).observe(7.0);
+        r.histogram("h_us", &[], &[1.0]).observe(0.5);
+        let text = r.render_prometheus_labeled(&[("shard", "2")]);
+        assert!(
+            text.contains("req_total{op=\"predict\",shard=\"2\"} 3"),
+            "{text}"
+        );
+        // le/quantile stay last, after the injected label.
+        assert!(
+            text.contains("lat_us{op=\"predict\",shard=\"2\",quantile=\"0.5\"} 7"),
+            "{text}"
+        );
+        assert!(
+            text.contains("h_us_bucket{shard=\"2\",le=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("h_us_count{shard=\"2\"} 1"), "{text}");
+        // The unlabeled render is byte-identical to the pre-refactor one.
+        let plain = r.render_prometheus();
+        assert!(plain.contains("req_total{op=\"predict\"} 3"), "{plain}");
+        assert!(!plain.contains("shard"), "{plain}");
     }
 
     #[test]

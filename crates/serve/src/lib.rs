@@ -23,6 +23,9 @@
 //!   artifact; out-of-distribution traffic degrades the `health` op.
 //! * [`Server`] — `std::net::TcpListener` front end, one thread per
 //!   connection, one JSON response line per request line.
+//! * [`Gateway`] — sharded evented front end: N thread-per-core shards,
+//!   each with its own [`Service`], speaking HTTP/1.1 keep-alive and
+//!   JSON-lines on one port via first-byte protocol sniffing.
 //!
 //! See `docs/serving.md` in the repository root for the wire protocol.
 //!
@@ -41,6 +44,7 @@
 
 mod cache;
 mod drift;
+mod gateway;
 mod metrics;
 mod protocol;
 mod registry;
@@ -49,10 +53,11 @@ mod service;
 
 pub use cache::{fnv1a, PredictionCache};
 pub use drift::{DriftConfig, DriftMonitor};
+pub use gateway::{Gateway, GatewayConfig, GatewayHandle};
 pub use metrics::{Metrics, LATENCY_BUCKETS_US, ROLLING_WINDOW};
 pub use protocol::{error_response, ok_response, ErrorCode, Op, Request, ServeError};
 pub use registry::{
     LoadedModels, ModelRef, ModelRegistry, RegistryError, ReloadReport, ENSEMBLE_KEY,
 };
-pub use server::{Server, ServerHandle};
-pub use service::{Service, ServiceConfig};
+pub use server::{Server, ServerHandle, DEFAULT_READ_TIMEOUT};
+pub use service::{PendingCall, Service, ServiceConfig, Submitted};

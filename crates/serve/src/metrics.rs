@@ -323,6 +323,17 @@ impl Metrics {
         out.push_str(&paragraph_obs::global().render_prometheus());
         out
     }
+
+    /// Prometheus exposition of this service's own registry with every
+    /// sample labelled `shard="<n>"`. The sharded gateway concatenates
+    /// one of these per shard (and appends the process-global registry
+    /// once) so per-shard series stay distinguishable after aggregation.
+    pub fn render_shard(&self, cache: &PredictionCache, shard: usize) -> String {
+        self.sync_cache(cache);
+        let shard = shard.to_string();
+        self.registry
+            .render_prometheus_labeled(&[("shard", &shard)])
+    }
 }
 
 #[cfg(test)]

@@ -12,26 +12,49 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::service::Service;
+
+/// Default per-read deadline on a connection: a client that stops
+/// sending mid-line for this long gets its connection (and thread)
+/// reclaimed instead of pinning a `serve-conn` thread forever.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// A bound, not-yet-running server.
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
     service: Arc<Service>,
+    read_timeout: Duration,
 }
 
 impl Server {
-    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) with
+    /// the [`DEFAULT_READ_TIMEOUT`] stall deadline.
     ///
     /// # Errors
     ///
     /// Propagates the bind error.
     pub fn bind(addr: &str, service: Arc<Service>) -> std::io::Result<Self> {
+        Self::bind_with_timeout(addr, service, DEFAULT_READ_TIMEOUT)
+    }
+
+    /// Binds `addr` with an explicit per-read stall deadline (tests use
+    /// short ones to pin the reclaim behaviour).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn bind_with_timeout(
+        addr: &str,
+        service: Arc<Service>,
+        read_timeout: Duration,
+    ) -> std::io::Result<Self> {
         Ok(Self {
             listener: TcpListener::bind(addr)?,
             service,
+            read_timeout,
         })
     }
 
@@ -78,9 +101,10 @@ impl Server {
             }
             let Ok(stream) = conn else { continue };
             let service = self.service.clone();
+            let read_timeout = self.read_timeout;
             let _ = std::thread::Builder::new()
                 .name("serve-conn".into())
-                .spawn(move || handle_connection(stream, &service));
+                .spawn(move || handle_connection(stream, &service, read_timeout));
         }
     }
 }
@@ -124,7 +148,12 @@ impl Drop for ServerHandle {
     }
 }
 
-fn handle_connection(stream: TcpStream, service: &Service) {
+fn handle_connection(stream: TcpStream, service: &Service, read_timeout: Duration) {
+    // A stalled client's blocking read now errors out after the
+    // deadline instead of tying this thread up indefinitely.
+    if stream.set_read_timeout(Some(read_timeout)).is_err() {
+        return;
+    }
     let Ok(write_half) = stream.try_clone() else {
         return;
     };

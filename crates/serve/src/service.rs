@@ -88,6 +88,41 @@ struct Job {
     reply: SyncSender<Value>,
 }
 
+/// Everything [`Service::finalize`] needs once the worker's reply
+/// arrives: the request identity plus the timestamps taken at
+/// submission.
+#[derive(Debug)]
+struct CallCtx {
+    id: Value,
+    op: Op,
+    debug: bool,
+    parse_us: f64,
+    request_id: String,
+    started: Instant,
+}
+
+/// A data-plane request that has been queued but not yet answered.
+/// Obtain one from [`Service::submit`] / [`Service::submit_line`];
+/// resolve it with [`Service::poll`] (non-blocking) or
+/// [`Service::wait`] (blocking). Dropping it abandons the request —
+/// the worker's reply is discarded and no metrics are recorded.
+#[derive(Debug)]
+pub struct PendingCall {
+    rx: Receiver<Value>,
+    ctx: CallCtx,
+}
+
+/// Outcome of submitting a request without blocking.
+#[derive(Debug)]
+pub enum Submitted {
+    /// Answered inline: control-plane ops, parse errors, and queue
+    /// rejections (`overloaded`). Metrics are already recorded.
+    Done(Value),
+    /// Queued to the worker pool; resolve via [`Service::poll`] or
+    /// [`Service::wait`].
+    Pending(PendingCall),
+}
+
 /// The concurrent inference service.
 pub struct Service {
     registry: Arc<ModelRegistry>,
@@ -101,6 +136,10 @@ pub struct Service {
     /// Successful requests seen, for event-log sampling.
     ok_requests: AtomicU64,
     slow_requests: Arc<Counter>,
+    /// Invoked after a successful `reload` refreshed this service, so an
+    /// embedder (the sharded gateway) can refresh sibling services that
+    /// share the same registry.
+    reload_hook: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
 }
 
 impl std::fmt::Debug for Service {
@@ -158,6 +197,7 @@ impl Service {
             next_request_id: AtomicU64::new(0),
             ok_requests: AtomicU64::new(0),
             slow_requests,
+            reload_hook: Mutex::new(None),
         }
     }
 
@@ -184,11 +224,32 @@ impl Service {
     /// Handles one raw protocol line, returning the response rendered as
     /// one compact JSON line (without trailing newline).
     pub fn handle_line(&self, line: &str) -> String {
+        let response = match self.submit_line(line) {
+            Submitted::Done(response) => response,
+            Submitted::Pending(call) => self.wait(call),
+        };
+        serde_json::to_string(&response).expect("response serialises")
+    }
+
+    /// Executes one parsed request and returns the response envelope.
+    pub fn call(&self, request: Request) -> Value {
+        match self.submit_with_parse(request, 0.0) {
+            Submitted::Done(response) => response,
+            Submitted::Pending(call) => self.wait(call),
+        }
+    }
+
+    /// Submits one raw protocol line without blocking on the worker
+    /// pool. Parse failures and control-plane ops resolve to
+    /// [`Submitted::Done`] immediately; data-plane ops come back as
+    /// [`Submitted::Pending`] unless the queue rejected them.
+    pub fn submit_line(&self, line: &str) -> Submitted {
         let parse_started = Instant::now();
-        let parsed = Request::parse(line);
-        let parse_us = parse_started.elapsed().as_secs_f64() * 1e6;
-        let response = match parsed {
-            Ok(request) => self.call_inner(request, parse_us),
+        match Request::parse(line) {
+            Ok(request) => {
+                let parse_us = parse_started.elapsed().as_secs_f64() * 1e6;
+                self.submit_with_parse(request, parse_us)
+            }
             Err(err) => {
                 // Salvage the id for the error envelope when the line was
                 // at least a JSON object.
@@ -197,67 +258,146 @@ impl Service {
                     .and_then(|v| v.get("id").cloned())
                     .unwrap_or(Value::Null);
                 self.metrics.bad_line();
-                error_response(&id, &err)
+                Submitted::Done(error_response(&id, &err))
             }
-        };
-        serde_json::to_string(&response).expect("response serialises")
+        }
     }
 
-    /// Executes one parsed request and returns the response envelope.
-    pub fn call(&self, request: Request) -> Value {
-        self.call_inner(request, 0.0)
+    /// Submits one parsed request without blocking on the worker pool.
+    pub fn submit(&self, request: Request) -> Submitted {
+        self.submit_with_parse(request, 0.0)
     }
 
-    fn call_inner(&self, request: Request, parse_us: f64) -> Value {
+    fn submit_with_parse(&self, request: Request, parse_us: f64) -> Submitted {
         let started = Instant::now();
         let op = request.op;
         let id = request.id.clone();
-        let debug = request.debug;
-        let request_id = format!(
-            "req-{}",
-            self.next_request_id.fetch_add(1, Ordering::Relaxed) + 1
-        );
-        let _span = paragraph_obs::span!("serve_request", request_id = request_id, op = op.name());
-        let mut response = match op {
-            // Control plane: answered inline, never queued.
-            Op::Health => ok_response(&id, self.health(), None),
-            Op::Metrics => ok_response(
-                &id,
-                json!({
-                    "metrics": self.metrics.snapshot(&self.cache),
-                    "prometheus": self.metrics.render(&self.cache),
-                }),
-                None,
+        let ctx = CallCtx {
+            id: id.clone(),
+            op,
+            debug: request.debug,
+            parse_us,
+            request_id: format!(
+                "req-{}",
+                self.next_request_id.fetch_add(1, Ordering::Relaxed) + 1
             ),
-            Op::Reload => match self.registry.reload() {
-                Ok(report) => {
-                    // New weights invalidate previously cached predictions
-                    // and may carry fresh baseline statistics.
-                    self.cache.clear();
-                    self.drift.set_baseline(
-                        self.metrics.registry(),
-                        baseline_from_snapshot(&self.registry.current()),
-                    );
-                    ok_response(
-                        &id,
-                        json!({"models": report.models, "ensemble": report.ensemble}),
-                        None,
-                    )
-                }
-                Err(e) => error_response(
+            started,
+        };
+        let _span =
+            paragraph_obs::span!("serve_request", request_id = ctx.request_id, op = op.name());
+        match op {
+            // Control plane: answered inline, never queued.
+            Op::Health => {
+                Submitted::Done(self.finalize(ctx, ok_response(&id, self.health(), None)))
+            }
+            Op::Metrics => {
+                let response = ok_response(
                     &id,
-                    &ServeError::new(ErrorCode::Internal, format!("reload failed: {e}")),
-                ),
-            },
+                    json!({
+                        "metrics": self.metrics.snapshot(&self.cache),
+                        "prometheus": self.metrics.render(&self.cache),
+                    }),
+                    None,
+                );
+                Submitted::Done(self.finalize(ctx, response))
+            }
+            Op::Reload => {
+                let response = match self.registry.reload() {
+                    Ok(report) => {
+                        self.refresh_after_reload();
+                        if let Some(hook) = lock_hook(&self.reload_hook).as_ref() {
+                            hook();
+                        }
+                        ok_response(
+                            &id,
+                            json!({"models": report.models, "ensemble": report.ensemble}),
+                            None,
+                        )
+                    }
+                    Err(e) => error_response(
+                        &id,
+                        &ServeError::new(ErrorCode::Internal, format!("reload failed: {e}")),
+                    ),
+                };
+                Submitted::Done(self.finalize(ctx, response))
+            }
             // Data plane: through the bounded queue.
             Op::Predict | Op::Stats | Op::Erc | Op::DebugPanic => {
-                self.enqueue(request, &request_id, started)
+                match self.try_enqueue(request, &ctx.request_id, started) {
+                    Ok(rx) => Submitted::Pending(PendingCall { rx, ctx }),
+                    Err(response) => Submitted::Done(self.finalize(ctx, response)),
+                }
             }
-        };
-        let latency = started.elapsed();
+        }
+    }
+
+    /// Non-blocking check on a pending call: `Ok(response)` once the
+    /// worker replied (metrics recorded, envelope finalised), `Err`
+    /// handing the call back while it is still in flight.
+    #[allow(clippy::missing_errors_doc)]
+    pub fn poll(&self, call: PendingCall) -> Result<Value, PendingCall> {
+        match call.rx.try_recv() {
+            Ok(response) => Ok(self.finalize(call.ctx, response)),
+            Err(mpsc::TryRecvError::Empty) => Err(call),
+            Err(mpsc::TryRecvError::Disconnected) => {
+                let response = error_response(
+                    &call.ctx.id,
+                    &ServeError::new(ErrorCode::Internal, "worker dropped the request"),
+                );
+                Ok(self.finalize(call.ctx, response))
+            }
+        }
+    }
+
+    /// Blocks until a pending call resolves.
+    pub fn wait(&self, call: PendingCall) -> Value {
+        match call.rx.recv() {
+            Ok(response) => self.finalize(call.ctx, response),
+            Err(_) => {
+                let response = error_response(
+                    &call.ctx.id,
+                    &ServeError::new(ErrorCode::Internal, "worker dropped the request"),
+                );
+                self.finalize(call.ctx, response)
+            }
+        }
+    }
+
+    /// Invalidates reload-sensitive state: clears the prediction cache
+    /// and re-derives the drift baseline from the registry's current
+    /// snapshot. Runs automatically after this service's own `reload`;
+    /// the sharded gateway also calls it on sibling shards (which share
+    /// the registry but own their caches) via [`Service::set_reload_hook`].
+    pub fn refresh_after_reload(&self) {
+        self.cache.clear();
+        self.drift.set_baseline(
+            self.metrics.registry(),
+            baseline_from_snapshot(&self.registry.current()),
+        );
+    }
+
+    /// Registers a callback invoked after a successful `reload` op has
+    /// refreshed this service. Replaces any previous hook.
+    pub fn set_reload_hook(&self, hook: impl Fn() + Send + Sync + 'static) {
+        *lock_hook(&self.reload_hook) = Some(Box::new(hook));
+    }
+
+    /// Records metrics and runs the shared post-processing for one
+    /// resolved request. Every response — inline, queued, or synthesised
+    /// on a dead worker — funnels through here exactly once.
+    fn finalize(&self, ctx: CallCtx, mut response: Value) -> Value {
+        let latency = ctx.started.elapsed();
         let ok = response["ok"].as_bool() == Some(true);
-        self.metrics.record(op, latency, ok);
-        self.finish_request(&request_id, op, debug, parse_us, latency, ok, &mut response);
+        self.metrics.record(ctx.op, latency, ok);
+        self.finish_request(
+            &ctx.request_id,
+            ctx.op,
+            ctx.debug,
+            ctx.parse_us,
+            latency,
+            ok,
+            &mut response,
+        );
         response
     }
 
@@ -368,7 +508,14 @@ impl Service {
         }
     }
 
-    fn enqueue(&self, request: Request, request_id: &str, accepted: Instant) -> Value {
+    /// Queues one data-plane request, returning the reply channel on
+    /// success or the rejection envelope (`overloaded` / pool gone).
+    fn try_enqueue(
+        &self,
+        request: Request,
+        request_id: &str,
+        accepted: Instant,
+    ) -> Result<Receiver<Value>, Value> {
         let id = request.id.clone();
         let deadline = accepted
             + request
@@ -385,32 +532,24 @@ impl Service {
         };
         let sender = self.jobs.as_ref().expect("pool alive while service exists");
         match sender.try_send(job) {
-            Ok(()) => self.metrics.queue_entered(),
-            Err(TrySendError::Full(_)) => {
-                return error_response(
-                    &id,
-                    &ServeError::new(
-                        ErrorCode::Overloaded,
-                        format!(
-                            "request queue full ({} queued); retry later",
-                            self.config.queue_capacity
-                        ),
-                    ),
-                );
+            Ok(()) => {
+                self.metrics.queue_entered();
+                Ok(reply_rx)
             }
-            Err(TrySendError::Disconnected(_)) => {
-                return error_response(
-                    &id,
-                    &ServeError::new(ErrorCode::Internal, "worker pool is gone"),
-                );
-            }
-        }
-        match reply_rx.recv() {
-            Ok(response) => response,
-            Err(_) => error_response(
+            Err(TrySendError::Full(_)) => Err(error_response(
                 &id,
-                &ServeError::new(ErrorCode::Internal, "worker dropped the request"),
-            ),
+                &ServeError::new(
+                    ErrorCode::Overloaded,
+                    format!(
+                        "request queue full ({} queued); retry later",
+                        self.config.queue_capacity
+                    ),
+                ),
+            )),
+            Err(TrySendError::Disconnected(_)) => Err(error_response(
+                &id,
+                &ServeError::new(ErrorCode::Internal, "worker pool is gone"),
+            )),
         }
     }
 
@@ -486,6 +625,15 @@ impl Drop for Service {
             let _ = handle.join();
         }
     }
+}
+
+/// Poison-tolerant lock on the reload hook: a panicking hook must not
+/// wedge every later reload.
+fn lock_hook(
+    hook: &Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
+) -> std::sync::MutexGuard<'_, Option<Box<dyn Fn() + Send + Sync>>> {
+    hook.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Attaches the worker's stage-timing payload to the response envelope

@@ -1,0 +1,279 @@
+//! Shared scaffolding for the gateway test suites: model training,
+//! gateway startup, a JSON-lines client, and a small blocking HTTP/1.1
+//! client that understands Content-Length framing.
+//!
+//! Each test binary compiles its own copy (`mod common;`) and uses a
+//! subset, hence the `dead_code` allowance.
+#![allow(dead_code)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use paragraph::{
+    fit_norm, normalize_circuits, CapEnsemble, FitConfig, GnnKind, PreparedCircuit, SavedModel,
+    Target, TargetModel,
+};
+use paragraph_layout::LayoutConfig;
+use paragraph_netlist::parse_spice;
+use paragraph_serve::{Gateway, GatewayConfig, GatewayHandle, ModelRegistry, ServiceConfig};
+use serde_json::Value;
+
+pub const NETLIST_A: &str = "mp o i vdd vdd pch\nmn o i vss vss nch\n.end\n";
+pub const NETLIST_B: &str = "mp z a vdd vdd pch nf=2\nmn z a vss vss nch\nc1 z vss 1f\n.end\n";
+
+/// A deadline long enough that tests never trip it by accident, short
+/// enough that a hung read fails the test instead of wedging CI.
+pub const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+pub fn train_cap_model(max_v: f64) -> TargetModel {
+    let circuit = parse_spice(NETLIST_A).unwrap().flatten().unwrap();
+    let mut train = vec![PreparedCircuit::new(
+        "seed",
+        circuit,
+        &LayoutConfig::default(),
+    )];
+    let norm = fit_norm(&train);
+    normalize_circuits(&mut train, &norm);
+    let mut fit = FitConfig::quick(GnnKind::Gcn);
+    fit.epochs = 2;
+    fit.embed_dim = 4;
+    fit.layers = 1;
+    TargetModel::train(&train, Target::Cap, Some(max_v), fit, &norm).0
+}
+
+/// Trains two range members, snapshots them into a fresh model dir named
+/// by `tag`, and returns the dir plus the reference ensemble reloaded
+/// from those very files (same JSON round trip the registry does).
+pub fn build_model_dir(tag: &str) -> (PathBuf, CapEnsemble) {
+    let dir = std::env::temp_dir().join(format!(
+        "paragraph-gw-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id(),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut reloaded = Vec::new();
+    for (name, max_v) in [("cap_1f", 1e-15), ("cap_10f", 10e-15)] {
+        let model = train_cap_model(max_v);
+        let json = SavedModel::from_model(&model).to_json();
+        std::fs::write(dir.join(format!("{name}.json")), &json).unwrap();
+        reloaded.push(SavedModel::from_json(&json).unwrap().into_model().unwrap());
+    }
+    let ensemble = CapEnsemble::try_new(reloaded).unwrap();
+    (dir, ensemble)
+}
+
+/// Binds a gateway on an ephemeral port over `dir` and spawns it.
+pub fn start_gateway(dir: &Path, config: GatewayConfig) -> GatewayHandle {
+    let registry = Arc::new(ModelRegistry::open(dir).unwrap());
+    Gateway::bind("127.0.0.1:0", registry, config)
+        .unwrap()
+        .spawn()
+}
+
+/// A small, fast service shape for tests.
+pub fn test_service_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        queue_capacity: 64,
+        cache_capacity: 64,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Expected `(net, value)` pairs for `netlist`, computed directly (no
+/// server, no cache).
+pub fn direct_reference(ensemble: &CapEnsemble, netlist: &str) -> Vec<(String, f64)> {
+    let circuit = parse_spice(netlist).unwrap().flatten().unwrap();
+    let preds = ensemble.predict_circuit(&circuit);
+    circuit
+        .nets()
+        .iter()
+        .zip(&preds)
+        .filter_map(|(n, p)| p.map(|v| (n.name.clone(), v)))
+        .collect()
+}
+
+pub fn response_predictions(response: &Value) -> Vec<(String, f64)> {
+    response["result"]["predictions"]
+        .as_array()
+        .expect("predictions array")
+        .iter()
+        .map(|e| {
+            (
+                e["net"].as_str().expect("net name").to_owned(),
+                e["value"].as_f64().expect("numeric value"),
+            )
+        })
+        .collect()
+}
+
+pub fn predict_line(id: u64, netlist: &str, model: Option<&str>) -> String {
+    let escaped = netlist.replace('\n', "\\n");
+    match model {
+        Some(m) => {
+            format!(r#"{{"op": "predict", "id": {id}, "model": "{m}", "netlist": "{escaped}"}}"#)
+        }
+        None => format!(r#"{{"op": "predict", "id": {id}, "netlist": "{escaped}"}}"#),
+    }
+}
+
+/// A JSON-lines client: one request line out, one response line back.
+pub struct LineClient {
+    pub writer: TcpStream,
+    pub reader: BufReader<TcpStream>,
+}
+
+impl LineClient {
+    pub fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(CLIENT_TIMEOUT))
+            .expect("set timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Self {
+            writer: stream,
+            reader,
+        }
+    }
+
+    pub fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("write");
+        self.writer.write_all(b"\n").expect("write newline");
+    }
+
+    /// Reads one raw response line (without the trailing newline).
+    /// Panics if the server closed the connection.
+    pub fn recv_raw(&mut self) -> String {
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response).expect("read line");
+        assert!(n > 0, "server dropped the connection");
+        response.truncate(response.trim_end().len());
+        response
+    }
+
+    pub fn roundtrip(&mut self, line: &str) -> Value {
+        self.send(line);
+        serde_json::from_str(&self.recv_raw()).expect("response is JSON")
+    }
+}
+
+/// One parsed HTTP response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    pub status: u16,
+    pub reason: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn json(&self) -> Value {
+        let text = std::str::from_utf8(&self.body).expect("body is UTF-8");
+        serde_json::from_str(text).expect("body is JSON")
+    }
+}
+
+/// A blocking HTTP/1.1 client over one (keep-alive) connection.
+pub struct HttpClient {
+    pub stream: TcpStream,
+    pub reader: BufReader<TcpStream>,
+}
+
+impl HttpClient {
+    pub fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(CLIENT_TIMEOUT))
+            .expect("set timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Self { stream, reader }
+    }
+
+    /// Writes `raw` bytes as-is, then reads one framed response.
+    pub fn request_raw(&mut self, raw: &[u8]) -> HttpResponse {
+        self.stream.write_all(raw).expect("write request");
+        self.read_response().expect("server closed the connection")
+    }
+
+    pub fn get(&mut self, path: &str) -> HttpResponse {
+        self.request_raw(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+    }
+
+    pub fn post_json(&mut self, path: &str, body: &str) -> HttpResponse {
+        self.request_raw(
+            format!(
+                "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+    }
+
+    /// Reads one status line + headers + Content-Length body. Returns
+    /// `None` on a cleanly closed connection.
+    pub fn read_response(&mut self) -> Option<HttpResponse> {
+        let mut status_line = String::new();
+        if self
+            .reader
+            .read_line(&mut status_line)
+            .expect("read status")
+            == 0
+        {
+            return None;
+        }
+        let mut parts = status_line.trim_end().splitn(3, ' ');
+        let version = parts.next().unwrap_or_default();
+        assert!(version.starts_with("HTTP/1."), "bad version: {status_line}");
+        let status: u16 = parts.next().expect("status code").parse().expect("numeric");
+        let reason = parts.next().unwrap_or_default().to_owned();
+        let mut headers = Vec::new();
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line).expect("read header");
+            assert!(n > 0, "connection closed mid-headers");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line.split_once(':').expect("header has a colon");
+            headers.push((name.trim().to_owned(), value.trim().to_owned()));
+        }
+        let len: usize = headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .map(|(_, v)| v.parse().expect("numeric content-length"))
+            .unwrap_or(0);
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body).expect("read body");
+        Some(HttpResponse {
+            status,
+            reason,
+            headers,
+            body,
+        })
+    }
+
+    /// True when the peer has closed the connection (next read sees EOF
+    /// within the client timeout).
+    pub fn assert_closed(&mut self) {
+        let mut tmp = [0u8; 1];
+        match self.reader.read(&mut tmp) {
+            Ok(0) => {}
+            Ok(_) => panic!("expected the server to close the connection"),
+            Err(e) => panic!("expected clean EOF, got error: {e}"),
+        }
+    }
+}

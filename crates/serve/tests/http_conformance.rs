@@ -1,0 +1,408 @@
+//! HTTP/1.1 protocol conformance for the sharded gateway: routing,
+//! keep-alive and Content-Length framing, header case-insensitivity,
+//! malformed-request status codes, load shedding (`503` +
+//! `Retry-After`), pipelining, and first-byte protocol sniffing parity
+//! with the legacy JSON-lines server.
+
+mod common;
+
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+
+use common::{
+    build_model_dir, direct_reference, predict_line, response_predictions, start_gateway,
+    test_service_config, HttpClient, LineClient, NETLIST_A, NETLIST_B,
+};
+use paragraph_serve::{
+    GatewayConfig, ModelRegistry, Server, Service, ServiceConfig, Submitted, ENSEMBLE_KEY,
+};
+use serde_json::{json, Value};
+
+fn predict_body(id: u64, netlist: &str) -> String {
+    serde_json::to_string(&json!({"id": id, "netlist": netlist})).unwrap()
+}
+
+#[test]
+fn routes_and_keepalive_predict_match_direct_reference() {
+    let (dir, ensemble) = build_model_dir("routes");
+    let handle = start_gateway(
+        &dir,
+        GatewayConfig {
+            shards: 2,
+            service: test_service_config(),
+            ..GatewayConfig::default()
+        },
+    );
+    let expected_a = direct_reference(&ensemble, NETLIST_A);
+    assert!(expected_a.iter().any(|(_, v)| *v > 0.0));
+
+    // Everything below flows over ONE keep-alive connection; each
+    // successful framed response proves the previous one didn't close
+    // or misframe the stream.
+    let mut c = HttpClient::connect(handle.addr());
+
+    let health = c.get("/health");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.header("content-type"), Some("application/json"));
+    let health = health.json();
+    assert_eq!(health["status"].as_str(), Some("ok"), "{health:?}");
+
+    // `op` is implied on POST /predict; payload must be bit-identical
+    // to the line protocol's and match the direct in-process reference.
+    let cold = c.post_json("/predict", &predict_body(1, NETLIST_A));
+    assert_eq!(cold.status, 200);
+    let cold = cold.json();
+    assert_eq!(cold["ok"].as_bool(), Some(true), "{cold:?}");
+    assert_eq!(cold["id"].as_u64(), Some(1));
+    assert_eq!(cold["cached"].as_bool(), Some(false));
+    assert_eq!(response_predictions(&cold), expected_a);
+
+    let warm = c.post_json("/predict", &predict_body(2, NETLIST_A)).json();
+    assert_eq!(warm["cached"].as_bool(), Some(true));
+    assert_eq!(
+        cold["result"], warm["result"],
+        "cache must serve identical payloads"
+    );
+
+    // An explicit `"op": "predict"` is accepted; any other op is not.
+    let explicit = c.post_json("/predict", &predict_line(3, NETLIST_B, None));
+    assert_eq!(explicit.status, 200);
+    let wrong_op = c.post_json("/predict", r#"{"op": "health", "id": 4}"#);
+    assert_eq!(wrong_op.status, 400);
+
+    let metrics = c.get("/metrics");
+    assert_eq!(metrics.status, 200);
+    assert_eq!(
+        metrics.header("content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    let text = String::from_utf8(metrics.body.clone()).unwrap();
+    assert!(text.contains("shard=\"0\""), "per-shard labels expected");
+    assert!(text.contains("shard=\"1\""), "per-shard labels expected");
+
+    let snapshot = c.get("/metrics.json").json();
+    assert_eq!(snapshot["shard_count"].as_u64(), Some(2));
+    assert!(snapshot["totals"]["requests"].as_u64().unwrap() >= 4);
+
+    let registry = c.get("/registry").json();
+    let models: Vec<&str> = registry["models"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter_map(Value::as_str)
+        .collect();
+    assert!(models.contains(&"cap_1f"), "{registry:?}");
+    assert!(models.contains(&ENSEMBLE_KEY), "{registry:?}");
+    assert_eq!(registry["ensemble"].as_bool(), Some(true));
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn headers_are_case_insensitive_and_connection_close_honoured() {
+    let (dir, _ensemble) = build_model_dir("caseins");
+    let handle = start_gateway(
+        &dir,
+        GatewayConfig {
+            shards: 1,
+            service: test_service_config(),
+            ..GatewayConfig::default()
+        },
+    );
+
+    // Shouted header names and a shouted `Connection: CLOSE` value must
+    // both be recognised.
+    let mut c = HttpClient::connect(handle.addr());
+    let body = predict_body(1, NETLIST_A);
+    let r = c.request_raw(
+        format!(
+            "POST /predict HTTP/1.1\r\nhOsT: t\r\ncOnTeNt-LeNgTh: {}\r\nCONNECTION: CLOSE\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    assert_eq!(r.status, 200);
+    assert_eq!(r.header("connection"), Some("close"));
+    c.assert_closed();
+
+    // HTTP/1.0 defaults to close; `Connection: keep-alive` overrides.
+    let mut c = HttpClient::connect(handle.addr());
+    let r = c.request_raw(b"GET /health HTTP/1.0\r\n\r\n");
+    assert_eq!(r.status, 200);
+    c.assert_closed();
+
+    let mut c = HttpClient::connect(handle.addr());
+    let r = c.request_raw(b"GET /health HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+    assert_eq!(r.status, 200);
+    let again = c.get("/health");
+    assert_eq!(again.status, 200, "keep-alive 1.0 connection must persist");
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_requests_get_parser_level_statuses() {
+    let (dir, _ensemble) = build_model_dir("malformed");
+    let handle = start_gateway(
+        &dir,
+        GatewayConfig {
+            shards: 1,
+            service: test_service_config(),
+            ..GatewayConfig::default()
+        },
+    );
+
+    // (raw request, expected status); each closes the connection.
+    let cases: Vec<(Vec<u8>, u16)> = vec![
+        (b"GARBAGE\r\n\r\n".to_vec(), 400),
+        (b"GET /health\r\n\r\n".to_vec(), 400),
+        (b"GET /health HTTP/2.0\r\n\r\n".to_vec(), 505),
+        (
+            b"GET /health HTTP/1.1\r\nno colon here\r\n\r\n".to_vec(),
+            400,
+        ),
+        (
+            b"POST /predict HTTP/1.1\r\nContent-Length: nope\r\n\r\n".to_vec(),
+            400,
+        ),
+        (
+            b"POST /predict HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n{}".to_vec(),
+            400,
+        ),
+        (
+            b"POST /predict HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec(),
+            501,
+        ),
+    ];
+    for (raw, expected) in cases {
+        let mut c = HttpClient::connect(handle.addr());
+        let r = c.request_raw(&raw);
+        assert_eq!(
+            r.status,
+            expected,
+            "request {:?}",
+            String::from_utf8_lossy(&raw)
+        );
+        assert_eq!(r.header("connection"), Some("close"));
+        c.assert_closed();
+    }
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wrong_method_is_405_unknown_route_404_unknown_model_404() {
+    let (dir, _ensemble) = build_model_dir("methods");
+    let handle = start_gateway(
+        &dir,
+        GatewayConfig {
+            shards: 1,
+            service: test_service_config(),
+            ..GatewayConfig::default()
+        },
+    );
+    let mut c = HttpClient::connect(handle.addr());
+
+    // 405s advertise the allowed method and keep the connection alive.
+    let r = c.request_raw(b"DELETE /health HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(r.status, 405);
+    assert_eq!(r.header("allow"), Some("GET"));
+    let r = c.get("/predict");
+    assert_eq!(r.status, 405);
+    assert_eq!(r.header("allow"), Some("POST"));
+
+    let r = c.get("/no/such/route");
+    assert_eq!(r.status, 404);
+
+    // Envelope-level errors map onto statuses: unknown model is 404.
+    let r = c.post_json(
+        "/predict",
+        &serde_json::to_string(&json!({"id": 1, "model": "nope", "netlist": NETLIST_A})).unwrap(),
+    );
+    assert_eq!(r.status, 404);
+    assert_eq!(r.json()["error"]["code"].as_str(), Some("unknown_model"));
+
+    // Invalid netlist is 400 through the same mapping.
+    let r = c.post_json(
+        "/predict",
+        &serde_json::to_string(&json!({"id": 2, "netlist": "not spice at all"})).unwrap(),
+    );
+    assert_eq!(r.status, 400);
+    assert_eq!(r.json()["error"]["code"].as_str(), Some("invalid_netlist"));
+
+    // The connection survived every error above.
+    assert_eq!(c.get("/health").status, 200);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A linear chain of `devices` transistors: parses fine, but is big
+/// enough that one prediction occupies a worker for a while, holding
+/// the shedding window open. `tag` keeps instance names (and the cache
+/// key) unique per call.
+fn chain_netlist(tag: usize, devices: usize) -> String {
+    let mut s = String::new();
+    for i in 0..devices {
+        let j = i + 1;
+        s.push_str(&format!("mq{tag}x{i} n{i} n{j} vss vss nch\n"));
+    }
+    s.push_str(".end\n");
+    s
+}
+
+#[test]
+fn load_shedding_yields_503_with_retry_after_and_structured_overloaded() {
+    let (dir, _ensemble) = build_model_dir("shed");
+    // One shard, one worker, queue of one, no batching, no cache: two
+    // slow jobs saturate the shard completely.
+    let handle = start_gateway(
+        &dir,
+        GatewayConfig {
+            shards: 1,
+            service: ServiceConfig {
+                workers: 1,
+                queue_capacity: 1,
+                max_batch: 1,
+                cache_capacity: 0,
+                ..ServiceConfig::default()
+            },
+            ..GatewayConfig::default()
+        },
+    );
+    let service: Arc<Service> = handle.services()[0].clone();
+
+    // Fill the shard through the service API until it sheds: at that
+    // point the worker is grinding a slow job and the queue is full.
+    let mut pending = Vec::new();
+    let mut shed_directly = false;
+    for k in 0..10 {
+        let line = predict_line(100 + k, &chain_netlist(k as usize, 2_000), None);
+        match service.submit_line(&line) {
+            Submitted::Pending(call) => pending.push(call),
+            Submitted::Done(envelope) => {
+                assert_eq!(
+                    envelope["error"]["code"].as_str(),
+                    Some("overloaded"),
+                    "{envelope:?}"
+                );
+                shed_directly = true;
+                break;
+            }
+        }
+        // Give the worker a moment to pull the head job off the queue.
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(shed_directly, "service never shed under a full queue");
+
+    // An HTTP predict arriving now is shed with 503 + Retry-After...
+    let mut http = HttpClient::connect(handle.addr());
+    let r = http.post_json("/predict", &predict_body(1, NETLIST_A));
+    assert_eq!(r.status, 503, "{:?}", r.json());
+    assert_eq!(r.header("retry-after"), Some("1"));
+    assert_eq!(r.json()["error"]["code"].as_str(), Some("overloaded"));
+
+    // ...and a JSON-lines client on the SAME port gets the structured
+    // `overloaded` error, not a dropped connection.
+    let mut line_client = LineClient::connect(handle.addr());
+    let v = line_client.roundtrip(&predict_line(2, NETLIST_A, None));
+    assert_eq!(v["ok"].as_bool(), Some(false));
+    assert_eq!(v["error"]["code"].as_str(), Some("overloaded"));
+
+    // Drain the slow jobs so shutdown is orderly.
+    for call in pending {
+        let _ = service.wait(call);
+    }
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn json_lines_over_gateway_is_byte_identical_to_legacy_server() {
+    let (dir, _ensemble) = build_model_dir("parity");
+    let config = test_service_config();
+    let registry = Arc::new(ModelRegistry::open(&dir).unwrap());
+    let legacy_service = Arc::new(Service::new(registry, config.clone()));
+    let legacy = Server::bind("127.0.0.1:0", legacy_service).unwrap().spawn();
+    let handle = start_gateway(
+        &dir,
+        GatewayConfig {
+            shards: 2,
+            service: config,
+            ..GatewayConfig::default()
+        },
+    );
+
+    let mut old = LineClient::connect(legacy.addr());
+    let mut new = LineClient::connect(handle.addr());
+
+    // Cold predict, warm (cached) predict, malformed JSON, unknown
+    // model: every raw response line must match byte for byte.
+    let requests = [
+        predict_line(1, NETLIST_A, None),
+        predict_line(2, NETLIST_A, None),
+        "{malformed json".to_owned(),
+        predict_line(3, NETLIST_B, Some("missing_model")),
+        r#"{"op": "stats", "id": 4}"#.to_owned(),
+    ];
+    for request in &requests {
+        old.send(request);
+        new.send(request);
+        let old_line = old.recv_raw();
+        let new_line = new.recv_raw();
+        // `stats` contains live latency numbers; compare ids only.
+        if request.contains("stats") {
+            let old_v: Value = serde_json::from_str(&old_line).unwrap();
+            let new_v: Value = serde_json::from_str(&new_line).unwrap();
+            assert_eq!(old_v["id"], new_v["id"]);
+            assert_eq!(old_v["ok"], new_v["ok"]);
+        } else {
+            assert_eq!(old_line, new_line, "gateway diverged on: {request}");
+        }
+    }
+
+    legacy.shutdown();
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pipelined_http_requests_are_answered_in_order() {
+    let (dir, _ensemble) = build_model_dir("pipeline");
+    let handle = start_gateway(
+        &dir,
+        GatewayConfig {
+            shards: 1,
+            service: test_service_config(),
+            ..GatewayConfig::default()
+        },
+    );
+
+    let mut c = HttpClient::connect(handle.addr());
+    let mut burst = Vec::new();
+    for id in 1..=5_u64 {
+        let body = predict_body(id, NETLIST_A);
+        burst.extend_from_slice(
+            format!(
+                "POST /predict HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        );
+    }
+    c.stream.write_all(&burst).expect("write burst");
+    for id in 1..=5_u64 {
+        let r = c
+            .read_response()
+            .expect("response for each pipelined request");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.json()["id"].as_u64(), Some(id), "responses out of order");
+    }
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
