@@ -1,0 +1,269 @@
+//! Criterion bench: continuous micro-batching under cache-miss load.
+//!
+//! Keep-alive JSON-lines clients hammer a sharded gateway whose
+//! prediction cache is disabled, so every request runs a real forward
+//! pass. The sweep crosses admission-window sizes (off / 100µs /
+//! 250µs), shard counts (1 and 2), and compiled-path precisions
+//! (f32 and int8); each cell reports requests/second plus p50/p95/p99
+//! latency, and window-on cells also report their throughput and p95
+//! ratios against the window-off baseline at the same shard count and
+//! precision.
+//!
+//! Besides the criterion timings, the machine-readable summary is
+//! printed to stdout and written to `target/batching_bench.json`,
+//! unless the harness runs in `--test` mode.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, Criterion};
+use paragraph::prelude::*;
+use paragraph::{set_precision_default, Precision};
+use paragraph_layout::LayoutConfig;
+use paragraph_netlist::parse_spice;
+use paragraph_serve::{
+    Gateway, GatewayConfig, GatewayHandle, LoadedModels, ModelRegistry, ServiceConfig,
+};
+use serde_json::json;
+
+const TRAIN_NETLIST: &str = "mp o i vdd vdd pch\nmn o i vss vss nch\n.end\n";
+/// A 16-stage inverter chain: enough nodes that the forward pass (not
+/// request parsing) dominates each cache miss, which is the regime the
+/// admission window targets.
+fn request_netlist() -> String {
+    let mut s = String::new();
+    for i in 0..16 {
+        let (inp, out) = (format!("n{i}"), format!("n{}", i + 1));
+        s.push_str(&format!("mp{i} {out} {inp} vdd vdd pch nf=2\n"));
+        s.push_str(&format!("mn{i} {out} {inp} vss vss nch\n"));
+    }
+    s.push_str(".end\n");
+    s
+}
+const CLIENTS: usize = 8;
+const WINDOWS_US: [u64; 3] = [0, 250, 500];
+const SHARD_COUNTS: [usize; 2] = [1, 2];
+const PRECISIONS: [Precision; 2] = [Precision::F32, Precision::Int8];
+
+fn trained_members() -> Vec<(String, TargetModel)> {
+    let circuit = parse_spice(TRAIN_NETLIST).unwrap().flatten().unwrap();
+    let mut train = vec![PreparedCircuit::new(
+        "seed",
+        circuit,
+        &LayoutConfig::default(),
+    )];
+    let norm = fit_norm(&train);
+    normalize_circuits(&mut train, &norm);
+    [("cap_1f", 1e-15), ("cap_10f", 10e-15)]
+        .into_iter()
+        .map(|(name, mv)| {
+            let mut fit = FitConfig::quick(GnnKind::Gcn);
+            fit.epochs = 2;
+            fit.embed_dim = 48;
+            fit.layers = 3;
+            let model = TargetModel::train(&train, Target::Cap, Some(mv), fit, &norm).0;
+            (name.to_owned(), model)
+        })
+        .collect()
+}
+
+fn registry() -> Arc<ModelRegistry> {
+    let snapshot = LoadedModels::from_models(trained_members()).unwrap();
+    Arc::new(ModelRegistry::from_snapshot(snapshot))
+}
+
+/// Cache off: every request is a miss, so the window is the only thing
+/// standing between the gateway and one forward pass per request.
+fn service_config(window_us: u64) -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        max_batch: 16,
+        queue_capacity: 128,
+        cache_capacity: 0,
+        batch_window: Duration::from_micros(window_us),
+        ..ServiceConfig::default()
+    }
+}
+
+fn start_gateway(registry: Arc<ModelRegistry>, shards: usize, window_us: u64) -> GatewayHandle {
+    let config = GatewayConfig {
+        shards,
+        service: service_config(window_us),
+        ..GatewayConfig::default()
+    };
+    Gateway::bind("127.0.0.1:0", registry, config)
+        .unwrap()
+        .spawn()
+}
+
+fn predict_line() -> String {
+    format!(
+        r#"{{"op": "predict", "id": 1, "netlist": "{}"}}{}"#,
+        request_netlist().replace('\n', "\\n"),
+        "\n"
+    )
+}
+
+struct LineClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl LineClient {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Self {
+            writer: stream,
+            reader,
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).expect("write");
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response).expect("read");
+        assert!(n > 0, "server dropped the connection");
+        response
+    }
+}
+
+fn bench_batching(c: &mut Criterion) {
+    let line = predict_line();
+    let mut group = c.benchmark_group("batching");
+    group.sample_size(10);
+
+    // Cache-miss round trip with the window off vs on: the lone-client
+    // view of the admission cost (a solo request pays the window).
+    for window_us in [0_u64, 100] {
+        let handle = start_gateway(registry(), 1, window_us);
+        let mut client = LineClient::connect(handle.addr());
+        let warm = client.roundtrip(&line);
+        assert!(warm.contains("\"ok\":true"), "warmup failed: {warm}");
+        group.bench_function(format!("miss_roundtrip_window_{window_us}us"), |b| {
+            b.iter(|| client.roundtrip(std::hint::black_box(&line)))
+        });
+        drop(client);
+        handle.shutdown();
+    }
+    group.finish();
+}
+
+/// `CLIENTS` keep-alive connections hammer `addr` for `seconds`;
+/// returns total served plus merged per-request latencies in µs.
+fn measure(addr: SocketAddr, seconds: f64) -> (u64, Vec<u64>) {
+    let line = predict_line();
+    let lat: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let line = &line;
+                scope.spawn(move || {
+                    let mut client = LineClient::connect(addr);
+                    // Warm this connection (compile the model lazily).
+                    let first = client.roundtrip(line);
+                    assert!(first.contains("\"ok\":true"), "{first}");
+                    let mut lat = Vec::with_capacity(4096);
+                    let start = Instant::now();
+                    while start.elapsed().as_secs_f64() < seconds {
+                        let t = Instant::now();
+                        let response = client.roundtrip(line);
+                        lat.push(u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX));
+                        debug_assert!(response.contains("\"ok\":true"), "{response}");
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut merged: Vec<u64> = lat.into_iter().flatten().collect();
+    merged.sort_unstable();
+    (merged.len() as u64, merged)
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn json_summary() {
+    let window_seconds = 2.0;
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let mut configs = Vec::new();
+    for &precision in &PRECISIONS {
+        // The compiled path picks the process-wide default lazily at
+        // first compile, so pin it before this precision's registry
+        // serves anything. One registry per precision: models compile
+        // once and are shared across the shard/window sweep.
+        set_precision_default(precision);
+        let registry = registry();
+        for &shards in &SHARD_COUNTS {
+            let mut baseline: Option<(f64, u64)> = None;
+            for &window_us in &WINDOWS_US {
+                let handle = start_gateway(Arc::clone(&registry), shards, window_us);
+                let (served, lat) = measure(handle.addr(), window_seconds);
+                handle.shutdown();
+                let rps = served as f64 / window_seconds;
+                let p95 = quantile(&lat, 0.95);
+                if window_us == 0 {
+                    baseline = Some((rps, p95));
+                }
+                let (vs_throughput, vs_p95) = match baseline {
+                    Some((base_rps, base_p95)) if window_us > 0 && base_rps > 0.0 => (
+                        Some(rps / base_rps),
+                        (base_p95 > 0).then(|| p95 as f64 / base_p95 as f64),
+                    ),
+                    _ => (None, None),
+                };
+                configs.push(json!({
+                    "config": format!(
+                        "{}_{}shard_window_{}us",
+                        precision.name(), shards, window_us
+                    ),
+                    "precision": precision.name(),
+                    "shards": shards,
+                    "window_us": window_us,
+                    "requests_served": served,
+                    "requests_per_second": rps,
+                    "latency_us": {
+                        "p50": quantile(&lat, 0.50),
+                        "p95": p95,
+                        "p99": quantile(&lat, 0.99),
+                    },
+                    "throughput_vs_unwindowed": vs_throughput,
+                    "p95_vs_unwindowed": vs_p95,
+                }));
+            }
+        }
+    }
+
+    let results = json!({
+        "bench": "batching",
+        "note": "flops are conserved under batching; the windowed win comes from \
+    per-pass amortization and fewer scheduler round-trips, so ratios scale \
+    with available cores — single-core hosts mostly show the p95 benefit",
+        "window_seconds": window_seconds,
+        "clients": CLIENTS,
+        "available_parallelism": cores,
+        "configs": configs,
+    });
+    let text = serde_json::to_string_pretty(&results).expect("serialisable");
+    println!("{text}");
+    let _ = std::fs::create_dir_all("target");
+    let _ = std::fs::write("target/batching_bench.json", &text);
+}
+
+criterion_group!(benches, bench_batching);
+
+fn main() {
+    benches();
+    if !std::env::args().any(|a| a == "--test") {
+        json_summary();
+    }
+}

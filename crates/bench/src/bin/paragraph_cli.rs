@@ -102,6 +102,10 @@ fn usage() -> ! {
          \x20                              shedding (env PARAGRAPH_MAX_QUEUE)\n\
          \x20        --idle-ms <t>         gateway idle-connection reclaim\n\
          \x20                              deadline (env PARAGRAPH_IDLE_MS)\n\
+         \x20        --batch-window-us <t> continuous micro-batching\n\
+         \x20                              admission window in microseconds,\n\
+         \x20                              deadline-budget clamped; 0 = off\n\
+         \x20                              (env PARAGRAPH_BATCH_WINDOW_US)\n\
          \n\
          PARAGRAPH_TRACE=1 records spans to target/trace.json;\n\
          PARAGRAPH_EVENTS=1 records the structured event log"
@@ -376,12 +380,14 @@ fn serve(flags: &Flags) {
         .get("events")
         .map(str::to_owned)
         .or_else(|| std::env::var("PARAGRAPH_EVENTS_PATH").ok());
+    let batch_window_us = u64_flag_env(flags, "batch-window-us", "PARAGRAPH_BATCH_WINDOW_US", 0);
     let config = ServiceConfig {
         workers: flags.u64_or("workers", 4).max(1) as usize,
         queue_capacity: flags.u64_or("queue", 64).max(1) as usize,
         cache_capacity: flags.u64_or("cache", 256) as usize,
         event_sample,
         slow_threshold: Duration::from_millis(slow_ms),
+        batch_window: Duration::from_micros(batch_window_us),
         ..ServiceConfig::default()
     };
     let snapshot = registry.current();

@@ -630,20 +630,16 @@ impl TargetModel {
             })
             .collect();
         let graphs: Vec<&paragraph_gnn::HeteroGraph> = cgs.iter().map(|cg| &cg.graph).collect();
-        let batch = GraphBatch::new(&graphs);
         let per_circuit: Vec<Vec<u32>> = circuits
             .iter()
             .zip(&cgs)
             .map(|(c, cg)| self.query_nodes(c, cg))
             .collect();
-        let mut merged = Vec::with_capacity(per_circuit.iter().map(Vec::len).sum());
-        for (i, nodes) in per_circuit.iter().enumerate() {
-            merged.extend(nodes.iter().map(|&n| batch.global_node(i, n)));
-        }
-        let preds = if merged.is_empty() {
+        let total: usize = per_circuit.iter().map(Vec::len).sum();
+        let preds = if total == 0 {
             Vec::new()
         } else {
-            self.predict_scores(batch.graph(), &merged)
+            self.predict_scores_batch(&graphs, &per_circuit)
         };
         let mut off = 0;
         circuits
@@ -860,6 +856,46 @@ impl TargetModel {
                     .predict(graph, &std::sync::Arc::new(nodes.to_vec())),
             },
         }
+    }
+
+    /// Scaled-space forward pass over several graphs at once, returning
+    /// the per-graph predictions concatenated in member order.
+    ///
+    /// When the executor is active this dispatches to
+    /// [`CompiledModel::predict_batch_into`], whose pooled scratch
+    /// rebuilds the block-diagonal union (graph, plan, and node gather)
+    /// in place — zero steady-state heap allocation per batch. The tape
+    /// fallback builds a fresh [`GraphBatch`] and runs one merged
+    /// forward, numerically identical (the union CSR sort is stable and
+    /// every kernel is row/segment independent).
+    fn predict_scores_batch(
+        &self,
+        graphs: &[&paragraph_gnn::HeteroGraph],
+        per_graph: &[Vec<u32>],
+    ) -> Vec<f32> {
+        let compiled = match self.effective_executor() {
+            ExecutorMode::Off => None,
+            ExecutorMode::On => Some(self.compiled().unwrap_or_else(|| {
+                panic!(
+                    "executor forced on, but {}/{} does not compile",
+                    self.fit.kind.name(),
+                    self.target.name()
+                )
+            })),
+            ExecutorMode::Auto => self.compiled(),
+        };
+        if let Some(compiled) = compiled {
+            let mut out = Vec::new();
+            compiled.predict_batch_into(graphs, per_graph, &mut out);
+            return out;
+        }
+        let batch = GraphBatch::new(graphs);
+        let mut merged = Vec::with_capacity(per_graph.iter().map(Vec::len).sum());
+        for (i, nodes) in per_graph.iter().enumerate() {
+            merged.extend(nodes.iter().map(|&n| batch.global_node(i, n)));
+        }
+        self.model
+            .predict(batch.graph(), &std::sync::Arc::new(merged))
     }
 }
 

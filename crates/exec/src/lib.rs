@@ -346,6 +346,40 @@ impl ArenaPool {
     }
 }
 
+/// Preallocated batch-assembly scratch for one in-flight batched
+/// request: the block-diagonal [`GraphBatch`] (rebuilt in place per
+/// call) and the merged global-node-id gather buffer. Like [`Arena`],
+/// every buffer is grow-only and reused verbatim across batches.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// Reused union graph; `None` until the first batch warms it.
+    batch: Option<GraphBatch>,
+    /// Query nodes remapped to union-global ids, in member order.
+    merged: Vec<u32>,
+}
+
+/// A checkout/checkin pool of [`BatchScratch`], mirroring [`ArenaPool`]
+/// (same [`MAX_POOLED_ARENAS`] retention cap): concurrent batched
+/// requests on a shared model handle each check out their own
+/// assembly scratch, so batches never contend on buffers.
+#[derive(Debug, Default)]
+struct BatchPool {
+    slots: Mutex<Vec<BatchScratch>>,
+}
+
+impl BatchPool {
+    fn checkout(&self) -> BatchScratch {
+        self.slots.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    fn checkin(&self, scratch: BatchScratch) {
+        let mut slots = self.slots.lock().unwrap();
+        if slots.len() < MAX_POOLED_ARENAS {
+            slots.push(scratch);
+        }
+    }
+}
+
 /// A trained model compiled for tape-free inference.
 ///
 /// Built once with [`CompiledModel::compile`] (f32) or
@@ -370,6 +404,7 @@ pub struct CompiledModel {
     layers: Vec<CompiledLayer>,
     head: Vec<(Packed, Tensor)>,
     pool: ArenaPool,
+    batch_pool: BatchPool,
 }
 
 impl CompiledModel {
@@ -592,6 +627,7 @@ impl CompiledModel {
             layers,
             head,
             pool: ArenaPool::default(),
+            batch_pool: BatchPool::default(),
         })
     }
 
@@ -693,13 +729,8 @@ impl CompiledModel {
     /// Panics if `graphs` is empty, the schemas differ, or
     /// `nodes.len() != graphs.len()`.
     pub fn predict_batch(&self, graphs: &[&HeteroGraph], nodes: &[Vec<u32>]) -> Vec<Vec<f32>> {
-        assert_eq!(graphs.len(), nodes.len(), "one node list per graph");
-        let batch = GraphBatch::new(graphs);
-        let mut merged = Vec::with_capacity(nodes.iter().map(Vec::len).sum());
-        for (g, local) in nodes.iter().enumerate() {
-            merged.extend(local.iter().map(|&v| batch.global_node(g, v)));
-        }
-        let flat = self.predict(batch.graph(), &merged);
+        let mut flat = Vec::new();
+        self.predict_batch_into(graphs, nodes, &mut flat);
         let mut split = Vec::with_capacity(graphs.len());
         let mut at = 0;
         for local in nodes {
@@ -707,6 +738,44 @@ impl CompiledModel {
             at += local.len();
         }
         split
+    }
+
+    /// Like [`CompiledModel::predict_batch`], writing the concatenated
+    /// per-graph scores (member order, `nodes[i].len()` scores each)
+    /// into a caller-owned vector (cleared first).
+    ///
+    /// The block-diagonal merge reuses pooled [`BatchScratch`] buffers
+    /// — the union graph, its compiled plan, and the node-id gather are
+    /// all rebuilt in place — so with a warmed pool a batched call
+    /// performs **zero** heap allocations at any precision, same as the
+    /// single-graph [`CompiledModel::predict_into`] path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graphs` is empty, the schemas differ, or
+    /// `nodes.len() != graphs.len()`.
+    pub fn predict_batch_into(
+        &self,
+        graphs: &[&HeteroGraph],
+        nodes: &[Vec<u32>],
+        out: &mut Vec<f32>,
+    ) {
+        assert_eq!(graphs.len(), nodes.len(), "one node list per graph");
+        let mut scratch = self.batch_pool.checkout();
+        match &mut scratch.batch {
+            Some(b) => b.assemble(graphs),
+            None => scratch.batch = Some(GraphBatch::new(graphs)),
+        }
+        let BatchScratch { batch, merged } = &mut scratch;
+        let batch = batch.as_ref().expect("assembled above");
+        merged.clear();
+        for (g, local) in nodes.iter().enumerate() {
+            merged.extend(local.iter().map(|&v| batch.global_node(g, v)));
+        }
+        let mut arena = self.pool.checkout();
+        self.run(batch.graph(), merged, &mut arena, out, None);
+        self.pool.checkin(arena);
+        self.batch_pool.checkin(scratch);
     }
 
     /// Activation scale for an int8 matmul input: calibrated site

@@ -13,7 +13,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use paragraph_exec::CompiledModel;
+use paragraph_exec::{CompiledModel, Precision};
 use paragraph_gnn::{GnnKind, GnnModel, GraphSchema, HeteroGraph, ModelConfig};
 use paragraph_tensor::Tensor;
 
@@ -76,6 +76,80 @@ fn compiled(kind: GnnKind, schema: &GraphSchema) -> (GnnModel, CompiledModel) {
     let model = GnnModel::new(cfg, schema);
     let exec = CompiledModel::compile(&model).unwrap();
     (model, exec)
+}
+
+/// A member graph for batching: same schema as [`small_graph`], size
+/// and contents driven by `seed`.
+fn member_graph(seed: usize) -> HeteroGraph {
+    let schema = GraphSchema {
+        node_feat_dims: vec![2, 4],
+        num_edge_types: 2,
+    };
+    let n = 8 + (seed % 3) * 4;
+    let types: Vec<u16> = (0..n).map(|i| (i % 2) as u16).collect();
+    let mut g = HeteroGraph::new(&schema, types);
+    let half = n / 2;
+    g.set_features(
+        0,
+        Tensor::from_fn(half, 2, |i, j| (seed + i * 2 + j) as f32 * 0.13 - 0.4),
+    );
+    g.set_features(
+        1,
+        Tensor::from_fn(n - half, 4, |i, j| (seed + i * 4 + j) as f32 * 0.08 - 0.5),
+    );
+    let src: Vec<u32> = (0..n).map(|i| i as u32).collect();
+    let dst: Vec<u32> = (0..n).map(|i| ((i * 5 + 3 + seed) % n) as u32).collect();
+    g.set_edges(0, src.clone(), dst.clone());
+    g.set_edges(1, dst, src);
+    g.validate().unwrap();
+    g
+}
+
+/// The batched path extends the zero-steady-state-allocation guarantee
+/// to every precision: once the pooled batch scratch and arena are
+/// warm, `predict_batch_into` rebuilds the block-diagonal graph, its
+/// plan, and the prediction in place — even with the batch composition
+/// changing between calls.
+#[test]
+fn steady_state_batched_predict_is_allocation_free() {
+    let members: Vec<HeteroGraph> = (0..6).map(member_graph).collect();
+    let refs: Vec<&HeteroGraph> = members.iter().collect();
+    let locals: Vec<Vec<u32>> = members
+        .iter()
+        .map(|g| (0..g.num_nodes() as u32).step_by(3).collect())
+        .collect();
+    let schema = GraphSchema {
+        node_feat_dims: vec![2, 4],
+        num_edge_types: 2,
+    };
+    let mut cfg = ModelConfig::new(GnnKind::ParaGraph);
+    cfg.embed_dim = 8;
+    cfg.layers = 2;
+    cfg.fc_layers = 2;
+    let model = GnnModel::new(cfg, &schema);
+
+    for precision in [Precision::F32, Precision::F16, Precision::Int8] {
+        let exec = CompiledModel::compile_with(&model, precision, None).unwrap();
+        let mut out = Vec::new();
+        // Two window shapes; warm both so every buffer hits its
+        // high-water capacity before counting.
+        let windows = [(0, 4), (2, 6)];
+        for &(lo, hi) in &windows {
+            exec.predict_batch_into(&refs[lo..hi], &locals[lo..hi], &mut out);
+            exec.predict_batch_into(&refs[lo..hi], &locals[lo..hi], &mut out);
+        }
+
+        let before = alloc_count();
+        for i in 0..100 {
+            let (lo, hi) = windows[i % windows.len()];
+            exec.predict_batch_into(&refs[lo..hi], &locals[lo..hi], &mut out);
+        }
+        let delta = alloc_count() - before;
+        assert_eq!(
+            delta, 0,
+            "{precision:?}: {delta} heap allocations across 100 steady-state batched requests"
+        );
+    }
 }
 
 #[test]

@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use paragraph_exec::CompiledModel;
+use paragraph_exec::{CompiledModel, Precision};
 use paragraph_gnn::{GnnKind, GnnModel, GraphBatch, GraphSchema, HeteroGraph, ModelConfig};
 use paragraph_tensor::Tensor;
 
@@ -218,6 +218,108 @@ fn graph_batch_parity() {
         let split = compiled.predict_batch(&graphs, &locals);
         let flat: Vec<f32> = split.iter().flatten().copied().collect();
         assert_bitwise_eq(&exec, &flat, &format!("{} split", kind.name()));
+    }
+}
+
+/// Largest per-graph relative error, with an absolute floor so
+/// near-zero outputs don't dominate.
+fn max_rel_err(got: &[f32], want: &[f32]) -> f32 {
+    assert_eq!(got.len(), want.len());
+    got.iter()
+        .zip(want)
+        .map(|(g, w)| (g - w).abs() / w.abs().max(0.05))
+        .fold(0.0, f32::max)
+}
+
+/// Batched prediction (one block-diagonal pass, in-place batch reuse)
+/// must match per-graph sequential prediction at the same precision:
+/// bitwise at f32 (every kernel is row/segment independent and the
+/// union CSR sort is stable), within a golden tolerance at f16/int8
+/// (the int8 dynamic max-abs activation scale spans the whole merged
+/// buffer, so it is legitimately batch-dependent).
+#[test]
+fn batched_matches_sequential_across_sizes_and_precisions() {
+    const MAX_BATCH: usize = 8;
+    let members: Vec<(GraphSchema, HeteroGraph)> = (0..MAX_BATCH)
+        .map(|i| build_graph(41 + i as u64 * 7, 16 + (i % 4) * 6))
+        .collect();
+    let schema = members[0].0.clone();
+    let locals: Vec<Vec<u32>> = members
+        .iter()
+        .enumerate()
+        .map(|(i, (_, g))| query_nodes(g.num_nodes(), 100 + i as u64))
+        .collect();
+
+    let mut cfg = ModelConfig::new(GnnKind::ParaGraph);
+    cfg.embed_dim = 8;
+    cfg.layers = 2;
+    cfg.fc_layers = 2;
+    let model = GnnModel::new(cfg, &schema);
+
+    for precision in [Precision::F32, Precision::F16, Precision::Int8] {
+        let compiled = CompiledModel::compile_with(&model, precision, None).unwrap();
+        for size in 1..=MAX_BATCH {
+            let graphs: Vec<&HeteroGraph> = members[..size].iter().map(|(_, g)| g).collect();
+            let sequential: Vec<Vec<f32>> = graphs
+                .iter()
+                .zip(&locals[..size])
+                .map(|(g, local)| compiled.predict(g, local))
+                .collect();
+            let batched = compiled.predict_batch(&graphs, &locals[..size]);
+            assert_eq!(batched.len(), size);
+            for (gi, (got, want)) in batched.iter().zip(&sequential).enumerate() {
+                let label = format!("{precision:?} size {size} graph {gi}");
+                match precision {
+                    Precision::F32 => assert_bitwise_eq(want, got, &label),
+                    Precision::F16 => {
+                        let err = max_rel_err(got, want);
+                        assert!(err < 1e-2, "{label}: batched f16 drifts by {err}");
+                    }
+                    Precision::Int8 => {
+                        // Uncalibrated int8 quantizes activations
+                        // against the merged buffer's max-abs, so the
+                        // scale (and hence rounding) shifts with batch
+                        // composition; calibrated scales are pinned
+                        // tighter in the test below.
+                        let err = max_rel_err(got, want);
+                        assert!(err < 0.25, "{label}: batched int8 drifts by {err}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Calibrated int8 activation scales are site-indexed (independent of
+/// batch contents), so the calibrated batched path must also stay near
+/// the sequential calibrated predictions.
+#[test]
+fn batched_calibrated_int8_matches_sequential() {
+    let members: Vec<(GraphSchema, HeteroGraph)> =
+        (0..4).map(|i| build_graph(61 + i * 13, 20)).collect();
+    let schema = members[0].0.clone();
+    let locals: Vec<Vec<u32>> = (0..4).map(|i| query_nodes(20, 200 + i)).collect();
+
+    let mut cfg = ModelConfig::new(GnnKind::ParaGraph);
+    cfg.embed_dim = 8;
+    cfg.layers = 2;
+    cfg.fc_layers = 2;
+    let model = GnnModel::new(cfg, &schema);
+    let f32_exec = CompiledModel::compile(&model).unwrap();
+    let samples: Vec<(&HeteroGraph, Vec<u32>)> = members
+        .iter()
+        .zip(&locals)
+        .map(|((_, g), l)| (g, l.clone()))
+        .collect();
+    let calib = f32_exec.calibrate(&samples);
+    let int8 = CompiledModel::compile_with(&model, Precision::Int8, Some(&calib)).unwrap();
+
+    let graphs: Vec<&HeteroGraph> = members.iter().map(|(_, g)| g).collect();
+    let batched = int8.predict_batch(&graphs, &locals);
+    for (gi, (g, local)) in graphs.iter().zip(&locals).enumerate() {
+        let want = int8.predict(g, local);
+        let err = max_rel_err(&batched[gi], &want);
+        assert!(err < 0.15, "graph {gi}: calibrated int8 drifts by {err}");
     }
 }
 

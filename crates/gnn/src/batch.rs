@@ -14,12 +14,27 @@
 //! [`GraphTask`](crate::GraphTask)s so the [`Trainer`](crate::Trainer)
 //! can fold `graphs_per_batch` tasks into each forward/backward pass.
 
+use std::sync::Arc;
+
 use paragraph_tensor::Tensor;
 
 use crate::graph::{GraphSchema, HeteroGraph};
+use crate::plan::{GraphPlan, PlanScratch};
 use crate::train::GraphTask;
 
+/// Elements of excess capacity any one reused buffer (feature stack,
+/// edge list, CSR plan vector) may retain between assemblies. One
+/// oversized batch must not pin its high-water memory forever.
+const MAX_RETAINED_ELEMS: usize = 1 << 20;
+
 /// A disjoint union of graphs with index remapping back to the members.
+///
+/// Assembly is reusable: [`GraphBatch::assemble`] rebuilds the union
+/// *in place*, recycling the node/feature/edge buffers and recompiling
+/// the CSR message plans without reallocating them — at steady state
+/// (similar batch shapes) an assembly performs zero heap allocations.
+/// The compiled plan is installed on the merged graph, so a following
+/// [`HeteroGraph::plan`] call serves it without building one.
 #[derive(Debug, Clone)]
 pub struct GraphBatch {
     graph: HeteroGraph,
@@ -27,10 +42,13 @@ pub struct GraphBatch {
     offsets: Vec<u32>,
     /// Node count of each member graph.
     sizes: Vec<usize>,
+    /// Union COO concatenation buffers for the plan recompilation.
+    scratch: PlanScratch,
 }
 
 impl GraphBatch {
-    /// Merges `graphs` into one block-diagonal graph.
+    /// Merges `graphs` into one block-diagonal graph. The merged
+    /// graph's message plan is compiled eagerly.
     ///
     /// # Panics
     ///
@@ -39,14 +57,35 @@ impl GraphBatch {
     pub fn new(graphs: &[&HeteroGraph]) -> Self {
         assert!(!graphs.is_empty(), "cannot batch zero graphs");
         let first = graphs[0];
-        let num_node_types = first.num_node_types();
-        let num_edge_types = first.num_edge_types();
-        let feat_dims: Vec<usize> = (0..num_node_types)
-            .map(|t| first.features(t as u16).cols())
-            .collect();
-        let mut offsets = Vec::with_capacity(graphs.len());
-        let mut sizes = Vec::with_capacity(graphs.len());
-        let mut node_type = Vec::new();
+        let schema = GraphSchema {
+            node_feat_dims: (0..first.num_node_types())
+                .map(|t| first.features(t as u16).cols())
+                .collect(),
+            num_edge_types: first.num_edge_types(),
+        };
+        let mut batch = Self {
+            graph: HeteroGraph::new(&schema, Vec::new()),
+            offsets: Vec::new(),
+            sizes: Vec::new(),
+            scratch: PlanScratch::default(),
+        };
+        batch.assemble(graphs);
+        batch
+    }
+
+    /// Rebuilds this batch in place as the disjoint union of `graphs`,
+    /// reusing every buffer of the previous assembly. Member count and
+    /// graph shapes may differ from the last call; the node-type and
+    /// edge-type counts must match this batch's schema.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`GraphBatch::new`], plus a schema mismatch
+    /// against the existing batch.
+    pub fn assemble(&mut self, graphs: &[&HeteroGraph]) {
+        assert!(!graphs.is_empty(), "cannot batch zero graphs");
+        let num_node_types = self.graph.num_node_types();
+        let num_edge_types = self.graph.num_edge_types();
         for (i, g) in graphs.iter().enumerate() {
             assert_eq!(
                 g.num_node_types(),
@@ -58,55 +97,71 @@ impl GraphBatch {
                 num_edge_types,
                 "graph {i}: edge-type count mismatch"
             );
-            for (t, &d) in feat_dims.iter().enumerate() {
+            for t in 0..num_node_types {
                 assert_eq!(
                     g.features(t as u16).cols(),
-                    d,
+                    graphs[0].features(t as u16).cols(),
                     "graph {i}: feature width mismatch for node type {t}"
                 );
             }
-            offsets.push(node_type.len() as u32);
-            sizes.push(g.num_nodes());
-            for n in 0..g.num_nodes() {
-                node_type.push(g.node_type(n));
-            }
         }
-        let schema = GraphSchema {
-            node_feat_dims: feat_dims,
-            num_edge_types,
-        };
-        let mut graph = HeteroGraph::new(&schema, node_type);
+        // The old plan describes the old topology: detach it now so a
+        // panic mid-assembly cannot leave a stale plan installed.
+        let prior_plan = self.graph.take_plan();
+        self.offsets.clear();
+        self.sizes.clear();
+        let mut total = 0_usize;
+        for g in graphs {
+            self.offsets.push(total as u32);
+            self.sizes.push(g.num_nodes());
+            total += g.num_nodes();
+        }
+        self.graph.reset_nodes(
+            num_node_types,
+            graphs
+                .iter()
+                .flat_map(|g| (0..g.num_nodes()).map(|n| g.node_type(n))),
+        );
         // Within one member, feature rows follow ascending local node id;
         // across members, global ids follow member order — so a plain
         // vertical stack lands every row at its batched node.
         for t in 0..num_node_types {
-            let total_rows: usize = graphs.iter().map(|g| g.features(t as u16).rows()).sum();
-            if total_rows == 0 {
-                continue;
-            }
-            let cols = schema.node_feat_dims[t];
-            let mut data = Vec::with_capacity(total_rows * cols);
-            for g in graphs {
-                data.extend_from_slice(g.features(t as u16).as_slice());
-            }
-            graph.set_features(t as u16, Tensor::from_vec(total_rows, cols, data));
+            let cols = graphs[0].features(t as u16).cols();
+            let rows: usize = graphs.iter().map(|g| g.features(t as u16).rows()).sum();
+            self.graph.refill_features(t as u16, rows, cols, |data| {
+                for g in graphs {
+                    data.extend_from_slice(g.features(t as u16).as_slice());
+                }
+            });
         }
+        let offsets = &self.offsets;
         for et in 0..num_edge_types {
-            let total: usize = graphs.iter().map(|g| g.edges(et).len()).sum();
-            let mut src = Vec::with_capacity(total);
-            let mut dst = Vec::with_capacity(total);
-            for (g, &off) in graphs.iter().zip(&offsets) {
-                let e = g.edges(et);
-                src.extend(e.src.iter().map(|&s| s + off));
-                dst.extend(e.dst.iter().map(|&d| d + off));
+            self.graph.refill_edges(et, |src, dst| {
+                for (g, &off) in graphs.iter().zip(offsets) {
+                    let e = g.edges(et);
+                    src.extend(e.src.iter().map(|&s| s + off));
+                    dst.extend(e.dst.iter().map(|&d| d + off));
+                }
+            });
+        }
+        // Recompile the message plan in place and install it, so the
+        // merged graph's `plan()` serves it without building another.
+        let plan = match prior_plan {
+            Some(mut arc) => {
+                if let Some(p) = Arc::get_mut(&mut arc) {
+                    p.rebuild(&self.graph, &mut self.scratch);
+                    p.shrink_excess(MAX_RETAINED_ELEMS);
+                    arc
+                } else {
+                    // Someone still holds the old plan (e.g. a clone of a
+                    // previous batch): leave it to them, compile fresh.
+                    Arc::new(GraphPlan::build(&self.graph))
+                }
             }
-            graph.set_edges(et, src, dst);
-        }
-        Self {
-            graph,
-            offsets,
-            sizes,
-        }
+            None => Arc::new(GraphPlan::build(&self.graph)),
+        };
+        self.graph.install_plan(plan);
+        self.scratch.shrink_excess(MAX_RETAINED_ELEMS);
     }
 
     /// The merged graph.

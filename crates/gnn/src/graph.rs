@@ -196,6 +196,110 @@ impl HeteroGraph {
         self.plan = OnceLock::new();
     }
 
+    /// Rebuilds the node set in place: node `i` gets the `i`th type from
+    /// `types`, and the per-type partitions are recomputed, reusing
+    /// uniquely-owned storage (a shared partition vector is replaced).
+    /// Feature tensors are *not* resized — the caller must refill every
+    /// type with [`HeteroGraph::refill_features`] before the graph is
+    /// consistent again.
+    pub(crate) fn reset_nodes(&mut self, num_node_types: usize, types: impl Iterator<Item = u16>) {
+        self.node_type.clear();
+        self.node_type.extend(types);
+        self.num_nodes = self.node_type.len();
+        self.nodes_of_type.truncate(num_node_types);
+        while self.nodes_of_type.len() < num_node_types {
+            self.nodes_of_type.push(Arc::new(Vec::new()));
+        }
+        self.features.truncate(num_node_types);
+        while self.features.len() < num_node_types {
+            self.features.push(Arc::new(Tensor::zeros(0, 0)));
+        }
+        for arc in &mut self.nodes_of_type {
+            if let Some(v) = Arc::get_mut(arc) {
+                v.clear();
+            } else {
+                *arc = Arc::new(Vec::new());
+            }
+        }
+        for (i, &t) in self.node_type.iter().enumerate() {
+            assert!((t as usize) < num_node_types, "node type {t} out of range");
+            Arc::get_mut(&mut self.nodes_of_type[t as usize])
+                .expect("partition made unique above")
+                .push(i as u32);
+        }
+    }
+
+    /// Replaces the features of `node_type` in place: `fill` pushes
+    /// exactly `rows * cols` row-major values into the (cleared, but
+    /// capacity-retaining) buffer of the existing tensor. Allocation-free
+    /// at steady state when the tensor is uniquely owned and large
+    /// enough; a shared tensor is replaced by a fresh one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` does not match the node count of that type or
+    /// `fill` produces the wrong number of values.
+    pub(crate) fn refill_features(
+        &mut self,
+        node_type: u16,
+        rows: usize,
+        cols: usize,
+        fill: impl FnOnce(&mut Vec<f32>),
+    ) {
+        let expected = self.nodes_of_type[node_type as usize].len();
+        assert_eq!(rows, expected, "type {node_type} has {expected} nodes");
+        let arc = &mut self.features[node_type as usize];
+        if let Some(tensor) = Arc::get_mut(arc) {
+            tensor.refill(rows, cols, fill);
+        } else {
+            let mut data = Vec::with_capacity(rows * cols);
+            fill(&mut data);
+            *arc = Arc::new(Tensor::from_vec(rows, cols, data));
+        }
+    }
+
+    /// Replaces the edges of `edge_type` in place: `fill` receives the
+    /// cleared (capacity-retaining) src/dst buffers and must leave them
+    /// at equal lengths. Does *not* invalidate the cached plan — the
+    /// caller is responsible for installing a matching plan via
+    /// [`HeteroGraph::install_plan`] (the batch assembler rebuilds one
+    /// in place) or clearing it with [`HeteroGraph::take_plan`].
+    pub(crate) fn refill_edges(
+        &mut self,
+        edge_type: usize,
+        fill: impl FnOnce(&mut Vec<u32>, &mut Vec<u32>),
+    ) {
+        let e = &mut self.edges[edge_type];
+        let unique = Arc::get_mut(&mut e.src).is_some() && Arc::get_mut(&mut e.dst).is_some();
+        if unique {
+            let src = Arc::get_mut(&mut e.src).expect("checked unique");
+            src.clear();
+            let dst = Arc::get_mut(&mut e.dst).expect("checked unique");
+            dst.clear();
+            fill(src, dst);
+            assert_eq!(src.len(), dst.len(), "src/dst length mismatch");
+        } else {
+            let mut src = Vec::new();
+            let mut dst = Vec::new();
+            fill(&mut src, &mut dst);
+            *e = EdgeList::new(src, dst);
+        }
+        self.union_edges = None;
+    }
+
+    /// Removes and returns the cached plan, leaving the lock unset.
+    pub(crate) fn take_plan(&mut self) -> Option<Arc<GraphPlan>> {
+        self.plan.take()
+    }
+
+    /// Installs an externally (re)built plan so [`HeteroGraph::plan`]
+    /// serves it without compiling one. The plan must describe this
+    /// graph's current topology.
+    pub(crate) fn install_plan(&mut self, plan: Arc<GraphPlan>) {
+        self.plan = OnceLock::new();
+        let _ = self.plan.set(plan);
+    }
+
     /// The compiled message plan for this graph, built on first use and
     /// cached. Cloning the graph shares the already-built plan; mutating
     /// edges invalidates it.

@@ -15,6 +15,28 @@ use paragraph_tensor::CsrPlan;
 
 use crate::graph::HeteroGraph;
 
+/// Reusable buffers for the union COO concatenation a plan
+/// (re)compilation needs. Owned by whoever rebuilds plans repeatedly
+/// (the batch assembler) so the concatenation stops allocating once the
+/// buffers reach steady-state capacity.
+#[derive(Debug, Default, Clone)]
+pub struct PlanScratch {
+    src: Vec<u32>,
+    dst: Vec<u32>,
+}
+
+impl PlanScratch {
+    /// Shrinks each buffer's excess capacity down to `cap` elements.
+    pub fn shrink_excess(&mut self, cap: usize) {
+        if self.src.capacity() > cap {
+            self.src.shrink_to(cap);
+        }
+        if self.dst.capacity() > cap {
+            self.dst.shrink_to(cap);
+        }
+    }
+}
+
 /// Compiled CSR plans for every edge view of one graph.
 #[derive(Debug)]
 pub struct GraphPlan {
@@ -29,36 +51,77 @@ pub struct GraphPlan {
 impl GraphPlan {
     /// Compiles all edge lists of `graph`.
     pub fn build(graph: &HeteroGraph) -> Self {
+        let mut plan = Self {
+            per_type: Vec::new(),
+            union: Arc::new(CsrPlan::new(&[], &[], 0)),
+            union_gcn_coeff: Arc::new(Vec::new()),
+        };
+        plan.rebuild(graph, &mut PlanScratch::default());
+        plan
+    }
+
+    /// Recompiles every plan in place for `graph`'s current topology.
+    /// CSR buffers are reused whenever this plan's `Arc`s are uniquely
+    /// held (a shared plan falls back to a fresh compilation — the old
+    /// holder keeps seeing the old topology). `scratch` carries the
+    /// union COO concatenation buffers between calls; at steady-state
+    /// capacity a rebuild performs no heap allocation.
+    pub fn rebuild(&mut self, graph: &HeteroGraph, scratch: &mut PlanScratch) {
         let n = graph.num_nodes();
-        let per_type: Vec<Arc<CsrPlan>> = (0..graph.num_edge_types())
-            .map(|t| {
-                let e = graph.edges(t);
-                CsrPlan::shared(&e.src, &e.dst, n)
-            })
-            .collect();
-        // Union edges in edge-type order, matching
-        // `HeteroGraph::union_edges`.
-        let mut src = Vec::with_capacity(graph.num_edges());
-        let mut dst = Vec::with_capacity(graph.num_edges());
+        self.per_type.truncate(graph.num_edge_types());
         for t in 0..graph.num_edge_types() {
             let e = graph.edges(t);
-            src.extend_from_slice(&e.src);
-            dst.extend_from_slice(&e.dst);
+            if t >= self.per_type.len() {
+                self.per_type.push(CsrPlan::shared(&e.src, &e.dst, n));
+            } else if let Some(plan) = Arc::get_mut(&mut self.per_type[t]) {
+                plan.rebuild(&e.src, &e.dst, n);
+            } else {
+                self.per_type[t] = CsrPlan::shared(&e.src, &e.dst, n);
+            }
         }
-        let union = CsrPlan::shared(&src, &dst, n);
-        let union_gcn_coeff = Arc::new(
-            (0..union.num_edges())
-                .map(|ei| {
-                    let s = union.sorted_src()[ei] as usize;
-                    let d = union.sorted_dst()[ei] as usize;
-                    1.0 / (union.out_degree()[s].max(1.0) * union.in_degree()[d].max(1.0)).sqrt()
-                })
-                .collect(),
-        );
-        Self {
-            per_type,
-            union,
-            union_gcn_coeff,
+        // Union edges in edge-type order, matching
+        // `HeteroGraph::union_edges`.
+        scratch.src.clear();
+        scratch.dst.clear();
+        for t in 0..graph.num_edge_types() {
+            let e = graph.edges(t);
+            scratch.src.extend_from_slice(&e.src);
+            scratch.dst.extend_from_slice(&e.dst);
+        }
+        if let Some(u) = Arc::get_mut(&mut self.union) {
+            u.rebuild(&scratch.src, &scratch.dst, n);
+        } else {
+            self.union = CsrPlan::shared(&scratch.src, &scratch.dst, n);
+        }
+        let union = &self.union;
+        if Arc::get_mut(&mut self.union_gcn_coeff).is_none() {
+            self.union_gcn_coeff = Arc::new(Vec::new());
+        }
+        let coeff = Arc::get_mut(&mut self.union_gcn_coeff).expect("just made unique");
+        coeff.clear();
+        coeff.extend((0..union.num_edges()).map(|ei| {
+            let s = union.sorted_src()[ei] as usize;
+            let d = union.sorted_dst()[ei] as usize;
+            1.0 / (union.out_degree()[s].max(1.0) * union.in_degree()[d].max(1.0)).sqrt()
+        }));
+    }
+
+    /// Caps the capacity every uniquely-held internal buffer retains at
+    /// `cap` elements, so one oversized batch does not pin its
+    /// high-water memory across later small rebuilds.
+    pub fn shrink_excess(&mut self, cap: usize) {
+        for plan in &mut self.per_type {
+            if let Some(p) = Arc::get_mut(plan) {
+                p.shrink_excess(cap);
+            }
+        }
+        if let Some(u) = Arc::get_mut(&mut self.union) {
+            u.shrink_excess(cap);
+        }
+        if let Some(c) = Arc::get_mut(&mut self.union_gcn_coeff) {
+            if c.capacity() > cap {
+                c.shrink_to(cap);
+            }
         }
     }
 

@@ -63,6 +63,8 @@ pub struct GatewayConfig {
     pub read_deadline: Duration,
     /// How long a fully-idle keep-alive connection is retained.
     pub idle_deadline: Duration,
+    /// Shard event-loop pacing when a tick makes no progress.
+    pub backoff: BackoffConfig,
 }
 
 impl Default for GatewayConfig {
@@ -75,8 +77,55 @@ impl Default for GatewayConfig {
             max_line: 4 * 1024 * 1024,
             read_deadline: Duration::from_secs(10),
             idle_deadline: Duration::from_secs(60),
+            backoff: BackoffConfig::default(),
         }
     }
+}
+
+/// Pacing of a shard's event loop across consecutive no-progress ticks:
+/// first spin (yield only — a byte or worker reply often lands within a
+/// round or two), then a short fixed nap while any request is in flight
+/// (a reply is imminent, latency matters), and an exponentially
+/// escalating nap up to `idle_nap` when every connection is quiescent
+/// (only keep-alives are parked, wake latency is cheap).
+#[derive(Debug, Clone)]
+pub struct BackoffConfig {
+    /// No-progress rounds served with `yield_now` before napping.
+    pub spin_rounds: u32,
+    /// Nap while any request is in flight; also the escalation base.
+    pub nap: Duration,
+    /// Ceiling of the escalating nap when fully idle.
+    pub idle_nap: Duration,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        Self {
+            spin_rounds: 2,
+            nap: Duration::from_micros(10),
+            idle_nap: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Pause before the next tick after `idle_rounds` consecutive
+/// no-progress rounds (`idle_rounds` starts at 1 on the first such
+/// round): `None` while in the spin phase, the fixed short nap while
+/// `inflight` (never escalates — a worker reply is imminent), and a
+/// doubling nap capped at `idle_nap` when fully idle.
+pub(crate) fn backoff_nap(
+    cfg: &BackoffConfig,
+    idle_rounds: u32,
+    inflight: bool,
+) -> Option<Duration> {
+    if idle_rounds <= cfg.spin_rounds {
+        return None;
+    }
+    if inflight {
+        return Some(cfg.nap.min(cfg.idle_nap));
+    }
+    let doublings = (idle_rounds - cfg.spin_rounds - 1).min(20);
+    Some(cfg.nap.saturating_mul(1 << doublings).min(cfg.idle_nap))
 }
 
 /// Everything a shard's event loop needs.
@@ -285,12 +334,13 @@ impl Drop for GatewayHandle {
 /// live connection, and sleep briefly only when nothing moved.
 fn shard_loop(rx: &Receiver<TcpStream>, ctx: &ShardCtx, stop: &AtomicBool) {
     let mut conns: Vec<Conn> = Vec::new();
+    let mut idle_rounds: u32 = 0;
     loop {
         if stop.load(Ordering::SeqCst) {
             return;
         }
         if conns.is_empty() {
-            // Nothing to tick: block (briefly, so `stop` stays
+            // Nothing to tick: park (briefly, so `stop` stays
             // observable) until the acceptor assigns a connection.
             match rx.recv_timeout(Duration::from_millis(20)) {
                 Ok(stream) => conns.push(Conn::new(stream)),
@@ -303,16 +353,15 @@ fn shard_loop(rx: &Receiver<TcpStream>, ctx: &ShardCtx, stop: &AtomicBool) {
         }
         let mut progress = false;
         conns.retain_mut(|conn| conn.tick(ctx, &mut progress));
-        if !progress {
-            // A response from a worker is imminent when any request is
-            // in flight: nap briefly so it isn't left sitting. With
-            // only quiescent connections the poll cadence can relax.
-            let nap = if conns.iter().any(Conn::has_inflight) {
-                Duration::from_micros(10)
-            } else {
-                Duration::from_micros(100)
-            };
-            std::thread::sleep(nap);
+        if progress {
+            idle_rounds = 0;
+        } else {
+            idle_rounds = idle_rounds.saturating_add(1);
+            let inflight = conns.iter().any(Conn::has_inflight);
+            match backoff_nap(&ctx.config.backoff, idle_rounds, inflight) {
+                None => std::thread::yield_now(),
+                Some(nap) => std::thread::sleep(nap),
+            }
         }
     }
 }
@@ -396,4 +445,64 @@ pub(crate) fn registry_snapshot(service: &Service) -> Value {
         "ensemble_members": snapshot.ensemble_members.clone(),
         "ensemble": snapshot.ensemble.is_some(),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The idle backoff ladder: yield through the spin phase, fixed
+    /// short nap while a request is in flight, doubling nap capped at
+    /// `idle_nap` when fully idle — and an immediate reset to spinning
+    /// once progress clears `idle_rounds`.
+    #[test]
+    fn backoff_ladder_is_pinned() {
+        let cfg = BackoffConfig {
+            spin_rounds: 2,
+            nap: Duration::from_micros(10),
+            idle_nap: Duration::from_micros(160),
+        };
+        // Spin phase: rounds 1..=spin_rounds yield regardless of state.
+        for rounds in 1..=2 {
+            assert_eq!(backoff_nap(&cfg, rounds, false), None);
+            assert_eq!(backoff_nap(&cfg, rounds, true), None);
+        }
+        // In flight: the nap never escalates past the base.
+        for rounds in 3..40 {
+            assert_eq!(
+                backoff_nap(&cfg, rounds, true),
+                Some(Duration::from_micros(10)),
+                "inflight nap must stay fixed at round {rounds}"
+            );
+        }
+        // Fully idle: doubles per round from the base, capped.
+        for (rounds, us) in [(3, 10), (4, 20), (5, 40), (6, 80), (7, 160), (8, 160)] {
+            assert_eq!(
+                backoff_nap(&cfg, rounds, false),
+                Some(Duration::from_micros(us)),
+                "idle nap ladder broken at round {rounds}"
+            );
+        }
+        // Large round counts must not overflow the doubling shift.
+        assert_eq!(
+            backoff_nap(&cfg, u32::MAX, false),
+            Some(Duration::from_micros(160))
+        );
+    }
+
+    /// `idle_nap` bounds every nap, even when misconfigured below the
+    /// in-flight base nap.
+    #[test]
+    fn idle_nap_bounds_inflight_nap() {
+        let cfg = BackoffConfig {
+            spin_rounds: 0,
+            nap: Duration::from_micros(500),
+            idle_nap: Duration::from_micros(100),
+        };
+        assert_eq!(backoff_nap(&cfg, 1, true), Some(Duration::from_micros(100)));
+        assert_eq!(
+            backoff_nap(&cfg, 1, false),
+            Some(Duration::from_micros(100))
+        );
+    }
 }

@@ -32,6 +32,10 @@ pub const LATENCY_BUCKETS_US: [f64; 6] = [
 /// p50/p95/p99 are computed over this many most-recent requests.
 pub const ROLLING_WINDOW: usize = 512;
 
+/// Finite upper bounds of the `paragraph_serve_batch_size` histogram
+/// (jobs per formed predict batch); the `+Inf` bucket is implicit.
+pub const BATCH_SIZE_BUCKETS: [f64; 6] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
 /// Handles for one endpoint's families, resolved once at construction.
 #[derive(Debug)]
 struct EndpointMetrics {
@@ -67,6 +71,9 @@ pub struct Metrics {
     tape_path: PathMetrics,
     precisions: Vec<PathMetrics>,
     queue_depth: Arc<Gauge>,
+    batch_size: Arc<Histogram>,
+    batches_formed: Arc<Counter>,
+    window_admitted: Arc<Counter>,
     bad_lines: Arc<Counter>,
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
@@ -130,6 +137,9 @@ impl Metrics {
             tape_path: path_metrics("paragraph_serve_tape_requests_total", "tape"),
             precisions,
             queue_depth: registry.gauge("paragraph_queue_depth", &[]),
+            batch_size: registry.histogram("paragraph_serve_batch_size", &[], &BATCH_SIZE_BUCKETS),
+            batches_formed: registry.counter("paragraph_serve_batches_formed_total", &[]),
+            window_admitted: registry.counter("paragraph_serve_window_admitted_jobs_total", &[]),
             bad_lines: registry.counter("paragraph_bad_lines_total", &[]),
             cache_hits: registry.counter("paragraph_cache_hits_total", &[]),
             cache_misses: registry.counter("paragraph_cache_misses_total", &[]),
@@ -195,6 +205,32 @@ impl Metrics {
             .position(|&p| p == precision)
             .map(|i| self.precisions[i].requests.get())
             .unwrap_or(0)
+    }
+
+    /// Records one formed predict batch: `jobs` requests answered by a
+    /// single forward pass (1 = an unbatched lone job). Feeds the
+    /// `paragraph_serve_batch_size` histogram and the
+    /// `paragraph_serve_batches_formed_total` counter.
+    pub fn record_batch(&self, jobs: usize) {
+        self.batches_formed.inc();
+        self.batch_size.observe(jobs as f64);
+    }
+
+    /// Records jobs admitted while an admission window was held open
+    /// (i.e. beyond the instantaneous queue drain) — the window's
+    /// occupancy contribution.
+    pub fn window_admitted(&self, jobs: u64) {
+        self.window_admitted.add(jobs);
+    }
+
+    /// Predict batches formed so far (every forward pass counts once).
+    pub fn batches_formed(&self) -> u64 {
+        self.batches_formed.get()
+    }
+
+    /// Jobs admitted by open admission windows so far.
+    pub fn window_admitted_total(&self) -> u64 {
+        self.window_admitted.get()
     }
 
     /// Requests served by the compiled executor path so far.
@@ -303,6 +339,11 @@ impl Metrics {
                 "f32": path_json(&self.precisions[0]),
                 "f16": path_json(&self.precisions[1]),
                 "int8": path_json(&self.precisions[2]),
+            },
+            "batching": {
+                "batches_formed": self.batches_formed(),
+                "window_admitted_jobs": self.window_admitted_total(),
+                "batched_jobs": self.batch_size.sum() as u64,
             },
             "cache": {
                 "hits": cache.hits(),
@@ -579,6 +620,31 @@ mod tests {
             snap["precisions"]["f32"]["latency_rolling"][0]["latency_us"].as_f64(),
             Some(200.0)
         );
+    }
+
+    /// Batch-size histogram, batches-formed and window-admitted
+    /// counters render as Prometheus families and appear in the JSON
+    /// snapshot.
+    #[test]
+    fn batching_metrics_render_and_snapshot() {
+        let m = Metrics::new();
+        m.record_batch(1);
+        m.record_batch(4);
+        m.window_admitted(3);
+        assert_eq!(m.batches_formed(), 2);
+        assert_eq!(m.window_admitted_total(), 3);
+        let cache = PredictionCache::new(1);
+        let text = m.render(&cache);
+        assert!(
+            text.contains("paragraph_serve_batch_size_bucket"),
+            "missing batch-size histogram in:\n{text}"
+        );
+        assert!(text.contains("paragraph_serve_batches_formed_total 2"));
+        assert!(text.contains("paragraph_serve_window_admitted_jobs_total 3"));
+        let snap = m.snapshot(&cache);
+        assert_eq!(snap["batching"]["batches_formed"].as_u64(), Some(2));
+        assert_eq!(snap["batching"]["window_admitted_jobs"].as_u64(), Some(3));
+        assert_eq!(snap["batching"]["batched_jobs"].as_u64(), Some(5));
     }
 
     /// The render path merges the process-global registry, so training

@@ -54,6 +54,16 @@ pub struct ServiceConfig {
     /// jobs in the drained batch that resolve to the same model run as
     /// one forward pass over their circuits' block-diagonal graph union.
     pub max_batch: usize,
+    /// Continuous micro-batching admission window. When non-zero, a
+    /// worker that picked up a predict job with batching headroom keeps
+    /// the queue receiver for up to this long, admitting further jobs
+    /// into the same batch as they arrive (not just the ones already
+    /// queued). The window is clamped per collected job so that queue
+    /// wait plus window never spends more than half of any job's
+    /// remaining deadline budget. Zero disables the window (drain-only
+    /// batching, the pre-window behaviour). Defaults from
+    /// `PARAGRAPH_BATCH_WINDOW_US` (microseconds, 0 = off).
+    pub batch_window: Duration,
     /// Event-log sampling: log every `n`th successful request (min 1 =
     /// every request). Errors and slow requests are always logged.
     pub event_sample: u64,
@@ -73,11 +83,22 @@ impl Default for ServiceConfig {
             default_deadline: Duration::from_secs(30),
             enable_debug_ops: false,
             max_batch: 8,
+            batch_window: batch_window_default(),
             event_sample: 1,
             slow_threshold: Duration::from_millis(500),
             drift: DriftConfig::default(),
         }
     }
+}
+
+/// Admission-window length from `PARAGRAPH_BATCH_WINDOW_US`
+/// (microseconds; unset, unparsable, or 0 = window disabled).
+fn batch_window_default() -> Duration {
+    std::env::var("PARAGRAPH_BATCH_WINDOW_US")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_micros)
+        .unwrap_or(Duration::ZERO)
 }
 
 struct Job {
@@ -176,11 +197,19 @@ impl Service {
                 let drift = drift.clone();
                 let debug_ops = config.enable_debug_ops;
                 let max_batch = config.max_batch.max(1);
+                let batch_window = config.batch_window;
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
                     .spawn(move || {
                         worker_loop(
-                            &rx, &registry, &cache, &metrics, &drift, debug_ops, max_batch,
+                            &rx,
+                            &registry,
+                            &cache,
+                            &metrics,
+                            &drift,
+                            debug_ops,
+                            max_batch,
+                            batch_window,
                         )
                     })
                     .expect("spawn worker")
@@ -645,6 +674,16 @@ fn attach_obs(response: &mut Value, obs: Value) {
     }
 }
 
+/// Latest instant an admission window may stay open for `job` without
+/// risking its deadline: at most half of the budget remaining when the
+/// window opened goes to collection, the rest stays reserved for
+/// inference and response writing. A job already past its deadline
+/// closes the window immediately.
+fn latency_budget_close(job: &Job, opened: Instant) -> Instant {
+    opened + job.deadline.saturating_duration_since(opened) / 2
+}
+
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     rx: &Arc<Mutex<Receiver<Job>>>,
     registry: &Arc<ModelRegistry>,
@@ -653,29 +692,72 @@ fn worker_loop(
     drift: &Arc<DriftMonitor>,
     debug_ops: bool,
     max_batch: usize,
+    batch_window: Duration,
 ) {
     loop {
         // Block for one job, then opportunistically drain whatever else
         // is already queued (up to max_batch) under the same lock, so
-        // co-queued predictions can share a forward pass.
-        let mut jobs = Vec::with_capacity(max_batch);
+        // co-queued predictions can share a forward pass. Each job is
+        // stamped with the instant it left the queue.
+        let mut jobs: Vec<(Job, Instant)> = Vec::with_capacity(max_batch);
         {
             let guard = rx.lock().expect("queue lock poisoned");
             match guard.recv() {
-                Ok(job) => jobs.push(job),
+                Ok(job) => jobs.push((job, Instant::now())),
                 Err(_) => return, // service dropped
             }
             while jobs.len() < max_batch {
                 match guard.try_recv() {
-                    Ok(job) => jobs.push(job),
+                    Ok(job) => jobs.push((job, Instant::now())),
                     Err(_) => break,
                 }
             }
+            // Continuous micro-batching: with a predict job in hand and
+            // batching headroom, keep the receiver open for the
+            // admission window so jobs arriving *now* join this forward
+            // pass instead of waiting a full batch turn. Holding the
+            // queue lock while waiting doubles as admit-while-running:
+            // other workers block on the lock, so exactly one window
+            // collects while earlier batches execute. The window is
+            // re-clamped as each job lands so queue wait plus window
+            // never eats more than half of anyone's deadline budget.
+            if !batch_window.is_zero()
+                && jobs.len() < max_batch
+                && jobs.iter().any(|(j, _)| j.request.op == Op::Predict)
+            {
+                let opened = Instant::now();
+                let mut close_by = opened + batch_window;
+                for (job, _) in &jobs {
+                    close_by = close_by.min(latency_budget_close(job, opened));
+                }
+                let mut admitted = 0_u64;
+                while jobs.len() < max_batch {
+                    let now = Instant::now();
+                    if now >= close_by {
+                        break;
+                    }
+                    match guard.recv_timeout(close_by - now) {
+                        Ok(job) => {
+                            close_by = close_by.min(latency_budget_close(&job, opened));
+                            jobs.push((job, Instant::now()));
+                            admitted += 1;
+                        }
+                        // Window elapsed, or the service was dropped —
+                        // either way serve what was collected.
+                        Err(_) => break,
+                    }
+                }
+                if admitted > 0 {
+                    metrics.window_admitted(admitted);
+                }
+            }
         }
+        let collected = Instant::now();
         let mut predict_jobs = Vec::new();
-        for job in jobs {
+        for (job, popped) in jobs {
             metrics.queue_left();
-            let queue_wait_us = job.enqueued.elapsed().as_secs_f64() * 1e6;
+            let queue_wait_us = popped.saturating_duration_since(job.enqueued).as_secs_f64() * 1e6;
+            let window_wait_us = collected.saturating_duration_since(popped).as_secs_f64() * 1e6;
             let id = job.request.id.clone();
             if Instant::now() > job.deadline {
                 let mut response = error_response(
@@ -687,13 +769,20 @@ fn worker_loop(
                 );
                 attach_obs(
                     &mut response,
-                    json!({"stages": {"queue_wait_us": queue_wait_us}}),
+                    json!({"stages": {
+                        "queue_wait_us": queue_wait_us,
+                        "window_wait_us": window_wait_us,
+                    }}),
                 );
                 let _ = job.reply.send(response);
                 continue;
             }
             if job.request.op == Op::Predict {
-                predict_jobs.push((job, queue_wait_us));
+                predict_jobs.push(QueuedPredict {
+                    job,
+                    queue_wait_us,
+                    window_wait_us,
+                });
                 continue;
             }
             let exec_started = Instant::now();
@@ -714,7 +803,11 @@ fn worker_loop(
             };
             attach_obs(
                 &mut response,
-                json!({"stages": {"queue_wait_us": queue_wait_us, "exec_us": exec_us}}),
+                json!({"stages": {
+                    "queue_wait_us": queue_wait_us,
+                    "window_wait_us": window_wait_us,
+                    "exec_us": exec_us,
+                }}),
             );
             // The caller may have given up (e.g. its connection died);
             // that must not kill the worker.
@@ -726,12 +819,21 @@ fn worker_loop(
     }
 }
 
+/// A predict job as it leaves the worker's collection phase, with the
+/// time it spent queued and the time the admission window held it.
+struct QueuedPredict {
+    job: Job,
+    queue_wait_us: f64,
+    window_wait_us: f64,
+}
+
 /// One predict job that parsed and resolved but missed the cache.
 struct PendingPredict {
     job: Job,
     circuit: Circuit,
     content_hash: u64,
     queue_wait_us: f64,
+    window_wait_us: f64,
     lookup_us: f64,
 }
 
@@ -753,7 +855,7 @@ enum GroupTiming {
 /// single-request path would have produced; a panic inside one model
 /// group fails only that group's jobs.
 fn predict_many(
-    jobs: Vec<(Job, f64)>,
+    jobs: Vec<QueuedPredict>,
     registry: &Arc<ModelRegistry>,
     cache: &Arc<PredictionCache>,
     metrics: &Arc<Metrics>,
@@ -762,7 +864,12 @@ fn predict_many(
     let snapshot = registry.current();
     let mut groups: std::collections::BTreeMap<String, (ModelRef, Vec<PendingPredict>)> =
         std::collections::BTreeMap::new();
-    for (job, queue_wait_us) in jobs {
+    for QueuedPredict {
+        job,
+        queue_wait_us,
+        window_wait_us,
+    } in jobs
+    {
         let id = job.request.id.clone();
         let lookup_started = Instant::now();
         let circuit = match required_netlist(&job.request) {
@@ -790,7 +897,11 @@ fn predict_many(
             attach_obs(
                 &mut response,
                 json!({
-                    "stages": {"queue_wait_us": queue_wait_us, "cache_lookup_us": lookup_us},
+                    "stages": {
+                        "queue_wait_us": queue_wait_us,
+                        "window_wait_us": window_wait_us,
+                        "cache_lookup_us": lookup_us,
+                    },
                     "model": key,
                     "cache_hit": true,
                 }),
@@ -808,10 +919,12 @@ fn predict_many(
                 circuit,
                 content_hash,
                 queue_wait_us,
+                window_wait_us,
                 lookup_us,
             });
     }
     for (key, (model, pending)) in groups {
+        metrics.record_batch(pending.len());
         if pending.len() > 1 {
             paragraph_obs::global()
                 .counter("paragraph_serve_predict_batched_jobs_total", &[])
@@ -883,6 +996,7 @@ fn predict_many(
                     cache.put(&key, p.content_hash, Arc::new(result.clone()));
                     let mut stages = json!({
                         "queue_wait_us": p.queue_wait_us,
+                        "window_wait_us": p.window_wait_us,
                         "cache_lookup_us": p.lookup_us,
                     });
                     let mut obs = serde_json::Map::new();

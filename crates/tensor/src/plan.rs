@@ -53,6 +53,31 @@ impl CsrPlan {
     /// Panics if `src` and `dst` differ in length or reference a node
     /// `>= num_nodes`.
     pub fn new(src: &[u32], dst: &[u32], num_nodes: usize) -> Self {
+        let mut plan = Self {
+            num_nodes: 0,
+            dst_offsets: Vec::new(),
+            sorted_src: Vec::new(),
+            sorted_dst: Vec::new(),
+            perm: Vec::new(),
+            src_offsets: Vec::new(),
+            edges_of_src: Vec::new(),
+            in_degree: Vec::new(),
+            inv_in_degree: Vec::new(),
+            out_degree: Vec::new(),
+        };
+        plan.rebuild(src, dst, num_nodes);
+        plan
+    }
+
+    /// Recompiles this plan for a new edge list in place, reusing every
+    /// internal buffer. With capacities at or above the new sizes the
+    /// call performs no heap allocation — repeated batch assembly over
+    /// similarly-sized unions recompiles its CSR plans alloc-free.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CsrPlan::new`].
+    pub fn rebuild(&mut self, src: &[u32], dst: &[u32], num_nodes: usize) {
         assert_eq!(src.len(), dst.len(), "src/dst edge list length mismatch");
         let e = src.len();
         for (&s, &d) in src.iter().zip(dst.iter()) {
@@ -61,73 +86,112 @@ impl CsrPlan {
                 "edge ({s}, {d}) out of range for {num_nodes} nodes"
             );
         }
+        self.num_nodes = num_nodes;
 
-        // Stable counting sort by destination.
-        let mut counts = vec![0u32; num_nodes + 1];
+        // Stable counting sort by destination. `dst_offsets` doubles as
+        // the placement cursor: after the scatter, slot `d` holds the
+        // end of segment `d` (= the true offset of `d + 1`), so one
+        // right-shift restores the offsets without a cursor clone.
+        let off = &mut self.dst_offsets;
+        off.clear();
+        off.resize(num_nodes + 1, 0);
         for &d in dst {
-            counts[d as usize + 1] += 1;
+            off[d as usize + 1] += 1;
         }
         for i in 0..num_nodes {
-            counts[i + 1] += counts[i];
+            off[i + 1] += off[i];
         }
-        let dst_offsets = counts.clone();
-        let mut cursor = counts;
-        let mut sorted_src = vec![0u32; e];
-        let mut sorted_dst = vec![0u32; e];
-        let mut perm = vec![0u32; e];
+        refill_u32(&mut self.sorted_src, e);
+        refill_u32(&mut self.sorted_dst, e);
+        refill_u32(&mut self.perm, e);
         for i in 0..e {
             let d = dst[i] as usize;
-            let at = cursor[d] as usize;
-            cursor[d] += 1;
-            sorted_src[at] = src[i];
-            sorted_dst[at] = dst[i];
-            perm[at] = i as u32;
+            let at = off[d] as usize;
+            off[d] += 1;
+            self.sorted_src[at] = src[i];
+            self.sorted_dst[at] = dst[i];
+            self.perm[at] = i as u32;
         }
+        for d in (1..=num_nodes).rev() {
+            off[d] = off[d - 1];
+        }
+        off[0] = 0;
 
         // Source-side transpose: for each source node, the dst-sorted
         // edge indices it feeds, in ascending order (another stable
-        // counting sort, this time over the sorted edges).
-        let mut scounts = vec![0u32; num_nodes + 1];
-        for &s in &sorted_src {
-            scounts[s as usize + 1] += 1;
+        // counting sort with the same cursor-in-place trick).
+        let soff = &mut self.src_offsets;
+        soff.clear();
+        soff.resize(num_nodes + 1, 0);
+        for &s in &self.sorted_src {
+            soff[s as usize + 1] += 1;
         }
         for i in 0..num_nodes {
-            scounts[i + 1] += scounts[i];
+            soff[i + 1] += soff[i];
         }
-        let src_offsets = scounts.clone();
-        let mut scursor = scounts;
-        let mut edges_of_src = vec![0u32; e];
-        for (i, &s) in sorted_src.iter().enumerate() {
-            let at = scursor[s as usize] as usize;
-            scursor[s as usize] += 1;
-            edges_of_src[at] = i as u32;
+        refill_u32(&mut self.edges_of_src, e);
+        for (i, &s) in self.sorted_src.iter().enumerate() {
+            let at = soff[s as usize] as usize;
+            soff[s as usize] += 1;
+            self.edges_of_src[at] = i as u32;
         }
+        for s in (1..=num_nodes).rev() {
+            soff[s] = soff[s - 1];
+        }
+        soff[0] = 0;
 
-        let mut in_degree = vec![0.0f32; num_nodes];
-        let mut out_degree = vec![0.0f32; num_nodes];
+        self.in_degree.clear();
+        self.in_degree.resize(num_nodes, 0.0);
+        self.out_degree.clear();
+        self.out_degree.resize(num_nodes, 0.0);
         for i in 0..e {
-            in_degree[dst[i] as usize] += 1.0;
-            out_degree[src[i] as usize] += 1.0;
+            self.in_degree[dst[i] as usize] += 1.0;
+            self.out_degree[src[i] as usize] += 1.0;
         }
-        let inv_in_degree = in_degree.iter().map(|&d| 1.0 / d.max(1.0)).collect();
-
-        Self {
-            num_nodes,
-            dst_offsets,
-            sorted_src,
-            sorted_dst,
-            perm,
-            src_offsets,
-            edges_of_src,
-            in_degree,
-            inv_in_degree,
-            out_degree,
-        }
+        self.inv_in_degree.clear();
+        self.inv_in_degree
+            .extend(self.in_degree.iter().map(|&d| 1.0 / d.max(1.0)));
     }
 
     /// Convenience constructor that wraps the plan in an `Arc`.
     pub fn shared(src: &[u32], dst: &[u32], num_nodes: usize) -> Arc<Self> {
         Arc::new(Self::new(src, dst, num_nodes))
+    }
+
+    /// Sum of the capacities of every internal buffer, in elements.
+    /// Batch-assembly scratch uses this to cap how much memory one
+    /// oversized batch can pin across rebuilds.
+    pub fn retained_capacity(&self) -> usize {
+        self.dst_offsets.capacity()
+            + self.sorted_src.capacity()
+            + self.sorted_dst.capacity()
+            + self.perm.capacity()
+            + self.src_offsets.capacity()
+            + self.edges_of_src.capacity()
+            + self.in_degree.capacity()
+            + self.inv_in_degree.capacity()
+            + self.out_degree.capacity()
+    }
+
+    /// Shrinks every internal buffer's *excess* capacity back to its
+    /// current length when it exceeds `cap` elements. Keeps a pooled
+    /// plan from permanently pinning the high-water memory of one huge
+    /// batch.
+    pub fn shrink_excess(&mut self, cap: usize) {
+        fn trim<T>(v: &mut Vec<T>, cap: usize) {
+            if v.capacity() > cap {
+                v.shrink_to(v.len().max(cap));
+            }
+        }
+        trim(&mut self.dst_offsets, cap);
+        trim(&mut self.sorted_src, cap);
+        trim(&mut self.sorted_dst, cap);
+        trim(&mut self.perm, cap);
+        trim(&mut self.src_offsets, cap);
+        trim(&mut self.edges_of_src, cap);
+        trim(&mut self.in_degree, cap);
+        trim(&mut self.inv_in_degree, cap);
+        trim(&mut self.out_degree, cap);
     }
 
     /// Number of nodes the plan was compiled over.
@@ -196,6 +260,12 @@ impl CsrPlan {
     }
 }
 
+/// Clears and zero-resizes a scatter target, reusing its capacity.
+fn refill_u32(v: &mut Vec<u32>, len: usize) {
+    v.clear();
+    v.resize(len, 0);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,5 +329,35 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_out_of_range_edges() {
         CsrPlan::new(&[0, 5], &[1, 0], 3);
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_compilation() {
+        // Rebuild a plan across differently-shaped edge lists (growing,
+        // shrinking, different node counts); every intermediate state
+        // must equal a from-scratch compilation.
+        let cases: [(&[u32], &[u32], usize); 4] = [
+            (&[0, 1, 2, 2, 0], &[1, 0, 0, 1, 2], 3),
+            (&[3, 0, 1], &[0, 3, 2], 4),
+            (&[], &[], 2),
+            (&[0, 0, 1, 1, 2, 2, 3], &[1, 2, 3, 0, 0, 1, 2], 5),
+        ];
+        let mut plan = CsrPlan::new(&[], &[], 1);
+        for (src, dst, n) in cases {
+            plan.rebuild(src, dst, n);
+            assert_eq!(plan, CsrPlan::new(src, dst, n));
+        }
+    }
+
+    #[test]
+    fn shrink_excess_bounds_retained_capacity() {
+        let src: Vec<u32> = (0..4096).map(|i| i % 64).collect();
+        let dst: Vec<u32> = (0..4096).map(|i| (i + 1) % 64).collect();
+        let mut plan = CsrPlan::new(&src, &dst, 64);
+        plan.rebuild(&[0], &[1], 2);
+        assert!(plan.retained_capacity() >= 4096);
+        plan.shrink_excess(16);
+        assert!(plan.retained_capacity() < 9 * 32);
+        assert_eq!(plan, CsrPlan::new(&[0], &[1], 2));
     }
 }

@@ -96,6 +96,30 @@ impl Tensor {
         Self { rows, cols, data }
     }
 
+    /// Replaces this tensor's contents in place: the buffer is cleared
+    /// (retaining its capacity), `fill` pushes exactly `rows * cols`
+    /// values, and the shape is updated. With enough capacity the call
+    /// performs no heap allocation, which is what lets batch-assembly
+    /// scratch reuse a feature tensor across rebuilds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fill` leaves the buffer at a length other than
+    /// `rows * cols`.
+    pub fn refill(&mut self, rows: usize, cols: usize, fill: impl FnOnce(&mut Vec<f32>)) {
+        let len = rows.checked_mul(cols).expect("tensor shape overflow");
+        self.data.clear();
+        fill(&mut self.data);
+        assert_eq!(
+            self.data.len(),
+            len,
+            "refill produced {} values for shape {rows}x{cols}",
+            self.data.len()
+        );
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Creates a tensor from a slice of row slices.
     ///
     /// # Panics
