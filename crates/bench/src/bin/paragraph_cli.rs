@@ -106,8 +106,18 @@ fn usage() -> ! {
          \x20                              admission window in microseconds,\n\
          \x20                              deadline-budget clamped; 0 = off\n\
          \x20                              (env PARAGRAPH_BATCH_WINDOW_US)\n\
+         \x20        --trace-store <n>     tail-sampled per-request trace\n\
+         \x20                              store; n > 1 sets the retained\n\
+         \x20                              ring capacity, served live at\n\
+         \x20                              /debug/traces and /debug/dashboard\n\
+         \x20                              (env PARAGRAPH_TRACE_STORE)\n\
+         \x20        --trace-keep <n>      keep 1-in-n unremarkable requests\n\
+         \x20                              (slow/error/shed/ood always kept;\n\
+         \x20                              0 = remarkable only;\n\
+         \x20                              env PARAGRAPH_TRACE_KEEP)\n\
          \n\
-         PARAGRAPH_TRACE=1 records spans to target/trace.json;\n\
+         PARAGRAPH_TRACE=1 records spans to target/trace.json (long-running\n\
+         serve also streams them to target/trace_stream.json);\n\
          PARAGRAPH_EVENTS=1 records the structured event log"
     );
     std::process::exit(2)
@@ -381,6 +391,34 @@ fn serve(flags: &Flags) {
         .map(str::to_owned)
         .or_else(|| std::env::var("PARAGRAPH_EVENTS_PATH").ok());
     let batch_window_us = u64_flag_env(flags, "batch-window-us", "PARAGRAPH_BATCH_WINDOW_US", 0);
+    // Tail-sampled trace store: `--trace-store n` switches it on (n > 1
+    // also sets the retained-ring capacity); a non-numeric
+    // PARAGRAPH_TRACE_STORE like "on" still enables it through
+    // `store_enabled`'s own env fallback.
+    let trace_store_flag = u64_flag_env(flags, "trace-store", "PARAGRAPH_TRACE_STORE", 0);
+    if trace_store_flag > 0 {
+        paragraph_obs::set_store_enabled(true);
+        if trace_store_flag > 1 {
+            paragraph_obs::trace_store().set_capacity(trace_store_flag as usize);
+        }
+    }
+    if paragraph_obs::store_enabled() {
+        let trace_keep = u64_flag_env(
+            flags,
+            "trace-keep",
+            "PARAGRAPH_TRACE_KEEP",
+            paragraph_obs::DEFAULT_KEEP_ONE_IN,
+        );
+        let store = paragraph_obs::trace_store();
+        store.set_keep_one_in(trace_keep);
+        // The store's own slow cutoff tracks the event log's, so a
+        // request logged slow is also always retained.
+        store.set_slow_threshold_us(slow_ms as f64 * 1000.0);
+        eprintln!(
+            "trace store on: keeping slow/error/shed/ood requests plus 1/{trace_keep} sampled, \
+             serving /debug/traces on the gateway"
+        );
+    }
     let config = ServiceConfig {
         workers: flags.u64_or("workers", 4).max(1) as usize,
         queue_capacity: flags.u64_or("queue", 64).max(1) as usize,
@@ -425,6 +463,29 @@ fn serve(flags: &Flags) {
                 }
             })
             .expect("spawn event flusher");
+    }
+    // With tracing on, stream completed spans to an appendable
+    // Chrome-trace array every few seconds. Without this, spans
+    // buffered by worker threads would only surface at process exit —
+    // which a long-running server never reaches — and a crash would
+    // lose them all.
+    if paragraph_obs::enabled() {
+        std::thread::Builder::new()
+            .name("trace-flusher".into())
+            .spawn(move || loop {
+                std::thread::sleep(Duration::from_secs(5));
+                match paragraph_obs::append_trace_events(paragraph_obs::DEFAULT_TRACE_STREAM_PATH) {
+                    Ok(_) => {}
+                    Err(e) => {
+                        eprintln!(
+                            "trace flush to {} failed: {e}",
+                            paragraph_obs::DEFAULT_TRACE_STREAM_PATH
+                        );
+                        return;
+                    }
+                }
+            })
+            .expect("spawn trace flusher");
     }
     // Optional sharded gateway on a second port: HTTP/1.1 keep-alive
     // and JSON-lines with protocol sniffing, N thread-per-core shards.

@@ -715,6 +715,7 @@ impl CompiledModel {
     /// graph plan, and `out` at capacity, a call performs **zero** heap
     /// allocations.
     pub fn predict_into(&self, graph: &HeteroGraph, nodes: &[u32], out: &mut Vec<f32>) {
+        let _span = paragraph_obs::span!("executor_forward", nodes = nodes.len());
         let mut arena = self.pool.checkout();
         self.run(graph, nodes, &mut arena, out, None);
         self.pool.checkin(arena);
@@ -761,6 +762,7 @@ impl CompiledModel {
         out: &mut Vec<f32>,
     ) {
         assert_eq!(graphs.len(), nodes.len(), "one node list per graph");
+        let _span = paragraph_obs::span!("executor_forward", graphs = graphs.len());
         let mut scratch = self.batch_pool.checkout();
         match &mut scratch.batch {
             Some(b) => b.assemble(graphs),

@@ -84,6 +84,7 @@ impl GraphBatch {
     /// against the existing batch.
     pub fn assemble(&mut self, graphs: &[&HeteroGraph]) {
         assert!(!graphs.is_empty(), "cannot batch zero graphs");
+        let _span = paragraph_obs::span!("batch_assemble", graphs = graphs.len());
         let num_node_types = self.graph.num_node_types();
         let num_edge_types = self.graph.num_edge_types();
         for (i, g) in graphs.iter().enumerate() {

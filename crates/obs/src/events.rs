@@ -26,7 +26,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use crate::trace::{epoch, json_string, lock};
+use crate::trace::{epoch, epoch_unix_nanos, json_string, lock};
 
 /// Default bound on buffered (not yet drained) event lines.
 pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
@@ -253,9 +253,16 @@ pub fn pending_event_lines() -> usize {
 
 /// Drains every buffered event line and **appends** them to the JSONL
 /// file at `path` (one JSON object per line), creating parent
-/// directories as needed. Returns the number of lines written. Append
-/// semantics let a periodic flusher and the exit-time flush share one
-/// file without clobbering each other.
+/// directories as needed. Returns the number of event lines written
+/// (the header is not counted). Append semantics let a periodic
+/// flusher and the exit-time flush share one file without clobbering
+/// each other.
+///
+/// A fresh (absent or empty) file gains one `events_header` line first,
+/// carrying the shared span/event epoch as a unix-nanos offset
+/// (`epoch_unix_ns`) so external tools can correlate the log's `ts_us`
+/// offsets — and those of `trace.json` and `/debug/traces` — with wall
+/// clock time.
 pub fn write_events(path: impl AsRef<Path>) -> io::Result<usize> {
     use std::io::Write as _;
     let lines = take_event_lines();
@@ -265,11 +272,22 @@ pub fn write_events(path: impl AsRef<Path>) -> io::Result<usize> {
             std::fs::create_dir_all(parent)?;
         }
     }
+    let fresh = std::fs::metadata(path)
+        .map(|m| m.len() == 0)
+        .unwrap_or(true);
     let mut file = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
         .open(path)?;
     let mut body = String::new();
+    if fresh {
+        let ts_us = epoch().elapsed().as_secs_f64() * 1e6;
+        let _ = writeln!(
+            body,
+            "{{\"ts_us\":{ts_us:.3},\"kind\":\"events_header\",\"epoch_unix_ns\":{},\"version\":1}}",
+            epoch_unix_nanos()
+        );
+    }
     for line in &lines {
         body.push_str(line);
         body.push('\n');
@@ -367,8 +385,15 @@ mod tests {
         assert_eq!(write_events(&path).unwrap(), 1);
         let body = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = body.lines().collect();
-        assert_eq!(lines.len(), 2, "append, not truncate: {body}");
-        assert!(lines[0].contains("\"first\"") && lines[1].contains("\"second\""));
+        // One epoch header (fresh file only) + the two event lines.
+        assert_eq!(lines.len(), 3, "append, not truncate: {body}");
+        assert!(
+            lines[0].contains("\"kind\":\"events_header\"")
+                && lines[0].contains("\"epoch_unix_ns\":"),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].contains("\"first\"") && lines[2].contains("\"second\""));
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,6 +1,6 @@
 //! Std-only observability layer for the ParaGraph workspace.
 //!
-//! Five pieces, one crate, zero dependencies:
+//! Six pieces, one crate, zero dependencies:
 //!
 //! * **Spans** — [`span!`] opens an RAII guard with monotonic timing;
 //!   nested guards form a hierarchy. Guards are inert unless tracing is
@@ -23,6 +23,14 @@
 //!   one-relaxed-load disabled path and `trace`-feature compile-out as
 //!   spans. [`write_events`] appends the drained lines to a `.jsonl`
 //!   file.
+//! * **Trace store** — [`trace_store`] keeps a bounded ring of
+//!   completed per-request span trees with **tail-based retention**
+//!   (decide keep/drop after the outcome is known: slow, error, shed,
+//!   and OOD requests always kept, the rest sampled 1-in-N). Worker
+//!   threads tag their spans with a [`SpanContext`] so one request's
+//!   spans assemble into one tree across threads and batched forward
+//!   passes. Gated by `PARAGRAPH_TRACE_STORE` / [`set_store_enabled`];
+//!   the gateway serves it live under `/debug/traces`.
 //! * **Rolling quantiles** — [`RollingQuantile`] keeps a fixed-size
 //!   window of recent observations and reports **exact** sorted
 //!   quantiles over it (registered via [`Registry::rolling`], rendered
@@ -39,6 +47,7 @@
 mod events;
 mod metrics;
 mod quantile;
+mod store;
 mod trace;
 
 pub use events::{
@@ -47,13 +56,24 @@ pub use events::{
 };
 pub use metrics::{escape_label_value, global, Counter, Gauge, Histogram, Labels, Registry};
 pub use quantile::{RollingQuantile, RENDERED_QUANTILES};
+pub use store::{
+    sampler_keeps, set_store_enabled, store_enabled, trace_store, ContextGuard, RequestOutcome,
+    RetainReason, RetainedTrace, SpanContext, StoreCounters, TraceStore, TraceSummary,
+    DEFAULT_KEEP_ONE_IN, DEFAULT_STORE_CAPACITY, MAX_ACTIVE_TRACES, MAX_SPANS_PER_TRACE,
+};
 pub use trace::{
-    enabled, pending_events, render_chrome_trace, set_enabled, take_events, write_trace, SpanGuard,
-    TraceEvent,
+    append_trace_events, enabled, epoch_unix_nanos, pending_events, record_span_at,
+    render_chrome_trace, set_enabled, take_events, write_trace, SpanGuard, TraceEvent,
 };
 
 /// Default trace-file location, relative to the working directory.
 pub const DEFAULT_TRACE_PATH: &str = "target/trace.json";
+
+/// Default location of the *streamed* trace written by long-running
+/// services' periodic flusher (Chrome-trace array format, appendable),
+/// kept separate from [`DEFAULT_TRACE_PATH`] so the exit-time flush
+/// still produces a complete JSON object.
+pub const DEFAULT_TRACE_STREAM_PATH: &str = "target/trace_stream.json";
 
 /// Default event-log location, relative to the working directory.
 pub const DEFAULT_EVENTS_PATH: &str = "target/events.jsonl";

@@ -20,7 +20,7 @@ use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Instant, SystemTime};
 
 /// One completed span, in microseconds since the process trace epoch.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,19 +86,54 @@ pub fn set_enabled(on: bool) {
     TRACE_STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
 }
 
+/// The monotonic epoch paired with the wall-clock instant it was taken,
+/// so external tools can translate `ts_us` offsets back to real time.
+struct EpochAnchor {
+    instant: Instant,
+    unix_nanos: u64,
+}
+
+fn epoch_anchor() -> &'static EpochAnchor {
+    static EPOCH: OnceLock<EpochAnchor> = OnceLock::new();
+    EPOCH.get_or_init(|| EpochAnchor {
+        instant: Instant::now(),
+        unix_nanos: SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_nanos().min(u64::MAX as u128) as u64)
+            .unwrap_or(0),
+    })
+}
+
 /// Process-wide monotonic epoch every timestamp is measured from.
 /// Shared with the event log so event `ts_us` and span `ts` correlate.
 pub(crate) fn epoch() -> Instant {
-    static EPOCH: OnceLock<Instant> = OnceLock::new();
-    *EPOCH.get_or_init(Instant::now)
+    epoch_anchor().instant
+}
+
+/// The wall-clock time (nanoseconds since the unix epoch) at which the
+/// shared span/event epoch was captured. Every `ts_us` in the trace
+/// file, the event log, and the trace store is an offset from this
+/// anchor, so `unix_ns = epoch_unix_nanos() + ts_us * 1000` correlates
+/// all three with external timelines.
+pub fn epoch_unix_nanos() -> u64 {
+    epoch_anchor().unix_nanos
 }
 
 type SharedBuffer = Arc<Mutex<Vec<TraceEvent>>>;
 
-/// Every thread's buffer, kept alive past thread exit.
+/// The live threads' buffers. Exiting threads migrate their remaining
+/// events to [`orphaned`] and deregister, so the list stays bounded by
+/// the number of live recording threads.
 fn sinks() -> &'static Mutex<Vec<SharedBuffer>> {
     static SINKS: OnceLock<Mutex<Vec<SharedBuffer>>> = OnceLock::new();
     SINKS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Events rescued from threads that have exited (or that recorded
+/// during TLS teardown), drained together with the live buffers.
+fn orphaned() -> &'static Mutex<Vec<TraceEvent>> {
+    static ORPHANED: OnceLock<Mutex<Vec<TraceEvent>>> = OnceLock::new();
+    ORPHANED.get_or_init(|| Mutex::new(Vec::new()))
 }
 
 pub(crate) fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -107,11 +142,29 @@ pub(crate) fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// TLS owner of a thread's buffer: its `Drop` runs at thread teardown
+/// and moves whatever is still buffered into [`orphaned`], then removes
+/// the buffer from [`sinks`] — spans recorded by short-lived worker
+/// threads survive the thread without leaking dead buffers.
+struct ThreadSink {
+    buffer: SharedBuffer,
+}
+
+impl Drop for ThreadSink {
+    fn drop(&mut self) {
+        let mut events = std::mem::take(&mut *lock(&self.buffer));
+        if !events.is_empty() {
+            lock(orphaned()).append(&mut events);
+        }
+        lock(sinks()).retain(|b| !Arc::ptr_eq(b, &self.buffer));
+    }
+}
+
 thread_local! {
-    static THREAD_BUFFER: SharedBuffer = {
+    static THREAD_BUFFER: ThreadSink = {
         let buffer: SharedBuffer = Arc::new(Mutex::new(Vec::new()));
         lock(sinks()).push(Arc::clone(&buffer));
-        buffer
+        ThreadSink { buffer }
     };
     static THREAD_ID: Cell<u64> = const { Cell::new(u64::MAX) };
     static SPAN_DEPTH: Cell<u32> = const { Cell::new(0) };
@@ -128,9 +181,27 @@ fn thread_id() -> u64 {
 }
 
 fn record(event: TraceEvent) {
-    // Threads being torn down can no longer access their TLS buffer;
-    // drop the event rather than panic in a destructor.
-    let _ = THREAD_BUFFER.try_with(|buffer| lock(buffer).push(event));
+    // Completed spans of an in-flight request route to the trace store
+    // regardless of whether the global trace file is recording.
+    if crate::store::collecting() {
+        if let Some(ctx) = crate::store::SpanContext::current() {
+            crate::store::trace_store().record(&ctx, &event);
+        }
+    }
+    if !enabled() {
+        return;
+    }
+    let mut slot = Some(event);
+    let pushed = THREAD_BUFFER
+        .try_with(|sink| lock(&sink.buffer).push(slot.take().expect("event taken once")))
+        .is_ok();
+    if let Some(event) = slot.take() {
+        debug_assert!(!pushed);
+        // TLS teardown: the thread's buffer is gone (or was never
+        // created this late); record into the orphan buffer instead of
+        // silently dropping the event.
+        lock(orphaned()).push(event);
+    }
 }
 
 /// RAII guard created by [`span!`](crate::span!). Records one trace
@@ -151,11 +222,13 @@ struct ActiveSpan {
 }
 
 impl SpanGuard {
-    /// Opens a span when tracing is enabled; otherwise the guard is
-    /// inert. `args` is only invoked on the enabled path.
+    /// Opens a span when tracing is enabled or the trace store is
+    /// collecting spans for an in-flight request on this thread;
+    /// otherwise the guard is inert. `args` is only invoked on the
+    /// recording path.
     #[inline]
     pub fn open(name: &'static str, args: impl FnOnce() -> Vec<(&'static str, String)>) -> Self {
-        if !enabled() {
+        if !enabled() && !crate::store::collecting() {
             return Self { active: None };
         }
         Self::open_always(name, args())
@@ -217,10 +290,38 @@ macro_rules! span {
     };
 }
 
-/// Drains and returns every buffered event from every thread, ordered
-/// by start timestamp.
+/// Records an already-measured span: a stage whose boundaries were
+/// captured with plain `Instant`s (queue wait, admission-window wait,
+/// parse time smuggled through a response) rather than an RAII guard.
+/// The synthesized event lands in the same buffers — and routes to the
+/// trace store under the current [`SpanContext`](crate::SpanContext) —
+/// exactly as if a `span!` guard had covered `[start, end]`. A no-op
+/// when neither tracing nor the store is recording.
+pub fn record_span_at(
+    name: &'static str,
+    start: Instant,
+    end: Instant,
+    args: Vec<(&'static str, String)>,
+) {
+    if !enabled() && !crate::store::collecting() {
+        return;
+    }
+    let ts_us = start.saturating_duration_since(epoch()).as_secs_f64() * 1e6;
+    let dur_us = end.saturating_duration_since(start).as_secs_f64() * 1e6;
+    record(TraceEvent {
+        name,
+        ts_us,
+        dur_us,
+        tid: thread_id(),
+        depth: SPAN_DEPTH.with(Cell::get),
+        args,
+    });
+}
+
+/// Drains and returns every buffered event from every thread (plus any
+/// rescued from exited threads), ordered by start timestamp.
 pub fn take_events() -> Vec<TraceEvent> {
-    let mut events = Vec::new();
+    let mut events = std::mem::take(&mut *lock(orphaned()));
     for buffer in lock(sinks()).iter() {
         events.append(&mut lock(buffer));
     }
@@ -230,7 +331,7 @@ pub fn take_events() -> Vec<TraceEvent> {
 
 /// Number of currently buffered (not yet drained) events.
 pub fn pending_events() -> usize {
-    lock(sinks()).iter().map(|b| lock(b).len()).sum()
+    lock(orphaned()).len() + lock(sinks()).iter().map(|b| lock(b).len()).sum::<usize>()
 }
 
 /// Drains every buffered event and writes a Chrome-trace-format JSON
@@ -248,6 +349,43 @@ pub fn write_trace(path: impl AsRef<Path>) -> io::Result<usize> {
     Ok(events.len())
 }
 
+/// Appends drained events to a Chrome-trace *array format* file at
+/// `path` (the `[e1,\ne2,\n...` form, which trace viewers accept
+/// without a closing bracket), creating it — and parent directories —
+/// on first use. Returns the number of events appended. This is the
+/// incremental sibling of [`write_trace`] for long-running processes:
+/// a periodic flusher can call it forever without rewriting the file.
+pub fn append_trace_events(path: impl AsRef<Path>) -> io::Result<usize> {
+    use std::io::Write as _;
+    let events = take_events();
+    if events.is_empty() {
+        return Ok(0);
+    }
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let fresh = std::fs::metadata(path)
+        .map(|m| m.len() == 0)
+        .unwrap_or(true);
+    let mut body = String::new();
+    if fresh {
+        body.push_str("[\n");
+    }
+    for e in &events {
+        render_event(&mut body, e);
+        body.push_str(",\n");
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    file.write_all(body.as_bytes())?;
+    Ok(events.len())
+}
+
 /// Renders events as Chrome trace JSON without draining anything.
 pub fn render_chrome_trace(events: &[TraceEvent]) -> String {
     let mut out = String::from("{\"traceEvents\":[");
@@ -255,22 +393,27 @@ pub fn render_chrome_trace(events: &[TraceEvent]) -> String {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(
-            out,
-            "{{\"name\":{},\"ph\":\"X\",\"cat\":\"paragraph\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{\"depth\":{}",
-            json_string(e.name),
-            e.ts_us,
-            e.dur_us,
-            e.tid,
-            e.depth
-        );
-        for (k, v) in &e.args {
-            let _ = write!(out, ",{}:{}", json_string(k), json_string(v));
-        }
-        out.push_str("}}");
+        render_event(&mut out, e);
     }
     out.push_str("],\"displayTimeUnit\":\"ms\"}");
     out
+}
+
+/// Renders one event as a Chrome-trace complete ("X") event object.
+fn render_event(out: &mut String, e: &TraceEvent) {
+    let _ = write!(
+        out,
+        "{{\"name\":{},\"ph\":\"X\",\"cat\":\"paragraph\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{\"depth\":{}",
+        json_string(e.name),
+        e.ts_us,
+        e.dur_us,
+        e.tid,
+        e.depth
+    );
+    for (k, v) in &e.args {
+        let _ = write!(out, ",{}:{}", json_string(k), json_string(v));
+    }
+    out.push_str("}}");
 }
 
 pub(crate) fn json_string(s: &str) -> String {
@@ -293,6 +436,14 @@ pub(crate) fn json_string(s: &str) -> String {
     out
 }
 
+/// Serialises tests (here and in `store.rs`) that toggle the
+/// process-wide trace/store flags or drain the shared buffers.
+#[cfg(test)]
+pub(crate) fn test_flag_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    lock(&LOCK)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,8 +451,7 @@ mod tests {
     // These tests toggle the process-wide trace flag, so they must not
     // interleave with each other; a shared mutex serialises them.
     fn flag_lock() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
-        lock(&LOCK)
+        test_flag_lock()
     }
 
     #[test]
@@ -337,6 +487,60 @@ mod tests {
         assert!(inner.depth > outer.depth, "inner nests under outer");
         assert!(inner.ts_us >= outer.ts_us);
         assert!(inner.dur_us <= outer.dur_us);
+    }
+
+    #[test]
+    #[cfg(feature = "trace")]
+    fn thread_teardown_drains_spans_to_orphan_buffer() {
+        let _guard = flag_lock();
+        set_enabled(true);
+        let _ = take_events();
+        std::thread::spawn(|| {
+            let _span = crate::span!("teardown_span", i = 7);
+        })
+        .join()
+        .unwrap();
+        // The exited thread's TLS sink ran its destructor: the span was
+        // rescued into the orphan buffer and the dead buffer
+        // deregistered, so a drain still sees the event.
+        assert!(
+            lock(orphaned()).iter().any(|e| e.name == "teardown_span"),
+            "span rescued at thread teardown"
+        );
+        set_enabled(false);
+        let events = take_events();
+        assert!(events.iter().any(|e| e.name == "teardown_span"));
+    }
+
+    #[test]
+    #[cfg(feature = "trace")]
+    fn append_trace_events_streams_array_format() {
+        let _guard = flag_lock();
+        set_enabled(true);
+        let _ = take_events();
+        let path =
+            std::env::temp_dir().join(format!("paragraph-stream-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let _span = crate::span!("flush_a");
+        }
+        assert_eq!(append_trace_events(&path).unwrap(), 1);
+        {
+            let _span = crate::span!("flush_b");
+        }
+        set_enabled(false);
+        assert_eq!(append_trace_events(&path).unwrap(), 1);
+        // Nothing pending: appending again is a no-op that leaves the
+        // file untouched.
+        assert_eq!(append_trace_events(&path).unwrap(), 0);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("[\n"), "array-format opener: {body}");
+        assert!(
+            body.contains("\"flush_a\"") && body.contains("\"flush_b\""),
+            "{body}"
+        );
+        assert!(body.ends_with(",\n"), "stream stays appendable: {body}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -198,6 +198,24 @@ impl DriftMonitor {
         }
     }
 
+    /// Current per-feature drift z-scores as `("<node-type> f<i>", z)`
+    /// pairs, in node-type then feature order; empty when no baseline
+    /// is installed. The labels match the feature names used in
+    /// [`DriftMonitor::status`] degradation reasons.
+    pub fn z_scores(&self) -> Vec<(String, f64)> {
+        let guard = lock(&self.state);
+        let Some(state) = guard.as_ref() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (t, gauges) in state.z_gauges.iter().enumerate() {
+            for (f, gauge) in gauges.iter().enumerate() {
+                out.push((format!("{} f{f}", NodeType::ALL[t].name()), gauge.get()));
+            }
+        }
+        out
+    }
+
     /// Health verdict: `(degraded, reasons)`. Degrades only after
     /// `min_requests` observations with the rolling OOD fraction at or
     /// above `degraded_fraction`; reasons also name features whose

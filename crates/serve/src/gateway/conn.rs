@@ -344,6 +344,70 @@ impl Conn {
                 self.push_http(200, "OK", "application/json", &body, keep_alive, &[]);
             }
             ("POST", "/predict") => self.route_predict(ctx, &req.body, keep_alive),
+            ("GET", "/debug/traces") => {
+                let body = serde_json::to_string(&super::debug::traces_index())
+                    .expect("trace index serialises")
+                    .into_bytes();
+                self.push_http(200, "OK", "application/json", &body, keep_alive, &[]);
+            }
+            ("GET", path) if path.starts_with("/debug/traces/") => {
+                let request_id = &path["/debug/traces/".len()..];
+                match super::debug::trace_detail(request_id) {
+                    Some(doc) => {
+                        let body = serde_json::to_string(&doc)
+                            .expect("trace detail serialises")
+                            .into_bytes();
+                        self.push_http(200, "OK", "application/json", &body, keep_alive, &[]);
+                    }
+                    None => {
+                        let body = http::error_body(
+                            "not_found",
+                            &format!("no retained trace for request id {request_id:?}"),
+                        );
+                        self.push_http(
+                            404,
+                            "Not Found",
+                            "application/json",
+                            &body,
+                            keep_alive,
+                            &[],
+                        );
+                    }
+                }
+            }
+            ("GET", "/debug/dashboard") => {
+                let body = super::debug::dashboard_html(&ctx.services);
+                self.push_http(
+                    200,
+                    "OK",
+                    "text/html; charset=utf-8",
+                    body.as_bytes(),
+                    keep_alive,
+                    &[],
+                );
+            }
+            (_, "/debug/traces" | "/debug/dashboard") => {
+                let body = http::error_body("bad_request", "method not allowed; use GET");
+                self.push_http(
+                    405,
+                    "Method Not Allowed",
+                    "application/json",
+                    &body,
+                    keep_alive,
+                    &["Allow: GET"],
+                );
+            }
+            (_, path) if path.starts_with("/debug/traces/") => {
+                let body = http::error_body("bad_request", "method not allowed; use GET");
+                self.push_http(
+                    405,
+                    "Method Not Allowed",
+                    "application/json",
+                    &body,
+                    keep_alive,
+                    &["Allow: GET"],
+                );
+            }
             (_, "/health" | "/metrics" | "/metrics.json" | "/registry") => {
                 let body = http::error_body("bad_request", "method not allowed; use GET");
                 self.push_http(

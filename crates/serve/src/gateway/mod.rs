@@ -10,9 +10,11 @@
 //! acceptor.
 //!
 //! Every connection speaks either HTTP/1.1 (`POST /predict`,
-//! `GET /health|/metrics|/metrics.json|/registry`) or the legacy
-//! JSON-lines protocol; the first non-whitespace byte decides (`{` can
-//! never start an HTTP method). Both protocols funnel into the same
+//! `GET /health|/metrics|/metrics.json|/registry`, plus the live ops
+//! surface `GET /debug/traces[/<req-id>]|/debug/dashboard`) or the
+//! legacy JSON-lines protocol; the first non-whitespace byte decides
+//! (`{` can never start an HTTP method). Both protocols funnel into the
+//! same
 //! [`Service::submit_line`] path, so response payloads are bit-identical
 //! across protocols and shard counts.
 //!
@@ -24,6 +26,7 @@
 //! after a weight swap.
 
 mod conn;
+mod debug;
 mod http;
 
 use std::io;
@@ -173,7 +176,14 @@ impl Gateway {
             config.shards
         };
         let services: Vec<Arc<Service>> = (0..shards)
-            .map(|_| Arc::new(Service::new(registry.clone(), config.service.clone())))
+            .map(|i| {
+                // Stamp each service with its shard id so trace-store
+                // span contexts and `/debug` payloads can attribute
+                // requests to the shard that served them.
+                let mut service_config = config.service.clone();
+                service_config.shard = Some(u32::try_from(i).unwrap_or(u32::MAX));
+                Arc::new(Service::new(registry.clone(), service_config))
+            })
             .collect();
         for (i, service) in services.iter().enumerate() {
             // Weak siblings: the hook must not keep a reference cycle

@@ -326,6 +326,16 @@ impl Metrics {
                 .collect();
             json!({ "requests": p.requests.get(), "latency_rolling": rolling })
         };
+        let batch_counts = self.batch_size.bucket_counts();
+        let batch_size_buckets: Vec<Value> = self
+            .batch_size
+            .bounds()
+            .iter()
+            .map(|&ub| json!(ub as u64))
+            .chain(std::iter::once(Value::String("inf".into())))
+            .zip(&batch_counts)
+            .map(|(le, &count)| json!({ "le": le, "count": count }))
+            .collect();
         json!({
             "uptime_ms": self.uptime().as_millis() as u64,
             "queue_depth": self.queue_depth(),
@@ -344,6 +354,7 @@ impl Metrics {
                 "batches_formed": self.batches_formed(),
                 "window_admitted_jobs": self.window_admitted_total(),
                 "batched_jobs": self.batch_size.sum() as u64,
+                "size_buckets": batch_size_buckets,
             },
             "cache": {
                 "hits": cache.hits(),

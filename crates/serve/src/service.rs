@@ -72,6 +72,10 @@ pub struct ServiceConfig {
     pub slow_threshold: Duration,
     /// Drift-monitor tunables.
     pub drift: DriftConfig,
+    /// Gateway shard this service serves, stamped onto every request's
+    /// [`paragraph_obs::SpanContext`] and the retained traces built
+    /// from it. `None` for unsharded embedders.
+    pub shard: Option<u32>,
 }
 
 impl Default for ServiceConfig {
@@ -87,6 +91,7 @@ impl Default for ServiceConfig {
             event_sample: 1,
             slow_threshold: Duration::from_millis(500),
             drift: DriftConfig::default(),
+            shard: None,
         }
     }
 }
@@ -101,12 +106,21 @@ fn batch_window_default() -> Duration {
         .unwrap_or(Duration::ZERO)
 }
 
+/// Process-global request-id counter. Ids must be unique across every
+/// service in the process — the sharded gateway runs one service per
+/// shard but exposes a single id space, and the trace store keys
+/// retained traces on the id.
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(0);
+
 struct Job {
     request: Request,
     request_id: String,
     deadline: Instant,
     enqueued: Instant,
     reply: SyncSender<Value>,
+    /// Span-routing context carried with the job so worker-side spans
+    /// land in the request's trace; `None` when the store is off.
+    ctx: Option<paragraph_obs::SpanContext>,
 }
 
 /// Everything [`Service::finalize`] needs once the worker's reply
@@ -153,7 +167,6 @@ pub struct Service {
     config: ServiceConfig,
     jobs: Option<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
-    next_request_id: AtomicU64,
     /// Successful requests seen, for event-log sampling.
     ok_requests: AtomicU64,
     slow_requests: Arc<Counter>,
@@ -223,7 +236,6 @@ impl Service {
             config,
             jobs: Some(tx),
             workers: handles,
-            next_request_id: AtomicU64::new(0),
             ok_requests: AtomicU64::new(0),
             slow_requests,
             reload_hook: Mutex::new(None),
@@ -308,30 +320,44 @@ impl Service {
             parse_us,
             request_id: format!(
                 "req-{}",
-                self.next_request_id.fetch_add(1, Ordering::Relaxed) + 1
+                NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed) + 1
             ),
             started,
         };
-        let _span =
-            paragraph_obs::span!("serve_request", request_id = ctx.request_id, op = op.name());
-        match op {
-            // Control plane: answered inline, never queued.
-            Op::Health => {
-                Submitted::Done(self.finalize(ctx, ok_response(&id, self.health(), None)))
-            }
-            Op::Metrics => {
-                let response = ok_response(
+        // Open the request's span context before any span: everything
+        // recorded on this thread (and, via the job, on the workers)
+        // now assembles into one tree in the trace store.
+        let span_ctx = paragraph_obs::store_enabled().then(|| {
+            let span_ctx = paragraph_obs::SpanContext::request(&ctx.request_id, self.config.shard);
+            paragraph_obs::trace_store().begin(&ctx.request_id, self.config.shard);
+            span_ctx
+        });
+        let _ctx_guard = span_ctx.as_ref().map(paragraph_obs::SpanContext::enter);
+        if parse_us > 0.0 {
+            let parse_start = started
+                .checked_sub(Duration::from_secs_f64(parse_us / 1e6))
+                .unwrap_or(started);
+            paragraph_obs::record_span_at("parse", parse_start, started, Vec::new());
+        }
+        // The serve_request span guard must drop (recording the span)
+        // before `finalize` completes the trace, so inline-answered ops
+        // keep it in their span tree; `Ok` is a resolved response,
+        // `Err` a queued worker receiver.
+        let outcome: Result<Value, mpsc::Receiver<Value>> = {
+            let _span =
+                paragraph_obs::span!("serve_request", request_id = ctx.request_id, op = op.name());
+            match op {
+                // Control plane: answered inline, never queued.
+                Op::Health => Ok(ok_response(&id, self.health(), None)),
+                Op::Metrics => Ok(ok_response(
                     &id,
                     json!({
                         "metrics": self.metrics.snapshot(&self.cache),
                         "prometheus": self.metrics.render(&self.cache),
                     }),
                     None,
-                );
-                Submitted::Done(self.finalize(ctx, response))
-            }
-            Op::Reload => {
-                let response = match self.registry.reload() {
+                )),
+                Op::Reload => Ok(match self.registry.reload() {
                     Ok(report) => {
                         self.refresh_after_reload();
                         if let Some(hook) = lock_hook(&self.reload_hook).as_ref() {
@@ -347,16 +373,19 @@ impl Service {
                         &id,
                         &ServeError::new(ErrorCode::Internal, format!("reload failed: {e}")),
                     ),
-                };
-                Submitted::Done(self.finalize(ctx, response))
-            }
-            // Data plane: through the bounded queue.
-            Op::Predict | Op::Stats | Op::Erc | Op::DebugPanic => {
-                match self.try_enqueue(request, &ctx.request_id, started) {
-                    Ok(rx) => Submitted::Pending(PendingCall { rx, ctx }),
-                    Err(response) => Submitted::Done(self.finalize(ctx, response)),
+                }),
+                // Data plane: through the bounded queue.
+                Op::Predict | Op::Stats | Op::Erc | Op::DebugPanic => {
+                    match self.try_enqueue(request, &ctx.request_id, started, span_ctx.clone()) {
+                        Ok(rx) => Err(rx),
+                        Err(response) => Ok(response),
+                    }
                 }
             }
+        };
+        match outcome {
+            Ok(response) => Submitted::Done(self.finalize(ctx, response)),
+            Err(rx) => Submitted::Pending(PendingCall { rx, ctx }),
         }
     }
 
@@ -456,6 +485,7 @@ impl Service {
         let mut cache_hit = None;
         let mut member_max_v = None;
         let mut batched = None;
+        let mut ood = None;
         if let Some(Value::Object(mut o)) = worker_obs {
             if let Some(Value::Object(s)) = o.remove("stages") {
                 for (k, v) in s.iter() {
@@ -466,11 +496,36 @@ impl Service {
             cache_hit = o.remove("cache_hit").and_then(|v| v.as_bool());
             member_max_v = o.remove("member_max_v").and_then(|v| v.as_f64());
             batched = o.remove("batched").and_then(|v| v.as_u64());
+            ood = o.remove("ood").and_then(|v| v.as_bool());
         }
         stages.insert("total_us", json!(latency_us));
         let slow = latency >= self.config.slow_threshold;
         if slow {
             self.slow_requests.inc();
+        }
+        if paragraph_obs::store_enabled() {
+            // Tail retention: the request is over, its outcome known —
+            // decide now whether its span tree is worth keeping.
+            let shed = matches!(
+                response["error"]["code"].as_str(),
+                Some("overloaded" | "deadline_exceeded")
+            );
+            let stage_pairs = stages
+                .iter()
+                .filter_map(|(k, v)| v.as_f64().map(|f| (k.clone(), f)))
+                .collect();
+            paragraph_obs::trace_store().complete(
+                request_id,
+                paragraph_obs::RequestOutcome {
+                    op: op.name().to_owned(),
+                    ok,
+                    shed,
+                    slow,
+                    ood: ood.unwrap_or(false),
+                    total_us: latency_us,
+                    stages: stage_pairs,
+                },
+            );
         }
         let sampled = if ok {
             let n = self.ok_requests.fetch_add(1, Ordering::Relaxed);
@@ -500,6 +555,9 @@ impl Service {
             }
             if let Some(b) = batched {
                 event = event.u64_field("batched", b);
+            }
+            if let Some(o) = ood {
+                event = event.bool_field("ood", o);
             }
             event.emit();
             if slow {
@@ -532,6 +590,9 @@ impl Service {
             if let Some(b) = batched {
                 dbg.insert("batched", json!(b));
             }
+            if let Some(o) = ood {
+                dbg.insert("ood", json!(o));
+            }
             dbg.insert("stages", Value::Object(stages));
             response["debug"] = Value::Object(dbg);
         }
@@ -544,6 +605,7 @@ impl Service {
         request: Request,
         request_id: &str,
         accepted: Instant,
+        span_ctx: Option<paragraph_obs::SpanContext>,
     ) -> Result<Receiver<Value>, Value> {
         let id = request.id.clone();
         let deadline = accepted
@@ -558,6 +620,7 @@ impl Service {
             deadline,
             enqueued: accepted,
             reply: reply_tx,
+            ctx: span_ctx,
         };
         let sender = self.jobs.as_ref().expect("pool alive while service exists");
         match sender.try_send(job) {
@@ -585,6 +648,14 @@ impl Service {
     fn health(&self) -> Value {
         let snapshot = self.registry.current();
         let (degraded, reasons) = self.drift.status();
+        let store_counters = paragraph_obs::trace_store().counters();
+        let mut retained_by_reason = serde_json::Map::new();
+        for (reason, n) in paragraph_obs::RetainReason::ALL
+            .iter()
+            .zip(store_counters.retained.iter())
+        {
+            retained_by_reason.insert(reason.name(), json!(*n));
+        }
         let opt = |v: Option<f64>| v.map_or(Value::Null, |v| json!(v));
         let model_registry: Vec<Value> = snapshot
             .models
@@ -637,6 +708,21 @@ impl Service {
             "events": {
                 "enabled": paragraph_obs::events_enabled(),
                 "dropped": paragraph_obs::dropped_events(),
+                // Wall-clock anchor of the shared span/event epoch:
+                // unix_ns = epoch_unix_ns + ts_us * 1000 correlates
+                // events.jsonl, trace.json, and /debug/traces
+                // timestamps with external timelines.
+                "epoch_unix_ns": paragraph_obs::epoch_unix_nanos(),
+            },
+            "trace_store": {
+                "enabled": paragraph_obs::store_enabled(),
+                "epoch_unix_ns": paragraph_obs::epoch_unix_nanos(),
+                "completed": store_counters.completed,
+                "retained": Value::Object(retained_by_reason),
+                "not_retained": store_counters.not_retained,
+                "dropped_spans": store_counters.dropped_spans,
+                "evicted": store_counters.evicted,
+                "stored": store_counters.stored,
             },
             "workers": self.workers.len(),
             "queue_capacity": self.config.queue_capacity,
@@ -759,6 +845,16 @@ fn worker_loop(
             let queue_wait_us = popped.saturating_duration_since(job.enqueued).as_secs_f64() * 1e6;
             let window_wait_us = collected.saturating_duration_since(popped).as_secs_f64() * 1e6;
             let id = job.request.id.clone();
+            {
+                // The wait stages were measured with plain instants;
+                // synthesize their spans under the job's context so
+                // the request's tree shows them.
+                let _ctx = job.ctx.as_ref().map(paragraph_obs::SpanContext::enter);
+                paragraph_obs::record_span_at("queue_wait", job.enqueued, popped, Vec::new());
+                if window_wait_us > 0.0 {
+                    paragraph_obs::record_span_at("window_wait", popped, collected, Vec::new());
+                }
+            }
             if Instant::now() > job.deadline {
                 let mut response = error_response(
                     &id,
@@ -786,9 +882,15 @@ fn worker_loop(
                 continue;
             }
             let exec_started = Instant::now();
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                execute(&job.request, registry, cache, debug_ops)
-            }));
+            let outcome = {
+                // Guard dropped before the reply is sent so every span
+                // lands ahead of the submitter's retention decision.
+                let _ctx = job.ctx.as_ref().map(paragraph_obs::SpanContext::enter);
+                let _span = paragraph_obs::span!("execute", op = job.request.op.name());
+                catch_unwind(AssertUnwindSafe(|| {
+                    execute(&job.request, registry, cache, debug_ops)
+                }))
+            };
             let exec_us = exec_started.elapsed().as_secs_f64() * 1e6;
             let mut response = match outcome {
                 Ok(Ok((result, cached))) => ok_response(&id, result, cached),
@@ -835,6 +937,8 @@ struct PendingPredict {
     queue_wait_us: f64,
     window_wait_us: f64,
     lookup_us: f64,
+    /// Drift monitor's verdict on this request's feature rows.
+    ood: bool,
 }
 
 /// How a model group's forward pass was timed, for stage attribution.
@@ -871,6 +975,7 @@ fn predict_many(
     } in jobs
     {
         let id = job.request.id.clone();
+        let ctx_guard = job.ctx.as_ref().map(paragraph_obs::SpanContext::enter);
         let lookup_started = Instant::now();
         let circuit = match required_netlist(&job.request) {
             Ok(c) => c,
@@ -880,8 +985,10 @@ fn predict_many(
             }
         };
         // Every parsed circuit feeds the drift windows, cache hit or
-        // not: the monitor watches traffic, not model invocations.
-        drift.observe(&paragraph::raw_feature_rows(&circuit));
+        // not: the monitor watches traffic, not model invocations. The
+        // per-request verdict rides along so the tail sampler can
+        // retain OOD requests.
+        let ood = drift.observe(&paragraph::raw_feature_rows(&circuit));
         let (key, model) = match snapshot.resolve(job.request.model.as_deref()) {
             Ok(resolved) => resolved,
             Err(m) => {
@@ -892,7 +999,9 @@ fn predict_many(
         };
         let content_hash = fnv1a(&write_flat_spice(&circuit));
         if let Some(hit) = cache.get(&key, content_hash) {
-            let lookup_us = lookup_started.elapsed().as_secs_f64() * 1e6;
+            let lookup_done = Instant::now();
+            let lookup_us = lookup_done.duration_since(lookup_started).as_secs_f64() * 1e6;
+            paragraph_obs::record_span_at("cache_lookup", lookup_started, lookup_done, Vec::new());
             let mut response = ok_response(&id, (*hit).clone(), Some(true));
             attach_obs(
                 &mut response,
@@ -904,12 +1013,16 @@ fn predict_many(
                     },
                     "model": key,
                     "cache_hit": true,
+                    "ood": ood,
                 }),
             );
+            drop(ctx_guard);
             let _ = job.reply.send(response);
             continue;
         }
-        let lookup_us = lookup_started.elapsed().as_secs_f64() * 1e6;
+        let lookup_done = Instant::now();
+        let lookup_us = lookup_done.duration_since(lookup_started).as_secs_f64() * 1e6;
+        paragraph_obs::record_span_at("cache_lookup", lookup_started, lookup_done, Vec::new());
         groups
             .entry(key)
             .or_insert_with(|| (model, Vec::new()))
@@ -921,6 +1034,7 @@ fn predict_many(
                 queue_wait_us,
                 window_wait_us,
                 lookup_us,
+                ood,
             });
     }
     for (key, (model, pending)) in groups {
@@ -931,48 +1045,68 @@ fn predict_many(
                 .add(pending.len() as u64);
         }
         let circuits: Vec<&Circuit> = pending.iter().map(|p| &p.circuit).collect();
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            if circuits.len() == 1 {
-                // Lone job: the profiled path runs the identical
-                // build_graph + predict_graph chain (bit-identical
-                // output) while splitting the stage timings out.
-                match &model {
-                    ModelRef::Single(m) => {
-                        let (preds, profile) = m.predict_circuit_profiled(circuits[0]);
-                        let timing = GroupTiming::Profiled {
-                            profile,
-                            member_max_v: None,
-                        };
-                        (vec![preds], timing)
+        // One batch context covering every member: spans recorded under
+        // it (batch assemble, forward pass) fan out to each member's
+        // trace. Guards are scoped so all spans land before replies go
+        // out and the submitters finalize their traces.
+        let batch_ctx = if pending.iter().any(|p| p.job.ctx.is_some()) {
+            let shard = pending
+                .iter()
+                .find_map(|p| p.job.ctx.as_ref().and_then(|c| c.shard()));
+            Some(paragraph_obs::SpanContext::batch(
+                pending.iter().map(|p| p.job.request_id.as_str()),
+                shard,
+            ))
+        } else {
+            None
+        };
+        let outcome = {
+            let _batch_guard = batch_ctx.as_ref().map(paragraph_obs::SpanContext::enter);
+            let _span = paragraph_obs::span!("inference", model = key, jobs = pending.len());
+            catch_unwind(AssertUnwindSafe(|| {
+                if circuits.len() == 1 {
+                    // Lone job: the profiled path runs the identical
+                    // build_graph + predict_graph chain (bit-identical
+                    // output) while splitting the stage timings out.
+                    match &model {
+                        ModelRef::Single(m) => {
+                            let (preds, profile) = m.predict_circuit_profiled(circuits[0]);
+                            let timing = GroupTiming::Profiled {
+                                profile,
+                                member_max_v: None,
+                            };
+                            (vec![preds], timing)
+                        }
+                        ModelRef::Ensemble(e) => {
+                            let (preds, profile, selected) =
+                                e.predict_circuit_profiled(circuits[0]);
+                            let member_max_v = selected
+                                .iter()
+                                .enumerate()
+                                .max_by_key(|(_, &n)| n)
+                                .filter(|(_, &n)| n > 0)
+                                .and_then(|(i, _)| e.members()[i].max_value);
+                            let timing = GroupTiming::Profiled {
+                                profile,
+                                member_max_v,
+                            };
+                            (vec![preds], timing)
+                        }
                     }
-                    ModelRef::Ensemble(e) => {
-                        let (preds, profile, selected) = e.predict_circuit_profiled(circuits[0]);
-                        let member_max_v = selected
-                            .iter()
-                            .enumerate()
-                            .max_by_key(|(_, &n)| n)
-                            .filter(|(_, &n)| n > 0)
-                            .and_then(|(i, _)| e.members()[i].max_value);
-                        let timing = GroupTiming::Profiled {
-                            profile,
-                            member_max_v,
-                        };
-                        (vec![preds], timing)
-                    }
+                } else {
+                    let batch_started = Instant::now();
+                    let per_circuit = match &model {
+                        ModelRef::Single(m) => m.predict_circuits(&circuits),
+                        ModelRef::Ensemble(e) => e.predict_circuits(&circuits),
+                    };
+                    let timing = GroupTiming::Batched {
+                        total_us: batch_started.elapsed().as_secs_f64() * 1e6,
+                        n: circuits.len(),
+                    };
+                    (per_circuit, timing)
                 }
-            } else {
-                let batch_started = Instant::now();
-                let per_circuit = match &model {
-                    ModelRef::Single(m) => m.predict_circuits(&circuits),
-                    ModelRef::Ensemble(e) => e.predict_circuits(&circuits),
-                };
-                let timing = GroupTiming::Batched {
-                    total_us: batch_started.elapsed().as_secs_f64() * 1e6,
-                    n: circuits.len(),
-                };
-                (per_circuit, timing)
-            }
-        }));
+            }))
+        };
         match outcome {
             Ok((per_circuit, timing)) => {
                 // Attribute this forward pass to its inference path
@@ -990,37 +1124,44 @@ fn predict_many(
                     Duration::from_secs_f64(inference_us / 1e6),
                 );
                 for (p, preds) in pending.into_iter().zip(per_circuit) {
-                    let _span = paragraph_obs::span!("predict_job", request_id = p.job.request_id);
-                    let id = p.job.request.id.clone();
-                    let result = render_prediction(&key, &model, &p.circuit, &preds);
-                    cache.put(&key, p.content_hash, Arc::new(result.clone()));
-                    let mut stages = json!({
-                        "queue_wait_us": p.queue_wait_us,
-                        "window_wait_us": p.window_wait_us,
-                        "cache_lookup_us": p.lookup_us,
-                    });
-                    let mut obs = serde_json::Map::new();
-                    match &timing {
-                        GroupTiming::Profiled {
-                            profile,
-                            member_max_v,
-                        } => {
-                            stages["graph_build_us"] = json!(profile.graph_build_us);
-                            stages["inference_us"] = json!(profile.inference_us);
-                            if let Some(v) = member_max_v {
-                                obs.insert("member_max_v", json!(*v));
+                    let ctx_guard = p.job.ctx.as_ref().map(paragraph_obs::SpanContext::enter);
+                    let response = {
+                        let _span =
+                            paragraph_obs::span!("predict_job", request_id = p.job.request_id);
+                        let id = p.job.request.id.clone();
+                        let result = render_prediction(&key, &model, &p.circuit, &preds);
+                        cache.put(&key, p.content_hash, Arc::new(result.clone()));
+                        let mut stages = json!({
+                            "queue_wait_us": p.queue_wait_us,
+                            "window_wait_us": p.window_wait_us,
+                            "cache_lookup_us": p.lookup_us,
+                        });
+                        let mut obs = serde_json::Map::new();
+                        match &timing {
+                            GroupTiming::Profiled {
+                                profile,
+                                member_max_v,
+                            } => {
+                                stages["graph_build_us"] = json!(profile.graph_build_us);
+                                stages["inference_us"] = json!(profile.inference_us);
+                                if let Some(v) = member_max_v {
+                                    obs.insert("member_max_v", json!(*v));
+                                }
+                            }
+                            GroupTiming::Batched { total_us, n } => {
+                                stages["inference_us"] = json!(*total_us);
+                                obs.insert("batched", json!(*n as u64));
                             }
                         }
-                        GroupTiming::Batched { total_us, n } => {
-                            stages["inference_us"] = json!(*total_us);
-                            obs.insert("batched", json!(*n as u64));
-                        }
-                    }
-                    obs.insert("stages", stages);
-                    obs.insert("model", json!(key.clone()));
-                    obs.insert("cache_hit", json!(false));
-                    let mut response = ok_response(&id, result, Some(false));
-                    attach_obs(&mut response, Value::Object(obs));
+                        obs.insert("stages", stages);
+                        obs.insert("model", json!(key.clone()));
+                        obs.insert("cache_hit", json!(false));
+                        obs.insert("ood", json!(p.ood));
+                        let mut response = ok_response(&id, result, Some(false));
+                        attach_obs(&mut response, Value::Object(obs));
+                        response
+                    };
+                    drop(ctx_guard);
                     let _ = p.job.reply.send(response);
                 }
             }

@@ -406,3 +406,308 @@ fn pipelined_http_requests_are_answered_in_order() {
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Serialises tests that flip the process-wide trace store on: the
+/// store is a singleton, so concurrent enable/reset calls from parallel
+/// tests would corrupt each other's counters.
+static STORE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// The `/debug` surface basics: content types, 405 on wrong methods,
+/// 404 (as JSON) for unknown request ids, and `/metrics.json`
+/// aggregation totals equal to the per-shard sums the same payload
+/// reports.
+#[test]
+fn debug_surface_content_types_unknown_id_and_aggregation() {
+    let _guard = STORE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (dir, _ensemble) = build_model_dir("debugsurface");
+    let handle = start_gateway(
+        &dir,
+        GatewayConfig {
+            shards: 2,
+            service: test_service_config(),
+            ..GatewayConfig::default()
+        },
+    );
+    paragraph_obs::set_store_enabled(true);
+    let store = paragraph_obs::trace_store();
+    store.reset();
+    store.set_keep_one_in(1); // keep everything: the index must fill
+
+    // Traffic across both shards: connections round-robin per accept.
+    for id in 1..=4_u64 {
+        let mut c = HttpClient::connect(handle.addr());
+        let r = c.post_json("/predict", &predict_body(id, NETLIST_A));
+        assert_eq!(r.status, 200, "{:?}", r.json());
+    }
+
+    let mut c = HttpClient::connect(handle.addr());
+
+    // Index: JSON content type, counters, and retained entries.
+    let r = c.get("/debug/traces");
+    assert_eq!(r.status, 200);
+    assert_eq!(r.header("content-type"), Some("application/json"));
+    let index = r.json();
+    assert_eq!(index["enabled"].as_bool(), Some(true));
+    assert!(index["epoch_unix_ns"].as_u64().is_some());
+    let completed = index["counters"]["completed"].as_u64().expect("completed");
+    assert!(completed >= 4, "4 predicts completed, saw {completed}");
+    let retained = index["counters"]["retained"].as_u64().expect("retained");
+    let not_retained = index["counters"]["not_retained"]
+        .as_u64()
+        .expect("not_retained");
+    assert_eq!(
+        retained + not_retained,
+        completed,
+        "retention counters must partition completed requests"
+    );
+    let traces = index["traces"].as_array().expect("traces array");
+    assert!(!traces.is_empty(), "keep-everything sampling retained none");
+    for t in traces {
+        assert!(t["request_id"].as_str().is_some(), "{t:?}");
+        assert!(t["reason"].as_str().is_some(), "{t:?}");
+        assert!(t["total_us"].as_f64().is_some(), "{t:?}");
+    }
+    // Every retained predict carries its owning shard label.
+    let shards: std::collections::BTreeSet<u64> = traces
+        .iter()
+        .filter(|t| t["op"].as_str() == Some("predict"))
+        .filter_map(|t| t["shard"].as_u64())
+        .collect();
+    assert!(
+        !shards.is_empty(),
+        "predict traces must carry shard labels: {traces:?}"
+    );
+
+    // Detail for a real id round-trips; an unknown id is JSON 404.
+    let known = traces[0]["request_id"].as_str().unwrap().to_owned();
+    let r = c.get(&format!("/debug/traces/{known}"));
+    assert_eq!(r.status, 200);
+    assert_eq!(r.header("content-type"), Some("application/json"));
+    let detail = r.json();
+    assert_eq!(detail["request_id"].as_str(), Some(known.as_str()));
+    assert!(detail["traceEvents"].as_array().is_some(), "{detail:?}");
+    let r = c.get("/debug/traces/req-does-not-exist");
+    assert_eq!(r.status, 404);
+    assert_eq!(r.header("content-type"), Some("application/json"));
+    assert_eq!(r.json()["error"]["code"].as_str(), Some("not_found"));
+
+    // Dashboard: self-contained HTML.
+    let r = c.get("/debug/dashboard");
+    assert_eq!(r.status, 200);
+    assert_eq!(r.header("content-type"), Some("text/html; charset=utf-8"));
+    let page = String::from_utf8(r.body.clone()).expect("dashboard is UTF-8");
+    assert!(page.contains("<html"), "not an HTML page");
+    assert!(page.contains("request latency"), "latency section missing");
+    assert!(page.contains("retained traces"), "trace section missing");
+    assert!(!page.contains("<script"), "dashboard must not need scripts");
+
+    // Wrong methods get 405 + Allow, like the other GET routes.
+    for path in ["/debug/traces", "/debug/dashboard", "/debug/traces/req-1"] {
+        let r = c.post_json(path, "{}");
+        assert_eq!(r.status, 405, "{path}");
+        assert_eq!(r.header("allow"), Some("GET"), "{path}");
+    }
+
+    // Aggregation: the totals block equals the per-shard sums of the
+    // same snapshot payload.
+    let snapshot = c.get("/metrics.json").json();
+    let shards = snapshot["shards"].as_array().expect("shards array");
+    assert_eq!(snapshot["shard_count"].as_u64(), Some(2));
+    let per_shard_requests: u64 = shards
+        .iter()
+        .flat_map(|s| s["endpoints"].as_array().expect("endpoints").iter())
+        .filter_map(|e| e["requests"].as_u64())
+        .sum();
+    assert_eq!(
+        snapshot["totals"]["requests"].as_u64(),
+        Some(per_shard_requests),
+        "aggregate totals must equal the per-shard sum"
+    );
+    let per_shard_queue: i64 = shards
+        .iter()
+        .filter_map(|s| s["queue_depth"].as_f64())
+        .sum::<f64>() as i64;
+    assert_eq!(
+        snapshot["totals"]["queue_depth"].as_f64().map(|v| v as i64),
+        Some(per_shard_queue)
+    );
+
+    paragraph_obs::set_store_enabled(false);
+    store.reset();
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The acceptance path for tail sampling: a genuinely slow request
+/// (long transistor chain against a millisecond slow threshold) is
+/// retained with reason `slow`, and `/debug/traces/<req-id>` serves its
+/// full parse → queue → inference span tree. The retained payload is
+/// also written to `target/retained_traces.json` for CI to upload.
+#[test]
+fn slow_request_is_retained_with_full_span_tree() {
+    let _guard = STORE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (dir, _ensemble) = build_model_dir("debugslow");
+    let handle = start_gateway(
+        &dir,
+        GatewayConfig {
+            shards: 1,
+            service: ServiceConfig {
+                workers: 1,
+                cache_capacity: 0,
+                slow_threshold: Duration::from_millis(1),
+                ..test_service_config()
+            },
+            ..GatewayConfig::default()
+        },
+    );
+    paragraph_obs::set_store_enabled(true);
+    let store = paragraph_obs::trace_store();
+    store.reset();
+    store.set_keep_one_in(0); // remarkable requests only
+    store.set_slow_threshold_us(f64::MAX); // the service's flag decides
+
+    // A 3000-device chain takes far longer than the 1 ms slow
+    // threshold; debug mode echoes the internal request id back.
+    let mut c = HttpClient::connect(handle.addr());
+    let netlist = chain_netlist(77, 3_000).replace('\n', "\\n");
+    let body = format!(r#"{{"id": 900, "netlist": "{netlist}", "debug": true}}"#);
+    let r = c.post_json("/predict", &body);
+    assert_eq!(r.status, 200, "{:?}", r.json());
+    let response = r.json();
+    let request_id = response["debug"]["request_id"]
+        .as_str()
+        .expect("debug responses carry the internal request id")
+        .to_owned();
+    assert_eq!(
+        response["debug"]["slow"].as_bool(),
+        Some(true),
+        "{response:?}"
+    );
+
+    // The index lists it with reason slow and its shard.
+    let index = c.get("/debug/traces").json();
+    let entry = index["traces"]
+        .as_array()
+        .expect("traces")
+        .iter()
+        .find(|t| t["request_id"].as_str() == Some(request_id.as_str()))
+        .unwrap_or_else(|| panic!("slow request {request_id} not retained: {index:?}"))
+        .clone();
+    assert_eq!(entry["reason"].as_str(), Some("slow"), "{entry:?}");
+    assert_eq!(entry["shard"].as_u64(), Some(0), "{entry:?}");
+    assert!(entry["stages"]["queue_wait_us"].as_f64().is_some());
+
+    // The detail serves the full span tree, Chrome-trace compatible.
+    let r = c.get(&format!("/debug/traces/{request_id}"));
+    assert_eq!(r.status, 200);
+    let detail = r.json();
+    assert_eq!(detail["reason"].as_str(), Some("slow"));
+    assert_eq!(detail["ok"].as_bool(), Some(true));
+    let events = detail["traceEvents"].as_array().expect("traceEvents");
+    let names: std::collections::BTreeSet<&str> =
+        events.iter().filter_map(|e| e["name"].as_str()).collect();
+    for expected in [
+        "parse",
+        "serve_request",
+        "queue_wait",
+        "cache_lookup",
+        "inference",
+        "predict_job",
+    ] {
+        assert!(
+            names.contains(expected),
+            "span '{expected}' missing from retained tree {names:?}"
+        );
+    }
+    for e in events {
+        assert_eq!(e["ph"].as_str(), Some("X"), "{e:?}");
+        assert!(e["ts"].as_f64().is_some() && e["dur"].as_f64().is_some());
+    }
+
+    // CI uploads the retained trace as an artifact.
+    let target_dir = std::env::var("CARGO_TARGET_DIR")
+        .unwrap_or_else(|_| format!("{}/../../target", env!("CARGO_MANIFEST_DIR")));
+    let artifact = format!("{target_dir}/retained_traces.json");
+    std::fs::write(
+        &artifact,
+        serde_json::to_string_pretty(&json!({
+            "index": index,
+            "slow_trace": detail,
+        }))
+        .expect("artifact serialises"),
+    )
+    .expect("write retained_traces.json");
+
+    paragraph_obs::set_store_enabled(false);
+    store.reset();
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Under full-queue shedding the debug surface must stay responsive —
+/// it is served by the shard event loop, not the saturated workers —
+/// and the shed request itself is retained with reason `shed`.
+#[test]
+fn debug_endpoints_respond_under_shedding() {
+    let _guard = STORE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (dir, _ensemble) = build_model_dir("debugshed");
+    let handle = start_gateway(
+        &dir,
+        GatewayConfig {
+            shards: 1,
+            service: ServiceConfig {
+                workers: 1,
+                queue_capacity: 1,
+                max_batch: 1,
+                cache_capacity: 0,
+                ..ServiceConfig::default()
+            },
+            ..GatewayConfig::default()
+        },
+    );
+    paragraph_obs::set_store_enabled(true);
+    let store = paragraph_obs::trace_store();
+    store.reset();
+    store.set_keep_one_in(0);
+    store.set_slow_threshold_us(f64::MAX);
+    let service: Arc<Service> = handle.services()[0].clone();
+
+    // Saturate: one slow job on the worker, one in the queue.
+    let mut pending = Vec::new();
+    let mut shed = false;
+    for k in 0..10 {
+        let line = predict_line(700 + k, &chain_netlist(7_000 + k as usize, 2_000), None);
+        match service.submit_line(&line) {
+            Submitted::Pending(call) => pending.push(call),
+            Submitted::Done(envelope) => {
+                assert_eq!(envelope["error"]["code"].as_str(), Some("overloaded"));
+                shed = true;
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(shed, "service never shed under a full queue");
+
+    // An HTTP predict is shed 503 — and the debug surface still works.
+    let mut c = HttpClient::connect(handle.addr());
+    let r = c.post_json("/predict", &predict_body(1, NETLIST_A));
+    assert_eq!(r.status, 503, "{:?}", r.json());
+    let r = c.get("/debug/traces");
+    assert_eq!(r.status, 200, "index must respond while shedding");
+    let index = r.json();
+    let shed_count = index["counters"]["retained_by_reason"]["shed"]
+        .as_u64()
+        .expect("shed counter");
+    assert!(shed_count >= 1, "shed requests must be retained: {index:?}");
+    let r = c.get("/debug/dashboard");
+    assert_eq!(r.status, 200, "dashboard must respond while shedding");
+
+    for call in pending {
+        let _ = service.wait(call);
+    }
+    paragraph_obs::set_store_enabled(false);
+    store.reset();
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

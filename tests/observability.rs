@@ -194,7 +194,19 @@ fn traced_and_evented_run_is_bitwise_identical_and_flushes_jsonl() {
         assert!(written >= 2, "expected the two probe events, got {written}");
         let body = std::fs::read_to_string(path).unwrap();
         let lines: Vec<&str> = body.lines().collect();
-        assert_eq!(lines.len(), written, "one JSONL line per record");
+        // A fresh file opens with one header line carrying the shared
+        // span/event epoch, then one JSONL line per record.
+        assert_eq!(lines.len(), written + 1, "header plus one line per record");
+        assert!(
+            lines[0].contains("\"kind\":\"events_header\""),
+            "first line must be the epoch header: {}",
+            lines[0]
+        );
+        assert!(
+            lines[0].contains("\"epoch_unix_ns\""),
+            "header must carry the shared epoch: {}",
+            lines[0]
+        );
         for line in &lines {
             let v: Value = serde_json::from_str(line).expect("event line parses");
             let obj = v.as_object().expect("event is a JSON object");
@@ -206,4 +218,55 @@ fn traced_and_evented_run_is_bitwise_identical_and_flushes_jsonl() {
             "probe event missing from sample"
         );
     }
+}
+
+/// The tail-sampled trace store must never perturb the math: every
+/// prediction from a run with the store on (context entered, spans
+/// collected, trace retained) is bitwise identical to the quiet run —
+/// even with span *tracing* off, where the store is the only collector.
+#[test]
+fn trace_store_does_not_perturb_predictions() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prepared = dataset();
+
+    paragraph_obs::set_enabled(false);
+    paragraph_obs::set_store_enabled(false);
+    let model = train_model(&prepared);
+    let quiet_preds = predict_bits(&model, &prepared);
+
+    paragraph_obs::set_store_enabled(true);
+    let store = paragraph_obs::trace_store();
+    store.reset();
+    store.set_keep_one_in(1); // retain everything: maximal bookkeeping
+    store.begin("obs-parity", None);
+    let stored_preds = {
+        let ctx = paragraph_obs::SpanContext::request("obs-parity", None);
+        let _ctx = ctx.enter();
+        let _span = paragraph_obs::span!("parity_probe");
+        predict_bits(&model, &prepared)
+    };
+    let reason = store.complete(
+        "obs-parity",
+        paragraph_obs::RequestOutcome {
+            op: "predict".into(),
+            ..Default::default()
+        },
+    );
+    paragraph_obs::set_store_enabled(false);
+
+    assert_eq!(
+        quiet_preds, stored_preds,
+        "trace store must not perturb predictions"
+    );
+    if paragraph_obs::Event::new("probe").is_recording() {
+        // Only meaningful with the `trace` feature compiled in.
+        assert_eq!(reason, Some(paragraph_obs::RetainReason::Sampled));
+        let retained = store.get("obs-parity").expect("trace retained");
+        assert!(
+            retained.spans.iter().any(|s| s.name == "parity_probe"),
+            "store-only collection lost the probe span: {:?}",
+            retained.spans
+        );
+    }
+    store.reset();
 }
